@@ -1,0 +1,82 @@
+// Package repro is an ISO 26262 Part-6 software-guideline assessor for
+// C/C++/CUDA codebases — a full reproduction of "Assessing the Adherence
+// of an Industrial Autonomous Driving Framework to ISO 26262 Software
+// Guidelines" (Tabani et al., DAC 2019).
+//
+// The library bundles everything the paper's study needs, built from
+// scratch on the standard library:
+//
+//   - a C/C++/CUDA frontend (internal/cclex, internal/ccparse);
+//   - Lizard-compatible complexity and architectural metrics
+//     (internal/metrics, internal/cfg);
+//   - a MISRA-inspired rule engine mapped to ISO 26262-6 Tables 1/3/8
+//     (internal/rules, internal/iso26262);
+//   - statement/branch/MC-DC coverage over an interpreting executor
+//     (internal/coverage, internal/cinterp) with cuda4cpu-style GPU
+//     kernel emulation (internal/cuda);
+//   - a calibrated Apollo-like corpus generator plus the YOLO and
+//     stencil study subjects (internal/apollocorpus);
+//   - GPU/CPU library performance models for the cuBLAS/CUTLASS and
+//     cuDNN/ISAAC comparisons (internal/gpusim, internal/yolo).
+//
+// This root package re-exports the high-level entry points; see
+// cmd/adassess and examples/ for end-to-end usage, and DESIGN.md /
+// EXPERIMENTS.md for the experiment index.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/iso26262"
+	"repro/internal/srcfile"
+)
+
+// Config re-exports core.Config.
+type Config = core.Config
+
+// Assessor re-exports core.Assessor.
+type Assessor = core.Assessor
+
+// Assessment re-exports core.Assessment.
+type Assessment = core.Assessment
+
+// FileSet re-exports the corpus container for user-provided sources.
+type FileSet = srcfile.FileSet
+
+// NewFileSet creates an empty corpus.
+func NewFileSet() *FileSet { return srcfile.NewFileSet() }
+
+// DefaultConfig mirrors the paper's setup (ASIL-D target, calibrated
+// corpus seed).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewAssessor creates an assessor with the given configuration.
+func NewAssessor(cfg Config) *Assessor { return core.NewAssessor(cfg) }
+
+// AssessDefaultCorpus runs the full paper assessment over the calibrated
+// Apollo-like corpus and returns the verdicts for the paper's Tables 1-3
+// plus Observations 1-14.
+func AssessDefaultCorpus() (*Assessor, *Assessment, error) {
+	a := core.NewAssessor(core.DefaultConfig())
+	if err := a.LoadDefaultCorpus(); err != nil {
+		return nil, nil, err
+	}
+	return a, a.Assess(), nil
+}
+
+// AssessFileSet assesses a user-provided corpus at the given target ASIL.
+func AssessFileSet(fs *FileSet, target iso26262.ASIL) (*Assessor, *Assessment, error) {
+	cfg := core.DefaultConfig()
+	cfg.TargetASIL = target
+	a := core.NewAssessor(cfg)
+	if err := a.LoadFileSet(fs); err != nil {
+		return nil, nil, err
+	}
+	return a, a.Assess(), nil
+}
+
+// Coverage analysis modes, re-exported for Figure 5 callers.
+const (
+	UniqueCause = coverage.UniqueCause
+	Masking     = coverage.Masking
+)

@@ -1,0 +1,88 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/iso26262"
+)
+
+func TestAssessFileSetPublicAPI(t *testing.T) {
+	fs := repro.NewFileSet()
+	fs.AddSource("control/pid.cc", `
+float g_integral = 0.0f;
+float PidStep(float error, float kp, float ki) {
+    g_integral += error;
+    if (g_integral > 100.0f) {
+        return 100.0f;
+    }
+    return kp * error + ki * g_integral;
+}`)
+	a, assessment, err := repro.AssessFileSet(fs, iso26262.ASILD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assessment.Coding) != 8 || len(assessment.Arch) != 7 || len(assessment.Unit) != 10 {
+		t.Fatalf("verdict table shapes wrong: %d/%d/%d",
+			len(assessment.Coding), len(assessment.Arch), len(assessment.Unit))
+	}
+	if got := a.Stats().ByRule["global-var"]; got != 1 {
+		t.Errorf("global-var findings = %d, want 1", got)
+	}
+	if got := a.Stats().ByRule["multi-exit"]; got != 1 {
+		t.Errorf("multi-exit findings = %d, want 1", got)
+	}
+	if len(assessment.Gaps()) == 0 {
+		t.Error("PID snippet must gap at ASIL-D (multi-exit + global)")
+	}
+}
+
+func TestAssessFileSetLowerASILFewerGaps(t *testing.T) {
+	fs := repro.NewFileSet()
+	fs.AddSource("m/a.c", `
+float* g_buf;
+int f(int a) {
+    if (a < 0) return -1;
+    return a;
+}`)
+	_, atD, err := repro.AssessFileSet(fs, iso26262.ASILD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, atA, err := repro.AssessFileSet(fs, iso26262.ASILA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atA.Gaps()) > len(atD.Gaps()) {
+		t.Errorf("ASIL-A gaps (%d) must not exceed ASIL-D gaps (%d)",
+			len(atA.Gaps()), len(atD.Gaps()))
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	if cfg.TargetASIL != iso26262.ASILD {
+		t.Errorf("default target = %v, want ASIL-D (the paper's setting)", cfg.TargetASIL)
+	}
+	if cfg.Seed != 26262 {
+		t.Errorf("default seed = %d", cfg.Seed)
+	}
+}
+
+// TestAssessDefaultCorpusSmoke exercises the one-call entry point the
+// README advertises. It is the heaviest public-API test (full corpus).
+func TestAssessDefaultCorpusSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus assessment in -short mode")
+	}
+	a, assessment, err := repro.AssessDefaultCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics().TotalLOC < 220000 {
+		t.Errorf("corpus LOC = %d", a.Metrics().TotalLOC)
+	}
+	if len(assessment.Observations) != 14 {
+		t.Errorf("observations = %d", len(assessment.Observations))
+	}
+}

@@ -1,0 +1,66 @@
+// Perception audit: the paper's headline scenario. Generates the
+// calibrated Apollo-like corpus, runs the full ISO 26262 assessment at
+// ASIL-D, and walks through the perception module's findings the way a
+// safety engineer would: complexity profile, the worst offending
+// functions, the global-variable problem, and the CUDA-specific issues.
+//
+// Run with: go run ./examples/perception_audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	repro "repro"
+)
+
+func main() {
+	a, assessment, err := repro.AssessDefaultCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fw := a.Metrics()
+	per := fw.Module("perception")
+	fmt.Printf("Perception module: %d files, %d LOC, %d functions\n",
+		per.Files, per.LOC, per.Functions)
+	fmt.Printf("Complexity: %d functions over CCN 10, %d over 20, %d over 50 (max %d)\n\n",
+		per.OverCCN[10], per.OverCCN[20], per.OverCCN[50], per.MaxCCN)
+
+	// Ten most complex functions — redesign candidates (Observation 1).
+	fns := fw.AllFunctions()
+	sort.Slice(fns, func(i, j int) bool { return fns[i].CCN > fns[j].CCN })
+	fmt.Println("Top redesign candidates (highest cyclomatic complexity):")
+	shown := 0
+	for _, fn := range fns {
+		if fn.Module != "perception" {
+			continue
+		}
+		fmt.Printf("  CCN %3d  %s (%s:%d, %d NLOC)\n", fn.CCN, fn.Name, fn.File, fn.StartLine, fn.NLOC)
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+
+	st := a.Stats()
+	fmt.Printf("\nPerception rule findings:\n")
+	for _, rule := range []string{"global-var", "cast", "multi-exit", "dynamic-memory", "pointer", "lang-subset"} {
+		fmt.Printf("  %-15s %d\n", rule, st.Count(rule, "perception"))
+	}
+
+	fmt.Println("\nObservations relevant to perception:")
+	for _, o := range assessment.Observations {
+		switch o.Number {
+		case 1, 3, 4, 5, 7:
+			fmt.Printf("  Obs %2d: %s\n          %s\n", o.Number, o.Text, o.Evidence)
+		}
+	}
+
+	gaps := assessment.Gaps()
+	fmt.Printf("\nCertification gaps at ASIL-D: %d topics\n", len(gaps))
+	for _, g := range gaps {
+		fmt.Printf("  - %s → %s (remediation: %s)\n", g.Topic.Name, g.Verdict, g.Effort)
+	}
+}

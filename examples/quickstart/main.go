@@ -1,0 +1,57 @@
+// Quickstart: assess a small C++ snippet against ISO 26262 Part-6
+// guidelines using the public API, print the findings and the unit-design
+// verdict table.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/iso26262"
+)
+
+const snippet = `
+#include <vector>
+
+float g_last_speed = 0.0f;
+
+float EstimateSpeed(const float* samples, int count, float scale) {
+    float acc = 0.0f;
+    if (count <= 0) {
+        return -1.0f;
+    }
+    for (int i = 0; i < count; i++) {
+        acc += samples[i];
+    }
+    int rounded = (int)(acc * scale);
+    g_last_speed = (float)rounded / scale;
+    return g_last_speed;
+}
+`
+
+func main() {
+	fs := repro.NewFileSet()
+	fs.AddSource("control/speed_estimator.cc", snippet)
+
+	a, assessment, err := repro.AssessFileSet(fs, iso26262.ASILD)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Findings:")
+	for _, f := range a.Findings() {
+		fmt.Printf("  %s\n", f.String())
+	}
+
+	fmt.Println("\nUnit design & implementation verdicts (ISO26262-6 Table 8) at ASIL-D:")
+	for _, ta := range assessment.Unit {
+		fmt.Printf("  %2d. %-55s %-13s %s\n",
+			ta.Topic.Item, ta.Topic.Name, ta.Verdict, ta.Evidence)
+	}
+
+	gaps := assessment.Gaps()
+	fmt.Printf("\n%d topics would block ASIL-D certification of this snippet.\n", len(gaps))
+}

@@ -1,0 +1,377 @@
+package apollocorpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/srcfile"
+)
+
+// Generate synthesizes the corpus for the given module specs. The same
+// seed always yields byte-identical output, so calibration tests and the
+// benchmark harness measure a stable subject.
+func Generate(specs []ModuleSpec, seed int64) *srcfile.FileSet {
+	fs := srcfile.NewFileSet()
+	rng := rand.New(rand.NewSource(seed))
+	for _, spec := range specs {
+		generateModule(fs, spec, rng)
+	}
+	return fs
+}
+
+// GenerateDefault builds the calibrated corpus with the canonical seed.
+func GenerateDefault() *srcfile.FileSet { return Generate(DefaultSpec(), 26262) }
+
+// verbs/nouns give functions plausible, style-conformant names.
+var verbs = []string{
+	"Process", "Estimate", "Track", "Fuse", "Filter", "Project", "Decode",
+	"Classify", "Segment", "Predict", "Plan", "Smooth", "Validate", "Update",
+	"Compute", "Extract", "Align", "Match", "Cluster", "Refine",
+}
+
+var nouns = []string{
+	"Frame", "Obstacle", "Trajectory", "Lane", "Pose", "PointCloud", "Grid",
+	"Anchor", "Feature", "Track", "Route", "Signal", "Boundary", "Velocity",
+	"Heading", "Region", "Contour", "Window", "Batch", "Tensor",
+}
+
+type fileBuilder struct {
+	path  string
+	sb    strings.Builder
+	lines int
+}
+
+func (fb *fileBuilder) add(s string) {
+	fb.sb.WriteString(s)
+	fb.lines += strings.Count(s, "\n")
+}
+
+func generateModule(fs *srcfile.FileSet, spec ModuleSpec, rng *rand.Rand) {
+	files := make([]*fileBuilder, spec.Files)
+	for i := range files {
+		fb := &fileBuilder{path: fmt.Sprintf("%s/%s_%02d.cc", spec.Name, spec.Name, i)}
+		fb.add(fmt.Sprintf("// Generated Apollo-like source: module %s, file %d.\n", spec.Name, i))
+		fb.add("#include <vector>\n#include <cmath>\n\n")
+		fb.add("namespace apollo {\nnamespace " + spec.Name + " {\n\n")
+		files[i] = fb
+	}
+
+	// Globals, spread evenly (Observation: ~900 in perception).
+	for g := 0; g < spec.Globals; g++ {
+		fb := files[g%len(files)]
+		switch g % 3 {
+		case 0:
+			fb.add(fmt.Sprintf("float g_%s_state_%d = 0.0f;\n", spec.Name, g))
+		case 1:
+			fb.add(fmt.Sprintf("int g_%s_count_%d = 0;\n", spec.Name, g))
+		default:
+			fb.add(fmt.Sprintf("static float g_%s_cache_%d;\n", spec.Name, g))
+		}
+	}
+	for _, fb := range files {
+		fb.add("\n")
+	}
+
+	// Unions (MISRA finding seeds).
+	for u := 0; u < spec.Unions; u++ {
+		fb := files[u%len(files)]
+		fb.add(fmt.Sprintf("union RawWord%d {\n  int bits;\n  float value;\n};\n\n", u))
+	}
+
+	g := &funcGen{rng: rng, module: spec.Name, castBudget: spec.Casts}
+
+	emit := func(idx int, text string) {
+		files[idx%len(files)].add(text)
+	}
+	next := 0
+
+	// Specials first so exact band counts survive any LOC truncation.
+	for i := 0; i < spec.Moderate; i++ {
+		ccn := 11 + g.rng.Intn(10) // 11..20
+		emit(next, g.function(ccn, g.multiExit(spec.MultiExitFrac)))
+		next++
+	}
+	for i := 0; i < spec.Risky; i++ {
+		ccn := 21 + g.rng.Intn(30) // 21..50
+		emit(next, g.function(ccn, g.multiExit(spec.MultiExitFrac)))
+		next++
+	}
+	for i := 0; i < spec.Unstable; i++ {
+		ccn := 51 + g.rng.Intn(20) // 51..70
+		emit(next, g.function(ccn, g.multiExit(spec.MultiExitFrac)))
+		next++
+	}
+	for i := 0; i < spec.Gotos; i++ {
+		emit(next, g.gotoFunction())
+		next++
+	}
+	for i := 0; i < spec.Recursions; i++ {
+		emit(next, g.recursiveFunction())
+		next++
+	}
+	for i := 0; i < spec.UninitVars; i++ {
+		emit(next, g.uninitFunction())
+		next++
+	}
+	for i := 0; i < spec.ThreadUses; i++ {
+		emit(next, g.threadFunction(i))
+		next++
+	}
+
+	// Fillers until the LOC budget is met.
+	total := func() int {
+		n := 0
+		for _, fb := range files {
+			n += fb.lines
+		}
+		return n
+	}
+	budget := spec.TargetLOC - 3*len(files) // reserve for closers
+	for total() < budget {
+		ccn := 1 + g.rng.Intn(8) // low band
+		emit(next, g.function(ccn, g.multiExit(spec.MultiExitFrac)))
+		next++
+	}
+
+	for _, fb := range files {
+		fb.add("\n}  // namespace " + spec.Name + "\n}  // namespace apollo\n")
+		fs.AddSource(fb.path, fb.sb.String())
+	}
+
+	for i := 0; i < spec.CUDAFiles; i++ {
+		fs.AddSource(fmt.Sprintf("%s/cuda/%s_kernels_%02d.cu", spec.Name, spec.Name, i),
+			cudaFile(spec.Name, i))
+	}
+}
+
+// funcGen emits one style-conformant function at a time.
+type funcGen struct {
+	rng        *rand.Rand
+	module     string
+	nameSeq    int
+	castBudget int
+}
+
+func (g *funcGen) multiExit(frac float64) bool { return g.rng.Float64() < frac }
+
+func (g *funcGen) name() string {
+	n := fmt.Sprintf("%s%s%d", verbs[g.rng.Intn(len(verbs))],
+		nouns[g.rng.Intn(len(nouns))], g.nameSeq)
+	g.nameSeq++
+	return n
+}
+
+// function emits a definition with exactly the requested Lizard CCN.
+// Multi-exit functions receive one early return (CCN unchanged: the early
+// return rides an if that is part of the CCN budget).
+func (g *funcGen) function(ccn int, multiExit bool) string {
+	var b strings.Builder
+	name := g.name()
+	fmt.Fprintf(&b, "float %s(const float* input, int size,\n", name)
+	b.WriteString("            float scale, int mode) {\n")
+	b.WriteString("  float acc = 0.0f;\n")
+	b.WriteString("  float limit = scale * 4.0f;\n")
+	b.WriteString("  int idx = 0;\n")
+
+	remaining := ccn - 1
+	if multiExit && remaining > 0 {
+		b.WriteString("  if (size <= 0) {\n    return -1.0f;\n  }\n")
+		remaining--
+	}
+	for remaining > 0 {
+		k := g.rng.Intn(6)
+		switch {
+		case k == 0 || remaining == 1:
+			fmt.Fprintf(&b, "  if (mode > %d) {\n    acc += input[idx] * scale;\n  }\n", g.rng.Intn(8))
+			remaining--
+		case k == 1:
+			fmt.Fprintf(&b, "  if (acc > %d.0f) {\n    acc -= limit;\n  } else {\n    acc += limit;\n  }\n", 1+g.rng.Intn(9))
+			remaining--
+		case k == 2:
+			b.WriteString("  for (idx = 0; idx < size; idx++) {\n    acc += input[idx];\n  }\n")
+			remaining--
+		case k == 3:
+			b.WriteString("  while (acc > limit) {\n    acc -= limit;\n  }\n")
+			remaining--
+		case k == 4 && remaining >= 2:
+			fmt.Fprintf(&b, "  if (acc > %d.0f && scale > 0.5f) {\n    acc = acc * 0.5f;\n  }\n", g.rng.Intn(6))
+			remaining -= 2
+		default:
+			n := 2 + g.rng.Intn(3) // case labels
+			if n > remaining {
+				n = remaining
+			}
+			b.WriteString("  switch (mode) {\n")
+			for c := 0; c < n; c++ {
+				fmt.Fprintf(&b, "  case %d:\n    acc += %d.0f;\n    break;\n", c, c+1)
+			}
+			b.WriteString("  default:\n    acc += 0.5f;\n  }\n")
+			remaining -= n
+		}
+	}
+	if g.castBudget > 0 {
+		// Two casts per insertion keeps density near the calibrated total.
+		b.WriteString("  int bucket = (int)acc;\n")
+		b.WriteString("  acc += (float)(bucket % 5);\n")
+		g.castBudget -= 2
+	}
+	// Every ~25th function carries an implicit float→int conversion,
+	// evidencing ISO26262-6 Table 8 item 7 alongside the explicit casts.
+	if g.nameSeq%25 == 0 {
+		b.WriteString("  int approx = acc * 0.5f;\n")
+		b.WriteString("  acc += approx;\n")
+	}
+	b.WriteString("  return acc + (0.01f * idx);\n}\n\n")
+	return b.String()
+}
+
+func (g *funcGen) gotoFunction() string {
+	name := g.name()
+	return fmt.Sprintf(`int %s(int* buffer, int size) {
+  int status = 0;
+  if (buffer == NULL) {
+    status = -1;
+    goto cleanup;
+  }
+  if (size <= 0) {
+    status = -2;
+    goto cleanup;
+  }
+  buffer[0] = size;
+cleanup:
+  return status;
+}
+
+`, name)
+}
+
+func (g *funcGen) recursiveFunction() string {
+	name := "Traverse" + nouns[g.rng.Intn(len(nouns))] + fmt.Sprintf("Tree%d", g.nameSeq)
+	g.nameSeq++
+	return fmt.Sprintf(`float %s(const float* nodes, int index, int depth) {
+  if (depth <= 0) {
+    return 0.0f;
+  }
+  float left = %s(nodes, index * 2 + 1, depth - 1);
+  float right = %s(nodes, index * 2 + 2, depth - 1);
+  return nodes[index] + left + right;
+}
+
+`, name, name, name)
+}
+
+// threadFunction seeds a scheduling-primitive call site (pthread worker
+// spawn plus a polling sleep), evidence for Table 2 item 6.
+func (g *funcGen) threadFunction(i int) string {
+	name := fmt.Sprintf("Spawn%sWorker%d", nouns[g.rng.Intn(len(nouns))], g.nameSeq)
+	g.nameSeq++
+	return fmt.Sprintf(`int %s(int* handle, int period_us) {
+  int rc = pthread_create(handle, 0, 0, 0);
+  if (rc != 0) {
+    return rc;
+  }
+  usleep(period_us);
+  return %d;
+}
+
+`, name, i)
+}
+
+func (g *funcGen) uninitFunction() string {
+	name := g.name()
+	return fmt.Sprintf(`float %s(float scale) {
+  float bias;
+  float acc = 0.0f;
+  acc = bias * scale;
+  return acc;
+}
+
+`, name)
+}
+
+// cudaFile emits a GPU source file matching Figure 4's structure: kernels
+// built on pointer parameters, device allocation via cudaMalloc, and
+// <<<...>>> launches.
+func cudaFile(module string, idx int) string {
+	return fmt.Sprintf(`// Generated CUDA source: module %[1]s, GPU file %[2]d.
+#include <cuda_runtime.h>
+
+__global__ void scale_bias_kernel_%[2]d(float *output, float *biases,
+                                        int n, int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  if (offset < size) {
+    output[(filter * size) + offset] *= biases[filter];
+  }
+}
+
+__global__ void add_bias_kernel_%[2]d(float *output, float *biases,
+                                      int n, int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  if (offset < size) {
+    output[(filter * size) + offset] += biases[filter];
+  }
+}
+
+float* cuda_make_array_%[2]d(float *x, int n) {
+  float *x_gpu;
+  cudaMalloc((void**)&x_gpu, n * sizeof(float));
+  if (x) {
+    cudaMemcpy(x_gpu, x, n * sizeof(float), 1);
+  }
+  return x_gpu;
+}
+
+void scale_bias_gpu_%[2]d(float *output, float *biases, int batch, int n,
+                          int size) {
+  int blocks = (size - 1) / 256 + 1;
+  scale_bias_kernel_%[2]d<<<blocks, 256>>>(output, biases, n, size);
+  cudaDeviceSynchronize();
+}
+
+void add_bias_gpu_%[2]d(float *output, float *biases, int batch, int n,
+                        int size) {
+  int blocks = (size - 1) / 256 + 1;
+  add_bias_kernel_%[2]d<<<blocks, 256>>>(output, biases, n, size);
+  cudaDeviceSynchronize();
+}
+
+void release_array_%[2]d(float *x_gpu) {
+  cudaFree(x_gpu);
+}
+`, module, idx)
+}
+
+// ScaleBiasSample returns the paper's Figure 4 excerpt as a standalone
+// file for the qualitative CUDA findings demonstration.
+func ScaleBiasSample() *srcfile.File {
+	return &srcfile.File{
+		Path: "perception/cuda/scale_bias.cu",
+		Lang: srcfile.LangCUDA,
+		Src: `// Figure 4: typical CUDA program structure in object detection.
+__global__ void scale_bias_kernel(float *output, float *biases,
+                                  int n, int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  if (offset < size) {
+    output[(filter * size) + offset] *= biases[filter];
+  }
+}
+
+void scale_bias_gpu(float *output, float *biases, int batch, int n,
+                    int size) {
+  float *d_output;
+  float *d_biases;
+  cudaMalloc((void**)&d_output, batch * n * size * sizeof(float));
+  cudaMalloc((void**)&d_biases, n * sizeof(float));
+  int blocks = (size - 1) / 256 + 1;
+  scale_bias_kernel<<<blocks, 256>>>(d_output, d_biases, n, size);
+  cudaDeviceSynchronize();
+  cudaFree(d_output);
+  cudaFree(d_biases);
+}
+`,
+	}
+}

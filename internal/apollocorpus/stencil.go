@@ -1,0 +1,113 @@
+package apollocorpus
+
+import "repro/internal/srcfile"
+
+// StencilCorpus returns the 2D and 3D stencil CUDA kernels used by the
+// Figure 6 study: GPU code modified to run on the CPU via the cuda
+// emulation layer (the cuda4cpu methodology), then measured for statement
+// and branch coverage.
+func StencilCorpus() *srcfile.FileSet {
+	fs := srcfile.NewFileSet()
+	fs.AddSource("stencil/stencil2d.cu", stencil2DSrc)
+	fs.AddSource("stencil/stencil3d.cu", stencil3DSrc)
+	return fs
+}
+
+// StencilEntryPoints returns the host drivers the Figure 6 experiment
+// executes. Each drives its kernel through the emulator with a single
+// representative input, leaving boundary branches partially exercised —
+// which is precisely why the paper reports <100% coverage.
+func StencilEntryPoints() []string {
+	return []string{"run_stencil2d", "run_stencil3d"}
+}
+
+const stencil2DSrc = `/* 5-point 2D Jacobi stencil (cuda4cpu representative kernel). */
+__global__ void stencil2d_kernel(float* in, float* out, int width,
+                                 int height) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int col = tid % width;
+    int row = tid / width;
+    if (col >= width || row >= height) {
+        return;
+    }
+    int idx = row * width + col;
+    if (col == 0 || col == width - 1 || row == 0 || row == height - 1) {
+        out[idx] = in[idx];
+        return;
+    }
+    float center = in[idx];
+    float north = in[idx - width];
+    float south = in[idx + width];
+    float west = in[idx - 1];
+    float east = in[idx + 1];
+    out[idx] = 0.2f * (center + north + south + west + east);
+}
+
+int run_stencil2d() {
+    int width = 8;
+    int height = 8;
+    int n = width * height;
+    float* in = (float*)malloc(n * sizeof(float));
+    float* out = (float*)malloc(n * sizeof(float));
+    for (int i = 0; i < n; i++) {
+        in[i] = (float)(i % 9);
+        out[i] = 0.0f;
+    }
+    stencil2d_kernel<<<n, 1>>>(in, out, width, height);
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        checksum += (int)out[i];
+    }
+    free(in);
+    free(out);
+    return checksum;
+}
+`
+
+const stencil3DSrc = `/* 7-point 3D stencil with clamped boundary handling. */
+__global__ void stencil3d_kernel(float* in, float* out, int nx, int ny,
+                                 int nz) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int total = nx * ny * nz;
+    if (i >= total) {
+        return;
+    }
+    int z = i / (nx * ny);
+    int rem = i % (nx * ny);
+    int y = rem / nx;
+    int x = rem % nx;
+    float acc = in[i];
+    int samples = 1;
+    if (x > 0) { acc += in[i - 1]; samples++; }
+    if (x < nx - 1) { acc += in[i + 1]; samples++; }
+    if (y > 0) { acc += in[i - nx]; samples++; }
+    if (y < ny - 1) { acc += in[i + nx]; samples++; }
+    if (z > 0) { acc += in[i - nx * ny]; samples++; }
+    if (z < nz - 1) { acc += in[i + nx * ny]; samples++; }
+    if (samples > 1 && acc < 0.0f) {
+        acc = 0.0f;
+    }
+    out[i] = acc / samples;
+}
+
+int run_stencil3d() {
+    int nx = 4;
+    int ny = 4;
+    int nz = 3;
+    int n = nx * ny * nz;
+    float* in = (float*)malloc(n * sizeof(float));
+    float* out = (float*)malloc(n * sizeof(float));
+    for (int i = 0; i < n; i++) {
+        in[i] = (float)(i % 5);
+        out[i] = 0.0f;
+    }
+    stencil3d_kernel<<<n, 1>>>(in, out, nx, ny, nz);
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        checksum += (int)out[i];
+    }
+    free(in);
+    free(out);
+    return checksum;
+}
+`

@@ -1,0 +1,317 @@
+// Package brookauto implements the remediation direction the paper
+// advocates for GPU code (Observations 3-4 and reference [14], Trompouki &
+// Kosmidis, DAC 2018): a certification-friendly GPU programming subset in
+// the spirit of Brook Auto, which hides pointers from the programmer and
+// constrains kernels so MISRA-style assessment becomes possible.
+//
+// The package provides two things:
+//
+//  1. a checker that verifies CUDA kernels against the subset's decidable
+//     rules (no pointer arithmetic beyond linear indexing, no dynamic
+//     memory, no recursion, bounded loops, guarded global stores, no
+//     unstructured jumps);
+//  2. a signature synthesizer that proposes the Brook-style stream
+//     declaration a conforming kernel would have, showing what porting to
+//     a pointer-free language buys.
+package brookauto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ccast"
+	"repro/internal/srcfile"
+)
+
+// RuleID identifies one subset rule.
+type RuleID string
+
+// The subset rules. Numbering is internal to this reproduction; the real
+// Brook Auto defines its constraints as language restrictions rather than
+// checkable rules, which is exactly why its programs need no checker.
+const (
+	// RulePointerArith forbids pointer arithmetic other than p[index].
+	RulePointerArith RuleID = "BA1-pointer-arithmetic"
+	// RuleDynamicMemory forbids allocation inside device code.
+	RuleDynamicMemory RuleID = "BA2-dynamic-memory"
+	// RuleRecursion forbids recursive device functions.
+	RuleRecursion RuleID = "BA3-recursion"
+	// RuleUnboundedLoop forbids loops without a structural bound.
+	RuleUnboundedLoop RuleID = "BA4-unbounded-loop"
+	// RuleUnguardedStore requires global stores behind a bounds guard.
+	RuleUnguardedStore RuleID = "BA5-unguarded-store"
+	// RuleGoto forbids unstructured jumps in kernels.
+	RuleGoto RuleID = "BA6-goto"
+	// RuleDoubleIndirection forbids multi-level pointers in signatures.
+	RuleDoubleIndirection RuleID = "BA7-double-indirection"
+)
+
+// Violation is one subset violation inside a kernel.
+type Violation struct {
+	Rule RuleID
+	Line int
+	Msg  string
+}
+
+// KernelReport is the subset verdict for one kernel.
+type KernelReport struct {
+	Kernel     string
+	File       string
+	Violations []Violation
+	// StreamSignature is the Brook-style declaration the kernel would
+	// have after porting; empty when the kernel shape does not map.
+	StreamSignature string
+}
+
+// Conforming reports whether the kernel fits the subset as written.
+func (r *KernelReport) Conforming() bool { return len(r.Violations) == 0 }
+
+// CheckUnits analyzes every __global__ kernel in the given units.
+func CheckUnits(units map[string]*ccast.TranslationUnit) []*KernelReport {
+	paths := make([]string, 0, len(units))
+	for p := range units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []*KernelReport
+	for _, p := range paths {
+		tu := units[p]
+		for _, fn := range tu.Funcs() {
+			if fn.IsKernel() {
+				out = append(out, CheckKernel(fn, tu.File))
+			}
+		}
+	}
+	return out
+}
+
+// CheckKernel analyzes one kernel definition.
+func CheckKernel(fn *ccast.FuncDecl, file *srcfile.File) *KernelReport {
+	r := &KernelReport{Kernel: fn.Name, File: file.Path}
+	add := func(rule RuleID, line int, format string, args ...interface{}) {
+		r.Violations = append(r.Violations, Violation{
+			Rule: rule, Line: line, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Signature rules.
+	for _, p := range fn.Params {
+		if p.Type.PtrDepth > 1 {
+			add(RuleDoubleIndirection, p.Span().Start.Line,
+				"parameter %q has %d levels of indirection", p.Name, p.Type.PtrDepth)
+		}
+	}
+
+	ptrParams := make(map[string]bool)
+	for _, p := range fn.Params {
+		if p.Type.IsPointer() {
+			ptrParams[p.Name] = true
+		}
+	}
+
+	guarded := hasIndexGuard(fn.Body)
+
+	ccast.Walk(fn.Body, func(n ccast.Node) bool {
+		switch n := n.(type) {
+		case *ccast.Binary:
+			// p + i / p - i where p is a pointer parameter.
+			if n.Op == "+" || n.Op == "-" {
+				if id, ok := stripParens(n.L).(*ccast.Ident); ok && ptrParams[id.Name] {
+					add(RulePointerArith, n.Span().Start.Line,
+						"pointer arithmetic on parameter %q (use stream indexing)", id.Name)
+				}
+			}
+		case *ccast.Unary:
+			if n.Op == "++" || n.Op == "--" {
+				if id, ok := stripParens(n.X).(*ccast.Ident); ok && ptrParams[id.Name] {
+					add(RulePointerArith, n.Span().Start.Line,
+						"pointer increment on parameter %q", id.Name)
+				}
+			}
+			if n.Op == "*" {
+				if id, ok := stripParens(n.X).(*ccast.Ident); ok && ptrParams[id.Name] {
+					// *p without index: only the implicit element stream is
+					// allowed, which maps fine — but *(p+i) was caught above.
+					_ = id
+				}
+			}
+		case *ccast.Postfix:
+			if id, ok := stripParens(n.X).(*ccast.Ident); ok && ptrParams[id.Name] {
+				add(RulePointerArith, n.Span().Start.Line,
+					"pointer increment on parameter %q", id.Name)
+			}
+		case *ccast.Call:
+			name := calleeName(n)
+			switch name {
+			case "malloc", "calloc", "realloc", "free", "cudaMalloc", "cudaFree":
+				add(RuleDynamicMemory, n.Span().Start.Line,
+					"%s() in device code", name)
+			}
+			if name == cutName(fn.Name) {
+				add(RuleRecursion, n.Span().Start.Line, "kernel calls itself")
+			}
+		case *ccast.NewExpr:
+			add(RuleDynamicMemory, n.Span().Start.Line, "new in device code")
+		case *ccast.DeleteExpr:
+			add(RuleDynamicMemory, n.Span().Start.Line, "delete in device code")
+		case *ccast.While:
+			if !boundedCond(n.Cond) {
+				add(RuleUnboundedLoop, n.Span().Start.Line,
+					"while loop without structural bound")
+			}
+		case *ccast.DoWhile:
+			if !boundedCond(n.Cond) {
+				add(RuleUnboundedLoop, n.Span().Start.Line,
+					"do-while loop without structural bound")
+			}
+		case *ccast.For:
+			if n.Cond == nil {
+				add(RuleUnboundedLoop, n.Span().Start.Line, "for(;;) loop")
+			}
+		case *ccast.Goto:
+			add(RuleGoto, n.Span().Start.Line, "goto %s in kernel", n.Label)
+		case *ccast.Assign:
+			// Store through a pointer parameter without any index guard in
+			// the kernel: flags kernels that write out-of-range when the
+			// grid overshoots the data (the canonical CUDA bug class the
+			// guard idiom prevents).
+			if tgt := storeTarget(n.L, ptrParams); tgt != "" && !guarded {
+				add(RuleUnguardedStore, n.Span().Start.Line,
+					"store through %q without a thread-index bounds guard", tgt)
+			}
+		}
+		return true
+	})
+
+	r.StreamSignature = streamSignature(fn)
+	return r
+}
+
+func stripParens(e ccast.Expr) ccast.Expr {
+	for {
+		p, ok := e.(*ccast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func calleeName(c *ccast.Call) string {
+	switch f := c.Fun.(type) {
+	case *ccast.Ident:
+		return cutName(f.Name)
+	case *ccast.Member:
+		return f.Name
+	default:
+		return ""
+	}
+}
+
+func cutName(q string) string {
+	if i := strings.LastIndex(q, "::"); i >= 0 {
+		return q[i+2:]
+	}
+	return q
+}
+
+// boundedCond accepts comparison conditions (the loop variable is compared
+// against something), rejecting constants and bare truthy expressions.
+func boundedCond(e ccast.Expr) bool {
+	switch e := stripParens(e).(type) {
+	case *ccast.Binary:
+		switch e.Op {
+		case "<", ">", "<=", ">=", "!=", "==":
+			return true
+		case "&&", "||":
+			return boundedCond(e.L) || boundedCond(e.R)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// hasIndexGuard detects the canonical "if (i < n) ..." / early-return
+// guard over a thread-derived index anywhere in the kernel.
+func hasIndexGuard(body *ccast.Block) bool {
+	found := false
+	ccast.Walk(body, func(n ccast.Node) bool {
+		if ifs, ok := n.(*ccast.If); ok {
+			if cmp, ok := stripParens(ifs.Cond).(*ccast.Binary); ok {
+				switch cmp.Op {
+				case "<", "<=", ">", ">=":
+					found = true
+					return false
+				}
+			}
+			if b, ok := stripParens(ifs.Cond).(*ccast.Binary); ok && (b.Op == "||" || b.Op == "&&") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// storeTarget returns the pointer-parameter name a store writes through.
+func storeTarget(l ccast.Expr, ptrParams map[string]bool) string {
+	switch l := stripParens(l).(type) {
+	case *ccast.Index:
+		if id, ok := stripParens(l.X).(*ccast.Ident); ok && ptrParams[id.Name] {
+			return id.Name
+		}
+	case *ccast.Unary:
+		if l.Op == "*" {
+			if id, ok := stripParens(l.X).(*ccast.Ident); ok && ptrParams[id.Name] {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}
+
+// streamSignature proposes the Brook-style declaration: pointer parameters
+// become streams (`float in<>`), written streams become `out` streams, and
+// scalar parameters stay by-value. Returns "" when the kernel has no
+// pointer parameters (nothing to gain from porting).
+func streamSignature(fn *ccast.FuncDecl) string {
+	written := make(map[string]bool)
+	ccast.Walk(fn.Body, func(n ccast.Node) bool {
+		if a, ok := n.(*ccast.Assign); ok {
+			switch l := stripParens(a.L).(type) {
+			case *ccast.Index:
+				if id, ok := stripParens(l.X).(*ccast.Ident); ok {
+					written[id.Name] = true
+				}
+			case *ccast.Unary:
+				if l.Op == "*" {
+					if id, ok := stripParens(l.X).(*ccast.Ident); ok {
+						written[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var parts []string
+	havePtr := false
+	for _, p := range fn.Params {
+		if p.Type.IsPointer() {
+			havePtr = true
+			dir := ""
+			if written[p.Name] {
+				dir = "out "
+			}
+			parts = append(parts, fmt.Sprintf("%s%s %s<>", dir, p.Type.Name, p.Name))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s %s", p.Type.Name, p.Name))
+		}
+	}
+	if !havePtr {
+		return ""
+	}
+	return fmt.Sprintf("kernel void %s(%s);", cutName(fn.Name), strings.Join(parts, ", "))
+}

@@ -1,0 +1,216 @@
+package brookauto
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/ccparse"
+	"repro/internal/srcfile"
+)
+
+func checkSrc(t *testing.T, src string) []*KernelReport {
+	t.Helper()
+	fs := srcfile.NewFileSet()
+	fs.AddSource("k.cu", src)
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return CheckUnits(units)
+}
+
+func hasRule(r *KernelReport, id RuleID) bool {
+	for _, v := range r.Violations {
+		if v.Rule == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConformingKernel(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void saxpy(float* x, float* y, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}`)
+	if len(rs) != 1 {
+		t.Fatalf("kernels = %d", len(rs))
+	}
+	if !rs[0].Conforming() {
+		t.Errorf("saxpy should conform: %+v", rs[0].Violations)
+	}
+	sig := rs[0].StreamSignature
+	if !strings.Contains(sig, "float x<>") {
+		t.Errorf("input stream missing: %q", sig)
+	}
+	if !strings.Contains(sig, "out float y<>") {
+		t.Errorf("output stream missing: %q", sig)
+	}
+	if !strings.Contains(sig, "float a, int n") {
+		t.Errorf("scalars missing: %q", sig)
+	}
+}
+
+func TestPointerArithmeticFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void shift(float* data, int n) {
+    int i = threadIdx.x;
+    if (i < n) {
+        float v = *(data + i);
+        data[i] = v * 2.0f;
+    }
+}`)
+	if !hasRule(rs[0], RulePointerArith) {
+		t.Errorf("pointer arithmetic not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestDynamicMemoryFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void alloc_in_kernel(float* out, int n) {
+    int i = threadIdx.x;
+    if (i < n) {
+        float* tmp = (float*)malloc(16);
+        out[i] = tmp[0];
+        free(tmp);
+    }
+}`)
+	if !hasRule(rs[0], RuleDynamicMemory) {
+		t.Errorf("device malloc not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestRecursionFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void rec(float* x, int depth) {
+    if (depth > 0) {
+        rec(x, depth - 1);
+    }
+}`)
+	if !hasRule(rs[0], RuleRecursion) {
+		t.Errorf("kernel self-call not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestUnboundedLoopFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void spin(float* x, int n) {
+    int i = threadIdx.x;
+    if (i < n) {
+        while (1) {
+            x[i] += 1.0f;
+        }
+    }
+}`)
+	if !hasRule(rs[0], RuleUnboundedLoop) {
+		t.Errorf("while(1) not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestBoundedLoopAccepted(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void iter(float* x, int n) {
+    int i = threadIdx.x;
+    if (i < n) {
+        for (int k = 0; k < 4; k++) {
+            x[i] += (float)k;
+        }
+    }
+}`)
+	if hasRule(rs[0], RuleUnboundedLoop) {
+		t.Errorf("bounded for flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestUnguardedStoreFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void blind(float* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    out[i] = 1.0f;
+}`)
+	if !hasRule(rs[0], RuleUnguardedStore) {
+		t.Errorf("unguarded store not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestGotoFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void jumpy(float* x, int n) {
+    int i = threadIdx.x;
+    if (i >= n) goto done;
+    x[i] = 0.0f;
+done:
+    return;
+}`)
+	if !hasRule(rs[0], RuleGoto) {
+		t.Errorf("goto not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestDoubleIndirectionFlagged(t *testing.T) {
+	rs := checkSrc(t, `
+__global__ void indirect(float** rows, int n) {
+    int i = threadIdx.x;
+    if (i < n) {
+        rows[i][0] = 0.0f;
+    }
+}`)
+	if !hasRule(rs[0], RuleDoubleIndirection) {
+		t.Errorf("double indirection not flagged: %+v", rs[0].Violations)
+	}
+}
+
+func TestNonKernelIgnored(t *testing.T) {
+	rs := checkSrc(t, `
+void host_helper(float* p) { p[0] = 1.0f; }
+__global__ void k(float* x, int n) {
+    int i = threadIdx.x;
+    if (i < n) { x[i] = 1.0f; }
+}`)
+	if len(rs) != 1 || rs[0].Kernel != "k" {
+		t.Errorf("reports = %+v", rs)
+	}
+}
+
+func TestScaleBiasSampleConforms(t *testing.T) {
+	// The paper's Figure 4 kernel body is guarded and linear: the kernel
+	// itself fits the subset — it is the *host side* (cudaMalloc, raw
+	// pointers) that Brook Auto eliminates.
+	fs := srcfile.NewFileSet()
+	fs.Add(apollocorpus.ScaleBiasSample())
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	rs := CheckUnits(units)
+	if len(rs) != 1 {
+		t.Fatalf("kernels = %d", len(rs))
+	}
+	if !rs[0].Conforming() {
+		t.Errorf("scale_bias_kernel violations: %+v", rs[0].Violations)
+	}
+	if !strings.Contains(rs[0].StreamSignature, "out float output<>") {
+		t.Errorf("signature = %q", rs[0].StreamSignature)
+	}
+}
+
+func TestCorpusCUDAKernels(t *testing.T) {
+	fs := apollocorpus.Generate(apollocorpus.DefaultSpec()[:1], 26262) // perception only
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	rs := CheckUnits(units)
+	if len(rs) == 0 {
+		t.Fatal("no kernels found in perception")
+	}
+	for _, r := range rs {
+		if r.StreamSignature == "" {
+			t.Errorf("kernel %s has no stream mapping", r.Kernel)
+		}
+	}
+}

@@ -1,0 +1,626 @@
+// Package ccast defines the abstract syntax tree produced by ccparse for
+// the C/C++/CUDA subset understood by the assessment frontend.
+//
+// The tree is deliberately concrete-ish: nodes keep enough source fidelity
+// (positions, exact cast syntax, qualifier lists) for the MISRA-style rules
+// and metrics to make judgements a real checker would make.
+package ccast
+
+import "repro/internal/srcfile"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Span() srcfile.Span
+}
+
+// base carries source extent for every node.
+type base struct {
+	Loc srcfile.Span
+}
+
+// Span returns the node's source extent.
+func (b base) Span() srcfile.Span { return b.Loc }
+
+// SetSpan records the node's source extent (used by the parser).
+func (b *base) SetSpan(s srcfile.Span) { b.Loc = s }
+
+// Spanned is the parser-facing mutator interface.
+type Spanned interface {
+	SetSpan(srcfile.Span)
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeQual is a bitset of qualifiers and storage-class markers that matter
+// to the rules engine.
+type TypeQual uint32
+
+// Qualifier bits.
+const (
+	QualConst TypeQual = 1 << iota
+	QualVolatile
+	QualStatic
+	QualExtern
+	QualTypedefName // the declaration introduces a typedef
+	QualInline
+	QualVirtual
+	QualUnsigned
+	QualSigned
+	QualRegister
+	QualConstexpr
+	QualMutable
+	QualExplicit
+	// CUDA qualifiers.
+	QualCUDAGlobal
+	QualCUDADevice
+	QualCUDAHost
+	QualCUDAShared
+	QualCUDAConstant
+)
+
+// Has reports whether all bits in q are set.
+func (t TypeQual) Has(q TypeQual) bool { return t&q == q }
+
+// Type is a (mostly) textual type with the structure rules care about.
+type Type struct {
+	base
+	// Name is the base type spelling without qualifiers or declarator
+	// decoration: "int", "float", "Obstacle", "std::vector<int>".
+	Name string
+	// Quals are the qualifiers seen in the declaration specifier list.
+	Quals TypeQual
+	// PtrDepth counts '*' declarator levels.
+	PtrDepth int
+	// IsRef marks a C++ reference declarator.
+	IsRef bool
+	// ArrayDims holds one entry per array dimension; the expression may be
+	// nil for unsized dimensions.
+	ArrayDims []Expr
+}
+
+// IsPointer reports whether the type has at least one pointer level.
+func (t *Type) IsPointer() bool { return t != nil && t.PtrDepth > 0 }
+
+// IsVoid reports whether the base type is void with no pointers.
+func (t *Type) IsVoid() bool {
+	return t != nil && t.Name == "void" && t.PtrDepth == 0
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a (possibly qualified) name: "x", "ns::x", "Class::member".
+type Ident struct {
+	base
+	Name string // full spelling, including :: qualifiers
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Text  string
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	base
+	Text  string
+	Value float64
+}
+
+// StringLit is a string literal (quotes included in Text).
+type StringLit struct {
+	base
+	Text string
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	base
+	Text  string
+	Value int64
+}
+
+// BoolLit is true/false/nullptr (nullptr carried as false with IsNull set).
+type BoolLit struct {
+	base
+	Value  bool
+	IsNull bool // nullptr
+}
+
+// Unary is a prefix operator application.
+type Unary struct {
+	base
+	Op string // "!", "-", "+", "~", "*", "&", "++", "--"
+	X  Expr
+}
+
+// Postfix is a postfix ++/--.
+type Postfix struct {
+	base
+	Op string // "++" or "--"
+	X  Expr
+}
+
+// Binary is a binary operator application. Assignment operators are
+// represented by Assign, not Binary.
+type Binary struct {
+	base
+	Op   string // "+", "==", "&&", "<<", ...
+	L, R Expr
+}
+
+// Assign is an assignment, possibly compound ("=", "+=", ...).
+type Assign struct {
+	base
+	Op   string
+	L, R Expr
+}
+
+// Cond is the ternary conditional.
+type Cond struct {
+	base
+	C, T, F Expr
+}
+
+// Call is a function or method call.
+type Call struct {
+	base
+	Fun  Expr
+	Args []Expr
+}
+
+// KernelLaunch is a CUDA kernel launch: fun<<<grid, block, ...>>>(args).
+type KernelLaunch struct {
+	base
+	Fun    Expr
+	Config []Expr // grid, block, optional shared-mem and stream
+	Args   []Expr
+}
+
+// Index is array subscripting.
+type Index struct {
+	base
+	X, I Expr
+}
+
+// Member is field selection: X.Name or X->Name.
+type Member struct {
+	base
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastStyle distinguishes the syntactic flavours of explicit casts; the
+// strong-typing rule reports all of them, and the report breaks them down.
+type CastStyle int
+
+// Cast syntax flavours.
+const (
+	CastCStyle CastStyle = iota
+	CastStatic
+	CastDynamic
+	CastConst
+	CastReinterpret
+	CastFunctional // T(x)
+)
+
+// String names the cast style.
+func (c CastStyle) String() string {
+	switch c {
+	case CastCStyle:
+		return "c-style"
+	case CastStatic:
+		return "static_cast"
+	case CastDynamic:
+		return "dynamic_cast"
+	case CastConst:
+		return "const_cast"
+	case CastReinterpret:
+		return "reinterpret_cast"
+	case CastFunctional:
+		return "functional"
+	default:
+		return "cast"
+	}
+}
+
+// Cast is an explicit type conversion.
+type Cast struct {
+	base
+	Style CastStyle
+	To    *Type
+	X     Expr
+}
+
+// SizeofExpr is sizeof(expr) or sizeof(type).
+type SizeofExpr struct {
+	base
+	Type *Type // non-nil for sizeof(type)
+	X    Expr  // non-nil for sizeof expr
+}
+
+// NewExpr is C++ new / new[].
+type NewExpr struct {
+	base
+	Type  *Type
+	Count Expr   // non-nil for new[]
+	Args  []Expr // constructor arguments
+}
+
+// DeleteExpr is C++ delete / delete[].
+type DeleteExpr struct {
+	base
+	X     Expr
+	Array bool
+}
+
+// Comma is the comma operator (represented explicitly so rules can flag it).
+type Comma struct {
+	base
+	L, R Expr
+}
+
+// InitList is a braced initializer list.
+type InitList struct {
+	base
+	Elems []Expr
+}
+
+// Paren wraps a parenthesized expression (kept for style checks).
+type Paren struct {
+	base
+	X Expr
+}
+
+func (*Ident) exprNode()        {}
+func (*IntLit) exprNode()       {}
+func (*FloatLit) exprNode()     {}
+func (*StringLit) exprNode()    {}
+func (*CharLit) exprNode()      {}
+func (*BoolLit) exprNode()      {}
+func (*Unary) exprNode()        {}
+func (*Postfix) exprNode()      {}
+func (*Binary) exprNode()       {}
+func (*Assign) exprNode()       {}
+func (*Cond) exprNode()         {}
+func (*Call) exprNode()         {}
+func (*KernelLaunch) exprNode() {}
+func (*Index) exprNode()        {}
+func (*Member) exprNode()       {}
+func (*Cast) exprNode()         {}
+func (*SizeofExpr) exprNode()   {}
+func (*NewExpr) exprNode()      {}
+func (*DeleteExpr) exprNode()   {}
+func (*Comma) exprNode()        {}
+func (*InitList) exprNode()     {}
+func (*Paren) exprNode()        {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a compound statement.
+type Block struct {
+	base
+	Stmts []Stmt
+}
+
+// ExprStmt is an expression statement.
+type ExprStmt struct {
+	base
+	X Expr
+}
+
+// DeclStmt is a local declaration; one statement may declare several names.
+type DeclStmt struct {
+	base
+	Decl *VarDecl
+}
+
+// If is an if/else statement.
+type If struct {
+	base
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// While is a while loop.
+type While struct {
+	base
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do-while loop.
+type DoWhile struct {
+	base
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop; any of Init/Cond/Post may be nil. Init is either a
+// *DeclStmt or *ExprStmt.
+type For struct {
+	base
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Switch is a switch statement.
+type Switch struct {
+	base
+	Tag   Expr
+	Cases []*CaseClause
+}
+
+// CaseClause is one case or default group inside a switch.
+type CaseClause struct {
+	base
+	Values []Expr // empty for default
+	Body   []Stmt
+}
+
+// Break is a break statement.
+type Break struct{ base }
+
+// Continue is a continue statement.
+type Continue struct{ base }
+
+// Return is a return statement; X may be nil.
+type Return struct {
+	base
+	X Expr
+}
+
+// Goto is a goto statement.
+type Goto struct {
+	base
+	Label string
+}
+
+// Label is a labeled statement.
+type Label struct {
+	base
+	Name string
+	Stmt Stmt
+}
+
+// Empty is a lone semicolon.
+type Empty struct{ base }
+
+func (*Block) stmtNode()    {}
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*DoWhile) stmtNode()  {}
+func (*For) stmtNode()      {}
+func (*Switch) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Return) stmtNode()   {}
+func (*Goto) stmtNode()     {}
+func (*Label) stmtNode()    {}
+func (*Empty) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Decl is implemented by all top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Declarator is one declared name within a VarDecl.
+type Declarator struct {
+	base
+	Name string
+	Type *Type // full type including per-declarator pointers/arrays
+	Init Expr  // nil when uninitialized
+}
+
+// VarDecl declares one or more variables (or a typedef).
+type VarDecl struct {
+	base
+	Names []*Declarator
+	// Global marks file-scope declarations (set by the parser).
+	Global bool
+}
+
+// Param is a function parameter.
+type Param struct {
+	base
+	Name string // may be "" in prototypes
+	Type *Type
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	base
+	Name     string // qualified spelling as written ("Detector::Detect")
+	Ret      *Type
+	Params   []*Param
+	Variadic bool
+	Body     *Block // nil for prototypes
+	Quals    TypeQual
+	// Namespace is the enclosing namespace path, "::"-joined, if any.
+	Namespace string
+	// Class is the enclosing class for methods defined inline.
+	Class string
+}
+
+// IsKernel reports whether the function is a CUDA __global__ kernel.
+func (f *FuncDecl) IsKernel() bool { return f.Quals.Has(QualCUDAGlobal) }
+
+// IsDefinition reports whether the declaration carries a body.
+func (f *FuncDecl) IsDefinition() bool { return f.Body != nil }
+
+// RecordKind distinguishes struct/union/class.
+type RecordKind int
+
+// Record kinds.
+const (
+	RecordStruct RecordKind = iota
+	RecordUnion
+	RecordClass
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordStruct:
+		return "struct"
+	case RecordUnion:
+		return "union"
+	default:
+		return "class"
+	}
+}
+
+// Field is one member of a record.
+type Field struct {
+	base
+	Name string
+	Type *Type
+}
+
+// RecordDecl is a struct/union/class definition.
+type RecordDecl struct {
+	base
+	Kind    RecordKind
+	Name    string
+	Fields  []*Field
+	Methods []*FuncDecl
+}
+
+// EnumDecl is an enum definition.
+type EnumDecl struct {
+	base
+	Name    string
+	Members []string
+}
+
+// TypedefDecl is a typedef (or using alias).
+type TypedefDecl struct {
+	base
+	Name string
+	Type *Type
+}
+
+// NamespaceDecl is a namespace block.
+type NamespaceDecl struct {
+	base
+	Name  string
+	Decls []Decl
+}
+
+// UsingDecl is "using namespace x;" or "using x::y;".
+type UsingDecl struct {
+	base
+	Target      string
+	IsNamespace bool
+}
+
+// PPDirective is a preprocessor line kept in the tree for metrics/style.
+type PPDirective struct {
+	base
+	Text string // full directive text, e.g. "#include <vector>"
+}
+
+// BadDecl marks a region the parser could not understand; it lets analysis
+// proceed on the rest of the file.
+type BadDecl struct {
+	base
+	Reason string
+}
+
+func (*VarDecl) declNode()       {}
+func (*FuncDecl) declNode()      {}
+func (*RecordDecl) declNode()    {}
+func (*EnumDecl) declNode()      {}
+func (*TypedefDecl) declNode()   {}
+func (*NamespaceDecl) declNode() {}
+func (*UsingDecl) declNode()     {}
+func (*PPDirective) declNode()   {}
+func (*BadDecl) declNode()       {}
+
+// TranslationUnit is one parsed source file.
+type TranslationUnit struct {
+	base
+	File  *srcfile.File
+	Decls []Decl
+	// Comments holds comment tokens when the parser was configured to keep
+	// them (style metrics use this).
+	Comments []CommentInfo
+}
+
+// CommentInfo records a comment's position and text.
+type CommentInfo struct {
+	Line, Col int
+	Text      string
+}
+
+// Funcs returns every function definition in the unit, including methods
+// inside records and functions nested in namespaces, in source order.
+func (tu *TranslationUnit) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	var walkDecls func(ds []Decl)
+	walkDecls = func(ds []Decl) {
+		for _, d := range ds {
+			switch d := d.(type) {
+			case *FuncDecl:
+				if d.IsDefinition() {
+					out = append(out, d)
+				}
+			case *RecordDecl:
+				for _, m := range d.Methods {
+					if m.IsDefinition() {
+						out = append(out, m)
+					}
+				}
+			case *NamespaceDecl:
+				walkDecls(d.Decls)
+			}
+		}
+	}
+	walkDecls(tu.Decls)
+	return out
+}
+
+// GlobalVars returns file-scope variable declarations, recursing into
+// namespaces (namespace-scope variables are globals for the rules engine).
+func (tu *TranslationUnit) GlobalVars() []*VarDecl {
+	var out []*VarDecl
+	var walkDecls func(ds []Decl)
+	walkDecls = func(ds []Decl) {
+		for _, d := range ds {
+			switch d := d.(type) {
+			case *VarDecl:
+				out = append(out, d)
+			case *NamespaceDecl:
+				walkDecls(d.Decls)
+			}
+		}
+	}
+	walkDecls(tu.Decls)
+	return out
+}

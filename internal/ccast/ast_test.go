@@ -1,0 +1,170 @@
+package ccast
+
+import (
+	"testing"
+
+	"repro/internal/srcfile"
+)
+
+func ident(name string) *Ident { return &Ident{Name: name} }
+
+func TestWalkOrderAndPruning(t *testing.T) {
+	// if (a) { b; } else { c; }
+	stmt := &If{
+		Cond: ident("a"),
+		Then: &Block{Stmts: []Stmt{&ExprStmt{X: ident("b")}}},
+		Else: &Block{Stmts: []Stmt{&ExprStmt{X: ident("c")}}},
+	}
+	var names []string
+	Walk(stmt, func(n Node) bool {
+		if id, ok := n.(*Ident); ok {
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("walk order = %v", names)
+	}
+
+	// Pruning at the If stops descent entirely.
+	count := 0
+	Walk(stmt, func(n Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("pruned walk visited %d nodes", count)
+	}
+}
+
+func TestWalkNilSafety(t *testing.T) {
+	// Optional fields (Else, Init, Cond) are nil; Walk must not panic.
+	f := &For{Body: &Block{}}
+	Walk(f, func(Node) bool { return true })
+	i := &If{Cond: ident("x"), Then: &Block{}}
+	Walk(i, func(Node) bool { return true })
+	var nilType *Type
+	Walk(nilType, func(Node) bool { return true })
+}
+
+func TestWalkExprsAndStmts(t *testing.T) {
+	body := &Block{Stmts: []Stmt{
+		&ExprStmt{X: &Binary{Op: "+", L: ident("a"), R: ident("b")}},
+		&Return{X: &Call{Fun: ident("f"), Args: []Expr{ident("c")}}},
+	}}
+	exprs, stmts := 0, 0
+	WalkExprs(body, func(Expr) bool { exprs++; return true })
+	WalkStmts(body, func(Stmt) bool { stmts++; return true })
+	if exprs != 6 { // binary, a, b, call, f, c
+		t.Errorf("exprs = %d, want 6", exprs)
+	}
+	if stmts != 3 { // block, exprstmt, return
+		t.Errorf("stmts = %d, want 3", stmts)
+	}
+}
+
+func TestCountReturns(t *testing.T) {
+	fn := &FuncDecl{
+		Name: "f",
+		Body: &Block{Stmts: []Stmt{
+			&If{Cond: ident("a"), Then: &Return{}},
+			&Return{X: ident("b")},
+		}},
+	}
+	if got := CountReturns(fn); got != 2 {
+		t.Errorf("returns = %d", got)
+	}
+	if CountReturns(&FuncDecl{Name: "proto"}) != 0 {
+		t.Error("prototype must count 0 returns")
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	p := &Type{Name: "float", PtrDepth: 1}
+	if !p.IsPointer() || p.IsVoid() {
+		t.Error("float* classification")
+	}
+	v := &Type{Name: "void"}
+	if !v.IsVoid() || v.IsPointer() {
+		t.Error("void classification")
+	}
+	var nilT *Type
+	if nilT.IsPointer() || nilT.IsVoid() {
+		t.Error("nil type must be neither")
+	}
+}
+
+func TestQualHas(t *testing.T) {
+	q := QualConst | QualStatic
+	if !q.Has(QualConst) || !q.Has(QualStatic) || q.Has(QualVolatile) {
+		t.Error("qualifier bitset")
+	}
+	if !q.Has(QualConst | QualStatic) {
+		t.Error("multi-bit Has")
+	}
+}
+
+func TestFuncDeclClassifiers(t *testing.T) {
+	k := &FuncDecl{Name: "kern", Quals: QualCUDAGlobal, Body: &Block{}}
+	if !k.IsKernel() || !k.IsDefinition() {
+		t.Error("kernel classification")
+	}
+	p := &FuncDecl{Name: "proto"}
+	if p.IsKernel() || p.IsDefinition() {
+		t.Error("prototype classification")
+	}
+}
+
+func TestTranslationUnitFuncsRecursesNamespaces(t *testing.T) {
+	tu := &TranslationUnit{
+		File: &srcfile.File{Path: "a.cc"},
+		Decls: []Decl{
+			&NamespaceDecl{Name: "outer", Decls: []Decl{
+				&NamespaceDecl{Name: "inner", Decls: []Decl{
+					&FuncDecl{Name: "deep", Body: &Block{}},
+					&VarDecl{Names: []*Declarator{{Name: "g", Type: &Type{Name: "int"}}}},
+				}},
+			}},
+			&RecordDecl{Name: "C", Methods: []*FuncDecl{
+				{Name: "M", Body: &Block{}},
+				{Name: "Proto"},
+			}},
+			&FuncDecl{Name: "top", Body: &Block{}},
+		},
+	}
+	funcs := tu.Funcs()
+	if len(funcs) != 3 {
+		t.Fatalf("funcs = %d, want 3 (deep, M, top)", len(funcs))
+	}
+	globals := tu.GlobalVars()
+	if len(globals) != 1 || globals[0].Names[0].Name != "g" {
+		t.Errorf("globals = %v", globals)
+	}
+}
+
+func TestCastStyleStrings(t *testing.T) {
+	styles := []CastStyle{CastCStyle, CastStatic, CastDynamic, CastConst, CastReinterpret, CastFunctional}
+	seen := map[string]bool{}
+	for _, s := range styles {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate style name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRecordKindStrings(t *testing.T) {
+	if RecordStruct.String() != "struct" || RecordUnion.String() != "union" || RecordClass.String() != "class" {
+		t.Error("record kind names")
+	}
+}
+
+func TestSpanPropagation(t *testing.T) {
+	n := &IntLit{Value: 1}
+	sp := srcfile.Span{Start: srcfile.Pos{Line: 3, Col: 5}}
+	n.SetSpan(sp)
+	if n.Span().Start.Line != 3 || n.Span().Start.Col != 5 {
+		t.Error("span not stored")
+	}
+}

@@ -1,0 +1,202 @@
+package ccast
+
+// Visitor receives every node during a Walk. Returning false prunes the
+// subtree below the node.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first source order, calling
+// v for each non-nil node.
+func Walk(n Node, v Visitor) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !v(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *TranslationUnit:
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+	case *NamespaceDecl:
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+	case *RecordDecl:
+		for _, f := range n.Fields {
+			Walk(f, v)
+		}
+		for _, m := range n.Methods {
+			Walk(m, v)
+		}
+	case *Field:
+		Walk(n.Type, v)
+	case *FuncDecl:
+		Walk(n.Ret, v)
+		for _, p := range n.Params {
+			Walk(p, v)
+		}
+		Walk(n.Body, v)
+	case *Param:
+		Walk(n.Type, v)
+	case *VarDecl:
+		for _, d := range n.Names {
+			Walk(d, v)
+		}
+	case *Declarator:
+		Walk(n.Type, v)
+		Walk(n.Init, v)
+	case *TypedefDecl:
+		Walk(n.Type, v)
+	case *Type:
+		for _, e := range n.ArrayDims {
+			Walk(e, v)
+		}
+
+	case *Block:
+		for _, s := range n.Stmts {
+			Walk(s, v)
+		}
+	case *ExprStmt:
+		Walk(n.X, v)
+	case *DeclStmt:
+		Walk(n.Decl, v)
+	case *If:
+		Walk(n.Cond, v)
+		Walk(n.Then, v)
+		Walk(n.Else, v)
+	case *While:
+		Walk(n.Cond, v)
+		Walk(n.Body, v)
+	case *DoWhile:
+		Walk(n.Body, v)
+		Walk(n.Cond, v)
+	case *For:
+		Walk(n.Init, v)
+		Walk(n.Cond, v)
+		Walk(n.Post, v)
+		Walk(n.Body, v)
+	case *Switch:
+		Walk(n.Tag, v)
+		for _, c := range n.Cases {
+			Walk(c, v)
+		}
+	case *CaseClause:
+		for _, e := range n.Values {
+			Walk(e, v)
+		}
+		for _, s := range n.Body {
+			Walk(s, v)
+		}
+	case *Return:
+		Walk(n.X, v)
+	case *Label:
+		Walk(n.Stmt, v)
+
+	case *Unary:
+		Walk(n.X, v)
+	case *Postfix:
+		Walk(n.X, v)
+	case *Binary:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *Assign:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *Cond:
+		Walk(n.C, v)
+		Walk(n.T, v)
+		Walk(n.F, v)
+	case *Call:
+		Walk(n.Fun, v)
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *KernelLaunch:
+		Walk(n.Fun, v)
+		for _, c := range n.Config {
+			Walk(c, v)
+		}
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *Index:
+		Walk(n.X, v)
+		Walk(n.I, v)
+	case *Member:
+		Walk(n.X, v)
+	case *Cast:
+		Walk(n.To, v)
+		Walk(n.X, v)
+	case *SizeofExpr:
+		Walk(n.Type, v)
+		Walk(n.X, v)
+	case *NewExpr:
+		Walk(n.Type, v)
+		Walk(n.Count, v)
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *DeleteExpr:
+		Walk(n.X, v)
+	case *Comma:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *InitList:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+	case *Paren:
+		Walk(n.X, v)
+	}
+}
+
+// isNilNode guards against typed-nil interface values from optional fields.
+func isNilNode(n Node) bool {
+	switch n := n.(type) {
+	case *Type:
+		return n == nil
+	case *Block:
+		return n == nil
+	case Expr:
+		switch e := n.(type) {
+		case *Ident:
+			return e == nil
+		case *Paren:
+			return e == nil
+		}
+	}
+	return false
+}
+
+// WalkStmts visits every statement under n (inclusive when n is a Stmt).
+func WalkStmts(n Node, f func(Stmt) bool) {
+	Walk(n, func(m Node) bool {
+		if s, ok := m.(Stmt); ok {
+			return f(s)
+		}
+		return true
+	})
+}
+
+// WalkExprs visits every expression under n.
+func WalkExprs(n Node, f func(Expr) bool) {
+	Walk(n, func(m Node) bool {
+		if e, ok := m.(Expr); ok {
+			return f(e)
+		}
+		return true
+	})
+}
+
+// CountReturns counts return statements in a function body.
+func CountReturns(f *FuncDecl) int {
+	n := 0
+	WalkStmts(f.Body, func(s Stmt) bool {
+		if _, ok := s.(*Return); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,401 @@
+package cclex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer scans one source file. Create with New, then call Next until a
+// KindEOF token is returned; errors are accumulated (the lexer recovers by
+// skipping the offending byte) and available via Errors.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+
+	// KeepComments makes the lexer emit KindComment tokens instead of
+	// discarding comment text. Style checkers enable this.
+	KeepComments bool
+	// CUDA enables the <<< and >>> launch tokens. When false, those
+	// sequences lex as shift operators as in plain C++.
+	CUDA bool
+
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (lx *Lexer) Errors() []*Error { return lx.errs }
+
+// All scans the entire input and returns every token (excluding EOF).
+func (lx *Lexer) All() []Token {
+	var out []Token
+	for {
+		t := lx.Next()
+		if t.Kind == KindEOF {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func (lx *Lexer) errorf(line, col int, format string, args ...interface{}) {
+	lx.errs = append(lx.errs, &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.pos+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+n]
+}
+
+func (lx *Lexer) peek() byte { return lx.peekAt(0) }
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipN(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		lx.advance()
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token. After the input is exhausted it returns
+// KindEOF tokens forever.
+func (lx *Lexer) Next() Token {
+	for {
+		lx.skipSpace()
+		if lx.pos >= len(lx.src) {
+			return Token{Kind: KindEOF, Line: lx.line, Col: lx.col, Off: lx.pos}
+		}
+		start := Token{Line: lx.line, Col: lx.col, Off: lx.pos}
+		c := lx.peek()
+
+		// Comments.
+		if c == '/' && lx.peekAt(1) == '/' {
+			tok := lx.lexLineComment(start)
+			if lx.KeepComments {
+				return tok
+			}
+			continue
+		}
+		if c == '/' && lx.peekAt(1) == '*' {
+			tok := lx.lexBlockComment(start)
+			if lx.KeepComments {
+				return tok
+			}
+			continue
+		}
+
+		// Preprocessor directive: '#' at start of logical line.
+		if c == '#' && lx.atLineStart() {
+			return lx.lexPPDirective(start)
+		}
+
+		switch {
+		case isIdentStart(c):
+			return lx.lexIdent(start)
+		case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+			return lx.lexNumber(start)
+		case c == '"':
+			return lx.lexString(start)
+		case c == '\'':
+			return lx.lexChar(start)
+		default:
+			return lx.lexOperator(start)
+		}
+	}
+}
+
+func (lx *Lexer) atLineStart() bool {
+	// Scan backwards over spaces/tabs to the previous newline or file start.
+	for i := lx.pos - 1; i >= 0; i-- {
+		switch lx.src[i] {
+		case ' ', '\t', '\r':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (lx *Lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		switch lx.peek() {
+		case ' ', '\t', '\r', '\n', '\v', '\f':
+			lx.advance()
+		case '\\':
+			// Line continuation outside directives: skip "\\\n".
+			if lx.peekAt(1) == '\n' {
+				lx.skipN(2)
+			} else {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) lexLineComment(start Token) Token {
+	for lx.pos < len(lx.src) && lx.peek() != '\n' {
+		lx.advance()
+	}
+	start.Kind = KindComment
+	start.Text = lx.src[start.Off:lx.pos]
+	return start
+}
+
+func (lx *Lexer) lexBlockComment(start Token) Token {
+	lx.skipN(2)
+	for lx.pos < len(lx.src) {
+		if lx.peek() == '*' && lx.peekAt(1) == '/' {
+			lx.skipN(2)
+			start.Kind = KindComment
+			start.Text = lx.src[start.Off:lx.pos]
+			return start
+		}
+		lx.advance()
+	}
+	lx.errorf(start.Line, start.Col, "unterminated block comment")
+	start.Kind = KindComment
+	start.Text = lx.src[start.Off:lx.pos]
+	return start
+}
+
+func (lx *Lexer) lexPPDirective(start Token) Token {
+	// Consume to end of line, honoring backslash continuations and
+	// swallowing comments so a trailing /* ... */ cannot leak.
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if c == '\\' && lx.peekAt(1) == '\n' {
+			lx.skipN(2)
+			sb.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '/' && lx.peekAt(1) == '/' {
+			lx.lexLineComment(Token{})
+			break
+		}
+		if c == '/' && lx.peekAt(1) == '*' {
+			lx.lexBlockComment(Token{})
+			sb.WriteByte(' ')
+			continue
+		}
+		sb.WriteByte(c)
+		lx.advance()
+	}
+	start.Kind = KindPPDirective
+	start.Text = strings.TrimRight(sb.String(), " \t")
+	return start
+}
+
+func (lx *Lexer) lexIdent(start Token) Token {
+	for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	start.Text = lx.src[start.Off:lx.pos]
+	if IsKeyword(start.Text) {
+		start.Kind = KindKeyword
+	} else {
+		start.Kind = KindIdent
+	}
+	return start
+}
+
+func (lx *Lexer) lexNumber(start Token) Token {
+	isFloat := false
+	if lx.peek() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.skipN(2)
+		for lx.pos < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+	} else {
+		for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.peek() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if c := lx.peek(); c == 'e' || c == 'E' {
+			next := lx.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(lx.peekAt(2))) {
+				isFloat = true
+				lx.advance()
+				if c := lx.peek(); c == '+' || c == '-' {
+					lx.advance()
+				}
+				for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: u, l, f combinations.
+	for {
+		c := lx.peek()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			lx.advance()
+			continue
+		}
+		if c == 'f' || c == 'F' {
+			isFloat = true
+			lx.advance()
+			continue
+		}
+		break
+	}
+	start.Text = lx.src[start.Off:lx.pos]
+	if isFloat {
+		start.Kind = KindFloatLit
+	} else {
+		start.Kind = KindIntLit
+	}
+	return start
+}
+
+func (lx *Lexer) lexString(start Token) Token {
+	lx.advance() // opening quote
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if c == '\\' && lx.pos+1 < len(lx.src) {
+			lx.skipN(2)
+			continue
+		}
+		if c == '"' {
+			lx.advance()
+			start.Kind = KindStringLit
+			start.Text = lx.src[start.Off:lx.pos]
+			return start
+		}
+		if c == '\n' {
+			break
+		}
+		lx.advance()
+	}
+	lx.errorf(start.Line, start.Col, "unterminated string literal")
+	start.Kind = KindStringLit
+	start.Text = lx.src[start.Off:lx.pos]
+	return start
+}
+
+func (lx *Lexer) lexChar(start Token) Token {
+	lx.advance() // opening quote
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if c == '\\' && lx.pos+1 < len(lx.src) {
+			lx.skipN(2)
+			continue
+		}
+		if c == '\'' {
+			lx.advance()
+			start.Kind = KindCharLit
+			start.Text = lx.src[start.Off:lx.pos]
+			return start
+		}
+		if c == '\n' {
+			break
+		}
+		lx.advance()
+	}
+	lx.errorf(start.Line, start.Col, "unterminated character literal")
+	start.Kind = KindCharLit
+	start.Text = lx.src[start.Off:lx.pos]
+	return start
+}
+
+// opTable maps operator spellings to kinds, tried longest-first.
+var opTable = []struct {
+	text string
+	kind Kind
+}{
+	{"<<=", KindShlEq}, {">>=", KindShrEq}, {"...", KindEllipsis},
+	{"==", KindEq}, {"!=", KindNotEq}, {"<=", KindLessEq}, {">=", KindGreaterEq},
+	{"&&", KindAndAnd}, {"||", KindOrOr}, {"++", KindPlusPlus},
+	{"--", KindMinusMinus}, {"+=", KindPlusEq}, {"-=", KindMinusEq},
+	{"*=", KindStarEq}, {"/=", KindSlashEq}, {"%=", KindPercentEq},
+	{"&=", KindAmpEq}, {"|=", KindPipeEq}, {"^=", KindCaretEq},
+	{"->", KindArrow}, {"::", KindColonColon}, {"<<", KindShl}, {">>", KindShr},
+	{"(", KindLParen}, {")", KindRParen}, {"{", KindLBrace}, {"}", KindRBrace},
+	{"[", KindLBracket}, {"]", KindRBracket}, {";", KindSemi}, {",", KindComma},
+	{":", KindColon}, {"?", KindQuestion}, {".", KindDot}, {"=", KindAssign},
+	{"+", KindPlus}, {"-", KindMinus}, {"*", KindStar}, {"/", KindSlash},
+	{"%", KindPercent}, {"<", KindLess}, {">", KindGreater}, {"!", KindNot},
+	{"&", KindAmp}, {"|", KindPipe}, {"^", KindCaret}, {"~", KindTilde},
+}
+
+func (lx *Lexer) lexOperator(start Token) Token {
+	rest := lx.src[lx.pos:]
+	// CUDA launch brackets take precedence over shifts when enabled.
+	if lx.CUDA {
+		if strings.HasPrefix(rest, "<<<") {
+			lx.skipN(3)
+			start.Kind, start.Text = KindKernelLaunch, "<<<"
+			return start
+		}
+		if strings.HasPrefix(rest, ">>>") {
+			lx.skipN(3)
+			start.Kind, start.Text = KindKernelLaunchEnd, ">>>"
+			return start
+		}
+	}
+	for _, op := range opTable {
+		if strings.HasPrefix(rest, op.text) {
+			lx.skipN(len(op.text))
+			start.Kind, start.Text = op.kind, op.text
+			return start
+		}
+	}
+	lx.errorf(start.Line, start.Col, "unexpected character %q", lx.peek())
+	lx.advance()
+	return lx.Next()
+}

@@ -1,0 +1,266 @@
+package cclex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(ts []Token) []Kind {
+	out := make([]Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexSimpleDeclaration(t *testing.T) {
+	lx := New("int x = 42;")
+	ts := lx.All()
+	want := []Kind{KindKeyword, KindIdent, KindAssign, KindIntLit, KindSemi}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), ts, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if ts[3].Text != "42" {
+		t.Errorf("literal text = %q, want 42", ts[3].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"==": KindEq, "!=": KindNotEq, "<=": KindLessEq, ">=": KindGreaterEq,
+		"&&": KindAndAnd, "||": KindOrOr, "<<": KindShl, ">>": KindShr,
+		"->": KindArrow, "::": KindColonColon, "++": KindPlusPlus,
+		"--": KindMinusMinus, "+=": KindPlusEq, "<<=": KindShlEq,
+		">>=": KindShrEq, "...": KindEllipsis,
+	}
+	for src, want := range cases {
+		ts := New(src).All()
+		if len(ts) != 1 || ts[0].Kind != want {
+			t.Errorf("lex(%q) = %v, want single %v", src, ts, want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"0", KindIntLit}, {"42", KindIntLit}, {"0x1F", KindIntLit},
+		{"42u", KindIntLit}, {"42UL", KindIntLit}, {"1.5", KindFloatLit},
+		{"1.5f", KindFloatLit}, {".5", KindFloatLit}, {"1e10", KindFloatLit},
+		{"2.5e-3", KindFloatLit}, {"3f", KindFloatLit},
+	}
+	for _, c := range cases {
+		ts := New(c.src).All()
+		if len(ts) != 1 {
+			t.Errorf("lex(%q): %d tokens %v", c.src, len(ts), ts)
+			continue
+		}
+		if ts[0].Kind != c.kind {
+			t.Errorf("lex(%q) kind = %v, want %v", c.src, ts[0].Kind, c.kind)
+		}
+		if ts[0].Text != c.src {
+			t.Errorf("lex(%q) text = %q", c.src, ts[0].Text)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	ts := New(`"hello \"world\"\n"`).All()
+	if len(ts) != 1 || ts[0].Kind != KindStringLit {
+		t.Fatalf("got %v", ts)
+	}
+	if !strings.Contains(ts[0].Text, `\"world\"`) {
+		t.Errorf("escape lost: %q", ts[0].Text)
+	}
+}
+
+func TestLexCharLiteral(t *testing.T) {
+	for _, src := range []string{"'a'", `'\n'`, `'\''`, `'\0'`} {
+		ts := New(src).All()
+		if len(ts) != 1 || ts[0].Kind != KindCharLit {
+			t.Errorf("lex(%q) = %v", src, ts)
+		}
+	}
+}
+
+func TestLexCommentsDiscardedByDefault(t *testing.T) {
+	ts := New("int x; // trailing\n/* block */ int y;").All()
+	for _, tok := range ts {
+		if tok.Kind == KindComment {
+			t.Errorf("comment token leaked: %v", tok)
+		}
+	}
+	if len(ts) != 6 {
+		t.Errorf("got %d tokens, want 6: %v", len(ts), ts)
+	}
+}
+
+func TestLexKeepComments(t *testing.T) {
+	lx := New("// a\nint x; /* b */")
+	lx.KeepComments = true
+	ts := lx.All()
+	n := 0
+	for _, tok := range ts {
+		if tok.Kind == KindComment {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("got %d comments, want 2", n)
+	}
+}
+
+func TestLexPPDirective(t *testing.T) {
+	lx := New("#include <vector>\n#define MAX \\\n  100\nint x;")
+	ts := lx.All()
+	if ts[0].Kind != KindPPDirective || ts[0].Text != "#include <vector>" {
+		t.Errorf("directive 0 = %v", ts[0])
+	}
+	if ts[1].Kind != KindPPDirective || !strings.Contains(ts[1].Text, "100") {
+		t.Errorf("continued directive not joined: %v", ts[1])
+	}
+	if ts[2].Kind != KindKeyword || ts[2].Text != "int" {
+		t.Errorf("after directives: %v", ts[2])
+	}
+}
+
+func TestLexHashNotDirectiveMidLine(t *testing.T) {
+	// '#' appearing mid-line (e.g. inside a macro use we don't expand) should
+	// not swallow the line — but '#' only starts a directive at line start,
+	// and mid-line '#' is a lex error that is skipped.
+	lx := New("int x; # not a directive start")
+	_ = lx.All()
+	// We only require that "int x ;" survived.
+	lx2 := New("int x; # y")
+	ts := lx2.All()
+	if ts[0].Text != "int" || ts[1].Text != "x" {
+		t.Errorf("prefix tokens lost: %v", ts)
+	}
+}
+
+func TestLexCUDALaunch(t *testing.T) {
+	lx := New("kernel<<<grid, block>>>(a, b);")
+	lx.CUDA = true
+	ts := lx.All()
+	found := 0
+	for _, tok := range ts {
+		if tok.Kind == KindKernelLaunch || tok.Kind == KindKernelLaunchEnd {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("launch brackets = %d, want 2 in %v", found, ts)
+	}
+	// Without CUDA mode the same text must lex as shifts.
+	lx2 := New("a <<< b")
+	ts2 := lx2.All()
+	if ts2[1].Kind != KindShl {
+		t.Errorf("non-CUDA <<< should start with <<: %v", ts2)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	ts := New("int\n  x;").All()
+	if ts[0].Line != 1 || ts[0].Col != 1 {
+		t.Errorf("int at %d:%d", ts[0].Line, ts[0].Col)
+	}
+	if ts[1].Line != 2 || ts[1].Col != 3 {
+		t.Errorf("x at %d:%d, want 2:3", ts[1].Line, ts[1].Col)
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	lx := New("\"abc\nint x;")
+	ts := lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Error("expected unterminated string error")
+	}
+	// Lexing continues on the next line.
+	var sawInt bool
+	for _, tok := range ts {
+		if tok.Is("int") {
+			sawInt = true
+		}
+	}
+	if !sawInt {
+		t.Error("lexer did not recover after bad string")
+	}
+}
+
+func TestLexErrorRecovery(t *testing.T) {
+	lx := New("int @ x;")
+	ts := lx.All()
+	if len(lx.Errors()) != 1 {
+		t.Errorf("errors = %v", lx.Errors())
+	}
+	if len(ts) != 3 {
+		t.Errorf("tokens = %v", ts)
+	}
+}
+
+// Property: lexing never panics and every token's text is a substring of
+// the input at its offset (except synthesized directive text).
+func TestLexRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		lx := New(s)
+		for {
+			tok := lx.Next()
+			if tok.Kind == KindEOF {
+				return true
+			}
+			if tok.Off < 0 || tok.Off > len(s) {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenating token texts of an identifier/number-only input
+// with separators reproduces the input tokens in order.
+func TestLexOffsetsMonotonicProperty(t *testing.T) {
+	f := func(words []uint8) bool {
+		var sb strings.Builder
+		for _, w := range words {
+			sb.WriteString("x")
+			sb.WriteString(strings.Repeat("a", int(w%5)))
+			sb.WriteString(" ")
+		}
+		ts := New(sb.String()).All()
+		last := -1
+		for _, tok := range ts {
+			if tok.Off <= last {
+				return false
+			}
+			last = tok.Off
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, kw := range []string{"int", "if", "while", "__global__", "class", "nullptr"} {
+		if !IsKeyword(kw) {
+			t.Errorf("IsKeyword(%q) = false", kw)
+		}
+	}
+	for _, id := range []string{"x", "main", "foo_bar", "Int"} {
+		if IsKeyword(id) {
+			t.Errorf("IsKeyword(%q) = true", id)
+		}
+	}
+}

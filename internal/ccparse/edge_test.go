@@ -1,0 +1,311 @@
+package ccparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ccast"
+	"repro/internal/srcfile"
+)
+
+// parseLoose parses without failing the test on errors (failure-injection
+// helpers use this).
+func parseLoose(path, src string) (*ccast.TranslationUnit, []*Error) {
+	f := &srcfile.File{Path: path, Lang: srcfile.LanguageForPath(path), Src: src}
+	return Parse(f, Options{})
+}
+
+func TestParseEmptyFile(t *testing.T) {
+	tu, errs := parseLoose("a.c", "")
+	if len(errs) != 0 || len(tu.Decls) != 0 {
+		t.Errorf("empty file: %d decls, %v", len(tu.Decls), errs)
+	}
+}
+
+func TestParseOnlyComments(t *testing.T) {
+	tu, errs := parseLoose("a.c", "// just\n/* comments */\n")
+	if len(errs) != 0 || len(tu.Decls) != 0 {
+		t.Errorf("comments-only: %d decls, %v", len(tu.Decls), errs)
+	}
+}
+
+func TestParseOnlyDirectives(t *testing.T) {
+	tu, errs := parseLoose("a.h", "#pragma once\n#include <x>\n#define Y 1\n")
+	if len(errs) != 0 || len(tu.Decls) != 3 {
+		t.Errorf("directives: %d decls, %v", len(tu.Decls), errs)
+	}
+}
+
+func TestParseDeeplyNestedBlocks(t *testing.T) {
+	depth := 60
+	src := "void f() {\n" + strings.Repeat("if (1) {\n", depth) +
+		"int x = 0;\n" + strings.Repeat("}\n", depth) + "}\n"
+	tu, errs := parseLoose("a.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("nested blocks: %v", errs)
+	}
+	if len(tu.Funcs()) != 1 {
+		t.Fatal("function lost")
+	}
+}
+
+func TestParseUnbalancedBraceRecovers(t *testing.T) {
+	tu, errs := parseLoose("a.c", `
+int broken(int a) {
+    if (a > 0) {
+        return a;
+}
+int next_fn(int b) { return b; }
+`)
+	if len(errs) == 0 {
+		t.Log("parser tolerated unbalanced brace silently (acceptable)")
+	}
+	// At least one function must survive.
+	if len(tu.Funcs()) == 0 {
+		t.Error("no functions recovered")
+	}
+}
+
+func TestParseKeywordSoup(t *testing.T) {
+	// Degenerate input must not hang or panic.
+	tu, _ := parseLoose("a.c", "if while for return int ; ; ; }")
+	_ = tu
+}
+
+func TestParseMissingSemicolons(t *testing.T) {
+	tu, errs := parseLoose("a.c", `
+int f() {
+    int x = 1
+    int y = 2;
+    return x + y;
+}
+int g() { return 3; }
+`)
+	if len(errs) == 0 {
+		t.Error("expected missing-semicolon diagnostics")
+	}
+	// g must still parse.
+	found := false
+	for _, fn := range tu.Funcs() {
+		if fn.Name == "g" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("g() lost after recovery")
+	}
+}
+
+func TestParseConditionalOperatorChain(t *testing.T) {
+	tu, errs := parseLoose("a.c", "int f(int a) { return a > 2 ? 2 : a > 1 ? 1 : 0; }")
+	if len(errs) != 0 {
+		t.Fatalf("ternary chain: %v", errs)
+	}
+	ret := tu.Funcs()[0].Body.Stmts[0].(*ccast.Return)
+	outer, ok := ret.X.(*ccast.Cond)
+	if !ok {
+		t.Fatalf("expr = %T", ret.X)
+	}
+	if _, ok := outer.F.(*ccast.Cond); !ok {
+		t.Errorf("right-nested ternary lost: %T", outer.F)
+	}
+}
+
+func TestParseCommaOperatorInFor(t *testing.T) {
+	tu, errs := parseLoose("a.c", `
+void f(int n) {
+    int i;
+    int j;
+    for (i = 0, j = n; i < j; i++, j--) { }
+}`)
+	if len(errs) != 0 {
+		t.Fatalf("comma-for: %v", errs)
+	}
+	var commas int
+	ccast.WalkExprs(tu.Funcs()[0], func(e ccast.Expr) bool {
+		if _, ok := e.(*ccast.Comma); ok {
+			commas++
+		}
+		return true
+	})
+	if commas != 2 {
+		t.Errorf("comma exprs = %d, want 2", commas)
+	}
+}
+
+func TestParseNestedStructAccessChains(t *testing.T) {
+	tu, errs := parseLoose("a.cc", `
+void f() {
+    obj.inner.deep.field = obj.other->ptr->value;
+}`)
+	if len(errs) != 0 {
+		t.Fatalf("chains: %v", errs)
+	}
+	var members int
+	ccast.WalkExprs(tu.Funcs()[0], func(e ccast.Expr) bool {
+		if _, ok := e.(*ccast.Member); ok {
+			members++
+		}
+		return true
+	})
+	if members != 6 {
+		t.Errorf("member accesses = %d, want 6", members)
+	}
+}
+
+func TestParseHexOctalLiterals(t *testing.T) {
+	tu, errs := parseLoose("a.c", "int a = 0xFF; int b = 010; int c = 0;")
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+	vals := []int64{255, 8, 0}
+	for i, vd := range tu.GlobalVars() {
+		lit := vd.Names[0].Init.(*ccast.IntLit)
+		if lit.Value != vals[i] {
+			t.Errorf("literal %d = %d, want %d", i, lit.Value, vals[i])
+		}
+	}
+}
+
+func TestParseNegativeArrayAndWeirdDims(t *testing.T) {
+	// Expressions in array dims must parse (constant folding not needed).
+	_, errs := parseLoose("a.c", "int buf[4 * 16 + 2];")
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+}
+
+func TestParseAdjacentStringLiterals(t *testing.T) {
+	tu, errs := parseLoose("a.c", `const char* s = "a" "b" "c";`)
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+	lit := tu.GlobalVars()[0].Names[0].Init.(*ccast.StringLit)
+	if !strings.Contains(lit.Text, `"a"`) || !strings.Contains(lit.Text, `"c"`) {
+		t.Errorf("concatenated literal = %q", lit.Text)
+	}
+}
+
+func TestParseDoubleNestedTemplates(t *testing.T) {
+	tu, errs := parseLoose("a.cc", `
+void f() {
+    std::vector<std::vector<float>> grid;
+    grid.clear();
+}`)
+	if len(errs) != 0 {
+		t.Fatalf("nested templates: %v", errs)
+	}
+	if len(tu.Funcs()[0].Body.Stmts) != 2 {
+		t.Errorf("stmts = %d", len(tu.Funcs()[0].Body.Stmts))
+	}
+}
+
+func TestParseStaticFunctions(t *testing.T) {
+	tu, errs := parseLoose("a.c", "static inline int helper(int x) { return x; }")
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+	fn := tu.Funcs()[0]
+	if !fn.Quals.Has(ccast.QualStatic) || !fn.Quals.Has(ccast.QualInline) {
+		t.Error("static/inline qualifiers lost")
+	}
+}
+
+func TestParseVariadicFunction(t *testing.T) {
+	tu, errs := parseLoose("a.c", "int log_msg(const char* fmt, ...) { return 0; }")
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+	if !tu.Funcs()[0].Variadic {
+		t.Error("variadic flag lost")
+	}
+}
+
+func TestParseConstructorInitializerList(t *testing.T) {
+	tu, errs := parseLoose("a.cc", `
+class Tracker {
+ public:
+  Tracker() : count_(0), scale_(1.0f) {
+    count_++;
+  }
+ private:
+  int count_;
+  float scale_;
+};`)
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+	if len(tu.Funcs()) != 1 {
+		t.Errorf("ctor not parsed as definition")
+	}
+}
+
+func TestParsePureVirtualAndDefault(t *testing.T) {
+	_, errs := parseLoose("a.h", `
+class Base {
+ public:
+  virtual int Run() = 0;
+  Base() = default;
+  virtual ~Base();
+};`)
+	if len(errs) != 0 {
+		t.Fatalf("%v", errs)
+	}
+}
+
+// Failure injection: random mutations of a valid program must never hang
+// or panic the parser, and must always return a unit.
+func TestParserRobustnessProperty(t *testing.T) {
+	base := `
+int g_state = 0;
+float compute(const float* xs, int n, float scale) {
+    float acc = 0.0f;
+    if (xs == 0) { return -1.0f; }
+    for (int i = 0; i < n; i++) {
+        acc += xs[i] * scale;
+    }
+    switch (n) {
+    case 0: acc = 0.0f; break;
+    default: acc *= 2.0f;
+    }
+    return acc;
+}`
+	f := func(pos uint16, repl byte) bool {
+		src := []byte(base)
+		p := int(pos) % len(src)
+		src[p] = repl
+		tu, _ := parseLoose("m.c", string(src))
+		return tu != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: truncating a valid program at any byte must not hang
+// or panic.
+func TestParserTruncationProperty(t *testing.T) {
+	base := `
+class Detector {
+ public:
+  bool Detect(const float* input, int size) {
+    if (input == nullptr) { return false; }
+    float sum = 0.0f;
+    for (int i = 0; i < size; i++) { sum += input[i]; }
+    return sum > 0.5f;
+  }
+};
+__global__ void kern(float* x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { x[i] = 0.0f; }
+}`
+	f := func(cut uint16) bool {
+		n := int(cut) % (len(base) + 1)
+		tu, _ := parseLoose("m.cu", base[:n])
+		return tu != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

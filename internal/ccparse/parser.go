@@ -1,0 +1,1784 @@
+// Package ccparse parses the C/C++/CUDA dialect used by the assessment
+// subjects into ccast trees.
+//
+// The parser is recursive descent with one-token lookahead plus a small
+// amount of backtracking for the declaration-vs-expression and
+// cast-vs-parenthesis ambiguities. It is error tolerant: a declaration
+// that cannot be parsed becomes a BadDecl and parsing resumes at the next
+// synchronization point, so one exotic construct does not lose a file.
+package ccparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ccast"
+	"repro/internal/cclex"
+	"repro/internal/srcfile"
+)
+
+// Error is a parse diagnostic.
+type Error struct {
+	File      string
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// Options configures parsing.
+type Options struct {
+	// KeepComments records comments on the translation unit for style
+	// analysis.
+	KeepComments bool
+}
+
+// Parse parses one file. The returned unit is non-nil even when errors are
+// reported; unparseable regions appear as BadDecl nodes.
+func Parse(f *srcfile.File, opts Options) (*ccast.TranslationUnit, []*Error) {
+	lx := cclex.New(f.Src)
+	lx.CUDA = f.Lang == srcfile.LangCUDA
+	lx.KeepComments = true // always collect; surfaced only when requested
+
+	p := &parser{file: f, lexer: lx, keepComments: opts.KeepComments}
+	p.next() // prime tok
+	tu := &ccast.TranslationUnit{File: f}
+	tu.SetSpan(srcfile.Span{Start: srcfile.Pos{Line: 1, Col: 1}})
+
+	for p.tok.Kind != cclex.KindEOF {
+		d := p.parseTopDecl()
+		if d != nil {
+			tu.Decls = append(tu.Decls, d)
+		}
+	}
+	tu.Comments = p.comments
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{File: f.Path, Line: le.Line, Col: le.Col, Msg: le.Msg})
+	}
+	return tu, p.errs
+}
+
+type parser struct {
+	file         *srcfile.File
+	lexer        *cclex.Lexer
+	tok          cclex.Token
+	peeked       []cclex.Token
+	errs         []*Error
+	comments     []ccast.CommentInfo
+	keepComments bool
+
+	// typedefNames accumulates names introduced by typedef/using/class so
+	// the decl-vs-expr heuristic can recognize them.
+	typedefNames map[string]bool
+
+	namespace []string // current namespace path
+	class     string   // current class name when parsing methods
+	panicking bool     // recovering from an error; suppress cascades
+}
+
+// next advances to the following significant token, routing comments aside.
+func (p *parser) next() {
+	for {
+		var t cclex.Token
+		if len(p.peeked) > 0 {
+			t = p.peeked[0]
+			p.peeked = p.peeked[1:]
+		} else {
+			t = p.lexer.Next()
+		}
+		if t.Kind == cclex.KindComment {
+			p.comments = append(p.comments, ccast.CommentInfo{Line: t.Line, Col: t.Col, Text: t.Text})
+			continue
+		}
+		p.tok = t
+		return
+	}
+}
+
+// peek returns the n-th upcoming significant token (0 = the one after tok).
+func (p *parser) peek(n int) cclex.Token {
+	for len(p.peeked) <= n {
+		t := p.lexer.Next()
+		if t.Kind == cclex.KindComment {
+			p.comments = append(p.comments, ccast.CommentInfo{Line: t.Line, Col: t.Col, Text: t.Text})
+			continue
+		}
+		p.peeked = append(p.peeked, t)
+		if t.Kind == cclex.KindEOF {
+			break
+		}
+	}
+	if n < len(p.peeked) {
+		return p.peeked[n]
+	}
+	return p.peeked[len(p.peeked)-1]
+}
+
+func (p *parser) pos() srcfile.Pos {
+	return srcfile.Pos{Line: p.tok.Line, Col: p.tok.Col, Offset: p.tok.Off}
+}
+
+func (p *parser) endPos(t cclex.Token) srcfile.Pos {
+	return srcfile.Pos{Line: t.Line, Col: t.Col + len(t.Text), Offset: t.Off + len(t.Text)}
+}
+
+func (p *parser) errorf(format string, args ...interface{}) {
+	if p.panicking {
+		return
+	}
+	p.errs = append(p.errs, &Error{
+		File: p.file.Path, Line: p.tok.Line, Col: p.tok.Col,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *parser) expect(k cclex.Kind) cclex.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf("expected %s, found %s", k, t)
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k cclex.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.tok.Is(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) span(start srcfile.Pos) srcfile.Span {
+	return srcfile.Span{Start: start, End: srcfile.Pos{Line: p.tok.Line, Col: p.tok.Col, Offset: p.tok.Off}}
+}
+
+func (p *parser) setSpan(n ccast.Spanned, start srcfile.Pos) {
+	n.SetSpan(p.span(start))
+}
+
+// syncTopLevel skips tokens until a likely declaration boundary.
+func (p *parser) syncTopLevel() {
+	depth := 0
+	for p.tok.Kind != cclex.KindEOF {
+		switch p.tok.Kind {
+		case cclex.KindLBrace:
+			depth++
+		case cclex.KindRBrace:
+			if depth == 0 {
+				p.next()
+				return
+			}
+			depth--
+		case cclex.KindSemi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Top-level declarations
+
+var builtinTypeNames = map[string]bool{
+	"size_t": true, "ssize_t": true, "ptrdiff_t": true,
+	"int8_t": true, "int16_t": true, "int32_t": true, "int64_t": true,
+	"uint8_t": true, "uint16_t": true, "uint32_t": true, "uint64_t": true,
+	"uintptr_t": true, "intptr_t": true, "wchar_t": true,
+	"float2": true, "float3": true, "float4": true, "dim3": true,
+	"cudaError_t": true, "cudaStream_t": true, "FILE": true,
+}
+
+func (p *parser) isTypeName(name string) bool {
+	if builtinTypeNames[name] {
+		return true
+	}
+	if p.typedefNames != nil && p.typedefNames[name] {
+		return true
+	}
+	return false
+}
+
+func (p *parser) recordTypeName(name string) {
+	if name == "" {
+		return
+	}
+	if p.typedefNames == nil {
+		p.typedefNames = make(map[string]bool)
+	}
+	p.typedefNames[name] = true
+}
+
+func (p *parser) parseTopDecl() ccast.Decl {
+	p.panicking = false
+	start := p.pos()
+	switch {
+	case p.tok.Kind == cclex.KindPPDirective:
+		d := &ccast.PPDirective{Text: p.tok.Text}
+		p.setSpan(d, start)
+		p.next()
+		return d
+	case p.tok.Kind == cclex.KindSemi:
+		p.next()
+		return nil
+	case p.tok.Is("namespace"):
+		return p.parseNamespace()
+	case p.tok.Is("using"):
+		return p.parseUsing()
+	case p.tok.Is("template"):
+		p.skipTemplateHeader()
+		return p.parseTopDecl()
+	case p.tok.Is("typedef"):
+		return p.parseTypedef()
+	case p.tok.Is("extern") && p.peek(0).Kind == cclex.KindStringLit:
+		return p.parseExternC()
+	case p.tok.Is("struct") || p.tok.Is("union") || p.tok.Is("class"):
+		// Definition if a '{' follows the tag name; otherwise a declaration
+		// using an elaborated type.
+		if p.peek(0).Kind == cclex.KindIdent &&
+			(p.peek(1).Kind == cclex.KindLBrace || p.peek(1).Kind == cclex.KindColon) {
+			return p.parseRecord()
+		}
+		return p.parseVarOrFunc()
+	case p.tok.Is("enum"):
+		if p.peek(0).Kind == cclex.KindIdent && p.peek(1).Kind == cclex.KindLBrace ||
+			p.peek(0).Kind == cclex.KindLBrace {
+			return p.parseEnum()
+		}
+		return p.parseVarOrFunc()
+	default:
+		return p.parseVarOrFunc()
+	}
+}
+
+func (p *parser) parseNamespace() ccast.Decl {
+	start := p.pos()
+	p.next() // namespace
+	name := ""
+	if p.tok.Kind == cclex.KindIdent {
+		name = p.tok.Text
+		p.next()
+	}
+	ns := &ccast.NamespaceDecl{Name: name}
+	p.expect(cclex.KindLBrace)
+	p.namespace = append(p.namespace, name)
+	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+		d := p.parseTopDecl()
+		if d != nil {
+			ns.Decls = append(ns.Decls, d)
+		}
+	}
+	p.namespace = p.namespace[:len(p.namespace)-1]
+	p.expect(cclex.KindRBrace)
+	p.accept(cclex.KindSemi)
+	p.setSpan(ns, start)
+	return ns
+}
+
+func (p *parser) parseUsing() ccast.Decl {
+	start := p.pos()
+	p.next() // using
+	u := &ccast.UsingDecl{}
+	if p.acceptKeyword("namespace") {
+		u.IsNamespace = true
+	}
+	// "using Alias = Type;" is a typedef.
+	if p.tok.Kind == cclex.KindIdent && p.peek(0).Kind == cclex.KindAssign {
+		name := p.tok.Text
+		p.next()
+		p.next() // =
+		ty := p.parseType()
+		p.expect(cclex.KindSemi)
+		p.recordTypeName(name)
+		td := &ccast.TypedefDecl{Name: name, Type: ty}
+		p.setSpan(td, start)
+		return td
+	}
+	var sb strings.Builder
+	for p.tok.Kind == cclex.KindIdent || p.tok.Kind == cclex.KindColonColon {
+		sb.WriteString(p.tok.Text)
+		p.next()
+	}
+	u.Target = sb.String()
+	p.expect(cclex.KindSemi)
+	p.setSpan(u, start)
+	return u
+}
+
+func (p *parser) skipTemplateHeader() {
+	p.next() // template
+	if p.tok.Kind != cclex.KindLess {
+		return
+	}
+	depth := 0
+	for p.tok.Kind != cclex.KindEOF {
+		switch p.tok.Kind {
+		case cclex.KindLess:
+			depth++
+		case cclex.KindGreater:
+			depth--
+			if depth == 0 {
+				p.next()
+				return
+			}
+		case cclex.KindShr:
+			depth -= 2
+			if depth <= 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseTypedef() ccast.Decl {
+	start := p.pos()
+	p.next() // typedef
+	ty := p.parseType()
+	// "typedef struct Tag { ... } Name;": consume the record body. The
+	// member structure is not needed for the typedef itself (the record is
+	// also visible via its tag when declared separately).
+	if p.tok.Kind == cclex.KindLBrace {
+		depth := 0
+		for p.tok.Kind != cclex.KindEOF {
+			switch p.tok.Kind {
+			case cclex.KindLBrace:
+				depth++
+			case cclex.KindRBrace:
+				depth--
+			}
+			p.next()
+			if depth == 0 {
+				break
+			}
+		}
+	}
+	name := ""
+	if p.tok.Kind == cclex.KindIdent {
+		name = p.tok.Text
+		p.next()
+	}
+	// Array suffix on typedef name.
+	for p.tok.Kind == cclex.KindLBracket {
+		p.next()
+		if p.tok.Kind != cclex.KindRBracket {
+			e := p.parseExpr()
+			ty.ArrayDims = append(ty.ArrayDims, e)
+		} else {
+			ty.ArrayDims = append(ty.ArrayDims, nil)
+		}
+		p.expect(cclex.KindRBracket)
+	}
+	p.expect(cclex.KindSemi)
+	p.recordTypeName(name)
+	td := &ccast.TypedefDecl{Name: name, Type: ty}
+	p.setSpan(td, start)
+	return td
+}
+
+func (p *parser) parseExternC() ccast.Decl {
+	start := p.pos()
+	p.next() // extern
+	p.next() // "C"
+	if p.tok.Kind == cclex.KindLBrace {
+		p.next()
+		ns := &ccast.NamespaceDecl{Name: `extern "C"`}
+		for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+			d := p.parseTopDecl()
+			if d != nil {
+				ns.Decls = append(ns.Decls, d)
+			}
+		}
+		p.expect(cclex.KindRBrace)
+		p.setSpan(ns, start)
+		return ns
+	}
+	return p.parseVarOrFunc()
+}
+
+func (p *parser) parseEnum() ccast.Decl {
+	start := p.pos()
+	p.next() // enum
+	p.acceptKeyword("class")
+	e := &ccast.EnumDecl{}
+	if p.tok.Kind == cclex.KindIdent {
+		e.Name = p.tok.Text
+		p.recordTypeName(e.Name)
+		p.next()
+	}
+	p.expect(cclex.KindLBrace)
+	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+		if p.tok.Kind == cclex.KindIdent {
+			e.Members = append(e.Members, p.tok.Text)
+			p.next()
+			if p.accept(cclex.KindAssign) {
+				p.parseAssignExpr()
+			}
+		}
+		if !p.accept(cclex.KindComma) {
+			break
+		}
+	}
+	p.expect(cclex.KindRBrace)
+	p.expect(cclex.KindSemi)
+	p.setSpan(e, start)
+	return e
+}
+
+func (p *parser) parseRecord() ccast.Decl {
+	start := p.pos()
+	kind := ccast.RecordStruct
+	switch p.tok.Text {
+	case "union":
+		kind = ccast.RecordUnion
+	case "class":
+		kind = ccast.RecordClass
+	}
+	p.next()
+	r := &ccast.RecordDecl{Kind: kind}
+	if p.tok.Kind == cclex.KindIdent {
+		r.Name = p.tok.Text
+		p.recordTypeName(r.Name)
+		p.next()
+	}
+	// Base-class list: ": public Base, ..." — skipped structurally.
+	if p.accept(cclex.KindColon) {
+		for p.tok.Kind != cclex.KindLBrace && p.tok.Kind != cclex.KindEOF {
+			p.next()
+		}
+	}
+	p.expect(cclex.KindLBrace)
+	prevClass := p.class
+	p.class = r.Name
+	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+		// Access specifiers.
+		if (p.tok.Is("public") || p.tok.Is("private") || p.tok.Is("protected")) &&
+			p.peek(0).Kind == cclex.KindColon {
+			p.next()
+			p.next()
+			continue
+		}
+		if p.tok.Kind == cclex.KindPPDirective {
+			p.next()
+			continue
+		}
+		if p.tok.Is("friend") {
+			// Skip friend declarations to the semicolon.
+			for p.tok.Kind != cclex.KindSemi && p.tok.Kind != cclex.KindEOF {
+				p.next()
+			}
+			p.next()
+			continue
+		}
+		if p.tok.Is("typedef") {
+			p.parseTypedef()
+			continue
+		}
+		if p.tok.Is("template") {
+			p.skipTemplateHeader()
+			continue
+		}
+		d := p.parseMemberDecl(r.Name)
+		switch d := d.(type) {
+		case *ccast.FuncDecl:
+			r.Methods = append(r.Methods, d)
+		case *ccast.VarDecl:
+			for _, dd := range d.Names {
+				f := &ccast.Field{Name: dd.Name, Type: dd.Type}
+				f.SetSpan(dd.Span())
+				r.Fields = append(r.Fields, f)
+			}
+		case nil:
+			// error already recorded; avoid livelock
+			if p.tok.Kind != cclex.KindRBrace {
+				p.next()
+			}
+		}
+	}
+	p.class = prevClass
+	p.expect(cclex.KindRBrace)
+	p.expect(cclex.KindSemi)
+	p.setSpan(r, start)
+	return r
+}
+
+// parseMemberDecl parses one class member (method or field group).
+func (p *parser) parseMemberDecl(className string) ccast.Decl {
+	start := p.pos()
+	quals := p.parseQualifiers()
+
+	// Constructor / destructor: Name( or ~Name(.
+	isDtor := false
+	if p.tok.Kind == cclex.KindTilde {
+		isDtor = true
+		p.next()
+	}
+	if p.tok.Kind == cclex.KindIdent && p.tok.Text == className &&
+		(isDtor || p.peek(0).Kind == cclex.KindLParen) {
+		name := p.tok.Text
+		if isDtor {
+			name = "~" + name
+		}
+		p.next()
+		fd := &ccast.FuncDecl{
+			Name: name, Quals: quals, Class: className,
+			Namespace: strings.Join(p.namespace, "::"),
+			Ret:       &ccast.Type{Name: "void"},
+		}
+		p.parseFuncRest(fd)
+		p.setSpan(fd, start)
+		return fd
+	}
+	if isDtor {
+		p.errorf("expected destructor name")
+		p.syncTopLevel()
+		return nil
+	}
+
+	ty := p.parseType()
+	ty.Quals |= quals
+	if p.tok.Kind != cclex.KindIdent {
+		p.errorf("expected member name, found %s", p.tok)
+		p.syncTopLevel()
+		return nil
+	}
+	name := p.tok.Text
+	p.next()
+	applyDeclaratorSuffix(ty, p)
+
+	if p.tok.Kind == cclex.KindLParen {
+		fd := &ccast.FuncDecl{
+			Name: name, Ret: ty, Quals: quals, Class: className,
+			Namespace: strings.Join(p.namespace, "::"),
+		}
+		p.parseFuncRest(fd)
+		p.setSpan(fd, start)
+		return fd
+	}
+	return p.parseVarDeclRest(start, ty, name, quals)
+}
+
+// parseQualifiers consumes leading storage-class/qualifier keywords.
+func (p *parser) parseQualifiers() ccast.TypeQual {
+	var q ccast.TypeQual
+	for {
+		switch {
+		case p.acceptKeyword("static"):
+			q |= ccast.QualStatic
+		case p.acceptKeyword("extern"):
+			q |= ccast.QualExtern
+		case p.acceptKeyword("inline"), p.acceptKeyword("__forceinline__"):
+			q |= ccast.QualInline
+		case p.acceptKeyword("virtual"):
+			q |= ccast.QualVirtual
+		case p.acceptKeyword("explicit"):
+			q |= ccast.QualExplicit
+		case p.acceptKeyword("constexpr"):
+			q |= ccast.QualConstexpr
+		case p.acceptKeyword("mutable"):
+			q |= ccast.QualMutable
+		case p.acceptKeyword("register"):
+			q |= ccast.QualRegister
+		case p.acceptKeyword("__global__"):
+			q |= ccast.QualCUDAGlobal
+		case p.acceptKeyword("__device__"):
+			q |= ccast.QualCUDADevice
+		case p.acceptKeyword("__host__"):
+			q |= ccast.QualCUDAHost
+		case p.acceptKeyword("__shared__"):
+			q |= ccast.QualCUDAShared
+		case p.acceptKeyword("__constant__"):
+			q |= ccast.QualCUDAConstant
+		default:
+			return q
+		}
+	}
+}
+
+// typeKeywords are specifier keywords that begin or continue a base type.
+var typeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"bool": true, "_Bool": true, "auto": true,
+}
+
+// parseType parses a type specifier plus pointer declarator prefix.
+func (p *parser) parseType() *ccast.Type {
+	start := p.pos()
+	ty := &ccast.Type{}
+	var parts []string
+
+	for {
+		switch {
+		case p.acceptKeyword("const"):
+			ty.Quals |= ccast.QualConst
+		case p.acceptKeyword("volatile"):
+			ty.Quals |= ccast.QualVolatile
+		case p.acceptKeyword("restrict"), p.acceptKeyword("__restrict__"):
+			// qualifier without structural effect
+		case p.acceptKeyword("unsigned"):
+			ty.Quals |= ccast.QualUnsigned
+			parts = append(parts, "unsigned")
+		case p.acceptKeyword("signed"):
+			ty.Quals |= ccast.QualSigned
+			parts = append(parts, "signed")
+		case p.tok.Is("struct") || p.tok.Is("union") || p.tok.Is("class") ||
+			p.tok.Is("enum"):
+			kw := p.tok.Text
+			p.next()
+			if p.tok.Kind == cclex.KindIdent {
+				parts = append(parts, kw+" "+p.tok.Text)
+				p.next()
+			} else {
+				parts = append(parts, kw)
+			}
+			goto specDone
+		case p.tok.Kind == cclex.KindKeyword && typeKeywords[p.tok.Text]:
+			parts = append(parts, p.tok.Text)
+			p.next()
+			// Multi-word types: long long, long double, unsigned int...
+			for p.tok.Kind == cclex.KindKeyword && typeKeywords[p.tok.Text] {
+				parts = append(parts, p.tok.Text)
+				p.next()
+			}
+			goto specDone
+		case p.tok.Kind == cclex.KindIdent:
+			parts = append(parts, p.parseQualifiedName())
+			goto specDone
+		case p.tok.Is("typename"):
+			p.next()
+		default:
+			goto specDone
+		}
+	}
+specDone:
+	// Trailing const: "int const".
+	for p.acceptKeyword("const") {
+		ty.Quals |= ccast.QualConst
+	}
+	ty.Name = strings.Join(parts, " ")
+	if ty.Name == "" {
+		ty.Name = "int" // implicit int fallback for robustness
+	}
+	for {
+		if p.accept(cclex.KindStar) {
+			ty.PtrDepth++
+			for p.acceptKeyword("const") || p.acceptKeyword("volatile") ||
+				p.acceptKeyword("restrict") || p.acceptKeyword("__restrict__") {
+			}
+			continue
+		}
+		if p.accept(cclex.KindAmp) {
+			ty.IsRef = true
+			continue
+		}
+		break
+	}
+	p.setSpan(ty, start)
+	return ty
+}
+
+// parseQualifiedName parses Ident(::Ident)* with balanced template args.
+func (p *parser) parseQualifiedName() string {
+	var sb strings.Builder
+	for {
+		if p.tok.Kind != cclex.KindIdent {
+			break
+		}
+		sb.WriteString(p.tok.Text)
+		p.next()
+		// Template arguments: consume balanced <...> when it looks like a
+		// template, i.e. next token opens '<' and some '>' closes before a
+		// ';' at depth 0. We use a bounded scan.
+		if p.tok.Kind == cclex.KindLess && p.looksLikeTemplateArgs() {
+			sb.WriteString(p.consumeTemplateArgs())
+		}
+		if p.tok.Kind == cclex.KindColonColon && p.peek(0).Kind == cclex.KindIdent {
+			sb.WriteString("::")
+			p.next()
+			continue
+		}
+		break
+	}
+	return sb.String()
+}
+
+// looksLikeTemplateArgs scans ahead from a '<' for a matching '>' before
+// any token that rules out a template argument list.
+func (p *parser) looksLikeTemplateArgs() bool {
+	depth := 0
+	for i := 0; i < 64; i++ {
+		var t cclex.Token
+		if i == 0 {
+			t = p.tok
+		} else {
+			t = p.peek(i - 1)
+		}
+		switch t.Kind {
+		case cclex.KindLess:
+			depth++
+		case cclex.KindGreater:
+			depth--
+			if depth == 0 {
+				return true
+			}
+		case cclex.KindShr:
+			depth -= 2
+			if depth <= 0 {
+				return true
+			}
+		case cclex.KindSemi, cclex.KindLBrace, cclex.KindRBrace, cclex.KindEOF,
+			cclex.KindAndAnd, cclex.KindOrOr, cclex.KindPlus, cclex.KindMinus,
+			cclex.KindStringLit:
+			return false
+		case cclex.KindKeyword:
+			// Type keywords inside <> support the template reading.
+			if !typeKeywords[t.Text] && t.Text != "const" && t.Text != "unsigned" &&
+				t.Text != "signed" && t.Text != "struct" {
+				return false
+			}
+		case cclex.KindIdent, cclex.KindIntLit, cclex.KindComma, cclex.KindStar,
+			cclex.KindColonColon, cclex.KindAmp:
+			// plausible inside template args
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func (p *parser) consumeTemplateArgs() string {
+	var sb strings.Builder
+	depth := 0
+	for p.tok.Kind != cclex.KindEOF {
+		switch p.tok.Kind {
+		case cclex.KindLess:
+			depth++
+		case cclex.KindGreater:
+			depth--
+		case cclex.KindShr:
+			depth -= 2
+		}
+		sb.WriteString(p.tok.Text)
+		done := depth <= 0
+		p.next()
+		if done {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// applyDeclaratorSuffix consumes array dimensions after a declared name.
+func applyDeclaratorSuffix(ty *ccast.Type, p *parser) {
+	for p.tok.Kind == cclex.KindLBracket {
+		p.next()
+		if p.tok.Kind == cclex.KindRBracket {
+			ty.ArrayDims = append(ty.ArrayDims, nil)
+		} else {
+			ty.ArrayDims = append(ty.ArrayDims, p.parseExpr())
+		}
+		p.expect(cclex.KindRBracket)
+	}
+}
+
+// parseVarOrFunc parses a top-level variable or function declaration.
+func (p *parser) parseVarOrFunc() ccast.Decl {
+	start := p.pos()
+	quals := p.parseQualifiers()
+
+	if p.tok.Kind == cclex.KindEOF {
+		return nil
+	}
+	ty := p.parseType()
+	ty.Quals |= quals
+
+	if p.tok.Kind != cclex.KindIdent {
+		// Could be "struct X;" style forward declaration.
+		if p.accept(cclex.KindSemi) {
+			return nil
+		}
+		p.errorf("expected declarator, found %s", p.tok)
+		p.panicking = true
+		bd := &ccast.BadDecl{Reason: "unparsed declaration"}
+		p.setSpan(bd, start)
+		p.syncTopLevel()
+		return bd
+	}
+
+	name := p.parseQualifiedName()
+	applyDeclaratorSuffix(ty, p)
+
+	if p.tok.Kind == cclex.KindLParen {
+		fd := &ccast.FuncDecl{
+			Name: name, Ret: ty, Quals: quals,
+			Namespace: strings.Join(p.namespace, "::"),
+		}
+		if i := strings.LastIndex(name, "::"); i >= 0 {
+			fd.Class = name[:i]
+		}
+		p.parseFuncRest(fd)
+		p.setSpan(fd, start)
+		return fd
+	}
+	return p.parseVarDeclRest(start, ty, name, quals)
+}
+
+// parseVarDeclRest parses declarators after the first name has been read.
+func (p *parser) parseVarDeclRest(start srcfile.Pos, ty *ccast.Type, firstName string, quals ccast.TypeQual) ccast.Decl {
+	vd := &ccast.VarDecl{Global: p.class == ""}
+	first := &ccast.Declarator{Name: firstName, Type: ty}
+	first.SetSpan(p.span(start))
+	vd.Names = append(vd.Names, first)
+
+	if p.accept(cclex.KindAssign) {
+		first.Init = p.parseInitializer()
+	} else if p.tok.Kind == cclex.KindLBrace {
+		first.Init = p.parseInitializer()
+	}
+	for p.accept(cclex.KindComma) {
+		dstart := p.pos()
+		dty := &ccast.Type{Name: ty.Name, Quals: ty.Quals}
+		for p.accept(cclex.KindStar) {
+			dty.PtrDepth++
+		}
+		if p.tok.Kind != cclex.KindIdent {
+			p.errorf("expected declarator name, found %s", p.tok)
+			break
+		}
+		d := &ccast.Declarator{Name: p.tok.Text, Type: dty}
+		p.next()
+		applyDeclaratorSuffix(dty, p)
+		if p.accept(cclex.KindAssign) {
+			d.Init = p.parseInitializer()
+		}
+		d.SetSpan(p.span(dstart))
+		vd.Names = append(vd.Names, d)
+	}
+	p.expect(cclex.KindSemi)
+	p.setSpan(vd, start)
+	return vd
+}
+
+func (p *parser) parseInitializer() ccast.Expr {
+	if p.tok.Kind == cclex.KindLBrace {
+		start := p.pos()
+		p.next()
+		il := &ccast.InitList{}
+		for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+			il.Elems = append(il.Elems, p.parseInitializer())
+			if !p.accept(cclex.KindComma) {
+				break
+			}
+		}
+		p.expect(cclex.KindRBrace)
+		p.setSpan(il, start)
+		return il
+	}
+	return p.parseAssignExpr()
+}
+
+// parseFuncRest parses parameters and optional body; p.tok is '('.
+func (p *parser) parseFuncRest(fd *ccast.FuncDecl) {
+	p.expect(cclex.KindLParen)
+	if !p.accept(cclex.KindRParen) {
+		for {
+			if p.accept(cclex.KindEllipsis) {
+				fd.Variadic = true
+				break
+			}
+			if p.tok.Is("void") && p.peek(0).Kind == cclex.KindRParen {
+				p.next()
+				break
+			}
+			pstart := p.pos()
+			pq := p.parseQualifiers()
+			pty := p.parseType()
+			pty.Quals |= pq
+			prm := &ccast.Param{Type: pty}
+			if p.tok.Kind == cclex.KindIdent {
+				prm.Name = p.tok.Text
+				p.next()
+			}
+			applyDeclaratorSuffix(pty, p)
+			if p.accept(cclex.KindAssign) {
+				p.parseAssignExpr() // default argument, discarded
+			}
+			prm.SetSpan(p.span(pstart))
+			fd.Params = append(fd.Params, prm)
+			if !p.accept(cclex.KindComma) {
+				break
+			}
+		}
+		p.expect(cclex.KindRParen)
+	}
+	// Trailing qualifiers: const, override, noexcept-ish idents.
+	for p.acceptKeyword("const") || p.acceptKeyword("override") {
+	}
+	// Constructor initializer list: ": field(x), ..." before the body.
+	if p.accept(cclex.KindColon) {
+		for p.tok.Kind != cclex.KindLBrace && p.tok.Kind != cclex.KindEOF &&
+			p.tok.Kind != cclex.KindSemi {
+			p.next()
+		}
+	}
+	switch {
+	case p.accept(cclex.KindSemi):
+		// prototype
+	case p.tok.Kind == cclex.KindLBrace:
+		fd.Body = p.parseBlock()
+	case p.accept(cclex.KindAssign):
+		// "= 0;" pure virtual, "= default;", "= delete;"
+		for p.tok.Kind != cclex.KindSemi && p.tok.Kind != cclex.KindEOF {
+			p.next()
+		}
+		p.accept(cclex.KindSemi)
+	default:
+		p.errorf("expected function body or ';', found %s", p.tok)
+		p.panicking = true
+		p.syncTopLevel()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() *ccast.Block {
+	start := p.pos()
+	b := &ccast.Block{}
+	p.expect(cclex.KindLBrace)
+	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(cclex.KindRBrace)
+	p.setSpan(b, start)
+	return b
+}
+
+func (p *parser) parseStmt() ccast.Stmt {
+	start := p.pos()
+	switch {
+	case p.tok.Kind == cclex.KindPPDirective:
+		p.next()
+		return nil
+	case p.tok.Kind == cclex.KindLBrace:
+		return p.parseBlock()
+	case p.tok.Kind == cclex.KindSemi:
+		p.next()
+		e := &ccast.Empty{}
+		p.setSpan(e, start)
+		return e
+	case p.tok.Is("if"):
+		return p.parseIf()
+	case p.tok.Is("while"):
+		return p.parseWhile()
+	case p.tok.Is("do"):
+		return p.parseDoWhile()
+	case p.tok.Is("for"):
+		return p.parseFor()
+	case p.tok.Is("switch"):
+		return p.parseSwitch()
+	case p.tok.Is("break"):
+		p.next()
+		p.expect(cclex.KindSemi)
+		s := &ccast.Break{}
+		p.setSpan(s, start)
+		return s
+	case p.tok.Is("continue"):
+		p.next()
+		p.expect(cclex.KindSemi)
+		s := &ccast.Continue{}
+		p.setSpan(s, start)
+		return s
+	case p.tok.Is("return"):
+		p.next()
+		r := &ccast.Return{}
+		if p.tok.Kind != cclex.KindSemi {
+			r.X = p.parseExpr()
+		}
+		p.expect(cclex.KindSemi)
+		p.setSpan(r, start)
+		return r
+	case p.tok.Is("goto"):
+		p.next()
+		g := &ccast.Goto{}
+		if p.tok.Kind == cclex.KindIdent {
+			g.Label = p.tok.Text
+			p.next()
+		}
+		p.expect(cclex.KindSemi)
+		p.setSpan(g, start)
+		return g
+	case p.tok.Is("try"):
+		// try { ... } catch (...) { ... } — modeled as the try block
+		// followed by catch bodies folded into a Block.
+		p.next()
+		blk := p.parseBlock()
+		for p.tok.Is("catch") {
+			p.next()
+			p.expect(cclex.KindLParen)
+			depth := 1
+			for depth > 0 && p.tok.Kind != cclex.KindEOF {
+				switch p.tok.Kind {
+				case cclex.KindLParen:
+					depth++
+				case cclex.KindRParen:
+					depth--
+				}
+				p.next()
+			}
+			cb := p.parseBlock()
+			blk.Stmts = append(blk.Stmts, cb)
+		}
+		return blk
+	case p.tok.Is("throw"):
+		p.next()
+		if p.tok.Kind != cclex.KindSemi {
+			p.parseExpr()
+		}
+		p.expect(cclex.KindSemi)
+		s := &ccast.ExprStmt{X: &ccast.Ident{Name: "throw"}}
+		p.setSpan(s, start)
+		return s
+	// Label: Ident ':' not followed by ':' (to exclude ::).
+	case p.tok.Kind == cclex.KindIdent && p.peek(0).Kind == cclex.KindColon &&
+		p.peek(1).Kind != cclex.KindColon:
+		l := &ccast.Label{Name: p.tok.Text}
+		p.next()
+		p.next()
+		l.Stmt = p.parseStmt()
+		p.setSpan(l, start)
+		return l
+	default:
+		if p.startsDecl() {
+			return p.parseDeclStmt()
+		}
+		return p.parseExprStmt()
+	}
+}
+
+// startsDecl decides whether the upcoming tokens begin a declaration.
+func (p *parser) startsDecl() bool {
+	t := p.tok
+	if t.Kind == cclex.KindKeyword {
+		switch t.Text {
+		case "const", "static", "struct", "union", "enum", "unsigned",
+			"signed", "volatile", "register", "auto", "constexpr",
+			"__shared__", "__device__", "__constant__", "typename":
+			return true
+		}
+		return typeKeywords[t.Text]
+	}
+	if t.Kind != cclex.KindIdent {
+		return false
+	}
+	// Ident path: a declaration when a known type name or the classic
+	// "A b", "A* b", "A& b", "ns::A b" shapes follow.
+	i := 0
+	// Consume qualified name with optional template args in lookahead.
+	if !p.isTypeName(t.Text) {
+		// Unknown first identifier: require shape evidence.
+	}
+	// Walk lookahead over name ( :: name )* ( < ... > )?
+	seenName := true
+	cur := func() cclex.Token {
+		if i == 0 {
+			return p.tok
+		}
+		return p.peek(i - 1)
+	}
+	_ = cur
+	// Simplified: scan tokens.
+	j := 0
+	tokAt := func(n int) cclex.Token {
+		if n == 0 {
+			return p.tok
+		}
+		return p.peek(n - 1)
+	}
+	// name
+	j++
+	for tokAt(j).Kind == cclex.KindColonColon && tokAt(j+1).Kind == cclex.KindIdent {
+		j += 2
+	}
+	// template args
+	if tokAt(j).Kind == cclex.KindLess {
+		depth := 0
+		k := j
+		for k < j+64 {
+			switch tokAt(k).Kind {
+			case cclex.KindLess:
+				depth++
+			case cclex.KindGreater:
+				depth--
+			case cclex.KindShr:
+				depth -= 2
+			case cclex.KindSemi, cclex.KindEOF, cclex.KindLBrace:
+				depth = -99
+			}
+			k++
+			if depth <= 0 {
+				break
+			}
+		}
+		if depth == 0 {
+			j = k
+		} else if depth < -1 {
+			return false
+		}
+	}
+	// pointers/refs
+	stars := 0
+	for tokAt(j).Kind == cclex.KindStar || tokAt(j).Kind == cclex.KindAmp {
+		stars++
+		j++
+		for tokAt(j).Is("const") {
+			j++
+		}
+	}
+	nt := tokAt(j)
+	if nt.Kind == cclex.KindIdent {
+		// "A b" is a decl if followed by = ; , [ ( or end-ish token.
+		after := tokAt(j + 1)
+		switch after.Kind {
+		case cclex.KindAssign, cclex.KindSemi, cclex.KindComma,
+			cclex.KindLBracket, cclex.KindLBrace:
+			return true
+		case cclex.KindLParen:
+			// Could be a constructor-style init "A b(1);" — treat as decl
+			// only when the first ident is a known type.
+			return p.isTypeName(t.Text) && seenName
+		}
+		return false
+	}
+	return false
+}
+
+func (p *parser) parseDeclStmt() ccast.Stmt {
+	start := p.pos()
+	quals := p.parseQualifiers()
+	ty := p.parseType()
+	ty.Quals |= quals
+	ds := &ccast.DeclStmt{}
+	vd := &ccast.VarDecl{}
+	for {
+		dstart := p.pos()
+		dty := ty
+		if len(vd.Names) > 0 {
+			dty = &ccast.Type{Name: ty.Name, Quals: ty.Quals}
+			for p.accept(cclex.KindStar) {
+				dty.PtrDepth++
+			}
+		}
+		if p.tok.Kind != cclex.KindIdent {
+			p.errorf("expected local declarator, found %s", p.tok)
+			break
+		}
+		d := &ccast.Declarator{Name: p.tok.Text, Type: dty}
+		p.next()
+		applyDeclaratorSuffix(dty, p)
+		switch {
+		case p.accept(cclex.KindAssign):
+			d.Init = p.parseInitializer()
+		case p.tok.Kind == cclex.KindLBrace:
+			d.Init = p.parseInitializer()
+		case p.tok.Kind == cclex.KindLParen:
+			// Constructor-style initialization "T x(a, b);".
+			p.next()
+			il := &ccast.InitList{}
+			for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
+				il.Elems = append(il.Elems, p.parseAssignExpr())
+				if !p.accept(cclex.KindComma) {
+					break
+				}
+			}
+			p.expect(cclex.KindRParen)
+			d.Init = il
+		}
+		d.SetSpan(p.span(dstart))
+		vd.Names = append(vd.Names, d)
+		if !p.accept(cclex.KindComma) {
+			break
+		}
+	}
+	p.expect(cclex.KindSemi)
+	p.setSpan(vd, start)
+	ds.Decl = vd
+	p.setSpan(ds, start)
+	return ds
+}
+
+func (p *parser) parseExprStmt() ccast.Stmt {
+	start := p.pos()
+	x := p.parseExpr()
+	p.expect(cclex.KindSemi)
+	s := &ccast.ExprStmt{X: x}
+	p.setSpan(s, start)
+	return s
+}
+
+func (p *parser) parseIf() ccast.Stmt {
+	start := p.pos()
+	p.next() // if
+	p.expect(cclex.KindLParen)
+	cond := p.parseExpr()
+	p.expect(cclex.KindRParen)
+	s := &ccast.If{Cond: cond}
+	s.Then = p.parseStmt()
+	if p.acceptKeyword("else") {
+		s.Else = p.parseStmt()
+	}
+	p.setSpan(s, start)
+	return s
+}
+
+func (p *parser) parseWhile() ccast.Stmt {
+	start := p.pos()
+	p.next()
+	p.expect(cclex.KindLParen)
+	cond := p.parseExpr()
+	p.expect(cclex.KindRParen)
+	s := &ccast.While{Cond: cond}
+	s.Body = p.parseStmt()
+	p.setSpan(s, start)
+	return s
+}
+
+func (p *parser) parseDoWhile() ccast.Stmt {
+	start := p.pos()
+	p.next()
+	s := &ccast.DoWhile{}
+	s.Body = p.parseStmt()
+	if !p.acceptKeyword("while") {
+		p.errorf("expected 'while' after do body")
+	}
+	p.expect(cclex.KindLParen)
+	s.Cond = p.parseExpr()
+	p.expect(cclex.KindRParen)
+	p.expect(cclex.KindSemi)
+	p.setSpan(s, start)
+	return s
+}
+
+func (p *parser) parseFor() ccast.Stmt {
+	start := p.pos()
+	p.next()
+	p.expect(cclex.KindLParen)
+	s := &ccast.For{}
+	if !p.accept(cclex.KindSemi) {
+		if p.startsDecl() {
+			s.Init = p.parseDeclStmt() // consumes ';'
+		} else {
+			istart := p.pos()
+			x := p.parseExpr()
+			es := &ccast.ExprStmt{X: x}
+			p.setSpan(es, istart)
+			s.Init = es
+			p.expect(cclex.KindSemi)
+		}
+	}
+	if p.tok.Kind != cclex.KindSemi {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(cclex.KindSemi)
+	if p.tok.Kind != cclex.KindRParen {
+		s.Post = p.parseExpr()
+	}
+	p.expect(cclex.KindRParen)
+	s.Body = p.parseStmt()
+	p.setSpan(s, start)
+	return s
+}
+
+func (p *parser) parseSwitch() ccast.Stmt {
+	start := p.pos()
+	p.next()
+	p.expect(cclex.KindLParen)
+	s := &ccast.Switch{Tag: p.parseExpr()}
+	p.expect(cclex.KindRParen)
+	p.expect(cclex.KindLBrace)
+	var cur *ccast.CaseClause
+	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
+		switch {
+		case p.tok.Is("case"):
+			cstart := p.pos()
+			p.next()
+			v := p.parseExpr()
+			p.expect(cclex.KindColon)
+			if cur != nil && len(cur.Body) == 0 {
+				// fallthrough label stacking: case 1: case 2: body
+				cur.Values = append(cur.Values, v)
+			} else {
+				cur = &ccast.CaseClause{Values: []ccast.Expr{v}}
+				cur.SetSpan(p.span(cstart))
+				s.Cases = append(s.Cases, cur)
+			}
+		case p.tok.Is("default"):
+			cstart := p.pos()
+			p.next()
+			p.expect(cclex.KindColon)
+			cur = &ccast.CaseClause{}
+			cur.SetSpan(p.span(cstart))
+			s.Cases = append(s.Cases, cur)
+		default:
+			st := p.parseStmt()
+			if st != nil {
+				if cur == nil {
+					cur = &ccast.CaseClause{}
+					s.Cases = append(s.Cases, cur)
+				}
+				cur.Body = append(cur.Body, st)
+			}
+		}
+	}
+	p.expect(cclex.KindRBrace)
+	p.setSpan(s, start)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() ccast.Expr {
+	start := p.pos()
+	x := p.parseAssignExpr()
+	for p.tok.Kind == cclex.KindComma {
+		p.next()
+		r := p.parseAssignExpr()
+		c := &ccast.Comma{L: x, R: r}
+		p.setSpan(c, start)
+		x = c
+	}
+	return x
+}
+
+var assignOps = map[cclex.Kind]string{
+	cclex.KindAssign: "=", cclex.KindPlusEq: "+=", cclex.KindMinusEq: "-=",
+	cclex.KindStarEq: "*=", cclex.KindSlashEq: "/=", cclex.KindPercentEq: "%=",
+	cclex.KindAmpEq: "&=", cclex.KindPipeEq: "|=", cclex.KindCaretEq: "^=",
+	cclex.KindShlEq: "<<=", cclex.KindShrEq: ">>=",
+}
+
+func (p *parser) parseAssignExpr() ccast.Expr {
+	start := p.pos()
+	x := p.parseCondExpr()
+	if op, ok := assignOps[p.tok.Kind]; ok {
+		p.next()
+		r := p.parseAssignExpr()
+		a := &ccast.Assign{Op: op, L: x, R: r}
+		p.setSpan(a, start)
+		return a
+	}
+	return x
+}
+
+func (p *parser) parseCondExpr() ccast.Expr {
+	start := p.pos()
+	c := p.parseBinaryExpr(1)
+	if p.tok.Kind != cclex.KindQuestion {
+		return c
+	}
+	p.next()
+	t := p.parseAssignExpr()
+	p.expect(cclex.KindColon)
+	f := p.parseAssignExpr()
+	e := &ccast.Cond{C: c, T: t, F: f}
+	p.setSpan(e, start)
+	return e
+}
+
+// binPrec maps operators to precedence (higher binds tighter).
+var binPrec = map[cclex.Kind]int{
+	cclex.KindOrOr:   1,
+	cclex.KindAndAnd: 2,
+	cclex.KindPipe:   3,
+	cclex.KindCaret:  4,
+	cclex.KindAmp:    5,
+	cclex.KindEq:     6, cclex.KindNotEq: 6,
+	cclex.KindLess: 7, cclex.KindGreater: 7, cclex.KindLessEq: 7, cclex.KindGreaterEq: 7,
+	cclex.KindShl: 8, cclex.KindShr: 8,
+	cclex.KindPlus: 9, cclex.KindMinus: 9,
+	cclex.KindStar: 10, cclex.KindSlash: 10, cclex.KindPercent: 10,
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) ccast.Expr {
+	start := p.pos()
+	x := p.parseUnaryExpr()
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return x
+		}
+		op := p.tok.Text
+		p.next()
+		r := p.parseBinaryExpr(prec + 1)
+		b := &ccast.Binary{Op: op, L: x, R: r}
+		p.setSpan(b, start)
+		x = b
+	}
+}
+
+func (p *parser) parseUnaryExpr() ccast.Expr {
+	start := p.pos()
+	switch p.tok.Kind {
+	case cclex.KindPlus, cclex.KindMinus, cclex.KindNot, cclex.KindTilde,
+		cclex.KindStar, cclex.KindAmp:
+		op := p.tok.Text
+		p.next()
+		x := p.parseUnaryExpr()
+		u := &ccast.Unary{Op: op, X: x}
+		p.setSpan(u, start)
+		return u
+	case cclex.KindPlusPlus, cclex.KindMinusMinus:
+		op := p.tok.Text
+		p.next()
+		x := p.parseUnaryExpr()
+		u := &ccast.Unary{Op: op, X: x}
+		p.setSpan(u, start)
+		return u
+	case cclex.KindKeyword:
+		switch p.tok.Text {
+		case "sizeof":
+			p.next()
+			se := &ccast.SizeofExpr{}
+			if p.tok.Kind == cclex.KindLParen && p.startsTypeInParens() {
+				p.next()
+				se.Type = p.parseType()
+				p.expect(cclex.KindRParen)
+			} else {
+				se.X = p.parseUnaryExpr()
+			}
+			p.setSpan(se, start)
+			return se
+		case "new":
+			p.next()
+			ne := &ccast.NewExpr{Type: p.parseType()}
+			if p.accept(cclex.KindLBracket) {
+				ne.Count = p.parseExpr()
+				p.expect(cclex.KindRBracket)
+			} else if p.accept(cclex.KindLParen) {
+				for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
+					ne.Args = append(ne.Args, p.parseAssignExpr())
+					if !p.accept(cclex.KindComma) {
+						break
+					}
+				}
+				p.expect(cclex.KindRParen)
+			}
+			p.setSpan(ne, start)
+			return ne
+		case "delete":
+			p.next()
+			de := &ccast.DeleteExpr{}
+			if p.accept(cclex.KindLBracket) {
+				p.expect(cclex.KindRBracket)
+				de.Array = true
+			}
+			de.X = p.parseUnaryExpr()
+			p.setSpan(de, start)
+			return de
+		case "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast":
+			style := map[string]ccast.CastStyle{
+				"static_cast":      ccast.CastStatic,
+				"dynamic_cast":     ccast.CastDynamic,
+				"const_cast":       ccast.CastConst,
+				"reinterpret_cast": ccast.CastReinterpret,
+			}[p.tok.Text]
+			p.next()
+			p.expect(cclex.KindLess)
+			ty := p.parseType()
+			// close '>': tolerate '>>' from nested templates
+			if p.tok.Kind == cclex.KindShr {
+				p.tok.Kind = cclex.KindGreater
+				p.tok.Text = ">"
+			}
+			p.expect(cclex.KindGreater)
+			p.expect(cclex.KindLParen)
+			x := p.parseExpr()
+			p.expect(cclex.KindRParen)
+			c := &ccast.Cast{Style: style, To: ty, X: x}
+			p.setSpan(c, start)
+			return c
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// startsTypeInParens peeks after a '(' to decide cast vs parenthesized expr.
+func (p *parser) startsTypeInParens() bool {
+	t := p.peek(0)
+	if t.Kind == cclex.KindKeyword {
+		switch t.Text {
+		case "const", "volatile", "unsigned", "signed", "struct", "union",
+			"enum", "typename":
+			return true
+		}
+		return typeKeywords[t.Text]
+	}
+	if t.Kind != cclex.KindIdent || !p.isTypeName(t.Text) {
+		return false
+	}
+	// Known type name: cast if followed by ')' or '*'s then ')'.
+	i := 1
+	for p.peek(i).Kind == cclex.KindColonColon {
+		i += 2
+	}
+	for p.peek(i).Kind == cclex.KindStar || p.peek(i).Is("const") {
+		i++
+	}
+	return p.peek(i).Kind == cclex.KindRParen
+}
+
+func (p *parser) parsePostfixExpr() ccast.Expr {
+	start := p.pos()
+	x := p.parsePrimaryExpr()
+	for {
+		switch p.tok.Kind {
+		case cclex.KindLParen:
+			p.next()
+			c := &ccast.Call{Fun: x}
+			for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
+				c.Args = append(c.Args, p.parseAssignExpr())
+				if !p.accept(cclex.KindComma) {
+					break
+				}
+			}
+			p.expect(cclex.KindRParen)
+			p.setSpan(c, start)
+			x = c
+		case cclex.KindKernelLaunch:
+			p.next()
+			kl := &ccast.KernelLaunch{Fun: x}
+			for p.tok.Kind != cclex.KindKernelLaunchEnd && p.tok.Kind != cclex.KindEOF {
+				kl.Config = append(kl.Config, p.parseAssignExpr())
+				if !p.accept(cclex.KindComma) {
+					break
+				}
+			}
+			p.expect(cclex.KindKernelLaunchEnd)
+			p.expect(cclex.KindLParen)
+			for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
+				kl.Args = append(kl.Args, p.parseAssignExpr())
+				if !p.accept(cclex.KindComma) {
+					break
+				}
+			}
+			p.expect(cclex.KindRParen)
+			p.setSpan(kl, start)
+			x = kl
+		case cclex.KindLBracket:
+			p.next()
+			i := p.parseExpr()
+			p.expect(cclex.KindRBracket)
+			ix := &ccast.Index{X: x, I: i}
+			p.setSpan(ix, start)
+			x = ix
+		case cclex.KindDot, cclex.KindArrow:
+			arrow := p.tok.Kind == cclex.KindArrow
+			p.next()
+			name := ""
+			if p.tok.Kind == cclex.KindIdent {
+				name = p.tok.Text
+				p.next()
+			} else {
+				p.errorf("expected member name, found %s", p.tok)
+			}
+			m := &ccast.Member{X: x, Name: name, Arrow: arrow}
+			p.setSpan(m, start)
+			x = m
+		case cclex.KindPlusPlus, cclex.KindMinusMinus:
+			op := p.tok.Text
+			p.next()
+			pf := &ccast.Postfix{Op: op, X: x}
+			p.setSpan(pf, start)
+			x = pf
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimaryExpr() ccast.Expr {
+	start := p.pos()
+	switch p.tok.Kind {
+	case cclex.KindIntLit:
+		text := p.tok.Text
+		p.next()
+		v := parseIntText(text)
+		e := &ccast.IntLit{Text: text, Value: v}
+		p.setSpan(e, start)
+		return e
+	case cclex.KindFloatLit:
+		text := p.tok.Text
+		p.next()
+		v, _ := strconv.ParseFloat(strings.TrimRight(text, "fFlL"), 64)
+		e := &ccast.FloatLit{Text: text, Value: v}
+		p.setSpan(e, start)
+		return e
+	case cclex.KindStringLit:
+		text := p.tok.Text
+		p.next()
+		// Adjacent string literal concatenation.
+		for p.tok.Kind == cclex.KindStringLit {
+			text += p.tok.Text
+			p.next()
+		}
+		e := &ccast.StringLit{Text: text}
+		p.setSpan(e, start)
+		return e
+	case cclex.KindCharLit:
+		text := p.tok.Text
+		p.next()
+		e := &ccast.CharLit{Text: text, Value: charValue(text)}
+		p.setSpan(e, start)
+		return e
+	case cclex.KindLParen:
+		// Cast or parenthesized expression.
+		if p.startsTypeInParens() {
+			p.next()
+			ty := p.parseType()
+			p.expect(cclex.KindRParen)
+			x := p.parseUnaryExpr()
+			c := &ccast.Cast{Style: ccast.CastCStyle, To: ty, X: x}
+			p.setSpan(c, start)
+			return c
+		}
+		p.next()
+		x := p.parseExpr()
+		p.expect(cclex.KindRParen)
+		pe := &ccast.Paren{X: x}
+		p.setSpan(pe, start)
+		return pe
+	case cclex.KindKeyword:
+		switch p.tok.Text {
+		case "true", "false":
+			v := p.tok.Text == "true"
+			p.next()
+			e := &ccast.BoolLit{Value: v}
+			p.setSpan(e, start)
+			return e
+		case "nullptr":
+			p.next()
+			e := &ccast.BoolLit{IsNull: true}
+			p.setSpan(e, start)
+			return e
+		case "this":
+			p.next()
+			e := &ccast.Ident{Name: "this"}
+			p.setSpan(e, start)
+			return e
+		}
+		// Functional cast on a type keyword: float(x), int(x).
+		if typeKeywords[p.tok.Text] && p.peek(0).Kind == cclex.KindLParen {
+			tyName := p.tok.Text
+			p.next()
+			p.next() // (
+			x := p.parseExpr()
+			p.expect(cclex.KindRParen)
+			c := &ccast.Cast{Style: ccast.CastFunctional, To: &ccast.Type{Name: tyName}, X: x}
+			p.setSpan(c, start)
+			return c
+		}
+		p.errorf("unexpected keyword %q in expression", p.tok.Text)
+		p.panicking = true
+		p.next()
+		e := &ccast.Ident{Name: "<error>"}
+		p.setSpan(e, start)
+		return e
+	case cclex.KindIdent:
+		name := p.parseQualifiedName()
+		e := &ccast.Ident{Name: name}
+		p.setSpan(e, start)
+		return e
+	case cclex.KindColonColon:
+		p.next()
+		name := "::" + p.parseQualifiedName()
+		e := &ccast.Ident{Name: name}
+		p.setSpan(e, start)
+		return e
+	default:
+		p.errorf("unexpected token %s in expression", p.tok)
+		p.panicking = true
+		p.next()
+		e := &ccast.Ident{Name: "<error>"}
+		p.setSpan(e, start)
+		return e
+	}
+}
+
+func parseIntText(text string) int64 {
+	t := strings.TrimRight(text, "uUlL")
+	var v int64
+	var err error
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		var uv uint64
+		uv, err = strconv.ParseUint(t[2:], 16, 64)
+		v = int64(uv)
+	} else if len(t) > 1 && t[0] == '0' {
+		v, err = strconv.ParseInt(t[1:], 8, 64)
+	} else {
+		v, err = strconv.ParseInt(t, 10, 64)
+	}
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func charValue(text string) int64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(text, "'"), "'")
+	if s == "" {
+		return 0
+	}
+	if s[0] == '\\' && len(s) >= 2 {
+		switch s[1] {
+		case 'n':
+			return '\n'
+		case 't':
+			return '\t'
+		case 'r':
+			return '\r'
+		case '0':
+			return 0
+		case '\\':
+			return '\\'
+		case '\'':
+			return '\''
+		default:
+			return int64(s[1])
+		}
+	}
+	return int64(s[0])
+}
+
+// ParseAll parses every file in the set, returning units keyed by path.
+func ParseAll(fs *srcfile.FileSet, opts Options) (map[string]*ccast.TranslationUnit, []*Error) {
+	units := make(map[string]*ccast.TranslationUnit, fs.Len())
+	var errs []*Error
+	for _, f := range fs.Files() {
+		tu, es := Parse(f, opts)
+		units[f.Path] = tu
+		errs = append(errs, es...)
+	}
+	return units, errs
+}

@@ -1,0 +1,516 @@
+package ccparse
+
+import (
+	"testing"
+
+	"repro/internal/ccast"
+	"repro/internal/srcfile"
+)
+
+func parseSrc(t *testing.T, path, src string) *ccast.TranslationUnit {
+	t.Helper()
+	f := &srcfile.File{Path: path, Lang: srcfile.LanguageForPath(path), Src: src}
+	tu, errs := Parse(f, Options{})
+	for _, e := range errs {
+		t.Errorf("parse error: %v", e)
+	}
+	return tu
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+int add(int a, int b) {
+    return a + b;
+}
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 1 {
+		t.Fatalf("funcs = %d, want 1", len(funcs))
+	}
+	f := funcs[0]
+	if f.Name != "add" || len(f.Params) != 2 || f.Ret.Name != "int" {
+		t.Errorf("unexpected function: %+v", f)
+	}
+	if len(f.Body.Stmts) != 1 {
+		t.Fatalf("body stmts = %d", len(f.Body.Stmts))
+	}
+	ret, ok := f.Body.Stmts[0].(*ccast.Return)
+	if !ok {
+		t.Fatalf("stmt is %T, want *Return", f.Body.Stmts[0])
+	}
+	if _, ok := ret.X.(*ccast.Binary); !ok {
+		t.Errorf("return expr is %T, want Binary", ret.X)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tu := parseSrc(t, "a.c", "int f() { return 1 + 2 * 3; }")
+	ret := tu.Funcs()[0].Body.Stmts[0].(*ccast.Return)
+	b := ret.X.(*ccast.Binary)
+	if b.Op != "+" {
+		t.Fatalf("top op = %q, want +", b.Op)
+	}
+	r := b.R.(*ccast.Binary)
+	if r.Op != "*" {
+		t.Errorf("right op = %q, want *", r.Op)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+void f(int n) {
+    if (n > 0) { n--; } else { n++; }
+    while (n < 10) { n += 2; }
+    do { n--; } while (n > 0);
+    for (int i = 0; i < n; i++) { n += i; }
+    switch (n) {
+    case 0: n = 1; break;
+    case 1:
+    case 2: n = 3; break;
+    default: n = 0;
+    }
+}
+`)
+	body := tu.Funcs()[0].Body
+	if len(body.Stmts) != 5 {
+		t.Fatalf("stmts = %d, want 5", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[0].(*ccast.If); !ok {
+		t.Errorf("stmt 0 = %T", body.Stmts[0])
+	}
+	if _, ok := body.Stmts[1].(*ccast.While); !ok {
+		t.Errorf("stmt 1 = %T", body.Stmts[1])
+	}
+	if _, ok := body.Stmts[2].(*ccast.DoWhile); !ok {
+		t.Errorf("stmt 2 = %T", body.Stmts[2])
+	}
+	if _, ok := body.Stmts[3].(*ccast.For); !ok {
+		t.Errorf("stmt 3 = %T", body.Stmts[3])
+	}
+	sw, ok := body.Stmts[4].(*ccast.Switch)
+	if !ok {
+		t.Fatalf("stmt 4 = %T", body.Stmts[4])
+	}
+	if len(sw.Cases) != 3 {
+		t.Errorf("cases = %d, want 3 (stacked labels merge)", len(sw.Cases))
+	}
+	if len(sw.Cases[1].Values) != 2 {
+		t.Errorf("case 1 values = %d, want 2", len(sw.Cases[1].Values))
+	}
+}
+
+func TestParseGlobalsAndPointers(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+static int counter = 0;
+float* buffer;
+const char *name = "apollo";
+int values[16];
+`)
+	gs := tu.GlobalVars()
+	if len(gs) != 4 {
+		t.Fatalf("globals = %d, want 4", len(gs))
+	}
+	if !gs[0].Names[0].Type.Quals.Has(ccast.QualStatic) {
+		t.Error("static qualifier lost")
+	}
+	if gs[1].Names[0].Type.PtrDepth != 1 {
+		t.Error("pointer depth lost on float*")
+	}
+	if gs[2].Names[0].Type.PtrDepth != 1 || !gs[2].Names[0].Type.Quals.Has(ccast.QualConst) {
+		t.Error("const char* not parsed")
+	}
+	if len(gs[3].Names[0].Type.ArrayDims) != 1 {
+		t.Error("array dimension lost")
+	}
+}
+
+func TestParseCasts(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+void f() {
+    int x = (int)3.5;
+    float y = static_cast<float>(x);
+    void* p = reinterpret_cast<void*>(x);
+    double z = double(x);
+}
+`)
+	var styles []ccast.CastStyle
+	ccast.WalkExprs(tu.Funcs()[0], func(e ccast.Expr) bool {
+		if c, ok := e.(*ccast.Cast); ok {
+			styles = append(styles, c.Style)
+		}
+		return true
+	})
+	want := []ccast.CastStyle{ccast.CastCStyle, ccast.CastStatic, ccast.CastReinterpret, ccast.CastFunctional}
+	if len(styles) != len(want) {
+		t.Fatalf("casts = %v, want %v", styles, want)
+	}
+	for i := range want {
+		if styles[i] != want[i] {
+			t.Errorf("cast %d = %v, want %v", i, styles[i], want[i])
+		}
+	}
+}
+
+func TestParseClassWithMethods(t *testing.T) {
+	tu := parseSrc(t, "det.h", `
+class Detector {
+ public:
+  Detector();
+  ~Detector();
+  bool Detect(const float* input, int size) {
+    if (input == nullptr) return false;
+    count_++;
+    return true;
+  }
+ private:
+  int count_;
+  float threshold_;
+};
+`)
+	if len(tu.Decls) != 1 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	r, ok := tu.Decls[0].(*ccast.RecordDecl)
+	if !ok {
+		t.Fatalf("decl = %T", tu.Decls[0])
+	}
+	if r.Name != "Detector" || r.Kind != ccast.RecordClass {
+		t.Errorf("record = %v %q", r.Kind, r.Name)
+	}
+	if len(r.Fields) != 2 {
+		t.Errorf("fields = %d, want 2", len(r.Fields))
+	}
+	if len(r.Methods) != 3 {
+		t.Fatalf("methods = %d, want 3", len(r.Methods))
+	}
+	defs := tu.Funcs()
+	if len(defs) != 1 || defs[0].Name != "Detect" {
+		t.Errorf("definitions = %v", defs)
+	}
+	if defs[0].Class != "Detector" {
+		t.Errorf("class = %q", defs[0].Class)
+	}
+}
+
+func TestParseNamespace(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+namespace apollo {
+namespace perception {
+int Detect() { return 1; }
+int g_frame_count = 0;
+}
+}
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 1 {
+		t.Fatalf("funcs = %d", len(funcs))
+	}
+	if funcs[0].Namespace != "apollo::perception" {
+		t.Errorf("namespace = %q", funcs[0].Namespace)
+	}
+	gs := tu.GlobalVars()
+	if len(gs) != 1 || gs[0].Names[0].Name != "g_frame_count" {
+		t.Errorf("globals = %v", gs)
+	}
+}
+
+func TestParseCUDAKernel(t *testing.T) {
+	tu := parseSrc(t, "k.cu", `
+__global__ void scale_bias_kernel(float *output, float *biases, int n, int size) {
+    int offset = blockIdx.x * blockDim.x + threadIdx.x;
+    if (offset < size) output[offset] *= biases[blockIdx.y];
+}
+
+void scale_bias_gpu(float *output, float *biases, int batch, int n, int size) {
+    scale_bias_kernel<<<n, batch>>>(output, biases, n, size);
+}
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(funcs))
+	}
+	if !funcs[0].IsKernel() {
+		t.Error("kernel qualifier lost")
+	}
+	var launches int
+	ccast.WalkExprs(funcs[1], func(e ccast.Expr) bool {
+		if _, ok := e.(*ccast.KernelLaunch); ok {
+			launches++
+		}
+		return true
+	})
+	if launches != 1 {
+		t.Errorf("kernel launches = %d, want 1", launches)
+	}
+}
+
+func TestParseTypedefAndUse(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+typedef unsigned char uchar;
+typedef struct Point { int x; int y; } Point;
+void f() {
+    uchar c = 0;
+    Point p;
+    p.x = (int)c;
+}
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 1 {
+		t.Fatalf("funcs = %d", len(funcs))
+	}
+	body := funcs[0].Body
+	if len(body.Stmts) != 3 {
+		t.Fatalf("stmts = %d, want 3: typedef name must parse as decl", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[0].(*ccast.DeclStmt); !ok {
+		t.Errorf("stmt 0 = %T, want DeclStmt", body.Stmts[0])
+	}
+	if _, ok := body.Stmts[1].(*ccast.DeclStmt); !ok {
+		t.Errorf("stmt 1 = %T, want DeclStmt", body.Stmts[1])
+	}
+}
+
+func TestParseNewDelete(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+void f(int n) {
+    float* buf = new float[n];
+    int* one = new int(5);
+    delete[] buf;
+    delete one;
+}
+`)
+	var news, dels int
+	ccast.WalkExprs(tu.Funcs()[0], func(e ccast.Expr) bool {
+		switch e.(type) {
+		case *ccast.NewExpr:
+			news++
+		case *ccast.DeleteExpr:
+			dels++
+		}
+		return true
+	})
+	if news != 2 || dels != 2 {
+		t.Errorf("new = %d, delete = %d; want 2, 2", news, dels)
+	}
+}
+
+func TestParseGotoAndLabels(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+int f(int n) {
+    if (n < 0) goto fail;
+    return n;
+fail:
+    return -1;
+}
+`)
+	var gotos, labels int
+	ccast.WalkStmts(tu.Funcs()[0].Body, func(s ccast.Stmt) bool {
+		switch s.(type) {
+		case *ccast.Goto:
+			gotos++
+		case *ccast.Label:
+			labels++
+		}
+		return true
+	})
+	if gotos != 1 || labels != 1 {
+		t.Errorf("gotos = %d labels = %d", gotos, labels)
+	}
+}
+
+func TestParseTernaryAndLogical(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+int f(int a, int b, int c) {
+    return (a > 0 && b > 0) || c != 0 ? a : b;
+}
+`)
+	ret := tu.Funcs()[0].Body.Stmts[0].(*ccast.Return)
+	if _, ok := ret.X.(*ccast.Cond); !ok {
+		t.Errorf("expr = %T, want Cond", ret.X)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	tu := parseSrc(t, "a.h", `
+enum Mode { MODE_AUTO = 0, MODE_MANUAL, MODE_SAFE };
+`)
+	e, ok := tu.Decls[0].(*ccast.EnumDecl)
+	if !ok {
+		t.Fatalf("decl = %T", tu.Decls[0])
+	}
+	if e.Name != "Mode" || len(e.Members) != 3 {
+		t.Errorf("enum = %q %v", e.Name, e.Members)
+	}
+}
+
+func TestParsePPDirectivesKept(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+#include <stdio.h>
+#define MAX 100
+int x;
+`)
+	pp := 0
+	for _, d := range tu.Decls {
+		if _, ok := d.(*ccast.PPDirective); ok {
+			pp++
+		}
+	}
+	if pp != 2 {
+		t.Errorf("directives = %d, want 2", pp)
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	f := &srcfile.File{Path: "bad.c", Lang: srcfile.LangC, Src: `
+int ok1() { return 1; }
+int $$$ garbage here;
+int ok2() { return 2; }
+`}
+	tu, errs := Parse(f, Options{})
+	if len(errs) == 0 {
+		t.Error("expected parse errors")
+	}
+	funcs := tu.Funcs()
+	if len(funcs) != 2 {
+		t.Errorf("recovered funcs = %d, want 2", len(funcs))
+	}
+}
+
+func TestParseMultipleDeclarators(t *testing.T) {
+	tu := parseSrc(t, "a.c", "int a = 1, *b, c[4];")
+	gs := tu.GlobalVars()
+	if len(gs) != 1 || len(gs[0].Names) != 3 {
+		t.Fatalf("decl shape: %+v", gs)
+	}
+	if gs[0].Names[1].Type.PtrDepth != 1 {
+		t.Error("second declarator pointer lost")
+	}
+	if len(gs[0].Names[2].Type.ArrayDims) != 1 {
+		t.Error("third declarator array lost")
+	}
+}
+
+func TestParseUninitializedLocal(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+void f() {
+    int x;
+    int y = 0;
+    x = y;
+}
+`)
+	ds := tu.Funcs()[0].Body.Stmts[0].(*ccast.DeclStmt)
+	if ds.Decl.Names[0].Init != nil {
+		t.Error("x should be uninitialized")
+	}
+	ds2 := tu.Funcs()[0].Body.Stmts[1].(*ccast.DeclStmt)
+	if ds2.Decl.Names[0].Init == nil {
+		t.Error("y should be initialized")
+	}
+}
+
+func TestParseMethodOutOfLine(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+bool Detector::Detect(const float* input) {
+    return input != nullptr;
+}
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 1 {
+		t.Fatalf("funcs = %d", len(funcs))
+	}
+	if funcs[0].Name != "Detector::Detect" || funcs[0].Class != "Detector" {
+		t.Errorf("name = %q class = %q", funcs[0].Name, funcs[0].Class)
+	}
+}
+
+func TestParseTemplateSkipped(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+template <typename T>
+T max_of(T a, T b) { return a > b ? a : b; }
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 1 || funcs[0].Name != "max_of" {
+		t.Errorf("template function lost: %v", funcs)
+	}
+}
+
+func TestParseStdVectorDecl(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+#include <vector>
+void f() {
+    std::vector<float> scores;
+    scores.push_back(0.5f);
+}
+`)
+	funcs := tu.Funcs()
+	if len(funcs) != 1 {
+		t.Fatalf("funcs = %d", len(funcs))
+	}
+	if len(funcs[0].Body.Stmts) != 2 {
+		t.Fatalf("stmts = %d, want 2", len(funcs[0].Body.Stmts))
+	}
+	if _, ok := funcs[0].Body.Stmts[0].(*ccast.DeclStmt); !ok {
+		t.Errorf("vector decl parsed as %T", funcs[0].Body.Stmts[0])
+	}
+}
+
+func TestParseSizeof(t *testing.T) {
+	tu := parseSrc(t, "a.c", `
+void f() {
+    int a = sizeof(int);
+    int b = sizeof(a);
+}
+`)
+	var tySizeof, exprSizeof int
+	ccast.WalkExprs(tu.Funcs()[0], func(e ccast.Expr) bool {
+		if s, ok := e.(*ccast.SizeofExpr); ok {
+			if s.Type != nil {
+				tySizeof++
+			} else {
+				exprSizeof++
+			}
+		}
+		return true
+	})
+	if tySizeof != 1 || exprSizeof != 1 {
+		t.Errorf("sizeof(type) = %d, sizeof expr = %d", tySizeof, exprSizeof)
+	}
+}
+
+func TestParseSpansCoverFunction(t *testing.T) {
+	src := "int f() {\n  return 1;\n}\n"
+	tu := parseSrc(t, "a.c", src)
+	f := tu.Funcs()[0]
+	sp := f.Span()
+	if sp.Start.Line != 1 {
+		t.Errorf("start line = %d", sp.Start.Line)
+	}
+	if sp.End.Line < 3 {
+		t.Errorf("end line = %d, want >= 3", sp.End.Line)
+	}
+}
+
+func TestParseExternC(t *testing.T) {
+	tu := parseSrc(t, "a.cc", `
+extern "C" {
+int c_func(int x);
+int c_impl(int x) { return x; }
+}
+`)
+	if len(tu.Funcs()) != 1 {
+		t.Errorf("extern C functions = %d", len(tu.Funcs()))
+	}
+}
+
+func TestParseAllFileSet(t *testing.T) {
+	fs := srcfile.NewFileSet()
+	fs.AddSource("m1/a.c", "int f() { return 0; }")
+	fs.AddSource("m2/b.cc", "int g() { return 1; }")
+	units, errs := ParseAll(fs, Options{})
+	if len(errs) != 0 {
+		t.Errorf("errors: %v", errs)
+	}
+	if len(units) != 2 {
+		t.Errorf("units = %d", len(units))
+	}
+}

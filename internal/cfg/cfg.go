@@ -1,0 +1,402 @@
+// Package cfg builds per-function control-flow graphs from ccast trees.
+//
+// The graphs drive three consumers: cyclomatic complexity (E - N + 2),
+// structural checks (single-entry/single-exit, unreachable code), and the
+// decision inventory used by branch and MC/DC coverage.
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/ccast"
+	"repro/internal/srcfile"
+)
+
+// Node is one basic block.
+type Node struct {
+	ID int
+	// Stmts are the non-branching statements grouped into this block.
+	Stmts []ccast.Stmt
+	// Cond is the controlling expression when the block ends in a branch.
+	Cond ccast.Expr
+	// Succs are outgoing edges in evaluation order (true edge first for
+	// conditional blocks).
+	Succs []*Node
+	// Label names the block for diagnostics ("entry", "exit", "if.then"...).
+	Label string
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn    *ccast.FuncDecl
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+	// Decisions are the controlling expressions of branching constructs in
+	// source order (if/while/do/for conditions, and one per case value).
+	Decisions []Decision
+}
+
+// DecisionKind classifies where a decision comes from.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	DecisionIf DecisionKind = iota
+	DecisionWhile
+	DecisionDoWhile
+	DecisionFor
+	DecisionCase
+	DecisionTernary
+)
+
+// String names the decision kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionIf:
+		return "if"
+	case DecisionWhile:
+		return "while"
+	case DecisionDoWhile:
+		return "do-while"
+	case DecisionFor:
+		return "for"
+	case DecisionCase:
+		return "case"
+	case DecisionTernary:
+		return "?:"
+	default:
+		return fmt.Sprintf("DecisionKind(%d)", int(k))
+	}
+}
+
+// Decision is one branching point.
+type Decision struct {
+	Kind DecisionKind
+	// Expr is the controlling expression (nil for a case decision, whose
+	// branch is the label equality test).
+	Expr ccast.Expr
+	Span srcfile.Span
+}
+
+// builder holds construction state.
+type builder struct {
+	g          *Graph
+	labels     map[string]*Node
+	gotoFixups map[string][]*Node
+	breakTgt   []*Node
+	contTgt    []*Node
+}
+
+// Build constructs the CFG for a function definition. It returns nil for
+// prototypes (no body).
+func Build(fn *ccast.FuncDecl) *Graph {
+	if fn == nil || fn.Body == nil {
+		return nil
+	}
+	b := &builder{
+		g:          &Graph{Fn: fn},
+		labels:     make(map[string]*Node),
+		gotoFixups: make(map[string][]*Node),
+	}
+	b.g.Entry = b.newNode("entry")
+	b.g.Exit = b.newNode("exit")
+
+	last := b.buildStmts(fn.Body.Stmts, b.g.Entry)
+	if last != nil {
+		b.link(last, b.g.Exit)
+	}
+	// Resolve forward gotos.
+	for name, sources := range b.gotoFixups {
+		tgt := b.labels[name]
+		if tgt == nil {
+			tgt = b.g.Exit // unknown label: treat as function exit
+		}
+		for _, src := range sources {
+			b.link(src, tgt)
+		}
+	}
+	b.collectDecisions(fn.Body)
+	return b.g
+}
+
+func (b *builder) newNode(label string) *Node {
+	n := &Node{ID: len(b.g.Nodes), Label: label}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *builder) link(from, to *Node) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// buildStmts threads stmts from cur; returns the live fall-through block or
+// nil when control cannot fall out (return/break/goto on all paths).
+func (b *builder) buildStmts(stmts []ccast.Stmt, cur *Node) *Node {
+	for _, s := range stmts {
+		if cur == nil {
+			// Unreachable code after a jump: give it its own block so the
+			// complexity and coverage accounting still see it.
+			cur = b.newNode("unreachable")
+		}
+		cur = b.buildStmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) buildStmt(s ccast.Stmt, cur *Node) *Node {
+	switch s := s.(type) {
+	case *ccast.Block:
+		return b.buildStmts(s.Stmts, cur)
+
+	case *ccast.If:
+		cur.Cond = s.Cond
+		cur.Label = "if"
+		join := b.newNode("if.join")
+		thenB := b.newNode("if.then")
+		b.link(cur, thenB)
+		thenEnd := b.buildStmt(s.Then, thenB)
+		if thenEnd != nil {
+			b.link(thenEnd, join)
+		}
+		if s.Else != nil {
+			elseB := b.newNode("if.else")
+			b.link(cur, elseB)
+			elseEnd := b.buildStmt(s.Else, elseB)
+			if elseEnd != nil {
+				b.link(elseEnd, join)
+			}
+		} else {
+			b.link(cur, join)
+		}
+		if len(join.Succs) == 0 && joinUnreached(join) {
+			// keep join; may be linked later by gotos
+		}
+		return join
+
+	case *ccast.While:
+		head := b.newNode("while.head")
+		b.link(cur, head)
+		head.Cond = s.Cond
+		body := b.newNode("while.body")
+		exit := b.newNode("while.exit")
+		b.link(head, body)
+		b.link(head, exit)
+		b.breakTgt = append(b.breakTgt, exit)
+		b.contTgt = append(b.contTgt, head)
+		bodyEnd := b.buildStmt(s.Body, body)
+		b.breakTgt = b.breakTgt[:len(b.breakTgt)-1]
+		b.contTgt = b.contTgt[:len(b.contTgt)-1]
+		if bodyEnd != nil {
+			b.link(bodyEnd, head)
+		}
+		return exit
+
+	case *ccast.DoWhile:
+		body := b.newNode("do.body")
+		b.link(cur, body)
+		cond := b.newNode("do.cond")
+		cond.Cond = s.Cond
+		exit := b.newNode("do.exit")
+		b.breakTgt = append(b.breakTgt, exit)
+		b.contTgt = append(b.contTgt, cond)
+		bodyEnd := b.buildStmt(s.Body, body)
+		b.breakTgt = b.breakTgt[:len(b.breakTgt)-1]
+		b.contTgt = b.contTgt[:len(b.contTgt)-1]
+		if bodyEnd != nil {
+			b.link(bodyEnd, cond)
+		}
+		b.link(cond, body)
+		b.link(cond, exit)
+		return exit
+
+	case *ccast.For:
+		if s.Init != nil {
+			cur = b.buildStmt(s.Init, cur)
+		}
+		head := b.newNode("for.head")
+		b.link(cur, head)
+		body := b.newNode("for.body")
+		exit := b.newNode("for.exit")
+		post := b.newNode("for.post")
+		if s.Cond != nil {
+			head.Cond = s.Cond
+			b.link(head, body)
+			b.link(head, exit)
+		} else {
+			b.link(head, body)
+		}
+		b.breakTgt = append(b.breakTgt, exit)
+		b.contTgt = append(b.contTgt, post)
+		bodyEnd := b.buildStmt(s.Body, body)
+		b.breakTgt = b.breakTgt[:len(b.breakTgt)-1]
+		b.contTgt = b.contTgt[:len(b.contTgt)-1]
+		if bodyEnd != nil {
+			b.link(bodyEnd, post)
+		}
+		b.link(post, head)
+		return exit
+
+	case *ccast.Switch:
+		cur.Cond = s.Tag
+		cur.Label = "switch"
+		exit := b.newNode("switch.exit")
+		b.breakTgt = append(b.breakTgt, exit)
+		var prevFall *Node
+		hasDefault := false
+		for _, c := range s.Cases {
+			cb := b.newNode("case")
+			b.link(cur, cb)
+			if len(c.Values) == 0 {
+				hasDefault = true
+			}
+			if prevFall != nil {
+				b.link(prevFall, cb)
+			}
+			end := b.buildStmts(c.Body, cb)
+			prevFall = end
+		}
+		if prevFall != nil {
+			b.link(prevFall, exit)
+		}
+		if !hasDefault {
+			b.link(cur, exit)
+		}
+		b.breakTgt = b.breakTgt[:len(b.breakTgt)-1]
+		return exit
+
+	case *ccast.Break:
+		cur.Stmts = append(cur.Stmts, s)
+		if len(b.breakTgt) > 0 {
+			b.link(cur, b.breakTgt[len(b.breakTgt)-1])
+		} else {
+			b.link(cur, b.g.Exit)
+		}
+		return nil
+
+	case *ccast.Continue:
+		cur.Stmts = append(cur.Stmts, s)
+		if len(b.contTgt) > 0 {
+			b.link(cur, b.contTgt[len(b.contTgt)-1])
+		} else {
+			b.link(cur, b.g.Exit)
+		}
+		return nil
+
+	case *ccast.Return:
+		cur.Stmts = append(cur.Stmts, s)
+		b.link(cur, b.g.Exit)
+		return nil
+
+	case *ccast.Goto:
+		cur.Stmts = append(cur.Stmts, s)
+		if tgt, ok := b.labels[s.Label]; ok {
+			b.link(cur, tgt)
+		} else {
+			b.gotoFixups[s.Label] = append(b.gotoFixups[s.Label], cur)
+		}
+		return nil
+
+	case *ccast.Label:
+		lb := b.newNode("label." + s.Name)
+		b.labels[s.Name] = lb
+		b.link(cur, lb)
+		return b.buildStmt(s.Stmt, lb)
+
+	case *ccast.Empty:
+		return cur
+
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+func joinUnreached(n *Node) bool { return len(n.Stmts) == 0 }
+
+// collectDecisions walks the body gathering branching points in source order.
+func (b *builder) collectDecisions(body *ccast.Block) {
+	ccast.Walk(body, func(n ccast.Node) bool {
+		switch n := n.(type) {
+		case *ccast.If:
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionIf, Expr: n.Cond, Span: n.Span()})
+		case *ccast.While:
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionWhile, Expr: n.Cond, Span: n.Span()})
+		case *ccast.DoWhile:
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionDoWhile, Expr: n.Cond, Span: n.Span()})
+		case *ccast.For:
+			if n.Cond != nil {
+				b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionFor, Expr: n.Cond, Span: n.Span()})
+			}
+		case *ccast.Switch:
+			for _, c := range n.Cases {
+				for range c.Values {
+					b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionCase, Span: c.Span()})
+				}
+			}
+		case *ccast.Cond:
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionTernary, Expr: n.C, Span: n.Span()})
+		}
+		return true
+	})
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		n += len(nd.Succs)
+	}
+	return n
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Cyclomatic returns the graph-theoretic cyclomatic number E - N + 2.
+// Compound logical conditions are not expanded in the graph; callers who
+// want Lizard-compatible CCN should use metrics.Cyclomatic, which counts
+// short-circuit operators as decisions too.
+func (g *Graph) Cyclomatic() int {
+	return g.NumEdges() - g.NumNodes() + 2
+}
+
+// ExitEdges returns how many distinct blocks jump to the exit node. A
+// single-exit function (ISO 26262-6 Table 8 item 1) has exactly one.
+func (g *Graph) ExitEdges() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		for _, s := range nd.Succs {
+			if s == g.Exit {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Reachable returns the set of node IDs reachable from the entry.
+func (g *Graph) Reachable() map[int]bool {
+	seen := make(map[int]bool)
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		if n == nil || seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		for _, s := range n.Succs {
+			dfs(s)
+		}
+	}
+	dfs(g.Entry)
+	return seen
+}

@@ -1,0 +1,264 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/srcfile"
+)
+
+func buildFrom(t *testing.T, src string) *Graph {
+	t.Helper()
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	funcs := tu.Funcs()
+	if len(funcs) != 1 {
+		t.Fatalf("want 1 function, got %d", len(funcs))
+	}
+	g := Build(funcs[0])
+	if g == nil {
+		t.Fatal("nil graph")
+	}
+	return g
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFrom(t, "int f() { int x = 1; x++; return x; }")
+	if got := g.Cyclomatic(); got != 1 {
+		t.Errorf("cyclomatic = %d, want 1", got)
+	}
+	if got := g.ExitEdges(); got != 1 {
+		t.Errorf("exit edges = %d, want 1", got)
+	}
+}
+
+func TestIfAddsOne(t *testing.T) {
+	g := buildFrom(t, "int f(int a) { if (a) { a++; } return a; }")
+	if got := g.Cyclomatic(); got != 2 {
+		t.Errorf("cyclomatic = %d, want 2", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFrom(t, "int f(int a) { if (a) { a++; } else { a--; } return a; }")
+	if got := g.Cyclomatic(); got != 2 {
+		t.Errorf("cyclomatic = %d, want 2", got)
+	}
+}
+
+func TestNestedIf(t *testing.T) {
+	g := buildFrom(t, "int f(int a) { if (a) { if (a > 1) { a++; } } return a; }")
+	if got := g.Cyclomatic(); got != 3 {
+		t.Errorf("cyclomatic = %d, want 3", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	g := buildFrom(t, "int f(int a) { while (a > 0) { a--; } return a; }")
+	if got := g.Cyclomatic(); got != 2 {
+		t.Errorf("cyclomatic = %d, want 2", got)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	g := buildFrom(t, "int f(int a) { do { a--; } while (a > 0); return a; }")
+	if got := g.Cyclomatic(); got != 2 {
+		t.Errorf("cyclomatic = %d, want 2", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildFrom(t, "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }")
+	if got := g.Cyclomatic(); got != 2 {
+		t.Errorf("cyclomatic = %d, want 2", got)
+	}
+}
+
+func TestSwitchCases(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    switch (a) {
+    case 0: a = 1; break;
+    case 1: a = 2; break;
+    default: a = 0;
+    }
+    return a;
+}`)
+	// switch with 2 cases + default: complexity 3 (E-N+2 counts each case
+	// edge; default covers the remaining path).
+	if got := g.Cyclomatic(); got != 3 {
+		t.Errorf("cyclomatic = %d, want 3", got)
+	}
+}
+
+func TestMultipleReturnsExitEdges(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    if (a < 0) return -1;
+    if (a == 0) return 0;
+    return 1;
+}`)
+	if got := g.ExitEdges(); got != 3 {
+		t.Errorf("exit edges = %d, want 3", got)
+	}
+}
+
+func TestGotoEdge(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    if (a < 0) goto fail;
+    return a;
+fail:
+    return -1;
+}`)
+	if got := g.Cyclomatic(); got < 2 {
+		t.Errorf("cyclomatic = %d, want >= 2", got)
+	}
+	if got := g.ExitEdges(); got != 2 {
+		t.Errorf("exit edges = %d, want 2", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := buildFrom(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+    }
+    return s;
+}`)
+	if got := g.Cyclomatic(); got != 4 {
+		t.Errorf("cyclomatic = %d, want 4", got)
+	}
+}
+
+func TestDecisionInventory(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a, int b) {
+    if (a > 0 && b > 0) { a++; }
+    while (a < 10) { a++; }
+    for (int i = 0; i < b; i++) { a += i; }
+    switch (a) { case 1: b = 1; break; case 2: b = 2; break; }
+    return a > b ? a : b;
+}`)
+	var kinds []DecisionKind
+	for _, d := range g.Decisions {
+		kinds = append(kinds, d.Kind)
+	}
+	want := []DecisionKind{DecisionIf, DecisionWhile, DecisionFor, DecisionCase, DecisionCase, DecisionTernary}
+	if len(kinds) != len(want) {
+		t.Fatalf("decisions = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("decision %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    return a;
+    a++;
+}`)
+	reach := g.Reachable()
+	if !reach[g.Entry.ID] || !reach[g.Exit.ID] {
+		t.Error("entry/exit must be reachable")
+	}
+	// The a++ block after return must be unreachable.
+	unreachable := 0
+	for _, n := range g.Nodes {
+		if !reach[n.ID] {
+			unreachable++
+		}
+	}
+	if unreachable == 0 {
+		t.Error("expected an unreachable block after return")
+	}
+}
+
+func TestPrototypeBuildsNil(t *testing.T) {
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: "int f(int a);"}
+	tu, _ := ccparse.Parse(f, ccparse.Options{})
+	for _, d := range tu.Decls {
+		if fd, ok := d.(*ccast.FuncDecl); ok {
+			if g := Build(fd); g != nil {
+				t.Error("prototype should build nil graph")
+			}
+		}
+	}
+}
+
+// Property: for randomly generated structured functions with simple (non
+// short-circuit) conditions, graph cyclomatic complexity equals the number
+// of simple decisions + 1, where a switch with k cases and no default
+// contributes k and with default contributes k (default absorbs one path).
+func TestCyclomaticMatchesDecisionsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		gen := &stmtGen{rng: rng, varCount: 2}
+		body, decisions := gen.genStmts(3, 2)
+		src := "int f(int a, int b) {\n" + body + "return a;\n}\n"
+		g := buildFrom(t, src)
+		want := decisions + 1
+		if got := g.Cyclomatic(); got != want {
+			t.Fatalf("trial %d: cyclomatic = %d, want %d\nsrc:\n%s", trial, got, want, src)
+		}
+	}
+}
+
+type stmtGen struct {
+	rng      *rand.Rand
+	varCount int
+}
+
+// genStmts emits up to n statements at the given max nesting depth,
+// returning source text and the number of decision points generated.
+func (g *stmtGen) genStmts(n, depth int) (string, int) {
+	var sb strings.Builder
+	decisions := 0
+	count := 1 + g.rng.Intn(n)
+	for i := 0; i < count; i++ {
+		s, d := g.genStmt(depth)
+		sb.WriteString(s)
+		decisions += d
+	}
+	return sb.String(), decisions
+}
+
+func (g *stmtGen) genStmt(depth int) (string, int) {
+	choice := g.rng.Intn(6)
+	if depth == 0 {
+		choice = g.rng.Intn(2) // only simple statements at depth 0
+	}
+	switch choice {
+	case 0:
+		return "a = a + 1;\n", 0
+	case 1:
+		return "b = a * 2;\n", 0
+	case 2:
+		inner, d := g.genStmts(2, depth-1)
+		return fmt.Sprintf("if (a > %d) {\n%s}\n", g.rng.Intn(10), inner), d + 1
+	case 3:
+		inner, d := g.genStmts(2, depth-1)
+		alt, d2 := g.genStmts(2, depth-1)
+		return fmt.Sprintf("if (b < %d) {\n%s} else {\n%s}\n", g.rng.Intn(10), inner, alt), d + d2 + 1
+	case 4:
+		inner, d := g.genStmts(2, depth-1)
+		return fmt.Sprintf("while (a < %d) {\na = a + 1;\n%s}\n", 5+g.rng.Intn(5), inner), d + 1
+	default:
+		inner, d := g.genStmts(2, depth-1)
+		return fmt.Sprintf("for (int i = 0; i < %d; i++) {\n%s}\n", 1+g.rng.Intn(5), inner), d + 1
+	}
+}

@@ -1,0 +1,138 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/srcfile"
+)
+
+func TestInfiniteForLoop(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    for (;;) {
+        a++;
+        if (a > 10) { break; }
+    }
+    return a;
+}`)
+	// for(;;) has no condition edge; the if provides the only decision.
+	if got := g.Cyclomatic(); got != 2 {
+		t.Errorf("cyclomatic = %d, want 2", got)
+	}
+	if got := g.ExitEdges(); got != 1 {
+		t.Errorf("exit edges = %d, want 1", got)
+	}
+}
+
+func TestSwitchWithoutDefault(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    switch (a) {
+    case 1: a = 10; break;
+    case 2: a = 20; break;
+    }
+    return a;
+}`)
+	// Without default the switch head gains a direct edge to the exit of
+	// the switch (the "no case matched" path).
+	if got := g.Cyclomatic(); got != 3 {
+		t.Errorf("cyclomatic = %d, want 3", got)
+	}
+}
+
+func TestSwitchFallthroughEdges(t *testing.T) {
+	g := buildFrom(t, `
+int f(int a) {
+    int acc = 0;
+    switch (a) {
+    case 1:
+        acc = 1;
+    case 2:
+        acc += 2;
+        break;
+    default:
+        acc = -1;
+    }
+    return acc;
+}`)
+	// Fallthrough adds an edge from case 1's body to case 2's body.
+	if got := g.Cyclomatic(); got < 3 {
+		t.Errorf("cyclomatic = %d, want >= 3 with fallthrough edge", got)
+	}
+}
+
+func TestEmptyFunctionGraph(t *testing.T) {
+	g := buildFrom(t, "void f() { }")
+	if got := g.Cyclomatic(); got != 1 {
+		t.Errorf("cyclomatic = %d, want 1", got)
+	}
+	reach := g.Reachable()
+	if !reach[g.Exit.ID] {
+		t.Error("exit unreachable in empty function")
+	}
+}
+
+func TestContinueOnlyLoop(t *testing.T) {
+	g := buildFrom(t, `
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        if (i == 2) { continue; }
+        n--;
+    }
+}`)
+	if got := g.Cyclomatic(); got != 3 {
+		t.Errorf("cyclomatic = %d, want 3", got)
+	}
+}
+
+func TestNestedLoopsDecisions(t *testing.T) {
+	g := buildFrom(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < i; j++) {
+            while (s > 100) { s -= 10; }
+            s += j;
+        }
+    }
+    return s;
+}`)
+	if got := len(g.Decisions); got != 3 {
+		t.Errorf("decisions = %d, want 3", got)
+	}
+	if got := g.Cyclomatic(); got != 4 {
+		t.Errorf("cyclomatic = %d, want 4", got)
+	}
+}
+
+func TestDecisionKindStrings(t *testing.T) {
+	kinds := []DecisionKind{DecisionIf, DecisionWhile, DecisionDoWhile, DecisionFor, DecisionCase, DecisionTernary}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad decision kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGraphOnParsedCUDAKernel(t *testing.T) {
+	f := &srcfile.File{Path: "k.cu", Lang: srcfile.LangCUDA, Src: `
+__global__ void kern(float* x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) {
+        return;
+    }
+    x[i] = 0.0f;
+}`}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	g := Build(tu.Funcs()[0])
+	if g.ExitEdges() != 2 {
+		t.Errorf("kernel exit edges = %d, want 2 (early return + fall-through)", g.ExitEdges())
+	}
+}

@@ -1,0 +1,242 @@
+package cinterp
+
+import (
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/srcfile"
+)
+
+func mustMachine(t *testing.T, src string) *Machine {
+	t.Helper()
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return NewMachine(tu)
+}
+
+func TestValueConversions(t *testing.T) {
+	if IntVal(5).AsFloat() != 5 {
+		t.Error("int→float")
+	}
+	if FloatVal(3.9).AsInt() != 3 {
+		t.Error("float→int must truncate")
+	}
+	if FloatVal(-3.9).AsInt() != -3 {
+		t.Error("negative float→int must truncate toward zero")
+	}
+	if NullPtr().AsInt() != 0 {
+		t.Error("null pointer as int")
+	}
+	blk := make([]Value, 1)
+	if PtrVal(blk, 0).AsInt() != 1 {
+		t.Error("non-null pointer truthiness as int")
+	}
+}
+
+func TestValueTruthiness(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{IntVal(0), false}, {IntVal(-1), true}, {FloatVal(0), false},
+		{FloatVal(0.001), true}, {NullPtr(), false},
+		{PtrVal(make([]Value, 1), 0), true},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, c.v.Truthy())
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	for _, v := range []Value{IntVal(1), FloatVal(2.5), NullPtr(), PtrVal(make([]Value, 3), 1)} {
+		if v.String() == "" {
+			t.Error("empty value string")
+		}
+	}
+}
+
+func TestGlobalInitializerExpression(t *testing.T) {
+	m := mustMachine(t, `
+int base = 10 * 4 + 2;
+int get_base() { return base; }`)
+	if got := callInt(t, m, "get_base"); got != 42 {
+		t.Errorf("global init = %d, want 42", got)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	m := mustMachine(t, `
+int inc(int x) { return x + 1; }
+int f(int x) { return inc(inc(inc(x))); }`)
+	if got := callInt(t, m, "f", IntVal(0)); got != 3 {
+		t.Errorf("nested calls = %d", got)
+	}
+}
+
+func TestScopingBlockLocals(t *testing.T) {
+	m := mustMachine(t, `
+int f(int a) {
+    int x = 1;
+    {
+        int x = 100;
+        a += x;
+    }
+    return a + x;
+}`)
+	// a=0: 0+100+1 = 101.
+	if got := callInt(t, m, "f", IntVal(0)); got != 101 {
+		t.Errorf("block scoping = %d, want 101", got)
+	}
+}
+
+func TestForScopeLeak(t *testing.T) {
+	m := mustMachine(t, `
+int f(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) { total += i; }
+    for (int i = 0; i < n; i++) { total += i; }
+    return total;
+}`)
+	if got := callInt(t, m, "f", IntVal(4)); got != 12 {
+		t.Errorf("two for loops = %d, want 12", got)
+	}
+}
+
+func TestPointerComparisonSemantics(t *testing.T) {
+	m := mustMachine(t, `
+int same(float* a, float* b) { return a == b; }`)
+	blk := make([]Value, 4)
+	if callInt(t, m, "same", PtrVal(blk, 0), PtrVal(blk, 0)) != 1 {
+		t.Error("identical pointers must compare equal")
+	}
+	if callInt(t, m, "same", PtrVal(blk, 0), PtrVal(blk, 1)) != 0 {
+		t.Error("offset pointers must compare unequal")
+	}
+	if callInt(t, m, "same", NullPtr(), NullPtr()) != 1 {
+		t.Error("null == null")
+	}
+	if callInt(t, m, "same", PtrVal(blk, 0), NullPtr()) != 0 {
+		t.Error("ptr == null must be false")
+	}
+}
+
+func TestPointerDifference(t *testing.T) {
+	m := mustMachine(t, `
+int dist(float* a) {
+    float* b = a + 5;
+    return b - a;
+}`)
+	if got := callInt(t, m, "dist", PtrVal(make([]Value, 8), 0)); got != 5 {
+		t.Errorf("pointer difference = %d", got)
+	}
+}
+
+func TestNegativeModuloAndDivision(t *testing.T) {
+	m := mustMachine(t, `
+int mod(int a, int b) { return a % b; }
+int div(int a, int b) { return a / b; }`)
+	// C semantics: truncation toward zero.
+	if got := callInt(t, m, "mod", IntVal(-7), IntVal(3)); got != -1 {
+		t.Errorf("-7 %% 3 = %d, want -1", got)
+	}
+	if got := callInt(t, m, "div", IntVal(-7), IntVal(3)); got != -2 {
+		t.Errorf("-7 / 3 = %d, want -2", got)
+	}
+}
+
+func TestCastTruncation(t *testing.T) {
+	m := mustMachine(t, `
+int f(float x) { return (int)x + (int)(x * 2.0f); }`)
+	if got := callInt(t, m, "f", FloatVal(1.9)); got != 1+3 {
+		t.Errorf("cast arithmetic = %d, want 4", got)
+	}
+}
+
+func TestWriteThroughFunctionPointerParam(t *testing.T) {
+	m := mustMachine(t, `
+void fill(float* dst, int n, float v) {
+    for (int i = 0; i < n; i++) { dst[i] = v; }
+}
+float sum_after_fill(int n) {
+    float buf[8];
+    fill(buf, n, 2.5f);
+    float s = 0;
+    for (int i = 0; i < n; i++) { s += buf[i]; }
+    return s;
+}`)
+	if got := callFloat(t, m, "sum_after_fill", IntVal(4)); got != 10 {
+		t.Errorf("aliased write = %v, want 10", got)
+	}
+}
+
+func TestVoidFunctionReturnsZeroValue(t *testing.T) {
+	m := mustMachine(t, `void noop() { }`)
+	v, err := m.Call("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 0 {
+		t.Errorf("void return = %v", v)
+	}
+}
+
+func TestEarlyReturnSkipsRest(t *testing.T) {
+	m := mustMachine(t, `
+int calls = 0;
+int side() { calls++; return 1; }
+int f(int a) {
+    if (a > 0) { return 0; }
+    side();
+    return calls;
+}
+int observed() { return calls; }`)
+	callInt(t, m, "f", IntVal(5))
+	if got := callInt(t, m, "observed"); got != 0 {
+		t.Errorf("side effect after return: calls = %d", got)
+	}
+}
+
+func TestDeepRecursionBudget(t *testing.T) {
+	m := mustMachine(t, `
+int down(int n) {
+    if (n <= 0) { return 0; }
+    return down(n - 1);
+}`)
+	m.MaxSteps = 100000
+	if _, err := m.Call("down", IntVal(1_000_000)); err == nil {
+		t.Error("expected budget exhaustion on deep recursion")
+	}
+}
+
+func TestStringLiteralArgumentsAreInert(t *testing.T) {
+	m := mustMachine(t, `
+int f() {
+    printf("value: %d\n", 42);
+    return 1;
+}`)
+	if got := callInt(t, m, "f"); got != 1 {
+		t.Errorf("printf flow = %d", got)
+	}
+	if m.Printed != 1 {
+		t.Errorf("printed = %d", m.Printed)
+	}
+}
+
+func TestCompoundAssignOnArrayElement(t *testing.T) {
+	m := mustMachine(t, `
+int f() {
+    int a[3];
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    a[1] *= 10;
+    a[2] += a[1];
+    return a[2];
+}`)
+	if got := callInt(t, m, "f"); got != 23 {
+		t.Errorf("compound on element = %d, want 23", got)
+	}
+}

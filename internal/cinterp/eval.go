@@ -1,0 +1,732 @@
+package cinterp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ccast"
+)
+
+// cudaBuiltins are the CUDA geometry variables resolved via
+// Machine.CUDAVars during kernel emulation.
+var cudaBuiltins = map[string]bool{
+	"threadIdx": true, "blockIdx": true, "blockDim": true, "gridDim": true,
+}
+
+// eval computes an expression value.
+func (fr *frame) eval(e ccast.Expr) (Value, error) {
+	if err := fr.m.step(e.Span().Start.Line); err != nil {
+		return Value{}, err
+	}
+	switch x := e.(type) {
+	case *litExpr:
+		return x.v, nil
+	case *ccast.IntLit:
+		return IntVal(x.Value), nil
+	case *ccast.FloatLit:
+		return FloatVal(x.Value), nil
+	case *ccast.CharLit:
+		return IntVal(x.Value), nil
+	case *ccast.StringLit:
+		// Strings appear only as printf formats; model as non-null ptr.
+		blk := make([]Value, 1)
+		return PtrVal(blk, 0), nil
+	case *ccast.BoolLit:
+		if x.IsNull {
+			return NullPtr(), nil
+		}
+		if x.Value {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+
+	case *ccast.Ident:
+		if x.Name == "NULL" {
+			return NullPtr(), nil
+		}
+		if blk, ok := fr.lookup(x.Name); ok {
+			// Arrays decay to pointers when the block is larger than a
+			// scalar cell; scalars load their single element.
+			if len(blk) > 1 {
+				return PtrVal(blk, 0), nil
+			}
+			return blk[0], nil
+		}
+		return Value{}, &RuntimeError{
+			Msg: fmt.Sprintf("undefined identifier %q", x.Name), Line: x.Span().Start.Line,
+		}
+
+	case *ccast.Paren:
+		return fr.eval(x.X)
+
+	case *ccast.Unary:
+		return fr.evalUnary(x)
+
+	case *ccast.Postfix:
+		blk, off, err := fr.lvalue(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		old := blk[off]
+		delta := int64(1)
+		if x.Op == "--" {
+			delta = -1
+		}
+		blk[off] = addValue(old, delta)
+		return old, nil
+
+	case *ccast.Binary:
+		return fr.evalBinary(x)
+
+	case *ccast.Assign:
+		return fr.evalAssign(x)
+
+	case *ccast.Cond:
+		c, err := fr.evalDecision(x, x.C)
+		if err != nil {
+			return Value{}, err
+		}
+		if c {
+			return fr.eval(x.T)
+		}
+		return fr.eval(x.F)
+
+	case *ccast.Index:
+		blk, off, err := fr.lvalue(x)
+		if err != nil {
+			return Value{}, err
+		}
+		return blk[off], nil
+
+	case *ccast.Member:
+		// CUDA geometry: threadIdx.x etc.
+		if id, ok := x.X.(*ccast.Ident); ok && cudaBuiltins[id.Name] {
+			return fr.cudaComponent(id.Name, x.Name, x.Span().Start.Line)
+		}
+		return Value{}, &RuntimeError{
+			Msg: fmt.Sprintf("member access .%s not supported", x.Name), Line: x.Span().Start.Line,
+		}
+
+	case *ccast.Cast:
+		v, err := fr.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return castTo(v, x.To), nil
+
+	case *ccast.SizeofExpr:
+		if x.Type != nil {
+			return IntVal(sizeofType(x.Type)), nil
+		}
+		return IntVal(4), nil
+
+	case *ccast.Call:
+		return fr.evalCall(x)
+
+	case *ccast.KernelLaunch:
+		if fr.m.LaunchHandler == nil {
+			return Value{}, &RuntimeError{
+				Msg:  "kernel launch requires the cuda emulation layer",
+				Line: x.Span().Start.Line,
+			}
+		}
+		id, ok := x.Fun.(*ccast.Ident)
+		if !ok {
+			return Value{}, &RuntimeError{Msg: "unsupported kernel expression", Line: x.Span().Start.Line}
+		}
+		config := make([]Value, len(x.Config))
+		for i, c := range x.Config {
+			v, err := fr.eval(c)
+			if err != nil {
+				return Value{}, err
+			}
+			config[i] = v
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := fr.eval(a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		if err := fr.m.LaunchHandler(id.Name, config, args); err != nil {
+			return Value{}, err
+		}
+		return IntVal(0), nil
+
+	case *ccast.NewExpr:
+		n := 1
+		if x.Count != nil {
+			cv, err := fr.eval(x.Count)
+			if err != nil {
+				return Value{}, err
+			}
+			n = int(cv.AsInt())
+		}
+		if n < 1 {
+			n = 1
+		}
+		blk := make([]Value, n)
+		if isFloatType(x.Type) {
+			for i := range blk {
+				blk[i] = FloatVal(0)
+			}
+		}
+		return PtrVal(blk, 0), nil
+
+	case *ccast.DeleteExpr:
+		_, err := fr.eval(x.X)
+		return IntVal(0), err
+
+	case *ccast.Comma:
+		if _, err := fr.eval(x.L); err != nil {
+			return Value{}, err
+		}
+		return fr.eval(x.R)
+
+	case *ccast.InitList:
+		// Appears as a value only in scalar contexts; take first element.
+		if len(x.Elems) > 0 {
+			return fr.eval(x.Elems[0])
+		}
+		return IntVal(0), nil
+
+	default:
+		return Value{}, &RuntimeError{
+			Msg: fmt.Sprintf("unsupported expression %T", e), Line: e.Span().Start.Line,
+		}
+	}
+}
+
+func (fr *frame) cudaComponent(builtin, comp string, line int) (Value, error) {
+	vars := fr.m.CUDAVars
+	if vars == nil {
+		return Value{}, &RuntimeError{
+			Msg: fmt.Sprintf("%s.%s used outside kernel emulation", builtin, comp), Line: line,
+		}
+	}
+	xyz := vars[builtin]
+	switch comp {
+	case "x":
+		return IntVal(xyz[0]), nil
+	case "y":
+		return IntVal(xyz[1]), nil
+	case "z":
+		return IntVal(xyz[2]), nil
+	default:
+		return Value{}, &RuntimeError{Msg: fmt.Sprintf("unknown component %q", comp), Line: line}
+	}
+}
+
+func (fr *frame) evalUnary(x *ccast.Unary) (Value, error) {
+	switch x.Op {
+	case "&":
+		blk, off, err := fr.lvalue(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return PtrVal(blk, off), nil
+	case "*":
+		v, err := fr.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindPtr || v.Blk == nil || v.Off < 0 || v.Off >= len(v.Blk) {
+			return Value{}, &RuntimeError{Msg: "invalid pointer dereference", Line: x.Span().Start.Line}
+		}
+		return v.Blk[v.Off], nil
+	case "++", "--":
+		blk, off, err := fr.lvalue(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		delta := int64(1)
+		if x.Op == "--" {
+			delta = -1
+		}
+		blk[off] = addValue(blk[off], delta)
+		return blk[off], nil
+	case "-":
+		v, err := fr.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind == KindFloat {
+			return FloatVal(-v.F), nil
+		}
+		return IntVal(-v.AsInt()), nil
+	case "+":
+		return fr.eval(x.X)
+	case "!":
+		v, err := fr.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Truthy() {
+			return IntVal(0), nil
+		}
+		return IntVal(1), nil
+	case "~":
+		v, err := fr.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(^v.AsInt()), nil
+	default:
+		return Value{}, &RuntimeError{Msg: fmt.Sprintf("unsupported unary %q", x.Op), Line: x.Span().Start.Line}
+	}
+}
+
+// addValue adds an integer delta preserving numeric/pointer kind.
+func addValue(v Value, delta int64) Value {
+	switch v.Kind {
+	case KindFloat:
+		return FloatVal(v.F + float64(delta))
+	case KindPtr:
+		return PtrVal(v.Blk, v.Off+int(delta))
+	default:
+		return IntVal(v.I + delta)
+	}
+}
+
+func (fr *frame) evalBinary(x *ccast.Binary) (Value, error) {
+	// Short-circuit operators outside decision context still short-circuit.
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := fr.eval(x.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "&&" && !l.Truthy() {
+			return IntVal(0), nil
+		}
+		if x.Op == "||" && l.Truthy() {
+			return IntVal(1), nil
+		}
+		r, err := fr.eval(x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Truthy() {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+	}
+
+	l, err := fr.eval(x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := fr.eval(x.R)
+	if err != nil {
+		return Value{}, err
+	}
+
+	// Pointer arithmetic and comparison.
+	if l.Kind == KindPtr || r.Kind == KindPtr {
+		return evalPtrBinary(x, l, r)
+	}
+
+	isF := l.Kind == KindFloat || r.Kind == KindFloat
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		if isF {
+			a, b := l.AsFloat(), r.AsFloat()
+			switch x.Op {
+			case "+":
+				return FloatVal(a + b), nil
+			case "-":
+				return FloatVal(a - b), nil
+			case "*":
+				return FloatVal(a * b), nil
+			case "/":
+				if b == 0 {
+					return FloatVal(math.Inf(sign(a))), nil
+				}
+				return FloatVal(a / b), nil
+			case "%":
+				return FloatVal(math.Mod(a, b)), nil
+			}
+		}
+		a, b := l.AsInt(), r.AsInt()
+		switch x.Op {
+		case "+":
+			return IntVal(a + b), nil
+		case "-":
+			return IntVal(a - b), nil
+		case "*":
+			return IntVal(a * b), nil
+		case "/":
+			if b == 0 {
+				return Value{}, &RuntimeError{Msg: "integer division by zero", Line: x.Span().Start.Line}
+			}
+			return IntVal(a / b), nil
+		case "%":
+			if b == 0 {
+				return Value{}, &RuntimeError{Msg: "integer modulo by zero", Line: x.Span().Start.Line}
+			}
+			return IntVal(a % b), nil
+		}
+	case "<", ">", "<=", ">=", "==", "!=":
+		var res bool
+		if isF {
+			a, b := l.AsFloat(), r.AsFloat()
+			switch x.Op {
+			case "<":
+				res = a < b
+			case ">":
+				res = a > b
+			case "<=":
+				res = a <= b
+			case ">=":
+				res = a >= b
+			case "==":
+				res = a == b
+			case "!=":
+				res = a != b
+			}
+		} else {
+			a, b := l.AsInt(), r.AsInt()
+			switch x.Op {
+			case "<":
+				res = a < b
+			case ">":
+				res = a > b
+			case "<=":
+				res = a <= b
+			case ">=":
+				res = a >= b
+			case "==":
+				res = a == b
+			case "!=":
+				res = a != b
+			}
+		}
+		return boolVal(res), nil
+	case "&", "|", "^", "<<", ">>":
+		a, b := l.AsInt(), r.AsInt()
+		switch x.Op {
+		case "&":
+			return IntVal(a & b), nil
+		case "|":
+			return IntVal(a | b), nil
+		case "^":
+			return IntVal(a ^ b), nil
+		case "<<":
+			return IntVal(a << uint(b&63)), nil
+		case ">>":
+			return IntVal(a >> uint(b&63)), nil
+		}
+	}
+	return Value{}, &RuntimeError{Msg: fmt.Sprintf("unsupported binary %q", x.Op), Line: x.Span().Start.Line}
+}
+
+func evalPtrBinary(x *ccast.Binary, l, r Value) (Value, error) {
+	switch x.Op {
+	case "+":
+		if l.Kind == KindPtr {
+			return PtrVal(l.Blk, l.Off+int(r.AsInt())), nil
+		}
+		return PtrVal(r.Blk, r.Off+int(l.AsInt())), nil
+	case "-":
+		if l.Kind == KindPtr && r.Kind == KindPtr {
+			return IntVal(int64(l.Off - r.Off)), nil
+		}
+		if l.Kind == KindPtr {
+			return PtrVal(l.Blk, l.Off-int(r.AsInt())), nil
+		}
+	case "==", "!=":
+		same := samePtr(l, r)
+		if x.Op == "!=" {
+			same = !same
+		}
+		return boolVal(same), nil
+	case "<", ">", "<=", ">=":
+		a, b := int64(l.Off), int64(r.Off)
+		var res bool
+		switch x.Op {
+		case "<":
+			res = a < b
+		case ">":
+			res = a > b
+		case "<=":
+			res = a <= b
+		case ">=":
+			res = a >= b
+		}
+		return boolVal(res), nil
+	}
+	return Value{}, &RuntimeError{Msg: fmt.Sprintf("unsupported pointer op %q", x.Op), Line: x.Span().Start.Line}
+}
+
+func samePtr(l, r Value) bool {
+	lNull := l.Kind != KindPtr || l.Blk == nil
+	rNull := r.Kind != KindPtr || r.Blk == nil
+	if lNull || rNull {
+		// Comparing against null (or integer 0).
+		lz := lNull && l.AsInt() == 0 || l.IsNull()
+		rz := rNull && r.AsInt() == 0 || r.IsNull()
+		return lz == rz && (lz || sameBacking(l, r))
+	}
+	return sameBacking(l, r) && l.Off == r.Off
+}
+
+func sameBacking(l, r Value) bool {
+	if len(l.Blk) == 0 || len(r.Blk) == 0 {
+		return len(l.Blk) == len(r.Blk)
+	}
+	return &l.Blk[0] == &r.Blk[0]
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func sign(a float64) int {
+	if a < 0 {
+		return -1
+	}
+	return 1
+}
+
+func (fr *frame) evalAssign(x *ccast.Assign) (Value, error) {
+	blk, off, err := fr.lvalue(x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := fr.eval(x.R)
+	if err != nil {
+		return Value{}, err
+	}
+	if x.Op == "=" {
+		// Preserve float cell kind on plain stores into float slots.
+		if blk[off].Kind == KindFloat && r.Kind == KindInt {
+			r = FloatVal(r.AsFloat())
+		}
+		blk[off] = r
+		return r, nil
+	}
+	op := strings.TrimSuffix(x.Op, "=")
+	fake := &ccast.Binary{Op: op, L: &litExpr{v: blk[off]}, R: &litExpr{v: r}}
+	fake.SetSpan(x.Span())
+	v, err := fr.evalBinary(fake)
+	if err != nil {
+		return Value{}, err
+	}
+	blk[off] = v
+	return v, nil
+}
+
+// litExpr wraps an already-computed value as an expression operand for
+// compound assignment reuse of evalBinary.
+type litExpr struct {
+	ccast.Ident
+	v Value
+}
+
+// lvalue resolves an expression to a (block, offset) storage location.
+func (fr *frame) lvalue(e ccast.Expr) ([]Value, int, error) {
+	switch x := e.(type) {
+	case *ccast.Ident:
+		if blk, ok := fr.lookup(x.Name); ok {
+			return blk, 0, nil
+		}
+		return nil, 0, &RuntimeError{
+			Msg: fmt.Sprintf("undefined identifier %q", x.Name), Line: x.Span().Start.Line,
+		}
+	case *ccast.Paren:
+		return fr.lvalue(x.X)
+	case *ccast.Unary:
+		if x.Op == "*" {
+			v, err := fr.eval(x.X)
+			if err != nil {
+				return nil, 0, err
+			}
+			if v.Kind != KindPtr || v.Blk == nil || v.Off < 0 || v.Off >= len(v.Blk) {
+				return nil, 0, &RuntimeError{Msg: "invalid pointer store", Line: x.Span().Start.Line}
+			}
+			return v.Blk, v.Off, nil
+		}
+	case *ccast.Index:
+		base, err := fr.eval(x.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		idx, err := fr.eval(x.I)
+		if err != nil {
+			return nil, 0, err
+		}
+		if base.Kind != KindPtr || base.Blk == nil {
+			return nil, 0, &RuntimeError{Msg: "indexing non-pointer", Line: x.Span().Start.Line}
+		}
+		off := base.Off + int(idx.AsInt())
+		if off < 0 || off >= len(base.Blk) {
+			return nil, 0, &RuntimeError{
+				Msg:  fmt.Sprintf("index %d out of bounds (len %d)", off, len(base.Blk)),
+				Line: x.Span().Start.Line,
+			}
+		}
+		return base.Blk, off, nil
+	}
+	return nil, 0, &RuntimeError{
+		Msg: fmt.Sprintf("expression %T is not an lvalue", e), Line: e.Span().Start.Line,
+	}
+}
+
+// evalCall dispatches defined functions and builtins.
+func (fr *frame) evalCall(x *ccast.Call) (Value, error) {
+	name := ""
+	switch f := x.Fun.(type) {
+	case *ccast.Ident:
+		name = f.Name
+		if i := strings.LastIndex(name, "::"); i >= 0 {
+			name = name[i+2:]
+		}
+	case *ccast.Member:
+		name = f.Name
+	default:
+		return Value{}, &RuntimeError{Msg: "unsupported call target", Line: x.Span().Start.Line}
+	}
+
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := fr.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+
+	if fn, ok := fr.m.Funcs[name]; ok {
+		return fr.m.call(fn, args)
+	}
+	return fr.m.builtin(name, args, x.Span().Start.Line)
+}
+
+// builtin implements the libc/libm/CUDA-host subset the corpora use.
+func (m *Machine) builtin(name string, args []Value, line int) (Value, error) {
+	f1 := func(f func(float64) float64) (Value, error) {
+		if len(args) < 1 {
+			return Value{}, &RuntimeError{Msg: name + ": missing argument", Line: line}
+		}
+		return FloatVal(f(args[0].AsFloat())), nil
+	}
+	switch name {
+	case "printf", "fprintf", "puts", "putchar":
+		m.Printed++
+		return IntVal(0), nil
+	case "sqrt", "sqrtf":
+		return f1(math.Sqrt)
+	case "fabs", "fabsf":
+		return f1(math.Abs)
+	case "exp", "expf":
+		return f1(math.Exp)
+	case "log", "logf":
+		return f1(math.Log)
+	case "floor", "floorf":
+		return f1(math.Floor)
+	case "ceil", "ceilf":
+		return f1(math.Ceil)
+	case "pow", "powf":
+		if len(args) < 2 {
+			return Value{}, &RuntimeError{Msg: "pow: missing argument", Line: line}
+		}
+		return FloatVal(math.Pow(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "fmax", "fmaxf":
+		return FloatVal(math.Max(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "fmin", "fminf":
+		return FloatVal(math.Min(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "abs":
+		v := args[0].AsInt()
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v), nil
+	case "malloc", "calloc":
+		n := args[0].AsInt()
+		if name == "calloc" && len(args) > 1 {
+			n = args[0].AsInt() * args[1].AsInt()
+		}
+		elems := int(n / 4)
+		if elems < 1 {
+			elems = 1
+		}
+		return PtrVal(make([]Value, elems), 0), nil
+	case "free":
+		return IntVal(0), nil
+	case "memset":
+		if len(args) >= 3 && args[0].Kind == KindPtr && args[0].Blk != nil {
+			fill := args[1]
+			n := int(args[2].AsInt() / 4)
+			for i := 0; i < n && args[0].Off+i < len(args[0].Blk); i++ {
+				args[0].Blk[args[0].Off+i] = fill
+			}
+		}
+		return args[0], nil
+	case "memcpy":
+		if len(args) >= 3 && args[0].Kind == KindPtr && args[1].Kind == KindPtr {
+			n := int(args[2].AsInt() / 4)
+			for i := 0; i < n; i++ {
+				di, si := args[0].Off+i, args[1].Off+i
+				if di < len(args[0].Blk) && si < len(args[1].Blk) {
+					args[0].Blk[di] = args[1].Blk[si]
+				}
+			}
+		}
+		return args[0], nil
+	case "assert":
+		if len(args) == 1 && !args[0].Truthy() {
+			return Value{}, &RuntimeError{Msg: "assertion failed", Line: line}
+		}
+		return IntVal(0), nil
+	case "cudaDeviceSynchronize", "cudaGetLastError":
+		return IntVal(0), nil
+	default:
+		return Value{}, &RuntimeError{
+			Msg: fmt.Sprintf("call to undefined function %q", name), Line: line,
+		}
+	}
+}
+
+func castTo(v Value, t *ccast.Type) Value {
+	if t.PtrDepth > 0 {
+		if v.Kind == KindPtr {
+			return v
+		}
+		if v.AsInt() == 0 {
+			return NullPtr()
+		}
+		return v
+	}
+	if isFloatType(t) {
+		return FloatVal(v.AsFloat())
+	}
+	switch t.Name {
+	case "int", "long", "short", "unsigned", "signed", "char", "bool", "_Bool",
+		"size_t", "int32_t", "int64_t", "uint32_t", "long long",
+		"unsigned int", "unsigned long":
+		return IntVal(v.AsInt())
+	}
+	return v
+}
+
+func sizeofType(t *ccast.Type) int64 {
+	if t.PtrDepth > 0 {
+		return 8
+	}
+	switch t.Name {
+	case "double", "long double", "long long", "int64_t", "uint64_t", "long",
+		"size_t":
+		return 8
+	case "char", "int8_t", "uint8_t", "bool", "_Bool":
+		return 1
+	case "short", "int16_t", "uint16_t":
+		return 2
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,464 @@
+package cinterp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/srcfile"
+)
+
+func machine(t *testing.T, src string) *Machine {
+	t.Helper()
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return NewMachine(tu)
+}
+
+func callInt(t *testing.T, m *Machine, name string, args ...Value) int64 {
+	t.Helper()
+	v, err := m.Call(name, args...)
+	if err != nil {
+		t.Fatalf("Call(%s): %v", name, err)
+	}
+	return v.AsInt()
+}
+
+func callFloat(t *testing.T, m *Machine, name string, args ...Value) float64 {
+	t.Helper()
+	v, err := m.Call(name, args...)
+	if err != nil {
+		t.Fatalf("Call(%s): %v", name, err)
+	}
+	return v.AsFloat()
+}
+
+func TestArithmetic(t *testing.T) {
+	m := machine(t, `
+int calc(int a, int b) {
+    return (a + b) * 2 - a / b + a % b;
+}`)
+	if got := callInt(t, m, "calc", IntVal(7), IntVal(3)); got != 19 {
+		t.Errorf("calc(7,3) = %d, want 19", got)
+	}
+}
+
+func TestFloatPromotion(t *testing.T) {
+	m := machine(t, `
+float mix(int a, float b) { return a / 2 + b * 2.0f; }`)
+	got := callFloat(t, m, "mix", IntVal(5), FloatVal(1.5))
+	if got != 5.0 { // 5/2 = 2 (int div), + 3.0
+		t.Errorf("mix = %v, want 5", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m := machine(t, `
+int clamp(int x, int lo, int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}`)
+	cases := [][4]int64{{5, 0, 10, 5}, {-3, 0, 10, 0}, {42, 0, 10, 10}}
+	for _, c := range cases {
+		if got := callInt(t, m, "clamp", IntVal(c[0]), IntVal(c[1]), IntVal(c[2])); got != c[3] {
+			t.Errorf("clamp(%d,%d,%d) = %d, want %d", c[0], c[1], c[2], got, c[3])
+		}
+	}
+}
+
+func TestLoops(t *testing.T) {
+	m := machine(t, `
+int sum_to(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i++) { s += i; }
+    return s;
+}
+int count_down(int n) {
+    int c = 0;
+    while (n > 0) { n--; c++; }
+    return c;
+}
+int do_once(int n) {
+    int c = 0;
+    do { c++; } while (c < n);
+    return c;
+}`)
+	if got := callInt(t, m, "sum_to", IntVal(10)); got != 55 {
+		t.Errorf("sum_to(10) = %d", got)
+	}
+	if got := callInt(t, m, "count_down", IntVal(7)); got != 7 {
+		t.Errorf("count_down(7) = %d", got)
+	}
+	if got := callInt(t, m, "do_once", IntVal(0)); got != 1 {
+		t.Errorf("do_once(0) = %d, want 1 (body runs once)", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	m := machine(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i == 2) continue;
+        if (i == 5) break;
+        s += i;
+    }
+    return s;
+}`)
+	// 0+1+3+4 = 8
+	if got := callInt(t, m, "f", IntVal(10)); got != 8 {
+		t.Errorf("f(10) = %d, want 8", got)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	m := machine(t, `
+int classify(int x) {
+    switch (x) {
+    case 0: return 100;
+    case 1:
+    case 2: return 200;
+    default: return 300;
+    }
+}`)
+	for in, want := range map[int64]int64{0: 100, 1: 200, 2: 200, 9: 300} {
+		if got := callInt(t, m, "classify", IntVal(in)); got != want {
+			t.Errorf("classify(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	m := machine(t, `
+int f(int x) {
+    int acc = 0;
+    switch (x) {
+    case 1: acc += 1;
+    case 2: acc += 2; break;
+    case 3: acc += 4;
+    }
+    return acc;
+}`)
+	for in, want := range map[int64]int64{1: 3, 2: 2, 3: 4, 9: 0} {
+		if got := callInt(t, m, "f", IntVal(in)); got != want {
+			t.Errorf("f(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	m := machine(t, `
+float sum_array(float* a, int n) {
+    float s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+float run() {
+    float data[4];
+    for (int i = 0; i < 4; i++) { data[i] = (float)(i + 1); }
+    return sum_array(data, 4);
+}`)
+	if got := callFloat(t, m, "run"); got != 10 {
+		t.Errorf("run() = %v, want 10", got)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	m := machine(t, `
+int f() {
+    int a[5];
+    int* p = a;
+    *p = 10;
+    *(p + 2) = 20;
+    p++;
+    *p = 15;
+    return a[0] + a[1] + a[2];
+}`)
+	if got := callInt(t, m, "f"); got != 45 {
+		t.Errorf("f() = %d, want 45", got)
+	}
+}
+
+func TestAddressOfScalar(t *testing.T) {
+	m := machine(t, `
+void set42(int* p) { *p = 42; }
+int f() {
+    int x = 0;
+    set42(&x);
+    return x;
+}`)
+	if got := callInt(t, m, "f"); got != 42 {
+		t.Errorf("f() = %d, want 42", got)
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	m := machine(t, `
+float f(int n) {
+    float* buf = (float*)malloc(n * sizeof(float));
+    for (int i = 0; i < n; i++) { buf[i] = 2.0f; }
+    float s = 0;
+    for (int i = 0; i < n; i++) { s += buf[i]; }
+    free(buf);
+    return s;
+}`)
+	if got := callFloat(t, m, "f", IntVal(8)); got != 16 {
+		t.Errorf("f(8) = %v, want 16", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	m := machine(t, `
+int counter = 5;
+void bump() { counter++; }
+int get() { bump(); bump(); return counter; }`)
+	if got := callInt(t, m, "get"); got != 7 {
+		t.Errorf("get() = %d, want 7", got)
+	}
+}
+
+func TestRecursionRuns(t *testing.T) {
+	m := machine(t, `
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}`)
+	if got := callInt(t, m, "fact", IntVal(6)); got != 720 {
+		t.Errorf("fact(6) = %d", got)
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	m := machine(t, `
+float f(float x) { return sqrtf(x) + fabsf(0.0f - 1.0f) + fmaxf(x, 2.0f); }`)
+	got := callFloat(t, m, "f", FloatVal(9))
+	if math.Abs(got-(3+1+9)) > 1e-9 {
+		t.Errorf("f(9) = %v, want 13", got)
+	}
+}
+
+func TestTernaryAndLogic(t *testing.T) {
+	m := machine(t, `
+int f(int a, int b) { return (a > 0 && b > 0) ? a + b : -1; }`)
+	if got := callInt(t, m, "f", IntVal(2), IntVal(3)); got != 5 {
+		t.Errorf("f(2,3) = %d", got)
+	}
+	if got := callInt(t, m, "f", IntVal(2), IntVal(-3)); got != -1 {
+		t.Errorf("f(2,-3) = %d", got)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	m := machine(t, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int f(int a) {
+    if (a > 0 || bump()) { }
+    return calls;
+}`)
+	if got := callInt(t, m, "f", IntVal(1)); got != 0 {
+		t.Errorf("short circuit failed: calls = %d", got)
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	m := machine(t, `
+int f(int a) {
+    a += 3; a *= 2; a -= 1; a /= 3; a %= 4;
+    a <<= 2; a >>= 1; a |= 8; a &= 12; a ^= 5;
+    return a;
+}`)
+	want := int64(7)
+	a := int64(5)
+	a += 3
+	a *= 2
+	a -= 1
+	a /= 3
+	a %= 4
+	a <<= 2
+	a >>= 1
+	a |= 8
+	a &= 12
+	a ^= 5
+	want = a
+	if got := callInt(t, m, "f", IntVal(5)); got != want {
+		t.Errorf("f(5) = %d, want %d", got, want)
+	}
+}
+
+func TestCUDABuiltinsViaVars(t *testing.T) {
+	m := machine(t, `
+int idx() { return blockIdx.x * blockDim.x + threadIdx.x; }`)
+	m.CUDAVars = map[string][3]int64{
+		"blockIdx": {2, 0, 0}, "blockDim": {64, 1, 1}, "threadIdx": {5, 0, 0},
+	}
+	if got := callInt(t, m, "idx"); got != 133 {
+		t.Errorf("idx = %d, want 133", got)
+	}
+}
+
+func TestInfiniteLoopBudget(t *testing.T) {
+	m := machine(t, `void hang() { while (1) { } }`)
+	m.MaxSteps = 10000
+	if _, err := m.Call("hang"); err == nil {
+		t.Fatal("expected step-budget error")
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	m := machine(t, `int f(int a) { return 10 / a; }`)
+	if _, err := m.Call("f", IntVal(0)); err == nil {
+		t.Fatal("expected division error")
+	}
+}
+
+func TestOutOfBoundsError(t *testing.T) {
+	m := machine(t, `
+int f() {
+    int a[3];
+    return a[10];
+}`)
+	if _, err := m.Call("f"); err == nil {
+		t.Fatal("expected bounds error")
+	}
+}
+
+func TestUndefinedFunctionError(t *testing.T) {
+	m := machine(t, `int f() { return mystery(); }`)
+	if _, err := m.Call("f"); err == nil {
+		t.Fatal("expected undefined function error")
+	}
+	if _, err := m.Call("nothere"); err == nil {
+		t.Fatal("expected undefined entry error")
+	}
+}
+
+func TestNullPointerChecks(t *testing.T) {
+	m := machine(t, `
+int safe(float* p) {
+    if (p == NULL) return -1;
+    return 1;
+}`)
+	if got := callInt(t, m, "safe", NullPtr()); got != -1 {
+		t.Errorf("safe(NULL) = %d", got)
+	}
+	blk := make([]Value, 4)
+	if got := callInt(t, m, "safe", PtrVal(blk, 0)); got != 1 {
+		t.Errorf("safe(ptr) = %d", got)
+	}
+}
+
+func TestInitList(t *testing.T) {
+	m := machine(t, `
+int f() {
+    int a[3] = {10, 20, 30};
+    return a[0] + a[1] + a[2];
+}`)
+	if got := callInt(t, m, "f"); got != 60 {
+		t.Errorf("f() = %d, want 60", got)
+	}
+}
+
+func TestMemset(t *testing.T) {
+	m := machine(t, `
+int f() {
+    int a[4];
+    memset(a, 0, 4 * sizeof(int));
+    return a[0] + a[3];
+}`)
+	if got := callInt(t, m, "f"); got != 0 {
+		t.Errorf("f() = %d, want 0", got)
+	}
+}
+
+// Property: interpreted integer arithmetic matches Go semantics for a
+// fixed expression shape across random inputs.
+func TestArithmeticAgainstGoProperty(t *testing.T) {
+	m := machine(t, `
+int f(int a, int b) {
+    if (b == 0) { return a; }
+    return (a * 3 - b) / b + (a & b) - (a | 1);
+}`)
+	f := func(a, b int16) bool {
+		got := callInt(t, m, "f", IntVal(int64(a)), IntVal(int64(b)))
+		var want int64
+		A, B := int64(a), int64(b)
+		if B == 0 {
+			want = A
+		} else {
+			want = (A*3-B)/B + (A & B) - (A | 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sum over a filled array equals n*(n+1)/2 for random n.
+func TestArraySumProperty(t *testing.T) {
+	m := machine(t, `
+int tri(int n) {
+    int buf[64];
+    int s = 0;
+    for (int i = 0; i < n; i++) { buf[i] = i + 1; }
+    for (int i = 0; i < n; i++) { s += buf[i]; }
+    return s;
+}`)
+	f := func(n uint8) bool {
+		k := int64(n % 65)
+		m.Reset()
+		return callInt(t, m, "tri", IntVal(k)) == k*(k+1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	m := machine(t, `
+int f(int a) {
+    if (a > 0 && a < 10) { a++; }
+    return a;
+}`)
+	var stmts, decisions, conds int
+	m.Hooks = Hooks{
+		OnStmt:      func(ccast.Stmt) { stmts++ },
+		OnDecision:  func(ccast.Node, bool) { decisions++ },
+		OnCondition: func(ccast.Node, ccast.Expr, bool) { conds++ },
+	}
+	callInt(t, m, "f", IntVal(5))
+	if stmts < 3 {
+		t.Errorf("stmts = %d", stmts)
+	}
+	if decisions != 1 {
+		t.Errorf("decisions = %d", decisions)
+	}
+	if conds != 2 {
+		t.Errorf("conds = %d (both legs of && should evaluate)", conds)
+	}
+}
+
+func TestGotoUnsupportedAtRuntimeOnly(t *testing.T) {
+	m := machine(t, `
+int f(int a) {
+    if (a > 0) { return a; }
+    goto out;
+out:
+    return -1;
+}`)
+	// Path not taking goto works.
+	if got := callInt(t, m, "f", IntVal(3)); got != 3 {
+		t.Errorf("f(3) = %d", got)
+	}
+	// Path through goto errors (documented interpreter restriction).
+	if _, err := m.Call("f", IntVal(-1)); err == nil {
+		t.Error("goto execution should error")
+	}
+}

@@ -1,0 +1,510 @@
+package cinterp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ccast"
+)
+
+// Hooks receives execution events; the coverage package implements them.
+// All fields are optional.
+type Hooks struct {
+	// OnStmt fires for every executed non-compound statement.
+	OnStmt func(s ccast.Stmt)
+	// OnDecision fires after a decision (if/while/do/for/?:) evaluates,
+	// with the owning AST node and the outcome.
+	OnDecision func(owner ccast.Node, outcome bool)
+	// OnCondition fires for each evaluated leaf condition inside a
+	// decision, in evaluation order (short-circuited leaves do not fire).
+	OnCondition func(owner ccast.Node, leaf ccast.Expr, outcome bool)
+	// OnCase fires when a switch case label is tested.
+	OnCase func(c *ccast.CaseClause, matched bool)
+}
+
+// RuntimeError is an execution failure with location context.
+type RuntimeError struct {
+	Msg  string
+	Line int
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// Machine executes functions from a set of translation units.
+type Machine struct {
+	Funcs map[string]*ccast.FuncDecl
+	Hooks Hooks
+	// MaxSteps bounds execution to catch runaway loops (default 50M).
+	MaxSteps int64
+	// CUDAVars provides threadIdx/blockIdx/blockDim/gridDim components
+	// when kernels run under emulation; keyed by builtin name, value is
+	// [x, y, z].
+	CUDAVars map[string][3]int64
+	// LaunchHandler, when set, receives kernel launches
+	// (fun<<<grid, block>>>(args)); the cuda package installs the
+	// grid-iterating CPU emulation here. Without a handler, launches are
+	// runtime errors.
+	LaunchHandler func(kernel string, config, args []Value) error
+	// Printed counts printf-family calls (output is discarded).
+	Printed int
+
+	steps   int64
+	globals map[string][]Value
+}
+
+// NewMachine indexes the functions of the given units.
+func NewMachine(units ...*ccast.TranslationUnit) *Machine {
+	m := &Machine{
+		Funcs:    make(map[string]*ccast.FuncDecl),
+		MaxSteps: 50_000_000,
+		globals:  make(map[string][]Value),
+	}
+	for _, tu := range units {
+		for _, fn := range tu.Funcs() {
+			name := fn.Name
+			if i := strings.LastIndex(name, "::"); i >= 0 {
+				name = name[i+2:]
+			}
+			if _, dup := m.Funcs[name]; !dup {
+				m.Funcs[name] = fn
+			}
+		}
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				blk := make([]Value, blockLen(d.Type))
+				if d.Init != nil {
+					if v, err := (&frame{m: m}).eval(d.Init); err == nil {
+						blk[0] = v
+					}
+				}
+				m.globals[d.Name] = blk
+			}
+		}
+	}
+	return m
+}
+
+// blockLen returns the element count a declaration allocates.
+func blockLen(t *ccast.Type) int {
+	n := 1
+	for _, dim := range t.ArrayDims {
+		if lit, ok := dim.(*ccast.IntLit); ok && lit.Value > 0 {
+			n *= int(lit.Value)
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// control is the statement-level control signal.
+type control int
+
+const (
+	ctrlNormal control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// frame is one function activation.
+type frame struct {
+	m      *Machine
+	scopes []map[string][]Value
+	ret    Value
+}
+
+func (fr *frame) push() { fr.scopes = append(fr.scopes, make(map[string][]Value)) }
+func (fr *frame) pop()  { fr.scopes = fr.scopes[:len(fr.scopes)-1] }
+
+func (fr *frame) define(name string, blk []Value) {
+	fr.scopes[len(fr.scopes)-1][name] = blk
+}
+
+func (fr *frame) lookup(name string) ([]Value, bool) {
+	for i := len(fr.scopes) - 1; i >= 0; i-- {
+		if blk, ok := fr.scopes[i][name]; ok {
+			return blk, true
+		}
+	}
+	if blk, ok := fr.m.globals[name]; ok {
+		return blk, true
+	}
+	return nil, false
+}
+
+// Call executes a defined function by (unqualified) name.
+func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	fn, ok := m.Funcs[name]
+	if !ok {
+		return Value{}, fmt.Errorf("cinterp: undefined function %q", name)
+	}
+	return m.call(fn, args)
+}
+
+// Reset clears the step budget between test-vector runs.
+func (m *Machine) Reset() { m.steps = 0 }
+
+func (m *Machine) call(fn *ccast.FuncDecl, args []Value) (Value, error) {
+	fr := &frame{m: m}
+	fr.push()
+	for i, p := range fn.Params {
+		blk := make([]Value, 1)
+		if i < len(args) {
+			blk[0] = args[i]
+		}
+		if p.Name != "" {
+			fr.define(p.Name, blk)
+		}
+	}
+	_, err := fr.execBlock(fn.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	return fr.ret, nil
+}
+
+func (m *Machine) step(line int) error {
+	m.steps++
+	if m.steps > m.MaxSteps {
+		return &RuntimeError{Msg: "step budget exhausted (possible infinite loop)", Line: line}
+	}
+	return nil
+}
+
+func (fr *frame) execBlock(b *ccast.Block) (control, error) {
+	if b == nil {
+		return ctrlNormal, nil
+	}
+	fr.push()
+	defer fr.pop()
+	for _, s := range b.Stmts {
+		c, err := fr.exec(s)
+		if err != nil || c != ctrlNormal {
+			return c, err
+		}
+	}
+	return ctrlNormal, nil
+}
+
+func (fr *frame) exec(s ccast.Stmt) (control, error) {
+	m := fr.m
+	if err := m.step(s.Span().Start.Line); err != nil {
+		return ctrlNormal, err
+	}
+	if _, isBlock := s.(*ccast.Block); !isBlock && m.Hooks.OnStmt != nil {
+		m.Hooks.OnStmt(s)
+	}
+	switch s := s.(type) {
+	case *ccast.Block:
+		return fr.execBlock(s)
+
+	case *ccast.Empty:
+		return ctrlNormal, nil
+
+	case *ccast.ExprStmt:
+		_, err := fr.eval(s.X)
+		return ctrlNormal, err
+
+	case *ccast.DeclStmt:
+		for _, d := range s.Decl.Names {
+			blk := make([]Value, blockLen(d.Type))
+			if isFloatType(d.Type) && d.Type.PtrDepth == 0 {
+				for i := range blk {
+					blk[i] = FloatVal(0)
+				}
+			}
+			if d.Init != nil {
+				switch init := d.Init.(type) {
+				case *ccast.InitList:
+					for i, e := range init.Elems {
+						if i >= len(blk) {
+							break
+						}
+						v, err := fr.eval(e)
+						if err != nil {
+							return ctrlNormal, err
+						}
+						blk[i] = coerce(v, d.Type)
+					}
+				default:
+					v, err := fr.eval(d.Init)
+					if err != nil {
+						return ctrlNormal, err
+					}
+					blk[0] = coerce(v, d.Type)
+				}
+			}
+			fr.define(d.Name, blk)
+		}
+		return ctrlNormal, nil
+
+	case *ccast.If:
+		cond, err := fr.evalDecision(s, s.Cond)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if cond {
+			return fr.exec(s.Then)
+		}
+		if s.Else != nil {
+			return fr.exec(s.Else)
+		}
+		return ctrlNormal, nil
+
+	case *ccast.While:
+		for {
+			cond, err := fr.evalDecision(s, s.Cond)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if !cond {
+				return ctrlNormal, nil
+			}
+			c, err := fr.exec(s.Body)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if c == ctrlBreak {
+				return ctrlNormal, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if err := m.step(s.Span().Start.Line); err != nil {
+				return ctrlNormal, err
+			}
+		}
+
+	case *ccast.DoWhile:
+		for {
+			c, err := fr.exec(s.Body)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if c == ctrlBreak {
+				return ctrlNormal, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			cond, err := fr.evalDecision(s, s.Cond)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if !cond {
+				return ctrlNormal, nil
+			}
+			if err := m.step(s.Span().Start.Line); err != nil {
+				return ctrlNormal, err
+			}
+		}
+
+	case *ccast.For:
+		fr.push()
+		defer fr.pop()
+		if s.Init != nil {
+			if _, err := fr.exec(s.Init); err != nil {
+				return ctrlNormal, err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				cond, err := fr.evalDecision(s, s.Cond)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				if !cond {
+					return ctrlNormal, nil
+				}
+			}
+			c, err := fr.exec(s.Body)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if c == ctrlBreak {
+				return ctrlNormal, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if s.Post != nil {
+				if _, err := fr.eval(s.Post); err != nil {
+					return ctrlNormal, err
+				}
+			}
+			if err := m.step(s.Span().Start.Line); err != nil {
+				return ctrlNormal, err
+			}
+		}
+
+	case *ccast.Switch:
+		tag, err := fr.eval(s.Tag)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		matchedIdx := -1
+		defaultIdx := -1
+		for i, c := range s.Cases {
+			if len(c.Values) == 0 {
+				defaultIdx = i
+				continue
+			}
+			matched := false
+			for _, v := range c.Values {
+				cv, err := fr.eval(v)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				if cv.AsInt() == tag.AsInt() {
+					matched = true
+					break
+				}
+			}
+			if m.Hooks.OnCase != nil {
+				m.Hooks.OnCase(c, matched)
+			}
+			if matched && matchedIdx < 0 {
+				matchedIdx = i
+			}
+		}
+		start := matchedIdx
+		if start < 0 {
+			start = defaultIdx
+		}
+		if start < 0 {
+			return ctrlNormal, nil
+		}
+		for i := start; i < len(s.Cases); i++ {
+			for _, st := range s.Cases[i].Body {
+				c, err := fr.exec(st)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				if c == ctrlBreak {
+					return ctrlNormal, nil
+				}
+				if c != ctrlNormal {
+					return c, nil
+				}
+			}
+		}
+		return ctrlNormal, nil
+
+	case *ccast.Break:
+		return ctrlBreak, nil
+	case *ccast.Continue:
+		return ctrlContinue, nil
+
+	case *ccast.Return:
+		if s.X != nil {
+			v, err := fr.eval(s.X)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			fr.ret = v
+		}
+		return ctrlReturn, nil
+
+	case *ccast.Label:
+		return fr.exec(s.Stmt)
+
+	case *ccast.Goto:
+		return ctrlNormal, &RuntimeError{
+			Msg:  fmt.Sprintf("goto %q not supported by the interpreter", s.Label),
+			Line: s.Span().Start.Line,
+		}
+
+	default:
+		return ctrlNormal, &RuntimeError{
+			Msg: fmt.Sprintf("unsupported statement %T", s), Line: s.Span().Start.Line,
+		}
+	}
+}
+
+// evalDecision evaluates a controlling expression, reporting condition and
+// decision outcomes to the hooks with correct short-circuit semantics.
+func (fr *frame) evalDecision(owner ccast.Node, cond ccast.Expr) (bool, error) {
+	out, err := fr.evalCondTree(owner, cond)
+	if err != nil {
+		return false, err
+	}
+	if fr.m.Hooks.OnDecision != nil {
+		fr.m.Hooks.OnDecision(owner, out)
+	}
+	return out, nil
+}
+
+// evalCondTree walks the boolean structure (&&, ||, !, parens) of a
+// decision; leaves are reported via OnCondition.
+func (fr *frame) evalCondTree(owner ccast.Node, e ccast.Expr) (bool, error) {
+	switch x := e.(type) {
+	case *ccast.Paren:
+		return fr.evalCondTree(owner, x.X)
+	case *ccast.Unary:
+		if x.Op == "!" {
+			v, err := fr.evalCondTree(owner, x.X)
+			return !v, err
+		}
+	case *ccast.Binary:
+		switch x.Op {
+		case "&&":
+			l, err := fr.evalCondTree(owner, x.L)
+			if err != nil || !l {
+				return false, err
+			}
+			return fr.evalCondTree(owner, x.R)
+		case "||":
+			l, err := fr.evalCondTree(owner, x.L)
+			if err != nil || l {
+				return l, err
+			}
+			return fr.evalCondTree(owner, x.R)
+		}
+	}
+	v, err := fr.eval(e)
+	if err != nil {
+		return false, err
+	}
+	out := v.Truthy()
+	if fr.m.Hooks.OnCondition != nil {
+		fr.m.Hooks.OnCondition(owner, e, out)
+	}
+	return out, nil
+}
+
+func isFloatType(t *ccast.Type) bool {
+	switch t.Name {
+	case "float", "double", "long double":
+		return true
+	}
+	return false
+}
+
+// coerce adapts an initializer value to the declared scalar type.
+func coerce(v Value, t *ccast.Type) Value {
+	if t.PtrDepth > 0 || len(t.ArrayDims) > 0 {
+		return v
+	}
+	if isFloatType(t) {
+		return FloatVal(v.AsFloat())
+	}
+	if v.Kind == KindPtr {
+		return v
+	}
+	switch t.Name {
+	case "", "auto":
+		return v
+	}
+	if v.Kind == KindFloat {
+		return IntVal(v.AsInt())
+	}
+	return v
+}
+
+var _ = math.Sqrt // referenced by eval.go builtins

@@ -1,0 +1,105 @@
+// Package cinterp interprets the C subset produced by the frontend. It
+// exists to execute test vectors against the YOLO and stencil corpora so
+// the coverage experiments (paper Figures 5 and 6) measure real dynamic
+// behaviour rather than synthetic hit tables.
+//
+// The value model is deliberately small: 64-bit ints, 64-bit floats, and
+// pointers into flat blocks. Every variable lives in a one-element block
+// so address-taking is uniform; arrays are flat blocks; malloc-family
+// calls allocate fresh blocks sized in 4-byte units (the corpus only
+// allocates float/int buffers).
+package cinterp
+
+import "fmt"
+
+// Kind discriminates runtime values.
+type Kind int
+
+// Value kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindPtr
+)
+
+// Value is one runtime value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	// Blk/Off form a pointer: Blk is the target block (a Go slice shares
+	// its backing across aliases), Off the element offset.
+	Blk []Value
+	Off int
+}
+
+// IntVal constructs an integer value.
+func IntVal(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// FloatVal constructs a float value.
+func FloatVal(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// PtrVal constructs a pointer to blk[off].
+func PtrVal(blk []Value, off int) Value {
+	return Value{Kind: KindPtr, Blk: blk, Off: off}
+}
+
+// NullPtr is the null pointer.
+func NullPtr() Value { return Value{Kind: KindPtr} }
+
+// IsNull reports whether a pointer value is null.
+func (v Value) IsNull() bool { return v.Kind == KindPtr && v.Blk == nil }
+
+// AsFloat converts to float64.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindFloat:
+		return v.F
+	case KindInt:
+		return float64(v.I)
+	default:
+		return 0
+	}
+}
+
+// AsInt converts to int64 (floats truncate toward zero as in C).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		if v.Blk == nil {
+			return 0
+		}
+		return 1
+	}
+}
+
+// Truthy implements C truthiness.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return v.Blk != nil
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	default:
+		if v.Blk == nil {
+			return "nullptr"
+		}
+		return fmt.Sprintf("ptr(+%d/%d)", v.Off, len(v.Blk))
+	}
+}

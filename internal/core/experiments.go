@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/cinterp"
+	"repro/internal/coverage"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+	"repro/internal/yolo"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3 — complexity, LOC, and function counts per module
+
+// ComplexityRow is one module's bar group in Figure 3.
+type ComplexityRow struct {
+	Module    string
+	LOC       int
+	Functions int
+	Over10    int
+	Over20    int
+	Over50    int
+}
+
+// Figure3 computes the per-module complexity profile.
+func (a *Assessor) Figure3() []ComplexityRow {
+	fw := a.Metrics()
+	out := make([]ComplexityRow, 0, len(fw.Modules))
+	for _, m := range fw.Modules {
+		out = append(out, ComplexityRow{
+			Module: m.Name, LOC: m.LOC, Functions: m.Functions,
+			Over10: m.OverCCN[10], Over20: m.OverCCN[20], Over50: m.OverCCN[50],
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — CUDA findings on the scale_bias_gpu excerpt
+
+// Figure4Finding is one diagnostic on the paper's CUDA excerpt.
+type Figure4Finding struct {
+	Line int
+	Rule string
+	Msg  string
+}
+
+// Figure4 runs the pointer/dynamic-memory/subset rules over the bundled
+// scale_bias_gpu sample, reproducing the paper's qualitative discussion.
+func Figure4() ([]Figure4Finding, error) {
+	fs := srcfile.NewFileSet()
+	fs.Add(apollocorpus.ScaleBiasSample())
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("figure4: parse: %v", errs[0])
+	}
+	ctx := rules.NewContext(units)
+	var fset []rules.Finding
+	for _, r := range []rules.Rule{&rules.DynamicMemoryRule{}, &rules.PointerRule{}, &rules.LanguageSubsetRule{}} {
+		fset = append(fset, r.Check(ctx)...)
+	}
+	sort.Slice(fset, func(i, j int) bool { return fset[i].Line < fset[j].Line })
+	out := make([]Figure4Finding, len(fset))
+	for i, f := range fset {
+		out[i] = Figure4Finding{Line: f.Line, Rule: f.RuleID, Msg: f.Msg}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — YOLO CPU coverage (statement / branch / MC/DC per file)
+
+// CoverageRow is one file's coverage triple.
+type CoverageRow struct {
+	File      string
+	StmtPct   float64
+	BranchPct float64
+	MCDCPct   float64
+}
+
+// Figure5Result is the full Figure 5 dataset.
+type Figure5Result struct {
+	Rows []CoverageRow
+	// Averages across files (the paper reports 83 / 75 / 61).
+	AvgStmt, AvgBranch, AvgMCDC float64
+}
+
+// Figure5 parses the YOLO corpus, executes the bundled test drivers on the
+// interpreter under coverage instrumentation, and reports per-file
+// statement, branch, and MC/DC coverage with never-called functions
+// excluded, matching the paper's methodology.
+func Figure5(mode coverage.MCDCMode) (*Figure5Result, error) {
+	fs := apollocorpus.YoloCorpus()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("figure5: parse: %v", errs[0])
+	}
+	var tus []*ccast.TranslationUnit
+	recorders := make(map[string]*coverage.Recorder)
+	var allHooks []cinterp.Hooks
+	paths := make([]string, 0, len(units))
+	for p := range units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		tu := units[p]
+		tus = append(tus, tu)
+		if p == apollocorpus.YoloDriverFile {
+			continue // drivers execute but are not reported
+		}
+		rec := coverage.NewRecorder(tu.Funcs(), p)
+		recorders[p] = rec
+		allHooks = append(allHooks, rec.Hooks())
+	}
+	m := cinterp.NewMachine(tus...)
+	m.Hooks = combineHooks(allHooks)
+	for _, entry := range apollocorpus.YoloEntryPoints() {
+		m.Reset()
+		if _, err := m.Call(entry); err != nil {
+			return nil, fmt.Errorf("figure5: %s: %w", entry, err)
+		}
+	}
+	res := &Figure5Result{}
+	var summaries []*coverage.Summary
+	for _, p := range paths {
+		rec, ok := recorders[p]
+		if !ok {
+			continue
+		}
+		s := coverage.FileSummary(p, rec.Funcs, mode, true)
+		summaries = append(summaries, s)
+		res.Rows = append(res.Rows, CoverageRow{
+			File: p, StmtPct: s.StmtPct(), BranchPct: s.BranchPct(), MCDCPct: s.MCDCPct(),
+		})
+	}
+	res.AvgStmt, res.AvgBranch, res.AvgMCDC = coverage.Average(summaries)
+	return res, nil
+}
+
+// combineHooks fans interpreter events to several recorders.
+func combineHooks(hs []cinterp.Hooks) cinterp.Hooks {
+	return cinterp.Hooks{
+		OnStmt: func(s ccast.Stmt) {
+			for _, h := range hs {
+				h.OnStmt(s)
+			}
+		},
+		OnDecision: func(owner ccast.Node, outcome bool) {
+			for _, h := range hs {
+				h.OnDecision(owner, outcome)
+			}
+		},
+		OnCondition: func(owner ccast.Node, leaf ccast.Expr, outcome bool) {
+			for _, h := range hs {
+				h.OnCondition(owner, leaf, outcome)
+			}
+		},
+		OnCase: func(c *ccast.CaseClause, matched bool) {
+			for _, h := range hs {
+				h.OnCase(c, matched)
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — stencil CUDA kernels run on the CPU (cuda4cpu methodology)
+
+// Figure6Row is one kernel's statement/branch coverage.
+type Figure6Row struct {
+	Kernel    string
+	StmtPct   float64
+	BranchPct float64
+}
+
+// Figure6 executes the 2D/3D stencil kernels under the CUDA emulator with
+// coverage instrumentation on the kernel bodies.
+func Figure6() ([]Figure6Row, error) {
+	fs := apollocorpus.StencilCorpus()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("figure6: parse: %v", errs[0])
+	}
+	var tus []*ccast.TranslationUnit
+	var kernels []*ccast.FuncDecl
+	paths := make([]string, 0, len(units))
+	for p := range units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		tu := units[p]
+		tus = append(tus, tu)
+		for _, fn := range tu.Funcs() {
+			if fn.IsKernel() {
+				kernels = append(kernels, fn)
+			}
+		}
+	}
+	rec := coverage.NewRecorder(kernels, "stencil")
+	m := cinterp.NewMachine(tus...)
+	m.Hooks = rec.Hooks()
+	m.MaxSteps = 500_000_000
+	cuda.NewEmulator(m)
+	for _, entry := range apollocorpus.StencilEntryPoints() {
+		m.Reset()
+		if _, err := m.Call(entry); err != nil {
+			return nil, fmt.Errorf("figure6: %s: %w", entry, err)
+		}
+	}
+	var out []Figure6Row
+	for _, fc := range rec.Funcs {
+		s := fc.Summarize(coverage.UniqueCause)
+		out = append(out, Figure6Row{
+			Kernel: fc.Name, StmtPct: s.StmtPct(), BranchPct: s.BranchPct(),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — object detection with open vs closed libraries vs CPU
+
+// Figure7Row is one library's modeled detection time.
+type Figure7Row struct {
+	Library    string
+	Device     string
+	Open       bool
+	TimeMs     float64
+	RelToCuDNN float64
+}
+
+// Figure7 estimates one tiny-YOLO inference per library model.
+func Figure7() []Figure7Row {
+	net := yolo.TinyYOLO()
+	gpu, cpu := gpusim.TitanV(), gpusim.XeonCPU()
+	libs := []*gpusim.Library{
+		gpusim.CuDNN(gpu), gpusim.CuBLAS(gpu),
+		gpusim.ISAAC(gpu), gpusim.CUTLASS(gpu),
+		gpusim.ATLAS(cpu), gpusim.OpenBLAS(cpu),
+	}
+	base := net.InferenceTimeMs(libs[0])
+	out := make([]Figure7Row, 0, len(libs))
+	for _, lib := range libs {
+		t := net.InferenceTimeMs(lib)
+		out = append(out, Figure7Row{
+			Library: lib.Name, Device: lib.Device.Name, Open: lib.Open,
+			TimeMs: t, RelToCuDNN: t / base,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — relative performance of open vs closed libraries
+
+// RelPerfRow is one workload's open/closed performance ratio
+// (ratio > 1 means the open library is faster).
+type RelPerfRow struct {
+	Workload string
+	OpenMs   float64
+	ClosedMs float64
+	Relative float64
+}
+
+// Figure8aShapes are the GEMM shapes swept in Figure 8(a): square sizes
+// plus the skinny shapes YOLO's im2col produces.
+func Figure8aShapes() []gpusim.GEMMShape {
+	return []gpusim.GEMMShape{
+		{M: 128, N: 128, K: 128}, {M: 256, N: 256, K: 256},
+		{M: 512, N: 512, K: 512}, {M: 1024, N: 1024, K: 1024},
+		{M: 2048, N: 2048, K: 2048}, {M: 4096, N: 4096, K: 4096},
+		{M: 16, N: 43264, K: 27},   // yolo conv1 as GEMM
+		{M: 125, N: 169, K: 1024},  // yolo detection head
+		{M: 1024, N: 169, K: 9216}, // yolo conv8
+	}
+}
+
+// Figure8a compares CUTLASS against cuBLAS over the GEMM sweep.
+func Figure8a() []RelPerfRow {
+	gpu := gpusim.TitanV()
+	cb, ct := gpusim.CuBLAS(gpu), gpusim.CUTLASS(gpu)
+	var out []RelPerfRow
+	for _, s := range Figure8aShapes() {
+		open, closed := ct.GEMMTime(s), cb.GEMMTime(s)
+		out = append(out, RelPerfRow{
+			Workload: s.String(), OpenMs: open, ClosedMs: closed,
+			Relative: closed / open,
+		})
+	}
+	return out
+}
+
+// Figure8bShapes are DeepBench-style convolution workloads from vision,
+// speech, and detection networks.
+func Figure8bShapes() []gpusim.ConvShape {
+	return []gpusim.ConvShape{
+		{N: 1, C: 3, H: 416, W: 416, K: 16, R: 3, Stride: 1, Pad: 1},   // yolo conv1
+		{N: 1, C: 256, H: 52, W: 52, K: 512, R: 3, Stride: 1, Pad: 1},  // yolo mid
+		{N: 1, C: 512, H: 13, W: 13, K: 1024, R: 3, Stride: 1, Pad: 1}, // yolo deep
+		{N: 1, C: 64, H: 224, W: 224, K: 64, R: 3, Stride: 1, Pad: 1},  // vgg-ish
+		{N: 1, C: 128, H: 56, W: 56, K: 256, R: 3, Stride: 2, Pad: 1},  // resnet-ish
+		{N: 1, C: 64, H: 112, W: 112, K: 64, R: 1, Stride: 1, Pad: 0},  // 1x1
+		{N: 1, C: 3, H: 300, W: 300, K: 32, R: 7, Stride: 2, Pad: 3},   // stem
+		{N: 1, C: 960, H: 7, W: 7, K: 320, R: 1, Stride: 1, Pad: 0},    // mobilenet tail
+	}
+}
+
+// Figure8b compares ISAAC against cuDNN over the convolution sweep.
+func Figure8b() []RelPerfRow {
+	gpu := gpusim.TitanV()
+	cd, is := gpusim.CuDNN(gpu), gpusim.ISAAC(gpu)
+	var out []RelPerfRow
+	for _, s := range Figure8bShapes() {
+		open, closed := is.ConvTime(s), cd.ConvTime(s)
+		out = append(out, RelPerfRow{
+			Workload: s.String(), OpenMs: open, ClosedMs: closed,
+			Relative: closed / open,
+		})
+	}
+	return out
+}

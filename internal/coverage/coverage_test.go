@@ -1,0 +1,254 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/cinterp"
+	"repro/internal/srcfile"
+)
+
+// run parses src, instruments every function, executes entry with the given
+// int args once per argument tuple, and returns the recorder.
+func run(t *testing.T, src, entry string, argTuples ...[]int64) *Recorder {
+	t.Helper()
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	rec := NewRecorder(tu.Funcs(), "t.c")
+	m := cinterp.NewMachine(tu)
+	m.Hooks = rec.Hooks()
+	for _, args := range argTuples {
+		vals := make([]cinterp.Value, len(args))
+		for i, a := range args {
+			vals[i] = cinterp.IntVal(a)
+		}
+		m.Reset()
+		if _, err := m.Call(entry, vals...); err != nil {
+			t.Fatalf("Call(%s, %v): %v", entry, args, err)
+		}
+	}
+	return rec
+}
+
+func fnCov(t *testing.T, rec *Recorder, name string) *FuncCoverage {
+	t.Helper()
+	for _, fc := range rec.Funcs {
+		if fc.Name == name {
+			return fc
+		}
+	}
+	t.Fatalf("no coverage for %q", name)
+	return nil
+}
+
+const absSrc = `
+int myabs(int x) {
+    if (x < 0) { return 0 - x; }
+    return x;
+}`
+
+func TestStatementCoveragePartial(t *testing.T) {
+	rec := run(t, absSrc, "myabs", []int64{5})
+	s := fnCov(t, rec, "myabs").Summarize(UniqueCause)
+	// if + return x executed; "return -x" not.
+	if s.StmtTotal != 3 || s.StmtCovered != 2 {
+		t.Errorf("stmt = %d/%d, want 2/3", s.StmtCovered, s.StmtTotal)
+	}
+	if s.BranchCovered != 1 || s.BranchTotal != 2 {
+		t.Errorf("branch = %d/%d, want 1/2", s.BranchCovered, s.BranchTotal)
+	}
+}
+
+func TestStatementCoverageFull(t *testing.T) {
+	rec := run(t, absSrc, "myabs", []int64{5}, []int64{-5})
+	s := fnCov(t, rec, "myabs").Summarize(UniqueCause)
+	if s.StmtPct() != 100 {
+		t.Errorf("stmt pct = %v", s.StmtPct())
+	}
+	if s.BranchPct() != 100 {
+		t.Errorf("branch pct = %v", s.BranchPct())
+	}
+	if s.MCDCPct() != 100 {
+		t.Errorf("mcdc pct = %v (single condition: both outcomes seen)", s.MCDCPct())
+	}
+}
+
+const andSrc = `
+int both(int a, int b) {
+    if (a > 0 && b > 0) { return 1; }
+    return 0;
+}`
+
+func TestMCDCTwoConditionsNeedsThreeVectors(t *testing.T) {
+	// (T,T) and (F,-) only: condition b not demonstrated.
+	rec := run(t, andSrc, "both", []int64{1, 1}, []int64{0, 5})
+	s := fnCov(t, rec, "both").Summarize(UniqueCause)
+	if s.CondTotal != 2 {
+		t.Fatalf("conds = %d", s.CondTotal)
+	}
+	if s.CondDemonstrated != 1 {
+		t.Errorf("demonstrated = %d, want 1 (only a)", s.CondDemonstrated)
+	}
+	// Add (T,F): now b is demonstrated against (T,T).
+	rec = run(t, andSrc, "both", []int64{1, 1}, []int64{0, 5}, []int64{1, 0})
+	s = fnCov(t, rec, "both").Summarize(UniqueCause)
+	if s.CondDemonstrated != 2 {
+		t.Errorf("demonstrated = %d, want 2", s.CondDemonstrated)
+	}
+}
+
+func TestMCDCUniqueCauseVsMasking(t *testing.T) {
+	src := `
+int f(int a, int b, int c) {
+    if ((a > 0 && b > 0) || c > 0) { return 1; }
+    return 0;
+}`
+	// Vectors: (T,T,-)=T, (F,-,T)=T, (F,-,F)=F, (T,F,F)=F.
+	rec := run(t, src, "f",
+		[]int64{1, 1, 0}, []int64{0, 0, 1}, []int64{0, 0, 0}, []int64{1, 0, 0})
+	fc := fnCov(t, rec, "f")
+	uc := fc.Summarize(UniqueCause)
+	mk := fc.Summarize(Masking)
+	if mk.CondDemonstrated < uc.CondDemonstrated {
+		t.Errorf("masking (%d) must be >= unique-cause (%d)",
+			mk.CondDemonstrated, uc.CondDemonstrated)
+	}
+	if uc.CondTotal != 3 {
+		t.Errorf("cond total = %d", uc.CondTotal)
+	}
+	// a: (T,F,F)=F vs (T,T,-)=T differ in b... a needs pair differing only
+	// in a: (F,-,F)=F vs? (T,?,F): (T,F,F)=F same outcome. No unique-cause
+	// pair for a ⇒ masking may still find none for a but c has
+	// (F,-,T)=T vs (F,-,F)=F: unique-cause demonstrated.
+	if uc.CondDemonstrated < 1 {
+		t.Errorf("unique-cause demonstrated = %d, want >= 1", uc.CondDemonstrated)
+	}
+}
+
+func TestLoopCoverage(t *testing.T) {
+	src := `
+int sum(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i; }
+    return s;
+}`
+	// n=3: loop cond sees true and false.
+	rec := run(t, src, "sum", []int64{3})
+	s := fnCov(t, rec, "sum").Summarize(UniqueCause)
+	if s.BranchPct() != 100 {
+		t.Errorf("branch pct = %v", s.BranchPct())
+	}
+	// n=0: cond only false.
+	rec = run(t, src, "sum", []int64{0})
+	s = fnCov(t, rec, "sum").Summarize(UniqueCause)
+	if s.BranchCovered != 1 {
+		t.Errorf("branch covered = %d, want 1", s.BranchCovered)
+	}
+}
+
+func TestSwitchCaseBranches(t *testing.T) {
+	src := `
+int pick(int x) {
+    int r = 0;
+    switch (x) {
+    case 1: r = 10; break;
+    case 2: r = 20; break;
+    default: r = 30;
+    }
+    return r;
+}`
+	rec := run(t, src, "pick", []int64{1})
+	s := fnCov(t, rec, "pick").Summarize(UniqueCause)
+	// 2 case probes ⇒ 4 branch outcomes; case1 matched, case2 unmatched.
+	if s.BranchTotal != 4 {
+		t.Fatalf("branch total = %d, want 4", s.BranchTotal)
+	}
+	if s.BranchCovered != 2 {
+		t.Errorf("branch covered = %d, want 2", s.BranchCovered)
+	}
+	rec = run(t, src, "pick", []int64{1}, []int64{2}, []int64{9})
+	s = fnCov(t, rec, "pick").Summarize(UniqueCause)
+	if s.BranchPct() != 100 {
+		t.Errorf("branch pct = %v", s.BranchPct())
+	}
+}
+
+func TestUncalledFunctionExcluded(t *testing.T) {
+	src := `
+int used(int a) { return a + 1; }
+int unused(int a) { return a - 1; }
+`
+	rec := run(t, src, "used", []int64{1})
+	all := FileSummary("t.c", rec.Funcs, UniqueCause, false)
+	called := FileSummary("t.c", rec.Funcs, UniqueCause, true)
+	if all.StmtTotal != 2 {
+		t.Errorf("all stmts = %d", all.StmtTotal)
+	}
+	if called.StmtTotal != 1 || called.StmtPct() != 100 {
+		t.Errorf("called-only = %d stmts, %.0f%%", called.StmtTotal, called.StmtPct())
+	}
+}
+
+func TestLeafConditions(t *testing.T) {
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: `
+int f(int a, int b, int c) {
+    if (!(a > 0) && (b > 0 || c > 0)) { return 1; }
+    return 0;
+}`}
+	tu, _ := ccparse.Parse(f, ccparse.Options{})
+	fc := Instrument(tu.Funcs()[0], "t.c")
+	if len(fc.Decisions) != 1 {
+		t.Fatalf("decisions = %d", len(fc.Decisions))
+	}
+	if got := len(fc.Decisions[0].Conds); got != 3 {
+		t.Errorf("leaf conditions = %d, want 3", got)
+	}
+}
+
+func TestTernaryCountsAsDecision(t *testing.T) {
+	src := `int f(int a) { return a > 0 ? 1 : 0; }`
+	rec := run(t, src, "f", []int64{1}, []int64{-1})
+	s := fnCov(t, rec, "f").Summarize(UniqueCause)
+	if s.BranchTotal != 2 || s.BranchCovered != 2 {
+		t.Errorf("ternary branch = %d/%d", s.BranchCovered, s.BranchTotal)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := &Summary{StmtTotal: 10, StmtCovered: 10, BranchTotal: 2, BranchCovered: 1, CondTotal: 2, CondDemonstrated: 1}
+	b := &Summary{StmtTotal: 10, StmtCovered: 5, BranchTotal: 2, BranchCovered: 2, CondTotal: 4, CondDemonstrated: 1}
+	stmt, branch, mcdc := Average([]*Summary{a, b})
+	if stmt != 75 {
+		t.Errorf("stmt avg = %v", stmt)
+	}
+	if branch != 75 {
+		t.Errorf("branch avg = %v", branch)
+	}
+	if mcdc != 37.5 {
+		t.Errorf("mcdc avg = %v", mcdc)
+	}
+}
+
+func TestShortCircuitVectorRecording(t *testing.T) {
+	// With a=0 the second condition of && never evaluates; its CondProbe
+	// must remain unseen.
+	rec := run(t, andSrc, "both", []int64{0, 1})
+	fc := fnCov(t, rec, "both")
+	d := fc.Decisions[0]
+	if d.Conds[0].FalseSeen != true {
+		t.Error("cond a false not seen")
+	}
+	if d.Conds[1].TrueSeen || d.Conds[1].FalseSeen {
+		t.Error("cond b must be short-circuited")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := &Summary{Scope: "x.c", StmtTotal: 4, StmtCovered: 2, BranchTotal: 2, BranchCovered: 1, CondTotal: 1, CondDemonstrated: 0}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,113 @@
+package coverage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/cinterp"
+	"repro/internal/srcfile"
+)
+
+// TestCoverageMonotoneInVectors: adding test vectors never reduces any
+// coverage metric — the invariant the testgen search depends on.
+func TestCoverageMonotoneInVectors(t *testing.T) {
+	src := `
+int classify(int a, int b) {
+    if (a > 0 && b > 0) { return 3; }
+    if (a > 0 || b > 0) { return 1; }
+    switch (a) {
+    case -1: return -1;
+    case -2: return -2;
+    default: return 0;
+    }
+}`
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	rec := NewRecorder(tu.Funcs(), "t.c")
+	m := cinterp.NewMachine(tu)
+	m.Hooks = rec.Hooks()
+
+	rng := rand.New(rand.NewSource(11))
+	prev := [3]int{}
+	for i := 0; i < 50; i++ {
+		a := int64(rng.Intn(7) - 3)
+		b := int64(rng.Intn(7) - 3)
+		m.Reset()
+		if _, err := m.Call("classify", cinterp.IntVal(a), cinterp.IntVal(b)); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []MCDCMode{UniqueCause, Masking} {
+			s := rec.Funcs[0].Summarize(mode)
+			cur := [3]int{s.StmtCovered, s.BranchCovered, s.CondDemonstrated}
+			if mode == UniqueCause {
+				for j := range cur {
+					if cur[j] < prev[j] {
+						t.Fatalf("metric %d regressed: %d -> %d after vector (%d,%d)",
+							j, prev[j], cur[j], a, b)
+					}
+				}
+				prev = cur
+			}
+			// Totals never change as vectors accumulate.
+			if s.StmtTotal == 0 || s.BranchTotal == 0 || s.CondTotal == 0 {
+				t.Fatal("instrumentation lost totals")
+			}
+		}
+	}
+}
+
+// TestMaskingSupersetOfUniqueCause: on identical executions, masking MC/DC
+// demonstrates at least every condition unique-cause demonstrates.
+func TestMaskingSupersetOfUniqueCause(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		src := fmt.Sprintf(`
+int f(int a, int b, int c) {
+    if ((a > %d && b > %d) || c > %d) { return 1; }
+    return 0;
+}`, trial%3, trial%2, trial%4)
+		f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+		tu, errs := ccparse.Parse(f, ccparse.Options{})
+		if len(errs) > 0 {
+			t.Fatalf("parse: %v", errs)
+		}
+		rec := NewRecorder(tu.Funcs(), "t.c")
+		m := cinterp.NewMachine(tu)
+		m.Hooks = rec.Hooks()
+		rng := rand.New(rand.NewSource(int64(trial)))
+		for i := 0; i < 12; i++ {
+			m.Reset()
+			_, err := m.Call("f",
+				cinterp.IntVal(int64(rng.Intn(5)-2)),
+				cinterp.IntVal(int64(rng.Intn(5)-2)),
+				cinterp.IntVal(int64(rng.Intn(5)-2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		uc := rec.Funcs[0].Summarize(UniqueCause)
+		mk := rec.Funcs[0].Summarize(Masking)
+		if mk.CondDemonstrated < uc.CondDemonstrated {
+			t.Fatalf("trial %d: masking (%d) < unique-cause (%d)",
+				trial, mk.CondDemonstrated, uc.CondDemonstrated)
+		}
+	}
+}
+
+// TestPercentagesBounded: all percentages stay in [0, 100].
+func TestPercentagesBounded(t *testing.T) {
+	s := &Summary{StmtTotal: 3, StmtCovered: 3, BranchTotal: 4, BranchCovered: 2, CondTotal: 5, CondDemonstrated: 0}
+	for _, p := range []float64{s.StmtPct(), s.BranchPct(), s.MCDCPct()} {
+		if p < 0 || p > 100 {
+			t.Errorf("percentage out of range: %v", p)
+		}
+	}
+	empty := &Summary{}
+	if empty.StmtPct() != 100 {
+		t.Errorf("empty scope statement pct = %v, want 100 by convention", empty.StmtPct())
+	}
+}

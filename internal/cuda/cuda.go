@@ -1,0 +1,150 @@
+// Package cuda emulates CUDA kernel execution on the host interpreter —
+// the reproduction of cuda4cpu, the approach the paper itself uses to
+// obtain GPU code-coverage numbers on a CPU (Section 3.3, Figure 6).
+//
+// A kernel launch fun<<<grid, block>>>(args) is executed by iterating the
+// whole grid sequentially: for every (block, thread) coordinate the
+// kernel body runs with threadIdx/blockIdx/blockDim/gridDim bound to that
+// coordinate. Memory is shared host/device (cudaMalloc allocates ordinary
+// interpreter blocks), which mirrors cuda4cpu's unified host execution.
+package cuda
+
+import (
+	"fmt"
+
+	"repro/internal/cinterp"
+)
+
+// Dim3 is a CUDA grid/block dimension triple.
+type Dim3 struct {
+	X, Y, Z int64
+}
+
+// Count returns the number of coordinates in the dimension.
+func (d Dim3) Count() int64 {
+	x, y, z := d.X, d.Y, d.Z
+	if x <= 0 {
+		x = 1
+	}
+	if y <= 0 {
+		y = 1
+	}
+	if z <= 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// normalize clamps zero dimensions to 1.
+func (d Dim3) normalize() Dim3 {
+	if d.X <= 0 {
+		d.X = 1
+	}
+	if d.Y <= 0 {
+		d.Y = 1
+	}
+	if d.Z <= 0 {
+		d.Z = 1
+	}
+	return d
+}
+
+// Emulator drives kernels on a host machine.
+type Emulator struct {
+	M *cinterp.Machine
+	// MaxThreads bounds the total grid size to keep tests fast;
+	// 0 means no bound.
+	MaxThreads int64
+	// Launches counts emulated kernel launches.
+	Launches int
+	// ThreadsRun counts executed kernel instances.
+	ThreadsRun int64
+}
+
+// NewEmulator wires an emulator into the machine's launch handler.
+func NewEmulator(m *cinterp.Machine) *Emulator {
+	e := &Emulator{M: m}
+	m.LaunchHandler = e.handleLaunch
+	return e
+}
+
+// handleLaunch implements the <<<...>>> semantics: config[0] is the grid,
+// config[1] the block; scalar configs mean 1-D geometry (the only form the
+// corpus uses, matching typical CUDA tutorial/production code).
+func (e *Emulator) handleLaunch(kernel string, config, args []cinterp.Value) error {
+	grid := Dim3{X: 1, Y: 1, Z: 1}
+	block := Dim3{X: 1, Y: 1, Z: 1}
+	if len(config) > 0 {
+		grid = Dim3{X: config[0].AsInt()}.normalize()
+	}
+	if len(config) > 1 {
+		block = Dim3{X: config[1].AsInt()}.normalize()
+	}
+	return e.Launch(kernel, grid, block, args...)
+}
+
+// Launch runs a kernel across the full grid.
+func (e *Emulator) Launch(kernel string, grid, block Dim3, args ...cinterp.Value) error {
+	grid = grid.normalize()
+	block = block.normalize()
+	total := grid.Count() * block.Count()
+	if e.MaxThreads > 0 && total > e.MaxThreads {
+		return fmt.Errorf("cuda: launch of %d threads exceeds emulator budget %d", total, e.MaxThreads)
+	}
+	if _, ok := e.M.Funcs[kernel]; !ok {
+		return fmt.Errorf("cuda: undefined kernel %q", kernel)
+	}
+	e.Launches++
+
+	saved := e.M.CUDAVars
+	defer func() { e.M.CUDAVars = saved }()
+
+	for bz := int64(0); bz < grid.Z; bz++ {
+		for by := int64(0); by < grid.Y; by++ {
+			for bx := int64(0); bx < grid.X; bx++ {
+				for tz := int64(0); tz < block.Z; tz++ {
+					for ty := int64(0); ty < block.Y; ty++ {
+						for tx := int64(0); tx < block.X; tx++ {
+							e.M.CUDAVars = map[string][3]int64{
+								"gridDim":   {grid.X, grid.Y, grid.Z},
+								"blockDim":  {block.X, block.Y, block.Z},
+								"blockIdx":  {bx, by, bz},
+								"threadIdx": {tx, ty, tz},
+							}
+							e.M.Reset()
+							if _, err := e.M.Call(kernel, args...); err != nil {
+								return fmt.Errorf("cuda: kernel %s at block(%d,%d,%d) thread(%d,%d,%d): %w",
+									kernel, bx, by, bz, tx, ty, tz, err)
+							}
+							e.ThreadsRun++
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Alloc allocates a device buffer (shared host/device under emulation).
+func Alloc(n int) cinterp.Value {
+	return cinterp.PtrVal(make([]cinterp.Value, n), 0)
+}
+
+// FillFloats stores a float slice into a device buffer.
+func FillFloats(buf cinterp.Value, data []float64) {
+	for i, v := range data {
+		if buf.Off+i < len(buf.Blk) {
+			buf.Blk[buf.Off+i] = cinterp.FloatVal(v)
+		}
+	}
+}
+
+// ReadFloats copies n floats out of a device buffer.
+func ReadFloats(buf cinterp.Value, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n && buf.Off+i < len(buf.Blk); i++ {
+		out[i] = buf.Blk[buf.Off+i].AsFloat()
+	}
+	return out
+}

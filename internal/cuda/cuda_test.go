@@ -1,0 +1,181 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/cinterp"
+	"repro/internal/srcfile"
+)
+
+func kernelMachine(t *testing.T, src string) (*cinterp.Machine, *Emulator) {
+	t.Helper()
+	f := &srcfile.File{Path: "k.cu", Lang: srcfile.LangCUDA, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	m := cinterp.NewMachine(tu)
+	return m, NewEmulator(m)
+}
+
+const saxpySrc = `
+__global__ void saxpy(float* x, float* y, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+`
+
+func TestLaunchComputesSaxpy(t *testing.T) {
+	m, em := kernelMachine(t, saxpySrc)
+	_ = m
+	n := 10
+	x, y := Alloc(n), Alloc(n)
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 1
+	}
+	FillFloats(x, xs)
+	FillFloats(y, ys)
+	// 4 blocks of 3 threads = 12 threads; 2 fail the bounds check.
+	err := em.Launch("saxpy", Dim3{X: 4}, Dim3{X: 3},
+		x, y, cinterp.FloatVal(2), cinterp.IntVal(int64(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadFloats(y, n)
+	for i := range got {
+		want := 2*float64(i) + 1
+		if got[i] != want {
+			t.Errorf("y[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	if em.ThreadsRun != 12 {
+		t.Errorf("threads run = %d, want 12", em.ThreadsRun)
+	}
+	if em.Launches != 1 {
+		t.Errorf("launches = %d", em.Launches)
+	}
+}
+
+func TestLaunchViaTripleBracketSyntax(t *testing.T) {
+	src := saxpySrc + `
+int host_run(float* x, float* y, float a, int n) {
+    saxpy<<<2, 8>>>(x, y, a, n);
+    return 0;
+}
+`
+	m, em := kernelMachine(t, src)
+	n := 16
+	x, y := Alloc(n), Alloc(n)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1
+	}
+	FillFloats(x, xs)
+	if _, err := m.Call("host_run", x, y, cinterp.FloatVal(3), cinterp.IntVal(int64(n))); err != nil {
+		t.Fatal(err)
+	}
+	got := ReadFloats(y, n)
+	for i := range got {
+		if got[i] != 3 {
+			t.Fatalf("y[%d] = %v, want 3", i, got[i])
+		}
+	}
+	if em.ThreadsRun != 16 {
+		t.Errorf("threads = %d, want 16", em.ThreadsRun)
+	}
+}
+
+func TestUndefinedKernel(t *testing.T) {
+	_, em := kernelMachine(t, saxpySrc)
+	if err := em.Launch("nope", Dim3{X: 1}, Dim3{X: 1}); err == nil {
+		t.Fatal("expected undefined kernel error")
+	}
+}
+
+func TestThreadBudget(t *testing.T) {
+	_, em := kernelMachine(t, saxpySrc)
+	em.MaxThreads = 8
+	err := em.Launch("saxpy", Dim3{X: 3}, Dim3{X: 3},
+		Alloc(9), Alloc(9), cinterp.FloatVal(1), cinterp.IntVal(9))
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("expected budget error, got %v", err)
+	}
+}
+
+func TestKernelErrorCarriesCoordinates(t *testing.T) {
+	src := `
+__global__ void bad(float* x, int n) {
+    int i = blockIdx.x;
+    x[i + 100] = 1.0f;
+}
+`
+	_, em := kernelMachine(t, src)
+	err := em.Launch("bad", Dim3{X: 1}, Dim3{X: 1}, Alloc(4), cinterp.IntVal(4))
+	if err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+	if !strings.Contains(err.Error(), "block(0,0,0)") {
+		t.Errorf("error lacks coordinates: %v", err)
+	}
+}
+
+func TestDim3Normalization(t *testing.T) {
+	d := Dim3{X: 0, Y: 0, Z: 0}
+	if d.Count() != 1 {
+		t.Errorf("zero dim count = %d, want 1", d.Count())
+	}
+	full := Dim3{X: 2, Y: 3, Z: 4}
+	if full.Count() != 24 {
+		t.Errorf("count = %d", full.Count())
+	}
+}
+
+func TestMultiDimGrid(t *testing.T) {
+	src := `
+int hits = 0;
+__global__ void mark(int n) {
+    hits = hits + 1;
+}
+int total() { return hits; }
+`
+	m, em := kernelMachine(t, src)
+	if err := em.Launch("mark", Dim3{X: 2, Y: 2}, Dim3{X: 3, Z: 2}, cinterp.IntVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Call("total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 24 {
+		t.Errorf("kernel instances = %d, want 2*2*3*2 = 24", v.AsInt())
+	}
+}
+
+func TestCUDAVarsRestoredAfterLaunch(t *testing.T) {
+	m, em := kernelMachine(t, saxpySrc)
+	m.CUDAVars = map[string][3]int64{"threadIdx": {9, 9, 9}}
+	if err := em.Launch("saxpy", Dim3{X: 1}, Dim3{X: 1},
+		Alloc(1), Alloc(1), cinterp.FloatVal(1), cinterp.IntVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.CUDAVars["threadIdx"] != [3]int64{9, 9, 9} {
+		t.Error("CUDAVars not restored after launch")
+	}
+}
+
+func TestFillReadRoundTrip(t *testing.T) {
+	buf := Alloc(4)
+	FillFloats(buf, []float64{1.5, 2.5, 3.5, 4.5})
+	got := ReadFloats(buf, 4)
+	for i, w := range []float64{1.5, 2.5, 3.5, 4.5} {
+		if got[i] != w {
+			t.Errorf("buf[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+}

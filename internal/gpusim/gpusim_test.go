@@ -1,0 +1,178 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var squareShapes = []GEMMShape{
+	{M: 256, N: 256, K: 256}, {M: 512, N: 512, K: 512},
+	{M: 1024, N: 1024, K: 1024}, {M: 2048, N: 2048, K: 2048},
+}
+
+var convShapes = []ConvShape{
+	{N: 1, C: 64, H: 56, W: 56, K: 64, R: 3, Stride: 1, Pad: 1},
+	{N: 1, C: 128, H: 28, W: 28, K: 128, R: 3, Stride: 1, Pad: 1},
+	{N: 1, C: 256, H: 14, W: 14, K: 256, R: 3, Stride: 1, Pad: 1},
+	{N: 1, C: 3, H: 416, W: 416, K: 16, R: 3, Stride: 1, Pad: 1},
+	{N: 1, C: 512, H: 13, W: 13, K: 1024, R: 3, Stride: 1, Pad: 1},
+}
+
+func TestShapeArithmetic(t *testing.T) {
+	s := GEMMShape{M: 2, N: 3, K: 4}
+	if s.FLOPs() != 48 {
+		t.Errorf("flops = %v", s.FLOPs())
+	}
+	if s.Bytes() != 4*(8+12+6) {
+		t.Errorf("bytes = %v", s.Bytes())
+	}
+	c := ConvShape{N: 1, C: 1, H: 4, W: 4, K: 1, R: 2, Stride: 2, Pad: 0}
+	if c.OutH() != 2 || c.OutW() != 2 {
+		t.Errorf("out = %dx%d", c.OutH(), c.OutW())
+	}
+	if c.FLOPs() != 2*1*1*2*2*1*2*2 {
+		t.Errorf("conv flops = %v", c.FLOPs())
+	}
+}
+
+func TestTimesArePositiveAndFinite(t *testing.T) {
+	gpu := TitanV()
+	cpu := XeonCPU()
+	libs := []*Library{
+		CuBLAS(gpu), CUTLASS(gpu), CuDNN(gpu), ISAAC(gpu), ISAACUntuned(gpu),
+		ATLAS(cpu), OpenBLAS(cpu),
+	}
+	for _, lib := range libs {
+		for _, s := range squareShapes {
+			ms := lib.GEMMTime(s)
+			if ms <= 0 || ms > 1e7 {
+				t.Errorf("%s gemm %v = %v ms", lib.Name, s, ms)
+			}
+		}
+		for _, s := range convShapes {
+			ms := lib.ConvTime(s)
+			if ms <= 0 || ms > 1e7 {
+				t.Errorf("%s conv %v = %v ms", lib.Name, s, ms)
+			}
+		}
+	}
+}
+
+// TestCUTLASSCompetitiveWithCuBLAS pins the Figure 8a claim: CUTLASS is
+// within a modest factor of cuBLAS on scalar GEMM (paper: "comparable").
+func TestCUTLASSCompetitiveWithCuBLAS(t *testing.T) {
+	gpu := TitanV()
+	cb, ct := CuBLAS(gpu), CUTLASS(gpu)
+	for _, s := range squareShapes {
+		rel := cb.GEMMTime(s) / ct.GEMMTime(s) // >1 means CUTLASS faster
+		if rel < 0.75 || rel > 1.15 {
+			t.Errorf("CUTLASS/cuBLAS relative perf at %v = %.2f, want 0.75-1.15", s, rel)
+		}
+	}
+}
+
+// TestISAACCompetitiveWithCuDNN pins Figure 8b: ISAAC tracks cuDNN on
+// convolutions, sometimes winning.
+func TestISAACCompetitiveWithCuDNN(t *testing.T) {
+	gpu := TitanV()
+	cd, is := CuDNN(gpu), ISAAC(gpu)
+	var wins int
+	for _, s := range convShapes {
+		rel := cd.ConvTime(s) / is.ConvTime(s)
+		if rel < 0.6 || rel > 1.5 {
+			t.Errorf("ISAAC/cuDNN relative perf at %v = %.2f, want 0.6-1.5", s, rel)
+		}
+		if rel >= 1 {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("ISAAC should win on at least one workload (paper: 'very competitive')")
+	}
+}
+
+// TestCPUTwoOrdersSlower pins Figure 7's CPU observation: ATLAS/OpenBLAS
+// run the same kernels roughly two orders of magnitude slower.
+func TestCPUTwoOrdersSlower(t *testing.T) {
+	gpu, cpu := TitanV(), XeonCPU()
+	cb := CuBLAS(gpu)
+	for _, cpuLib := range []*Library{ATLAS(cpu), OpenBLAS(cpu)} {
+		for _, s := range squareShapes[1:] { // skip the smallest
+			ratio := cpuLib.GEMMTime(s) / cb.GEMMTime(s)
+			if ratio < 50 || ratio > 500 {
+				t.Errorf("%s/cuBLAS slowdown at %v = %.0fx, want 50-500x", cpuLib.Name, s, ratio)
+			}
+		}
+	}
+}
+
+// TestISAACTuningHelps pins the ablation: the autotuner must never lose to
+// the untuned first candidate, and must win somewhere.
+func TestISAACTuningHelps(t *testing.T) {
+	gpu := TitanV()
+	tuned, untuned := ISAAC(gpu), ISAACUntuned(gpu)
+	improved := false
+	for _, s := range convShapes {
+		tt, ut := tuned.ConvTime(s), untuned.ConvTime(s)
+		if tt > ut*1.0001 {
+			t.Errorf("tuned slower than untuned at %v: %.4f vs %.4f ms", s, tt, ut)
+		}
+		if tt < ut*0.99 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("autotuning never improved any shape")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gpu := TitanV()
+	a, b := ISAAC(gpu), ISAAC(gpu)
+	for _, s := range convShapes {
+		if a.ConvTime(s) != b.ConvTime(s) {
+			t.Errorf("nondeterministic time at %v", s)
+		}
+	}
+}
+
+func TestSkinnyGEMMLessEfficient(t *testing.T) {
+	gpu := TitanV()
+	cb := CuBLAS(gpu)
+	square := GEMMShape{M: 512, N: 512, K: 512}
+	skinny := GEMMShape{M: 512 * 512, N: 4, K: 128}
+	// Same order of FLOPs, skinny should achieve lower efficiency ⇒
+	// efficiency-normalized time-per-flop higher.
+	sqPerFlop := cb.GEMMTime(square) / square.FLOPs()
+	skPerFlop := cb.GEMMTime(skinny) / skinny.FLOPs()
+	if skPerFlop <= sqPerFlop {
+		t.Errorf("skinny GEMM unexpectedly as efficient: %.3e vs %.3e ms/flop",
+			skPerFlop, sqPerFlop)
+	}
+}
+
+// Property: modeled time is monotone in problem size for fixed library
+// (bigger square GEMMs never get faster in absolute terms).
+func TestMonotoneInSizeProperty(t *testing.T) {
+	gpu := TitanV()
+	cb := CuBLAS(gpu)
+	f := func(seed uint8) bool {
+		n := 64 + int(seed)%512
+		small := GEMMShape{M: n, N: n, K: n}
+		big := GEMMShape{M: 2 * n, N: 2 * n, K: 2 * n}
+		return cb.GEMMTime(big) > cb.GEMMTime(small)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenFlagClassification(t *testing.T) {
+	gpu := TitanV()
+	if CuBLAS(gpu).Open || CuDNN(gpu).Open {
+		t.Error("vendor libraries must be closed-source")
+	}
+	if !CUTLASS(gpu).Open || !ISAAC(gpu).Open || !ATLAS(XeonCPU()).Open {
+		t.Error("alternatives must be open-source")
+	}
+}

@@ -1,0 +1,142 @@
+// Package metrics computes the size and complexity measurements behind
+// the paper's Figure 3 and the architectural-design assessment (Table 2):
+// NLOC, cyclomatic complexity with Lizard-compatible counting rules,
+// per-module aggregates, and coupling/cohesion/interface-size metrics.
+package metrics
+
+import "strings"
+
+// CountNLOC returns the number of non-blank, non-comment source lines,
+// matching Lizard's NLOC definition: a line counts when it carries at
+// least one code token after comment stripping.
+func CountNLOC(src string) int {
+	n := 0
+	lineHasCode := false
+	inBlock := false
+	i := 0
+	flush := func() {
+		if lineHasCode {
+			n++
+		}
+		lineHasCode = false
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			flush()
+			i++
+		case inBlock:
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inBlock = false
+				i += 2
+			} else {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			// line comment: skip to newline
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			inBlock = true
+			i += 2
+		case c == '"':
+			lineHasCode = true
+			i++
+			for i < len(src) && src[i] != '"' && src[i] != '\n' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i < len(src) && src[i] == '"' {
+				i++
+			}
+		case c == '\'':
+			lineHasCode = true
+			i++
+			for i < len(src) && src[i] != '\'' && src[i] != '\n' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i < len(src) && src[i] == '\'' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			i++
+		default:
+			lineHasCode = true
+			i++
+		}
+	}
+	flush()
+	return n
+}
+
+// CountCommentLines returns the number of lines containing any comment
+// text; used by the style checker's comment-density metric.
+func CountCommentLines(src string) int {
+	n := 0
+	inBlock := false
+	lineHasComment := false
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if lineHasComment {
+				n++
+			}
+			lineHasComment = false
+			i++
+		case inBlock:
+			lineHasComment = true
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inBlock = false
+				i += 2
+			} else {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			lineHasComment = true
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			inBlock = true
+			lineHasComment = true
+			i += 2
+		case c == '"':
+			i++
+			for i < len(src) && src[i] != '"' && src[i] != '\n' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i < len(src) && src[i] == '"' {
+				i++
+			}
+		default:
+			i++
+		}
+	}
+	if lineHasComment {
+		n++
+	}
+	return n
+}
+
+// MaxLineLength returns the longest physical line length in bytes.
+func MaxLineLength(src string) int {
+	max := 0
+	for _, line := range strings.Split(src, "\n") {
+		if len(line) > max {
+			max = len(line)
+		}
+	}
+	return max
+}

@@ -1,0 +1,167 @@
+// Package report renders assessment results as aligned ASCII tables, CSV,
+// and text bar charts — the output layer for the cmd tools and the
+// EXPERIMENTS.md regeneration flow.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Headers)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes the table as comma-separated values (quotes on demand).
+func (t *Table) CSV(w io.Writer) {
+	writeRec := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	writeRec(t.Headers)
+	for _, row := range t.Rows {
+		writeRec(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders one labeled horizontal bar scaled to maxVal over width
+// characters, e.g. "perception  |█████████░| 92.1".
+type BarChart struct {
+	Title string
+	Width int // bar width in characters (default 40)
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 40} }
+
+// Add appends a bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.rows = append(b.rows, barRow{label, value})
+}
+
+// Render writes the chart.
+func (b *BarChart) Render(w io.Writer) {
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n", b.Title)
+	}
+	maxLabel, maxVal := 0, 0.0
+	for _, r := range b.rows {
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	for _, r := range b.rows {
+		n := 0
+		if maxVal > 0 {
+			n = int(r.value / maxVal * float64(width))
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(w, "%s |%s%s| %.2f\n", pad(r.label, maxLabel),
+			strings.Repeat("#", n), strings.Repeat(".", width-n), r.value)
+	}
+}
+
+// String renders to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("short", 1)
+	tb.AddRow("much-longer-name", 12345)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All table lines share the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("misaligned line %q (want width %d)", l, w)
+		}
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "V")
+	tb.AddRow(3.14159)
+	tb.AddRow(float32(2.5))
+	out := tb.String()
+	if !strings.Contains(out, "3.14") || !strings.Contains(out, "2.50") {
+		t.Errorf("float formatting: %q", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("plain", `has "quotes", and commas`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"has ""quotes"", and commas"`) {
+		t.Errorf("CSV quoting wrong: %q", out)
+	}
+	if !strings.HasPrefix(out, "A,B\n") {
+		t.Errorf("CSV header: %q", out)
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	bc := NewBarChart("Chart")
+	bc.Width = 10
+	bc.Add("max", 100)
+	bc.Add("half", 50)
+	bc.Add("zero", 0)
+	out := bc.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("full bar missing: %q", out)
+	}
+	if !strings.Contains(out, "#####.....") {
+		t.Errorf("half bar missing: %q", out)
+	}
+	if !strings.Contains(out, "..........") {
+		t.Errorf("zero bar missing: %q", out)
+	}
+}
+
+func TestBarChartEmptyAndDefaults(t *testing.T) {
+	bc := NewBarChart("")
+	out := bc.String()
+	if out != "" {
+		t.Errorf("empty chart rendered %q", out)
+	}
+	bc2 := NewBarChart("t")
+	bc2.Width = 0 // default applies
+	bc2.Add("a", 1)
+	if !strings.Contains(bc2.String(), strings.Repeat("#", 40)) {
+		t.Error("default width not applied")
+	}
+}
+
+// Property: every CSV output has exactly rows+1 lines and each quoted cell
+// round-trips the original comma count.
+func TestCSVLineCountProperty(t *testing.T) {
+	f := func(cells []uint8) bool {
+		tb := NewTable("", "C")
+		for _, c := range cells {
+			tb.AddRow(strings.Repeat(",", int(c%3)) + "x")
+		}
+		var sb strings.Builder
+		tb.CSV(&sb)
+		lines := strings.Count(sb.String(), "\n")
+		return lines == len(cells)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rendered table width is monotone in the longest cell.
+func TestTableWidthProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		tb := NewTable("", "A")
+		tb.AddRow(strings.Repeat("x", int(n%60)))
+		line := strings.Split(tb.String(), "\n")[0]
+		return len(line) >= int(n%60)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

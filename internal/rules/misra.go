@@ -1,0 +1,163 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ccast"
+)
+
+// MISRAExtraRule adds further decidable MISRA C:2012 checks beyond the
+// core LanguageSubsetRule: switch hygiene (R16.3/R16.4), assignments in
+// controlling expressions (R13.4), octal literals (R7.1), and unused
+// parameters (advisory R2.7). The paper's point — that AD code was never
+// written against any such subset — is evidenced by the density of these
+// findings across the corpus.
+type MISRAExtraRule struct{}
+
+// ID implements Rule.
+func (*MISRAExtraRule) ID() string { return "misra-extra" }
+
+// Describe implements Rule.
+func (*MISRAExtraRule) Describe() string {
+	return "additional MISRA C:2012 decidable rules (ISO26262-6 T1.2)"
+}
+
+// Check implements Rule.
+func (r *MISRAExtraRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		out = append(out, r.checkSwitches(fi)...)
+		out = append(out, r.checkConditions(fi)...)
+		out = append(out, r.checkOctals(fi)...)
+		out = append(out, r.checkUnusedParams(fi)...)
+	}
+	return out
+}
+
+// checkSwitches enforces R16.4 (default label present) and R16.3 (every
+// non-empty case group ends in an unconditional break or return).
+func (r *MISRAExtraRule) checkSwitches(fi *FuncInfo) []Finding {
+	var out []Finding
+	ccast.WalkStmts(fi.Decl.Body, func(s ccast.Stmt) bool {
+		sw, ok := s.(*ccast.Switch)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for i, c := range sw.Cases {
+			if len(c.Values) == 0 {
+				hasDefault = true
+			}
+			if len(c.Body) == 0 {
+				continue // stacked labels merge upward; nothing to flag
+			}
+			if i == len(sw.Cases)-1 {
+				continue // last group falls out of the switch legally
+			}
+			if !endsInJump(c.Body) {
+				out = append(out, finding(r.ID(), Warning, fi, c.Span().Start.Line,
+					"switch case falls through to the next label (MISRA C:2012 R16.3)",
+					refLangSubset))
+			}
+		}
+		if !hasDefault {
+			out = append(out, finding(r.ID(), Warning, fi, sw.Span().Start.Line,
+				"switch has no default label (MISRA C:2012 R16.4)", refLangSubset))
+		}
+		return true
+	})
+	return out
+}
+
+// endsInJump reports whether the statement list cannot fall through.
+func endsInJump(body []ccast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	switch last := body[len(body)-1].(type) {
+	case *ccast.Break, *ccast.Continue, *ccast.Return, *ccast.Goto:
+		return true
+	case *ccast.Block:
+		return endsInJump(last.Stmts)
+	default:
+		return false
+	}
+}
+
+// checkConditions flags assignments used as controlling expressions
+// (MISRA C:2012 R13.4: the result of an assignment should not be used).
+func (r *MISRAExtraRule) checkConditions(fi *FuncInfo) []Finding {
+	var out []Finding
+	flag := func(cond ccast.Expr, where string) {
+		if cond == nil {
+			return
+		}
+		ccast.WalkExprs(cond, func(e ccast.Expr) bool {
+			if a, ok := e.(*ccast.Assign); ok {
+				out = append(out, finding(r.ID(), Warning, fi, a.Span().Start.Line,
+					fmt.Sprintf("assignment inside %s condition (MISRA C:2012 R13.4)", where),
+					refLangSubset))
+			}
+			return true
+		})
+	}
+	ccast.WalkStmts(fi.Decl.Body, func(s ccast.Stmt) bool {
+		switch s := s.(type) {
+		case *ccast.If:
+			flag(s.Cond, "if")
+		case *ccast.While:
+			flag(s.Cond, "while")
+		case *ccast.DoWhile:
+			flag(s.Cond, "do-while")
+		case *ccast.For:
+			flag(s.Cond, "for")
+		}
+		return true
+	})
+	return out
+}
+
+// checkOctals flags octal integer constants (MISRA C:2012 R7.1).
+func (r *MISRAExtraRule) checkOctals(fi *FuncInfo) []Finding {
+	var out []Finding
+	ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
+		lit, ok := e.(*ccast.IntLit)
+		if !ok {
+			return true
+		}
+		t := lit.Text
+		if len(t) > 1 && t[0] == '0' && t[1] >= '0' && t[1] <= '7' &&
+			!strings.HasPrefix(t, "0x") && !strings.HasPrefix(t, "0X") {
+			out = append(out, finding(r.ID(), Warning, fi, lit.Span().Start.Line,
+				fmt.Sprintf("octal constant %s (MISRA C:2012 R7.1)", t), refLangSubset))
+		}
+		return true
+	})
+	return out
+}
+
+// checkUnusedParams flags named parameters never referenced in the body
+// (MISRA C:2012 R2.7, advisory).
+func (r *MISRAExtraRule) checkUnusedParams(fi *FuncInfo) []Finding {
+	if fi.Decl.Body == nil || len(fi.Decl.Params) == 0 {
+		return nil
+	}
+	used := make(map[string]bool)
+	ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
+		if id, ok := e.(*ccast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	var out []Finding
+	for _, p := range fi.Decl.Params {
+		if p.Name == "" || used[p.Name] {
+			continue
+		}
+		out = append(out, finding(r.ID(), Info, fi, p.Span().Start.Line,
+			fmt.Sprintf("parameter %q is never used (MISRA C:2012 R2.7)", p.Name),
+			refLangSubset))
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func misraFindings(t *testing.T, src string) []Finding {
+	t.Helper()
+	ctx := makeCtx(t, map[string]string{"m/a.c": src})
+	return (&MISRAExtraRule{}).Check(ctx)
+}
+
+func countContaining(fs []Finding, sub string) int {
+	n := 0
+	for _, f := range fs {
+		if strings.Contains(f.Msg, sub) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMissingDefaultFlagged(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    switch (x) {
+    case 0: return 1;
+    case 1: return 2;
+    }
+    return 0;
+}`)
+	if countContaining(fs, "R16.4") != 1 {
+		t.Errorf("missing-default findings: %v", fs)
+	}
+}
+
+func TestDefaultPresentNotFlagged(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    switch (x) {
+    case 0: return 1;
+    default: return 0;
+    }
+}`)
+	if countContaining(fs, "R16.4") != 0 {
+		t.Errorf("spurious missing-default: %v", fs)
+	}
+}
+
+func TestFallthroughFlagged(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    int acc = 0;
+    switch (x) {
+    case 0:
+        acc += 1;
+    case 1:
+        acc += 2;
+        break;
+    default:
+        acc = -1;
+    }
+    return acc;
+}`)
+	if countContaining(fs, "R16.3") != 1 {
+		t.Errorf("fallthrough findings: %v", fs)
+	}
+}
+
+func TestBreakTerminatedCasesClean(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    int acc = 0;
+    switch (x) {
+    case 0:
+        acc = 1;
+        break;
+    case 1:
+        acc = 2;
+        break;
+    default:
+        acc = 3;
+    }
+    return acc;
+}`)
+	if countContaining(fs, "R16.3") != 0 {
+		t.Errorf("spurious fallthrough: %v", fs)
+	}
+}
+
+func TestStackedLabelsNotFallthrough(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    int acc = 0;
+    switch (x) {
+    case 0:
+    case 1:
+        acc = 2;
+        break;
+    default:
+        acc = 3;
+    }
+    return acc;
+}`)
+	if countContaining(fs, "R16.3") != 0 {
+		t.Errorf("stacked labels flagged: %v", fs)
+	}
+}
+
+func TestAssignmentInConditionFlagged(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    int y = 0;
+    if ((y = x) > 0) { return y; }
+    while ((y = y - 1) > 0) { x++; }
+    return x;
+}`)
+	if countContaining(fs, "R13.4") != 2 {
+		t.Errorf("assignment-in-condition findings: %v", fs)
+	}
+}
+
+func TestOctalFlagged(t *testing.T) {
+	fs := misraFindings(t, `
+int f() {
+    int mode = 0755;
+    int zero = 0;
+    int hex = 0x1F;
+    return mode + zero + hex;
+}`)
+	if countContaining(fs, "R7.1") != 1 {
+		t.Errorf("octal findings: %v", fs)
+	}
+}
+
+func TestUnusedParamFlagged(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int used, int unused) {
+    return used * 2;
+}`)
+	if countContaining(fs, "R2.7") != 1 {
+		t.Errorf("unused param findings: %v", fs)
+	}
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "R2.7") && !strings.Contains(f.Msg, `"unused"`) {
+			t.Errorf("wrong parameter named: %s", f.Msg)
+		}
+	}
+}
+
+func TestMISRAExtraOnCleanFunction(t *testing.T) {
+	fs := misraFindings(t, `
+int f(int x) {
+    if (x > 0) { x--; }
+    switch (x) {
+    case 0:
+        x = 1;
+        break;
+    default:
+        x = 2;
+    }
+    return x;
+}`)
+	if len(fs) != 0 {
+		t.Errorf("clean function flagged: %v", fs)
+	}
+}

@@ -1,0 +1,213 @@
+// Package rules implements the static checkers behind the paper's
+// compliance findings: MISRA-inspired language-subset rules, strong-typing
+// and conversion checks, dynamic-memory and pointer restrictions,
+// structural rules (single exit, no goto, no recursion), defensive
+// programming detection, and naming/style conformance. Every finding is
+// tagged with the ISO 26262-6 table row it evidences.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ccast"
+	"repro/internal/iso26262"
+	"repro/internal/srcfile"
+)
+
+// Severity grades findings.
+type Severity int
+
+// Severity levels.
+const (
+	// Info findings are observations, not violations.
+	Info Severity = iota
+	// Warning findings are violations that may be justified.
+	Warning
+	// Violation findings contradict a highly recommended practice.
+	Violation
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	default:
+		return "violation"
+	}
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	RuleID   string
+	Severity Severity
+	File     string
+	Module   string
+	Line     int
+	Msg      string
+	// Refs are the ISO 26262-6 table rows this finding evidences.
+	Refs []iso26262.Ref
+	// Function is the enclosing function name, when applicable.
+	Function string
+}
+
+// String renders the finding as path:line: [rule] message.
+func (f *Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.RuleID, f.Msg)
+}
+
+// FuncInfo is the per-function context shared by rules.
+type FuncInfo struct {
+	Decl   *ccast.FuncDecl
+	File   *srcfile.File
+	Module string
+	// Callees are unqualified names of functions this one calls.
+	Callees []string
+}
+
+// Context carries the parsed corpus plus cross-file indexes that
+// corpus-level rules (recursion, return-value checking) need.
+type Context struct {
+	Units map[string]*ccast.TranslationUnit
+	// Funcs lists every function definition in path order.
+	Funcs []*FuncInfo
+	// ByName indexes function definitions by unqualified name. Multiple
+	// definitions with the same name keep the first.
+	ByName map[string]*FuncInfo
+	// GlobalNames maps file-scope variable names to their module.
+	GlobalNames map[string]string
+}
+
+// NewContext builds the shared indexes over parsed units.
+func NewContext(units map[string]*ccast.TranslationUnit) *Context {
+	ctx := &Context{
+		Units:       units,
+		ByName:      make(map[string]*FuncInfo),
+		GlobalNames: make(map[string]string),
+	}
+	paths := make([]string, 0, len(units))
+	for p := range units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		tu := units[p]
+		mod := tu.File.ModuleName()
+		for _, fn := range tu.Funcs() {
+			fi := &FuncInfo{Decl: fn, File: tu.File, Module: mod}
+			ccast.WalkExprs(fn.Body, func(e ccast.Expr) bool {
+				if c, ok := e.(*ccast.Call); ok {
+					if n := CalleeName(c); n != "" {
+						fi.Callees = append(fi.Callees, n)
+					}
+				}
+				return true
+			})
+			ctx.Funcs = append(ctx.Funcs, fi)
+			key := UnqualifiedName(fn.Name)
+			if _, dup := ctx.ByName[key]; !dup {
+				ctx.ByName[key] = fi
+			}
+		}
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				ctx.GlobalNames[d.Name] = mod
+			}
+		}
+	}
+	return ctx
+}
+
+// Rule is one checker.
+type Rule interface {
+	// ID is a short stable identifier, e.g. "cast".
+	ID() string
+	// Describe is a one-line human description.
+	Describe() string
+	// Check runs the rule over the whole context.
+	Check(ctx *Context) []Finding
+}
+
+// DefaultRules returns the full checker set in a stable order.
+func DefaultRules() []Rule {
+	return []Rule{
+		&ComplexityRule{Threshold: 10},
+		&LanguageSubsetRule{},
+		&MISRAExtraRule{},
+		&CastRule{},
+		&ImplicitConversionRule{},
+		&DefensiveRule{},
+		&GlobalVarRule{},
+		&StyleRule{},
+		&NamingRule{},
+		&MultiExitRule{},
+		&DynamicMemoryRule{},
+		&UninitializedRule{},
+		&ShadowRule{},
+		&PointerRule{},
+		&GotoRule{},
+		&RecursionRule{},
+	}
+}
+
+// Run executes rules over the context, returning all findings sorted by
+// file then line then rule.
+func Run(ctx *Context, rs []Rule) []Finding {
+	var out []Finding
+	for _, r := range rs {
+		out = append(out, r.Check(ctx)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].RuleID < out[j].RuleID
+	})
+	return out
+}
+
+// UnqualifiedName strips namespace/class qualifiers.
+func UnqualifiedName(name string) string {
+	if i := strings.LastIndex(name, "::"); i >= 0 {
+		return name[i+2:]
+	}
+	return name
+}
+
+// CalleeName extracts the called name from a call expression.
+func CalleeName(c *ccast.Call) string {
+	switch f := c.Fun.(type) {
+	case *ccast.Ident:
+		return UnqualifiedName(f.Name)
+	case *ccast.Member:
+		return f.Name
+	default:
+		return ""
+	}
+}
+
+// finding is a small constructor helper for rules.
+func finding(rule string, sev Severity, fi *FuncInfo, line int, msg string, refs ...iso26262.Ref) Finding {
+	f := Finding{RuleID: rule, Severity: sev, Line: line, Msg: msg, Refs: refs}
+	if fi != nil {
+		f.File = fi.File.Path
+		f.Module = fi.Module
+		f.Function = fi.Decl.Name
+	}
+	return f
+}
+
+// fileFinding constructs a finding not tied to a function.
+func fileFinding(rule string, sev Severity, file *srcfile.File, line int, msg string, refs ...iso26262.Ref) Finding {
+	return Finding{
+		RuleID: rule, Severity: sev, File: file.Path,
+		Module: file.ModuleName(), Line: line, Msg: msg, Refs: refs,
+	}
+}

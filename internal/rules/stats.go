@@ -1,0 +1,84 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/iso26262"
+)
+
+// Stats aggregates findings along the axes the assessment report needs.
+type Stats struct {
+	Total    int
+	ByRule   map[string]int
+	ByModule map[string]int
+	ByRef    map[iso26262.Ref]int
+	// ByRuleModule counts findings per (rule, module).
+	ByRuleModule map[string]map[string]int
+}
+
+// Aggregate computes statistics over findings.
+func Aggregate(fs []Finding) *Stats {
+	s := &Stats{
+		ByRule:       make(map[string]int),
+		ByModule:     make(map[string]int),
+		ByRef:        make(map[iso26262.Ref]int),
+		ByRuleModule: make(map[string]map[string]int),
+	}
+	for _, f := range fs {
+		s.Total++
+		s.ByRule[f.RuleID]++
+		s.ByModule[f.Module]++
+		for _, ref := range f.Refs {
+			s.ByRef[ref]++
+		}
+		m := s.ByRuleModule[f.RuleID]
+		if m == nil {
+			m = make(map[string]int)
+			s.ByRuleModule[f.RuleID] = m
+		}
+		m[f.Module]++
+	}
+	return s
+}
+
+// Count returns the number of findings for a rule, optionally restricted
+// to a module ("" = all modules).
+func (s *Stats) Count(rule, module string) int {
+	if module == "" {
+		return s.ByRule[rule]
+	}
+	return s.ByRuleModule[rule][module]
+}
+
+// Rules returns rule IDs with findings, sorted.
+func (s *Stats) Rules() []string {
+	out := make([]string, 0, len(s.ByRule))
+	for r := range s.ByRule {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filter returns the findings matching the predicate.
+func Filter(fs []Finding, pred func(*Finding) bool) []Finding {
+	var out []Finding
+	for i := range fs {
+		if pred(&fs[i]) {
+			out = append(out, fs[i])
+		}
+	}
+	return out
+}
+
+// ForRef returns findings evidencing an ISO table row.
+func ForRef(fs []Finding, ref iso26262.Ref) []Finding {
+	return Filter(fs, func(f *Finding) bool {
+		for _, r := range f.Refs {
+			if r == ref {
+				return true
+			}
+		}
+		return false
+	})
+}

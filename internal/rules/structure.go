@@ -1,0 +1,480 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ccast"
+	"repro/internal/iso26262"
+)
+
+var (
+	refSingleExit   = iso26262.Ref{Table: iso26262.TableUnit, Item: 1}
+	refNoDynamic    = iso26262.Ref{Table: iso26262.TableUnit, Item: 2}
+	refInitVars     = iso26262.Ref{Table: iso26262.TableUnit, Item: 3}
+	refUniqueNames  = iso26262.Ref{Table: iso26262.TableUnit, Item: 4}
+	refNoGlobals    = iso26262.Ref{Table: iso26262.TableUnit, Item: 5}
+	refLimitedPtrs  = iso26262.Ref{Table: iso26262.TableUnit, Item: 6}
+	refNoJumps      = iso26262.Ref{Table: iso26262.TableUnit, Item: 9}
+	refNoHiddenFlow = iso26262.Ref{Table: iso26262.TableUnit, Item: 8}
+	refNoRecursion  = iso26262.Ref{Table: iso26262.TableUnit, Item: 10}
+	refDesignPrinc  = iso26262.Ref{Table: iso26262.TableCoding, Item: 5}
+)
+
+// MultiExitRule flags functions with more than one exit point. The paper
+// reports 41% of functions in the object detection module violate this.
+type MultiExitRule struct{}
+
+// ID implements Rule.
+func (*MultiExitRule) ID() string { return "multi-exit" }
+
+// Describe implements Rule.
+func (*MultiExitRule) Describe() string {
+	return "functions must have one entry and one exit point (ISO26262-6 T8.1)"
+}
+
+// Check implements Rule.
+func (r *MultiExitRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		n := ccast.CountReturns(fi.Decl)
+		// A trailing return plus any earlier return means multiple exits;
+		// void functions with no return have exactly one (fall-through).
+		if n > 1 {
+			out = append(out, finding(r.ID(), Violation, fi, fi.Decl.Span().Start.Line,
+				fmt.Sprintf("function %s has %d exit points", fi.Decl.Name, n),
+				refSingleExit))
+		}
+	}
+	return out
+}
+
+// DynamicMemoryRule flags heap allocation: malloc family, C++ new/delete,
+// and CUDA device allocations — the paper's Observation 4 territory.
+type DynamicMemoryRule struct{}
+
+// ID implements Rule.
+func (*DynamicMemoryRule) ID() string { return "dynamic-memory" }
+
+// Describe implements Rule.
+func (*DynamicMemoryRule) Describe() string {
+	return "no dynamic objects or variables (ISO26262-6 T8.2)"
+}
+
+// allocCalls are allocation entry points; cudaMalloc/cudaFree evidence the
+// paper's finding that CUDA intrinsically depends on dynamic memory.
+var allocCalls = map[string]bool{
+	"malloc": true, "calloc": true, "realloc": true, "free": true,
+	"cudaMalloc": true, "cudaFree": true, "cudaMallocManaged": true,
+	"cudaMallocHost": true, "cudaFreeHost": true,
+}
+
+// Check implements Rule.
+func (r *DynamicMemoryRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		fi := fi
+		ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
+			switch e := e.(type) {
+			case *ccast.Call:
+				if n := CalleeName(e); allocCalls[n] {
+					out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
+						fmt.Sprintf("dynamic memory via %s()", n), refNoDynamic))
+				}
+			case *ccast.NewExpr:
+				out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
+					"dynamic memory via new", refNoDynamic))
+			case *ccast.DeleteExpr:
+				out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
+					"dynamic memory via delete", refNoDynamic))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// PointerRule counts pointer declarations (locals, parameters, globals)
+// against "limited use of pointers".
+type PointerRule struct{}
+
+// ID implements Rule.
+func (*PointerRule) ID() string { return "pointer" }
+
+// Describe implements Rule.
+func (*PointerRule) Describe() string {
+	return "limited use of pointers (ISO26262-6 T8.6)"
+}
+
+// Check implements Rule.
+func (r *PointerRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		for _, p := range fi.Decl.Params {
+			if p.Type.IsPointer() {
+				out = append(out, finding(r.ID(), Info, fi, p.Span().Start.Line,
+					fmt.Sprintf("pointer parameter %s %s", typeSpelling(p.Type), p.Name),
+					refLimitedPtrs))
+			}
+		}
+		ccast.Walk(fi.Decl.Body, func(n ccast.Node) bool {
+			if ds, ok := n.(*ccast.DeclStmt); ok {
+				for _, d := range ds.Decl.Names {
+					if d.Type.IsPointer() {
+						out = append(out, finding(r.ID(), Info, fi, d.Span().Start.Line,
+							fmt.Sprintf("pointer variable %s %s", typeSpelling(d.Type), d.Name),
+							refLimitedPtrs))
+					}
+				}
+			}
+			return true
+		})
+	}
+	for path, tu := range ctx.Units {
+		_ = path
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				if d.Type.IsPointer() {
+					out = append(out, fileFinding(r.ID(), Warning, tu.File, d.Span().Start.Line,
+						fmt.Sprintf("global pointer %s %s", typeSpelling(d.Type), d.Name),
+						refLimitedPtrs))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalVarRule flags file-scope mutable variables (const-qualified
+// globals are configuration constants and pass).
+type GlobalVarRule struct{}
+
+// ID implements Rule.
+func (*GlobalVarRule) ID() string { return "global-var" }
+
+// Describe implements Rule.
+func (*GlobalVarRule) Describe() string {
+	return "avoid global variables or justify usage (ISO26262-6 T8.5, T1.5)"
+}
+
+// Check implements Rule.
+func (r *GlobalVarRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, tu := range ctx.Units {
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				if d.Type.Quals.Has(ccast.QualConst) || d.Type.Quals.Has(ccast.QualConstexpr) {
+					continue
+				}
+				out = append(out, fileFinding(r.ID(), Violation, tu.File, d.Span().Start.Line,
+					fmt.Sprintf("global variable %q", d.Name), refNoGlobals, refDesignPrinc))
+			}
+		}
+	}
+	return out
+}
+
+// GotoRule flags unconditional jumps.
+type GotoRule struct{}
+
+// ID implements Rule.
+func (*GotoRule) ID() string { return "goto" }
+
+// Describe implements Rule.
+func (*GotoRule) Describe() string {
+	return "no unconditional jumps (ISO26262-6 T8.9)"
+}
+
+// Check implements Rule.
+func (r *GotoRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		ccast.WalkStmts(fi.Decl.Body, func(s ccast.Stmt) bool {
+			if g, ok := s.(*ccast.Goto); ok {
+				out = append(out, finding(r.ID(), Violation, fi, g.Span().Start.Line,
+					fmt.Sprintf("goto %s", g.Label), refNoJumps, refNoHiddenFlow))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// RecursionRule detects direct and mutual recursion over the corpus-wide
+// call graph (depth-first cycle detection on unqualified names).
+type RecursionRule struct{}
+
+// ID implements Rule.
+func (*RecursionRule) ID() string { return "recursion" }
+
+// Describe implements Rule.
+func (*RecursionRule) Describe() string {
+	return "no recursions (ISO26262-6 T8.10)"
+}
+
+// Check implements Rule.
+func (r *RecursionRule) Check(ctx *Context) []Finding {
+	// Build adjacency over defined functions only.
+	adj := make(map[string][]string, len(ctx.ByName))
+	for name, fi := range ctx.ByName {
+		for _, c := range fi.Callees {
+			if _, defined := ctx.ByName[c]; defined {
+				adj[name] = append(adj[name], c)
+			}
+		}
+	}
+	// Tarjan-style SCC via iterative coloring: a function is recursive if
+	// it is on a cycle (including self-loops).
+	onCycle := make(map[string]bool)
+	var stack []string
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	counter := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		selfLoop := false
+		for _, w := range adj[v] {
+			if w == v {
+				selfLoop = true
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 || selfLoop {
+				for _, w := range comp {
+					onCycle[w] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(ctx.ByName))
+	for n := range ctx.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic traversal order
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	var out []Finding
+	for _, n := range names {
+		if onCycle[n] {
+			fi := ctx.ByName[n]
+			out = append(out, finding(r.ID(), Violation, fi, fi.Decl.Span().Start.Line,
+				fmt.Sprintf("function %s participates in recursion", fi.Decl.Name),
+				refNoRecursion))
+		}
+	}
+	return out
+}
+
+// UninitializedRule flags local scalars declared without an initializer
+// that are read before any assignment along straight-line statement order
+// (a deliberately conservative, flow-insensitive-within-branches check,
+// mirroring what "compiler options and static analysis tools" flag).
+type UninitializedRule struct{}
+
+// ID implements Rule.
+func (*UninitializedRule) ID() string { return "uninit" }
+
+// Describe implements Rule.
+func (*UninitializedRule) Describe() string {
+	return "initialization of variables (ISO26262-6 T8.3)"
+}
+
+// Check implements Rule.
+func (r *UninitializedRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		out = append(out, checkUninitBlock(r.ID(), fi, fi.Decl.Body)...)
+	}
+	return out
+}
+
+func checkUninitBlock(ruleID string, fi *FuncInfo, b *ccast.Block) []Finding {
+	var out []Finding
+	if b == nil {
+		return nil
+	}
+	declared := make(map[string]int) // name → decl line, pending init
+	markAssigned := func(e ccast.Expr) {
+		if id, ok := e.(*ccast.Ident); ok {
+			delete(declared, id.Name)
+		}
+	}
+	var checkReads func(n ccast.Node)
+	checkReads = func(n ccast.Node) {
+		ccast.WalkExprs(n, func(e ccast.Expr) bool {
+			if id, ok := e.(*ccast.Ident); ok {
+				if line, pending := declared[id.Name]; pending {
+					out = append(out, finding(ruleID, Violation, fi, id.Span().Start.Line,
+						fmt.Sprintf("variable %q (declared line %d) read before initialization", id.Name, line),
+						refInitVars))
+					delete(declared, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ccast.DeclStmt:
+			for _, d := range s.Decl.Names {
+				if d.Init != nil {
+					checkReads(d.Init)
+					continue
+				}
+				// Arrays/records often get filled elementwise; restrict to
+				// scalar arithmetic types to stay precise.
+				if len(d.Type.ArrayDims) == 0 && d.Type.PtrDepth == 0 &&
+					(isIntName(d.Type.Name) || isFloatName(d.Type.Name)) {
+					declared[d.Name] = d.Span().Start.Line
+				}
+			}
+		case *ccast.ExprStmt:
+			if a, ok := s.X.(*ccast.Assign); ok {
+				checkReads(a.R)
+				if a.Op != "=" {
+					checkReads(a.L)
+				}
+				markAssigned(a.L)
+				continue
+			}
+			// A call may write through &x: treat address-taken vars as
+			// assigned.
+			ccast.WalkExprs(s.X, func(e ccast.Expr) bool {
+				if u, ok := e.(*ccast.Unary); ok && u.Op == "&" {
+					markAssigned(u.X)
+					return false
+				}
+				return true
+			})
+			checkReads(s.X)
+		default:
+			// Any control flow: check reads within, then drop tracking of
+			// everything it might assign (conservative).
+			checkReads(s)
+			ccast.WalkExprs(s, func(e ccast.Expr) bool {
+				if a, ok := e.(*ccast.Assign); ok {
+					markAssigned(a.L)
+				}
+				if u, ok := e.(*ccast.Unary); ok && u.Op == "&" {
+					markAssigned(u.X)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// ShadowRule flags locals that reuse the name of a file-scope variable or
+// of an outer-scope local ("no multiple use of variable names").
+type ShadowRule struct{}
+
+// ID implements Rule.
+func (*ShadowRule) ID() string { return "shadow" }
+
+// Describe implements Rule.
+func (*ShadowRule) Describe() string {
+	return "no multiple use of variable names (ISO26262-6 T8.4)"
+}
+
+// Check implements Rule.
+func (r *ShadowRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		fi := fi
+		outer := make(map[string]bool)
+		for _, p := range fi.Decl.Params {
+			outer[p.Name] = true
+		}
+		var walkBlock func(b *ccast.Block, scope map[string]bool)
+		walkBlock = func(b *ccast.Block, scope map[string]bool) {
+			if b == nil {
+				return
+			}
+			local := make(map[string]bool)
+			for k := range scope {
+				local[k] = true
+			}
+			for _, s := range b.Stmts {
+				switch s := s.(type) {
+				case *ccast.DeclStmt:
+					for _, d := range s.Decl.Names {
+						if local[d.Name] {
+							out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
+								fmt.Sprintf("declaration of %q shadows an outer declaration", d.Name),
+								refUniqueNames, refNoHiddenFlow))
+						} else if _, isGlobal := ctx.GlobalNames[d.Name]; isGlobal {
+							out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
+								fmt.Sprintf("declaration of %q shadows a global variable", d.Name),
+								refUniqueNames, refNoHiddenFlow))
+						}
+						local[d.Name] = true
+					}
+				case *ccast.Block:
+					walkBlock(s, local)
+				case *ccast.If:
+					walkNested(s.Then, local, walkBlock)
+					walkNested(s.Else, local, walkBlock)
+				case *ccast.While:
+					walkNested(s.Body, local, walkBlock)
+				case *ccast.DoWhile:
+					walkNested(s.Body, local, walkBlock)
+				case *ccast.For:
+					inner := make(map[string]bool)
+					for k := range local {
+						inner[k] = true
+					}
+					if ds, ok := s.Init.(*ccast.DeclStmt); ok {
+						for _, d := range ds.Decl.Names {
+							inner[d.Name] = true
+						}
+					}
+					walkNested(s.Body, inner, walkBlock)
+				case *ccast.Switch:
+					for _, c := range s.Cases {
+						for _, cs := range c.Body {
+							if blk, ok := cs.(*ccast.Block); ok {
+								walkBlock(blk, local)
+							}
+						}
+					}
+				}
+			}
+		}
+		walkBlock(fi.Decl.Body, outer)
+	}
+	return out
+}
+
+func walkNested(s ccast.Stmt, scope map[string]bool, walkBlock func(*ccast.Block, map[string]bool)) {
+	if blk, ok := s.(*ccast.Block); ok {
+		walkBlock(blk, scope)
+	}
+}

@@ -1,0 +1,251 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ccast"
+	"repro/internal/iso26262"
+	"repro/internal/metrics"
+	"repro/internal/srcfile"
+)
+
+var (
+	refLowComplexity = iso26262.Ref{Table: iso26262.TableCoding, Item: 1}
+	refLangSubset    = iso26262.Ref{Table: iso26262.TableCoding, Item: 2}
+)
+
+// ComplexityRule flags functions whose Lizard-style CCN exceeds the
+// threshold ("enforcement of low complexity").
+type ComplexityRule struct {
+	// Threshold is the maximum acceptable CCN; the paper's reference
+	// ranges treat >10 as moderate-or-worse.
+	Threshold int
+}
+
+// ID implements Rule.
+func (*ComplexityRule) ID() string { return "complexity" }
+
+// Describe implements Rule.
+func (*ComplexityRule) Describe() string {
+	return "enforcement of low complexity (ISO26262-6 T1.1)"
+}
+
+// Check implements Rule.
+func (r *ComplexityRule) Check(ctx *Context) []Finding {
+	th := r.Threshold
+	if th <= 0 {
+		th = 10
+	}
+	var out []Finding
+	for _, fi := range ctx.Funcs {
+		ccn := metrics.Cyclomatic(fi.Decl)
+		if ccn > th {
+			sev := Warning
+			if ccn > 20 {
+				sev = Violation
+			}
+			out = append(out, finding(r.ID(), sev, fi, fi.Decl.Span().Start.Line,
+				fmt.Sprintf("function %s has cyclomatic complexity %d (threshold %d, band %s)",
+					fi.Decl.Name, ccn, th, metrics.BandOf(ccn)),
+				refLowComplexity))
+		}
+	}
+	return out
+}
+
+// LanguageSubsetRule is the MISRA-inspired language-subset checker. It
+// implements decidable rules in the spirit of MISRA C:2012 and, for CUDA
+// files, records the paper's Observation 3: no language subset exists for
+// GPU code, so every kernel construct is flagged as unassessable.
+type LanguageSubsetRule struct{}
+
+// ID implements Rule.
+func (*LanguageSubsetRule) ID() string { return "lang-subset" }
+
+// Describe implements Rule.
+func (*LanguageSubsetRule) Describe() string {
+	return "use language subsets / MISRA C (ISO26262-6 T1.2)"
+}
+
+// Check implements Rule.
+func (r *LanguageSubsetRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	// Record-level constructs: unions (MISRA C:2012 Rule 19.2).
+	for _, tu := range ctx.Units {
+		tu := tu
+		ccast.Walk(tu, func(n ccast.Node) bool {
+			if rec, ok := n.(*ccast.RecordDecl); ok && rec.Kind == ccast.RecordUnion {
+				out = append(out, fileFinding(r.ID(), Warning, tu.File, rec.Span().Start.Line,
+					fmt.Sprintf("union %q used (MISRA C:2012 R19.2)", rec.Name), refLangSubset))
+			}
+			return true
+		})
+		// Variadic function definitions (MISRA C:2012 R17.1 spirit).
+		for _, fn := range tu.Funcs() {
+			if fn.Variadic {
+				out = append(out, fileFinding(r.ID(), Warning, tu.File, fn.Span().Start.Line,
+					fmt.Sprintf("variadic function %q (MISRA C:2012 R17.1)", fn.Name), refLangSubset))
+			}
+		}
+	}
+	for _, fi := range ctx.Funcs {
+		fi := fi
+		isCUDA := fi.File.Lang == srcfile.LangCUDA
+		ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
+			switch e := e.(type) {
+			case *ccast.Comma:
+				out = append(out, finding(r.ID(), Warning, fi, e.Span().Start.Line,
+					"comma operator used (MISRA C:2012 R12.3)", refLangSubset))
+			case *ccast.KernelLaunch:
+				out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
+					"CUDA kernel launch: no safety language subset exists for GPU code (Observation 3)",
+					refLangSubset))
+			case *ccast.Call:
+				if n := CalleeName(e); bannedStdlib[n] {
+					out = append(out, finding(r.ID(), Warning, fi, e.Span().Start.Line,
+						fmt.Sprintf("%s() banned by MISRA C:2012 R21.x", n), refLangSubset))
+				}
+			}
+			return true
+		})
+		if isCUDA && fi.Decl.IsKernel() {
+			out = append(out, finding(r.ID(), Info, fi, fi.Decl.Span().Start.Line,
+				fmt.Sprintf("__global__ kernel %s cannot be assessed against MISRA C (no GPU subset)", fi.Decl.Name),
+				refLangSubset))
+		}
+	}
+	return out
+}
+
+// bannedStdlib lists functions MISRA C:2012 Rules 21.x prohibit.
+var bannedStdlib = map[string]bool{
+	"atoi": true, "atol": true, "atof": true, // R21.7
+	"setjmp": true, "longjmp": true, // R21.4
+	"abort": true, "exit": true, "system": true, // R21.8
+	"rand": true, "srand": true, // R21.24 (2012/AMD1)
+	"gets": true,
+}
+
+// StyleRule checks Google-C++-style layout properties: 80-column limit,
+// no tabs, attached opening braces, two-space indentation steps, and a
+// minimum comment density per file.
+type StyleRule struct {
+	// MaxLine defaults to 80.
+	MaxLine int
+}
+
+var refStyle = iso26262.Ref{Table: iso26262.TableCoding, Item: 7}
+
+// ID implements Rule.
+func (*StyleRule) ID() string { return "style" }
+
+// Describe implements Rule.
+func (*StyleRule) Describe() string {
+	return "use style guides (ISO26262-6 T1.7)"
+}
+
+// Check implements Rule.
+func (r *StyleRule) Check(ctx *Context) []Finding {
+	maxLine := r.MaxLine
+	if maxLine <= 0 {
+		maxLine = 80
+	}
+	var out []Finding
+	for _, tu := range ctx.Units {
+		f := tu.File
+		lines := strings.Split(f.Src, "\n")
+		for i, line := range lines {
+			ln := i + 1
+			if len(line) > maxLine {
+				out = append(out, fileFinding(r.ID(), Info, f, ln,
+					fmt.Sprintf("line exceeds %d columns (%d)", maxLine, len(line)), refStyle))
+			}
+			if strings.Contains(line, "\t") {
+				out = append(out, fileFinding(r.ID(), Info, f, ln,
+					"tab character used for indentation", refStyle))
+			}
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "{" && i > 0 && strings.TrimSpace(lines[i-1]) != "" &&
+				!strings.HasSuffix(strings.TrimSpace(lines[i-1]), "{") {
+				out = append(out, fileFinding(r.ID(), Info, f, ln,
+					"opening brace on its own line (style guide attaches braces)", refStyle))
+			}
+		}
+	}
+	return out
+}
+
+// NamingRule enforces Google-style naming: types CamelCase; functions
+// CamelCase (or lower_snake for C files); variables lower_snake; constants
+// and globals prefixed (kConst / g_global); class members trailing "_".
+type NamingRule struct{}
+
+var refNaming = iso26262.Ref{Table: iso26262.TableCoding, Item: 8}
+
+// ID implements Rule.
+func (*NamingRule) ID() string { return "naming" }
+
+// Describe implements Rule.
+func (*NamingRule) Describe() string {
+	return "use naming conventions (ISO26262-6 T1.8)"
+}
+
+// Check implements Rule.
+func (r *NamingRule) Check(ctx *Context) []Finding {
+	var out []Finding
+	for _, tu := range ctx.Units {
+		tu := tu
+		isC := tu.File.Lang == srcfile.LangC
+		ccast.Walk(tu, func(n ccast.Node) bool {
+			switch n := n.(type) {
+			case *ccast.RecordDecl:
+				if n.Name != "" && !isCamelCase(n.Name) {
+					out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+						fmt.Sprintf("type %q should be CamelCase", n.Name), refNaming))
+				}
+			case *ccast.EnumDecl:
+				if n.Name != "" && !isCamelCase(n.Name) {
+					out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+						fmt.Sprintf("enum %q should be CamelCase", n.Name), refNaming))
+				}
+			case *ccast.FuncDecl:
+				base := UnqualifiedName(n.Name)
+				if base == "" || strings.HasPrefix(base, "~") || base == "main" {
+					return true
+				}
+				if isC || n.IsKernel() {
+					if !isLowerSnake(base) {
+						out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+							fmt.Sprintf("C function %q should be lower_snake_case", base), refNaming))
+					}
+				} else if !isCamelCase(base) && !isLowerSnake(base) {
+					out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+						fmt.Sprintf("function %q violates naming conventions", base), refNaming))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isCamelCase(s string) bool {
+	if s == "" || s[0] < 'A' || s[0] > 'Z' {
+		return false
+	}
+	return !strings.Contains(s, "_")
+}
+
+func isLowerSnake(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			return false
+		}
+	}
+	return true
+}

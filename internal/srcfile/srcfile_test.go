@@ -1,0 +1,156 @@
+package srcfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLanguageForPath(t *testing.T) {
+	cases := map[string]Language{
+		"a.c": LangC, "dir/b.cu": LangCUDA, "c.cuh": LangCUDA,
+		"d.h": LangHeader, "e.hpp": LangHeader, "f.cc": LangCPP,
+		"g.cpp": LangCPP, "noext": LangCPP,
+	}
+	for p, want := range cases {
+		if got := LanguageForPath(p); got != want {
+			t.Errorf("LanguageForPath(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestLanguageString(t *testing.T) {
+	for _, l := range []Language{LangC, LangCPP, LangCUDA, LangHeader} {
+		if l.String() == "" {
+			t.Errorf("empty name for %d", int(l))
+		}
+	}
+}
+
+func TestModuleName(t *testing.T) {
+	f := &File{Path: "perception/camera/detector.cc"}
+	if f.ModuleName() != "perception" {
+		t.Errorf("module = %q", f.ModuleName())
+	}
+	g := &File{Path: "flat.c"}
+	if g.ModuleName() != "flat.c" {
+		t.Errorf("flat module = %q", g.ModuleName())
+	}
+	h := &File{Path: "a/b.c", Module: "override"}
+	if h.ModuleName() != "override" {
+		t.Errorf("override module = %q", h.ModuleName())
+	}
+}
+
+func TestLineCountAndLine(t *testing.T) {
+	f := &File{Src: "one\ntwo\nthree"}
+	if f.LineCount() != 3 {
+		t.Errorf("lines = %d", f.LineCount())
+	}
+	if f.Line(2) != "two" {
+		t.Errorf("line 2 = %q", f.Line(2))
+	}
+	if f.Line(3) != "three" {
+		t.Errorf("line 3 = %q", f.Line(3))
+	}
+	if f.Line(0) != "" || f.Line(99) != "" {
+		t.Error("out-of-range lines must be empty")
+	}
+	g := &File{Src: "trailing\n"}
+	if g.LineCount() != 1 {
+		t.Errorf("trailing newline lines = %d", g.LineCount())
+	}
+	if (&File{}).LineCount() != 0 {
+		t.Error("empty file must have 0 lines")
+	}
+}
+
+func TestFileSetAddLookup(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSource("m/a.c", "int x;")
+	fs.AddSource("m/b.cu", "int y;")
+	fs.AddSource("n/c.cc", "int z;")
+	if fs.Len() != 3 {
+		t.Fatalf("len = %d", fs.Len())
+	}
+	if fs.Lookup("m/b.cu").Lang != LangCUDA {
+		t.Error("language not inferred on AddSource")
+	}
+	if fs.Lookup("missing") != nil {
+		t.Error("missing lookup should be nil")
+	}
+	mods := fs.Modules()
+	if len(mods) != 2 || mods[0] != "m" || mods[1] != "n" {
+		t.Errorf("modules = %v", mods)
+	}
+	if len(fs.ModuleFiles("m")) != 2 {
+		t.Errorf("module files = %d", len(fs.ModuleFiles("m")))
+	}
+	if fs.TotalLines() != 3 {
+		t.Errorf("total lines = %d", fs.TotalLines())
+	}
+}
+
+func TestFileSetReplaceOnDuplicatePath(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSource("a.c", "int x;")
+	fs.AddSource("a.c", "int y;\nint z;")
+	if fs.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (replace)", fs.Len())
+	}
+	if fs.Lookup("a.c").LineCount() != 2 {
+		t.Error("replacement content lost")
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	a := Pos{Line: 1, Col: 1, Offset: 0}
+	b := Pos{Line: 2, Col: 1, Offset: 10}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before ordering broken")
+	}
+	if a.String() != "1:1" {
+		t.Errorf("pos string = %q", a.String())
+	}
+	sp := Span{Start: a, End: b}
+	if sp.String() != "1:1-2:1" {
+		t.Errorf("span string = %q", sp.String())
+	}
+}
+
+// Property: Line(i) joined with newlines reconstructs files without a
+// trailing newline.
+func TestLineRoundTripProperty(t *testing.T) {
+	f := func(parts []uint8) bool {
+		src := ""
+		want := make([]string, 0, len(parts))
+		for i, p := range parts {
+			// Lines are non-empty: an empty final line is indistinguishable
+			// from a trailing newline under the LineCount convention.
+			line := "x"
+			for j := 0; j < int(p%4); j++ {
+				line += "x"
+			}
+			want = append(want, line)
+			src += line
+			if i < len(parts)-1 {
+				src += "\n"
+			}
+		}
+		if len(parts) == 0 {
+			return true
+		}
+		file := &File{Src: src}
+		if file.LineCount() != len(want) {
+			return false
+		}
+		for i, w := range want {
+			if file.Line(i+1) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

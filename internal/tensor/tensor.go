@@ -1,0 +1,214 @@
+// Package tensor implements the dense float32 math the YOLO pipeline
+// needs on the CPU: GEMM, im2col convolution, bias, activations, and max
+// pooling. It is the "highly optimized CPU library" stand-in (ATLAS /
+// OpenBLAS role) and the correctness reference for the GPU library models.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor in NCHW layout conventions
+// (the dims slice is [N, C, H, W] for 4-D data, [rows, cols] for
+// matrices).
+type Tensor struct {
+	Dims []int
+	Data []float32
+}
+
+// New allocates a zero tensor with the given dims.
+func New(dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{Dims: append([]int(nil), dims...), Data: make([]float32, n)}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// At reads element (i, j) of a 2-D tensor.
+func (t *Tensor) At(i, j int) float32 { return t.Data[i*t.Dims[1]+j] }
+
+// Set writes element (i, j) of a 2-D tensor.
+func (t *Tensor) Set(i, j int, v float32) { t.Data[i*t.Dims[1]+j] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Dims...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Gemm computes C = alpha*A*B + beta*C for row-major matrices.
+// A is MxK, B is KxN, C is MxN. The inner loops are ordered i-k-j for
+// cache-friendly access, the same optimization darknet's gemm_nn uses.
+func Gemm(alpha float32, a, b *Tensor, beta float32, c *Tensor) {
+	m, k := a.Dims[0], a.Dims[1]
+	k2, n := b.Dims[0], b.Dims[1]
+	if k != k2 || c.Dims[0] != m || c.Dims[1] != n {
+		panic(fmt.Sprintf("tensor: gemm shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
+			m, k, k2, n, c.Dims[0], c.Dims[1]))
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			apart := alpha * arow[kk]
+			if apart == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += apart * brow[j]
+			}
+		}
+	}
+}
+
+// Im2col expands an image [C, H, W] into a [C*K*K, OH*OW] matrix for
+// convolution-as-GEMM, with the given kernel size, stride, and padding.
+func Im2col(im *Tensor, ksize, stride, pad int) *Tensor {
+	c, h, w := im.Dims[0], im.Dims[1], im.Dims[2]
+	oh := (h+2*pad-ksize)/stride + 1
+	ow := (w+2*pad-ksize)/stride + 1
+	col := New(c*ksize*ksize, oh*ow)
+	rows := c * ksize * ksize
+	for r := 0; r < rows; r++ {
+		wOff := r % ksize
+		hOff := (r / ksize) % ksize
+		cIm := r / ksize / ksize
+		for y := 0; y < oh; y++ {
+			imRow := hOff + y*stride - pad
+			for x := 0; x < ow; x++ {
+				imCol := wOff + x*stride - pad
+				var v float32
+				if imRow >= 0 && imRow < h && imCol >= 0 && imCol < w {
+					v = im.Data[(cIm*h+imRow)*w+imCol]
+				}
+				col.Data[r*(oh*ow)+y*ow+x] = v
+			}
+		}
+	}
+	return col
+}
+
+// Conv2D performs a 2-D convolution of input [C, H, W] with weights
+// [K, C, R, R] via im2col + GEMM, returning [K, OH, OW].
+func Conv2D(input, weights *Tensor, stride, pad int) *Tensor {
+	k := weights.Dims[0]
+	c, r := weights.Dims[1], weights.Dims[2]
+	if c != input.Dims[0] {
+		panic("tensor: conv channel mismatch")
+	}
+	oh := (input.Dims[1]+2*pad-r)/stride + 1
+	ow := (input.Dims[2]+2*pad-r)/stride + 1
+	col := Im2col(input, r, stride, pad)
+	wMat := &Tensor{Dims: []int{k, c * r * r}, Data: weights.Data}
+	outMat := New(k, oh*ow)
+	Gemm(1, wMat, col, 0, outMat)
+	return &Tensor{Dims: []int{k, oh, ow}, Data: outMat.Data}
+}
+
+// AddBias adds a per-channel bias to a [C, H, W] tensor in place.
+func AddBias(t *Tensor, bias []float32) {
+	c := t.Dims[0]
+	hw := t.Len() / c
+	for ch := 0; ch < c; ch++ {
+		b := bias[ch]
+		seg := t.Data[ch*hw : (ch+1)*hw]
+		for i := range seg {
+			seg[i] += b
+		}
+	}
+}
+
+// LeakyReLU applies max(0.1x, x) in place (darknet's leaky activation).
+func LeakyReLU(t *Tensor) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0.1 * v
+		}
+	}
+}
+
+// Logistic applies the sigmoid in place.
+func Logistic(t *Tensor) {
+	for i, v := range t.Data {
+		t.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// MaxPool2D applies max pooling with the given size, stride, and total
+// padding over a [C, H, W] tensor. Padding follows darknet's convention:
+// the window origin is shifted by -pad/2 and out-of-image samples are
+// ignored, so a size-2 stride-1 pool with pad 1 preserves spatial size.
+func MaxPool2D(t *Tensor, size, stride, pad int) *Tensor {
+	c, h, w := t.Dims[0], t.Dims[1], t.Dims[2]
+	oh := (h+pad-size)/stride + 1
+	ow := (w+pad-size)/stride + 1
+	out := New(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				max := float32(math.Inf(-1))
+				for dy := 0; dy < size; dy++ {
+					for dx := 0; dx < size; dx++ {
+						iy := y*stride + dy - pad/2
+						ix := x*stride + dx - pad/2
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							continue
+						}
+						v := t.Data[(ch*h+iy)*w+ix]
+						if v > max {
+							max = v
+						}
+					}
+				}
+				out.Data[(ch*oh+y)*ow+x] = max
+			}
+		}
+	}
+	return out
+}
+
+// Softmax computes a numerically stable softmax over a flat slice.
+func Softmax(x []float32) []float32 {
+	out := make([]float32, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	max := x[0]
+	for _, v := range x {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float32) bool { return math.Abs(float64(a-b)) < 1e-4 }
+
+func TestGemmIdentity(t *testing.T) {
+	a := New(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	b := New(3, 3)
+	for i := range b.Data {
+		b.Data[i] = float32(i)
+	}
+	c := New(3, 3)
+	Gemm(1, a, b, 0, c)
+	for i := range c.Data {
+		if c.Data[i] != b.Data[i] {
+			t.Fatalf("identity gemm: C[%d] = %v, want %v", i, c.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestGemmKnown(t *testing.T) {
+	a := &Tensor{Dims: []int{2, 3}, Data: []float32{1, 2, 3, 4, 5, 6}}
+	b := &Tensor{Dims: []int{3, 2}, Data: []float32{7, 8, 9, 10, 11, 12}}
+	c := New(2, 2)
+	Gemm(1, a, b, 0, c)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Errorf("C[%d] = %v, want %v", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	a := &Tensor{Dims: []int{1, 1}, Data: []float32{3}}
+	b := &Tensor{Dims: []int{1, 1}, Data: []float32{4}}
+	c := &Tensor{Dims: []int{1, 1}, Data: []float32{10}}
+	Gemm(2, a, b, 0.5, c) // 2*12 + 0.5*10 = 29
+	if c.Data[0] != 29 {
+		t.Errorf("C = %v, want 29", c.Data[0])
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Gemm(1, New(2, 3), New(4, 2), 0, New(2, 2))
+}
+
+func TestIm2colNoPad(t *testing.T) {
+	im := &Tensor{Dims: []int{1, 3, 3}, Data: []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	col := Im2col(im, 2, 1, 0)
+	// 4 rows (1*2*2), 4 cols (2x2 output).
+	if col.Dims[0] != 4 || col.Dims[1] != 4 {
+		t.Fatalf("col dims = %v", col.Dims)
+	}
+	// First row: top-left of each window = 1,2,4,5.
+	want := []float32{1, 2, 4, 5}
+	for i := range want {
+		if col.Data[i] != want[i] {
+			t.Errorf("col[0][%d] = %v, want %v", i, col.Data[i], want[i])
+		}
+	}
+}
+
+func TestIm2colPadZeros(t *testing.T) {
+	im := &Tensor{Dims: []int{1, 2, 2}, Data: []float32{1, 2, 3, 4}}
+	col := Im2col(im, 3, 1, 1)
+	if col.Dims[0] != 9 || col.Dims[1] != 4 {
+		t.Fatalf("col dims = %v", col.Dims)
+	}
+	// Row 0 (kernel position (0,0)) touches the zero padding at output (0,0).
+	if col.Data[0] != 0 {
+		t.Errorf("padded corner = %v, want 0", col.Data[0])
+	}
+}
+
+func TestConv2DAveraging(t *testing.T) {
+	in := New(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := New(1, 1, 2, 2)
+	for i := range w.Data {
+		w.Data[i] = 0.25
+	}
+	out := Conv2D(in, w, 1, 0)
+	if out.Dims[0] != 1 || out.Dims[1] != 3 || out.Dims[2] != 3 {
+		t.Fatalf("out dims = %v", out.Dims)
+	}
+	for i, v := range out.Data {
+		if !almostEq(v, 1) {
+			t.Errorf("out[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	in := New(1, 4, 4)
+	w := New(2, 1, 2, 2)
+	out := Conv2D(in, w, 2, 0)
+	if out.Dims[0] != 2 || out.Dims[1] != 2 || out.Dims[2] != 2 {
+		t.Errorf("out dims = %v, want [2 2 2]", out.Dims)
+	}
+}
+
+func TestAddBias(t *testing.T) {
+	tns := New(2, 2, 2)
+	AddBias(tns, []float32{1, 10})
+	if tns.Data[0] != 1 || tns.Data[4] != 10 {
+		t.Errorf("bias: %v", tns.Data)
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	tns := &Tensor{Dims: []int{4}, Data: []float32{-1, 0, 1, -10}}
+	LeakyReLU(tns)
+	want := []float32{-0.1, 0, 1, -1}
+	for i := range want {
+		if !almostEq(tns.Data[i], want[i]) {
+			t.Errorf("leaky[%d] = %v, want %v", i, tns.Data[i], want[i])
+		}
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	tns := &Tensor{Dims: []int{1}, Data: []float32{0}}
+	Logistic(tns)
+	if !almostEq(tns.Data[0], 0.5) {
+		t.Errorf("sigmoid(0) = %v", tns.Data[0])
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := &Tensor{Dims: []int{1, 2, 2}, Data: []float32{1, 5, 3, 2}}
+	out := MaxPool2D(in, 2, 2, 0)
+	if out.Len() != 1 || out.Data[0] != 5 {
+		t.Errorf("maxpool = %v", out.Data)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	out := Softmax([]float32{1, 2, 3, 4})
+	var sum float32
+	for _, v := range out {
+		sum += v
+	}
+	if !almostEq(sum, 1) {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if !(out[3] > out[2] && out[2] > out[1]) {
+		t.Errorf("softmax not monotone: %v", out)
+	}
+}
+
+// Property: GEMM is linear in alpha.
+func TestGemmLinearityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 3 + int(seed%4)
+		a, b := New(n, n), New(n, n)
+		for i := range a.Data {
+			a.Data[i] = float32((int(seed)+i*7)%11) - 5
+			b.Data[i] = float32((int(seed)+i*3)%13) - 6
+		}
+		c1, c2 := New(n, n), New(n, n)
+		Gemm(1, a, b, 0, c1)
+		Gemm(2, a, b, 0, c2)
+		for i := range c1.Data {
+			if !almostEq(2*c1.Data[i], c2.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Conv2D via im2col+GEMM matches a direct convolution.
+func TestConvMatchesDirectProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		in := New(2, 5, 5)
+		w := New(3, 2, 3, 3)
+		for i := range in.Data {
+			in.Data[i] = float32((int(seed)+i*7)%9) - 4
+		}
+		for i := range w.Data {
+			w.Data[i] = float32((int(seed)+i*5)%7) - 3
+		}
+		got := Conv2D(in, w, 1, 1)
+		// Direct reference.
+		oh, ow := 5, 5
+		for k := 0; k < 3; k++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					for c := 0; c < 2; c++ {
+						for dy := 0; dy < 3; dy++ {
+							for dx := 0; dx < 3; dx++ {
+								iy, ix := y+dy-1, x+dx-1
+								if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+									continue
+								}
+								acc += in.Data[(c*5+iy)*5+ix] * w.Data[((k*2+c)*3+dy)*3+dx]
+							}
+						}
+					}
+					if !almostEq(acc, got.Data[(k*5+y)*5+x]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 2)
+	b := a.Clone()
+	b.Data[0] = 7
+	if a.Data[0] != 0 {
+		t.Error("clone aliases source")
+	}
+}

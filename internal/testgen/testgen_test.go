@@ -1,0 +1,193 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/cinterp"
+	"repro/internal/coverage"
+	"repro/internal/srcfile"
+)
+
+func parse(t *testing.T, src string) []*ccast.TranslationUnit {
+	t.Helper()
+	f := &srcfile.File{Path: "t.c", Lang: srcfile.LangC, Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return []*ccast.TranslationUnit{tu}
+}
+
+func TestSearchReachesFullBranchCoverage(t *testing.T) {
+	units := parse(t, `
+int classify(int x) {
+    if (x < 0) { return -1; }
+    if (x == 0) { return 0; }
+    if (x > 100) { return 2; }
+    return 1;
+}`)
+	res, err := Search(units, "classify", Options{Budget: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.StmtPct() != 100 {
+		t.Errorf("stmt = %.1f%%, want 100", res.After.StmtPct())
+	}
+	if res.After.BranchPct() != 100 {
+		t.Errorf("branch = %.1f%%, want 100", res.After.BranchPct())
+	}
+	if len(res.Vectors) == 0 || len(res.Vectors) > 8 {
+		t.Errorf("kept %d vectors, want a small generating set", len(res.Vectors))
+	}
+}
+
+func TestSearchSwitchCases(t *testing.T) {
+	units := parse(t, `
+int dispatch(int op) {
+    switch (op) {
+    case 0: return 10;
+    case 1: return 20;
+    case 2: return 30;
+    case 7: return 40;
+    default: return -1;
+    }
+}`)
+	res, err := Search(units, "dispatch", Options{Budget: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.BranchPct() != 100 {
+		t.Errorf("branch = %.1f%%: all case labels should be matched and missed", res.After.BranchPct())
+	}
+}
+
+func TestSearchImprovesMCDC(t *testing.T) {
+	units := parse(t, `
+int gate(int a, int b, int c) {
+    if ((a > 0 && b > 0) || c > 0) { return 1; }
+    return 0;
+}`)
+	res, err := Search(units, "gate", Options{Budget: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.MCDCPct() < 99 {
+		t.Errorf("mcdc = %.1f%%, want 100 for a 3-condition decision", res.After.MCDCPct())
+	}
+}
+
+func TestSearchMonotoneGain(t *testing.T) {
+	units := parse(t, `
+int f(int a, int b) {
+    if (a > 3) { b++; }
+    if (b < -2) { b--; }
+    return b;
+}`)
+	res, err := Search(units, "f", Options{Budget: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Vectors {
+		if v.Gain <= 0 {
+			t.Errorf("kept a vector with no gain: %+v", v)
+		}
+	}
+	if score(res.After) < score(res.Before) {
+		t.Error("coverage regressed")
+	}
+}
+
+func TestSearchUndefinedFunction(t *testing.T) {
+	units := parse(t, "int f(int a) { return a; }")
+	if _, err := Search(units, "ghost", Options{}); err == nil {
+		t.Fatal("expected undefined-function error")
+	}
+}
+
+func TestSearchPointerParamNeedsArgGen(t *testing.T) {
+	units := parse(t, "float sum(float* xs, int n) { float s = 0; for (int i = 0; i < n; i++) { s += xs[i]; } return s; }")
+	if _, err := Search(units, "sum", Options{}); err == nil {
+		t.Fatal("expected ArgGen-required error")
+	}
+	// With a custom generator the search works.
+	res, err := Search(units, "sum", Options{
+		Budget: 50, Seed: 5,
+		ArgGen: func(rng *rand.Rand) []cinterp.Value {
+			n := rng.Intn(5)
+			return []cinterp.Value{
+				FloatBuf(8, func(i int) float64 { return float64(i) }),
+				cinterp.IntVal(int64(n)),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.BranchPct() != 100 {
+		t.Errorf("branch = %.1f%%", res.After.BranchPct())
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	src := `
+int f(int a) {
+    if (a == 42) { return 1; }
+    if (a < 0) { return 2; }
+    return 0;
+}`
+	a, err := Search(parse(t, src), "f", Options{Budget: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(parse(t, src), "f", Options{Budget: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Vectors) != len(b.Vectors) || a.Tried != b.Tried {
+		t.Errorf("nondeterministic search: %d/%d vs %d/%d",
+			len(a.Vectors), a.Tried, len(b.Vectors), b.Tried)
+	}
+}
+
+// TestBoostYoloActivations demonstrates the Observation 10 workflow on the
+// real study subject: the bundled drivers leave activate() partially
+// covered; the generator closes the gap.
+func TestBoostYoloActivations(t *testing.T) {
+	fs := apollocorpus.YoloCorpus()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	var tus []*ccast.TranslationUnit
+	for _, tu := range units {
+		tus = append(tus, tu)
+	}
+	res, err := Search(tus, "activate", Options{Budget: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.BranchPct() != 100 {
+		t.Errorf("activate branch coverage = %.1f%%, want 100 (all activation kinds)",
+			res.After.BranchPct())
+	}
+	if res.After.StmtPct() != 100 {
+		t.Errorf("activate stmt coverage = %.1f%%", res.After.StmtPct())
+	}
+}
+
+func TestBuffers(t *testing.T) {
+	fb := FloatBuf(3, func(i int) float64 { return float64(i) + 0.5 })
+	if fb.Blk[2].AsFloat() != 2.5 {
+		t.Error("FloatBuf fill")
+	}
+	ib := IntBuf(3, func(i int) int64 { return int64(i * 2) })
+	if ib.Blk[2].AsInt() != 4 {
+		t.Error("IntBuf fill")
+	}
+}
+
+var _ = coverage.UniqueCause

@@ -1,0 +1,107 @@
+// Package trace builds the traceability matrix ISO 26262 treats as "a
+// fundamental element to link high-level requirements, low-level
+// requirements, and analyzes" (paper, Section 1): every assessed table
+// topic is linked to the checkers that evidence it, the findings those
+// checkers produced, and the command/benchmark that regenerates the
+// result.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/iso26262"
+	"repro/internal/rules"
+)
+
+// Link is one row of the traceability matrix.
+type Link struct {
+	// Topic is the high-level requirement (a table row of ISO 26262-6).
+	Topic iso26262.Topic
+	// Rules are the checker IDs evidencing the topic.
+	Rules []string
+	// Findings is the number of findings across those rules.
+	Findings int
+	// Regenerate names the command or benchmark reproducing the evidence.
+	Regenerate string
+}
+
+// regenTargets maps each table to its regeneration entry point.
+var regenTargets = map[iso26262.TableID]string{
+	iso26262.TableCoding: "cmd/adassess -table 1 · BenchmarkTable1CodingGuidelines",
+	iso26262.TableArch:   "cmd/adassess -table 2 · BenchmarkTable2Architecture",
+	iso26262.TableUnit:   "cmd/adassess -table 3 · BenchmarkTable3UnitDesign",
+}
+
+// Build links every topic of the three assessed tables to the findings.
+func Build(findings []rules.Finding) []Link {
+	// Invert: ref → set of rule IDs and count.
+	type agg struct {
+		rules map[string]bool
+		count int
+	}
+	byRef := make(map[iso26262.Ref]*agg)
+	for _, f := range findings {
+		for _, ref := range f.Refs {
+			a := byRef[ref]
+			if a == nil {
+				a = &agg{rules: make(map[string]bool)}
+				byRef[ref] = a
+			}
+			a.rules[f.RuleID] = true
+			a.count++
+		}
+	}
+	var out []Link
+	for _, table := range []iso26262.TableID{iso26262.TableCoding, iso26262.TableArch, iso26262.TableUnit} {
+		for _, tp := range iso26262.TableTopics(table) {
+			l := Link{Topic: tp, Regenerate: regenTargets[table]}
+			if a := byRef[iso26262.Ref{Table: table, Item: tp.Item}]; a != nil {
+				for r := range a.rules {
+					l.Rules = append(l.Rules, r)
+				}
+				sort.Strings(l.Rules)
+				l.Findings = a.count
+			}
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Orphans returns topics with no checker evidence — the traceability gaps
+// an assessor must close manually (e.g. "appropriate scheduling
+// properties" needs WCET analysis outside static checking).
+func Orphans(links []Link) []Link {
+	var out []Link
+	for _, l := range links {
+		if len(l.Rules) == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Render writes the matrix as text.
+func Render(w io.Writer, links []Link) {
+	cur := iso26262.TableID(-1)
+	for _, l := range links {
+		if l.Topic.Table != cur {
+			cur = l.Topic.Table
+			fmt.Fprintf(w, "%s\n", cur)
+		}
+		ruleList := "—"
+		if len(l.Rules) > 0 {
+			ruleList = ""
+			for i, r := range l.Rules {
+				if i > 0 {
+					ruleList += ", "
+				}
+				ruleList += r
+			}
+		}
+		fmt.Fprintf(w, "  %d. %s\n     checkers: %s · findings: %d\n     regenerate: %s\n",
+			l.Topic.Item, l.Topic.Name, ruleList, l.Findings, l.Regenerate)
+	}
+}

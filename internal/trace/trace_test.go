@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/iso26262"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+)
+
+func findingsFrom(t *testing.T, src string) []rules.Finding {
+	t.Helper()
+	fs := srcfile.NewFileSet()
+	fs.AddSource("m/a.c", src)
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return rules.Run(rules.NewContext(units), rules.DefaultRules())
+}
+
+func TestBuildCoversAllTopics(t *testing.T) {
+	links := Build(nil)
+	if len(links) != 8+7+10 {
+		t.Fatalf("links = %d, want 25 (all rows of the three tables)", len(links))
+	}
+	items := map[iso26262.TableID][]int{}
+	for _, l := range links {
+		items[l.Topic.Table] = append(items[l.Topic.Table], l.Topic.Item)
+	}
+	if len(items[iso26262.TableCoding]) != 8 {
+		t.Errorf("coding rows = %d", len(items[iso26262.TableCoding]))
+	}
+}
+
+func TestBuildLinksFindings(t *testing.T) {
+	links := Build(findingsFrom(t, `
+int g_count;
+int f(int a) {
+    if (a < 0) goto out;
+    return a;
+out:
+    return -1;
+}`))
+	var gotoLink, globalLink Link
+	for _, l := range links {
+		if l.Topic.Table == iso26262.TableUnit && l.Topic.Item == 9 {
+			gotoLink = l
+		}
+		if l.Topic.Table == iso26262.TableUnit && l.Topic.Item == 5 {
+			globalLink = l
+		}
+	}
+	if gotoLink.Findings != 1 || len(gotoLink.Rules) != 1 || gotoLink.Rules[0] != "goto" {
+		t.Errorf("goto link = %+v", gotoLink)
+	}
+	if globalLink.Findings == 0 {
+		t.Errorf("global link = %+v", globalLink)
+	}
+	if !strings.Contains(gotoLink.Regenerate, "adassess -table 3") {
+		t.Errorf("regenerate = %q", gotoLink.Regenerate)
+	}
+}
+
+func TestOrphans(t *testing.T) {
+	links := Build(findingsFrom(t, "int f(int a) { return a; }"))
+	orphans := Orphans(links)
+	// A clean snippet evidences almost nothing: most topics are orphaned.
+	if len(orphans) < 15 {
+		t.Errorf("orphans = %d, want most topics unlinked on clean code", len(orphans))
+	}
+	// Scheduling (T3.6) is always an orphan for static-only evidence
+	// unless thread primitives appear.
+	foundSched := false
+	for _, o := range orphans {
+		if o.Topic.Table == iso26262.TableArch && o.Topic.Item == 6 {
+			foundSched = true
+		}
+	}
+	if !foundSched {
+		t.Error("scheduling topic should be orphaned without thread primitives")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, Build(findingsFrom(t, "float* g_p;")))
+	out := sb.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Table 8") {
+		t.Errorf("tables missing from render:\n%s", out)
+	}
+	if !strings.Contains(out, "checkers: —") {
+		t.Error("orphan marker missing")
+	}
+	if !strings.Contains(out, "global-var") {
+		t.Error("linked checker missing")
+	}
+}

@@ -1,0 +1,344 @@
+// Package yolo implements the YOLO-style object detector that drives the
+// paper's perception case study: a darknet-like network description, a
+// real CPU forward pass over internal/tensor, region-output decoding with
+// non-maximum suppression, and per-library inference-time estimation over
+// internal/gpusim (Figure 7).
+package yolo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+// LayerKind enumerates supported layer types.
+type LayerKind int
+
+// Layer kinds.
+const (
+	Conv LayerKind = iota
+	MaxPool
+	Region
+)
+
+// String names the kind.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case MaxPool:
+		return "maxpool"
+	default:
+		return "region"
+	}
+}
+
+// Layer is one network layer.
+type Layer struct {
+	Kind    LayerKind
+	Filters int // conv output channels
+	Size    int // kernel / pool window
+	Stride  int
+	Pad     int
+}
+
+// Network is a sequential detection network.
+type Network struct {
+	Name                   string
+	InputC, InputH, InputW int
+	Layers                 []Layer
+	Classes                int
+	Boxes                  int // anchor boxes per cell
+	Anchors                []float32
+}
+
+// TinyYOLO returns the tiny-YOLO-voc topology the perception module's
+// camera path uses (416x416 RGB input, 20 classes, 5 anchors).
+func TinyYOLO() *Network {
+	n := &Network{
+		Name: "tiny-yolo-voc", InputC: 3, InputH: 416, InputW: 416,
+		Classes: 20, Boxes: 5,
+		Anchors: []float32{1.08, 1.19, 3.42, 4.41, 6.63, 11.38, 9.42, 5.11, 16.62, 10.52},
+	}
+	conv := func(filters, size, stride, pad int) Layer {
+		return Layer{Kind: Conv, Filters: filters, Size: size, Stride: stride, Pad: pad}
+	}
+	pool := func(size, stride, pad int) Layer {
+		return Layer{Kind: MaxPool, Size: size, Stride: stride, Pad: pad}
+	}
+	n.Layers = []Layer{
+		conv(16, 3, 1, 1), pool(2, 2, 0),
+		conv(32, 3, 1, 1), pool(2, 2, 0),
+		conv(64, 3, 1, 1), pool(2, 2, 0),
+		conv(128, 3, 1, 1), pool(2, 2, 0),
+		conv(256, 3, 1, 1), pool(2, 2, 0),
+		conv(512, 3, 1, 1), pool(2, 1, 1),
+		conv(1024, 3, 1, 1),
+		conv(1024, 3, 1, 1),
+		conv(125, 1, 1, 0), // 5 * (20 classes + 5) outputs per cell
+		{Kind: Region},
+	}
+	return n
+}
+
+// MicroYOLO returns a scaled-down network for tests and the quickstart
+// example: same structural shape, 32x32 input, 3 classes, 2 anchors.
+func MicroYOLO() *Network {
+	n := &Network{
+		Name: "micro-yolo", InputC: 3, InputH: 32, InputW: 32,
+		Classes: 3, Boxes: 2,
+		Anchors: []float32{1, 1, 3, 3},
+	}
+	n.Layers = []Layer{
+		{Kind: Conv, Filters: 8, Size: 3, Stride: 1, Pad: 1},
+		{Kind: MaxPool, Size: 2, Stride: 2},
+		{Kind: Conv, Filters: 16, Size: 3, Stride: 1, Pad: 1},
+		{Kind: MaxPool, Size: 2, Stride: 2},
+		{Kind: Conv, Filters: 16, Size: 1, Stride: 1, Pad: 0}, // 2*(3+5)=16
+		{Kind: Region},
+	}
+	return n
+}
+
+// OutShapes returns the (C, H, W) after every layer.
+func (n *Network) OutShapes() [][3]int {
+	c, h, w := n.InputC, n.InputH, n.InputW
+	out := make([][3]int, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case Conv:
+			h = (h+2*l.Pad-l.Size)/l.Stride + 1
+			w = (w+2*l.Pad-l.Size)/l.Stride + 1
+			c = l.Filters
+		case MaxPool:
+			h = (h+l.Pad-l.Size)/l.Stride + 1
+			w = (w+l.Pad-l.Size)/l.Stride + 1
+		case Region:
+			// shape preserved
+		}
+		out = append(out, [3]int{c, h, w})
+	}
+	return out
+}
+
+// ConvShapes returns the gpusim workload of every conv layer, in order.
+func (n *Network) ConvShapes() []gpusim.ConvShape {
+	c, h, w := n.InputC, n.InputH, n.InputW
+	var out []gpusim.ConvShape
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case Conv:
+			out = append(out, gpusim.ConvShape{
+				N: 1, C: c, H: h, W: w, K: l.Filters, R: l.Size,
+				Stride: l.Stride, Pad: l.Pad,
+			})
+			h = (h+2*l.Pad-l.Size)/l.Stride + 1
+			w = (w+2*l.Pad-l.Size)/l.Stride + 1
+			c = l.Filters
+		case MaxPool:
+			h = (h+l.Pad-l.Size)/l.Stride + 1
+			w = (w+l.Pad-l.Size)/l.Stride + 1
+		}
+	}
+	return out
+}
+
+// InferenceTimeMs estimates one forward pass on the given library model.
+// Non-conv layers are bandwidth-bound elementwise passes charged at the
+// device's memory ceiling.
+func (n *Network) InferenceTimeMs(lib *gpusim.Library) float64 {
+	total := 0.0
+	for _, s := range n.ConvShapes() {
+		total += lib.ConvTime(s)
+	}
+	// Pool/activation traffic: one read+write of every intermediate.
+	shapes := n.OutShapes()
+	var bytes float64
+	for _, s := range shapes {
+		bytes += 8 * float64(s[0]) * float64(s[1]) * float64(s[2])
+	}
+	total += bytes / (lib.Device.MemBWGBs * 1e9) * 1e3
+	return total
+}
+
+// Weights holds per-conv-layer parameters.
+type Weights struct {
+	W []*tensor.Tensor // [K, C, R, R] per conv layer
+	B [][]float32      // per-channel biases
+}
+
+// RandomWeights samples small random weights deterministically.
+func (n *Network) RandomWeights(seed int64) *Weights {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Weights{}
+	c := n.InputC
+	for _, l := range n.Layers {
+		if l.Kind != Conv {
+			continue
+		}
+		t := tensor.New(l.Filters, c, l.Size, l.Size)
+		for i := range t.Data {
+			t.Data[i] = (rng.Float32() - 0.5) / float32(l.Size*l.Size*c)
+		}
+		b := make([]float32, l.Filters)
+		for i := range b {
+			b[i] = (rng.Float32() - 0.5) * 0.1
+		}
+		w.W = append(w.W, t)
+		w.B = append(w.B, b)
+		c = l.Filters
+	}
+	return w
+}
+
+// Forward runs the real CPU forward pass; input is [C, H, W]. The final
+// region layer output is returned raw ([Boxes*(Classes+5), H, W]).
+func (n *Network) Forward(input *tensor.Tensor, w *Weights) (*tensor.Tensor, error) {
+	if len(input.Dims) != 3 || input.Dims[0] != n.InputC ||
+		input.Dims[1] != n.InputH || input.Dims[2] != n.InputW {
+		return nil, fmt.Errorf("yolo: input dims %v, want [%d %d %d]",
+			input.Dims, n.InputC, n.InputH, n.InputW)
+	}
+	cur := input
+	ci := 0
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case Conv:
+			if ci >= len(w.W) {
+				return nil, fmt.Errorf("yolo: missing weights for conv layer %d", ci)
+			}
+			cur = tensor.Conv2D(cur, w.W[ci], l.Stride, l.Pad)
+			tensor.AddBias(cur, w.B[ci])
+			if ci < countConv(n)-1 {
+				tensor.LeakyReLU(cur)
+			}
+			ci++
+		case MaxPool:
+			cur = tensor.MaxPool2D(cur, l.Size, l.Stride, l.Pad)
+		case Region:
+			// raw output returned to the decoder
+		}
+	}
+	return cur, nil
+}
+
+func countConv(n *Network) int {
+	c := 0
+	for _, l := range n.Layers {
+		if l.Kind == Conv {
+			c++
+		}
+	}
+	return c
+}
+
+// Detection is one decoded box in normalized [0,1] image coordinates.
+type Detection struct {
+	X, Y, W, H float32
+	Conf       float32
+	Class      int
+}
+
+// DecodeRegion converts raw region-layer output into detections above the
+// confidence threshold. The output layout per cell and anchor is
+// [tx, ty, tw, th, to, class scores...], channel-major like darknet.
+func (n *Network) DecodeRegion(out *tensor.Tensor, thresh float32) []Detection {
+	c, gh, gw := out.Dims[0], out.Dims[1], out.Dims[2]
+	per := n.Classes + 5
+	if c != n.Boxes*per {
+		return nil
+	}
+	sigmoid := func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	}
+	var dets []Detection
+	at := func(ch, y, x int) float32 { return out.Data[(ch*gh+y)*gw+x] }
+	for b := 0; b < n.Boxes; b++ {
+		base := b * per
+		for y := 0; y < gh; y++ {
+			for x := 0; x < gw; x++ {
+				objness := sigmoid(at(base+4, y, x))
+				if objness < thresh {
+					continue
+				}
+				scores := make([]float32, n.Classes)
+				for cl := 0; cl < n.Classes; cl++ {
+					scores[cl] = at(base+5+cl, y, x)
+				}
+				probs := tensor.Softmax(scores)
+				bestCl, bestP := 0, float32(0)
+				for cl, p := range probs {
+					if p > bestP {
+						bestCl, bestP = cl, p
+					}
+				}
+				conf := objness * bestP
+				if conf < thresh {
+					continue
+				}
+				bx := (float32(x) + sigmoid(at(base, y, x))) / float32(gw)
+				by := (float32(y) + sigmoid(at(base+1, y, x))) / float32(gh)
+				bw := float32(math.Exp(float64(at(base+2, y, x)))) * n.Anchors[2*b] / float32(gw)
+				bh := float32(math.Exp(float64(at(base+3, y, x)))) * n.Anchors[2*b+1] / float32(gh)
+				dets = append(dets, Detection{X: bx, Y: by, W: bw, H: bh, Conf: conf, Class: bestCl})
+			}
+		}
+	}
+	return dets
+}
+
+// IoU computes intersection-over-union of two detections.
+func IoU(a, b Detection) float32 {
+	l := maxf(a.X-a.W/2, b.X-b.W/2)
+	r := minf(a.X+a.W/2, b.X+b.W/2)
+	t := maxf(a.Y-a.H/2, b.Y-b.H/2)
+	bo := minf(a.Y+a.H/2, b.Y+b.H/2)
+	if r <= l || bo <= t {
+		return 0
+	}
+	inter := (r - l) * (bo - t)
+	union := a.W*a.H + b.W*b.H - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// NMS applies per-class non-maximum suppression, keeping the highest
+// confidence box among overlaps above the threshold.
+func NMS(dets []Detection, iouThresh float32) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Conf > sorted[j].Conf })
+	var out []Detection
+	for _, d := range sorted {
+		keep := true
+		for _, k := range out {
+			if k.Class == d.Class && IoU(k, d) > iouThresh {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}

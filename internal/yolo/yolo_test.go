@@ -1,0 +1,163 @@
+package yolo
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+func TestTinyYOLOShapes(t *testing.T) {
+	n := TinyYOLO()
+	shapes := n.OutShapes()
+	last := shapes[len(shapes)-1]
+	// 416 → five stride-2 pools → 13x13 grid; 125 channels.
+	if last != [3]int{125, 13, 13} {
+		t.Errorf("final shape = %v, want [125 13 13]", last)
+	}
+	convs := n.ConvShapes()
+	if len(convs) != 9 {
+		t.Errorf("conv layers = %d, want 9", len(convs))
+	}
+	if convs[0].C != 3 || convs[0].K != 16 || convs[0].H != 416 {
+		t.Errorf("first conv = %+v", convs[0])
+	}
+}
+
+func TestMicroYOLOForward(t *testing.T) {
+	n := MicroYOLO()
+	w := n.RandomWeights(7)
+	in := tensor.New(3, 32, 32)
+	for i := range in.Data {
+		in.Data[i] = float32(i%17) / 17
+	}
+	out, err := n.Forward(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dims[0] != 16 || out.Dims[1] != 8 || out.Dims[2] != 8 {
+		t.Errorf("out dims = %v, want [16 8 8]", out.Dims)
+	}
+}
+
+func TestForwardRejectsBadInput(t *testing.T) {
+	n := MicroYOLO()
+	w := n.RandomWeights(7)
+	if _, err := n.Forward(tensor.New(1, 8, 8), w); err == nil {
+		t.Error("expected dims error")
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	n := MicroYOLO()
+	w := n.RandomWeights(7)
+	in := tensor.New(3, 32, 32)
+	in.Fill(0.5)
+	a, _ := n.Forward(in.Clone(), w)
+	b, _ := n.Forward(in.Clone(), w)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("forward pass not deterministic")
+		}
+	}
+}
+
+func TestDecodeRegionThreshold(t *testing.T) {
+	n := MicroYOLO()
+	out := tensor.New(16, 4, 4)
+	// All-zero logits: objectness sigmoid = 0.5 everywhere.
+	dets := n.DecodeRegion(out, 0.9)
+	if len(dets) != 0 {
+		t.Errorf("high threshold should yield no detections, got %d", len(dets))
+	}
+	// Boost one cell's objectness for anchor 0.
+	out.Data[(4*4+1)*4+2] = 8 // channel 4 (to), y=1, x=2
+	dets = n.DecodeRegion(out, 0.3)
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d, want 1", len(dets))
+	}
+	d := dets[0]
+	if d.X < 0.5 || d.X > 0.8 || d.Y < 0.25 || d.Y > 0.5 {
+		t.Errorf("box center = (%v, %v), want cell (2,1)/4", d.X, d.Y)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Detection{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}
+	if got := IoU(a, a); got < 0.99 {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := Detection{X: 0.9, Y: 0.9, W: 0.1, H: 0.1}
+	if got := IoU(a, b); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+}
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Detection{
+		{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Conf: 0.9, Class: 1},
+		{X: 0.51, Y: 0.5, W: 0.2, H: 0.2, Conf: 0.8, Class: 1},
+		{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Conf: 0.7, Class: 2}, // other class survives
+		{X: 0.1, Y: 0.1, W: 0.1, H: 0.1, Conf: 0.6, Class: 1},
+	}
+	out := NMS(dets, 0.5)
+	if len(out) != 3 {
+		t.Fatalf("NMS kept %d, want 3", len(out))
+	}
+	if out[0].Conf != 0.9 {
+		t.Errorf("NMS must keep the highest-confidence box first")
+	}
+}
+
+func TestInferenceTimeOrdering(t *testing.T) {
+	n := TinyYOLO()
+	gpu, cpu := gpusim.TitanV(), gpusim.XeonCPU()
+	tCuDNN := n.InferenceTimeMs(gpusim.CuDNN(gpu))
+	tISAAC := n.InferenceTimeMs(gpusim.ISAAC(gpu))
+	tCuBLAS := n.InferenceTimeMs(gpusim.CuBLAS(gpu))
+	tCUTLASS := n.InferenceTimeMs(gpusim.CUTLASS(gpu))
+	tATLAS := n.InferenceTimeMs(gpusim.ATLAS(cpu))
+	tOpenBLAS := n.InferenceTimeMs(gpusim.OpenBLAS(cpu))
+
+	// Figure 7 shape: open GPU libraries competitive with closed ones.
+	if rel := tISAAC / tCuDNN; rel < 0.7 || rel > 1.4 {
+		t.Errorf("ISAAC/cuDNN inference ratio = %.2f, want 0.7-1.4", rel)
+	}
+	if rel := tCUTLASS / tCuBLAS; rel < 0.8 || rel > 1.4 {
+		t.Errorf("CUTLASS/cuBLAS inference ratio = %.2f, want 0.8-1.4", rel)
+	}
+	// CPU two orders of magnitude slower.
+	for _, tc := range []float64{tATLAS, tOpenBLAS} {
+		if ratio := tc / tCuDNN; ratio < 40 {
+			t.Errorf("CPU/GPU ratio = %.0fx, want ~two orders of magnitude", ratio)
+		}
+	}
+}
+
+func TestEndToEndDetection(t *testing.T) {
+	// Micro pipeline: forward, decode, NMS — must not panic and must be
+	// stable across runs.
+	n := MicroYOLO()
+	w := n.RandomWeights(42)
+	in := tensor.New(3, 32, 32)
+	for i := range in.Data {
+		in.Data[i] = float32((i*31)%255) / 255
+	}
+	out, err := n.Forward(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := NMS(n.DecodeRegion(out, 0.2), 0.45)
+	dets2 := NMS(n.DecodeRegion(out, 0.2), 0.45)
+	if len(dets) != len(dets2) {
+		t.Error("detection pipeline not deterministic")
+	}
+	for _, d := range dets {
+		if d.Class < 0 || d.Class >= n.Classes {
+			t.Errorf("class %d out of range", d.Class)
+		}
+		if d.Conf < 0.2 {
+			t.Errorf("confidence %v below threshold", d.Conf)
+		}
+	}
+}
