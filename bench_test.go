@@ -67,6 +67,59 @@ func rulesFor(table string) []rules.Rule {
 }
 
 // ---------------------------------------------------------------------------
+// Pipeline (BENCH_pipeline.json records these before/after engine changes)
+
+// BenchmarkAssess measures the core assessment pipeline stage by stage:
+// frontend parse, rule engine, metrics, and the full end-to-end run that
+// AssessDefaultCorpus performs. CI runs this with -benchtime=1x as a
+// smoke test; BENCH_pipeline.json tracks the recorded trajectory.
+func BenchmarkAssess(b *testing.B) {
+	b.Run("parse", func(b *testing.B) {
+		benchCorpus(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, errs := ccparse.ParseAll(benchFS, ccparse.Options{})
+			if len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+		}
+	})
+	b.Run("rules", func(b *testing.B) {
+		units := benchCorpus(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := rules.NewContext(units)
+			if len(rules.Run(ctx, rules.DefaultRules())) == 0 {
+				b.Fatal("no findings")
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		units := benchCorpus(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fw := metrics.Analyze(units)
+			arch := metrics.AnalyzeArch(units)
+			if fw.TotalFunc == 0 || len(arch) == 0 {
+				b.Fatal("empty metrics")
+			}
+		}
+	})
+	b.Run("end-to-end", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := core.NewAssessor(core.DefaultConfig())
+			if err := a.LoadDefaultCorpus(); err != nil {
+				b.Fatal(err)
+			}
+			as := a.Assess()
+			if len(as.Observations) != 14 {
+				b.Fatal("observations")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
 // Tables
 
 // BenchmarkTable1CodingGuidelines measures the modeling/coding-guideline

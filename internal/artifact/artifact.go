@@ -1,0 +1,187 @@
+// Package artifact is the shared per-function analysis cache of the
+// assessment pipeline. The seed pipeline re-derived the same facts about
+// every function several times over: rules.NewContext walked each body for
+// callees, metrics.Analyze walked it twice more for cyclomatic complexity
+// and return counts, and metrics.AnalyzeArch walked it again for the
+// cross-module call inventory. Build performs ONE walk per function body
+// (executed in parallel across files) and records every fact those
+// consumers need; control-flow graphs are built lazily and memoized so
+// CFG-based consumers (coverage instrumentation) also construct each
+// graph exactly once.
+package artifact
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ccast"
+	"repro/internal/cfg"
+	"repro/internal/par"
+	"repro/internal/srcfile"
+)
+
+// Func is the cached analysis record of one function definition.
+type Func struct {
+	Decl   *ccast.FuncDecl
+	File   *srcfile.File
+	Module string
+	// Calls holds the raw callee spellings in traversal order: the full
+	// (possibly qualified) identifier for direct calls, the member name
+	// for method calls. Consumers needing unqualified names apply Unqualified.
+	Calls []string
+	// CCN is the Lizard-compatible cyclomatic complexity (identical to
+	// metrics.Cyclomatic, computed in the same walk that gathers Calls).
+	CCN int
+	// Returns is the number of return statements anywhere in the body.
+	Returns int
+
+	cfgOnce sync.Once
+	cfgG    *cfg.Graph
+}
+
+// CFG returns the function's control-flow graph, building it on first use
+// and memoizing it. Safe for concurrent callers.
+func (f *Func) CFG() *cfg.Graph {
+	f.cfgOnce.Do(func() { f.cfgG = cfg.Build(f.Decl) })
+	return f.cfgG
+}
+
+// Index is the corpus-wide artifact cache shared by the rule engine,
+// metrics, architectural analysis, and coverage instrumentation.
+type Index struct {
+	Units map[string]*ccast.TranslationUnit
+	// Paths lists unit paths in sorted order; every deterministic
+	// iteration in the pipeline follows this order.
+	Paths []string
+	// Funcs lists every function definition in path order.
+	Funcs []*Func
+	// ByName indexes function definitions by unqualified name; multiple
+	// definitions with the same name keep the first (path order).
+	ByName map[string]*Func
+	// GlobalNames maps file-scope variable names to their module (later
+	// files overwrite earlier ones, matching the seed rules.NewContext).
+	GlobalNames map[string]string
+	// unitFuncs holds each unit's functions in source order.
+	unitFuncs map[string][]*Func
+}
+
+// UnitFuncs returns the cached per-unit function list in source order.
+func (ix *Index) UnitFuncs(path string) []*Func { return ix.unitFuncs[path] }
+
+// Unqualified strips namespace/class qualifiers from a name.
+func Unqualified(name string) string {
+	if i := strings.LastIndex(name, "::"); i >= 0 {
+		return name[i+2:]
+	}
+	return name
+}
+
+// CalleeName extracts the raw callee spelling from a call expression: the
+// full identifier spelling for direct calls, the member name for method
+// calls, "" otherwise.
+func CalleeName(c *ccast.Call) string {
+	switch f := c.Fun.(type) {
+	case *ccast.Ident:
+		return f.Name
+	case *ccast.Member:
+		return f.Name
+	default:
+		return ""
+	}
+}
+
+// Analyze computes the artifact record for one function definition with a
+// single traversal of its body.
+func Analyze(fn *ccast.FuncDecl, file *srcfile.File, module string) *Func {
+	fa := &Func{Decl: fn, File: file, Module: module}
+	if fn.Body == nil {
+		return fa
+	}
+	ccn := 1
+	ccast.Walk(fn.Body, func(n ccast.Node) bool {
+		switch n := n.(type) {
+		case *ccast.If, *ccast.While, *ccast.DoWhile, *ccast.Cond:
+			ccn++
+		case *ccast.For:
+			ccn++
+		case *ccast.Switch:
+			for _, c := range n.Cases {
+				ccn += len(c.Values)
+			}
+		case *ccast.Binary:
+			if n.Op == "&&" || n.Op == "||" {
+				ccn++
+			}
+		case *ccast.Return:
+			fa.Returns++
+		case *ccast.Call:
+			if name := CalleeName(n); name != "" {
+				fa.Calls = append(fa.Calls, name)
+			}
+		}
+		return true
+	})
+	fa.CCN = ccn
+	return fa
+}
+
+// SortedPaths returns the unit paths in sorted order.
+func SortedPaths(units map[string]*ccast.TranslationUnit) []string {
+	paths := make([]string, 0, len(units))
+	for p := range units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Build constructs the corpus index. Per-file analysis runs on a worker
+// pool sized to GOMAXPROCS; the cross-file indexes (ByName, GlobalNames)
+// are merged afterwards in sorted path order so the result is
+// deterministic regardless of scheduling.
+func Build(units map[string]*ccast.TranslationUnit) *Index {
+	ix := &Index{
+		Units:       units,
+		Paths:       SortedPaths(units),
+		ByName:      make(map[string]*Func, 2*len(units)),
+		GlobalNames: make(map[string]string, 2*len(units)),
+		unitFuncs:   make(map[string][]*Func, len(units)),
+	}
+
+	perUnit := make([][]*Func, len(ix.Paths))
+	par.For(par.Workers(len(ix.Paths)), len(ix.Paths), func(i int) {
+		tu := units[ix.Paths[i]]
+		mod := tu.File.ModuleName()
+		fns := tu.Funcs()
+		fas := make([]*Func, 0, len(fns))
+		for _, fn := range fns {
+			fas = append(fas, Analyze(fn, tu.File, mod))
+		}
+		perUnit[i] = fas
+	})
+
+	nFuncs := 0
+	for _, fas := range perUnit {
+		nFuncs += len(fas)
+	}
+	ix.Funcs = make([]*Func, 0, nFuncs)
+	for i, p := range ix.Paths {
+		ix.unitFuncs[p] = perUnit[i]
+		for _, fa := range perUnit[i] {
+			ix.Funcs = append(ix.Funcs, fa)
+			key := Unqualified(fa.Decl.Name)
+			if _, dup := ix.ByName[key]; !dup {
+				ix.ByName[key] = fa
+			}
+		}
+		tu := units[p]
+		mod := tu.File.ModuleName()
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				ix.GlobalNames[d.Name] = mod
+			}
+		}
+	}
+	return ix
+}

@@ -32,6 +32,10 @@ type Lexer struct {
 	// sequences lex as shift operators as in plain C++.
 	CUDA bool
 
+	// interned canonicalizes identifier spellings within this file so
+	// repeated names share one string allocation.
+	interned map[string]string
+
 	errs []*Error
 }
 
@@ -239,13 +243,33 @@ func (lx *Lexer) lexIdent(start Token) Token {
 	for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
 		lx.advance()
 	}
-	start.Text = lx.src[start.Off:lx.pos]
-	if IsKeyword(start.Text) {
+	text := lx.src[start.Off:lx.pos]
+	if canon, ok := keywordCanon[text]; ok {
 		start.Kind = KindKeyword
-	} else {
-		start.Kind = KindIdent
+		start.Text = canon
+		return start
 	}
+	start.Kind = KindIdent
+	start.Text = lx.intern(text)
 	return start
+}
+
+// intern canonicalizes an identifier spelling so every occurrence of the
+// same name shares one string. Common C/C++/CUDA identifiers resolve via a
+// shared read-only table (safe under concurrent lexing); the rest go
+// through a per-lexer table.
+func (lx *Lexer) intern(text string) string {
+	if canon, ok := commonIdents[text]; ok {
+		return canon
+	}
+	if lx.interned == nil {
+		lx.interned = make(map[string]string, 64)
+	}
+	if canon, ok := lx.interned[text]; ok {
+		return canon
+	}
+	lx.interned[text] = text
+	return text
 }
 
 func (lx *Lexer) lexNumber(start Token) Token {
@@ -353,47 +377,139 @@ func (lx *Lexer) lexChar(start Token) Token {
 	return start
 }
 
-// opTable maps operator spellings to kinds, tried longest-first.
-var opTable = []struct {
-	text string
-	kind Kind
-}{
-	{"<<=", KindShlEq}, {">>=", KindShrEq}, {"...", KindEllipsis},
-	{"==", KindEq}, {"!=", KindNotEq}, {"<=", KindLessEq}, {">=", KindGreaterEq},
-	{"&&", KindAndAnd}, {"||", KindOrOr}, {"++", KindPlusPlus},
-	{"--", KindMinusMinus}, {"+=", KindPlusEq}, {"-=", KindMinusEq},
-	{"*=", KindStarEq}, {"/=", KindSlashEq}, {"%=", KindPercentEq},
-	{"&=", KindAmpEq}, {"|=", KindPipeEq}, {"^=", KindCaretEq},
-	{"->", KindArrow}, {"::", KindColonColon}, {"<<", KindShl}, {">>", KindShr},
-	{"(", KindLParen}, {")", KindRParen}, {"{", KindLBrace}, {"}", KindRBrace},
-	{"[", KindLBracket}, {"]", KindRBracket}, {";", KindSemi}, {",", KindComma},
-	{":", KindColon}, {"?", KindQuestion}, {".", KindDot}, {"=", KindAssign},
-	{"+", KindPlus}, {"-", KindMinus}, {"*", KindStar}, {"/", KindSlash},
-	{"%", KindPercent}, {"<", KindLess}, {">", KindGreater}, {"!", KindNot},
-	{"&", KindAmp}, {"|", KindPipe}, {"^", KindCaret}, {"~", KindTilde},
-}
-
+// lexOperator scans punctuation and operators, dispatching on the first
+// byte (the seed's longest-first table scan was a parse hot spot).
 func (lx *Lexer) lexOperator(start Token) Token {
-	rest := lx.src[lx.pos:]
-	// CUDA launch brackets take precedence over shifts when enabled.
-	if lx.CUDA {
-		if strings.HasPrefix(rest, "<<<") {
-			lx.skipN(3)
-			start.Kind, start.Text = KindKernelLaunch, "<<<"
-			return start
-		}
-		if strings.HasPrefix(rest, ">>>") {
-			lx.skipN(3)
-			start.Kind, start.Text = KindKernelLaunchEnd, ">>>"
-			return start
-		}
+	c := lx.peek()
+	c1 := lx.peekAt(1)
+	op := func(n int, kind Kind, text string) Token {
+		lx.skipN(n)
+		start.Kind, start.Text = kind, text
+		return start
 	}
-	for _, op := range opTable {
-		if strings.HasPrefix(rest, op.text) {
-			lx.skipN(len(op.text))
-			start.Kind, start.Text = op.kind, op.text
-			return start
+	switch c {
+	case '(':
+		return op(1, KindLParen, "(")
+	case ')':
+		return op(1, KindRParen, ")")
+	case '{':
+		return op(1, KindLBrace, "{")
+	case '}':
+		return op(1, KindRBrace, "}")
+	case '[':
+		return op(1, KindLBracket, "[")
+	case ']':
+		return op(1, KindRBracket, "]")
+	case ';':
+		return op(1, KindSemi, ";")
+	case ',':
+		return op(1, KindComma, ",")
+	case '?':
+		return op(1, KindQuestion, "?")
+	case '~':
+		return op(1, KindTilde, "~")
+	case ':':
+		if c1 == ':' {
+			return op(2, KindColonColon, "::")
 		}
+		return op(1, KindColon, ":")
+	case '.':
+		if c1 == '.' && lx.peekAt(2) == '.' {
+			return op(3, KindEllipsis, "...")
+		}
+		return op(1, KindDot, ".")
+	case '=':
+		if c1 == '=' {
+			return op(2, KindEq, "==")
+		}
+		return op(1, KindAssign, "=")
+	case '!':
+		if c1 == '=' {
+			return op(2, KindNotEq, "!=")
+		}
+		return op(1, KindNot, "!")
+	case '+':
+		switch c1 {
+		case '+':
+			return op(2, KindPlusPlus, "++")
+		case '=':
+			return op(2, KindPlusEq, "+=")
+		}
+		return op(1, KindPlus, "+")
+	case '-':
+		switch c1 {
+		case '-':
+			return op(2, KindMinusMinus, "--")
+		case '=':
+			return op(2, KindMinusEq, "-=")
+		case '>':
+			return op(2, KindArrow, "->")
+		}
+		return op(1, KindMinus, "-")
+	case '*':
+		if c1 == '=' {
+			return op(2, KindStarEq, "*=")
+		}
+		return op(1, KindStar, "*")
+	case '/':
+		if c1 == '=' {
+			return op(2, KindSlashEq, "/=")
+		}
+		return op(1, KindSlash, "/")
+	case '%':
+		if c1 == '=' {
+			return op(2, KindPercentEq, "%=")
+		}
+		return op(1, KindPercent, "%")
+	case '&':
+		switch c1 {
+		case '&':
+			return op(2, KindAndAnd, "&&")
+		case '=':
+			return op(2, KindAmpEq, "&=")
+		}
+		return op(1, KindAmp, "&")
+	case '|':
+		switch c1 {
+		case '|':
+			return op(2, KindOrOr, "||")
+		case '=':
+			return op(2, KindPipeEq, "|=")
+		}
+		return op(1, KindPipe, "|")
+	case '^':
+		if c1 == '=' {
+			return op(2, KindCaretEq, "^=")
+		}
+		return op(1, KindCaret, "^")
+	case '<':
+		if c1 == '<' {
+			if lx.CUDA && lx.peekAt(2) == '<' {
+				return op(3, KindKernelLaunch, "<<<")
+			}
+			if lx.peekAt(2) == '=' {
+				return op(3, KindShlEq, "<<=")
+			}
+			return op(2, KindShl, "<<")
+		}
+		if c1 == '=' {
+			return op(2, KindLessEq, "<=")
+		}
+		return op(1, KindLess, "<")
+	case '>':
+		if c1 == '>' {
+			if lx.CUDA && lx.peekAt(2) == '>' {
+				return op(3, KindKernelLaunchEnd, ">>>")
+			}
+			if lx.peekAt(2) == '=' {
+				return op(3, KindShrEq, ">>=")
+			}
+			return op(2, KindShr, ">>")
+		}
+		if c1 == '=' {
+			return op(2, KindGreaterEq, ">=")
+		}
+		return op(1, KindGreater, ">")
 	}
 	lx.errorf(start.Line, start.Col, "unexpected character %q", lx.peek())
 	lx.advance()

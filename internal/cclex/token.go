@@ -163,3 +163,42 @@ var keywords = map[string]bool{
 
 // IsKeyword reports whether s is a reserved word in the accepted dialects.
 func IsKeyword(s string) bool { return keywords[s] }
+
+// keywordCanon maps every reserved word to its canonical string so keyword
+// tokens across all files share one allocation. Built once at init; the
+// lexer reads it concurrently.
+var keywordCanon = func() map[string]string {
+	m := make(map[string]string, len(keywords))
+	for k, reserved := range keywords {
+		if reserved {
+			m[k] = k
+		}
+	}
+	return m
+}()
+
+// commonIdents canonicalizes identifiers that recur throughout C/C++/CUDA
+// corpora (standard types, library calls, loop variables) so the lexers
+// can intern them without per-lexer table traffic. Read-only after init,
+// safe for concurrent lexing.
+var commonIdents = func() map[string]string {
+	names := []string{
+		"size_t", "int8_t", "int16_t", "int32_t", "int64_t",
+		"uint8_t", "uint16_t", "uint32_t", "uint64_t", "uint",
+		"NULL", "std", "string", "vector", "map", "printf", "fprintf",
+		"sprintf", "snprintf", "memcpy", "memset", "strlen", "strcmp",
+		"malloc", "calloc", "realloc", "free", "abs", "fabs", "sqrt",
+		"sqrtf", "exp", "expf", "log", "logf", "pow", "powf", "fmaxf",
+		"fminf", "min", "max", "cudaMalloc", "cudaFree", "cudaMemcpy",
+		"cudaMallocManaged", "cudaMallocHost", "cudaFreeHost",
+		"blockIdx", "blockDim", "threadIdx", "gridDim", "x", "y", "z",
+		"i", "j", "k", "n", "m", "idx", "len", "size", "count", "data",
+		"buf", "out", "in", "src", "dst", "tmp", "val", "value", "result",
+		"ret", "status", "err", "ok", "it", "begin", "end", "first", "last",
+	}
+	m := make(map[string]string, len(names))
+	for _, s := range names {
+		m[s] = s
+	}
+	return m
+}()

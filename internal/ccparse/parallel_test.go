@@ -1,0 +1,52 @@
+package ccparse
+
+import (
+	"testing"
+
+	"repro/internal/apollocorpus"
+)
+
+// TestParseAllParallelDeterministic checks the worker-pool frontend:
+// any worker count yields the same units (compared structurally via the
+// per-unit declaration and function counts) and the same error list in
+// the same order as a sequential parse.
+func TestParseAllParallelDeterministic(t *testing.T) {
+	fs := apollocorpus.GenerateDefault()
+	seqUnits, seqErrs := ParseAll(fs, Options{Workers: 1})
+	for _, workers := range []int{0, 2, 8} {
+		parUnits, parErrs := ParseAll(fs, Options{Workers: workers})
+		if len(parUnits) != len(seqUnits) {
+			t.Fatalf("workers=%d: %d units, sequential %d", workers, len(parUnits), len(seqUnits))
+		}
+		if len(parErrs) != len(seqErrs) {
+			t.Fatalf("workers=%d: %d errors, sequential %d", workers, len(parErrs), len(seqErrs))
+		}
+		for i := range seqErrs {
+			if parErrs[i].Error() != seqErrs[i].Error() {
+				t.Fatalf("workers=%d: error %d is %q, sequential %q",
+					workers, i, parErrs[i].Error(), seqErrs[i].Error())
+			}
+		}
+		for p, seqTU := range seqUnits {
+			parTU := parUnits[p]
+			if parTU == nil {
+				t.Fatalf("workers=%d: unit %s missing", workers, p)
+			}
+			if len(parTU.Decls) != len(seqTU.Decls) {
+				t.Fatalf("workers=%d: %s has %d decls, sequential %d",
+					workers, p, len(parTU.Decls), len(seqTU.Decls))
+			}
+			seqFns, parFns := seqTU.Funcs(), parTU.Funcs()
+			if len(parFns) != len(seqFns) {
+				t.Fatalf("workers=%d: %s has %d funcs, sequential %d",
+					workers, p, len(parFns), len(seqFns))
+			}
+			for i := range seqFns {
+				if parFns[i].Name != seqFns[i].Name {
+					t.Fatalf("workers=%d: %s func %d is %q, sequential %q",
+						workers, p, i, parFns[i].Name, seqFns[i].Name)
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ccast"
 	"repro/internal/cclex"
+	"repro/internal/par"
 	"repro/internal/srcfile"
 )
 
@@ -35,6 +36,10 @@ type Options struct {
 	// KeepComments records comments on the translation unit for style
 	// analysis.
 	KeepComments bool
+	// Workers bounds the concurrency of ParseAll: 0 means GOMAXPROCS,
+	// 1 forces sequential parsing. Files are independent, so the result
+	// is identical at any worker count.
+	Workers int
 }
 
 // Parse parses one file. The returned unit is non-nil even when errors are
@@ -67,6 +72,7 @@ type parser struct {
 	lexer        *cclex.Lexer
 	tok          cclex.Token
 	peeked       []cclex.Token
+	peekHead     int
 	errs         []*Error
 	comments     []ccast.CommentInfo
 	keepComments bool
@@ -84,9 +90,15 @@ type parser struct {
 func (p *parser) next() {
 	for {
 		var t cclex.Token
-		if len(p.peeked) > 0 {
-			t = p.peeked[0]
-			p.peeked = p.peeked[1:]
+		if p.peekHead < len(p.peeked) {
+			t = p.peeked[p.peekHead]
+			p.peekHead++
+			if p.peekHead == len(p.peeked) {
+				// Drained: reset to reuse the buffer's capacity instead of
+				// re-slicing it away (this path is hot).
+				p.peeked = p.peeked[:0]
+				p.peekHead = 0
+			}
 		} else {
 			t = p.lexer.Next()
 		}
@@ -101,7 +113,7 @@ func (p *parser) next() {
 
 // peek returns the n-th upcoming significant token (0 = the one after tok).
 func (p *parser) peek(n int) cclex.Token {
-	for len(p.peeked) <= n {
+	for len(p.peeked)-p.peekHead <= n {
 		t := p.lexer.Next()
 		if t.Kind == cclex.KindComment {
 			p.comments = append(p.comments, ccast.CommentInfo{Line: t.Line, Col: t.Col, Text: t.Text})
@@ -112,8 +124,8 @@ func (p *parser) peek(n int) cclex.Token {
 			break
 		}
 	}
-	if n < len(p.peeked) {
-		return p.peeked[n]
+	if p.peekHead+n < len(p.peeked) {
+		return p.peeked[p.peekHead+n]
 	}
 	return p.peeked[len(p.peeked)-1]
 }
@@ -1772,13 +1784,41 @@ func charValue(text string) int64 {
 }
 
 // ParseAll parses every file in the set, returning units keyed by path.
+// Files parse concurrently on a worker pool sized to Options.Workers
+// (default GOMAXPROCS); units and errors are merged in file order, so the
+// output is deterministic and identical to a sequential parse.
 func ParseAll(fs *srcfile.FileSet, opts Options) (map[string]*ccast.TranslationUnit, []*Error) {
-	units := make(map[string]*ccast.TranslationUnit, fs.Len())
+	files := fs.Files()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = par.Workers(len(files))
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+
+	type result struct {
+		tu   *ccast.TranslationUnit
+		errs []*Error
+	}
+	results := make([]result, len(files))
+	par.For(workers, len(files), func(i int) {
+		tu, es := Parse(files[i], opts)
+		results[i] = result{tu, es}
+	})
+
+	units := make(map[string]*ccast.TranslationUnit, len(files))
+	nerrs := 0
+	for i := range results {
+		nerrs += len(results[i].errs)
+	}
 	var errs []*Error
-	for _, f := range fs.Files() {
-		tu, es := Parse(f, opts)
-		units[f.Path] = tu
-		errs = append(errs, es...)
+	if nerrs > 0 {
+		errs = make([]*Error, 0, nerrs)
+	}
+	for i, f := range files {
+		units[f.Path] = results[i].tu
+		errs = append(errs, results[i].errs...)
 	}
 	return units, errs
 }

@@ -35,6 +35,14 @@ type Graph struct {
 	// Decisions are the controlling expressions of branching constructs in
 	// source order (if/while/do/for conditions, and one per case value).
 	Decisions []Decision
+	// Stmts is the source-order statement inventory: every statement
+	// except the Block and Label containers, exactly the set coverage
+	// instrumentation probes. Collected in the same walk as Decisions so
+	// CFG consumers need no further traversals.
+	Stmts []ccast.Stmt
+	// Cases lists the non-default case clauses of every switch in source
+	// order (the branch-coverage contributors).
+	Cases []*ccast.CaseClause
 }
 
 // DecisionKind classifies where a decision comes from.
@@ -77,6 +85,10 @@ type Decision struct {
 	// branch is the label equality test).
 	Expr ccast.Expr
 	Span srcfile.Span
+	// Owner is the AST node the decision belongs to (*ccast.If,
+	// *ccast.While, *ccast.DoWhile, *ccast.For, *ccast.Switch, or
+	// *ccast.Cond); probe-based consumers key instrumentation off it.
+	Owner ccast.Node
 }
 
 // builder holds construction state.
@@ -322,28 +334,40 @@ func (b *builder) buildStmt(s ccast.Stmt, cur *Node) *Node {
 
 func joinUnreached(n *Node) bool { return len(n.Stmts) == 0 }
 
-// collectDecisions walks the body gathering branching points in source order.
+// collectDecisions walks the body gathering branching points, statements,
+// and case clauses in source order (one traversal for all inventories).
 func (b *builder) collectDecisions(body *ccast.Block) {
 	ccast.Walk(body, func(n ccast.Node) bool {
+		if s, ok := n.(ccast.Stmt); ok {
+			switch n.(type) {
+			case *ccast.Block, *ccast.Label:
+				// containers: not counted as statements
+			default:
+				b.g.Stmts = append(b.g.Stmts, s)
+			}
+		}
 		switch n := n.(type) {
 		case *ccast.If:
-			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionIf, Expr: n.Cond, Span: n.Span()})
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionIf, Expr: n.Cond, Span: n.Span(), Owner: n})
 		case *ccast.While:
-			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionWhile, Expr: n.Cond, Span: n.Span()})
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionWhile, Expr: n.Cond, Span: n.Span(), Owner: n})
 		case *ccast.DoWhile:
-			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionDoWhile, Expr: n.Cond, Span: n.Span()})
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionDoWhile, Expr: n.Cond, Span: n.Span(), Owner: n})
 		case *ccast.For:
 			if n.Cond != nil {
-				b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionFor, Expr: n.Cond, Span: n.Span()})
+				b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionFor, Expr: n.Cond, Span: n.Span(), Owner: n})
 			}
 		case *ccast.Switch:
 			for _, c := range n.Cases {
+				if len(c.Values) > 0 {
+					b.g.Cases = append(b.g.Cases, c)
+				}
 				for range c.Values {
-					b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionCase, Span: c.Span()})
+					b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionCase, Span: c.Span(), Owner: n})
 				}
 			}
 		case *ccast.Cond:
-			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionTernary, Expr: n.C, Span: n.Span()})
+			b.g.Decisions = append(b.g.Decisions, Decision{Kind: DecisionTernary, Expr: n.C, Span: n.Span(), Owner: n})
 		}
 		return true
 	})

@@ -8,9 +8,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/apollocorpus"
+	"repro/internal/artifact"
 	"repro/internal/ccast"
 	"repro/internal/ccparse"
 	"repro/internal/coverage"
@@ -46,6 +46,7 @@ type Assessor struct {
 	fs    *srcfile.FileSet
 	units map[string]*ccast.TranslationUnit
 
+	ix       *artifact.Index
 	findings []rules.Finding
 	stats    *rules.Stats
 	fw       *metrics.FrameworkMetrics
@@ -85,11 +86,22 @@ func (a *Assessor) LoadFileSet(fs *srcfile.FileSet) error {
 	}
 	a.fs = fs
 	a.units = units
+	a.ix = nil
 	a.findings = nil
 	a.stats = nil
 	a.fw = nil
 	a.arch = nil
 	return nil
+}
+
+// Index returns (and caches) the shared artifact index: one analysis walk
+// per function, reused by the rule engine, metrics, architectural
+// analysis, and coverage instrumentation.
+func (a *Assessor) Index() *artifact.Index {
+	if a.ix == nil {
+		a.ix = artifact.Build(a.units)
+	}
+	return a.ix
 }
 
 // FileSet returns the loaded corpus.
@@ -98,10 +110,10 @@ func (a *Assessor) FileSet() *srcfile.FileSet { return a.fs }
 // Units returns the parsed translation units.
 func (a *Assessor) Units() map[string]*ccast.TranslationUnit { return a.units }
 
-// Findings runs (and caches) the rule engine.
+// Findings runs (and caches) the rule engine over the shared index.
 func (a *Assessor) Findings() []rules.Finding {
 	if a.findings == nil {
-		ctx := rules.NewContext(a.units)
+		ctx := rules.NewContextFromIndex(a.Index())
 		a.findings = rules.Run(ctx, a.cfg.Rules)
 		a.stats = rules.Aggregate(a.findings)
 	}
@@ -114,18 +126,19 @@ func (a *Assessor) Stats() *rules.Stats {
 	return a.stats
 }
 
-// Metrics returns (and caches) framework metrics.
+// Metrics returns (and caches) framework metrics from the shared index.
 func (a *Assessor) Metrics() *metrics.FrameworkMetrics {
 	if a.fw == nil {
-		a.fw = metrics.Analyze(a.units)
+		a.fw = metrics.AnalyzeIndexed(a.Index())
 	}
 	return a.fw
 }
 
-// Arch returns (and caches) architectural metrics per module.
+// Arch returns (and caches) architectural metrics per module from the
+// shared index.
 func (a *Assessor) Arch() []*metrics.ArchMetrics {
 	if a.arch == nil {
-		a.arch = metrics.AnalyzeArch(a.units)
+		a.arch = metrics.AnalyzeArchIndexed(a.Index())
 	}
 	return a.arch
 }
@@ -480,24 +493,17 @@ func (a *Assessor) observations(fw *metrics.FrameworkMetrics, st *rules.Stats, a
 	return obs
 }
 
-// multiExitFraction computes the paper's 41% statistic for a module.
+// multiExitFraction computes the paper's 41% statistic for a module from
+// the cached per-function return counts.
 func (a *Assessor) multiExitFraction(module string) (float64, int) {
 	total, multi := 0, 0
-	paths := make([]string, 0, len(a.units))
-	for p := range a.units {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		tu := a.units[p]
-		if tu.File.ModuleName() != module {
+	for _, fa := range a.Index().Funcs {
+		if fa.Module != module {
 			continue
 		}
-		for _, fn := range tu.Funcs() {
-			total++
-			if ccast.CountReturns(fn) > 1 {
-				multi++
-			}
+		total++
+		if fa.Returns > 1 {
+			multi++
 		}
 	}
 	if total == 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/apollocorpus"
+	"repro/internal/artifact"
 	"repro/internal/ccast"
 	"repro/internal/ccparse"
 	"repro/internal/cinterp"
@@ -105,18 +106,16 @@ func Figure5(mode coverage.MCDCMode) (*Figure5Result, error) {
 	var tus []*ccast.TranslationUnit
 	recorders := make(map[string]*coverage.Recorder)
 	var allHooks []cinterp.Hooks
-	paths := make([]string, 0, len(units))
-	for p := range units {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
+	// The artifact index supplies each function's memoized CFG, so both
+	// MC/DC modes (and repeated runs) instrument without re-walking ASTs.
+	ix := artifact.Build(units)
+	for _, p := range ix.Paths {
 		tu := units[p]
 		tus = append(tus, tu)
 		if p == apollocorpus.YoloDriverFile {
 			continue // drivers execute but are not reported
 		}
-		rec := coverage.NewRecorder(tu.Funcs(), p)
+		rec := coverage.NewRecorderIndexed(ix.UnitFuncs(p), p)
 		recorders[p] = rec
 		allHooks = append(allHooks, rec.Hooks())
 	}
@@ -130,7 +129,7 @@ func Figure5(mode coverage.MCDCMode) (*Figure5Result, error) {
 	}
 	res := &Figure5Result{}
 	var summaries []*coverage.Summary
-	for _, p := range paths {
+	for _, p := range ix.Paths {
 		rec, ok := recorders[p]
 		if !ok {
 			continue
@@ -190,22 +189,17 @@ func Figure6() ([]Figure6Row, error) {
 		return nil, fmt.Errorf("figure6: parse: %v", errs[0])
 	}
 	var tus []*ccast.TranslationUnit
-	var kernels []*ccast.FuncDecl
-	paths := make([]string, 0, len(units))
-	for p := range units {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		tu := units[p]
-		tus = append(tus, tu)
-		for _, fn := range tu.Funcs() {
-			if fn.IsKernel() {
-				kernels = append(kernels, fn)
+	var kernels []*artifact.Func
+	ix := artifact.Build(units)
+	for _, p := range ix.Paths {
+		tus = append(tus, units[p])
+		for _, fa := range ix.UnitFuncs(p) {
+			if fa.Decl.IsKernel() {
+				kernels = append(kernels, fa)
 			}
 		}
 	}
-	rec := coverage.NewRecorder(kernels, "stencil")
+	rec := coverage.NewRecorderIndexed(kernels, "stencil")
 	m := cinterp.NewMachine(tus...)
 	m.Hooks = rec.Hooks()
 	m.MaxSteps = 500_000_000

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/ccast"
+	"repro/internal/cfg"
 	"repro/internal/cinterp"
 )
 
@@ -81,7 +83,75 @@ type FuncCoverage struct {
 
 // Instrument builds probes for a function definition.
 func Instrument(fn *ccast.FuncDecl, file string) *FuncCoverage {
-	fc := &FuncCoverage{
+	fc := newFuncCoverage(fn, file)
+	ccast.Walk(fn.Body, func(n ccast.Node) bool {
+		switch n := n.(type) {
+		case ccast.Stmt:
+			switch n.(type) {
+			case *ccast.Block, *ccast.Label:
+				// containers: not counted as statements
+			default:
+				fc.addStmt(n.(ccast.Stmt))
+			}
+			switch s := n.(type) {
+			case *ccast.If:
+				fc.addDecision(s, "if", s.Cond)
+			case *ccast.While:
+				fc.addDecision(s, "while", s.Cond)
+			case *ccast.DoWhile:
+				fc.addDecision(s, "do-while", s.Cond)
+			case *ccast.For:
+				if s.Cond != nil {
+					fc.addDecision(s, "for", s.Cond)
+				}
+			case *ccast.Switch:
+				for _, c := range s.Cases {
+					if len(c.Values) == 0 {
+						continue // default label is not a branch test
+					}
+					fc.addCase(c)
+				}
+			}
+		case *ccast.Cond:
+			fc.addDecision(n, "?:", n.C)
+		}
+		return true
+	})
+	return fc
+}
+
+// InstrumentGraph builds probes from a prebuilt control-flow graph's
+// statement/decision/case inventories instead of re-walking the function
+// body. The graph must come from cfg.Build over the same declaration;
+// with a shared artifact cache the CFG is constructed once per function
+// and this path performs no AST traversal. The probe layout is identical
+// to Instrument's (the inventories are collected in the same DFS order).
+func InstrumentGraph(fn *ccast.FuncDecl, file string, g *cfg.Graph) *FuncCoverage {
+	if g == nil {
+		return Instrument(fn, file)
+	}
+	fc := newFuncCoverage(fn, file)
+	for _, s := range g.Stmts {
+		fc.addStmt(s)
+	}
+	// Probe IDs are per-category, and each inventory is collected in the
+	// same DFS order Instrument's walk uses, so category-ordered
+	// construction yields identical probes. Case decisions are tracked by
+	// CaseProbes, not DecisionProbes, exactly as in Instrument.
+	for _, d := range g.Decisions {
+		if d.Kind != cfg.DecisionCase {
+			fc.addDecision(d.Owner, d.Kind.String(), d.Expr)
+		}
+	}
+	for _, c := range g.Cases {
+		fc.addCase(c)
+	}
+	return fc
+}
+
+// newFuncCoverage allocates the probe container for one function.
+func newFuncCoverage(fn *ccast.FuncDecl, file string) *FuncCoverage {
+	return &FuncCoverage{
 		Name:    fn.Name,
 		File:    file,
 		stmtOf:  make(map[ccast.Stmt]*StmtProbe),
@@ -90,56 +160,31 @@ func Instrument(fn *ccast.FuncDecl, file string) *FuncCoverage {
 		caseOf:  make(map[*ccast.CaseClause]*CaseProbe),
 		pending: make(map[*DecisionProbe][]int8),
 	}
-	addDecision := func(owner ccast.Node, kind string, cond ccast.Expr) {
-		dp := &DecisionProbe{
-			ID: len(fc.Decisions), Line: owner.Span().Start.Line, Kind: kind,
-		}
-		fc.Decisions = append(fc.Decisions, dp)
-		fc.decOf[owner] = dp
-		for _, leaf := range LeafConditions(cond) {
-			cp := &CondProbe{ID: len(dp.Conds), Line: leaf.Span().Start.Line}
-			dp.Conds = append(dp.Conds, cp)
-			fc.condOf[leaf] = cp
-		}
+}
+
+func (fc *FuncCoverage) addStmt(s ccast.Stmt) {
+	sp := &StmtProbe{ID: len(fc.Stmts), Line: s.Span().Start.Line}
+	fc.Stmts = append(fc.Stmts, sp)
+	fc.stmtOf[s] = sp
+}
+
+func (fc *FuncCoverage) addCase(c *ccast.CaseClause) {
+	cp := &CaseProbe{ID: len(fc.Cases), Line: c.Span().Start.Line}
+	fc.Cases = append(fc.Cases, cp)
+	fc.caseOf[c] = cp
+}
+
+func (fc *FuncCoverage) addDecision(owner ccast.Node, kind string, cond ccast.Expr) {
+	dp := &DecisionProbe{
+		ID: len(fc.Decisions), Line: owner.Span().Start.Line, Kind: kind,
 	}
-	ccast.Walk(fn.Body, func(n ccast.Node) bool {
-		switch n := n.(type) {
-		case ccast.Stmt:
-			switch n.(type) {
-			case *ccast.Block, *ccast.Label:
-				// containers: not counted as statements
-			default:
-				sp := &StmtProbe{ID: len(fc.Stmts), Line: n.Span().Start.Line}
-				fc.Stmts = append(fc.Stmts, sp)
-				fc.stmtOf[n.(ccast.Stmt)] = sp
-			}
-			switch s := n.(type) {
-			case *ccast.If:
-				addDecision(s, "if", s.Cond)
-			case *ccast.While:
-				addDecision(s, "while", s.Cond)
-			case *ccast.DoWhile:
-				addDecision(s, "do-while", s.Cond)
-			case *ccast.For:
-				if s.Cond != nil {
-					addDecision(s, "for", s.Cond)
-				}
-			case *ccast.Switch:
-				for _, c := range s.Cases {
-					if len(c.Values) == 0 {
-						continue // default label is not a branch test
-					}
-					cp := &CaseProbe{ID: len(fc.Cases), Line: c.Span().Start.Line}
-					fc.Cases = append(fc.Cases, cp)
-					fc.caseOf[c] = cp
-				}
-			}
-		case *ccast.Cond:
-			addDecision(n, "?:", n.C)
-		}
-		return true
-	})
-	return fc
+	fc.Decisions = append(fc.Decisions, dp)
+	fc.decOf[owner] = dp
+	for _, leaf := range LeafConditions(cond) {
+		cp := &CondProbe{ID: len(dp.Conds), Line: leaf.Span().Start.Line}
+		dp.Conds = append(dp.Conds, cp)
+		fc.condOf[leaf] = cp
+	}
 }
 
 // LeafConditions decomposes a controlling expression into its leaf
@@ -383,6 +428,20 @@ func NewRecorder(fns []*ccast.FuncDecl, file string) *Recorder {
 	r := &Recorder{}
 	for _, fn := range fns {
 		fc := Instrument(fn, file)
+		r.Funcs = append(r.Funcs, fc)
+		r.hooks = append(r.hooks, fc.Hooks())
+	}
+	return r
+}
+
+// NewRecorderIndexed instruments functions through the shared artifact
+// cache: each function's memoized control-flow graph supplies the probe
+// inventories, so repeated instrumentation (multiple coverage runs over
+// one corpus) never re-traverses a body.
+func NewRecorderIndexed(fas []*artifact.Func, file string) *Recorder {
+	r := &Recorder{}
+	for _, fa := range fas {
+		fc := InstrumentGraph(fa.Decl, file, fa.CFG())
 		r.Funcs = append(r.Funcs, fc)
 		r.hooks = append(r.hooks, fc.Hooks())
 	}

@@ -1,0 +1,57 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/ccparse"
+	"repro/internal/cfg"
+)
+
+// TestInstrumentGraphMatchesInstrument verifies the CFG-backed probe
+// builder produces the exact inventory of the walking instrumenter for
+// every function in the YOLO corpus (the Figure 5 subject).
+func TestInstrumentGraphMatchesInstrument(t *testing.T) {
+	fs := apollocorpus.YoloCorpus()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	checked := 0
+	for p, tu := range units {
+		for _, fn := range tu.Funcs() {
+			walk := Instrument(fn, p)
+			graph := InstrumentGraph(fn, p, cfg.Build(fn))
+			if len(walk.Stmts) != len(graph.Stmts) {
+				t.Fatalf("%s/%s: stmt probes %d vs %d", p, fn.Name, len(graph.Stmts), len(walk.Stmts))
+			}
+			for i := range walk.Stmts {
+				if walk.Stmts[i].Line != graph.Stmts[i].Line {
+					t.Fatalf("%s/%s: stmt %d line %d vs %d", p, fn.Name, i, graph.Stmts[i].Line, walk.Stmts[i].Line)
+				}
+			}
+			if len(walk.Decisions) != len(graph.Decisions) {
+				t.Fatalf("%s/%s: decisions %d vs %d", p, fn.Name, len(graph.Decisions), len(walk.Decisions))
+			}
+			for i := range walk.Decisions {
+				wd, gd := walk.Decisions[i], graph.Decisions[i]
+				if wd.Line != gd.Line || wd.Kind != gd.Kind || len(wd.Conds) != len(gd.Conds) {
+					t.Fatalf("%s/%s: decision %d (%s@%d conds=%d) vs (%s@%d conds=%d)",
+						p, fn.Name, i, gd.Kind, gd.Line, len(gd.Conds), wd.Kind, wd.Line, len(wd.Conds))
+				}
+			}
+			if len(walk.Cases) != len(graph.Cases) {
+				t.Fatalf("%s/%s: cases %d vs %d", p, fn.Name, len(graph.Cases), len(walk.Cases))
+			}
+			for i := range walk.Cases {
+				if walk.Cases[i].Line != graph.Cases[i].Line {
+					t.Fatalf("%s/%s: case %d line mismatch", p, fn.Name, i)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no functions checked")
+	}
+}

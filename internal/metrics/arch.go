@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/ccast"
 )
 
@@ -69,22 +70,23 @@ var interruptAPIs = map[string]bool{
 	"signal": true, "sigaction": true, "request_irq": true,
 }
 
-// AnalyzeArch computes architectural metrics for every module.
+// AnalyzeArch computes architectural metrics for every module. It builds
+// a fresh artifact index internally; callers that already hold one should
+// use AnalyzeArchIndexed.
 func AnalyzeArch(units map[string]*ccast.TranslationUnit) []*ArchMetrics {
+	return AnalyzeArchIndexed(artifact.Build(units))
+}
+
+// AnalyzeArchIndexed computes architectural metrics from the shared
+// artifact cache. The seed implementation re-walked every function body
+// for its call expressions; the cached per-function call inventory makes
+// this a pure aggregation pass with no AST traversals at all.
+func AnalyzeArchIndexed(ix *artifact.Index) []*ArchMetrics {
 	// Function name → defining module. Unqualified last path segment is
 	// used, matching how the corpus calls across modules.
-	funcModule := make(map[string]string)
-	paths := make([]string, 0, len(units))
-	for p := range units {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		tu := units[p]
-		mod := tu.File.ModuleName()
-		for _, fn := range tu.Funcs() {
-			funcModule[lastName(fn.Name)] = mod
-		}
+	funcModule := make(map[string]string, len(ix.Funcs))
+	for _, fa := range ix.Funcs {
+		funcModule[lastName(fa.Decl.Name)] = fa.Module
 	}
 
 	type modState struct {
@@ -104,26 +106,19 @@ func AnalyzeArch(units map[string]*ccast.TranslationUnit) []*ArchMetrics {
 		return ms
 	}
 
-	for _, p := range paths {
-		tu := units[p]
+	for _, p := range ix.Paths {
+		tu := ix.Units[p]
 		mod := tu.File.ModuleName()
 		ms := get(mod)
 		ms.am.LOC += tu.File.LineCount()
-		for _, fn := range tu.Funcs() {
+		for _, fa := range ix.UnitFuncs(p) {
+			fn := fa.Decl
 			ms.nFuncs++
 			ms.sumPar += len(fn.Params)
 			if len(fn.Params) > ms.am.MaxInterfaceParams {
 				ms.am.MaxInterfaceParams = len(fn.Params)
 			}
-			ccast.WalkExprs(fn.Body, func(e ccast.Expr) bool {
-				call, ok := e.(*ccast.Call)
-				if !ok {
-					return true
-				}
-				callee := calleeName(call)
-				if callee == "" {
-					return true
-				}
+			for _, callee := range fa.Calls {
 				if schedulingAPIs[callee] {
 					ms.am.ThreadPrimitives++
 				}
@@ -138,8 +133,7 @@ func AnalyzeArch(units map[string]*ccast.TranslationUnit) []*ArchMetrics {
 						ms.am.ExternalCalls++
 					}
 				}
-				return true
-			})
+			}
 		}
 	}
 
@@ -214,15 +208,4 @@ func lastName(qualified string) string {
 		return qualified[i+2:]
 	}
 	return qualified
-}
-
-func calleeName(c *ccast.Call) string {
-	switch f := c.Fun.(type) {
-	case *ccast.Ident:
-		return f.Name
-	case *ccast.Member:
-		return f.Name
-	default:
-		return ""
-	}
 }

@@ -3,7 +3,9 @@ package metrics
 import (
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/ccast"
+	"repro/internal/par"
 	"repro/internal/srcfile"
 )
 
@@ -143,6 +145,11 @@ var Thresholds = []int{10, 20, 50}
 
 // AnalyzeFunction computes the metrics row for one function definition.
 func AnalyzeFunction(fn *ccast.FuncDecl, file *srcfile.File) *FunctionMetrics {
+	return functionRow(fn, file, Cyclomatic(fn), ccast.CountReturns(fn))
+}
+
+// functionRow assembles a metrics row from precomputed traversal facts.
+func functionRow(fn *ccast.FuncDecl, file *srcfile.File, ccn, returns int) *FunctionMetrics {
 	sp := fn.Span()
 	fm := &FunctionMetrics{
 		Name:      fn.Name,
@@ -150,9 +157,9 @@ func AnalyzeFunction(fn *ccast.FuncDecl, file *srcfile.File) *FunctionMetrics {
 		Module:    file.ModuleName(),
 		StartLine: sp.Start.Line,
 		EndLine:   sp.End.Line,
-		CCN:       Cyclomatic(fn),
+		CCN:       ccn,
 		Params:    len(fn.Params),
-		Returns:   ccast.CountReturns(fn),
+		Returns:   returns,
 		IsKernel:  fn.IsKernel(),
 	}
 	// Function NLOC: count over the function's source slice.
@@ -178,21 +185,48 @@ func AnalyzeFile(tu *ccast.TranslationUnit) *FileMetrics {
 	return fm
 }
 
-// Analyze computes framework-wide metrics over parsed units.
+// analyzeFileIndexed builds file metrics reusing the artifact cache's
+// per-function CCN and return counts instead of re-walking bodies.
+func analyzeFileIndexed(tu *ccast.TranslationUnit, fas []*artifact.Func) *FileMetrics {
+	f := tu.File
+	fm := &FileMetrics{
+		Path:   f.Path,
+		Module: f.ModuleName(),
+		Lang:   f.Lang,
+		LOC:    f.LineCount(),
+		NLOC:   CountNLOC(f.Src),
+	}
+	fm.Functions = make([]*FunctionMetrics, 0, len(fas))
+	for _, fa := range fas {
+		fm.Functions = append(fm.Functions, functionRow(fa.Decl, f, fa.CCN, fa.Returns))
+	}
+	return fm
+}
+
+// Analyze computes framework-wide metrics over parsed units. It builds a
+// fresh artifact index internally; callers that already hold one should
+// use AnalyzeIndexed to avoid the duplicate traversals.
 func Analyze(units map[string]*ccast.TranslationUnit) *FrameworkMetrics {
+	return AnalyzeIndexed(artifact.Build(units))
+}
+
+// AnalyzeIndexed computes framework-wide metrics from the shared artifact
+// cache. Per-file rows (dominated by the NLOC text scans) are computed on
+// a worker pool; the module aggregation walks files in sorted path order,
+// so the result is deterministic.
+func AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
 	out := &FrameworkMetrics{}
 	mods := make(map[string]*ModuleMetrics)
 
-	paths := make([]string, 0, len(units))
-	for p := range units {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
+	paths := ix.Paths
+	files := make([]*FileMetrics, len(paths))
+	par.For(par.Workers(len(paths)), len(paths), func(i int) {
+		p := paths[i]
+		files[i] = analyzeFileIndexed(ix.Units[p], ix.UnitFuncs(p))
+	})
 
-	for _, p := range paths {
-		tu := units[p]
-		fm := AnalyzeFile(tu)
-		out.Files = append(out.Files, fm)
+	out.Files = files
+	for _, fm := range files {
 		mm := mods[fm.Module]
 		if mm == nil {
 			mm = &ModuleMetrics{Name: fm.Module, OverCCN: make(map[int]int)}

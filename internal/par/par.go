@@ -1,0 +1,62 @@
+// Package par holds the worker-pool primitive shared by every
+// corpus-parallel stage of the pipeline (parsing, artifact indexing, the
+// fused rule engine, metrics). Work items are claimed off an atomic
+// counter, so results indexed by item land deterministically regardless
+// of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the worker count for n work items: GOMAXPROCS capped
+// by n, at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n) on the given number of workers.
+// workers <= 1 runs inline with no goroutines. fn must write only to
+// per-index state (or otherwise synchronize); For returns after every
+// call completes.
+func For(workers, n int, fn func(i int)) {
+	ForWorkers(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorkers is For with the worker id passed alongside the item index:
+// all calls with the same worker id run on one goroutine, so callers can
+// keep unsynchronized worker-local state (scratch buffers, handler
+// programs) indexed by it. Worker ids are in [0, workers).
+func ForWorkers(workers, n int, fn func(worker, i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

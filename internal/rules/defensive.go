@@ -33,6 +33,94 @@ func (r *DefensiveRule) Check(ctx *Context) []Finding {
 	return out
 }
 
+// Fuse implements FusedRule. Pointer-parameter tracking keeps the
+// checked/used maps in the worker closure, fed by If/Index/Unary/Member
+// events from the shared walk; ignored returns dispatch off ExprStmt
+// events directly.
+func (r *DefensiveRule) Fuse(rg *Registrar, ctx *Context) {
+	var ptrParams []string
+	checked := make(map[string]bool)
+	used := make(map[string]int)
+	rg.OnFuncEnter(func(fi *FuncInfo, em *Emitter) {
+		ptrParams = ptrParams[:0]
+		for _, p := range fi.Decl.Params {
+			if p.Name != "" && p.Type.IsPointer() {
+				ptrParams = append(ptrParams, p.Name)
+			}
+		}
+		if len(ptrParams) > 0 {
+			clear(checked)
+			clear(used)
+		}
+	})
+	rg.OnNode(func(fi *FuncInfo, n ccast.Node, em *Emitter) {
+		if len(ptrParams) == 0 {
+			if es, ok := n.(*ccast.ExprStmt); ok {
+				r.ignoredReturnFinding(ctx, fi, es, em)
+			}
+			return
+		}
+		switch n := n.(type) {
+		case *ccast.If:
+			for _, name := range nullCheckedNames(n.Cond) {
+				checked[name] = true
+			}
+		case *ccast.Index:
+			if id, ok := n.X.(*ccast.Ident); ok {
+				noteUse(used, id)
+			}
+		case *ccast.Unary:
+			if n.Op == "*" {
+				if id, ok := n.X.(*ccast.Ident); ok {
+					noteUse(used, id)
+				}
+			}
+		case *ccast.Member:
+			if n.Arrow {
+				if id, ok := n.X.(*ccast.Ident); ok {
+					noteUse(used, id)
+				}
+			}
+		case *ccast.ExprStmt:
+			r.ignoredReturnFinding(ctx, fi, n, em)
+		}
+	}, KIf, KIndex, KUnary, KMember, KExprStmt)
+	rg.OnFuncExit(func(fi *FuncInfo, em *Emitter) {
+		if len(ptrParams) > 0 {
+			r.uncheckedDerefFindings(fi, ptrParams, checked, used, em)
+		}
+	})
+}
+
+// uncheckedDerefFindings reports pointer parameters dereferenced without a
+// preceding null check.
+func (r *DefensiveRule) uncheckedDerefFindings(fi *FuncInfo, ptrParams []string, checked map[string]bool, used map[string]int, em *Emitter) {
+	for _, name := range ptrParams {
+		line, isUsed := used[name]
+		if isUsed && !checked[name] {
+			em.Emit(finding(r.ID(), Violation, fi, line,
+				fmt.Sprintf("pointer parameter %q dereferenced without null check", name),
+				refDefensive))
+		}
+	}
+}
+
+// ignoredReturnFinding flags one expression statement discarding the
+// result of a non-void defined function.
+func (r *DefensiveRule) ignoredReturnFinding(ctx *Context, fi *FuncInfo, es *ccast.ExprStmt, em *Emitter) {
+	call, ok := es.X.(*ccast.Call)
+	if !ok {
+		return
+	}
+	name := CalleeName(call)
+	callee, defined := ctx.ByName[name]
+	if !defined || callee.Decl.Ret == nil || callee.Decl.Ret.IsVoid() {
+		return
+	}
+	em.Emit(finding(r.ID(), Warning, fi, es.Span().Start.Line,
+		fmt.Sprintf("return value of %s() ignored", name), refDefensive))
+}
+
 // checkParamValidation flags pointer parameters used without a preceding
 // null check anywhere in the function.
 func (r *DefensiveRule) checkParamValidation(fi *FuncInfo) []Finding {
@@ -73,15 +161,9 @@ func (r *DefensiveRule) checkParamValidation(fi *FuncInfo) []Finding {
 		}
 		return true
 	})
-	for _, name := range ptrParams {
-		line, isUsed := used[name]
-		if isUsed && !checked[name] {
-			out = append(out, finding(r.ID(), Violation, fi, line,
-				fmt.Sprintf("pointer parameter %q dereferenced without null check", name),
-				refDefensive))
-		}
-	}
-	return out
+	em := &Emitter{}
+	r.uncheckedDerefFindings(fi, ptrParams, checked, used, em)
+	return append(out, em.out...)
 }
 
 func noteUse(used map[string]int, id *ccast.Ident) {
@@ -144,24 +226,12 @@ func isNullish(e ccast.Expr) bool {
 // checkIgnoredReturns flags expression statements that call a non-void
 // defined function and discard its result.
 func (r *DefensiveRule) checkIgnoredReturns(ctx *Context, fi *FuncInfo) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	ccast.WalkStmts(fi.Decl.Body, func(s ccast.Stmt) bool {
-		es, ok := s.(*ccast.ExprStmt)
-		if !ok {
-			return true
+		if es, ok := s.(*ccast.ExprStmt); ok {
+			r.ignoredReturnFinding(ctx, fi, es, em)
 		}
-		call, ok := es.X.(*ccast.Call)
-		if !ok {
-			return true
-		}
-		name := CalleeName(call)
-		callee, defined := ctx.ByName[name]
-		if !defined || callee.Decl.Ret == nil || callee.Decl.Ret.IsVoid() {
-			return true
-		}
-		out = append(out, finding(r.ID(), Warning, fi, es.Span().Start.Line,
-			fmt.Sprintf("return value of %s() ignored", name), refDefensive))
 		return true
 	})
-	return out
+	return em.out
 }

@@ -1,0 +1,129 @@
+package rules_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/artifact"
+	"repro/internal/ccparse"
+	"repro/internal/rules"
+)
+
+// forceParallel raises GOMAXPROCS so the engine's worker pools spawn real
+// goroutines even on single-core runners — the -race gate must exercise
+// the concurrent paths everywhere.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+// renderFindings serializes every field of every finding so byte equality
+// means full equality, including ordering.
+func renderFindings(fs []rules.Finding) []byte {
+	var buf bytes.Buffer
+	for i := range fs {
+		f := &fs[i]
+		fmt.Fprintf(&buf, "%s|%s|%s|%d|%s|%s|%v\n",
+			f.File, f.Module, f.Function, f.Line, f.RuleID, f.Severity, f.Refs)
+		buf.WriteString(f.Msg)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func parseDefaultCorpus(t *testing.T) *rules.Context {
+	t.Helper()
+	fs := apollocorpus.GenerateDefault()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("corpus parse errors: %v", errs[0])
+	}
+	return rules.NewContextFromIndex(artifact.Build(units))
+}
+
+// TestFusedEngineMatchesSequential is the engine-equivalence gate: the
+// fused parallel engine must emit findings byte-identical to the seed
+// sequential engine on the default corpus. Two rounds catch ordering
+// races in the parallel merge (run under -race in CI).
+func TestFusedEngineMatchesSequential(t *testing.T) {
+	forceParallel(t)
+	ctx := parseDefaultCorpus(t)
+	var first []byte
+	for round := 0; round < 2; round++ {
+		seq := rules.RunSequential(ctx, rules.DefaultRules())
+		par := rules.Run(ctx, rules.DefaultRules())
+		if len(par) == 0 {
+			t.Fatalf("round %d: fused engine found nothing", round)
+		}
+		seqB, parB := renderFindings(seq), renderFindings(par)
+		if !bytes.Equal(seqB, parB) {
+			t.Fatalf("round %d: fused output differs from sequential (%d vs %d findings)\n%s",
+				round, len(par), len(seq), firstDiff(seqB, parB))
+		}
+		if round == 0 {
+			first = parB
+		} else if !bytes.Equal(first, parB) {
+			t.Fatalf("fused engine output differs between rounds\n%s", firstDiff(first, parB))
+		}
+	}
+}
+
+// firstDiff excerpts the first divergence between two renderings.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 120
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+120, i+120
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return fmt.Sprintf("sequential: ...%s...\nfused:      ...%s...", a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d bytes", len(a), len(b))
+}
+
+// TestFusedEngineSubsets checks engine equivalence on rule subsets (the
+// bench harness runs the coding and unit table subsets separately).
+func TestFusedEngineSubsets(t *testing.T) {
+	forceParallel(t)
+	ctx := parseDefaultCorpus(t)
+	subsets := map[string][]rules.Rule{
+		"coding": {
+			&rules.ComplexityRule{Threshold: 10}, &rules.LanguageSubsetRule{},
+			&rules.CastRule{}, &rules.DefensiveRule{}, &rules.GlobalVarRule{},
+			&rules.StyleRule{}, &rules.NamingRule{},
+		},
+		"unit": {
+			&rules.MultiExitRule{}, &rules.DynamicMemoryRule{},
+			&rules.UninitializedRule{}, &rules.ShadowRule{},
+			&rules.GlobalVarRule{}, &rules.PointerRule{},
+			&rules.ImplicitConversionRule{}, &rules.GotoRule{},
+			&rules.RecursionRule{},
+		},
+	}
+	for name, rs := range subsets {
+		seq := renderFindings(rules.RunSequential(ctx, rs))
+		par := renderFindings(rules.Run(ctx, rs))
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s subset: fused output differs from sequential\n%s", name, firstDiff(seq, par))
+		}
+	}
+}

@@ -9,8 +9,8 @@ package rules
 import (
 	"fmt"
 	"sort"
-	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/ccast"
 	"repro/internal/iso26262"
 	"repro/internal/srcfile"
@@ -67,6 +67,11 @@ type FuncInfo struct {
 	Module string
 	// Callees are unqualified names of functions this one calls.
 	Callees []string
+	// CCN is the precomputed Lizard-compatible cyclomatic complexity
+	// (from the shared artifact cache).
+	CCN int
+	// Returns is the precomputed number of return statements.
+	Returns int
 }
 
 // Context carries the parsed corpus plus cross-file indexes that
@@ -80,44 +85,54 @@ type Context struct {
 	ByName map[string]*FuncInfo
 	// GlobalNames maps file-scope variable names to their module.
 	GlobalNames map[string]string
+	// Index is the shared artifact cache the context was built from.
+	Index *artifact.Index
+	// unitFuncs maps each unit path to its FuncInfos in source order.
+	unitFuncs map[string][]*FuncInfo
 }
 
 // NewContext builds the shared indexes over parsed units.
 func NewContext(units map[string]*ccast.TranslationUnit) *Context {
+	return NewContextFromIndex(artifact.Build(units))
+}
+
+// NewContextFromIndex adapts a prebuilt artifact index into the rules
+// context, reusing the cached callee lists, complexity, and return counts
+// instead of re-walking every function body.
+func NewContextFromIndex(ix *artifact.Index) *Context {
 	ctx := &Context{
-		Units:       units,
-		ByName:      make(map[string]*FuncInfo),
-		GlobalNames: make(map[string]string),
+		Units:       ix.Units,
+		Funcs:       make([]*FuncInfo, 0, len(ix.Funcs)),
+		ByName:      make(map[string]*FuncInfo, len(ix.Funcs)),
+		GlobalNames: ix.GlobalNames,
+		Index:       ix,
+		unitFuncs:   make(map[string][]*FuncInfo, len(ix.Paths)),
 	}
-	paths := make([]string, 0, len(units))
-	for p := range units {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		tu := units[p]
-		mod := tu.File.ModuleName()
-		for _, fn := range tu.Funcs() {
-			fi := &FuncInfo{Decl: fn, File: tu.File, Module: mod}
-			ccast.WalkExprs(fn.Body, func(e ccast.Expr) bool {
-				if c, ok := e.(*ccast.Call); ok {
-					if n := CalleeName(c); n != "" {
-						fi.Callees = append(fi.Callees, n)
-					}
-				}
-				return true
-			})
-			ctx.Funcs = append(ctx.Funcs, fi)
-			key := UnqualifiedName(fn.Name)
-			if _, dup := ctx.ByName[key]; !dup {
-				ctx.ByName[key] = fi
+	byArtifact := make(map[*artifact.Func]*FuncInfo, len(ix.Funcs))
+	for _, fa := range ix.Funcs {
+		fi := &FuncInfo{
+			Decl: fa.Decl, File: fa.File, Module: fa.Module,
+			CCN: fa.CCN, Returns: fa.Returns,
+		}
+		if len(fa.Calls) > 0 {
+			fi.Callees = make([]string, len(fa.Calls))
+			for i, raw := range fa.Calls {
+				fi.Callees[i] = UnqualifiedName(raw)
 			}
 		}
-		for _, vd := range tu.GlobalVars() {
-			for _, d := range vd.Names {
-				ctx.GlobalNames[d.Name] = mod
-			}
+		ctx.Funcs = append(ctx.Funcs, fi)
+		byArtifact[fa] = fi
+	}
+	for key, fa := range ix.ByName {
+		ctx.ByName[key] = byArtifact[fa]
+	}
+	for _, p := range ix.Paths {
+		fas := ix.UnitFuncs(p)
+		fis := make([]*FuncInfo, len(fas))
+		for i, fa := range fas {
+			fis[i] = byArtifact[fa]
 		}
+		ctx.unitFuncs[p] = fis
 	}
 	return ctx
 }
@@ -155,42 +170,70 @@ func DefaultRules() []Rule {
 }
 
 // Run executes rules over the context, returning all findings sorted by
-// file then line then rule.
+// file then line then rule. Rules implementing FusedRule execute on the
+// fused single-pass engine with files processed in parallel; any other
+// rule set falls back to the sequential per-rule passes. Both paths
+// produce byte-identical output (see sortFindings).
 func Run(ctx *Context, rs []Rule) []Finding {
-	var out []Finding
+	fused := make([]FusedRule, 0, len(rs))
+	for _, r := range rs {
+		fr, ok := r.(FusedRule)
+		if !ok {
+			return RunSequential(ctx, rs)
+		}
+		fused = append(fused, fr)
+	}
+	return runFused(ctx, fused)
+}
+
+// RunSequential is the seed engine: every rule performs its own pass over
+// the whole corpus. Kept as the reference implementation the fused engine
+// is equivalence-tested against, and for rules that do not implement
+// FusedRule.
+func RunSequential(ctx *Context, rs []Rule) []Finding {
+	// Pre-size for the finding density observed on AD-scale corpora
+	// (roughly one finding per three corpus functions per rule).
+	out := make([]Finding, 0, 16+len(rs)*len(ctx.Funcs)/3)
 	for _, r := range rs {
 		out = append(out, r.Check(ctx)...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
-		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
-		}
-		return out[i].RuleID < out[j].RuleID
-	})
+	sortFindings(out)
 	return out
 }
 
-// UnqualifiedName strips namespace/class qualifiers.
-func UnqualifiedName(name string) string {
-	if i := strings.LastIndex(name, "::"); i >= 0 {
-		return name[i+2:]
-	}
-	return name
+// sortFindings orders findings by file, line, rule, then by the remaining
+// fields so the order is total: equal-key findings from different passes
+// land identically however the engine scheduled them.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.RuleID != b.RuleID {
+			return a.RuleID < b.RuleID
+		}
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		if a.Function != b.Function {
+			return a.Function < b.Function
+		}
+		return a.Severity < b.Severity
+	})
 }
 
-// CalleeName extracts the called name from a call expression.
+// UnqualifiedName strips namespace/class qualifiers.
+func UnqualifiedName(name string) string { return artifact.Unqualified(name) }
+
+// CalleeName extracts the called name from a call expression, stripping
+// qualifiers (the artifact cache keeps the raw spelling; rules match on
+// unqualified names).
 func CalleeName(c *ccast.Call) string {
-	switch f := c.Fun.(type) {
-	case *ccast.Ident:
-		return UnqualifiedName(f.Name)
-	case *ccast.Member:
-		return f.Name
-	default:
-		return ""
-	}
+	return UnqualifiedName(artifact.CalleeName(c))
 }
 
 // finding is a small constructor helper for rules.

@@ -35,18 +35,27 @@ func (*MultiExitRule) Describe() string {
 
 // Check implements Rule.
 func (r *MultiExitRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, fi := range ctx.Funcs {
-		n := ccast.CountReturns(fi.Decl)
-		// A trailing return plus any earlier return means multiple exits;
-		// void functions with no return have exactly one (fall-through).
-		if n > 1 {
-			out = append(out, finding(r.ID(), Violation, fi, fi.Decl.Span().Start.Line,
-				fmt.Sprintf("function %s has %d exit points", fi.Decl.Name, n),
-				refSingleExit))
-		}
+		r.funcFindings(fi, em)
 	}
-	return out
+	return em.out
+}
+
+// funcFindings flags one function from its cached return count. A
+// trailing return plus any earlier return means multiple exits; void
+// functions with no return have exactly one (fall-through).
+func (r *MultiExitRule) funcFindings(fi *FuncInfo, em *Emitter) {
+	if n := fi.Returns; n > 1 {
+		em.Emit(finding(r.ID(), Violation, fi, fi.Decl.Span().Start.Line,
+			fmt.Sprintf("function %s has %d exit points", fi.Decl.Name, n),
+			refSingleExit))
+	}
+}
+
+// Fuse implements FusedRule.
+func (r *MultiExitRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnFuncExit(r.funcFindings)
 }
 
 // DynamicMemoryRule flags heap allocation: malloc family, C++ new/delete,
@@ -71,27 +80,36 @@ var allocCalls = map[string]bool{
 
 // Check implements Rule.
 func (r *DynamicMemoryRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, fi := range ctx.Funcs {
-		fi := fi
 		ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
-			switch e := e.(type) {
-			case *ccast.Call:
-				if n := CalleeName(e); allocCalls[n] {
-					out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
-						fmt.Sprintf("dynamic memory via %s()", n), refNoDynamic))
-				}
-			case *ccast.NewExpr:
-				out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
-					"dynamic memory via new", refNoDynamic))
-			case *ccast.DeleteExpr:
-				out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
-					"dynamic memory via delete", refNoDynamic))
-			}
+			r.nodeFindings(fi, e, em)
 			return true
 		})
 	}
-	return out
+	return em.out
+}
+
+// nodeFindings flags one allocation site.
+func (r *DynamicMemoryRule) nodeFindings(fi *FuncInfo, n ccast.Node, em *Emitter) {
+	switch n := n.(type) {
+	case *ccast.Call:
+		if name := CalleeName(n); allocCalls[name] {
+			em.Emit(finding(r.ID(), Violation, fi, n.Span().Start.Line,
+				fmt.Sprintf("dynamic memory via %s()", name), refNoDynamic))
+		}
+	case *ccast.NewExpr:
+		em.Emit(finding(r.ID(), Violation, fi, n.Span().Start.Line,
+			"dynamic memory via new", refNoDynamic))
+	case *ccast.DeleteExpr:
+		em.Emit(finding(r.ID(), Violation, fi, n.Span().Start.Line,
+			"dynamic memory via delete", refNoDynamic))
+	}
+}
+
+// Fuse implements FusedRule.
+func (r *DynamicMemoryRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnNode(r.nodeFindings, KCall, KNew, KDelete)
 }
 
 // PointerRule counts pointer declarations (locals, parameters, globals)
@@ -108,41 +126,64 @@ func (*PointerRule) Describe() string {
 
 // Check implements Rule.
 func (r *PointerRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, fi := range ctx.Funcs {
-		for _, p := range fi.Decl.Params {
-			if p.Type.IsPointer() {
-				out = append(out, finding(r.ID(), Info, fi, p.Span().Start.Line,
-					fmt.Sprintf("pointer parameter %s %s", typeSpelling(p.Type), p.Name),
-					refLimitedPtrs))
-			}
-		}
+		r.paramFindings(fi, em)
 		ccast.Walk(fi.Decl.Body, func(n ccast.Node) bool {
 			if ds, ok := n.(*ccast.DeclStmt); ok {
-				for _, d := range ds.Decl.Names {
-					if d.Type.IsPointer() {
-						out = append(out, finding(r.ID(), Info, fi, d.Span().Start.Line,
-							fmt.Sprintf("pointer variable %s %s", typeSpelling(d.Type), d.Name),
-							refLimitedPtrs))
-					}
-				}
+				r.declStmtFindings(fi, ds, em)
 			}
 			return true
 		})
 	}
-	for path, tu := range ctx.Units {
-		_ = path
-		for _, vd := range tu.GlobalVars() {
-			for _, d := range vd.Names {
-				if d.Type.IsPointer() {
-					out = append(out, fileFinding(r.ID(), Warning, tu.File, d.Span().Start.Line,
-						fmt.Sprintf("global pointer %s %s", typeSpelling(d.Type), d.Name),
-						refLimitedPtrs))
-				}
+	for _, tu := range ctx.Units {
+		r.unitFindings(tu, em)
+	}
+	return em.out
+}
+
+// paramFindings flags pointer parameters.
+func (r *PointerRule) paramFindings(fi *FuncInfo, em *Emitter) {
+	for _, p := range fi.Decl.Params {
+		if p.Type.IsPointer() {
+			em.Emit(finding(r.ID(), Info, fi, p.Span().Start.Line,
+				fmt.Sprintf("pointer parameter %s %s", typeSpelling(p.Type), p.Name),
+				refLimitedPtrs))
+		}
+	}
+}
+
+// declStmtFindings flags pointer locals in one declaration statement.
+func (r *PointerRule) declStmtFindings(fi *FuncInfo, ds *ccast.DeclStmt, em *Emitter) {
+	for _, d := range ds.Decl.Names {
+		if d.Type.IsPointer() {
+			em.Emit(finding(r.ID(), Info, fi, d.Span().Start.Line,
+				fmt.Sprintf("pointer variable %s %s", typeSpelling(d.Type), d.Name),
+				refLimitedPtrs))
+		}
+	}
+}
+
+// unitFindings flags file-scope pointer variables.
+func (r *PointerRule) unitFindings(tu *ccast.TranslationUnit, em *Emitter) {
+	for _, vd := range tu.GlobalVars() {
+		for _, d := range vd.Names {
+			if d.Type.IsPointer() {
+				em.Emit(fileFinding(r.ID(), Warning, tu.File, d.Span().Start.Line,
+					fmt.Sprintf("global pointer %s %s", typeSpelling(d.Type), d.Name),
+					refLimitedPtrs))
 			}
 		}
 	}
-	return out
+}
+
+// Fuse implements FusedRule.
+func (r *PointerRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnFuncEnter(r.paramFindings)
+	rg.OnNode(func(fi *FuncInfo, n ccast.Node, em *Emitter) {
+		r.declStmtFindings(fi, n.(*ccast.DeclStmt), em)
+	}, KDeclStmt)
+	rg.OnUnit(r.unitFindings)
 }
 
 // GlobalVarRule flags file-scope mutable variables (const-qualified
@@ -159,19 +200,29 @@ func (*GlobalVarRule) Describe() string {
 
 // Check implements Rule.
 func (r *GlobalVarRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, tu := range ctx.Units {
-		for _, vd := range tu.GlobalVars() {
-			for _, d := range vd.Names {
-				if d.Type.Quals.Has(ccast.QualConst) || d.Type.Quals.Has(ccast.QualConstexpr) {
-					continue
-				}
-				out = append(out, fileFinding(r.ID(), Violation, tu.File, d.Span().Start.Line,
-					fmt.Sprintf("global variable %q", d.Name), refNoGlobals, refDesignPrinc))
+		r.unitFindings(tu, em)
+	}
+	return em.out
+}
+
+// unitFindings flags one unit's mutable file-scope variables.
+func (r *GlobalVarRule) unitFindings(tu *ccast.TranslationUnit, em *Emitter) {
+	for _, vd := range tu.GlobalVars() {
+		for _, d := range vd.Names {
+			if d.Type.Quals.Has(ccast.QualConst) || d.Type.Quals.Has(ccast.QualConstexpr) {
+				continue
 			}
+			em.Emit(fileFinding(r.ID(), Violation, tu.File, d.Span().Start.Line,
+				fmt.Sprintf("global variable %q", d.Name), refNoGlobals, refDesignPrinc))
 		}
 	}
-	return out
+}
+
+// Fuse implements FusedRule.
+func (r *GlobalVarRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnUnit(r.unitFindings)
 }
 
 // GotoRule flags unconditional jumps.
@@ -187,17 +238,29 @@ func (*GotoRule) Describe() string {
 
 // Check implements Rule.
 func (r *GotoRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, fi := range ctx.Funcs {
 		ccast.WalkStmts(fi.Decl.Body, func(s ccast.Stmt) bool {
 			if g, ok := s.(*ccast.Goto); ok {
-				out = append(out, finding(r.ID(), Violation, fi, g.Span().Start.Line,
-					fmt.Sprintf("goto %s", g.Label), refNoJumps, refNoHiddenFlow))
+				r.gotoFinding(fi, g, em)
 			}
 			return true
 		})
 	}
-	return out
+	return em.out
+}
+
+// gotoFinding reports one unconditional jump.
+func (r *GotoRule) gotoFinding(fi *FuncInfo, g *ccast.Goto, em *Emitter) {
+	em.Emit(finding(r.ID(), Violation, fi, g.Span().Start.Line,
+		fmt.Sprintf("goto %s", g.Label), refNoJumps, refNoHiddenFlow))
+}
+
+// Fuse implements FusedRule.
+func (r *GotoRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnNode(func(fi *FuncInfo, n ccast.Node, em *Emitter) {
+		r.gotoFinding(fi, n.(*ccast.Goto), em)
+	}, KGoto)
 }
 
 // RecursionRule detects direct and mutual recursion over the corpus-wide
@@ -292,6 +355,17 @@ func (r *RecursionRule) Check(ctx *Context) []Finding {
 	return out
 }
 
+// Fuse implements FusedRule. Recursion is inherently corpus-level (SCC
+// over the whole call graph), so it registers a corpus hook that runs
+// exactly once per engine run.
+func (r *RecursionRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnCorpus(func(ctx *Context, em *Emitter) {
+		for _, f := range r.Check(ctx) {
+			em.Emit(f)
+		}
+	})
+}
+
 // UninitializedRule flags local scalars declared without an initializer
 // that are read before any assignment along straight-line statement order
 // (a deliberately conservative, flow-insensitive-within-branches check,
@@ -313,6 +387,17 @@ func (r *UninitializedRule) Check(ctx *Context) []Finding {
 		out = append(out, checkUninitBlock(r.ID(), fi, fi.Decl.Body)...)
 	}
 	return out
+}
+
+// Fuse implements FusedRule. The straight-line initialization analysis
+// needs its own block-structured traversal (it prunes under address-of
+// and tracks per-block state), so it registers as a whole-function pass.
+func (r *UninitializedRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnFunc(func(fi *FuncInfo, em *Emitter) {
+		for _, f := range checkUninitBlock(r.ID(), fi, fi.Decl.Body) {
+			em.Emit(f)
+		}
+	})
 }
 
 func checkUninitBlock(ruleID string, fi *FuncInfo, b *ccast.Block) []Finding {
@@ -408,68 +493,84 @@ func (*ShadowRule) Describe() string {
 func (r *ShadowRule) Check(ctx *Context) []Finding {
 	var out []Finding
 	for _, fi := range ctx.Funcs {
-		fi := fi
-		outer := make(map[string]bool)
-		for _, p := range fi.Decl.Params {
-			outer[p.Name] = true
+		out = append(out, r.checkFunc(ctx, fi)...)
+	}
+	return out
+}
+
+// Fuse implements FusedRule. Shadowing requires scope-aware recursion
+// through nested blocks, so it registers as a whole-function pass.
+func (r *ShadowRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnFunc(func(fi *FuncInfo, em *Emitter) {
+		for _, f := range r.checkFunc(ctx, fi) {
+			em.Emit(f)
 		}
-		var walkBlock func(b *ccast.Block, scope map[string]bool)
-		walkBlock = func(b *ccast.Block, scope map[string]bool) {
-			if b == nil {
-				return
-			}
-			local := make(map[string]bool)
-			for k := range scope {
-				local[k] = true
-			}
-			for _, s := range b.Stmts {
-				switch s := s.(type) {
-				case *ccast.DeclStmt:
-					for _, d := range s.Decl.Names {
-						if local[d.Name] {
-							out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
-								fmt.Sprintf("declaration of %q shadows an outer declaration", d.Name),
-								refUniqueNames, refNoHiddenFlow))
-						} else if _, isGlobal := ctx.GlobalNames[d.Name]; isGlobal {
-							out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
-								fmt.Sprintf("declaration of %q shadows a global variable", d.Name),
-								refUniqueNames, refNoHiddenFlow))
-						}
-						local[d.Name] = true
+	})
+}
+
+// checkFunc runs the scoped shadowing analysis over one function.
+func (r *ShadowRule) checkFunc(ctx *Context, fi *FuncInfo) []Finding {
+	var out []Finding
+	outer := make(map[string]bool)
+	for _, p := range fi.Decl.Params {
+		outer[p.Name] = true
+	}
+	var walkBlock func(b *ccast.Block, scope map[string]bool)
+	walkBlock = func(b *ccast.Block, scope map[string]bool) {
+		if b == nil {
+			return
+		}
+		local := make(map[string]bool)
+		for k := range scope {
+			local[k] = true
+		}
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ccast.DeclStmt:
+				for _, d := range s.Decl.Names {
+					if local[d.Name] {
+						out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
+							fmt.Sprintf("declaration of %q shadows an outer declaration", d.Name),
+							refUniqueNames, refNoHiddenFlow))
+					} else if _, isGlobal := ctx.GlobalNames[d.Name]; isGlobal {
+						out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
+							fmt.Sprintf("declaration of %q shadows a global variable", d.Name),
+							refUniqueNames, refNoHiddenFlow))
 					}
-				case *ccast.Block:
-					walkBlock(s, local)
-				case *ccast.If:
-					walkNested(s.Then, local, walkBlock)
-					walkNested(s.Else, local, walkBlock)
-				case *ccast.While:
-					walkNested(s.Body, local, walkBlock)
-				case *ccast.DoWhile:
-					walkNested(s.Body, local, walkBlock)
-				case *ccast.For:
-					inner := make(map[string]bool)
-					for k := range local {
-						inner[k] = true
+					local[d.Name] = true
+				}
+			case *ccast.Block:
+				walkBlock(s, local)
+			case *ccast.If:
+				walkNested(s.Then, local, walkBlock)
+				walkNested(s.Else, local, walkBlock)
+			case *ccast.While:
+				walkNested(s.Body, local, walkBlock)
+			case *ccast.DoWhile:
+				walkNested(s.Body, local, walkBlock)
+			case *ccast.For:
+				inner := make(map[string]bool)
+				for k := range local {
+					inner[k] = true
+				}
+				if ds, ok := s.Init.(*ccast.DeclStmt); ok {
+					for _, d := range ds.Decl.Names {
+						inner[d.Name] = true
 					}
-					if ds, ok := s.Init.(*ccast.DeclStmt); ok {
-						for _, d := range ds.Decl.Names {
-							inner[d.Name] = true
-						}
-					}
-					walkNested(s.Body, inner, walkBlock)
-				case *ccast.Switch:
-					for _, c := range s.Cases {
-						for _, cs := range c.Body {
-							if blk, ok := cs.(*ccast.Block); ok {
-								walkBlock(blk, local)
-							}
+				}
+				walkNested(s.Body, inner, walkBlock)
+			case *ccast.Switch:
+				for _, c := range s.Cases {
+					for _, cs := range c.Body {
+						if blk, ok := cs.(*ccast.Block); ok {
+							walkBlock(blk, local)
 						}
 					}
 				}
 			}
 		}
-		walkBlock(fi.Decl.Body, outer)
 	}
+	walkBlock(fi.Decl.Body, outer)
 	return out
 }
 

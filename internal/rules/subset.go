@@ -33,25 +33,36 @@ func (*ComplexityRule) Describe() string {
 
 // Check implements Rule.
 func (r *ComplexityRule) Check(ctx *Context) []Finding {
+	em := &Emitter{}
+	for _, fi := range ctx.Funcs {
+		r.funcFindings(fi, em)
+	}
+	return em.out
+}
+
+// funcFindings flags one function; the CCN comes from the shared artifact
+// cache, so neither engine re-walks the body for complexity.
+func (r *ComplexityRule) funcFindings(fi *FuncInfo, em *Emitter) {
 	th := r.Threshold
 	if th <= 0 {
 		th = 10
 	}
-	var out []Finding
-	for _, fi := range ctx.Funcs {
-		ccn := metrics.Cyclomatic(fi.Decl)
-		if ccn > th {
-			sev := Warning
-			if ccn > 20 {
-				sev = Violation
-			}
-			out = append(out, finding(r.ID(), sev, fi, fi.Decl.Span().Start.Line,
-				fmt.Sprintf("function %s has cyclomatic complexity %d (threshold %d, band %s)",
-					fi.Decl.Name, ccn, th, metrics.BandOf(ccn)),
-				refLowComplexity))
+	ccn := fi.CCN
+	if ccn > th {
+		sev := Warning
+		if ccn > 20 {
+			sev = Violation
 		}
+		em.Emit(finding(r.ID(), sev, fi, fi.Decl.Span().Start.Line,
+			fmt.Sprintf("function %s has cyclomatic complexity %d (threshold %d, band %s)",
+				fi.Decl.Name, ccn, th, metrics.BandOf(ccn)),
+			refLowComplexity))
 	}
-	return out
+}
+
+// Fuse implements FusedRule.
+func (r *ComplexityRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnFuncExit(r.funcFindings)
 }
 
 // LanguageSubsetRule is the MISRA-inspired language-subset checker. It
@@ -70,52 +81,71 @@ func (*LanguageSubsetRule) Describe() string {
 
 // Check implements Rule.
 func (r *LanguageSubsetRule) Check(ctx *Context) []Finding {
-	var out []Finding
-	// Record-level constructs: unions (MISRA C:2012 Rule 19.2).
+	em := &Emitter{}
 	for _, tu := range ctx.Units {
-		tu := tu
-		ccast.Walk(tu, func(n ccast.Node) bool {
-			if rec, ok := n.(*ccast.RecordDecl); ok && rec.Kind == ccast.RecordUnion {
-				out = append(out, fileFinding(r.ID(), Warning, tu.File, rec.Span().Start.Line,
-					fmt.Sprintf("union %q used (MISRA C:2012 R19.2)", rec.Name), refLangSubset))
-			}
-			return true
-		})
-		// Variadic function definitions (MISRA C:2012 R17.1 spirit).
-		for _, fn := range tu.Funcs() {
-			if fn.Variadic {
-				out = append(out, fileFinding(r.ID(), Warning, tu.File, fn.Span().Start.Line,
-					fmt.Sprintf("variadic function %q (MISRA C:2012 R17.1)", fn.Name), refLangSubset))
-			}
-		}
+		walkDeclNodes(tu, func(n ccast.Node) { r.declFindings(tu, n, em) })
 	}
 	for _, fi := range ctx.Funcs {
-		fi := fi
-		isCUDA := fi.File.Lang == srcfile.LangCUDA
-		ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
-			switch e := e.(type) {
-			case *ccast.Comma:
-				out = append(out, finding(r.ID(), Warning, fi, e.Span().Start.Line,
-					"comma operator used (MISRA C:2012 R12.3)", refLangSubset))
-			case *ccast.KernelLaunch:
-				out = append(out, finding(r.ID(), Violation, fi, e.Span().Start.Line,
-					"CUDA kernel launch: no safety language subset exists for GPU code (Observation 3)",
-					refLangSubset))
-			case *ccast.Call:
-				if n := CalleeName(e); bannedStdlib[n] {
-					out = append(out, finding(r.ID(), Warning, fi, e.Span().Start.Line,
-						fmt.Sprintf("%s() banned by MISRA C:2012 R21.x", n), refLangSubset))
-				}
-			}
+		ccast.Walk(fi.Decl.Body, func(n ccast.Node) bool {
+			r.bodyNode(fi, n, em)
 			return true
 		})
-		if isCUDA && fi.Decl.IsKernel() {
-			out = append(out, finding(r.ID(), Info, fi, fi.Decl.Span().Start.Line,
-				fmt.Sprintf("__global__ kernel %s cannot be assessed against MISRA C (no GPU subset)", fi.Decl.Name),
-				refLangSubset))
+		r.funcEnter(fi, em)
+	}
+	return em.out
+}
+
+// declFindings flags unions (MISRA C:2012 R19.2) and variadic function
+// definitions (R17.1 spirit) at declaration level.
+func (r *LanguageSubsetRule) declFindings(tu *ccast.TranslationUnit, n ccast.Node, em *Emitter) {
+	switch n := n.(type) {
+	case *ccast.RecordDecl:
+		if n.Kind == ccast.RecordUnion {
+			em.Emit(fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+				fmt.Sprintf("union %q used (MISRA C:2012 R19.2)", n.Name), refLangSubset))
+		}
+	case *ccast.FuncDecl:
+		if n.IsDefinition() && n.Variadic {
+			em.Emit(fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+				fmt.Sprintf("variadic function %q (MISRA C:2012 R17.1)", n.Name), refLangSubset))
 		}
 	}
-	return out
+}
+
+// funcEnter records the paper's Observation 3: a CUDA kernel cannot be
+// assessed against any existing safety subset.
+func (r *LanguageSubsetRule) funcEnter(fi *FuncInfo, em *Emitter) {
+	if fi.File.Lang == srcfile.LangCUDA && fi.Decl.IsKernel() {
+		em.Emit(finding(r.ID(), Info, fi, fi.Decl.Span().Start.Line,
+			fmt.Sprintf("__global__ kernel %s cannot be assessed against MISRA C (no GPU subset)", fi.Decl.Name),
+			refLangSubset))
+	}
+}
+
+// bodyNode flags comma operators, kernel launches, and banned stdlib
+// calls inside function bodies.
+func (r *LanguageSubsetRule) bodyNode(fi *FuncInfo, n ccast.Node, em *Emitter) {
+	switch n := n.(type) {
+	case *ccast.Comma:
+		em.Emit(finding(r.ID(), Warning, fi, n.Span().Start.Line,
+			"comma operator used (MISRA C:2012 R12.3)", refLangSubset))
+	case *ccast.KernelLaunch:
+		em.Emit(finding(r.ID(), Violation, fi, n.Span().Start.Line,
+			"CUDA kernel launch: no safety language subset exists for GPU code (Observation 3)",
+			refLangSubset))
+	case *ccast.Call:
+		if name := CalleeName(n); bannedStdlib[name] {
+			em.Emit(finding(r.ID(), Warning, fi, n.Span().Start.Line,
+				fmt.Sprintf("%s() banned by MISRA C:2012 R21.x", name), refLangSubset))
+		}
+	}
+}
+
+// Fuse implements FusedRule.
+func (r *LanguageSubsetRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnDecl(r.declFindings)
+	rg.OnFuncEnter(r.funcEnter)
+	rg.OnNode(r.bodyNode, KComma, KKernelLaunch, KCall)
 }
 
 // bannedStdlib lists functions MISRA C:2012 Rules 21.x prohibit.
@@ -147,33 +177,43 @@ func (*StyleRule) Describe() string {
 
 // Check implements Rule.
 func (r *StyleRule) Check(ctx *Context) []Finding {
+	em := &Emitter{}
+	for _, tu := range ctx.Units {
+		r.scanUnit(tu, em)
+	}
+	return em.out
+}
+
+// scanUnit performs the text-level layout checks for one file.
+func (r *StyleRule) scanUnit(tu *ccast.TranslationUnit, em *Emitter) {
 	maxLine := r.MaxLine
 	if maxLine <= 0 {
 		maxLine = 80
 	}
-	var out []Finding
-	for _, tu := range ctx.Units {
-		f := tu.File
-		lines := strings.Split(f.Src, "\n")
-		for i, line := range lines {
-			ln := i + 1
-			if len(line) > maxLine {
-				out = append(out, fileFinding(r.ID(), Info, f, ln,
-					fmt.Sprintf("line exceeds %d columns (%d)", maxLine, len(line)), refStyle))
-			}
-			if strings.Contains(line, "\t") {
-				out = append(out, fileFinding(r.ID(), Info, f, ln,
-					"tab character used for indentation", refStyle))
-			}
-			trimmed := strings.TrimSpace(line)
-			if trimmed == "{" && i > 0 && strings.TrimSpace(lines[i-1]) != "" &&
-				!strings.HasSuffix(strings.TrimSpace(lines[i-1]), "{") {
-				out = append(out, fileFinding(r.ID(), Info, f, ln,
-					"opening brace on its own line (style guide attaches braces)", refStyle))
-			}
+	f := tu.File
+	lines := strings.Split(f.Src, "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if len(line) > maxLine {
+			em.Emit(fileFinding(r.ID(), Info, f, ln,
+				fmt.Sprintf("line exceeds %d columns (%d)", maxLine, len(line)), refStyle))
+		}
+		if strings.Contains(line, "\t") {
+			em.Emit(fileFinding(r.ID(), Info, f, ln,
+				"tab character used for indentation", refStyle))
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "{" && i > 0 && strings.TrimSpace(lines[i-1]) != "" &&
+			!strings.HasSuffix(strings.TrimSpace(lines[i-1]), "{") {
+			em.Emit(fileFinding(r.ID(), Info, f, ln,
+				"opening brace on its own line (style guide attaches braces)", refStyle))
 		}
 	}
-	return out
+}
+
+// Fuse implements FusedRule.
+func (r *StyleRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnUnit(r.scanUnit)
 }
 
 // NamingRule enforces Google-style naming: types CamelCase; functions
@@ -193,41 +233,47 @@ func (*NamingRule) Describe() string {
 
 // Check implements Rule.
 func (r *NamingRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, tu := range ctx.Units {
-		tu := tu
-		isC := tu.File.Lang == srcfile.LangC
-		ccast.Walk(tu, func(n ccast.Node) bool {
-			switch n := n.(type) {
-			case *ccast.RecordDecl:
-				if n.Name != "" && !isCamelCase(n.Name) {
-					out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
-						fmt.Sprintf("type %q should be CamelCase", n.Name), refNaming))
-				}
-			case *ccast.EnumDecl:
-				if n.Name != "" && !isCamelCase(n.Name) {
-					out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
-						fmt.Sprintf("enum %q should be CamelCase", n.Name), refNaming))
-				}
-			case *ccast.FuncDecl:
-				base := UnqualifiedName(n.Name)
-				if base == "" || strings.HasPrefix(base, "~") || base == "main" {
-					return true
-				}
-				if isC || n.IsKernel() {
-					if !isLowerSnake(base) {
-						out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
-							fmt.Sprintf("C function %q should be lower_snake_case", base), refNaming))
-					}
-				} else if !isCamelCase(base) && !isLowerSnake(base) {
-					out = append(out, fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
-						fmt.Sprintf("function %q violates naming conventions", base), refNaming))
-				}
-			}
-			return true
-		})
+		walkDeclNodes(tu, func(n ccast.Node) { r.declFindings(tu, n, em) })
 	}
-	return out
+	return em.out
+}
+
+// declFindings checks one declaration-level node against the conventions.
+func (r *NamingRule) declFindings(tu *ccast.TranslationUnit, n ccast.Node, em *Emitter) {
+	isC := tu.File.Lang == srcfile.LangC
+	switch n := n.(type) {
+	case *ccast.RecordDecl:
+		if n.Name != "" && !isCamelCase(n.Name) {
+			em.Emit(fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+				fmt.Sprintf("type %q should be CamelCase", n.Name), refNaming))
+		}
+	case *ccast.EnumDecl:
+		if n.Name != "" && !isCamelCase(n.Name) {
+			em.Emit(fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+				fmt.Sprintf("enum %q should be CamelCase", n.Name), refNaming))
+		}
+	case *ccast.FuncDecl:
+		base := UnqualifiedName(n.Name)
+		if base == "" || strings.HasPrefix(base, "~") || base == "main" {
+			return
+		}
+		if isC || n.IsKernel() {
+			if !isLowerSnake(base) {
+				em.Emit(fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+					fmt.Sprintf("C function %q should be lower_snake_case", base), refNaming))
+			}
+		} else if !isCamelCase(base) && !isLowerSnake(base) {
+			em.Emit(fileFinding(r.ID(), Warning, tu.File, n.Span().Start.Line,
+				fmt.Sprintf("function %q violates naming conventions", base), refNaming))
+		}
+	}
+}
+
+// Fuse implements FusedRule.
+func (r *NamingRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnDecl(r.declFindings)
 }
 
 func isCamelCase(s string) bool {

@@ -27,18 +27,30 @@ func (*CastRule) Describe() string {
 
 // Check implements Rule.
 func (r *CastRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
 	for _, fi := range ctx.Funcs {
 		ccast.WalkExprs(fi.Decl.Body, func(e ccast.Expr) bool {
 			if c, ok := e.(*ccast.Cast); ok {
-				out = append(out, finding(r.ID(), Warning, fi, c.Span().Start.Line,
-					fmt.Sprintf("explicit %s cast to %s", c.Style, typeSpelling(c.To)),
-					refStrongTyping))
+				r.castFinding(fi, c, em)
 			}
 			return true
 		})
 	}
-	return out
+	return em.out
+}
+
+// castFinding reports one explicit cast.
+func (r *CastRule) castFinding(fi *FuncInfo, c *ccast.Cast, em *Emitter) {
+	em.Emit(finding(r.ID(), Warning, fi, c.Span().Start.Line,
+		fmt.Sprintf("explicit %s cast to %s", c.Style, typeSpelling(c.To)),
+		refStrongTyping))
+}
+
+// Fuse implements FusedRule.
+func (r *CastRule) Fuse(rg *Registrar, ctx *Context) {
+	rg.OnNode(func(fi *FuncInfo, n ccast.Node, em *Emitter) {
+		r.castFinding(fi, n.(*ccast.Cast), em)
+	}, KCast)
 }
 
 // ImplicitConversionRule flags assignments and initializations whose
@@ -58,49 +70,84 @@ func (*ImplicitConversionRule) Describe() string {
 
 // Check implements Rule.
 func (r *ImplicitConversionRule) Check(ctx *Context) []Finding {
-	var out []Finding
+	em := &Emitter{}
+	localTypes := make(map[string]string)
 	for _, fi := range ctx.Funcs {
-		localTypes := make(map[string]string)
-		for _, p := range fi.Decl.Params {
-			if p.Name != "" && p.Type.PtrDepth == 0 {
-				localTypes[p.Name] = p.Type.Name
-			}
-		}
+		r.seedParams(fi, localTypes)
 		ccast.Walk(fi.Decl.Body, func(n ccast.Node) bool {
 			switch n := n.(type) {
 			case *ccast.DeclStmt:
-				for _, d := range n.Decl.Names {
-					if d.Type.PtrDepth == 0 {
-						localTypes[d.Name] = d.Type.Name
-					}
-					if d.Init != nil {
-						if cat := exprCategory(d.Init, localTypes); cat != "" {
-							if mismatch(d.Type.Name, cat) {
-								out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
-									fmt.Sprintf("implicit conversion: %s initialized from %s expression", d.Type.Name, cat),
-									refNoImplicitConv, refStrongTyping))
-							}
-						}
-					}
-				}
+				r.declFindings(fi, n, localTypes, em)
 			case *ccast.Assign:
-				if n.Op != "=" {
-					return true
-				}
-				lt := lvalueType(n.L, localTypes)
-				if lt == "" {
-					return true
-				}
-				if cat := exprCategory(n.R, localTypes); cat != "" && mismatch(lt, cat) {
-					out = append(out, finding(r.ID(), Warning, fi, n.Span().Start.Line,
-						fmt.Sprintf("implicit conversion: %s assigned from %s expression", lt, cat),
-						refNoImplicitConv, refStrongTyping))
-				}
+				r.assignFindings(fi, n, localTypes, em)
 			}
 			return true
 		})
 	}
-	return out
+	return em.out
+}
+
+// seedParams resets the local type table to the function's scalar params.
+func (r *ImplicitConversionRule) seedParams(fi *FuncInfo, localTypes map[string]string) {
+	clear(localTypes)
+	for _, p := range fi.Decl.Params {
+		if p.Name != "" && p.Type.PtrDepth == 0 {
+			localTypes[p.Name] = p.Type.Name
+		}
+	}
+}
+
+// declFindings records declared types and checks initializers.
+func (r *ImplicitConversionRule) declFindings(fi *FuncInfo, n *ccast.DeclStmt, localTypes map[string]string, em *Emitter) {
+	for _, d := range n.Decl.Names {
+		if d.Type.PtrDepth == 0 {
+			localTypes[d.Name] = d.Type.Name
+		}
+		if d.Init != nil {
+			if cat := exprCategory(d.Init, localTypes); cat != "" {
+				if mismatch(d.Type.Name, cat) {
+					em.Emit(finding(r.ID(), Warning, fi, d.Span().Start.Line,
+						fmt.Sprintf("implicit conversion: %s initialized from %s expression", d.Type.Name, cat),
+						refNoImplicitConv, refStrongTyping))
+				}
+			}
+		}
+	}
+}
+
+// assignFindings checks one simple assignment for a category mismatch.
+func (r *ImplicitConversionRule) assignFindings(fi *FuncInfo, n *ccast.Assign, localTypes map[string]string, em *Emitter) {
+	if n.Op != "=" {
+		return
+	}
+	lt := lvalueType(n.L, localTypes)
+	if lt == "" {
+		return
+	}
+	if cat := exprCategory(n.R, localTypes); cat != "" && mismatch(lt, cat) {
+		em.Emit(finding(r.ID(), Warning, fi, n.Span().Start.Line,
+			fmt.Sprintf("implicit conversion: %s assigned from %s expression", lt, cat),
+			refNoImplicitConv, refStrongTyping))
+	}
+}
+
+// Fuse implements FusedRule. The local type table lives in the worker's
+// closure and is reseeded at every function entry; DeclStmt and Assign
+// events arrive in the same DFS order the sequential walk used, so the
+// table evolves identically.
+func (r *ImplicitConversionRule) Fuse(rg *Registrar, ctx *Context) {
+	localTypes := make(map[string]string)
+	rg.OnFuncEnter(func(fi *FuncInfo, em *Emitter) {
+		r.seedParams(fi, localTypes)
+	})
+	rg.OnNode(func(fi *FuncInfo, n ccast.Node, em *Emitter) {
+		switch n := n.(type) {
+		case *ccast.DeclStmt:
+			r.declFindings(fi, n, localTypes, em)
+		case *ccast.Assign:
+			r.assignFindings(fi, n, localTypes, em)
+		}
+	}, KDeclStmt, KAssign)
 }
 
 func typeSpelling(t *ccast.Type) string {
