@@ -119,6 +119,77 @@ func BenchmarkAssess(b *testing.B) {
 	})
 }
 
+// BenchmarkDeltaAssess measures warm re-assessment after a 1-file edit
+// against a cold full run over the same corpus — the incremental
+// engine's headline number (BENCH_pipeline.json tracks the ratio). Both
+// sub-benchmarks start from an already-parsed corpus: "full" reloads and
+// re-assesses everything, "delta-1file" applies a single-file edit via
+// ApplyDelta and re-assesses warm.
+func BenchmarkDeltaAssess(b *testing.B) {
+	makeCorpus := func() *srcfile.FileSet {
+		return apollocorpus.GenerateDefault()
+	}
+	// Two body variants so every iteration is a real edit (identical
+	// content would take the unchanged fast path).
+	variant := func(i int) string {
+		if i%2 == 0 {
+			return "\nint delta_bench_probe(int x) { if (x > 1) { return x; } return -x; }\n"
+		}
+		return "\nint delta_bench_probe(int x) { while (x > 1) { x--; } return x; }\n"
+	}
+
+	b.Run("full", func(b *testing.B) {
+		fs := makeCorpus()
+		victim := fs.Files()[len(fs.Files())/2]
+		base := victim.Src
+		for i := 0; i < b.N; i++ {
+			victim.Src = base + variant(i)
+			a := core.NewAssessor(core.DefaultConfig())
+			if err := a.LoadFileSet(fs); err != nil {
+				b.Fatal(err)
+			}
+			if as := a.Assess(); len(as.Observations) != 14 {
+				b.Fatal("observations")
+			}
+		}
+	})
+
+	b.Run("delta-1file", func(b *testing.B) {
+		fs := makeCorpus()
+		victim := fs.Files()[len(fs.Files())/2]
+		base := victim.Src
+		a := core.NewAssessor(core.DefaultConfig())
+		if err := a.LoadFileSet(fs); err != nil {
+			b.Fatal(err)
+		}
+		a.Assess()
+		// Warm-up edit: the probe function's first appearance changes the
+		// cross-file environment and forces one full rule re-check; apply
+		// it outside the timed region so iterations measure steady state.
+		if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+			Path: victim.Path, Src: base + variant(1),
+		}}}); err != nil {
+			b.Fatal(err)
+		}
+		a.Assess()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+				Path: victim.Path, Src: base + variant(i),
+			}}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Parsed != 1 {
+				b.Fatalf("delta parsed %d files", res.Parsed)
+			}
+			if as := a.Assess(); len(as.Observations) != 14 {
+				b.Fatal("observations")
+			}
+		}
+	})
+}
+
 // ---------------------------------------------------------------------------
 // Tables
 

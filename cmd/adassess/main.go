@@ -1,11 +1,15 @@
 // Command adassess runs the full ISO 26262 Part-6 assessment over the
-// calibrated Apollo-like corpus and prints the paper's Tables 1-3 (with
-// verdicts and quantitative evidence), Observations 1-14, the Figure 4
-// CUDA findings, and the certification gap list.
+// calibrated Apollo-like corpus — or over a real C/C++/CUDA tree via
+// -dir — and prints the paper's Tables 1-3 (with verdicts and
+// quantitative evidence), Observations 1-14, the Figure 4 CUDA
+// findings, and the certification gap list.
 //
 // Usage:
 //
-//	adassess [-asil D] [-table 1|2|3|all] [-figure4] [-obs] [-gaps] [-csv]
+//	adassess [-asil D] [-table 1|2|3|all] [-dir PATH] [-figure4] [-obs] [-gaps] [-csv]
+//
+// Flags are validated before any work happens: bad values exit 2 with a
+// message on stderr and no partial output. Runtime failures exit 1.
 package main
 
 import (
@@ -20,8 +24,17 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adassess: %v\n", err)
+		os.Exit(code)
+	}
+}
+
+func run() (int, error) {
 	asilFlag := flag.String("asil", "D", "target ASIL (QM, A, B, C, D)")
 	tableFlag := flag.String("table", "all", "which table to print: 1, 2, 3, or all")
+	dirFlag := flag.String("dir", "", "assess a real C/C++/CUDA source tree instead of the generated corpus")
 	fig4Flag := flag.Bool("figure4", false, "print the Figure 4 CUDA excerpt findings")
 	obsFlag := flag.Bool("obs", true, "print Observations 1-14")
 	gapsFlag := flag.Bool("gaps", true, "print the certification gap list")
@@ -30,20 +43,35 @@ func main() {
 	seedFlag := flag.Int64("seed", 26262, "corpus generation seed")
 	flag.Parse()
 
+	// Validate every flag before doing any work.
 	asil, err := iso26262.ParseASIL(*asilFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2, err
 	}
+	switch *tableFlag {
+	case "1", "2", "3", "all":
+	default:
+		return 2, fmt.Errorf("unknown -table %q (want 1, 2, 3, or all)", *tableFlag)
+	}
+	if flag.NArg() > 0 {
+		return 2, fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.TargetASIL = asil
 	cfg.Seed = *seedFlag
 
 	a := core.NewAssessor(cfg)
-	fmt.Println("Generating and parsing the Apollo-like corpus...")
-	if err := a.LoadDefaultCorpus(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *dirFlag != "" {
+		fmt.Printf("Loading and parsing %s...\n", *dirFlag)
+		if err := a.LoadDir(*dirFlag); err != nil {
+			return 1, err
+		}
+	} else {
+		fmt.Println("Generating and parsing the Apollo-like corpus...")
+		if err := a.LoadDefaultCorpus(); err != nil {
+			return 1, err
+		}
 	}
 	fw := a.Metrics()
 	fmt.Printf("Corpus: %d files, %d LOC, %d functions across %d modules\n\n",
@@ -69,27 +97,20 @@ func main() {
 		emit(t)
 	}
 
-	switch *tableFlag {
-	case "1":
+	if *tableFlag == "1" || *tableFlag == "all" {
 		printTable("Table 1 — Modeling/coding guidelines (ISO26262-6 Table 1)", as.Coding)
-	case "2":
+	}
+	if *tableFlag == "2" || *tableFlag == "all" {
 		printTable("Table 2 — Architectural design (ISO26262-6 Table 3)", as.Arch)
-	case "3":
+	}
+	if *tableFlag == "3" || *tableFlag == "all" {
 		printTable("Table 3 — Unit design & implementation (ISO26262-6 Table 8)", as.Unit)
-	case "all":
-		printTable("Table 1 — Modeling/coding guidelines (ISO26262-6 Table 1)", as.Coding)
-		printTable("Table 2 — Architectural design (ISO26262-6 Table 3)", as.Arch)
-		printTable("Table 3 — Unit design & implementation (ISO26262-6 Table 8)", as.Unit)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *tableFlag)
-		os.Exit(2)
 	}
 
 	if *fig4Flag {
 		findings, err := core.Figure4()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1, err
 		}
 		t := report.NewTable("Figure 4 — findings on the scale_bias_gpu CUDA excerpt",
 			"Line", "Rule", "Finding")
@@ -121,6 +142,7 @@ func main() {
 				tableName(g.Topic.Table), g.Topic.Item, g.Topic.Name, g.Verdict, g.Effort)
 		}
 	}
+	return 0, nil
 }
 
 func tableName(t iso26262.TableID) string {

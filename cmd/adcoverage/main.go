@@ -8,6 +8,9 @@
 // Usage:
 //
 //	adcoverage [-figure 5|6|all] [-mcdc unique-cause|masking] [-csv]
+//
+// Flags are validated before any work happens: bad values exit 2 with a
+// message on stderr and no partial output. Runtime failures exit 1.
 package main
 
 import (
@@ -21,15 +24,37 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adcoverage: %v\n", err)
+		os.Exit(code)
+	}
+}
+
+func run() (int, error) {
 	figFlag := flag.String("figure", "all", "which figure to regenerate: 5, 6, or all")
 	modeFlag := flag.String("mcdc", "unique-cause", "MC/DC analysis mode: unique-cause or masking")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
 
-	mode := coverage.UniqueCause
-	if *modeFlag == "masking" {
+	var mode coverage.MCDCMode
+	switch *modeFlag {
+	case "unique-cause":
+		mode = coverage.UniqueCause
+	case "masking":
 		mode = coverage.Masking
+	default:
+		return 2, fmt.Errorf("unknown -mcdc %q (want unique-cause or masking)", *modeFlag)
 	}
+	switch *figFlag {
+	case "5", "6", "all":
+	default:
+		return 2, fmt.Errorf("unknown -figure %q (want 5, 6, or all)", *figFlag)
+	}
+	if flag.NArg() > 0 {
+		return 2, fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
 	emit := func(t *report.Table) {
 		if *csvFlag {
 			t.CSV(os.Stdout)
@@ -42,8 +67,7 @@ func main() {
 	if *figFlag == "5" || *figFlag == "all" {
 		res, err := core.Figure5(mode)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1, err
 		}
 		t := report.NewTable(
 			fmt.Sprintf("Figure 5 — YOLO CPU coverage per file (%s MC/DC, uncalled functions excluded)", mode),
@@ -59,8 +83,7 @@ func main() {
 	if *figFlag == "6" || *figFlag == "all" {
 		rows, err := core.Figure6()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1, err
 		}
 		t := report.NewTable("Figure 6 — stencil CUDA kernels run on CPU (cuda4cpu methodology)",
 			"Kernel", "Statement %", "Branch %")
@@ -70,4 +93,5 @@ func main() {
 		emit(t)
 		fmt.Println("Paper reference: full statement/branch coverage is not achieved.")
 	}
+	return 0, nil
 }

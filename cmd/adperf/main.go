@@ -9,6 +9,9 @@
 // Usage:
 //
 //	adperf [-figure 7|8a|8b|all] [-csv]
+//
+// Flags are validated before any work happens: bad values exit 2 with a
+// message on stderr and no partial output.
 package main
 
 import (
@@ -21,9 +24,26 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adperf: %v\n", err)
+		os.Exit(code)
+	}
+}
+
+func run() (int, error) {
 	figFlag := flag.String("figure", "all", "which figure: 7, 8a, 8b, or all")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
+
+	switch *figFlag {
+	case "7", "8a", "8b", "all":
+	default:
+		return 2, fmt.Errorf("unknown -figure %q (want 7, 8a, 8b, or all)", *figFlag)
+	}
+	if flag.NArg() > 0 {
+		return 2, fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
 
 	emit := func(t *report.Table) {
 		if *csvFlag {
@@ -77,4 +97,5 @@ func main() {
 			bars.Render(os.Stdout)
 		}
 	}
+	return 0, nil
 }

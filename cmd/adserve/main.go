@@ -1,0 +1,79 @@
+// Command adserve runs the assessment service: a long-running HTTP JSON
+// API holding warm assessor state per corpus, so repeated assessments of
+// nearly-identical corpora take the incremental path.
+//
+// Usage:
+//
+//	adserve [-addr :8080] [-allow-dir]
+//
+// Endpoints (see internal/service):
+//
+//	POST /assess  {"corpus":"c1","files":{"m/a.c":"int x;..."}}      load + assess
+//	POST /assess  {"corpus":"c1","generate":true,"seed":26262}       generated corpus
+//	POST /delta   {"corpus":"c1","changed":{"m/a.c":"..."},"removed":["m/b.c"]}
+//	GET  /report?corpus=c1                                           full report
+//	GET  /healthz                                                    liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "adserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addrFlag := flag.String("addr", ":8080", "listen address")
+	allowDirFlag := flag.Bool("allow-dir", false,
+		"allow POST /assess to load server-side directories via \"dir\"")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	svc := service.New()
+	svc.AllowDir = *allowDirFlag
+	srv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("adserve: listening on %s\n", *addrFlag)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("adserve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -64,7 +64,14 @@ type Index struct {
 	GlobalNames map[string]string
 	// unitFuncs holds each unit's functions in source order.
 	unitFuncs map[string][]*Func
+	// gen counts refreshes; consumers key derived caches on it.
+	gen uint64
 }
+
+// Gen returns the index generation, bumped by every Build/Apply
+// refresh. Two reads with equal Gen (and equal Index pointer) observe
+// identical cross-file views, so derived caches can key on it.
+func (ix *Index) Gen() uint64 { return ix.gen }
 
 // UnitFuncs returns the cached per-unit function list in source order.
 func (ix *Index) UnitFuncs(path string) []*Func { return ix.unitFuncs[path] }
@@ -136,46 +143,63 @@ func SortedPaths(units map[string]*ccast.TranslationUnit) []string {
 	return paths
 }
 
+// analyzeUnit runs the per-function analysis over one translation unit.
+func analyzeUnit(tu *ccast.TranslationUnit) []*Func {
+	mod := tu.File.ModuleName()
+	fns := tu.Funcs()
+	fas := make([]*Func, 0, len(fns))
+	for _, fn := range fns {
+		fas = append(fas, Analyze(fn, tu.File, mod))
+	}
+	return fas
+}
+
 // Build constructs the corpus index. Per-file analysis runs on a worker
 // pool sized to GOMAXPROCS; the cross-file indexes (ByName, GlobalNames)
 // are merged afterwards in sorted path order so the result is
 // deterministic regardless of scheduling.
 func Build(units map[string]*ccast.TranslationUnit) *Index {
 	ix := &Index{
-		Units:       units,
-		Paths:       SortedPaths(units),
-		ByName:      make(map[string]*Func, 2*len(units)),
-		GlobalNames: make(map[string]string, 2*len(units)),
-		unitFuncs:   make(map[string][]*Func, len(units)),
+		Units:     units,
+		Paths:     SortedPaths(units),
+		unitFuncs: make(map[string][]*Func, len(units)),
 	}
 
 	perUnit := make([][]*Func, len(ix.Paths))
 	par.For(par.Workers(len(ix.Paths)), len(ix.Paths), func(i int) {
-		tu := units[ix.Paths[i]]
-		mod := tu.File.ModuleName()
-		fns := tu.Funcs()
-		fas := make([]*Func, 0, len(fns))
-		for _, fn := range fns {
-			fas = append(fas, Analyze(fn, tu.File, mod))
-		}
-		perUnit[i] = fas
+		perUnit[i] = analyzeUnit(units[ix.Paths[i]])
 	})
+	for i, p := range ix.Paths {
+		ix.unitFuncs[p] = perUnit[i]
+	}
+	ix.refresh()
+	return ix
+}
 
+// refresh rebuilds the cross-file views (Paths, Funcs, ByName,
+// GlobalNames) from Units and unitFuncs in sorted path order. Per-unit
+// analysis records are reused as-is, so a refresh is pointer merging
+// plus a declaration-list scan — no function body is re-walked and the
+// memoized CFGs of untouched functions survive.
+func (ix *Index) refresh() {
+	ix.gen++
+	ix.Paths = SortedPaths(ix.Units)
 	nFuncs := 0
-	for _, fas := range perUnit {
+	for _, fas := range ix.unitFuncs {
 		nFuncs += len(fas)
 	}
 	ix.Funcs = make([]*Func, 0, nFuncs)
-	for i, p := range ix.Paths {
-		ix.unitFuncs[p] = perUnit[i]
-		for _, fa := range perUnit[i] {
+	ix.ByName = make(map[string]*Func, nFuncs)
+	ix.GlobalNames = make(map[string]string, 2*len(ix.Paths))
+	for _, p := range ix.Paths {
+		for _, fa := range ix.unitFuncs[p] {
 			ix.Funcs = append(ix.Funcs, fa)
 			key := Unqualified(fa.Decl.Name)
 			if _, dup := ix.ByName[key]; !dup {
 				ix.ByName[key] = fa
 			}
 		}
-		tu := units[p]
+		tu := ix.Units[p]
 		mod := tu.File.ModuleName()
 		for _, vd := range tu.GlobalVars() {
 			for _, d := range vd.Names {
@@ -183,5 +207,42 @@ func Build(units map[string]*ccast.TranslationUnit) *Index {
 			}
 		}
 	}
-	return ix
+}
+
+// Apply updates the index in place for a corpus delta: every unit in
+// upserts is (re-)analyzed and added or replaced under its path, every
+// path in removals is dropped, and the cross-file views are rebuilt
+// once. Only the upserted units are re-walked; all other units keep
+// their cached Func records (and memoized CFGs) by pointer, which is
+// what makes warm re-assessment after a small edit cheap.
+//
+// Apply is not safe for concurrent use with readers of the index.
+func (ix *Index) Apply(upserts []*ccast.TranslationUnit, removals []string) {
+	for _, p := range removals {
+		delete(ix.Units, p)
+		delete(ix.unitFuncs, p)
+	}
+	perUnit := make([][]*Func, len(upserts))
+	par.For(par.Workers(len(upserts)), len(upserts), func(i int) {
+		perUnit[i] = analyzeUnit(upserts[i])
+	})
+	for i, tu := range upserts {
+		ix.Units[tu.File.Path] = tu
+		ix.unitFuncs[tu.File.Path] = perUnit[i]
+	}
+	ix.refresh()
+}
+
+// AddUnit indexes one new translation unit (add or replace by path).
+func (ix *Index) AddUnit(tu *ccast.TranslationUnit) {
+	ix.Apply([]*ccast.TranslationUnit{tu}, nil)
+}
+
+// ReplaceUnit re-indexes one changed translation unit. It is AddUnit
+// under a name that states the intent at call sites.
+func (ix *Index) ReplaceUnit(tu *ccast.TranslationUnit) { ix.AddUnit(tu) }
+
+// RemoveUnit drops one unit from the index.
+func (ix *Index) RemoveUnit(path string) {
+	ix.Apply(nil, []string{path})
 }

@@ -40,26 +40,35 @@ func DefaultConfig() Config {
 	return Config{TargetASIL: iso26262.ASILD, Seed: 26262}
 }
 
-// Assessor runs the assessment pipeline over a corpus.
+// Assessor runs the assessment pipeline over a corpus. It keeps warm
+// per-file caches (rule findings, metrics rows, artifact records) so a
+// re-assessment after ApplyDelta recomputes only what the delta touched
+// while producing output byte-identical to a cold full run.
 type Assessor struct {
 	cfg   Config
 	fs    *srcfile.FileSet
 	units map[string]*ccast.TranslationUnit
 
 	ix       *artifact.Index
+	ruleEng  *rules.Incremental
+	mcache   *metrics.Cache
 	findings []rules.Finding
 	stats    *rules.Stats
 	fw       *metrics.FrameworkMetrics
 	arch     []*metrics.ArchMetrics
 }
 
-// NewAssessor creates an assessor; call LoadDefaultCorpus or LoadFileSet
-// before Assess.
+// NewAssessor creates an assessor; call LoadDefaultCorpus, LoadFileSet,
+// or LoadDir before Assess.
 func NewAssessor(cfg Config) *Assessor {
 	if cfg.Rules == nil {
 		cfg.Rules = rules.DefaultRules()
 	}
-	return &Assessor{cfg: cfg}
+	return &Assessor{
+		cfg:     cfg,
+		ruleEng: rules.NewIncremental(cfg.Rules),
+		mcache:  metrics.NewCache(),
+	}
 }
 
 // LoadDefaultCorpus generates and parses the calibrated Apollo-like corpus.
@@ -110,11 +119,13 @@ func (a *Assessor) FileSet() *srcfile.FileSet { return a.fs }
 // Units returns the parsed translation units.
 func (a *Assessor) Units() map[string]*ccast.TranslationUnit { return a.units }
 
-// Findings runs (and caches) the rule engine over the shared index.
+// Findings runs (and caches) the rule engine over the shared index. The
+// engine itself caches per-file findings by content hash, so after an
+// ApplyDelta only the dirty files are re-checked.
 func (a *Assessor) Findings() []rules.Finding {
 	if a.findings == nil {
 		ctx := rules.NewContextFromIndex(a.Index())
-		a.findings = rules.Run(ctx, a.cfg.Rules)
+		a.findings = a.ruleEng.Run(ctx)
 		a.stats = rules.Aggregate(a.findings)
 	}
 	return a.findings
@@ -126,10 +137,11 @@ func (a *Assessor) Stats() *rules.Stats {
 	return a.stats
 }
 
-// Metrics returns (and caches) framework metrics from the shared index.
+// Metrics returns (and caches) framework metrics from the shared index,
+// reusing per-file rows for files untouched since the previous run.
 func (a *Assessor) Metrics() *metrics.FrameworkMetrics {
 	if a.fw == nil {
-		a.fw = metrics.AnalyzeIndexed(a.Index())
+		a.fw = a.mcache.AnalyzeIndexed(a.Index())
 	}
 	return a.fw
 }

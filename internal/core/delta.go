@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/par"
+	"repro/internal/srcfile"
+)
+
+// Delta is a corpus edit: files to add or replace, and paths to remove.
+type Delta struct {
+	// Changed holds new or replacement files keyed by their Path. Only
+	// Path, Src, and (optionally) Module are honored: Lang is always
+	// derived from the path, as in a cold ingest.
+	Changed []*srcfile.File
+	// Removed lists paths to drop from the corpus.
+	Removed []string
+}
+
+// DeltaResult reports what a delta actually did.
+type DeltaResult struct {
+	// Parsed counts files whose content changed (or that are new) and
+	// were therefore re-parsed and re-indexed.
+	Parsed int
+	// Unchanged counts files in Changed whose content matched the
+	// corpus and were skipped entirely.
+	Unchanged int
+	// Removed counts files dropped.
+	Removed int
+}
+
+// LoadDir ingests a real on-disk C/C++/CUDA tree (srcfile.LoadDir with
+// default filters) and parses it as the corpus.
+func (a *Assessor) LoadDir(root string) error {
+	fs, err := srcfile.LoadDir(root, srcfile.LoadOptions{})
+	if err != nil {
+		return err
+	}
+	if fs.Len() == 0 {
+		return fmt.Errorf("core: no C/C++/CUDA sources under %s", root)
+	}
+	return a.LoadFileSet(fs)
+}
+
+// ApplyDelta applies a corpus edit in place. Only genuinely changed
+// files are re-parsed and re-indexed; every warm per-file cache (rule
+// findings, metrics rows, memoized CFGs) survives for untouched files.
+// The next Assess/Findings/Metrics call recomputes exactly the dirty
+// remainder and yields results byte-identical to a cold full run over
+// the edited corpus.
+//
+// On error (unloaded corpus, unparseable file) the assessor state is
+// unchanged: parsing happens before any mutation.
+func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
+	if a.fs == nil {
+		return nil, errors.New("core: ApplyDelta before a corpus is loaded")
+	}
+	res := &DeltaResult{}
+
+	// Decide what actually changed.
+	var dirty []*srcfile.File
+	for _, f := range d.Changed {
+		if f == nil || f.Path == "" {
+			return nil, errors.New("core: delta file without a path")
+		}
+		old := a.fs.Lookup(f.Path)
+		if old != nil && old.Src == f.Src {
+			res.Unchanged++
+			continue
+		}
+		// Normalize before parsing (the parser keys CUDA lexing off
+		// Lang). Delta files are (path, content) pairs: Lang always
+		// derives from the path — the zero Language value is LangC, so
+		// "caller left it unset" is indistinguishable from an explicit
+		// C override and path-derivation is the only sound rule, exactly
+		// matching a cold AddSource/LoadDir ingest. A Module override
+		// is corpus metadata: an explicit value wins, a replaced file's
+		// existing override is inherited, otherwise the path decides.
+		f.Lang = srcfile.LanguageForPath(f.Path)
+		if f.Module == "" && old != nil {
+			f.Module = old.Module
+		}
+		if f.Module == "" {
+			f.Module = f.ModuleName()
+		}
+		dirty = append(dirty, f)
+	}
+
+	// Parse the dirty files before touching any state, mirroring
+	// LoadFileSet's tolerance: BadDecls are fine, a nil unit is not.
+	parsed := make([]*ccast.TranslationUnit, len(dirty))
+	perr := make([]*ccparse.Error, len(dirty))
+	par.For(par.Workers(len(dirty)), len(dirty), func(i int) {
+		tu, errs := ccparse.Parse(dirty[i], ccparse.Options{})
+		parsed[i] = tu
+		if tu == nil && len(errs) > 0 {
+			perr[i] = errs[0]
+		}
+	})
+	for i := range parsed {
+		if parsed[i] == nil {
+			return nil, fmt.Errorf("core: file %s failed to parse: %v", dirty[i].Path, perr[i])
+		}
+	}
+
+	// Commit: file set, parse map, and (when built) the artifact index.
+	var removedPaths []string
+	for _, p := range d.Removed {
+		if a.fs.Remove(p) {
+			delete(a.units, p)
+			removedPaths = append(removedPaths, p)
+			res.Removed++
+		}
+	}
+	for i, f := range dirty {
+		canon := a.fs.Add(f)
+		// Add replaces in place, keeping the corpus-resident *File
+		// canonical; re-point the fresh unit at it so index, metrics,
+		// and rules all observe one File identity per path.
+		parsed[i].File = canon
+		a.units[canon.Path] = parsed[i]
+		res.Parsed++
+	}
+	if a.ix != nil {
+		a.ix.Apply(parsed, removedPaths)
+	}
+
+	// Drop memoized whole-corpus results; the per-file caches behind
+	// them make the recomputation proportional to the delta.
+	a.findings = nil
+	a.stats = nil
+	a.fw = nil
+	a.arch = nil
+	return res, nil
+}
+
+// RuleFilesChecked returns how many files the last Findings() run
+// re-checked (diagnostics for the serving layer).
+func (a *Assessor) RuleFilesChecked() int { return a.ruleEng.LastDirty() }
+
+// MetricFilesComputed returns how many per-file metric rows the last
+// Metrics() run recomputed.
+func (a *Assessor) MetricFilesComputed() int { return a.mcache.LastDirty() }

@@ -448,6 +448,18 @@ func NewRecorderIndexed(fas []*artifact.Func, file string) *Recorder {
 	return r
 }
 
+// NewRecorderForUnit instruments every function of one indexed unit.
+// Combined with the incremental index this is the delta-aware coverage
+// path: after artifact.Index.Apply, untouched units keep their Func
+// records — and therefore their memoized CFGs — by pointer, so repeated
+// recorder construction across corpus deltas re-traverses only the
+// bodies of files that actually changed. Recorder state itself (hit
+// counts, condition vectors) is fresh per call, as coverage runs must
+// not leak into each other.
+func NewRecorderForUnit(ix *artifact.Index, path string) *Recorder {
+	return NewRecorderIndexed(ix.UnitFuncs(path), path)
+}
+
 // Hooks returns combined hooks dispatching to every instrumented function.
 // Probe maps are disjoint (keyed by AST node pointers), so fan-out is safe.
 func (r *Recorder) Hooks() cinterp.Hooks {

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/par"
+)
+
+// Cache is a per-file metrics cache keyed by content hash. A warm
+// AnalyzeIndexed recomputes rows only for files whose content changed
+// since the previous call and re-aggregates — the aggregation itself is
+// cheap next to the NLOC text scans it avoids. The result is identical
+// to the cache-free AnalyzeIndexed over the same index.
+//
+// File rows depend only on the file's path (module, language) and
+// content (lines, NLOC, per-function facts from the artifact cache), so
+// a (path, hash) key is exact. Cached *FileMetrics are shared across
+// results; callers must treat them as immutable.
+//
+// Cache is not safe for concurrent use; the Assessor serializes access.
+type Cache struct {
+	perFile map[string]cacheEntry
+	// lastDirty records how many rows the previous AnalyzeIndexed
+	// recomputed.
+	lastDirty int
+}
+
+type cacheEntry struct {
+	hash uint64
+	fm   *FileMetrics
+}
+
+// NewCache returns an empty metrics cache.
+func NewCache() *Cache {
+	return &Cache{perFile: make(map[string]cacheEntry)}
+}
+
+// LastDirty returns the number of file rows the previous AnalyzeIndexed
+// recomputed.
+func (c *Cache) LastDirty() int { return c.lastDirty }
+
+// AnalyzeIndexed computes framework metrics from the index, reusing
+// cached per-file rows for unchanged files.
+func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
+	paths := ix.Paths
+	files := make([]*FileMetrics, len(paths))
+	var dirty []int
+	for i, p := range paths {
+		h := ix.Units[p].File.Hash()
+		if e, ok := c.perFile[p]; ok && e.hash == h {
+			files[i] = e.fm
+		} else {
+			dirty = append(dirty, i)
+		}
+	}
+	c.lastDirty = len(dirty)
+	par.For(par.Workers(len(dirty)), len(dirty), func(k int) {
+		i := dirty[k]
+		p := paths[i]
+		files[i] = analyzeFileIndexed(ix.Units[p], ix.UnitFuncs(p))
+	})
+	for _, i := range dirty {
+		p := paths[i]
+		c.perFile[p] = cacheEntry{hash: ix.Units[p].File.Hash(), fm: files[i]}
+	}
+	if len(c.perFile) > len(paths) {
+		live := make(map[string]bool, len(paths))
+		for _, p := range paths {
+			live[p] = true
+		}
+		for p := range c.perFile {
+			if !live[p] {
+				delete(c.perFile, p)
+			}
+		}
+	}
+	return aggregate(files)
+}

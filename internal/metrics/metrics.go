@@ -215,15 +215,20 @@ func Analyze(units map[string]*ccast.TranslationUnit) *FrameworkMetrics {
 // a worker pool; the module aggregation walks files in sorted path order,
 // so the result is deterministic.
 func AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
-	out := &FrameworkMetrics{}
-	mods := make(map[string]*ModuleMetrics)
-
 	paths := ix.Paths
 	files := make([]*FileMetrics, len(paths))
 	par.For(par.Workers(len(paths)), len(paths), func(i int) {
 		p := paths[i]
 		files[i] = analyzeFileIndexed(ix.Units[p], ix.UnitFuncs(p))
 	})
+	return aggregate(files)
+}
+
+// aggregate folds per-file rows (in sorted path order) into the
+// framework-wide result.
+func aggregate(files []*FileMetrics) *FrameworkMetrics {
+	out := &FrameworkMetrics{}
+	mods := make(map[string]*ModuleMetrics)
 
 	out.Files = files
 	for _, fm := range files {

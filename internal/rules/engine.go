@@ -235,6 +235,44 @@ func (rg *Registrar) runUnit(ctx *Context, path string, em *Emitter) {
 	}
 }
 
+// runCorpusHooks builds one program and fires its corpus-level hooks;
+// the program is returned for reuse as a per-file worker program.
+func runCorpusHooks(ctx *Context, fused []FusedRule, em *Emitter) *Registrar {
+	prog := newProgram(ctx, fused)
+	for _, h := range prog.corpus {
+		h(ctx, em)
+	}
+	return prog
+}
+
+// runUnits executes per-file programs over the given paths on a worker
+// pool and returns the findings of each path, index-aligned. reuse, when
+// non-nil, serves as worker 0's program (rule closures carry per-function
+// state, so a program is never shared between goroutines).
+func runUnits(ctx *Context, fused []FusedRule, paths []string, reuse *Registrar) [][]Finding {
+	if len(paths) == 0 {
+		return nil
+	}
+	perFile := make([][]Finding, len(paths))
+	workers := par.Workers(len(paths))
+	progs := make([]*Registrar, workers)
+	ems := make([]*Emitter, workers)
+	progs[0], ems[0] = reuse, &Emitter{}
+	if progs[0] == nil {
+		progs[0] = newProgram(ctx, fused)
+	}
+	for w := 1; w < workers; w++ {
+		progs[w], ems[w] = newProgram(ctx, fused), &Emitter{}
+	}
+	par.ForWorkers(workers, len(paths), func(w, i int) {
+		em := ems[w]
+		em.out = nil
+		progs[w].runUnit(ctx, paths[i], em)
+		perFile[i] = em.out
+	})
+	return perFile
+}
+
 // runFused executes the fused engine: corpus-level hooks once, then every
 // file on a worker pool, then a deterministic merge and canonical sort.
 func runFused(ctx *Context, fused []FusedRule) []Finding {
@@ -250,28 +288,8 @@ func runFused(ctx *Context, fused []FusedRule) []Finding {
 	paths := ctx.Index.Paths
 
 	corpusEm := &Emitter{}
-	corpusProg := newProgram(ctx, fused)
-	for _, h := range corpusProg.corpus {
-		h(ctx, corpusEm)
-	}
-
-	perFile := make([][]Finding, len(paths))
-	workers := par.Workers(len(paths))
-	// Each worker owns a program instance: rule closures carry
-	// per-function state, so they must never be shared across goroutines.
-	// Worker 0 reuses the corpus program.
-	progs := make([]*Registrar, workers)
-	ems := make([]*Emitter, workers)
-	progs[0], ems[0] = corpusProg, &Emitter{}
-	for w := 1; w < workers; w++ {
-		progs[w], ems[w] = newProgram(ctx, fused), &Emitter{}
-	}
-	par.ForWorkers(workers, len(paths), func(w, i int) {
-		em := ems[w]
-		em.out = nil
-		progs[w].runUnit(ctx, paths[i], em)
-		perFile[i] = em.out
-	})
+	corpusProg := runCorpusHooks(ctx, fused, corpusEm)
+	perFile := runUnits(ctx, fused, paths, corpusProg)
 
 	total := len(corpusEm.out)
 	for _, fs := range perFile {

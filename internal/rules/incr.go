@@ -1,0 +1,185 @@
+package rules
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/artifact"
+)
+
+// This file implements the incremental rule engine: per-file findings
+// are cached under the file's content hash, so a re-run after a small
+// corpus delta re-checks only the dirty files and reuses everything
+// else. The merged output is byte-identical to a cold Run over the same
+// context (both funnel through sortFindings' total order).
+//
+// Soundness: a file's findings are a function of (a) its own content and
+// (b) the few cross-file facts per-file handlers consult — callee
+// voidness via Context.ByName (DefensiveRule's ignored-return check) and
+// global-name membership via Context.GlobalNames (ShadowRule). Those
+// facts are folded into an environment signature; when a delta changes
+// them (a signature edit, a new global) every cached entry is dropped
+// and the run degrades to a full fused pass. Corpus-level rules
+// (RecursionRule's call-graph SCC) re-run on every call — they are cheap
+// against the cached callee inventories.
+
+// incrEntry is one cached per-file result.
+type incrEntry struct {
+	hash     uint64
+	findings []Finding
+}
+
+// Incremental is a reusable rule engine that caches per-file findings
+// between runs. It is not safe for concurrent use; callers serialize
+// Run (the Assessor holds one Incremental per corpus).
+type Incremental struct {
+	rules   []Rule
+	fused   []FusedRule // nil when any rule lacks a fused form
+	env     uint64
+	haveEnv bool
+	perFile map[string]incrEntry
+
+	// envIx/envGen memoize envSignature per index generation: equal
+	// (pointer, gen) means identical cross-file views.
+	envIx  *artifact.Index
+	envGen uint64
+
+	// lastDirty records how many files the previous Run re-checked;
+	// tests and the service's delta statistics read it.
+	lastDirty int
+}
+
+// NewIncremental creates an incremental engine over the given rule set.
+// Rule sets containing non-fused rules still work but fall back to a
+// full sequential run every time (nothing is cached).
+func NewIncremental(rs []Rule) *Incremental {
+	inc := &Incremental{rules: rs, perFile: make(map[string]incrEntry)}
+	fused := make([]FusedRule, 0, len(rs))
+	for _, r := range rs {
+		fr, ok := r.(FusedRule)
+		if !ok {
+			fused = nil
+			break
+		}
+		fused = append(fused, fr)
+	}
+	inc.fused = fused
+	return inc
+}
+
+// LastDirty returns the number of files the previous Run re-checked
+// (every file on a cold or invalidated run).
+func (inc *Incremental) LastDirty() int { return inc.lastDirty }
+
+// Run executes the rules over the context, reusing cached per-file
+// findings for files whose content hash is unchanged since the previous
+// Run. Output is byte-identical to rules.Run over the same context.
+func (inc *Incremental) Run(ctx *Context) []Finding {
+	if inc.fused == nil || ctx.Index == nil || ctx.unitFuncs == nil {
+		inc.lastDirty = len(ctx.Units)
+		return Run(ctx, inc.rules)
+	}
+	var env uint64
+	if inc.haveEnv && inc.envIx == ctx.Index && inc.envGen == ctx.Index.Gen() {
+		env = inc.env
+	} else {
+		env = envSignature(ctx)
+	}
+	if !inc.haveEnv || env != inc.env {
+		clear(inc.perFile)
+	}
+	inc.env, inc.haveEnv = env, true
+	inc.envIx, inc.envGen = ctx.Index, ctx.Index.Gen()
+
+	paths := ctx.Index.Paths
+	var dirty []string
+	var dirtyHash []uint64
+	for _, p := range paths {
+		h := ctx.Units[p].File.Hash()
+		if e, ok := inc.perFile[p]; !ok || e.hash != h {
+			dirty = append(dirty, p)
+			dirtyHash = append(dirtyHash, h)
+		}
+	}
+	inc.lastDirty = len(dirty)
+
+	// Corpus-level hooks see the whole (updated) context every run.
+	corpusEm := &Emitter{}
+	corpusProg := runCorpusHooks(ctx, inc.fused, corpusEm)
+
+	// Cache each dirty file's findings pre-sorted: within a file the
+	// findingLess order is self-contained, so the file-major
+	// concatenation below is globally sorted without a full re-sort.
+	for k, fs := range runUnits(ctx, inc.fused, dirty, corpusProg) {
+		sortFindings(fs)
+		inc.perFile[dirty[k]] = incrEntry{hash: dirtyHash[k], findings: fs}
+	}
+	if len(inc.perFile) > len(paths) {
+		live := make(map[string]bool, len(paths))
+		for _, p := range paths {
+			live[p] = true
+		}
+		for p := range inc.perFile {
+			if !live[p] {
+				delete(inc.perFile, p)
+			}
+		}
+	}
+
+	totalPerFile := 0
+	for _, p := range paths {
+		totalPerFile += len(inc.perFile[p].findings)
+	}
+	merged := make([]Finding, 0, totalPerFile+len(corpusEm.out))
+	for _, p := range paths {
+		merged = append(merged, inc.perFile[p].findings...)
+	}
+	if len(corpusEm.out) == 0 {
+		return merged
+	}
+	// Merge the (few) corpus-level findings into the sorted stream.
+	corpus := corpusEm.out
+	sortFindings(corpus)
+	out := make([]Finding, 0, len(merged)+len(corpus))
+	i, j := 0, 0
+	for i < len(merged) && j < len(corpus) {
+		if findingLess(&corpus[j], &merged[i]) {
+			out = append(out, corpus[j])
+			j++
+		} else {
+			out = append(out, merged[i])
+			i++
+		}
+	}
+	out = append(out, merged[i:]...)
+	out = append(out, corpus[j:]...)
+	return out
+}
+
+// envSignature hashes the cross-file facts per-file rule handlers read:
+// the global-variable name set (ShadowRule) and each known function's
+// name and return voidness (DefensiveRule's ignored-return check). Any
+// new per-file handler that consults additional Context state must fold
+// that state in here, or stale cached findings will survive deltas that
+// change it.
+func envSignature(ctx *Context) uint64 {
+	keys := make([]string, 0, len(ctx.GlobalNames)+len(ctx.ByName))
+	for name, mod := range ctx.GlobalNames {
+		keys = append(keys, "g\x00"+name+"\x00"+mod)
+	}
+	for name, fi := range ctx.ByName {
+		v := "r"
+		if fi == nil || fi.Decl.Ret == nil || fi.Decl.Ret.IsVoid() {
+			v = "v"
+		}
+		keys = append(keys, "f\x00"+name+"\x00"+v)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	sep := []byte{0xff}
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write(sep)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,169 @@
+package rules_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/artifact"
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+)
+
+// reparse parses one edited file and swaps it into the index, mirroring
+// what core.Assessor.ApplyDelta does.
+func reparse(t *testing.T, ix *artifact.Index, path, src string) {
+	t.Helper()
+	f := &srcfile.File{Path: path, Lang: srcfile.LanguageForPath(path), Src: src}
+	tu, errs := ccparse.Parse(f, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse %s: %v", path, errs[0])
+	}
+	ix.ReplaceUnit(tu)
+}
+
+// TestIncrementalMatchesColdRun drives the incremental engine through a
+// sequence of deltas over the default corpus; after each delta its output
+// must be byte-identical to a cold fused run over the same context, while
+// re-checking only the dirty file when the cross-file environment is
+// unchanged.
+func TestIncrementalMatchesColdRun(t *testing.T) {
+	forceParallel(t)
+	fs := apollocorpus.GenerateDefault()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("corpus parse errors: %v", errs[0])
+	}
+	ix := artifact.Build(units)
+	inc := rules.NewIncremental(rules.DefaultRules())
+
+	check := func(stage string, wantDirty int) {
+		t.Helper()
+		ctx := rules.NewContextFromIndex(ix)
+		warm := renderFindings(inc.Run(ctx))
+		cold := renderFindings(rules.Run(ctx, rules.DefaultRules()))
+		if !bytes.Equal(warm, cold) {
+			t.Fatalf("%s: incremental output differs from cold run\n%s",
+				stage, firstDiff(cold, warm))
+		}
+		if wantDirty >= 0 && inc.LastDirty() != wantDirty {
+			t.Fatalf("%s: re-checked %d files, want %d", stage, inc.LastDirty(), wantDirty)
+		}
+	}
+
+	check("cold", len(ix.Paths))
+	check("no-op rerun", 0)
+
+	// Adding a function changes the cross-file environment (ByName feeds
+	// the ignored-return check), so the whole cache is invalidated — the
+	// conservative-but-correct path.
+	victim := ix.Paths[len(ix.Paths)/2]
+	src := ix.Units[victim].File.Src
+	reparse(t, ix, victim, src+"\nint incr_probe(int x) { if (x > 2) { return 1; } return 0; }\n")
+	check("new-function edit", len(ix.Paths))
+
+	// A new global likewise invalidates everything (ShadowRule consults
+	// the global name set).
+	other := ix.Paths[0]
+	reparse(t, ix, other, ix.Units[other].File.Src+"\nint incr_probe_global;\n")
+	check("env edit", len(ix.Paths))
+	check("post-env rerun", 0)
+
+	// Removal delta: cached entries for the remaining files stay valid
+	// as long as the removed file contributed no globals or first-wins
+	// ByName entries... which it did (incr_probe), so expect a full
+	// re-check here too, then a clean no-op.
+	ix.RemoveUnit(victim)
+	check("removal", len(ix.Paths))
+	check("post-removal rerun", 0)
+}
+
+// TestIncrementalBodyEditChecksOneFile pins the fast path on a corpus
+// whose edits are controlled: an edit that keeps every function
+// signature and global intact re-checks exactly the dirty file, and the
+// merged findings stay byte-identical to a cold run.
+func TestIncrementalBodyEditChecksOneFile(t *testing.T) {
+	forceParallel(t)
+	srcs := map[string]string{
+		"m/a.c": "int ga;\nint fa(int x) { int y; return y + x; }\n",
+		"m/b.c": "int fb(int x) { if (x > 0) { return 1; } return 0; }\n",
+		"n/c.c": "void fc(void) { fb(3); }\n",
+		"n/d.c": "int fd(int k) { int ga; return ga + k; }\n",
+	}
+	fs := srcfile.NewFileSet()
+	for p, src := range srcs {
+		fs.AddSource(p, src)
+	}
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	ix := artifact.Build(units)
+	inc := rules.NewIncremental(rules.DefaultRules())
+
+	check := func(stage string, wantDirty int) {
+		t.Helper()
+		ctx := rules.NewContextFromIndex(ix)
+		warm := renderFindings(inc.Run(ctx))
+		cold := renderFindings(rules.Run(ctx, rules.DefaultRules()))
+		if !bytes.Equal(warm, cold) {
+			t.Fatalf("%s: incremental output differs from cold run\n%s",
+				stage, firstDiff(cold, warm))
+		}
+		if inc.LastDirty() != wantDirty {
+			t.Fatalf("%s: re-checked %d files, want %d", stage, inc.LastDirty(), wantDirty)
+		}
+	}
+
+	check("cold", 4)
+	check("no-op", 0)
+
+	// Same signature (fb stays int(int)), same globals — new body with
+	// different findings (a goto and a multi-exit structure).
+	reparse(t, ix, "m/b.c",
+		"int fb(int x) {\n  if (x > 1) { goto out; }\n  return 0;\nout:\n  return 1;\n}\n")
+	check("body edit", 1)
+	check("body edit no-op", 0)
+}
+
+// TestIncrementalFallbacks pins the degraded paths: non-fused rule sets
+// and hand-built contexts run the reference engine with full equivalence.
+func TestIncrementalFallbacks(t *testing.T) {
+	ctx := parseDefaultCorpus(t)
+
+	// A hand-built context (no index) must take the sequential path.
+	bare := &rules.Context{Units: ctx.Units, Funcs: ctx.Funcs,
+		ByName: ctx.ByName, GlobalNames: ctx.GlobalNames}
+	inc := rules.NewIncremental(rules.DefaultRules())
+	warm := renderFindings(inc.Run(bare))
+	cold := renderFindings(rules.RunSequential(bare, rules.DefaultRules()))
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("bare-context incremental differs from sequential\n%s", firstDiff(cold, warm))
+	}
+
+	// A rule set with a non-fused member disables caching but stays
+	// equivalent.
+	rs := append(rules.DefaultRules(), unfusedRule{})
+	inc = rules.NewIncremental(rs)
+	warm = renderFindings(inc.Run(ctx))
+	cold = renderFindings(rules.Run(ctx, rs))
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("non-fused incremental differs from Run\n%s", firstDiff(cold, warm))
+	}
+}
+
+// unfusedRule is a Rule without a Fuse method.
+type unfusedRule struct{}
+
+func (unfusedRule) ID() string       { return "zz-unfused" }
+func (unfusedRule) Describe() string { return "test-only rule without a fused form" }
+func (unfusedRule) Check(ctx *rules.Context) []rules.Finding {
+	var out []rules.Finding
+	for _, tu := range ctx.Units {
+		_ = tu
+	}
+	_ = ccast.Node(nil)
+	return out
+}

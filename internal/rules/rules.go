@@ -201,29 +201,31 @@ func RunSequential(ctx *Context, rs []Rule) []Finding {
 	return out
 }
 
-// sortFindings orders findings by file, line, rule, then by the remaining
-// fields so the order is total: equal-key findings from different passes
-// land identically however the engine scheduled them.
+// findingLess is the total order over findings: file, line, rule, then
+// the remaining fields, so equal-key findings from different passes land
+// identically however the engine scheduled them.
+func findingLess(a, b *Finding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.RuleID != b.RuleID {
+		return a.RuleID < b.RuleID
+	}
+	if a.Msg != b.Msg {
+		return a.Msg < b.Msg
+	}
+	if a.Function != b.Function {
+		return a.Function < b.Function
+	}
+	return a.Severity < b.Severity
+}
+
+// sortFindings sorts findings under the findingLess total order.
 func sortFindings(out []Finding) {
-	sort.Slice(out, func(i, j int) bool {
-		a, b := &out[i], &out[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.RuleID != b.RuleID {
-			return a.RuleID < b.RuleID
-		}
-		if a.Msg != b.Msg {
-			return a.Msg < b.Msg
-		}
-		if a.Function != b.Function {
-			return a.Function < b.Function
-		}
-		return a.Severity < b.Severity
-	})
+	sort.Slice(out, func(i, j int) bool { return findingLess(&out[i], &out[j]) })
 }
 
 // UnqualifiedName strips namespace/class qualifiers.

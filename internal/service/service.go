@@ -1,0 +1,378 @@
+// Package service is the serving front end of the assessor: a
+// long-running HTTP JSON API holding warm core.Assessor state per
+// corpus, so repeated assessments of nearly-identical corpora ride the
+// incremental engine instead of re-parsing and re-indexing from
+// scratch.
+//
+// Endpoints:
+//
+//	POST /assess — create or replace a named corpus (inline files, a
+//	               server-side directory, or the generated default) and
+//	               run a full assessment;
+//	POST /delta  — apply a file-level edit to a loaded corpus and
+//	               re-assess incrementally;
+//	GET  /report — return the full report for a loaded corpus.
+//
+// Every response is JSON; errors are {"error": "..."} with a non-2xx
+// status. The server is safe for concurrent clients: each corpus
+// serializes its assessor behind a mutex while distinct corpora proceed
+// in parallel.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/iso26262"
+	"repro/internal/srcfile"
+)
+
+// Server holds the warm per-corpus assessor states.
+type Server struct {
+	mu sync.Mutex
+	// AllowDir, when true, lets POST /assess load server-side
+	// directories via "dir" (off by default: the service should not
+	// read arbitrary paths on behalf of remote clients).
+	AllowDir bool
+	corpora  map[string]*corpusState
+}
+
+type corpusState struct {
+	mu sync.Mutex
+	a  *core.Assessor
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{corpora: make(map[string]*corpusState)}
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/assess", s.handleAssess)
+	mux.HandleFunc("/delta", s.handleDelta)
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+
+// AssessRequest creates or replaces a corpus.
+type AssessRequest struct {
+	// Corpus names the assessor state; defaults to "default".
+	Corpus string `json:"corpus"`
+	// ASIL is the target integrity level ("QM", "A".."D"); default "D".
+	ASIL string `json:"asil"`
+	// Files maps corpus-relative paths to source content. When empty,
+	// Generate or Dir must supply the corpus.
+	Files map[string]string `json:"files"`
+	// Generate loads the calibrated Apollo-like corpus (with Seed).
+	Generate bool  `json:"generate"`
+	Seed     int64 `json:"seed"`
+	// Dir loads a server-side directory tree (requires Server.AllowDir).
+	Dir string `json:"dir"`
+}
+
+// DeltaRequest edits a loaded corpus.
+type DeltaRequest struct {
+	Corpus string `json:"corpus"`
+	// Changed maps paths to new content (add or replace).
+	Changed map[string]string `json:"changed"`
+	// Removed lists paths to delete.
+	Removed []string `json:"removed"`
+}
+
+// Summary is the compact assessment result embedded in responses.
+type Summary struct {
+	Corpus    string         `json:"corpus"`
+	Target    string         `json:"target_asil"`
+	Files     int            `json:"files"`
+	LOC       int            `json:"loc"`
+	Functions int            `json:"functions"`
+	Findings  int            `json:"findings"`
+	Gaps      int            `json:"gaps"`
+	ByRule    map[string]int `json:"findings_by_rule"`
+}
+
+// DeltaStats reports what the incremental engine actually redid.
+type DeltaStats struct {
+	Parsed              int `json:"parsed"`
+	Unchanged           int `json:"unchanged"`
+	Removed             int `json:"removed"`
+	RuleFilesChecked    int `json:"rule_files_checked"`
+	MetricFilesComputed int `json:"metric_files_computed"`
+}
+
+// AssessResponse answers POST /assess.
+type AssessResponse struct {
+	Summary Summary `json:"summary"`
+}
+
+// DeltaResponse answers POST /delta.
+type DeltaResponse struct {
+	Summary Summary    `json:"summary"`
+	Delta   DeltaStats `json:"delta"`
+}
+
+// TopicRow is one verdict row of the report tables.
+type TopicRow struct {
+	Table      string `json:"table"`
+	Item       int    `json:"item"`
+	Name       string `json:"name"`
+	Verdict    string `json:"verdict"`
+	Violations int    `json:"violations"`
+	Effort     string `json:"effort"`
+	Evidence   string `json:"evidence"`
+	Gap        bool   `json:"gap"`
+}
+
+// ObservationRow is one numbered observation.
+type ObservationRow struct {
+	Number   int    `json:"number"`
+	Text     string `json:"text"`
+	Evidence string `json:"evidence"`
+}
+
+// ModuleRow summarizes one module's metrics.
+type ModuleRow struct {
+	Name      string `json:"name"`
+	Files     int    `json:"files"`
+	LOC       int    `json:"loc"`
+	NLOC      int    `json:"nloc"`
+	Functions int    `json:"functions"`
+	MaxCCN    int    `json:"max_ccn"`
+}
+
+// ReportResponse answers GET /report.
+type ReportResponse struct {
+	Summary      Summary          `json:"summary"`
+	Coding       []TopicRow       `json:"coding"`
+	Arch         []TopicRow       `json:"arch"`
+	Unit         []TopicRow       `json:"unit"`
+	Observations []ObservationRow `json:"observations"`
+	Modules      []ModuleRow      `json:"modules"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AssessRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	name := req.Corpus
+	if name == "" {
+		name = "default"
+	}
+	asil := iso26262.ASILD
+	if req.ASIL != "" {
+		var err error
+		if asil, err = iso26262.ParseASIL(req.ASIL); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.TargetASIL = asil
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	a := core.NewAssessor(cfg)
+	switch {
+	case len(req.Files) > 0:
+		fs := srcfile.NewFileSet()
+		for _, p := range sortedKeys(req.Files) {
+			fs.AddSource(p, req.Files[p])
+		}
+		if err := a.LoadFileSet(fs); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+	case req.Dir != "":
+		if !s.AllowDir {
+			writeErr(w, http.StatusForbidden, "directory ingest is disabled on this server")
+			return
+		}
+		if err := a.LoadDir(req.Dir); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+	case req.Generate:
+		if err := a.LoadDefaultCorpus(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "one of files, dir, or generate is required")
+		return
+	}
+
+	st := &corpusState{a: a}
+	st.mu.Lock()
+	s.mu.Lock()
+	s.corpora[name] = st
+	s.mu.Unlock()
+	as := a.Assess()
+	resp := AssessResponse{Summary: summarize(name, a, as)}
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DeltaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	st, name, ok := s.corpus(req.Corpus)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
+		return
+	}
+	if len(req.Changed) == 0 && len(req.Removed) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty delta")
+		return
+	}
+	d := core.Delta{Removed: req.Removed}
+	for _, p := range sortedKeys(req.Changed) {
+		d.Changed = append(d.Changed, &srcfile.File{Path: p, Src: req.Changed[p]})
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	res, err := st.a.ApplyDelta(d)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	as := st.a.Assess()
+	writeJSON(w, http.StatusOK, DeltaResponse{
+		Summary: summarize(name, st.a, as),
+		Delta: DeltaStats{
+			Parsed:              res.Parsed,
+			Unchanged:           res.Unchanged,
+			Removed:             res.Removed,
+			RuleFilesChecked:    st.a.RuleFilesChecked(),
+			MetricFilesComputed: st.a.MetricFilesComputed(),
+		},
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st, name, ok := s.corpus(r.URL.Query().Get("corpus"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.a
+	as := a.Assess()
+	resp := ReportResponse{
+		Summary:      summarize(name, a, as),
+		Coding:       topicRows("coding", as.Coding, as.Target),
+		Arch:         topicRows("arch", as.Arch, as.Target),
+		Unit:         topicRows("unit", as.Unit, as.Target),
+		Observations: make([]ObservationRow, 0, len(as.Observations)),
+		Modules:      make([]ModuleRow, 0, len(a.Metrics().Modules)),
+	}
+	for _, o := range as.Observations {
+		resp.Observations = append(resp.Observations, ObservationRow{o.Number, o.Text, o.Evidence})
+	}
+	for _, m := range a.Metrics().Modules {
+		resp.Modules = append(resp.Modules, ModuleRow{m.Name, m.Files, m.LOC, m.NLOC, m.Functions, m.MaxCCN})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// corpus resolves a (possibly empty) corpus name.
+func (s *Server) corpus(name string) (*corpusState, string, bool) {
+	if name == "" {
+		name = "default"
+	}
+	s.mu.Lock()
+	st, ok := s.corpora[name]
+	s.mu.Unlock()
+	return st, name, ok
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func summarize(name string, a *core.Assessor, as *core.Assessment) Summary {
+	fw := a.Metrics()
+	st := a.Stats()
+	byRule := make(map[string]int, len(st.ByRule))
+	for r, n := range st.ByRule {
+		byRule[r] = n
+	}
+	return Summary{
+		Corpus:    name,
+		Target:    as.Target.String(),
+		Files:     len(fw.Files),
+		LOC:       fw.TotalLOC,
+		Functions: fw.TotalFunc,
+		Findings:  st.Total,
+		Gaps:      len(as.Gaps()),
+		ByRule:    byRule,
+	}
+}
+
+func topicRows(table string, tas []iso26262.TopicAssessment, target iso26262.ASIL) []TopicRow {
+	out := make([]TopicRow, 0, len(tas))
+	for _, ta := range tas {
+		out = append(out, TopicRow{
+			Table:      table,
+			Item:       ta.Topic.Item,
+			Name:       ta.Topic.Name,
+			Verdict:    ta.Verdict.String(),
+			Violations: ta.Violations,
+			Effort:     ta.Effort.String(),
+			Evidence:   ta.Evidence,
+			Gap:        ta.Gap(target),
+		})
+	}
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,243 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	ts := httptest.NewServer(service.New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, buf.String())
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func getJSON(t *testing.T, url string, out interface{}) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, buf.String())
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// smallCorpus is a deterministic inline corpus for API tests.
+func smallCorpus() map[string]string {
+	return map[string]string{
+		"m/a.c": "int ga;\nint fa(int x) { if (x > 0) { return 1; } return 0; }\n",
+		"m/b.c": "int fb(int x) { while (x > 0) { x--; } return x; }\n",
+		"n/c.c": "void fc(void) { fb(3); }\n",
+	}
+}
+
+func TestAssessDeltaReportRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+
+	var ar service.AssessResponse
+	code, body := postJSON(t, ts.URL+"/assess",
+		service.AssessRequest{Corpus: "c1", Files: smallCorpus()}, &ar)
+	if code != http.StatusOK {
+		t.Fatalf("/assess = %d: %s", code, body)
+	}
+	if ar.Summary.Files != 3 || ar.Summary.Functions != 3 {
+		t.Fatalf("summary = %+v", ar.Summary)
+	}
+	if ar.Summary.ByRule["global-var"] != 1 {
+		t.Errorf("global-var findings = %d, want 1", ar.Summary.ByRule["global-var"])
+	}
+
+	// Delta: edit one file; the engine should re-check only it (the edit
+	// keeps signatures and globals stable).
+	var dr service.DeltaResponse
+	code, body = postJSON(t, ts.URL+"/delta", service.DeltaRequest{
+		Corpus: "c1",
+		Changed: map[string]string{
+			"m/b.c": "int fb(int x) { do { x--; } while (x > 0); goto done;\ndone:\n  return x; }\n",
+		},
+	}, &dr)
+	if code != http.StatusOK {
+		t.Fatalf("/delta = %d: %s", code, body)
+	}
+	if dr.Delta.Parsed != 1 || dr.Delta.RuleFilesChecked != 1 || dr.Delta.MetricFilesComputed != 1 {
+		t.Fatalf("delta stats = %+v, want 1/1/1", dr.Delta)
+	}
+	if dr.Summary.ByRule["goto"] != 1 {
+		t.Errorf("goto findings after delta = %d, want 1", dr.Summary.ByRule["goto"])
+	}
+
+	// Report reflects the delta.
+	var rr service.ReportResponse
+	code, body = getJSON(t, ts.URL+"/report?corpus=c1", &rr)
+	if code != http.StatusOK {
+		t.Fatalf("/report = %d: %s", code, body)
+	}
+	if len(rr.Coding) != 8 || len(rr.Arch) != 7 || len(rr.Unit) != 10 {
+		t.Fatalf("report tables = %d/%d/%d", len(rr.Coding), len(rr.Arch), len(rr.Unit))
+	}
+	if len(rr.Observations) != 14 {
+		t.Fatalf("observations = %d", len(rr.Observations))
+	}
+	if rr.Summary.Findings != dr.Summary.Findings {
+		t.Errorf("report summary drifted from delta summary")
+	}
+
+	// Removal delta.
+	code, body = postJSON(t, ts.URL+"/delta", service.DeltaRequest{
+		Corpus:  "c1",
+		Removed: []string{"n/c.c"},
+	}, &dr)
+	if code != http.StatusOK {
+		t.Fatalf("/delta remove = %d: %s", code, body)
+	}
+	if dr.Summary.Files != 2 || dr.Delta.Removed != 1 {
+		t.Fatalf("after removal: %+v", dr)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Unknown corpus.
+	if code, _ := getJSON(t, ts.URL+"/report?corpus=nope", nil); code != http.StatusNotFound {
+		t.Errorf("report unknown corpus = %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/delta",
+		service.DeltaRequest{Corpus: "nope", Removed: []string{"x"}}, nil); code != http.StatusNotFound {
+		t.Errorf("delta unknown corpus = %d", code)
+	}
+
+	// Bad method.
+	if code, _ := getJSON(t, ts.URL+"/assess", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /assess = %d", code)
+	}
+
+	// Bad ASIL.
+	if code, _ := postJSON(t, ts.URL+"/assess",
+		service.AssessRequest{ASIL: "Z", Files: smallCorpus()}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad asil = %d", code)
+	}
+
+	// Empty corpus spec.
+	if code, _ := postJSON(t, ts.URL+"/assess", service.AssessRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty assess = %d", code)
+	}
+
+	// Dir ingest disabled by default.
+	if code, _ := postJSON(t, ts.URL+"/assess",
+		service.AssessRequest{Dir: "/tmp"}, nil); code != http.StatusForbidden {
+		t.Errorf("dir ingest = %d, want 403", code)
+	}
+
+	// Empty delta.
+	postJSON(t, ts.URL+"/assess", service.AssessRequest{Corpus: "e", Files: smallCorpus()}, nil)
+	if code, _ := postJSON(t, ts.URL+"/delta", service.DeltaRequest{Corpus: "e"}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty delta = %d", code)
+	}
+}
+
+// TestConcurrentClients exercises the incremental path under concurrent
+// load: parallel deltas and reports against shared and distinct corpora
+// (run under -race in CI). Responses must stay internally consistent.
+func TestConcurrentClients(t *testing.T) {
+	ts := newTestServer(t)
+
+	for _, name := range []string{"shared", "solo-0", "solo-1"} {
+		code, body := postJSON(t, ts.URL+"/assess",
+			service.AssessRequest{Corpus: name, Files: smallCorpus()}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("assess %s = %d: %s", name, code, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			corpus := "shared"
+			if c < 2 {
+				corpus = fmt.Sprintf("solo-%d", c)
+			}
+			for i := 0; i < 6; i++ {
+				var dr service.DeltaResponse
+				code, body := postJSON(t, ts.URL+"/delta", service.DeltaRequest{
+					Corpus: corpus,
+					Changed: map[string]string{
+						"m/b.c": fmt.Sprintf(
+							"int fb(int x) { while (x > %d) { x--; } return x; }\n", c*100+i),
+					},
+				}, &dr)
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("client %d delta %d = %d: %s", c, i, code, body)
+					return
+				}
+				if dr.Summary.Files != 3 {
+					errc <- fmt.Errorf("client %d: summary files = %d", c, dr.Summary.Files)
+					return
+				}
+				var rr service.ReportResponse
+				code, body = getJSON(t, ts.URL+"/report?corpus="+corpus, &rr)
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("client %d report %d = %d: %s", c, i, code, body)
+					return
+				}
+				if len(rr.Observations) != 14 {
+					errc <- fmt.Errorf("client %d: observations = %d", c, len(rr.Observations))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

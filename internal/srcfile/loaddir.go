@@ -1,0 +1,128 @@
+package srcfile
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadOptions filters a directory ingest.
+type LoadOptions struct {
+	// MaxFileSize skips files larger than this many bytes; 0 means the
+	// default of 4 MiB (generated or vendored blobs, not source).
+	MaxFileSize int64
+	// SkipDirs are directory base names pruned from the walk; nil means
+	// DefaultSkipDirs. An explicit empty non-nil slice prunes nothing.
+	SkipDirs []string
+	// Exts is the accepted extension set (lower-case, with dot); nil
+	// means DefaultSourceExts.
+	Exts []string
+	// Module forces every loaded file into one module; empty derives the
+	// module from the first path segment as usual.
+	Module string
+}
+
+// DefaultSkipDirs are the directory names LoadDir prunes by default:
+// VCS metadata and common build/vendor output.
+func DefaultSkipDirs() []string {
+	return []string{".git", ".svn", ".hg", "build", "bazel-out", "node_modules", "third_party"}
+}
+
+// DefaultSourceExts are the C/C++/CUDA extensions LoadDir accepts by
+// default.
+func DefaultSourceExts() []string {
+	return []string{".c", ".h", ".cc", ".cpp", ".cxx", ".hpp", ".hh", ".cu", ".cuh"}
+}
+
+const defaultMaxFileSize = 4 << 20
+
+// LoadDir ingests a real on-disk source tree into a FileSet: every file
+// under root whose extension is in the accepted set becomes a corpus
+// file with a slash-separated root-relative path, language detected from
+// the extension (LanguageForPath). Oversized files and skipped
+// directories are silently pruned; unreadable files abort the load.
+// Files load in sorted path order, so the resulting corpus — and every
+// assessment derived from it — is deterministic for a given tree.
+func LoadDir(root string, opts LoadOptions) (*FileSet, error) {
+	maxSize := opts.MaxFileSize
+	if maxSize == 0 {
+		maxSize = defaultMaxFileSize
+	}
+	skip := opts.SkipDirs
+	if skip == nil {
+		skip = DefaultSkipDirs()
+	}
+	skipSet := make(map[string]bool, len(skip))
+	for _, d := range skip {
+		skipSet[d] = true
+	}
+	exts := opts.Exts
+	if exts == nil {
+		exts = DefaultSourceExts()
+	}
+	extSet := make(map[string]bool, len(exts))
+	for _, e := range exts {
+		extSet[strings.ToLower(e)] = true
+	}
+
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, fmt.Errorf("srcfile: load %s: %w", root, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("srcfile: load %s: not a directory", root)
+	}
+
+	var paths []string
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if p != root && skipSet[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		if !extSet[strings.ToLower(filepath.Ext(p))] {
+			return nil
+		}
+		if fi, err := d.Info(); err != nil {
+			return err
+		} else if fi.Size() > maxSize {
+			return nil
+		}
+		paths = append(paths, p)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("srcfile: load %s: %w", root, err)
+	}
+	sort.Strings(paths)
+
+	out := NewFileSet()
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("srcfile: load %s: %w", root, err)
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return nil, fmt.Errorf("srcfile: load %s: %w", root, err)
+		}
+		f := &File{
+			Path:   filepath.ToSlash(rel),
+			Module: opts.Module,
+			Src:    string(src),
+		}
+		f.Lang = LanguageForPath(f.Path)
+		out.Add(f)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package srcfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes path→content pairs under a temp root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for p, src := range files {
+		dst := filepath.Join(root, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"perception/detector.cc":  "int detect() { return 0; }\n",
+		"perception/kernel.cu":    "__global__ void k() {}\n",
+		"planning/planner.c":      "int plan;\n",
+		"planning/planner.h":      "extern int plan;\n",
+		"docs/readme.md":          "not source\n",
+		".git/objects/aa/bb.c":    "int vcs;\n",
+		"build/gen.cc":            "int generated;\n",
+		"third_party/vendored.c":  "int vendored;\n",
+		"perception/notes.txt":    "skip me\n",
+		"perception/deep/util.hh": "struct U {};\n",
+	})
+
+	fs, err := LoadDir(root, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"perception/deep/util.hh",
+		"perception/detector.cc",
+		"perception/kernel.cu",
+		"planning/planner.c",
+		"planning/planner.h",
+	}
+	if fs.Len() != len(want) {
+		var got []string
+		for _, f := range fs.Files() {
+			got = append(got, f.Path)
+		}
+		t.Fatalf("loaded %d files %v, want %d", fs.Len(), got, len(want))
+	}
+	for i, p := range want {
+		if fs.Files()[i].Path != p {
+			t.Errorf("file %d = %q, want %q (sorted order)", i, fs.Files()[i].Path, p)
+		}
+	}
+	if fs.Lookup("perception/kernel.cu").Lang != LangCUDA {
+		t.Error("CUDA language not detected")
+	}
+	if fs.Lookup("planning/planner.c").Lang != LangC {
+		t.Error("C language not detected")
+	}
+	if fs.Lookup("planning/planner.h").Lang != LangHeader {
+		t.Error("header language not detected")
+	}
+	mods := fs.Modules()
+	if len(mods) != 2 || mods[0] != "perception" || mods[1] != "planning" {
+		t.Errorf("modules = %v", mods)
+	}
+}
+
+func TestLoadDirFilters(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"m/small.c": "int s;\n",
+		"m/big.c":   strings.Repeat("// padding\n", 64),
+	})
+	fs, err := LoadDir(root, LoadOptions{MaxFileSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 1 || fs.Lookup("m/small.c") == nil {
+		t.Errorf("size filter: loaded %d files", fs.Len())
+	}
+
+	// Restricting extensions.
+	fs, err = LoadDir(root, LoadOptions{Exts: []string{".cu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 0 {
+		t.Errorf("ext filter: loaded %d files, want 0", fs.Len())
+	}
+
+	// Module override.
+	fs, err = LoadDir(root, LoadOptions{Module: "ingest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs.Files() {
+		if f.ModuleName() != "ingest" {
+			t.Errorf("module override: %q", f.ModuleName())
+		}
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing"), LoadOptions{}); err == nil {
+		t.Error("missing root must error")
+	}
+	file := filepath.Join(t.TempDir(), "f.c")
+	if err := os.WriteFile(file, []byte("int x;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(file, LoadOptions{}); err == nil {
+		t.Error("non-directory root must error")
+	}
+}

@@ -95,6 +95,13 @@ type File struct {
 	Lang Language
 	// Src is the file content.
 	Src string
+
+	// hashVal memoizes Hash over hashSrc: Go string equality fast-paths
+	// on identical headers, so repeated hashing of an unmodified file is
+	// O(1). hashOK distinguishes "never hashed" from a legitimate zero.
+	hashVal uint64
+	hashSrc string
+	hashOK  bool
 }
 
 // ModuleName returns the explicit module, or the first path segment.
@@ -111,7 +118,32 @@ func (f *File) ModuleName() string {
 // Base returns the file name without directories.
 func (f *File) Base() string { return path.Base(f.Path) }
 
-// LineCount returns the number of physical lines in the file.
+// Hash returns the FNV-1a content hash of the file. The incremental
+// pipeline keys per-file caches (parse results, rule findings, metrics
+// rows) on it, so two files with identical content share cache entries
+// and an in-place edit is detected by a hash mismatch. The hash is
+// memoized per content; like the rest of File, Hash is not safe for
+// unsynchronized concurrent mutation.
+func (f *File) Hash() uint64 {
+	if f.hashOK && f.hashSrc == f.Src {
+		return f.hashVal
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(f.Src); i++ {
+		h ^= uint64(f.Src[i])
+		h *= prime64
+	}
+	f.hashVal, f.hashSrc, f.hashOK = h, f.Src, true
+	return h
+}
+
+// LineCount returns the number of physical lines in the file. A final
+// line without a trailing newline still counts; CRLF terminators count
+// once (the count follows '\n').
 func (f *File) LineCount() int {
 	if f.Src == "" {
 		return 0
@@ -123,7 +155,8 @@ func (f *File) LineCount() int {
 	return n
 }
 
-// Line returns the 1-based line text (without newline), or "" out of range.
+// Line returns the 1-based line text (without the newline and without a
+// trailing '\r' from CRLF input), or "" out of range.
 func (f *File) Line(n int) string {
 	if n < 1 {
 		return ""
@@ -133,16 +166,24 @@ func (f *File) Line(n int) string {
 	for i := 0; i < len(f.Src); i++ {
 		if f.Src[i] == '\n' {
 			if cur == n {
-				return f.Src[start:i]
+				return trimCR(f.Src[start:i])
 			}
 			cur++
 			start = i + 1
 		}
 	}
-	if cur == n {
-		return f.Src[start:]
+	if cur == n && start < len(f.Src) {
+		return trimCR(f.Src[start:])
 	}
 	return ""
+}
+
+// trimCR drops one trailing carriage return (CRLF line endings).
+func trimCR(s string) string {
+	if strings.HasSuffix(s, "\r") {
+		return s[:len(s)-1]
+	}
+	return s
 }
 
 // FileSet is an ordered collection of files forming a corpus.
@@ -177,6 +218,22 @@ func (fs *FileSet) Add(f *File) *File {
 // AddSource is a convenience wrapper building a File from path and content.
 func (fs *FileSet) AddSource(path, src string) *File {
 	return fs.Add(&File{Path: path, Lang: LanguageForPath(path), Src: src})
+}
+
+// Remove deletes the file at path, preserving the order of the rest.
+// It reports whether a file was removed.
+func (fs *FileSet) Remove(path string) bool {
+	if _, ok := fs.byPath[path]; !ok {
+		return false
+	}
+	delete(fs.byPath, path)
+	for i, f := range fs.files {
+		if f.Path == path {
+			fs.files = append(fs.files[:i], fs.files[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
 // Lookup returns the file at path, or nil.

@@ -64,6 +64,103 @@ func TestLineCountAndLine(t *testing.T) {
 	}
 }
 
+// Regression: CRLF files must report the same line count and line text
+// as their LF twins — the '\r' is a terminator byte, not line content
+// (findings and NLOC metrics read these everywhere).
+func TestLineCRLF(t *testing.T) {
+	crlf := &File{Src: "one\r\ntwo\r\nthree\r\n"}
+	if crlf.LineCount() != 3 {
+		t.Errorf("CRLF lines = %d, want 3", crlf.LineCount())
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := crlf.Line(i + 1); got != want {
+			t.Errorf("CRLF line %d = %q, want %q", i+1, got, want)
+		}
+	}
+	// No trailing newline after a CRLF body.
+	partial := &File{Src: "one\r\ntwo"}
+	if partial.LineCount() != 2 {
+		t.Errorf("partial CRLF lines = %d, want 2", partial.LineCount())
+	}
+	if partial.Line(1) != "one" || partial.Line(2) != "two" {
+		t.Errorf("partial CRLF lines = %q, %q", partial.Line(1), partial.Line(2))
+	}
+	// A file that is just a CR-terminated line.
+	cr := &File{Src: "only\r\n"}
+	if cr.LineCount() != 1 || cr.Line(1) != "only" {
+		t.Errorf("single CRLF line = %d, %q", cr.LineCount(), cr.Line(1))
+	}
+}
+
+// Regression: a line index one past the last line is out of range even
+// when the file ends with a newline (previously Line(count+1) returned
+// the same "" as a hypothetical empty line, but via the in-range path).
+func TestLinePastEnd(t *testing.T) {
+	f := &File{Src: "a\nb\n"}
+	if f.LineCount() != 2 {
+		t.Fatalf("lines = %d", f.LineCount())
+	}
+	if f.Line(3) != "" || f.Line(2) != "b" {
+		t.Errorf("line 3 = %q, line 2 = %q", f.Line(3), f.Line(2))
+	}
+	// Interior empty lines are real lines.
+	g := &File{Src: "a\n\nb"}
+	if g.LineCount() != 3 || g.Line(2) != "" || g.Line(3) != "b" {
+		t.Errorf("interior empty line: count=%d line2=%q line3=%q",
+			g.LineCount(), g.Line(2), g.Line(3))
+	}
+}
+
+// TotalLines must agree with per-file LineCount across mixed endings.
+func TestTotalLinesMixedEndings(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSource("a.c", "x\ny\n")     // 2
+	fs.AddSource("b.c", "x\r\ny")     // 2, no trailing newline
+	fs.AddSource("c.c", "")           // 0
+	fs.AddSource("d.c", "no newline") // 1
+	if fs.TotalLines() != 5 {
+		t.Errorf("total lines = %d, want 5", fs.TotalLines())
+	}
+}
+
+func TestFileHash(t *testing.T) {
+	a := &File{Path: "a.c", Src: "int x;"}
+	b := &File{Path: "b.c", Src: "int x;"}
+	c := &File{Path: "a.c", Src: "int y;"}
+	if a.Hash() != b.Hash() {
+		t.Error("identical content must hash equal regardless of path")
+	}
+	if a.Hash() == c.Hash() {
+		t.Error("different content must hash differently")
+	}
+	if (&File{}).Hash() != (&File{}).Hash() {
+		t.Error("empty hash must be stable")
+	}
+}
+
+func TestFileSetRemove(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSource("a.c", "int a;")
+	fs.AddSource("b.c", "int b;")
+	fs.AddSource("c.c", "int c;")
+	if !fs.Remove("b.c") {
+		t.Fatal("Remove(b.c) = false")
+	}
+	if fs.Remove("b.c") {
+		t.Error("second Remove must report false")
+	}
+	if fs.Len() != 2 || fs.Lookup("b.c") != nil {
+		t.Errorf("len = %d after remove", fs.Len())
+	}
+	paths := []string{}
+	for _, f := range fs.Files() {
+		paths = append(paths, f.Path)
+	}
+	if paths[0] != "a.c" || paths[1] != "c.c" {
+		t.Errorf("order after remove = %v", paths)
+	}
+}
+
 func TestFileSetAddLookup(t *testing.T) {
 	fs := NewFileSet()
 	fs.AddSource("m/a.c", "int x;")
