@@ -15,6 +15,7 @@ import (
 	"repro/internal/ccparse"
 	"repro/internal/cinterp"
 	"repro/internal/core"
+	"repro/internal/corpusgen"
 	"repro/internal/coverage"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
@@ -185,6 +186,87 @@ func BenchmarkDeltaAssess(b *testing.B) {
 			}
 			if as := a.Assess(); len(as.Observations) != 14 {
 				b.Fatal("observations")
+			}
+		}
+	})
+}
+
+// BenchmarkGeneratedScale measures the pipeline on corpusgen-generated
+// trees far beyond the calibrated Apollo corpus: 1k and 10k files with
+// injected ground-truth violations (the first at-scale numbers in
+// BENCH_pipeline.json). "cold" is LoadFileSet + full Assess; the
+// "delta-1file" variant applies a warm one-file edit to the 10k corpus
+// and re-assesses, which is the serving path's steady state at scale.
+func BenchmarkGeneratedScale(b *testing.B) {
+	scales := []struct {
+		name   string
+		params corpusgen.Params
+	}{
+		// 10 modules × (99 C++ + 1 CUDA) = 1,000 files.
+		{"1k-files-cold", corpusgen.Params{Modules: 10, FilesPerModule: 99,
+			FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}},
+		// 20 modules × (499 C++ + 1 CUDA) = 10,000 files.
+		{"10k-files-cold", corpusgen.Params{Modules: 20, FilesPerModule: 499,
+			FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}},
+	}
+	for _, sc := range scales {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			gen := corpusgen.New(sc.params, 26262)
+			fs := gen.FileSet()
+			bytes := 0
+			for _, f := range fs.Files() {
+				bytes += len(f.Src)
+			}
+			want := gen.Manifest().Total() // hoisted: Manifest() deep-copies
+			b.SetBytes(int64(bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := core.NewAssessor(core.DefaultConfig())
+				if err := a.LoadFileSet(gen.FileSet()); err != nil {
+					b.Fatal(err)
+				}
+				if n := len(a.Findings()); n < want {
+					b.Fatalf("findings %d < manifest %d", n, want)
+				}
+			}
+		})
+	}
+
+	b.Run("10k-files-delta-1file", func(b *testing.B) {
+		gen := corpusgen.New(corpusgen.Params{Modules: 20, FilesPerModule: 499,
+			FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}, 26262)
+		a := core.NewAssessor(core.DefaultConfig())
+		if err := a.LoadFileSet(gen.FileSet()); err != nil {
+			b.Fatal(err)
+		}
+		a.Findings()
+		victim := gen.Paths()[len(gen.Paths())/2]
+		base := gen.Source(victim)
+		// Both variants define the same probe name so the cross-file
+		// environment signature stays stable and iterations measure the
+		// steady-state incremental path.
+		variant := func(i int) string {
+			if i%2 == 0 {
+				return base + "\nfloat ScaleProbe(float x, int m) { if (m > 1) { x = x + 1.0f; } return x; }\n"
+			}
+			return base + "\nfloat ScaleProbe(float x, int m) { while (x > 0.5f * m) { x = x - 1.0f; } return x; }\n"
+		}
+		// Warm-up: the probe's first appearance changes the cross-file
+		// environment signature and forces one full re-check.
+		if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+			Path: victim, Src: variant(1)}}}); err != nil {
+			b.Fatal(err)
+		}
+		a.Findings()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+				Path: victim, Src: variant(i)}}}); err != nil {
+				b.Fatal(err)
+			}
+			if len(a.Findings()) == 0 {
+				b.Fatal("no findings")
 			}
 		}
 	})

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	adserve [-addr :8080] [-allow-dir]
+//	adserve [-addr :8080] [-allow-dir] [-max-body bytes]
 //
 // Endpoints (see internal/service):
 //
@@ -12,6 +12,7 @@
 //	POST /assess  {"corpus":"c1","generate":true,"seed":26262}       generated corpus
 //	POST /delta   {"corpus":"c1","changed":{"m/a.c":"..."},"removed":["m/b.c"]}
 //	GET  /report?corpus=c1                                           full report
+//	GET  /findings?corpus=c1                                         every finding
 //	GET  /healthz                                                    liveness
 package main
 
@@ -40,13 +41,19 @@ func run() error {
 	addrFlag := flag.String("addr", ":8080", "listen address")
 	allowDirFlag := flag.Bool("allow-dir", false,
 		"allow POST /assess to load server-side directories via \"dir\"")
+	maxBodyFlag := flag.Int64("max-body", service.DefaultMaxBody,
+		"maximum request body size in bytes")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
 	}
+	if *maxBodyFlag <= 0 {
+		return fmt.Errorf("-max-body must be positive (got %d)", *maxBodyFlag)
+	}
 
 	svc := service.New()
 	svc.AllowDir = *allowDirFlag
+	svc.MaxBody = *maxBodyFlag
 	srv := &http.Server{
 		Addr:              *addrFlag,
 		Handler:           svc.Handler(),

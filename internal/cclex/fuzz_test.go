@@ -1,0 +1,68 @@
+package cclex_test
+
+import (
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/cclex"
+)
+
+// fuzzSeeds returns representative real inputs: hand-written YOLO C, the
+// CUDA stencil kernels, the Figure 4 excerpt, and a slice of the
+// generated Apollo-like corpus, plus adversarial fragments for every
+// token class the lexer special-cases.
+func fuzzSeeds() []string {
+	seeds := []string{
+		"",
+		"int main() { return 0; }\n",
+		"/* unterminated",
+		"// line comment without newline",
+		"\"unterminated string",
+		"'c' 'unterminated",
+		"0x 0b 0755 1e+ 1.5e-3f 0xZZ 08 .5f",
+		"a<<<b, c>>>(d); x >>= 2; y <<= 1;",
+		"#include <weird\nint x = L\"wide\";",
+		"...\xff\xfe\x00...",
+		"int a = 1 /*/ 2;",
+		"R\"(raw)\" u8\"s\" L'x'",
+	}
+	seeds = append(seeds, apollocorpus.ScaleBiasSample().Src)
+	for _, f := range apollocorpus.YoloCorpus().Files() {
+		seeds = append(seeds, f.Src)
+	}
+	for _, f := range apollocorpus.StencilCorpus().Files() {
+		seeds = append(seeds, f.Src)
+	}
+	// A couple of generated Apollo-like files (C++ and CUDA).
+	gen := apollocorpus.GenerateDefault().Files()
+	for i := 0; i < len(gen) && i < 4; i++ {
+		seeds = append(seeds, gen[i].Src)
+	}
+	return seeds
+}
+
+// FuzzLex feeds arbitrary bytes through the lexer in both plain-C++ and
+// CUDA modes and with comment retention on, asserting it terminates
+// without panicking and that every token's position stays within the
+// input.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, cuda := range []bool{false, true} {
+			lx := cclex.New(src)
+			lx.CUDA = cuda
+			lx.KeepComments = true
+			toks := lx.All()
+			for _, tok := range toks {
+				if tok.Line < 1 || tok.Col < 1 {
+					t.Fatalf("token %v at invalid position %d:%d", tok.Kind, tok.Line, tok.Col)
+				}
+			}
+			if len(toks) > len(src)+1 {
+				t.Fatalf("lexer produced %d tokens from %d bytes", len(toks), len(src))
+			}
+		}
+	})
+}

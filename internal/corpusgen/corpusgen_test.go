@@ -1,0 +1,202 @@
+package corpusgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ccparse"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+)
+
+// parseAll parses a generated corpus, failing the test on any parse error
+// (generated sources must be clean input for the frontend).
+func parseAll(t *testing.T, fs *srcfile.FileSet) *rules.Context {
+	t.Helper()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("generated corpus has parse errors: %v (of %d)", errs[0], len(errs))
+	}
+	return rules.NewContext(units)
+}
+
+// toExpects projects engine findings onto the manifest key space.
+func toExpects(fs []rules.Finding) []Expect {
+	out := make([]Expect, len(fs))
+	for i, f := range fs {
+		out[i] = Expect{Rule: f.RuleID, Path: f.File, Line: f.Line}
+	}
+	return out
+}
+
+// diffMultiset compares two expectation multisets and returns a
+// human-readable diff ("" when equal).
+func diffMultiset(got, want []Expect) string {
+	count := make(map[Expect]int)
+	for _, e := range want {
+		count[e]++
+	}
+	var extra []string
+	for _, e := range got {
+		if count[e] > 0 {
+			count[e]--
+			continue
+		}
+		extra = append(extra, e.String())
+	}
+	var missing []string
+	for e, n := range count {
+		for i := 0; i < n; i++ {
+			missing = append(missing, e.String())
+		}
+	}
+	if len(extra) == 0 && len(missing) == 0 {
+		return ""
+	}
+	sort.Strings(extra)
+	sort.Strings(missing)
+	return fmt.Sprintf("unexpected findings (%d): %v\nmissing findings (%d): %v",
+		len(extra), extra, len(missing), missing)
+}
+
+// TestCleanBaseHasNoFindings pins generator invariant 1: with no injected
+// violations and no CUDA template, the corpus is finding-free under the
+// full default rule set.
+func TestCleanBaseHasNoFindings(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		// Zero ViolationsPerFile/CUDAFiles are honored (withDefaults only
+		// fills negative counts).
+		g := New(Params{Modules: 3, FilesPerModule: 3, FuncsPerFile: 6,
+			FanOut: 3, MaxDepth: 3, CUDAFiles: 0, ViolationsPerFile: 0}, seed)
+		ctx := parseAll(t, g.FileSet())
+		fs := rules.RunSequential(ctx, rules.DefaultRules())
+		if len(fs) != 0 {
+			var lines []string
+			for i, f := range fs {
+				if i >= 10 {
+					lines = append(lines, "...")
+					break
+				}
+				lines = append(lines, f.String())
+			}
+			t.Fatalf("seed %d: clean base produced %d findings:\n%s",
+				seed, len(fs), strings.Join(lines, "\n"))
+		}
+	}
+}
+
+// TestOracleExact pins generator invariant 2: the engine's findings over
+// a generated corpus equal the manifest exactly, as a multiset of
+// (rule, file, line).
+func TestOracleExact(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := New(DefaultParams(), seed)
+		ctx := parseAll(t, g.FileSet())
+		got := toExpects(rules.RunSequential(ctx, rules.DefaultRules()))
+		if d := diffMultiset(got, g.Manifest().All()); d != "" {
+			t.Fatalf("seed %d: oracle mismatch:\n%s", seed, d)
+		}
+	}
+}
+
+// TestDeterministicReplay: same params + seed → byte-identical corpus and
+// identical manifest, including after the same mutation count.
+func TestDeterministicReplay(t *testing.T) {
+	gen := func() (*Generator, []Mutation) {
+		g := New(DefaultParams(), 42)
+		var muts []Mutation
+		for i := 0; i < 12; i++ {
+			muts = append(muts, g.Mutate())
+		}
+		return g, muts
+	}
+	g1, m1 := gen()
+	g2, m2 := gen()
+	if len(m1) != len(m2) {
+		t.Fatal("mutation count drifted")
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("mutation %d drifted: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+	p1, p2 := g1.Paths(), g2.Paths()
+	if len(p1) != len(p2) {
+		t.Fatalf("path count drifted: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] || g1.Source(p1[i]) != g2.Source(p2[i]) {
+			t.Fatalf("file %s drifted", p1[i])
+		}
+	}
+	if d := diffMultiset(g1.Manifest().All(), g2.Manifest().All()); d != "" {
+		t.Fatalf("manifest drifted:\n%s", d)
+	}
+}
+
+// TestMutateKeepsOracle applies a long random mutation sequence and
+// re-checks the oracle after every step.
+func TestMutateKeepsOracle(t *testing.T) {
+	g := New(Params{Modules: 2, FilesPerModule: 3, FuncsPerFile: 4,
+		ViolationsPerFile: 2, CUDAFiles: 1}, 7)
+	for step := 0; step < 25; step++ {
+		mut := g.Mutate()
+		ctx := parseAll(t, g.FileSet())
+		got := toExpects(rules.RunSequential(ctx, rules.DefaultRules()))
+		if d := diffMultiset(got, g.Manifest().All()); d != "" {
+			t.Fatalf("step %d (%s %s): oracle mismatch:\n%s", step, mut.Kind, mut.Path, d)
+		}
+	}
+	if g.Len() < 1 {
+		t.Fatal("corpus emptied")
+	}
+}
+
+// TestPathRoundTrip pins filePath/parsePath inversion, including
+// ordinals past the %03d print width (reachable at the 10k-file scale):
+// a lossy parse would make an edit mutation regenerate a file under a
+// colliding slug.
+func TestPathRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		mi, ord int
+		cuda    bool
+	}{{0, 0, false}, {3, 7, true}, {9, 999, false}, {12, 1000, false},
+		{19, 4321, true}, {101, 10000, false}} {
+		p := filePath(moduleName(tc.mi), tc.mi, tc.ord, tc.cuda)
+		mi, ord, cuda := parsePath(p)
+		if mi != tc.mi || ord != tc.ord || cuda != tc.cuda {
+			t.Errorf("parsePath(%q) = (%d,%d,%v), want (%d,%d,%v)",
+				p, mi, ord, cuda, tc.mi, tc.ord, tc.cuda)
+		}
+	}
+}
+
+// TestScaleKnobs sanity-checks that the scale parameters actually scale
+// the corpus.
+func TestScaleKnobs(t *testing.T) {
+	small := New(Params{Modules: 2, FilesPerModule: 2, FuncsPerFile: 2,
+		ViolationsPerFile: 1, CUDAFiles: 0}, 1)
+	big := New(Params{Modules: 4, FilesPerModule: 10, FuncsPerFile: 8,
+		ViolationsPerFile: 4, CUDAFiles: 2}, 1)
+	if small.Len() != 4 {
+		t.Fatalf("small corpus = %d files", small.Len())
+	}
+	if big.Len() != 4*12 {
+		t.Fatalf("big corpus = %d files", big.Len())
+	}
+	if big.Manifest().Total() <= small.Manifest().Total() {
+		t.Fatal("violation scale knob inert")
+	}
+	// Every injected rule ID must be a real rule.
+	known := make(map[string]bool)
+	for _, r := range rules.DefaultRules() {
+		known[r.ID()] = true
+	}
+	for rule := range big.Manifest().CountByRule() {
+		if !known[rule] {
+			t.Fatalf("manifest references unknown rule %q", rule)
+		}
+	}
+}

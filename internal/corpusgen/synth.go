@@ -1,0 +1,405 @@
+package corpusgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// emitter builds one file line by line, tracking the 1-based line number
+// so violation templates can register expectations at the exact line
+// they emit.
+type emitter struct {
+	sb      strings.Builder
+	line    int // number of lines emitted so far
+	path    string
+	expects []Expect
+}
+
+// emit writes one source line and records an expectation for each rule ID
+// passed (all at this line).
+func (e *emitter) emit(s string, ruleIDs ...string) {
+	e.sb.WriteString(s)
+	e.sb.WriteByte('\n')
+	e.line++
+	for _, r := range ruleIDs {
+		e.expects = append(e.expects, Expect{Rule: r, Path: e.path, Line: e.line})
+	}
+}
+
+// blank emits an empty line.
+func (e *emitter) blank() { e.emit("") }
+
+// synthFile generates one source file and its expected findings. Content
+// is a pure function of (params, module, slug, fileSeed): the generator's
+// main rng only hands out fileSeed values, so edits replay byte-identically
+// for a given master seed.
+func (g *Generator) synthFile(mod string, mi, ord int, cuda bool, fileSeed int64) (string, []Expect) {
+	rng := rand.New(rand.NewSource(fileSeed))
+	e := &emitter{path: filePath(mod, mi, ord, cuda)}
+	if cuda {
+		g.synthCUDA(e, mi, ord)
+		return e.sb.String(), e.expects
+	}
+
+	sl := slug(mi, ord)
+	e.emit(fmt.Sprintf("// Generated corpus file: module %s, slug %s.", mod, sl))
+	e.blank()
+
+	// Clean filler functions: unique CamelCase names, intra-file DAG
+	// fan-out (function i only calls functions j > i), zero findings.
+	names := make([]string, g.p.FuncsPerFile)
+	for i := range names {
+		names[i] = fillerName(rng, sl, i)
+	}
+	for i := range names {
+		g.cleanFunc(e, rng, names, i)
+		e.blank()
+	}
+
+	// Violation snippets, each registering its exact expected findings.
+	for v := 0; v < g.p.ViolationsPerFile; v++ {
+		g.injectViolation(e, rng, sl, names, v)
+		e.blank()
+	}
+	return e.sb.String(), e.expects
+}
+
+var fillerVerbs = []string{
+	"Process", "Estimate", "Track", "Fuse", "Filter", "Project", "Decode",
+	"Classify", "Segment", "Predict", "Plan", "Smooth", "Validate", "Update",
+}
+
+var fillerNouns = []string{
+	"Frame", "Obstacle", "Trajectory", "Lane", "Pose", "Cloud", "Grid",
+	"Anchor", "Feature", "Route", "Signal", "Boundary", "Velocity", "Tensor",
+}
+
+// fillerName builds a CamelCase, corpus-unique function name.
+func fillerName(rng *rand.Rand, sl string, i int) string {
+	return fmt.Sprintf("%s%s%sN%d",
+		fillerVerbs[rng.Intn(len(fillerVerbs))],
+		fillerNouns[rng.Intn(len(fillerNouns))], sl, i)
+}
+
+// cleanFunc emits one finding-free filler function. Properties enforced:
+// CCN <= 10, single exit, all params used, no casts or conversions, no
+// pointers, locals initialized, no shadowing, braces attached, lines
+// under 80 columns, calls only to higher-indexed same-file functions with
+// the result consumed.
+func (g *Generator) cleanFunc(e *emitter, rng *rand.Rand, names []string, idx int) {
+	e.emit(fmt.Sprintf("float %s(float scale, int mode, float seed) {", names[idx]))
+	e.emit("  float acc = seed + (0.5f * scale);")
+	e.emit("  float limit = scale * 4.0f;")
+	e.emit("  int idx = 0;")
+	// Two fixed statements guarantee every param and local is used.
+	e.emit(fmt.Sprintf("  if (mode > %d) {", rng.Intn(6)))
+	e.emit("    acc = acc + 1.0f;")
+	e.emit("  }")
+	e.emit("  if (acc > limit) {")
+	e.emit("    acc = acc - limit;")
+	e.emit("  }")
+	// Random clean statements within the remaining CCN budget (<= 10).
+	budget := 2 + rng.Intn(6) // decisions so far: 2; total stays <= 9
+	for budget > 0 {
+		budget -= g.cleanStmt(e, rng, 1, budget)
+	}
+	// Intra-file fan-out: call higher-indexed functions only (DAG).
+	if g.p.FanOut > 0 && idx+1 < len(names) {
+		n := rng.Intn(g.p.FanOut + 1)
+		for k := 1; k <= n && idx+k < len(names); k++ {
+			e.emit(fmt.Sprintf("  acc = acc + %s(acc, mode, 0.25f);", names[idx+k]))
+		}
+	}
+	e.emit("  return acc + (0.125f * idx);")
+	e.emit("}")
+}
+
+// cleanStmt emits one finding-free statement at the given nesting depth
+// and returns its CCN cost (bounded by max).
+func (g *Generator) cleanStmt(e *emitter, rng *rand.Rand, depth, max int) int {
+	ind := strings.Repeat("  ", depth)
+	k := rng.Intn(6)
+	switch {
+	case k == 0 && depth < g.p.MaxDepth && max >= 2:
+		// Nested if: recurse one level.
+		e.emit(fmt.Sprintf("%sif (mode > %d) {", ind, rng.Intn(8)))
+		inner := g.cleanStmt(e, rng, depth+1, max-1)
+		e.emit(ind + "}")
+		return 1 + inner
+	case k == 1:
+		e.emit(fmt.Sprintf("%sif (acc > %d.0f) {", ind, 1+rng.Intn(9)))
+		e.emit(ind + "  acc = acc - 0.5f;")
+		e.emit(ind + "} else {")
+		e.emit(ind + "  acc = acc + 0.5f;")
+		e.emit(ind + "}")
+		return 1
+	case k == 2:
+		e.emit(fmt.Sprintf("%sfor (idx = 0; idx < mode; idx = idx + 1) {", ind))
+		e.emit(ind + "  acc = acc + 0.25f;")
+		e.emit(ind + "}")
+		return 1
+	case k == 3:
+		e.emit(ind + "while (acc > limit) {")
+		e.emit(ind + "  acc = acc - limit;")
+		e.emit(ind + "}")
+		return 1
+	case k == 4 && max >= 2:
+		// Switch with default and fully-broken cases (MISRA-clean).
+		e.emit(ind + "switch (mode) {")
+		e.emit(ind + "case 0:")
+		e.emit(ind + "  acc = acc + 1.0f;")
+		e.emit(ind + "  break;")
+		e.emit(ind + "case 1:")
+		e.emit(ind + "  acc = acc - 1.0f;")
+		e.emit(ind + "  break;")
+		e.emit(ind + "default:")
+		e.emit(ind + "  acc = acc + 0.5f;")
+		e.emit(ind + "}")
+		return 2
+	default:
+		e.emit(fmt.Sprintf("%sif (mode > %d) {", ind, rng.Intn(8)))
+		e.emit(ind + "  acc = acc + 2.0f;")
+		e.emit(ind + "}")
+		return 1
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Violation templates
+
+// violationKind identifies one injectable template.
+type violationKind int
+
+const (
+	vComplexity violationKind = iota
+	vMultiExit
+	vGoto
+	vRecursion
+	vCast
+	vImplicitConv
+	vUninit
+	vShadow
+	vGlobalVar
+	vGlobalPtr
+	vPtrParam
+	vDefensiveDeref
+	vDefensiveIgnored
+	vUnion
+	vBannedCall
+	vMisraSwitch
+	vMisraOctal
+	vMisraAssign
+	vDynMem
+	vStyleLong
+	vStyleBrace
+	vNaming
+	numViolations
+)
+
+// injectViolation emits one randomly chosen violation snippet. Names
+// embed the slug and the snippet ordinal v so they never collide with
+// filler functions or other snippets.
+func (g *Generator) injectViolation(e *emitter, rng *rand.Rand, sl string, fillers []string, v int) {
+	kind := violationKind(rng.Intn(int(numViolations)))
+	if kind == vDefensiveIgnored && len(fillers) == 0 {
+		kind = vDynMem // needs a defined non-void callee
+	}
+	name := func(stem string) string { return fmt.Sprintf("%s%sV%d", stem, sl, v) }
+	lsl := strings.ToLower(sl)
+
+	switch kind {
+	case vComplexity:
+		ccn := 11 + rng.Intn(5)
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("HotPath")), "complexity")
+		e.emit("  float acc = scale;")
+		for i := 0; i < ccn-1; i++ {
+			e.emit(fmt.Sprintf("  if (mode > %d) {", i))
+			e.emit("    acc = acc + 1.0f;")
+			e.emit("  }")
+		}
+		e.emit("  return acc;")
+		e.emit("}")
+	case vMultiExit:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("EarlyExit")), "multi-exit")
+		e.emit("  if (mode > 3) {")
+		e.emit("    return scale;")
+		e.emit("  }")
+		e.emit("  return scale + 1.0f;")
+		e.emit("}")
+	case vGoto:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("JumpFlow")))
+		e.emit("  float status = 0.0f;")
+		e.emit("  if (mode > 0) {")
+		e.emit("    goto done;", "goto")
+		e.emit("  }")
+		e.emit("  status = scale;")
+		e.emit("done:")
+		e.emit("  return status;")
+		e.emit("}")
+	case vRecursion:
+		n := name("Spiral")
+		e.emit(fmt.Sprintf("float %s(float depth, int mode) {", n), "recursion")
+		e.emit("  float acc = depth;")
+		e.emit("  if (mode > 0) {")
+		e.emit(fmt.Sprintf("    acc = %s(acc, mode - 1);", n))
+		e.emit("  }")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vCast:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Quantize")))
+		e.emit("  float acc = scale * 2.0f;")
+		e.emit("  int bucket = (int)acc;", "cast")
+		e.emit("  acc = acc + (float)(bucket + mode);", "cast")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vImplicitConv:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Drift")))
+		e.emit("  float acc = scale + 1.0f;")
+		e.emit("  int approx = acc * 0.5f + mode;", "implicit-conv")
+		e.emit("  acc = acc + approx;")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vUninit:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Latent")))
+		e.emit("  float bias;")
+		e.emit("  float acc = bias * scale;", "uninit")
+		e.emit("  acc = acc + (0.5f * mode);")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vShadow:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Layer")))
+		e.emit("  float level = scale;")
+		e.emit("  if (mode > 1) {")
+		e.emit("    float level = scale + 1.0f;", "shadow")
+		e.emit("    level = level + 0.5f;")
+		e.emit("  }")
+		e.emit("  return level;")
+		e.emit("}")
+	case vGlobalVar:
+		e.emit(fmt.Sprintf("float g_%sv%d_state = 0.0f;", lsl, v), "global-var")
+	case vGlobalPtr:
+		e.emit(fmt.Sprintf("float* g_%sv%d_buf;", lsl, v), "global-var", "pointer")
+	case vPtrParam:
+		e.emit(fmt.Sprintf("float %s(const float* data, int mode) {", name("PeekSlot")), "pointer")
+		e.emit("  float acc = 0.5f * mode;")
+		e.emit("  if (data != 0) {")
+		e.emit("    acc = acc + data[0];")
+		e.emit("  }")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vDefensiveDeref:
+		e.emit(fmt.Sprintf("float %s(const float* data, int mode) {", name("RawRead")), "pointer")
+		e.emit("  float acc = 0.5f * mode;")
+		e.emit("  acc = acc + data[0];", "defensive")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vDefensiveIgnored:
+		e.emit(fmt.Sprintf("void %s(float scale, int mode) {", name("FireForget")))
+		e.emit(fmt.Sprintf("  %s(scale, mode, 0.5f);", fillers[0]), "defensive")
+		e.emit("}")
+	case vUnion:
+		e.emit(fmt.Sprintf("union RawWord%sV%d {", sl, v), "lang-subset")
+		e.emit("  int bits;")
+		e.emit("  float value;")
+		e.emit("};")
+	case vBannedCall:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Entropy")))
+		e.emit("  int noise = rand();", "lang-subset")
+		e.emit("  float acc = scale + (0.125f * (noise + mode));")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vMisraSwitch:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Selector")))
+		e.emit("  float acc = scale;")
+		e.emit("  switch (mode) {", "misra-extra")
+		e.emit("  case 0:")
+		e.emit("    acc = acc + 1.0f;")
+		e.emit("    break;")
+		e.emit("  case 1:")
+		e.emit("    acc = acc - 1.0f;")
+		e.emit("    break;")
+		e.emit("  }")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vMisraOctal:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("MaskBits")))
+		e.emit("  int mask = 0755;", "misra-extra")
+		e.emit("  float acc = scale + (0.5f * (mask + mode));")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vMisraAssign:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Pump")))
+		e.emit("  int level = mode;")
+		e.emit("  float acc = scale;")
+		e.emit("  while ((level = level - 1) > 0) {", "misra-extra")
+		e.emit("    acc = acc + 1.0f;")
+		e.emit("  }")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vDynMem:
+		e.emit(fmt.Sprintf("void %s(int mode) {", name("ReleasePool")))
+		e.emit("  if (mode > 0) {")
+		e.emit("    free(0);", "dynamic-memory")
+		e.emit("  }")
+		e.emit("}")
+	case vStyleLong:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode) {", name("Verbose")))
+		e.emit("  // calibration note: this deliberately exhaustive comment "+
+			"overruns the eighty-column style limit", "style")
+		e.emit("  float acc = scale + (0.5f * mode);")
+		e.emit("  return acc;")
+		e.emit("}")
+	case vStyleBrace:
+		e.emit(fmt.Sprintf("float %s(float scale, int mode)", name("Stacked")))
+		e.emit("{", "style")
+		e.emit("  float acc = scale + (0.5f * mode);")
+		e.emit("  return acc;")
+		e.emit("}")
+	default: // vNaming
+		e.emit(fmt.Sprintf("float probe_Mixer%sV%d(float scale, int mode) {", sl, v), "naming")
+		e.emit("  float acc = scale + (0.5f * mode);")
+		e.emit("  return acc;")
+		e.emit("}")
+	}
+}
+
+// synthCUDA emits a fixed CUDA template for a module: a kernel (no GPU
+// safety subset exists → lang-subset Info; pointer params dereferenced
+// unchecked → defensive), a host launcher (kernel launch → lang-subset
+// Violation), and a device allocator (cudaMalloc → dynamic-memory, plus
+// an explicit cast). Every finding is manifested.
+func (g *Generator) synthCUDA(e *emitter, mi, ord int) {
+	l := lowerSlug(mi, ord)
+	e.emit(fmt.Sprintf("// Generated CUDA file: slug %s.", l))
+	e.blank()
+	// Kernel: lang-subset (no GPU subset) at decl; two pointer params;
+	// both dereferenced without null checks (defensive ×2 at use line).
+	e.emit(fmt.Sprintf("__global__ void scale_kern_%s(float *o, float *b, int n, int size) {", l),
+		"lang-subset", "pointer", "pointer")
+	e.emit("  int i = blockIdx.x * blockDim.x + threadIdx.x;")
+	e.emit("  if (i < size) {")
+	e.emit("    o[i] = o[i] * b[n - n];", "defensive", "defensive")
+	e.emit("  }")
+	e.emit("}")
+	e.blank()
+	// Host launcher: pointer params (passed through, never dereferenced)
+	// and the kernel launch itself.
+	e.emit(fmt.Sprintf("void scale_gpu_%s(float *o, float *b, int n, int size) {", l),
+		"pointer", "pointer")
+	e.emit("  int blocks = (size - 1) / 256 + 1;")
+	e.emit(fmt.Sprintf("  scale_kern_%s<<<blocks, 256>>>(o, b, n, size);", l), "lang-subset")
+	e.emit("  cudaDeviceSynchronize();")
+	e.emit("}")
+	e.blank()
+	// Device allocator: pointer param and local, cudaMalloc with the
+	// canonical (void**) cast.
+	e.emit(fmt.Sprintf("float* make_buf_%s(float *x, int n) {", l), "pointer")
+	e.emit("  float *d;", "pointer")
+	e.emit("  cudaMalloc((void**)&d, n * 4);", "cast", "dynamic-memory")
+	e.emit("  if (x != 0) {")
+	e.emit("    cudaMemcpy(d, x, n * 4, 1);")
+	e.emit("  }")
+	e.emit("  return d;")
+	e.emit("}")
+}

@@ -1,0 +1,335 @@
+// Package difftest is the differential verification harness: it drives
+// randomly generated corpora (internal/corpusgen) and random delta
+// sequences through every engine path the repository offers —
+//
+//  1. the sequential reference engine (rules.RunSequential),
+//  2. the fused parallel engine (rules.Run),
+//  3. the warm incremental assessor (core.Assessor.ApplyDelta + Findings),
+//  4. the adserve HTTP service (POST /assess, POST /delta, GET /findings,
+//     GET /report),
+//
+// and asserts, at every step, that all four produce byte-identical
+// finding streams AND that those findings equal the generator's
+// injected-violation manifest (the ground-truth oracle). A (seed, steps,
+// params) triple replays deterministically, so any failure is a one-line
+// reproduction recipe.
+//
+// cmd/adfuzz is the CLI front end; TestDifferentialSmoke keeps a short
+// run in the tier-1 suite.
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"repro/internal/ccparse"
+	"repro/internal/core"
+	"repro/internal/corpusgen"
+	"repro/internal/rules"
+	"repro/internal/service"
+	"repro/internal/srcfile"
+)
+
+// Config parameterizes a differential run.
+type Config struct {
+	// Seed drives corpus generation and the mutation sequence.
+	Seed int64
+	// Steps is the number of mutation steps after the initial check.
+	// Zero verifies only the initial corpus; negative is treated as 0.
+	Steps int
+	// Params shapes the generated corpus (zero value → defaults).
+	Params corpusgen.Params
+	// HTTP includes the adserve service path (an in-process listener).
+	HTTP bool
+	// Logf, when set, receives per-step progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Result summarizes a successful run.
+type Result struct {
+	// Steps is the number of verified steps (initial state + mutations).
+	Steps int
+	// Files is the final corpus size.
+	Files int
+	// Findings is the final finding count.
+	Findings int
+	// Mutations counts applied mutations by kind.
+	Mutations map[corpusgen.MutationKind]int
+}
+
+// Run executes the differential harness, returning an error describing
+// the first divergence (with its reproduction coordinates) or nil when
+// every step verified.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Steps < 0 {
+		cfg.Steps = 0
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	gen := corpusgen.New(cfg.Params, cfg.Seed)
+
+	// Path 3: a warm assessor fed only deltas after the initial load.
+	warm := core.NewAssessor(core.DefaultConfig())
+	if err := warm.LoadFileSet(gen.FileSet()); err != nil {
+		return nil, fmt.Errorf("seed %d: initial load: %v", cfg.Seed, err)
+	}
+
+	// Path 4: the HTTP service, fed the same initial corpus and deltas.
+	var ts *httptest.Server
+	if cfg.HTTP {
+		svc := service.New()
+		// The initial /assess uploads the whole generated corpus in one
+		// body; at the 10k-file scale that exceeds the service's default
+		// cap, so the harness's in-process instance gets a generous one.
+		svc.MaxBody = 1 << 30
+		ts = httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		files := make(map[string]string, gen.Len())
+		for _, p := range gen.Paths() {
+			files[p] = gen.Source(p)
+		}
+		if err := postJSON(ts, "/assess", service.AssessRequest{Corpus: corpusName, Files: files}, nil); err != nil {
+			return nil, fmt.Errorf("seed %d: initial /assess: %v", cfg.Seed, err)
+		}
+	}
+
+	res := &Result{Mutations: make(map[corpusgen.MutationKind]int)}
+	nFindings := 0
+	for step := 0; step <= cfg.Steps; step++ {
+		if step > 0 {
+			mut := gen.Mutate()
+			res.Mutations[mut.Kind]++
+			if err := applyMutation(warm, ts, mut); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: apply %s %s: %v",
+					cfg.Seed, step, mut.Kind, mut.Path, err)
+			}
+			logf("step %2d: %-6s %s (%d files)", step, mut.Kind, mut.Path, gen.Len())
+		}
+		n, err := verifyStep(gen, warm, ts)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d step %d: %v", cfg.Seed, step, err)
+		}
+		nFindings = n
+		res.Steps++
+	}
+	res.Files = gen.Len()
+	res.Findings = nFindings
+	return res, nil
+}
+
+const corpusName = "adfuzz"
+
+// applyMutation mirrors one generator mutation into the warm assessor and
+// (when enabled) the HTTP service.
+func applyMutation(warm *core.Assessor, ts *httptest.Server, mut corpusgen.Mutation) error {
+	var d core.Delta
+	req := service.DeltaRequest{Corpus: corpusName}
+	if mut.Kind == corpusgen.MutRemove {
+		d.Removed = []string{mut.Path}
+		req.Removed = []string{mut.Path}
+	} else {
+		d.Changed = []*srcfile.File{{Path: mut.Path, Src: mut.Src}}
+		req.Changed = map[string]string{mut.Path: mut.Src}
+	}
+	if _, err := warm.ApplyDelta(d); err != nil {
+		return fmt.Errorf("warm ApplyDelta: %v", err)
+	}
+	if ts != nil {
+		if err := postJSON(ts, "/delta", req, nil); err != nil {
+			return fmt.Errorf("/delta: %v", err)
+		}
+	}
+	return nil
+}
+
+// verifyStep checks all engine paths against each other and against the
+// manifest for the generator's current corpus, returning the finding
+// count.
+func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, ts *httptest.Server) (int, error) {
+	// Paths 1+2: cold parse, then both in-process engines over one context.
+	fs := gen.FileSet()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		return 0, fmt.Errorf("generated corpus has parse errors: %v", errs[0])
+	}
+	ctx := rules.NewContext(units)
+	seq := rules.RunSequential(ctx, rules.DefaultRules())
+	fused := rules.Run(ctx, rules.DefaultRules())
+
+	seqBytes := canonical(seq)
+	if d := firstDiff(seqBytes, canonical(fused)); d != "" {
+		return 0, fmt.Errorf("fused engine diverges from sequential reference: %s", d)
+	}
+	if d := firstDiff(seqBytes, canonical(warm.Findings())); d != "" {
+		return 0, fmt.Errorf("warm incremental assessor diverges from sequential reference: %s", d)
+	}
+
+	// Path 4: the service's finding rows and full report.
+	if ts != nil {
+		var fr service.FindingsResponse
+		if err := getJSON(ts, "/findings?corpus="+corpusName, &fr); err != nil {
+			return 0, fmt.Errorf("/findings: %v", err)
+		}
+		httpBytes, err := json.Marshal(fr.Findings)
+		if err != nil {
+			return 0, err
+		}
+		if d := firstDiff(seqBytes, httpBytes); d != "" {
+			return 0, fmt.Errorf("HTTP /findings diverges from sequential reference: %s", d)
+		}
+		localReport, err := json.Marshal(service.BuildReport(corpusName, warm))
+		if err != nil {
+			return 0, err
+		}
+		httpReport, err := getRaw(ts, "/report?corpus="+corpusName)
+		if err != nil {
+			return 0, fmt.Errorf("/report: %v", err)
+		}
+		if d := firstDiff(localReport, bytes.TrimSpace(httpReport)); d != "" {
+			return 0, fmt.Errorf("HTTP /report diverges from warm assessor report: %s", d)
+		}
+	}
+
+	// Oracle: the findings must equal the injected-violation manifest.
+	if err := CheckOracle(seq, gen.Manifest()); err != nil {
+		return 0, err
+	}
+	return len(seq), nil
+}
+
+// canonical renders findings as canonical JSON via the service's wire
+// projection, so in-process engines and the HTTP path compare in the
+// same space (FindingRows always returns a non-nil slice, so an empty
+// stream is "[]" on both sides).
+func canonical(fs []rules.Finding) []byte {
+	b, err := json.Marshal(service.FindingRows(fs))
+	if err != nil {
+		panic(err) // plain data marshal cannot fail
+	}
+	return b
+}
+
+// firstDiff locates the first byte divergence and returns a short
+// context window ("" when equal).
+func firstDiff(a, b []byte) string {
+	if bytes.Equal(a, b) {
+		return ""
+	}
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	window := func(s []byte) string {
+		lo, hi := i-40, i+80
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		return string(s[lo:hi])
+	}
+	return fmt.Sprintf("byte %d (lengths %d vs %d):\n  a: …%s…\n  b: …%s…",
+		i, len(a), len(b), window(a), window(b))
+}
+
+// CheckOracle verifies that engine findings equal the manifest as a
+// multiset of (rule, file, line). The error lists the first few
+// unexpected and missing findings.
+func CheckOracle(fs []rules.Finding, man *corpusgen.Manifest) error {
+	want := make(map[corpusgen.Expect]int)
+	for _, e := range man.All() {
+		want[e]++
+	}
+	var extra []string
+	for i := range fs {
+		e := corpusgen.Expect{Rule: fs[i].RuleID, Path: fs[i].File, Line: fs[i].Line}
+		if want[e] > 0 {
+			want[e]--
+			continue
+		}
+		extra = append(extra, fs[i].String())
+	}
+	var missing []string
+	for e, n := range want {
+		for i := 0; i < n; i++ {
+			missing = append(missing, e.String())
+		}
+	}
+	if len(extra) == 0 && len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(extra)
+	sort.Strings(missing)
+	return fmt.Errorf("oracle mismatch: %d findings not in manifest %v; %d manifest entries unreported %v",
+		len(extra), cap8(extra), len(missing), cap8(missing))
+}
+
+// cap8 bounds an error listing.
+func cap8(s []string) []string {
+	if len(s) > 8 {
+		return append(s[:8:8], "…")
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP client helpers against the in-process service.
+
+func postJSON(ts *httptest.Server, path string, body, out interface{}) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	return decodeResp(resp, out)
+}
+
+func getJSON(ts *httptest.Server, path string, out interface{}) error {
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return err
+	}
+	return decodeResp(resp, out)
+}
+
+func getRaw(ts *httptest.Server, path string) ([]byte, error) {
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+func decodeResp(resp *http.Response, out interface{}) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}

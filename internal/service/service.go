@@ -11,16 +11,21 @@
 //	               run a full assessment;
 //	POST /delta  — apply a file-level edit to a loaded corpus and
 //	               re-assess incrementally;
-//	GET  /report — return the full report for a loaded corpus.
+//	GET  /report — return the full report for a loaded corpus;
+//	GET  /findings — return every individual finding for a loaded corpus
+//	               (the differential harness byte-compares these rows
+//	               against the in-process engines).
 //
 // Every response is JSON; errors are {"error": "..."} with a non-2xx
-// status. The server is safe for concurrent clients: each corpus
-// serializes its assessor behind a mutex while distinct corpora proceed
-// in parallel.
+// status. Request bodies above MaxBody bytes are rejected with 413 and
+// leave corpus state untouched. The server is safe for concurrent
+// clients: each corpus serializes its assessor behind a mutex while
+// distinct corpora proceed in parallel.
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -28,8 +33,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/iso26262"
+	"repro/internal/rules"
 	"repro/internal/srcfile"
 )
+
+// DefaultMaxBody caps request bodies at 16 MiB: enough for a 10k-file
+// generated corpus upload, small enough to bound a single request's
+// memory.
+const DefaultMaxBody = 16 << 20
 
 // Server holds the warm per-corpus assessor states.
 type Server struct {
@@ -38,7 +49,9 @@ type Server struct {
 	// directories via "dir" (off by default: the service should not
 	// read arbitrary paths on behalf of remote clients).
 	AllowDir bool
-	corpora  map[string]*corpusState
+	// MaxBody caps request body size in bytes; 0 means DefaultMaxBody.
+	MaxBody int64
+	corpora map[string]*corpusState
 }
 
 type corpusState struct {
@@ -57,6 +70,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/delta", s.handleDelta)
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/findings", s.handleFindings)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -162,8 +176,49 @@ type ReportResponse struct {
 	Modules      []ModuleRow      `json:"modules"`
 }
 
+// FindingRow is one rule finding with every field the engine reports, so
+// a client can reconstruct the finding stream byte-for-byte.
+type FindingRow struct {
+	Rule     string   `json:"rule"`
+	Severity string   `json:"severity"`
+	File     string   `json:"file"`
+	Module   string   `json:"module"`
+	Line     int      `json:"line"`
+	Function string   `json:"function,omitempty"`
+	Msg      string   `json:"msg"`
+	Refs     []string `json:"refs,omitempty"`
+}
+
+// FindingsResponse answers GET /findings.
+type FindingsResponse struct {
+	Corpus   string       `json:"corpus"`
+	Count    int          `json:"count"`
+	Findings []FindingRow `json:"findings"`
+}
+
 // ---------------------------------------------------------------------------
 // Handlers
+
+// decodeBody decodes a JSON request body under the server's size cap,
+// writing the error response itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	max := s.MaxBody
+	if max <= 0 {
+		max = DefaultMaxBody
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, max)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
 
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -171,8 +226,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req AssessRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	name := req.Corpus
@@ -239,8 +293,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req DeltaRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	st, name, ok := s.corpus(req.Corpus)
@@ -259,6 +312,16 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// A delta against a file the corpus does not hold is a client error;
+	// reject it before any state changes (core.ApplyDelta would silently
+	// ignore the removal).
+	for _, p := range req.Removed {
+		if st.a.FileSet().Lookup(p) == nil {
+			writeErr(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("removed path %q is not in corpus %q", p, name))
+			return
+		}
+	}
 	res, err := st.a.ApplyDelta(d)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
@@ -289,7 +352,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	a := st.a
+	writeJSON(w, http.StatusOK, BuildReport(name, st.a))
+}
+
+// BuildReport assembles the full report payload for an assessor. Exported
+// so the differential harness can byte-compare the HTTP path against a
+// reference assessor through the exact same projection.
+func BuildReport(name string, a *core.Assessor) ReportResponse {
 	as := a.Assess()
 	resp := ReportResponse{
 		Summary:      summarize(name, a, as),
@@ -305,7 +374,46 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	for _, m := range a.Metrics().Modules {
 		resp.Modules = append(resp.Modules, ModuleRow{m.Name, m.Files, m.LOC, m.NLOC, m.Functions, m.MaxCCN})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st, name, ok := s.corpus(r.URL.Query().Get("corpus"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rows := FindingRows(st.a.Findings())
+	writeJSON(w, http.StatusOK, FindingsResponse{Corpus: name, Count: len(rows), Findings: rows})
+}
+
+// FindingRows projects engine findings onto the wire rows, preserving
+// order and every field. The differential harness applies the same
+// projection to in-process findings and compares canonical JSON bytes.
+func FindingRows(fs []rules.Finding) []FindingRow {
+	rows := make([]FindingRow, len(fs))
+	for i, f := range fs {
+		row := FindingRow{
+			Rule:     f.RuleID,
+			Severity: f.Severity.String(),
+			File:     f.File,
+			Module:   f.Module,
+			Line:     f.Line,
+			Function: f.Function,
+			Msg:      f.Msg,
+		}
+		for _, ref := range f.Refs {
+			row.Refs = append(row.Refs, ref.String())
+		}
+		rows[i] = row
+	}
+	return rows
 }
 
 // corpus resolves a (possibly empty) corpus name.

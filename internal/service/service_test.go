@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -177,6 +178,132 @@ func TestServiceErrors(t *testing.T) {
 	postJSON(t, ts.URL+"/assess", service.AssessRequest{Corpus: "e", Files: smallCorpus()}, nil)
 	if code, _ := postJSON(t, ts.URL+"/delta", service.DeltaRequest{Corpus: "e"}, nil); code != http.StatusBadRequest {
 		t.Errorf("empty delta = %d", code)
+	}
+}
+
+// postRaw posts a raw body (not necessarily valid JSON).
+func postRaw(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// report fetches the full report body for byte-level comparison.
+func report(t *testing.T, ts *httptest.Server, corpus string) string {
+	t.Helper()
+	code, body := getJSON(t, ts.URL+"/report?corpus="+corpus, nil)
+	if code != http.StatusOK {
+		t.Fatalf("/report %s = %d: %s", corpus, code, body)
+	}
+	return body
+}
+
+// TestServiceErrorPathsLeaveStateUntouched drives every rejection path —
+// malformed JSON, unknown corpus, delta against a file the corpus does
+// not hold, oversized body — and asserts both the status code and that
+// the corpus state (the full report, byte for byte) is unchanged by the
+// failed request.
+func TestServiceErrorPathsLeaveStateUntouched(t *testing.T) {
+	svc := service.New()
+	svc.MaxBody = 4096
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	if code, body := postJSON(t, ts.URL+"/assess",
+		service.AssessRequest{Corpus: "c", Files: smallCorpus()}, nil); code != http.StatusOK {
+		t.Fatalf("/assess = %d: %s", code, body)
+	}
+	baseline := report(t, ts, "c")
+
+	// Malformed JSON bodies: truncated object, bare garbage.
+	for _, raw := range []string{`{"corpus":`, `not json at all`, `[1,2,3`} {
+		for _, ep := range []string{"/assess", "/delta"} {
+			if code, _ := postRaw(t, ts.URL+ep, raw); code != http.StatusBadRequest {
+				t.Errorf("POST %s with %q = %d, want 400", ep, raw, code)
+			}
+		}
+	}
+
+	// Unknown corpus ID on every corpus-scoped endpoint.
+	if code, _ := getJSON(t, ts.URL+"/report?corpus=ghost", nil); code != http.StatusNotFound {
+		t.Errorf("/report unknown corpus = %d, want 404", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/findings?corpus=ghost", nil); code != http.StatusNotFound {
+		t.Errorf("/findings unknown corpus = %d, want 404", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/delta",
+		service.DeltaRequest{Corpus: "ghost", Removed: []string{"m/a.c"}}, nil); code != http.StatusNotFound {
+		t.Errorf("/delta unknown corpus = %d, want 404", code)
+	}
+
+	// Delta removing a file the corpus does not hold: rejected before
+	// any mutation, even when combined with an otherwise-valid edit.
+	code, body := postJSON(t, ts.URL+"/delta", service.DeltaRequest{
+		Corpus:  "c",
+		Changed: map[string]string{"m/a.c": "int ga;\n"},
+		Removed: []string{"m/missing.c"},
+	}, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("/delta removing missing file = %d, want 422 (%s)", code, body)
+	}
+
+	// Oversized body: 413 from the MaxBody cap.
+	big := strings.Repeat("x", 8192)
+	code, _ = postJSON(t, ts.URL+"/delta", service.DeltaRequest{
+		Corpus: "c", Changed: map[string]string{"m/a.c": big}}, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized /delta = %d, want 413", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/assess", service.AssessRequest{
+		Corpus: "c2", Files: map[string]string{"m/x.c": big}}, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized /assess = %d, want 413", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/report?corpus=c2", nil); code != http.StatusNotFound {
+		t.Errorf("oversized /assess still created corpus c2")
+	}
+
+	// After all failed requests the corpus must be byte-identical.
+	if after := report(t, ts, "c"); after != baseline {
+		t.Error("a failed request mutated corpus state")
+	}
+}
+
+// TestFindingsEndpoint checks the /findings rows against the summary.
+func TestFindingsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var ar service.AssessResponse
+	if code, body := postJSON(t, ts.URL+"/assess",
+		service.AssessRequest{Corpus: "f", Files: smallCorpus()}, &ar); code != http.StatusOK {
+		t.Fatalf("/assess = %d: %s", code, body)
+	}
+	var fr service.FindingsResponse
+	if code, body := getJSON(t, ts.URL+"/findings?corpus=f", &fr); code != http.StatusOK {
+		t.Fatalf("/findings = %d: %s", code, body)
+	}
+	if fr.Count != len(fr.Findings) || fr.Count != ar.Summary.Findings {
+		t.Fatalf("findings count %d (rows %d) != summary %d",
+			fr.Count, len(fr.Findings), ar.Summary.Findings)
+	}
+	byRule := make(map[string]int)
+	for _, row := range fr.Findings {
+		byRule[row.Rule]++
+		if row.File == "" || row.Line < 1 || row.Msg == "" || row.Severity == "" {
+			t.Fatalf("incomplete finding row: %+v", row)
+		}
+	}
+	for rule, n := range ar.Summary.ByRule {
+		if byRule[rule] != n {
+			t.Errorf("rule %s: rows %d != summary %d", rule, byRule[rule], n)
+		}
 	}
 }
 

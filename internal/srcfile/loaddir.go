@@ -42,9 +42,12 @@ const defaultMaxFileSize = 4 << 20
 // LoadDir ingests a real on-disk source tree into a FileSet: every file
 // under root whose extension is in the accepted set becomes a corpus
 // file with a slash-separated root-relative path, language detected from
-// the extension (LanguageForPath). Oversized files and skipped
-// directories are silently pruned; unreadable files abort the load.
-// Files load in sorted path order, so the resulting corpus — and every
+// the extension (LanguageForPath). Oversized files, skipped directories,
+// and unreadable entries (permission-denied files or directories, files
+// racing deletion) are pruned rather than aborting the ingest — a single
+// bad entry must not take down the assessment of a large tree. Symlinks
+// are never followed, so symlink cycles terminate by construction. Files
+// load in sorted path order, so the resulting corpus — and every
 // assessment derived from it — is deterministic for a given tree.
 func LoadDir(root string, opts LoadOptions) (*FileSet, error) {
 	maxSize := opts.MaxFileSize
@@ -79,7 +82,14 @@ func LoadDir(root string, opts LoadOptions) (*FileSet, error) {
 	var paths []string
 	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
-			return err
+			// The root itself failing is fatal; anything below it
+			// (unreadable subdirectory, entry vanishing mid-walk) is
+			// pruned. WalkDir already refuses to descend into a
+			// directory it could not read, so returning nil skips it.
+			if p == root {
+				return err
+			}
+			return nil
 		}
 		if d.IsDir() {
 			if p != root && skipSet[d.Name()] {
@@ -87,6 +97,9 @@ func LoadDir(root string, opts LoadOptions) (*FileSet, error) {
 			}
 			return nil
 		}
+		// Symlinks (and other irregular entries) are skipped, not
+		// followed: a cycle of symlinked directories can never loop the
+		// walk, and a dangling link never errors it.
 		if !d.Type().IsRegular() {
 			return nil
 		}
@@ -94,7 +107,7 @@ func LoadDir(root string, opts LoadOptions) (*FileSet, error) {
 			return nil
 		}
 		if fi, err := d.Info(); err != nil {
-			return err
+			return nil // raced away; skip
 		} else if fi.Size() > maxSize {
 			return nil
 		}
@@ -110,7 +123,7 @@ func LoadDir(root string, opts LoadOptions) (*FileSet, error) {
 	for _, p := range paths {
 		src, err := os.ReadFile(p)
 		if err != nil {
-			return nil, fmt.Errorf("srcfile: load %s: %w", root, err)
+			continue // unreadable (permissions, raced deletion): skip
 		}
 		rel, err := filepath.Rel(root, p)
 		if err != nil {

@@ -109,6 +109,89 @@ func TestLoadDirFilters(t *testing.T) {
 	}
 }
 
+// TestLoadDirSymlinkCycle builds a directory symlink cycle plus a
+// dangling link and a file link; the walk must terminate without error,
+// load every regular file once, and never follow a link.
+func TestLoadDirSymlinkCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/inner.c": "int inner;\n",
+		"top.c":     "int top;\n",
+	})
+	// a/loop → a (self-cycle through the parent), cycle.c → top.c,
+	// gone.c → missing target.
+	mustLink := func(target, link string) {
+		t.Helper()
+		if err := os.Symlink(target, filepath.Join(root, link)); err != nil {
+			t.Skipf("symlinks unavailable: %v", err)
+		}
+	}
+	mustLink(filepath.Join(root, "a"), "a/loop")
+	mustLink(filepath.Join(root, "top.c"), "cycle.c")
+	mustLink(filepath.Join(root, "missing.c"), "gone.c")
+
+	fs, err := LoadDir(root, LoadOptions{})
+	if err != nil {
+		t.Fatalf("symlink cycle errored the ingest: %v", err)
+	}
+	if fs.Len() != 2 || fs.Lookup("a/inner.c") == nil || fs.Lookup("top.c") == nil {
+		var got []string
+		for _, f := range fs.Files() {
+			got = append(got, f.Path)
+		}
+		t.Fatalf("loaded %v, want exactly [a/inner.c top.c]", got)
+	}
+}
+
+// TestLoadDirUnreadableFile chmods one file unreadable; the ingest must
+// skip it and load the rest instead of aborting.
+func TestLoadDirUnreadableFile(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"m/ok.c":     "int ok;\n",
+		"m/secret.c": "int secret;\n",
+	})
+	secret := filepath.Join(root, "m", "secret.c")
+	if err := os.Chmod(secret, 0o000); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(secret, 0o644) })
+	if _, err := os.ReadFile(secret); err == nil {
+		t.Skip("running with privileges that ignore file modes (root)")
+	}
+
+	fs, err := LoadDir(root, LoadOptions{})
+	if err != nil {
+		t.Fatalf("unreadable file errored the ingest: %v", err)
+	}
+	if fs.Len() != 1 || fs.Lookup("m/ok.c") == nil {
+		t.Fatalf("loaded %d files, want just m/ok.c", fs.Len())
+	}
+}
+
+// TestLoadDirUnreadableDir chmods a subdirectory unreadable; the walk
+// must prune it and still load the readable part of the tree.
+func TestLoadDirUnreadableDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pub/ok.c":      "int ok;\n",
+		"priv/hidden.c": "int hidden;\n",
+	})
+	priv := filepath.Join(root, "priv")
+	if err := os.Chmod(priv, 0o000); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(priv, 0o755) })
+	if _, err := os.ReadDir(priv); err == nil {
+		t.Skip("running with privileges that ignore directory modes (root)")
+	}
+
+	fs, err := LoadDir(root, LoadOptions{})
+	if err != nil {
+		t.Fatalf("unreadable directory errored the ingest: %v", err)
+	}
+	if fs.Len() != 1 || fs.Lookup("pub/ok.c") == nil {
+		t.Fatalf("loaded %d files, want just pub/ok.c", fs.Len())
+	}
+}
+
 func TestLoadDirErrors(t *testing.T) {
 	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing"), LoadOptions{}); err == nil {
 		t.Error("missing root must error")
