@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	adassess [-asil D] [-table 1|2|3|all] [-dir PATH] [-figure4] [-obs] [-gaps] [-csv]
+//	adassess [-asil D] [-table 1|2|3|all] [-dir PATH] [-figure4] [-obs] [-gaps] [-csv] [-shards N]
+//
+// -shards prints per-shard (module) statistics — files, source bytes,
+// findings — for operator visibility into shard balance, which is what
+// warm delta latency scales with: N > 0 shows the N largest shards by
+// file count, -1 shows all, 0 (default) disables the table.
 //
 // Flags are validated before any work happens: bad values exit 2 with a
 // message on stderr and no partial output. Runtime failures exit 1.
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/iso26262"
@@ -41,6 +47,7 @@ func run() (int, error) {
 	traceFlag := flag.Bool("trace", false, "print the requirement-to-checker traceability matrix")
 	csvFlag := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	seedFlag := flag.Int64("seed", 26262, "corpus generation seed")
+	shardsFlag := flag.Int("shards", 0, "print per-shard (module) stats: N largest shards, -1 for all, 0 to disable")
 	flag.Parse()
 
 	// Validate every flag before doing any work.
@@ -52,6 +59,9 @@ func run() (int, error) {
 	case "1", "2", "3", "all":
 	default:
 		return 2, fmt.Errorf("unknown -table %q (want 1, 2, 3, or all)", *tableFlag)
+	}
+	if *shardsFlag < -1 {
+		return 2, fmt.Errorf("-shards must be -1 (all), 0 (off), or a positive count (got %d)", *shardsFlag)
 	}
 	if flag.NArg() > 0 {
 		return 2, fmt.Errorf("unexpected arguments: %v", flag.Args())
@@ -93,6 +103,29 @@ func run() (int, error) {
 			t.AddRow(ta.Topic.Item, ta.Topic.Name,
 				ta.Topic.RecommendationFor(asil).String(),
 				ta.Verdict.String(), ta.Violations, ta.Effort.String(), ta.Evidence)
+		}
+		emit(t)
+	}
+
+	if *shardsFlag != 0 {
+		stats := a.ShardStats()
+		// Largest shards first (by files, ties by module name) — the
+		// imbalance view: warm delta latency follows the dirty shard.
+		sort.SliceStable(stats, func(i, j int) bool {
+			if stats[i].Files != stats[j].Files {
+				return stats[i].Files > stats[j].Files
+			}
+			return stats[i].Module < stats[j].Module
+		})
+		shown := stats
+		if *shardsFlag > 0 && *shardsFlag < len(stats) {
+			shown = stats[:*shardsFlag]
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Shard layout — %d of %d module shards (largest first)", len(shown), len(stats)),
+			"Shard", "Files", "Bytes", "Findings")
+		for _, s := range shown {
+			t.AddRow(s.Module, s.Files, s.Bytes, s.Findings)
 		}
 		emit(t)
 	}

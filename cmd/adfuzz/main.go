@@ -3,14 +3,16 @@
 // violations (internal/corpusgen), applies a random sequence of file
 // deltas (add / edit / remove), and at every step asserts that the
 // sequential reference engine, the fused parallel engine, the warm
-// incremental assessor, and the adserve HTTP service all produce
-// byte-identical findings that exactly match the injected-violation
-// manifest.
+// sharded assessor, the flat incremental rule engine, and the adserve
+// HTTP service all produce byte-identical findings that exactly match
+// the injected-violation manifest. A -skew above zero generates a
+// shard-imbalanced corpus (zipf-ish module fan) to exercise the sharded
+// warm path under the layouts it exists for.
 //
 // Usage:
 //
 //	adfuzz [-seed 1] [-steps 50] [-modules 4] [-files 4] [-funcs 5]
-//	       [-violations 3] [-cuda 1] [-http=true] [-v]
+//	       [-violations 3] [-cuda 1] [-skew 0] [-http=true] [-v]
 //
 // A run is a pure function of its flags: re-running with the same seed
 // replays the identical corpus and mutation sequence, so a failure
@@ -45,6 +47,7 @@ func run() (int, error) {
 	funcsFlag := flag.Int("funcs", 5, "clean filler functions per file")
 	violFlag := flag.Int("violations", 3, "injected violations per file")
 	cudaFlag := flag.Int("cuda", 1, "CUDA files per module")
+	skewFlag := flag.Float64("skew", 0, "zipf-ish module-size skew (0 = uniform)")
 	httpFlag := flag.Bool("http", true, "include the adserve HTTP path")
 	verboseFlag := flag.Bool("v", false, "log every step")
 	flag.Parse()
@@ -61,6 +64,9 @@ func run() (int, error) {
 	if *funcsFlag < 0 || *violFlag < 0 || *cudaFlag < 0 {
 		return 2, fmt.Errorf("-funcs, -violations, and -cuda must be >= 0")
 	}
+	if *skewFlag < 0 {
+		return 2, fmt.Errorf("-skew must be >= 0 (got %g)", *skewFlag)
+	}
 
 	cfg := difftest.Config{
 		Seed:  *seedFlag,
@@ -71,6 +77,7 @@ func run() (int, error) {
 			FuncsPerFile:      *funcsFlag,
 			ViolationsPerFile: *violFlag,
 			CUDAFiles:         *cudaFlag,
+			ModuleSkew:        *skewFlag,
 		},
 		HTTP: *httpFlag,
 	}
@@ -87,7 +94,7 @@ func run() (int, error) {
 			*seedFlag, *stepsFlag, err)
 	}
 	fmt.Printf("adfuzz: OK — %d steps verified in %v\n", res.Steps, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  final corpus: %d files, %d findings (all byte-identical across 4 paths, oracle-exact)\n",
+	fmt.Printf("  final corpus: %d files, %d findings (all byte-identical across 5 paths, oracle-exact)\n",
 		res.Files, res.Findings)
 	fmt.Printf("  mutations: %d add, %d edit, %d remove\n",
 		res.Mutations[corpusgen.MutAdd], res.Mutations[corpusgen.MutEdit],

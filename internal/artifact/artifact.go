@@ -8,6 +8,11 @@
 // consumers need; control-flow graphs are built lazily and memoized so
 // CFG-based consumers (coverage instrumentation) also construct each
 // graph exactly once.
+//
+// The index is internally sharded by module (see shard.go): Apply
+// rebuilds only the shards a delta touches and patches the global
+// cross-file views from champion diffs, so warm re-indexing after a
+// small edit costs O(dirty shard) instead of O(corpus).
 package artifact
 
 import (
@@ -28,8 +33,12 @@ type Func struct {
 	Module string
 	// Calls holds the raw callee spellings in traversal order: the full
 	// (possibly qualified) identifier for direct calls, the member name
-	// for method calls. Consumers needing unqualified names apply Unqualified.
+	// for method calls.
 	Calls []string
+	// Callees holds the unqualified forms of Calls, precomputed in the
+	// same analysis walk so consumers (the rule engine) never re-derive
+	// them. Index-aligned with Calls.
+	Callees []string
 	// CCN is the Lizard-compatible cyclomatic complexity (identical to
 	// metrics.Cyclomatic, computed in the same walk that gathers Calls).
 	CCN int
@@ -62,15 +71,29 @@ type Index struct {
 	// GlobalNames maps file-scope variable names to their module (later
 	// files overwrite earlier ones, matching the seed rules.NewContext).
 	GlobalNames map[string]string
+	// lastDef indexes function definitions by unqualified name keeping
+	// the LAST (path order) — the architectural FuncModule resolution.
+	lastDef map[string]*Func
 	// unitFuncs holds each unit's functions in source order.
 	unitFuncs map[string][]*Func
+	// shards partitions the corpus by module.
+	shards     map[string]*Shard
+	shardNames []string
 	// gen counts refreshes; consumers key derived caches on it.
 	gen uint64
+	// refreshSeq issues globally-unique shard generations: every shard
+	// refresh of any shard draws the next value. A shard that is
+	// removed and later re-created can therefore never repeat a
+	// generation its predecessor handed out, so (module, Shard.Gen)
+	// keys in downstream caches cannot collide across shard lifetimes.
+	refreshSeq uint64
 }
 
 // Gen returns the index generation, bumped by every Build/Apply
 // refresh. Two reads with equal Gen (and equal Index pointer) observe
-// identical cross-file views, so derived caches can key on it.
+// identical cross-file views, so derived caches can key on it. Finer
+// invalidation is available per shard (Shard.Gen) and per overlay
+// (ExportOverlay, GraphOverlay).
 func (ix *Index) Gen() uint64 { return ix.gen }
 
 // UnitFuncs returns the cached per-unit function list in source order.
@@ -130,6 +153,12 @@ func Analyze(fn *ccast.FuncDecl, file *srcfile.File, module string) *Func {
 		return true
 	})
 	fa.CCN = ccn
+	if len(fa.Calls) > 0 {
+		fa.Callees = make([]string, len(fa.Calls))
+		for i, raw := range fa.Calls {
+			fa.Callees[i] = Unqualified(raw)
+		}
+	}
 	return fa
 }
 
@@ -155,14 +184,15 @@ func analyzeUnit(tu *ccast.TranslationUnit) []*Func {
 }
 
 // Build constructs the corpus index. Per-file analysis runs on a worker
-// pool sized to GOMAXPROCS; the cross-file indexes (ByName, GlobalNames)
-// are merged afterwards in sorted path order so the result is
-// deterministic regardless of scheduling.
+// pool sized to GOMAXPROCS; the shard and cross-file views are built
+// afterwards in sorted path order so the result is deterministic
+// regardless of scheduling.
 func Build(units map[string]*ccast.TranslationUnit) *Index {
 	ix := &Index{
 		Units:     units,
 		Paths:     SortedPaths(units),
 		unitFuncs: make(map[string][]*Func, len(units)),
+		shards:    make(map[string]*Shard),
 	}
 
 	perUnit := make([][]*Func, len(ix.Paths))
@@ -172,33 +202,44 @@ func Build(units map[string]*ccast.TranslationUnit) *Index {
 	for i, p := range ix.Paths {
 		ix.unitFuncs[p] = perUnit[i]
 	}
-	ix.refresh()
+
+	// Partition into module shards (paths arrive sorted, so each shard's
+	// path list is born sorted).
+	for _, p := range ix.Paths {
+		mod := units[p].File.ModuleName()
+		sh := ix.shards[mod]
+		if sh == nil {
+			sh = &Shard{Module: mod}
+			ix.shards[mod] = sh
+		}
+		sh.paths = append(sh.paths, p)
+	}
+	ix.rebuildShardNames()
+	for _, m := range ix.shardNames {
+		ix.shards[m].refresh(ix)
+	}
+	ix.rebuildGlobalViews()
+	ix.gen++
 	return ix
 }
 
-// refresh rebuilds the cross-file views (Paths, Funcs, ByName,
-// GlobalNames) from Units and unitFuncs in sorted path order. Per-unit
-// analysis records are reused as-is, so a refresh is pointer merging
-// plus a declaration-list scan — no function body is re-walked and the
-// memoized CFGs of untouched functions survive.
-func (ix *Index) refresh() {
-	ix.gen++
-	ix.Paths = SortedPaths(ix.Units)
-	nFuncs := 0
-	for _, fas := range ix.unitFuncs {
-		nFuncs += len(fas)
-	}
-	ix.Funcs = make([]*Func, 0, nFuncs)
-	ix.ByName = make(map[string]*Func, nFuncs)
+// rebuildGlobalViews re-derives the merged cross-file views from scratch
+// in global path order — the cold path. Warm deltas never come here;
+// they patch the maps via champion diffs instead.
+func (ix *Index) rebuildGlobalViews() {
+	ix.rebuildFuncs()
+	n := len(ix.Funcs)
+	ix.ByName = make(map[string]*Func, n)
+	ix.lastDef = make(map[string]*Func, n)
 	ix.GlobalNames = make(map[string]string, 2*len(ix.Paths))
-	for _, p := range ix.Paths {
-		for _, fa := range ix.unitFuncs[p] {
-			ix.Funcs = append(ix.Funcs, fa)
-			key := Unqualified(fa.Decl.Name)
-			if _, dup := ix.ByName[key]; !dup {
-				ix.ByName[key] = fa
-			}
+	for _, fa := range ix.Funcs {
+		key := Unqualified(fa.Decl.Name)
+		if _, dup := ix.ByName[key]; !dup {
+			ix.ByName[key] = fa
 		}
+		ix.lastDef[key] = fa
+	}
+	for _, p := range ix.Paths {
 		tu := ix.Units[p]
 		mod := tu.File.ModuleName()
 		for _, vd := range tu.GlobalVars() {
@@ -211,26 +252,95 @@ func (ix *Index) refresh() {
 
 // Apply updates the index in place for a corpus delta: every unit in
 // upserts is (re-)analyzed and added or replaced under its path, every
-// path in removals is dropped, and the cross-file views are rebuilt
-// once. Only the upserted units are re-walked; all other units keep
-// their cached Func records (and memoized CFGs) by pointer, which is
-// what makes warm re-assessment after a small edit cheap.
+// path in removals is dropped. Only the upserted units are re-walked and
+// only the touched shards rebuild their views; all other units keep
+// their cached Func records (and memoized CFGs) by pointer, and the
+// global cross-file maps are patched for exactly the names whose
+// within-shard champions changed. The net cost of a warm Apply is
+// O(dirty shard), not O(corpus).
 //
 // Apply is not safe for concurrent use with readers of the index.
 func (ix *Index) Apply(upserts []*ccast.TranslationUnit, removals []string) {
+	ix.gen++
+	dirty := make(map[string]bool)
+	pathsChanged := false
+
 	for _, p := range removals {
+		// The owning shard is found by membership, not via Units[p]:
+		// callers sharing the Units map (core.Assessor) may already have
+		// deleted the entry by the time Apply runs.
+		sh := ix.shardContaining(p)
+		if sh == nil {
+			continue
+		}
 		delete(ix.Units, p)
 		delete(ix.unitFuncs, p)
+		sh.removePath(p)
+		dirty[sh.Module] = true
+		pathsChanged = true
 	}
+
 	perUnit := make([][]*Func, len(upserts))
 	par.For(par.Workers(len(upserts)), len(upserts), func(i int) {
 		perUnit[i] = analyzeUnit(upserts[i])
 	})
 	for i, tu := range upserts {
-		ix.Units[tu.File.Path] = tu
-		ix.unitFuncs[tu.File.Path] = perUnit[i]
+		p := tu.File.Path
+		mod := tu.File.ModuleName()
+		// Adds and module moves are detected against the shards' own
+		// path lists, never against Units[p] or the previous unit's
+		// File: core.Assessor shares the Units map (and the canonical
+		// *File, mutated in place by FileSet.Add) with the index, so
+		// both already show the post-delta state by the time Apply
+		// runs. Shard membership is Apply's private bookkeeping.
+		if oldShard := ix.shardContaining(p); oldShard == nil {
+			pathsChanged = true
+		} else if oldShard.Module != mod {
+			oldShard.removePath(p)
+			dirty[oldShard.Module] = true
+		}
+		ix.Units[p] = tu
+		ix.unitFuncs[p] = perUnit[i]
+		sh := ix.shards[mod]
+		if sh == nil {
+			sh = &Shard{Module: mod}
+			ix.shards[mod] = sh
+			ix.shardNames = nil // rebuilt below
+		}
+		sh.addPath(p)
+		dirty[mod] = true
 	}
-	ix.refresh()
+
+	// Refresh dirty shards in sorted module order (determinism), collect
+	// champion diffs, drop emptied shards.
+	mods := make([]string, 0, len(dirty))
+	for m := range dirty {
+		mods = append(mods, m)
+	}
+	sort.Strings(mods)
+	shardSetChanged := ix.shardNames == nil
+	var diffs []championDiff
+	for _, m := range mods {
+		sh := ix.shards[m]
+		if sh == nil {
+			continue
+		}
+		if len(sh.paths) == 0 {
+			diffs = append(diffs, sh.drainChampions())
+			delete(ix.shards, m)
+			shardSetChanged = true
+			continue
+		}
+		diffs = append(diffs, sh.refresh(ix))
+	}
+	if shardSetChanged {
+		ix.rebuildShardNames()
+	}
+	ix.applyChampionDiffs(diffs)
+	if pathsChanged {
+		ix.rebuildPaths()
+	}
+	ix.rebuildFuncs()
 }
 
 // AddUnit indexes one new translation unit (add or replace by path).

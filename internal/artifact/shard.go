@@ -1,0 +1,487 @@
+package artifact
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// This file implements the sharded corpus store underneath the Index.
+// Shards are keyed by module (srcfile.File.ModuleName): each shard owns
+// its sorted path list, its function records in path order, and the
+// within-shard champions of every cross-file view (first-definition-wins
+// ByName, last-definition-wins FuncModule, last-definition-wins global
+// variable names). A corpus delta rebuilds only the dirty shards'
+// views — the per-unit analysis records of untouched files are reused by
+// pointer exactly as before — and the global views are patched from the
+// champion diffs, so a warm Apply costs O(dirty shard), not O(corpus).
+//
+// Each shard also memoizes two signatures over its exported facts,
+// recomputed only when the shard's generation moves:
+//
+//   - the export signature covers what per-file rule handlers read from
+//     other files: every defined function's unqualified name and return
+//     voidness, every file-scope variable name, all hashed in shard path
+//     order together with the paths themselves (so moves and reorders
+//     that could flip a cross-shard champion cannot go unnoticed);
+//   - the graph signature additionally covers each function's full
+//     spelling, declaration line, complexity, return count, and raw
+//     callee list — the inputs of corpus-level rules (recursion SCC) and
+//     of the architectural call-resolution pass.
+//
+// The Index combines the per-shard signatures into ExportOverlay and
+// GraphOverlay in O(#shards); consumers key their caches on the overlays
+// instead of re-hashing the corpus.
+
+// globalDef records one shard's champion for a file-scope variable name:
+// the defining file (the one with the greatest path — later files
+// overwrite earlier ones, matching the seed rules.NewContext) and its
+// module.
+type globalDef struct {
+	path   string
+	module string
+}
+
+// Shard is the per-module partition of the index.
+type Shard struct {
+	// Module is the shard key.
+	Module string
+
+	// paths lists the shard's unit paths in sorted order.
+	paths []string
+	// funcs lists the shard's function records in path order.
+	funcs []*Func
+	// byName holds the shard's first-definition-wins champions by
+	// unqualified name (minimal path, then source order).
+	byName map[string]*Func
+	// lastByName holds the last-definition-wins champions (maximal path,
+	// then source order) backing the architectural FuncModule view.
+	lastByName map[string]*Func
+	// globals holds the shard's file-scope variable champions.
+	globals map[string]globalDef
+
+	// gen counts shard refreshes; derived caches key on it.
+	gen uint64
+
+	// sigGen/exportSig/graphSig memoize the signatures per generation.
+	sigGen    uint64
+	sigOK     bool
+	exportSig uint64
+	graphSig  uint64
+}
+
+// Gen returns the shard generation, bumped by every refresh that
+// touches the shard. Two reads with equal (shard pointer, Gen) observe
+// identical shard-local views.
+func (sh *Shard) Gen() uint64 { return sh.gen }
+
+// Paths returns the shard's unit paths in sorted order. The slice must
+// not be mutated.
+func (sh *Shard) Paths() []string { return sh.paths }
+
+// Funcs returns the shard's function records in path order. The slice
+// must not be mutated.
+func (sh *Shard) Funcs() []*Func { return sh.funcs }
+
+// Len returns the number of files in the shard.
+func (sh *Shard) Len() int { return len(sh.paths) }
+
+// addPath inserts p into the sorted path list (no-op when present).
+func (sh *Shard) addPath(p string) {
+	i := sort.SearchStrings(sh.paths, p)
+	if i < len(sh.paths) && sh.paths[i] == p {
+		return
+	}
+	sh.paths = append(sh.paths, "")
+	copy(sh.paths[i+1:], sh.paths[i:])
+	sh.paths[i] = p
+}
+
+// removePath deletes p from the sorted path list (no-op when absent).
+func (sh *Shard) removePath(p string) {
+	i := sort.SearchStrings(sh.paths, p)
+	if i >= len(sh.paths) || sh.paths[i] != p {
+		return
+	}
+	sh.paths = append(sh.paths[:i], sh.paths[i+1:]...)
+}
+
+// championDiff collects the names whose within-shard champion changed
+// across a refresh; the index re-resolves exactly those names globally.
+type championDiff struct {
+	byName  []string
+	lastDef []string
+	globals []string
+}
+
+// refresh rebuilds the shard's views from the index's per-unit records
+// in O(shard) and returns the champion diff against the previous state.
+// Function bodies are never re-walked here; the per-unit Func records
+// (and their memoized CFGs) are reused by pointer. Generations come
+// from the index-wide refreshSeq so they are unique across shards and
+// across shard lifetimes.
+func (sh *Shard) refresh(ix *Index) championDiff {
+	ix.refreshSeq++
+	sh.gen = ix.refreshSeq
+	oldByName, oldLast, oldGlobals := sh.byName, sh.lastByName, sh.globals
+
+	nFuncs := 0
+	for _, p := range sh.paths {
+		nFuncs += len(ix.unitFuncs[p])
+	}
+	sh.funcs = make([]*Func, 0, nFuncs)
+	sh.byName = make(map[string]*Func, nFuncs)
+	sh.lastByName = make(map[string]*Func, nFuncs)
+	sh.globals = make(map[string]globalDef, 2*len(sh.paths))
+	for _, p := range sh.paths {
+		for _, fa := range ix.unitFuncs[p] {
+			sh.funcs = append(sh.funcs, fa)
+			key := Unqualified(fa.Decl.Name)
+			if _, dup := sh.byName[key]; !dup {
+				sh.byName[key] = fa
+			}
+			sh.lastByName[key] = fa
+		}
+		tu := ix.Units[p]
+		mod := tu.File.ModuleName()
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				sh.globals[d.Name] = globalDef{path: p, module: mod}
+			}
+		}
+	}
+
+	var diff championDiff
+	diff.byName = diffFuncChampions(oldByName, sh.byName)
+	diff.lastDef = diffFuncChampions(oldLast, sh.lastByName)
+	for name, def := range sh.globals {
+		if old, ok := oldGlobals[name]; !ok || old != def {
+			diff.globals = append(diff.globals, name)
+		}
+	}
+	for name := range oldGlobals {
+		if _, ok := sh.globals[name]; !ok {
+			diff.globals = append(diff.globals, name)
+		}
+	}
+	return diff
+}
+
+// diffFuncChampions returns the names mapped to different *Func values
+// in old vs new (either direction). Pointer identity is the right
+// equality: untouched units keep their records by pointer, so equal
+// pointers mean the champion (and everything hanging off it) is
+// untouched.
+func diffFuncChampions(old, new map[string]*Func) []string {
+	var out []string
+	for name, fa := range new {
+		if old[name] != fa {
+			out = append(out, name)
+		}
+	}
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// drainChampions returns a diff naming every champion the shard holds —
+// used when a shard empties and disappears, so the global views drop or
+// re-resolve all of its entries.
+func (sh *Shard) drainChampions() championDiff {
+	var diff championDiff
+	for name := range sh.byName {
+		diff.byName = append(diff.byName, name)
+	}
+	for name := range sh.lastByName {
+		diff.lastDef = append(diff.lastDef, name)
+	}
+	for name := range sh.globals {
+		diff.globals = append(diff.globals, name)
+	}
+	return diff
+}
+
+// sigs returns the shard's export and graph signatures, recomputing them
+// only when the shard generation moved since the last computation.
+func (sh *Shard) sigs(ix *Index) (export, graph uint64) {
+	if sh.sigOK && sh.sigGen == sh.gen {
+		return sh.exportSig, sh.graphSig
+	}
+	he := fnv.New64a()
+	hg := fnv.New64a()
+	var num [8]byte
+	writeNum := func(h interface{ Write([]byte) (int, error) }, v uint64) {
+		num[0] = byte(v)
+		num[1] = byte(v >> 8)
+		num[2] = byte(v >> 16)
+		num[3] = byte(v >> 24)
+		num[4] = byte(v >> 32)
+		num[5] = byte(v >> 40)
+		num[6] = byte(v >> 48)
+		num[7] = byte(v >> 56)
+		h.Write(num[:])
+	}
+	sep := []byte{0xff}
+	for _, p := range sh.paths {
+		he.Write([]byte(p))
+		he.Write(sep)
+		hg.Write([]byte(p))
+		hg.Write(sep)
+		for _, fa := range ix.unitFuncs[p] {
+			void := byte('r')
+			if fa.Decl.Ret == nil || fa.Decl.Ret.IsVoid() {
+				void = 'v'
+			}
+			he.Write([]byte(Unqualified(fa.Decl.Name)))
+			he.Write([]byte{0, void})
+			he.Write(sep)
+
+			hg.Write([]byte(fa.Decl.Name))
+			hg.Write([]byte{0, void})
+			writeNum(hg, uint64(fa.Decl.Span().Start.Line))
+			writeNum(hg, uint64(fa.CCN))
+			writeNum(hg, uint64(fa.Returns))
+			for _, c := range fa.Calls {
+				hg.Write([]byte(c))
+				hg.Write([]byte{0})
+			}
+			hg.Write(sep)
+		}
+		tu := ix.Units[p]
+		for _, vd := range tu.GlobalVars() {
+			for _, d := range vd.Names {
+				he.Write([]byte("g\x00" + d.Name))
+				he.Write(sep)
+				hg.Write([]byte("g\x00" + d.Name))
+				hg.Write(sep)
+			}
+		}
+	}
+	sh.exportSig, sh.graphSig = he.Sum64(), hg.Sum64()
+	sh.sigGen, sh.sigOK = sh.gen, true
+	return sh.exportSig, sh.graphSig
+}
+
+// ---------------------------------------------------------------------------
+// Index-level shard plumbing
+
+// ShardNames returns the module names of all shards in sorted order. The
+// slice must not be mutated.
+func (ix *Index) ShardNames() []string { return ix.shardNames }
+
+// shardContaining returns the shard owning a path, or nil. Membership is
+// decided by the shards' own path lists (binary search per shard), so it
+// works even when the Units map no longer holds the path.
+func (ix *Index) shardContaining(p string) *Shard {
+	for _, sh := range ix.shards {
+		i := sort.SearchStrings(sh.paths, p)
+		if i < len(sh.paths) && sh.paths[i] == p {
+			return sh
+		}
+	}
+	return nil
+}
+
+// Shard returns the shard for a module, or nil.
+func (ix *Index) Shard(module string) *Shard { return ix.shards[module] }
+
+// FuncModule returns the defining module of the last definition (in
+// path order) of an unqualified function name — the resolution rule the
+// architectural metrics use.
+func (ix *Index) FuncModule(name string) (string, bool) {
+	fa := ix.lastDef[name]
+	if fa == nil {
+		return "", false
+	}
+	return fa.Module, true
+}
+
+// UnitFuncsMap exposes the live per-unit function records keyed by path.
+// The rules context shares this map instead of copying it; callers must
+// not mutate it, and must not read it concurrently with Apply.
+func (ix *Index) UnitFuncsMap() map[string][]*Func { return ix.unitFuncs }
+
+// ExportOverlay combines the per-shard export signatures into one
+// corpus-wide value. Equal overlays guarantee that every cross-file fact
+// a per-file rule handler can read (function voidness by name, global
+// name membership) is unchanged, so per-file caches keyed on file
+// content stay valid. O(#shards) when the shards' signatures are warm.
+func (ix *Index) ExportOverlay() uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	for _, m := range ix.shardNames {
+		e, _ := ix.shards[m].sigs(ix)
+		h.Write([]byte(m))
+		h.Write([]byte{0})
+		for i := 0; i < 8; i++ {
+			num[i] = byte(e >> (8 * i))
+		}
+		h.Write(num[:])
+	}
+	return h.Sum64()
+}
+
+// GraphOverlay combines the per-shard graph signatures. Equal overlays
+// guarantee the corpus call-graph view (every function's name, file,
+// line, complexity, return count, and callees, plus global names) is
+// unchanged, so corpus-level rule output can be reused verbatim.
+func (ix *Index) GraphOverlay() uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	for _, m := range ix.shardNames {
+		_, g := ix.shards[m].sigs(ix)
+		h.Write([]byte(m))
+		h.Write([]byte{0})
+		for i := 0; i < 8; i++ {
+			num[i] = byte(g >> (8 * i))
+		}
+		h.Write(num[:])
+	}
+	return h.Sum64()
+}
+
+// resolveByName re-resolves the global first-definition-wins champion
+// for one name across all shards.
+func (ix *Index) resolveByName(name string) {
+	var best *Func
+	for _, sh := range ix.shards {
+		if c := sh.byName[name]; c != nil {
+			if best == nil || c.File.Path < best.File.Path {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		delete(ix.ByName, name)
+	} else {
+		ix.ByName[name] = best
+	}
+}
+
+// resolveLastDef re-resolves the global last-definition-wins champion.
+func (ix *Index) resolveLastDef(name string) {
+	var best *Func
+	for _, sh := range ix.shards {
+		if c := sh.lastByName[name]; c != nil {
+			if best == nil || c.File.Path > best.File.Path {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		delete(ix.lastDef, name)
+	} else {
+		ix.lastDef[name] = best
+	}
+}
+
+// resolveGlobal re-resolves the global variable champion (last file in
+// path order wins, matching the seed rules.NewContext).
+func (ix *Index) resolveGlobal(name string) {
+	var best globalDef
+	found := false
+	for _, sh := range ix.shards {
+		if def, ok := sh.globals[name]; ok {
+			if !found || def.path > best.path {
+				best, found = def, true
+			}
+		}
+	}
+	if !found {
+		delete(ix.GlobalNames, name)
+	} else {
+		ix.GlobalNames[name] = best.module
+	}
+}
+
+// applyChampionDiffs patches the global cross-file views for exactly the
+// names whose within-shard champions changed.
+func (ix *Index) applyChampionDiffs(diffs []championDiff) {
+	for _, d := range diffs {
+		for _, name := range d.byName {
+			ix.resolveByName(name)
+		}
+		for _, name := range d.lastDef {
+			ix.resolveLastDef(name)
+		}
+		for _, name := range d.globals {
+			ix.resolveGlobal(name)
+		}
+	}
+}
+
+// rebuildShardNames re-derives the sorted shard name list.
+func (ix *Index) rebuildShardNames() {
+	ix.shardNames = make([]string, 0, len(ix.shards))
+	for m := range ix.shards {
+		ix.shardNames = append(ix.shardNames, m)
+	}
+	sort.Strings(ix.shardNames)
+}
+
+// shardsInPathOrder returns the shards ordered by their smallest path
+// and reports whether their path ranges are pairwise disjoint. Module
+// names normally prefix their paths, so ranges are disjoint and ordered
+// merges degrade to concatenation; explicit File.Module overrides can
+// interleave ranges, in which case callers fall back to a real merge.
+func (ix *Index) shardsInPathOrder() (ordered []*Shard, disjoint bool) {
+	ordered = make([]*Shard, 0, len(ix.shardNames))
+	for _, m := range ix.shardNames {
+		if sh := ix.shards[m]; len(sh.paths) > 0 {
+			ordered = append(ordered, sh)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].paths[0] < ordered[j].paths[0]
+	})
+	disjoint = true
+	for i := 1; i < len(ordered); i++ {
+		prev := ordered[i-1]
+		if prev.paths[len(prev.paths)-1] > ordered[i].paths[0] {
+			disjoint = false
+			break
+		}
+	}
+	return ordered, disjoint
+}
+
+// rebuildPaths re-derives the global sorted path list from the shards.
+func (ix *Index) rebuildPaths() {
+	ordered, disjoint := ix.shardsInPathOrder()
+	n := 0
+	for _, sh := range ordered {
+		n += len(sh.paths)
+	}
+	out := make([]string, 0, n)
+	for _, sh := range ordered {
+		out = append(out, sh.paths...)
+	}
+	if !disjoint {
+		sort.Strings(out)
+	}
+	ix.Paths = out
+}
+
+// rebuildFuncs re-derives the global function list (path order) from the
+// shards. With disjoint shard path ranges this is pure concatenation;
+// otherwise the per-shard lists (each path-ordered) are merge-sorted
+// stably so same-path functions keep their source order.
+func (ix *Index) rebuildFuncs() {
+	ordered, disjoint := ix.shardsInPathOrder()
+	n := 0
+	for _, sh := range ordered {
+		n += len(sh.funcs)
+	}
+	out := make([]*Func, 0, n)
+	for _, sh := range ordered {
+		out = append(out, sh.funcs...)
+	}
+	if !disjoint {
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].File.Path < out[j].File.Path
+		})
+	}
+	ix.Funcs = out
+}

@@ -41,17 +41,19 @@ func DefaultConfig() Config {
 }
 
 // Assessor runs the assessment pipeline over a corpus. It keeps warm
-// per-file caches (rule findings, metrics rows, artifact records) so a
-// re-assessment after ApplyDelta recomputes only what the delta touched
-// while producing output byte-identical to a cold full run.
+// per-shard caches (rule finding segments, metrics rows and module
+// partials, resolved architectural partials, artifact records) so a
+// re-assessment after ApplyDelta recomputes only the shards the delta
+// touched while producing output byte-identical to a cold full run.
 type Assessor struct {
 	cfg   Config
 	fs    *srcfile.FileSet
 	units map[string]*ccast.TranslationUnit
 
 	ix       *artifact.Index
-	ruleEng  *rules.Incremental
+	ruleEng  *rules.Sharded
 	mcache   *metrics.Cache
+	acache   *metrics.ArchCache
 	findings []rules.Finding
 	stats    *rules.Stats
 	fw       *metrics.FrameworkMetrics
@@ -66,8 +68,9 @@ func NewAssessor(cfg Config) *Assessor {
 	}
 	return &Assessor{
 		cfg:     cfg,
-		ruleEng: rules.NewIncremental(cfg.Rules),
+		ruleEng: rules.NewSharded(cfg.Rules),
 		mcache:  metrics.NewCache(),
+		acache:  metrics.NewArchCache(),
 	}
 }
 
@@ -120,13 +123,15 @@ func (a *Assessor) FileSet() *srcfile.FileSet { return a.fs }
 func (a *Assessor) Units() map[string]*ccast.TranslationUnit { return a.units }
 
 // Findings runs (and caches) the rule engine over the shared index. The
-// engine itself caches per-file findings by content hash, so after an
-// ApplyDelta only the dirty files are re-checked.
+// sharded engine caches per-file findings by content hash inside
+// per-module shard segments, so after an ApplyDelta only the dirty
+// shard's dirty files are re-checked and the global stream is a k-way
+// merge of the presorted segments.
 func (a *Assessor) Findings() []rules.Finding {
 	if a.findings == nil {
 		ctx := rules.NewContextFromIndex(a.Index())
 		a.findings = a.ruleEng.Run(ctx)
-		a.stats = rules.Aggregate(a.findings)
+		a.stats = a.ruleEng.Stats()
 	}
 	return a.findings
 }
@@ -147,10 +152,11 @@ func (a *Assessor) Metrics() *metrics.FrameworkMetrics {
 }
 
 // Arch returns (and caches) architectural metrics per module from the
-// shared index.
+// shared index, reusing per-shard resolved partials for modules
+// untouched since the previous run.
 func (a *Assessor) Arch() []*metrics.ArchMetrics {
 	if a.arch == nil {
-		a.arch = metrics.AnalyzeArchIndexed(a.Index())
+		a.arch = a.acache.AnalyzeIndexed(a.Index())
 	}
 	return a.arch
 }

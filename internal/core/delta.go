@@ -45,30 +45,42 @@ func (a *Assessor) LoadDir(root string) error {
 	return a.LoadFileSet(fs)
 }
 
-// ApplyDelta applies a corpus edit in place. Only genuinely changed
-// files are re-parsed and re-indexed; every warm per-file cache (rule
-// findings, metrics rows, memoized CFGs) survives for untouched files.
-// The next Assess/Findings/Metrics call recomputes exactly the dirty
-// remainder and yields results byte-identical to a cold full run over
-// the edited corpus.
-//
-// On error (unloaded corpus, unparseable file) the assessor state is
-// unchanged: parsing happens before any mutation.
-func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
+// PreparedDelta is a validated, parsed corpus edit awaiting commit. The
+// expensive, read-only half of a delta (change detection and parsing)
+// happens in PrepareDelta; CommitDelta then mutates the assessor. The
+// serving layer exploits the split for shard-aware concurrency: deltas
+// to disjoint modules prepare in parallel under a read lock and only
+// serialize for the (cheap) commit.
+type PreparedDelta struct {
+	a       *Assessor
+	dirty   []*srcfile.File
+	parsed  []*ccast.TranslationUnit
+	removed []string
+	// unchanged counts files whose content matched the corpus at
+	// prepare time.
+	unchanged int
+}
+
+// PrepareDelta validates and parses a corpus edit without mutating any
+// assessor state. It only reads the file set (to detect unchanged
+// content and inherit module overrides), so callers may run several
+// prepares concurrently as long as no commit runs in between — the
+// serving layer holds a read lock here and the write lock across
+// CommitDelta.
+func (a *Assessor) PrepareDelta(d Delta) (*PreparedDelta, error) {
 	if a.fs == nil {
 		return nil, errors.New("core: ApplyDelta before a corpus is loaded")
 	}
-	res := &DeltaResult{}
+	pd := &PreparedDelta{a: a, removed: d.Removed}
 
 	// Decide what actually changed.
-	var dirty []*srcfile.File
 	for _, f := range d.Changed {
 		if f == nil || f.Path == "" {
 			return nil, errors.New("core: delta file without a path")
 		}
 		old := a.fs.Lookup(f.Path)
 		if old != nil && old.Src == f.Src {
-			res.Unchanged++
+			pd.unchanged++
 			continue
 		}
 		// Normalize before parsing (the parser keys CUDA lexing off
@@ -86,55 +98,83 @@ func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
 		if f.Module == "" {
 			f.Module = f.ModuleName()
 		}
-		dirty = append(dirty, f)
+		pd.dirty = append(pd.dirty, f)
 	}
 
-	// Parse the dirty files before touching any state, mirroring
+	// Parse the dirty files before any state can be touched, mirroring
 	// LoadFileSet's tolerance: BadDecls are fine, a nil unit is not.
-	parsed := make([]*ccast.TranslationUnit, len(dirty))
-	perr := make([]*ccparse.Error, len(dirty))
-	par.For(par.Workers(len(dirty)), len(dirty), func(i int) {
-		tu, errs := ccparse.Parse(dirty[i], ccparse.Options{})
-		parsed[i] = tu
+	pd.parsed = make([]*ccast.TranslationUnit, len(pd.dirty))
+	perr := make([]*ccparse.Error, len(pd.dirty))
+	par.For(par.Workers(len(pd.dirty)), len(pd.dirty), func(i int) {
+		tu, errs := ccparse.Parse(pd.dirty[i], ccparse.Options{})
+		pd.parsed[i] = tu
 		if tu == nil && len(errs) > 0 {
 			perr[i] = errs[0]
 		}
 	})
-	for i := range parsed {
-		if parsed[i] == nil {
-			return nil, fmt.Errorf("core: file %s failed to parse: %v", dirty[i].Path, perr[i])
+	for i := range pd.parsed {
+		if pd.parsed[i] == nil {
+			return nil, fmt.Errorf("core: file %s failed to parse: %v", pd.dirty[i].Path, perr[i])
 		}
 	}
+	return pd, nil
+}
 
-	// Commit: file set, parse map, and (when built) the artifact index.
+// CommitDelta applies a prepared delta: file set, parse map, and (when
+// built) the artifact index, which re-analyzes only the upserted units
+// and rebuilds only the dirty shards. Callers must serialize commits
+// (and any reads) on the assessor.
+func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
+	if pd == nil || pd.a != a {
+		return nil, errors.New("core: CommitDelta with a delta prepared for a different assessor")
+	}
+	res := &DeltaResult{Unchanged: pd.unchanged}
 	var removedPaths []string
-	for _, p := range d.Removed {
+	for _, p := range pd.removed {
 		if a.fs.Remove(p) {
 			delete(a.units, p)
 			removedPaths = append(removedPaths, p)
 			res.Removed++
 		}
 	}
-	for i, f := range dirty {
+	for i, f := range pd.dirty {
 		canon := a.fs.Add(f)
 		// Add replaces in place, keeping the corpus-resident *File
 		// canonical; re-point the fresh unit at it so index, metrics,
 		// and rules all observe one File identity per path.
-		parsed[i].File = canon
-		a.units[canon.Path] = parsed[i]
+		pd.parsed[i].File = canon
+		a.units[canon.Path] = pd.parsed[i]
 		res.Parsed++
 	}
 	if a.ix != nil {
-		a.ix.Apply(parsed, removedPaths)
+		a.ix.Apply(pd.parsed, removedPaths)
 	}
 
-	// Drop memoized whole-corpus results; the per-file caches behind
+	// Drop memoized whole-corpus results; the per-shard caches behind
 	// them make the recomputation proportional to the delta.
 	a.findings = nil
 	a.stats = nil
 	a.fw = nil
 	a.arch = nil
 	return res, nil
+}
+
+// ApplyDelta applies a corpus edit in place. Only genuinely changed
+// files are re-parsed and only their shards re-indexed; every warm
+// per-file and per-shard cache (rule finding segments, metrics rows,
+// memoized CFGs, arch partials) survives for untouched shards. The next
+// Assess/Findings/Metrics call recomputes exactly the dirty remainder
+// and yields results byte-identical to a cold full run over the edited
+// corpus.
+//
+// On error (unloaded corpus, unparseable file) the assessor state is
+// unchanged: parsing happens before any mutation.
+func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
+	pd, err := a.PrepareDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	return a.CommitDelta(pd)
 }
 
 // RuleFilesChecked returns how many files the last Findings() run

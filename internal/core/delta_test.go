@@ -344,3 +344,80 @@ func TestCustomRuleSetDelta(t *testing.T) {
 		t.Fatal("subset-rule warm assessment differs from cold run")
 	}
 }
+
+// TestDeltaPureAddKeepsIndexViews is the regression gate for the
+// shared-Units-map trap: CommitDelta installs new units into the map the
+// index shares BEFORE Index.Apply runs, so Apply must detect adds from
+// its own shard membership, not from Units[p]. A pure-add delta (no
+// removals alongside to mask it) must extend Index().Paths and keep warm
+// output byte-identical to a cold run.
+func TestDeltaPureAddKeepsIndexViews(t *testing.T) {
+	a := NewAssessor(DefaultConfig())
+	if err := a.LoadFileSet(func() *srcfile.FileSet {
+		fs := srcfile.NewFileSet()
+		fs.AddSource("m/a.c", "int fa(int x) { return x; }\n")
+		fs.AddSource("n/c.c", "int fc(int x) { return x + 1; }\n")
+		return fs
+	}()); err != nil {
+		t.Fatal(err)
+	}
+	a.Assess()
+	if _, err := a.ApplyDelta(Delta{Changed: []*srcfile.File{
+		{Path: "m/b.c", Src: "int gb;\nint fb(int x) { if (x > 0) { return 1; } return 0; }\n"},
+		{Path: "o/d.c", Src: "int fd(int k) { return k * 2; }\n"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	paths := a.Index().Paths
+	want := []string{"m/a.c", "m/b.c", "n/c.c", "o/d.c"}
+	if len(paths) != len(want) {
+		t.Fatalf("Index().Paths = %v after pure-add delta, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Index().Paths = %v after pure-add delta, want %v", paths, want)
+		}
+	}
+	warm := renderAssessment(a, a.Assess())
+	if got := coldRender(t, DefaultConfig(), a.FileSet()); !bytes.Equal(warm, got) {
+		t.Fatal("warm assessment after pure-add delta differs from cold run")
+	}
+}
+
+// TestDeltaModuleOverrideMove pins the module-move path: replacing a
+// file with an explicit Module override must move it between shards
+// (no duplicate in the old shard — FileSet.Add mutates the canonical
+// *File in place, so Apply cannot learn the old module from the unit)
+// and keep warm output byte-identical to a cold ingest.
+func TestDeltaModuleOverrideMove(t *testing.T) {
+	a := NewAssessor(DefaultConfig())
+	if err := a.LoadFileSet(func() *srcfile.FileSet {
+		fs := srcfile.NewFileSet()
+		fs.AddSource("m/a.c", "int fa(int x) { return x; }\n")
+		fs.AddSource("n/c.c", "int fc(int x) { return x + 1; }\n")
+		return fs
+	}()); err != nil {
+		t.Fatal(err)
+	}
+	a.Assess()
+	if _, err := a.ApplyDelta(Delta{Changed: []*srcfile.File{
+		{Path: "m/a.c", Module: "n", Src: "int fa(int x) { return x - 1; }\n"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Index().Paths); got != 2 {
+		t.Fatalf("index holds %d paths after module move, want 2", got)
+	}
+	if sh := a.Index().Shard("m"); sh != nil && sh.Len() > 0 {
+		t.Fatalf("old shard m still owns %d paths after module move", sh.Len())
+	}
+	fw := a.Metrics()
+	if len(fw.Files) != 2 || fw.TotalFunc != 2 {
+		t.Fatalf("warm metrics double-count after module move: %d files / %d funcs",
+			len(fw.Files), fw.TotalFunc)
+	}
+	warm := renderAssessment(a, a.Assess())
+	if got := coldRender(t, DefaultConfig(), a.FileSet()); !bytes.Equal(warm, got) {
+		t.Fatal("warm assessment after module-override move differs from cold run")
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+// ShardStat is the operator-facing summary of one corpus shard
+// (module): how many files it owns, how many source bytes they hold,
+// and how many findings the rule engine currently attributes to it.
+// cmd/adassess prints these under -shards; skew across shards predicts
+// warm-delta latency, which is proportional to the dirty shard's size.
+type ShardStat struct {
+	Module   string
+	Files    int
+	Bytes    int
+	Findings int
+}
+
+// ShardStats returns per-shard statistics in sorted module order. It
+// runs (or reuses) the rule engine to attribute findings.
+func (a *Assessor) ShardStats() []ShardStat {
+	if a.fs == nil {
+		return nil
+	}
+	a.Findings()
+	out := make([]ShardStat, 0, len(a.fs.Modules()))
+	for _, mod := range a.fs.Modules() {
+		st := ShardStat{Module: mod, Findings: a.stats.ByModule[mod]}
+		for _, f := range a.fs.ModuleFiles(mod) {
+			st.Files++
+			st.Bytes += len(f.Src)
+		}
+		out = append(out, st)
+	}
+	return out
+}

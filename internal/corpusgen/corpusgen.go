@@ -28,7 +28,9 @@ package corpusgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/srcfile"
@@ -59,6 +61,15 @@ type Params struct {
 	// files carry a fixed kernel template whose findings (kernel subset,
 	// launches, device allocation, pointer params) are fully manifested.
 	CUDAFiles int
+	// ModuleSkew skews the initial C++ file counts across modules with a
+	// zipf-ish fan: module i receives a share proportional to
+	// 1/(i+1)^ModuleSkew of Modules×FilesPerModule total files (largest-
+	// remainder rounding, at least one file per module). Zero (the
+	// default) keeps the historical uniform layout byte-identical.
+	// Shard-imbalance scenarios — one huge module, a long tail of tiny
+	// ones — are what the sharded incremental pipeline has to survive,
+	// so the knob makes them generatable and replayable.
+	ModuleSkew float64
 }
 
 // DefaultParams mirrors a small Apollo-like tree suitable for fuzz steps.
@@ -98,7 +109,56 @@ func (p Params) withDefaults() Params {
 	if p.CUDAFiles < 0 {
 		p.CUDAFiles = d.CUDAFiles
 	}
+	if p.ModuleSkew < 0 {
+		p.ModuleSkew = 0
+	}
 	return p
+}
+
+// moduleFileCounts returns the initial C++ file count per module under
+// the skew knob. Skew 0 is exactly FilesPerModule everywhere; positive
+// skew distributes Modules×FilesPerModule files by weights (i+1)^-skew
+// with largest-remainder rounding (deterministic, total preserved) and
+// a floor of one file per module.
+func moduleFileCounts(modules, filesPerModule int, skew float64) []int {
+	counts := make([]int, modules)
+	if skew == 0 {
+		for i := range counts {
+			counts[i] = filesPerModule
+		}
+		return counts
+	}
+	total := modules * filesPerModule
+	weights := make([]float64, modules)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -skew)
+		sum += weights[i]
+	}
+	remaining := total - modules // one file per module is guaranteed
+	if remaining < 0 {
+		remaining = 0
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, modules)
+	assigned := 0
+	for i := range counts {
+		share := float64(remaining) * weights[i] / sum
+		whole := int(share)
+		counts[i] = 1 + whole
+		assigned += whole
+		rems[i] = rem{i, share - float64(whole)}
+	}
+	// Hand the leftover files to the largest remainders; ties break on
+	// the lower module index so the layout is deterministic.
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; k < remaining-assigned; k++ {
+		counts[rems[k%modules].i]++
+	}
+	return counts
 }
 
 // moduleNames are the AD pipeline modules of the paper's Figure 1;
@@ -204,8 +264,9 @@ func New(p Params, seed int64) *Generator {
 	for mi := 0; mi < p.Modules; mi++ {
 		g.mods = append(g.mods, moduleName(mi))
 	}
+	counts := moduleFileCounts(p.Modules, p.FilesPerModule, p.ModuleSkew)
 	for mi, mod := range g.mods {
-		for fi := 0; fi < p.FilesPerModule; fi++ {
+		for fi := 0; fi < counts[mi]; fi++ {
 			g.addFile(mod, mi, false)
 		}
 		for ci := 0; ci < p.CUDAFiles; ci++ {

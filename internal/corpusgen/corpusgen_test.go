@@ -2,6 +2,7 @@ package corpusgen
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"testing"
@@ -198,5 +199,97 @@ func TestScaleKnobs(t *testing.T) {
 		if !known[rule] {
 			t.Fatalf("manifest references unknown rule %q", rule)
 		}
+	}
+}
+
+// TestModuleSkewLayout pins the skew knob: zero skew preserves the
+// historical uniform layout exactly, and a skewed layout is
+// deterministic, total-preserving, and actually imbalanced.
+func TestModuleSkewLayout(t *testing.T) {
+	uniform := New(Params{Modules: 4, FilesPerModule: 4, CUDAFiles: 1}, 26262)
+	legacy := New(Params{Modules: 4, FilesPerModule: 4, CUDAFiles: 1, ModuleSkew: 0}, 26262)
+	if len(uniform.Paths()) != len(legacy.Paths()) {
+		t.Fatal("zero skew changed the corpus size")
+	}
+	for i, p := range uniform.Paths() {
+		if legacy.Paths()[i] != p {
+			t.Fatalf("zero skew changed path %d: %s vs %s", i, p, legacy.Paths()[i])
+		}
+		if uniform.Source(p) != legacy.Source(p) {
+			t.Fatalf("zero skew changed content of %s", p)
+		}
+	}
+
+	counts := moduleFileCounts(5, 10, 1.5)
+	total := 0
+	for _, n := range counts {
+		if n < 1 {
+			t.Fatalf("module with %d files; floor is 1", n)
+		}
+		total += n
+	}
+	if total != 50 {
+		t.Fatalf("skewed counts sum to %d, want 50", total)
+	}
+	if counts[0] <= counts[4] {
+		t.Fatalf("skew produced no imbalance: %v", counts)
+	}
+}
+
+// skewFingerprint renders a generated corpus as per-module file counts
+// plus an FNV-1a hash over the sorted manifest entries.
+func skewFingerprint(g *Generator) (map[string]int, int, uint64) {
+	perMod := make(map[string]int)
+	for _, path := range g.Paths() {
+		perMod[path[:strings.IndexByte(path, '/')]]++
+	}
+	man := g.Manifest()
+	entries := make([]string, 0, man.Total())
+	for _, e := range man.All() {
+		entries = append(entries, e.String())
+	}
+	sort.Strings(entries)
+	h := fnv.New64a()
+	for _, e := range entries {
+		h.Write([]byte(e))
+		h.Write([]byte{0})
+	}
+	return perMod, man.Total(), h.Sum64()
+}
+
+// TestSkewedManifestPinned pins one skewed corpus end to end: the
+// per-module layout, the manifest size, the manifest content hash, and
+// oracle-exactness of the engine over it. Any change to the generator
+// or the skew arithmetic that moves ground truth shows up here.
+func TestSkewedManifestPinned(t *testing.T) {
+	g := New(Params{Modules: 6, FilesPerModule: 8, FuncsPerFile: 3,
+		ViolationsPerFile: 2, CUDAFiles: 1, ModuleSkew: 1.3}, 4242)
+	perMod, total, fp := skewFingerprint(g)
+
+	wantLayout := map[string]int{
+		"perception": 23, "planning": 10, "prediction": 7,
+		"localization": 5, "control": 5, "map": 4,
+	}
+	if len(perMod) != len(wantLayout) {
+		t.Fatalf("module layout = %v, want %v", perMod, wantLayout)
+	}
+	for m, n := range wantLayout {
+		if perMod[m] != n {
+			t.Fatalf("module %s has %d files, want %d (layout %v)", m, perMod[m], n, perMod)
+		}
+	}
+	if g.Len() != 54 || total != 181 {
+		t.Fatalf("corpus = %d files / %d manifest entries, want 54 / 181", g.Len(), total)
+	}
+	const wantFP = uint64(0x94775211ac351ee3)
+	if fp != wantFP {
+		t.Fatalf("manifest fingerprint = %#x, want %#x", fp, wantFP)
+	}
+
+	// The pinned corpus must stay oracle-exact through the engine.
+	ctx := parseAll(t, g.FileSet())
+	got := toExpects(rules.Run(ctx, rules.DefaultRules()))
+	if d := diffMultiset(got, g.Manifest().All()); d != "" {
+		t.Fatalf("skewed corpus diverges from its manifest: %s", d)
 	}
 }

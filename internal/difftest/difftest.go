@@ -4,11 +4,14 @@
 //
 //  1. the sequential reference engine (rules.RunSequential),
 //  2. the fused parallel engine (rules.Run),
-//  3. the warm incremental assessor (core.Assessor.ApplyDelta + Findings),
+//  3. the warm sharded assessor (core.Assessor.ApplyDelta + Findings,
+//     riding per-module shard segments and the k-way merge),
 //  4. the adserve HTTP service (POST /assess, POST /delta, GET /findings,
 //     GET /report),
+//  5. the warm flat incremental rule engine (rules.Incremental, the
+//     pre-sharding warm path, kept as an independently-cached reference),
 //
-// and asserts, at every step, that all four produce byte-identical
+// and asserts, at every step, that all five produce byte-identical
 // finding streams AND that those findings equal the generator's
 // injected-violation manifest (the ground-truth oracle). A (seed, steps,
 // params) triple replays deterministically, so any failure is a one-line
@@ -75,11 +78,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 	gen := corpusgen.New(cfg.Params, cfg.Seed)
 
-	// Path 3: a warm assessor fed only deltas after the initial load.
+	// Path 3: a warm sharded assessor fed only deltas after the initial
+	// load.
 	warm := core.NewAssessor(core.DefaultConfig())
 	if err := warm.LoadFileSet(gen.FileSet()); err != nil {
 		return nil, fmt.Errorf("seed %d: initial load: %v", cfg.Seed, err)
 	}
+
+	// Path 5: the flat incremental rule engine, warm across steps via
+	// its own per-file cache (hash-keyed, so it survives the fresh
+	// context each verification step builds).
+	inc := rules.NewIncremental(rules.DefaultRules())
 
 	// Path 4: the HTTP service, fed the same initial corpus and deltas.
 	var ts *httptest.Server
@@ -112,7 +121,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			logf("step %2d: %-6s %s (%d files)", step, mut.Kind, mut.Path, gen.Len())
 		}
-		n, err := verifyStep(gen, warm, ts)
+		n, err := verifyStep(gen, warm, inc, ts)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d step %d: %v", cfg.Seed, step, err)
 		}
@@ -152,7 +161,7 @@ func applyMutation(warm *core.Assessor, ts *httptest.Server, mut corpusgen.Mutat
 // verifyStep checks all engine paths against each other and against the
 // manifest for the generator's current corpus, returning the finding
 // count.
-func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, ts *httptest.Server) (int, error) {
+func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, inc *rules.Incremental, ts *httptest.Server) (int, error) {
 	// Paths 1+2: cold parse, then both in-process engines over one context.
 	fs := gen.FileSet()
 	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
@@ -168,7 +177,10 @@ func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, ts *httptest.Serv
 		return 0, fmt.Errorf("fused engine diverges from sequential reference: %s", d)
 	}
 	if d := firstDiff(seqBytes, canonical(warm.Findings())); d != "" {
-		return 0, fmt.Errorf("warm incremental assessor diverges from sequential reference: %s", d)
+		return 0, fmt.Errorf("warm sharded assessor diverges from sequential reference: %s", d)
+	}
+	if d := firstDiff(seqBytes, canonical(inc.Run(ctx))); d != "" {
+		return 0, fmt.Errorf("warm flat incremental engine diverges from sequential reference: %s", d)
 	}
 
 	// Path 4: the service's finding rows and full report.

@@ -9,9 +9,9 @@ import (
 )
 
 // TestDifferentialSmoke runs a short differential sequence through all
-// four engine paths, including the HTTP service. This is the standing
-// trust layer: any engine refactor that breaks byte-identity or the
-// injected-violation oracle fails here.
+// five engine paths, including the HTTP service and the warm sharded
+// assessor. This is the standing trust layer: any engine refactor that
+// breaks byte-identity or the injected-violation oracle fails here.
 func TestDifferentialSmoke(t *testing.T) {
 	if prev := runtime.GOMAXPROCS(0); prev < 4 {
 		runtime.GOMAXPROCS(4)
@@ -36,7 +36,7 @@ func TestDifferentialSmoke(t *testing.T) {
 	}
 }
 
-// TestDifferentialNoHTTP covers the three in-process paths across more
+// TestDifferentialNoHTTP covers the four in-process paths across more
 // seeds (cheaper without the service round-trips).
 func TestDifferentialNoHTTP(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
@@ -52,6 +52,25 @@ func TestDifferentialNoHTTP(t *testing.T) {
 		if res.Steps != 7 {
 			t.Errorf("seed %d: steps = %d", seed, res.Steps)
 		}
+	}
+}
+
+// TestDifferentialSkewed runs the harness over a deliberately
+// shard-imbalanced corpus (one dominant module, a long tail), the
+// workload shape the sharded warm path has to keep byte-identical.
+func TestDifferentialSkewed(t *testing.T) {
+	res, err := Run(Config{
+		Seed:  26262,
+		Steps: 6,
+		Params: corpusgen.Params{Modules: 4, FilesPerModule: 3,
+			FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1,
+			ModuleSkew: 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 7 {
+		t.Errorf("steps = %d, want 7", res.Steps)
 	}
 }
 

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"repro/internal/artifact"
+)
+
+// ArchCache is the shard-aware counterpart of AnalyzeArchIndexed. The
+// architectural metrics are inherently cross-module (fan-in/out and
+// cohesion resolve every call against the corpus-wide function→module
+// table), so the cache keeps a RESOLVED partial per module shard — the
+// shard's LOC/interface/thread counters plus its call counts already
+// mapped to target modules — keyed on (shard generation, export
+// overlay). While the overlay is unchanged the function→module table
+// cannot have changed, so clean shards' partials stay valid and a warm
+// call recomputes only the dirty shard before folding the k partials
+// into the final rows. Output is identical to AnalyzeArchIndexed.
+//
+// ArchCache is not safe for concurrent use; the Assessor serializes
+// access.
+type ArchCache struct {
+	ix      *artifact.Index
+	overlay uint64
+	haveOv  bool
+	shards  map[string]*archShard
+}
+
+// archShard is one module's resolved partial.
+type archShard struct {
+	gen   uint64
+	valid bool
+
+	loc     int
+	nFuncs  int
+	sumPar  int
+	maxPar  int
+	threads int
+	irqs    int
+	// calls counts resolved calls by target module.
+	calls    map[string]int
+	internal int
+	external int
+}
+
+// NewArchCache returns an empty architectural-metrics cache.
+func NewArchCache() *ArchCache {
+	return &ArchCache{shards: make(map[string]*archShard)}
+}
+
+// AnalyzeIndexed computes per-module architectural metrics from the
+// shared artifact cache, reusing per-shard partials for modules whose
+// shard generation is unchanged under an unchanged export overlay.
+func (c *ArchCache) AnalyzeIndexed(ix *artifact.Index) []*ArchMetrics {
+	ov := ix.ExportOverlay()
+	if ix != c.ix || !c.haveOv || ov != c.overlay {
+		// The function→module table may have shifted: every resolved
+		// partial is suspect.
+		for _, as := range c.shards {
+			as.valid = false
+		}
+		c.ix, c.overlay, c.haveOv = ix, ov, true
+	}
+	names := ix.ShardNames()
+	if len(c.shards) > len(names) {
+		live := make(map[string]bool, len(names))
+		for _, m := range names {
+			live[m] = true
+		}
+		for m := range c.shards {
+			if !live[m] {
+				delete(c.shards, m)
+			}
+		}
+	}
+
+	for _, m := range names {
+		sh := ix.Shard(m)
+		as := c.shards[m]
+		if as == nil {
+			as = &archShard{}
+			c.shards[m] = as
+		}
+		if as.valid && as.gen == sh.Gen() {
+			continue
+		}
+		c.refoldShard(ix, m, sh, as)
+	}
+
+	// Fold the partials into the final rows (sorted module order, the
+	// same order AnalyzeArchIndexed emits).
+	out := make([]*ArchMetrics, 0, len(names))
+	callersOf := make(map[string]map[string]bool, len(names))
+	for _, m := range names {
+		as := c.shards[m]
+		for tgt := range as.calls {
+			if tgt == m {
+				continue
+			}
+			if callersOf[tgt] == nil {
+				callersOf[tgt] = make(map[string]bool)
+			}
+			callersOf[tgt][m] = true
+		}
+	}
+	for _, m := range names {
+		as := c.shards[m]
+		am := &ArchMetrics{
+			Module:             m,
+			LOC:                as.loc,
+			MaxInterfaceParams: as.maxPar,
+			ThreadPrimitives:   as.threads,
+			InterruptHandlers:  as.irqs,
+			InternalCalls:      as.internal,
+			ExternalCalls:      as.external,
+			FanIn:              len(callersOf[m]),
+		}
+		for tgt := range as.calls {
+			if tgt != m {
+				am.FanOut++
+			}
+		}
+		total := as.internal + as.external
+		if total > 0 {
+			am.Cohesion = float64(as.internal) / float64(total)
+		} else {
+			am.Cohesion = 1.0
+		}
+		if as.nFuncs > 0 {
+			am.MeanInterfaceParams = float64(as.sumPar) / float64(as.nFuncs)
+		}
+		out = append(out, am)
+	}
+	return out
+}
+
+// refoldShard recomputes one shard's resolved partial in O(shard).
+func (c *ArchCache) refoldShard(ix *artifact.Index, mod string, sh *artifact.Shard, as *archShard) {
+	as.loc, as.nFuncs, as.sumPar, as.maxPar = 0, 0, 0, 0
+	as.threads, as.irqs, as.internal, as.external = 0, 0, 0, 0
+	as.calls = make(map[string]int)
+	for _, p := range sh.Paths() {
+		as.loc += ix.Units[p].File.LineCount()
+	}
+	for _, fa := range sh.Funcs() {
+		as.nFuncs++
+		np := len(fa.Decl.Params)
+		as.sumPar += np
+		if np > as.maxPar {
+			as.maxPar = np
+		}
+		for _, callee := range fa.Calls {
+			if schedulingAPIs[callee] {
+				as.threads++
+			}
+			if interruptAPIs[callee] {
+				as.irqs++
+			}
+			if tgt, ok := ix.FuncModule(lastName(callee)); ok {
+				as.calls[tgt]++
+				if tgt == mod {
+					as.internal++
+				} else {
+					as.external++
+				}
+			}
+		}
+	}
+	as.gen, as.valid = sh.Gen(), true
+}

@@ -1,24 +1,31 @@
 package metrics
 
 import (
+	"sort"
+
 	"repro/internal/artifact"
 	"repro/internal/par"
 )
 
-// Cache is a per-file metrics cache keyed by content hash. A warm
-// AnalyzeIndexed recomputes rows only for files whose content changed
-// since the previous call and re-aggregates — the aggregation itself is
-// cheap next to the NLOC text scans it avoids. The result is identical
-// to the cache-free AnalyzeIndexed over the same index.
+// Cache is a shard-aware per-file metrics cache. A warm AnalyzeIndexed
+// consults the index's per-module shard generations: clean shards
+// contribute their cached file rows AND their cached module partial
+// (ModuleMetrics plus the shard's share of the corpus totals) without
+// being scanned at all; dirty shards recompute rows only for files whose
+// content hash changed and re-fold their partial in O(shard). The global
+// result is then a merge of the per-shard row lists (path order) and a
+// fold of the partials — O(dirty shard + #shards), not O(corpus) — and
+// is identical to the cache-free AnalyzeIndexed over the same index.
 //
 // File rows depend only on the file's path (module, language) and
 // content (lines, NLOC, per-function facts from the artifact cache), so
-// a (path, hash) key is exact. Cached *FileMetrics are shared across
-// results; callers must treat them as immutable.
+// a (path, hash) key is exact. Cached *FileMetrics and *ModuleMetrics
+// are shared across results; callers must treat them as immutable.
 //
 // Cache is not safe for concurrent use; the Assessor serializes access.
 type Cache struct {
-	perFile map[string]cacheEntry
+	ix     *artifact.Index
+	shards map[string]*metricShard
 	// lastDirty records how many rows the previous AnalyzeIndexed
 	// recomputed.
 	lastDirty int
@@ -29,9 +36,20 @@ type cacheEntry struct {
 	fm   *FileMetrics
 }
 
+// metricShard is the cached state for one module shard.
+type metricShard struct {
+	gen     uint64
+	valid   bool
+	perFile map[string]cacheEntry
+	files   []*FileMetrics // shard path order
+	mm      *ModuleMetrics
+	// totals are the shard's contribution to the corpus-wide counters.
+	totLOC, totNLOC, totFunc, modWorse int
+}
+
 // NewCache returns an empty metrics cache.
 func NewCache() *Cache {
-	return &Cache{perFile: make(map[string]cacheEntry)}
+	return &Cache{shards: make(map[string]*metricShard)}
 }
 
 // LastDirty returns the number of file rows the previous AnalyzeIndexed
@@ -39,39 +57,180 @@ func NewCache() *Cache {
 func (c *Cache) LastDirty() int { return c.lastDirty }
 
 // AnalyzeIndexed computes framework metrics from the index, reusing
-// cached per-file rows for unchanged files.
+// cached per-file rows and per-shard aggregates wherever the shard
+// generations show nothing changed.
 func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
-	paths := ix.Paths
-	files := make([]*FileMetrics, len(paths))
-	var dirty []int
-	for i, p := range paths {
-		h := ix.Units[p].File.Hash()
-		if e, ok := c.perFile[p]; ok && e.hash == h {
-			files[i] = e.fm
-		} else {
-			dirty = append(dirty, i)
+	if ix != c.ix {
+		// New index: per-file hash entries stay useful (identical
+		// content hits), but shard generations are from another world.
+		for _, ms := range c.shards {
+			ms.valid = false
 		}
+		c.ix = ix
 	}
-	c.lastDirty = len(dirty)
-	par.For(par.Workers(len(dirty)), len(dirty), func(k int) {
-		i := dirty[k]
-		p := paths[i]
-		files[i] = analyzeFileIndexed(ix.Units[p], ix.UnitFuncs(p))
-	})
-	for _, i := range dirty {
-		p := paths[i]
-		c.perFile[p] = cacheEntry{hash: ix.Units[p].File.Hash(), fm: files[i]}
-	}
-	if len(c.perFile) > len(paths) {
-		live := make(map[string]bool, len(paths))
-		for _, p := range paths {
-			live[p] = true
+	names := ix.ShardNames()
+	if len(c.shards) > len(names) {
+		live := make(map[string]bool, len(names))
+		for _, m := range names {
+			live[m] = true
 		}
-		for p := range c.perFile {
-			if !live[p] {
-				delete(c.perFile, p)
+		for m := range c.shards {
+			if !live[m] {
+				delete(c.shards, m)
 			}
 		}
 	}
-	return aggregate(files)
+
+	// Pass 1: find the dirty rows across all dirty shards.
+	type slot struct {
+		ms *metricShard
+		i  int // index into ms.files
+	}
+	var dirtyPaths []string
+	var dirtySlots []slot
+	var dirtyShards []*metricShard
+	for _, m := range names {
+		sh := ix.Shard(m)
+		ms := c.shards[m]
+		if ms == nil {
+			ms = &metricShard{perFile: make(map[string]cacheEntry)}
+			c.shards[m] = ms
+		}
+		if ms.valid && ms.gen == sh.Gen() {
+			continue
+		}
+		paths := sh.Paths()
+		ms.files = make([]*FileMetrics, len(paths))
+		for i, p := range paths {
+			h := ix.Units[p].File.Hash()
+			if e, ok := ms.perFile[p]; ok && e.hash == h {
+				ms.files[i] = e.fm
+			} else {
+				dirtyPaths = append(dirtyPaths, p)
+				dirtySlots = append(dirtySlots, slot{ms, i})
+			}
+		}
+		if len(ms.perFile) > len(paths) {
+			live := make(map[string]bool, len(paths))
+			for _, p := range paths {
+				live[p] = true
+			}
+			for p := range ms.perFile {
+				if !live[p] {
+					delete(ms.perFile, p)
+				}
+			}
+		}
+		ms.gen = sh.Gen()
+		dirtyShards = append(dirtyShards, ms)
+	}
+	c.lastDirty = len(dirtyPaths)
+
+	// Pass 2: recompute the dirty rows in parallel (the NLOC text scans
+	// dominate).
+	rows := make([]*FileMetrics, len(dirtyPaths))
+	par.For(par.Workers(len(dirtyPaths)), len(dirtyPaths), func(k int) {
+		p := dirtyPaths[k]
+		rows[k] = analyzeFileIndexed(ix.Units[p], ix.UnitFuncs(p))
+	})
+	for k, p := range dirtyPaths {
+		dirtySlots[k].ms.files[dirtySlots[k].i] = rows[k]
+		dirtySlots[k].ms.perFile[p] = cacheEntry{hash: ix.Units[p].File.Hash(), fm: rows[k]}
+	}
+
+	// Pass 3: re-fold the dirty shards' partials.
+	for _, ms := range dirtyShards {
+		ms.refold()
+		ms.valid = true
+	}
+
+	// Global result: merge row lists in path order, fold partials.
+	out := &FrameworkMetrics{Files: c.mergeFiles(ix)}
+	out.Modules = make([]*ModuleMetrics, 0, len(names))
+	for _, m := range names {
+		ms := c.shards[m]
+		if ms.mm != nil {
+			out.Modules = append(out.Modules, ms.mm)
+		}
+		out.TotalLOC += ms.totLOC
+		out.TotalNLOC += ms.totNLOC
+		out.TotalFunc += ms.totFunc
+		out.ModerateOrWorse += ms.modWorse
+	}
+	return out
+}
+
+// refold recomputes the shard's ModuleMetrics and totals from its file
+// rows. Every counter is an integer, so folding per shard and summing
+// across shards yields exactly what a flat aggregate over all files
+// would.
+func (ms *metricShard) refold() {
+	ms.totLOC, ms.totNLOC, ms.totFunc, ms.modWorse = 0, 0, 0, 0
+	var mm *ModuleMetrics
+	for _, fm := range ms.files {
+		if mm == nil {
+			mm = &ModuleMetrics{Name: fm.Module, OverCCN: make(map[int]int)}
+		}
+		mm.Files++
+		mm.LOC += fm.LOC
+		mm.NLOC += fm.NLOC
+		ms.totLOC += fm.LOC
+		ms.totNLOC += fm.NLOC
+		for _, fn := range fm.Functions {
+			mm.Functions++
+			ms.totFunc++
+			mm.SumCCN += fn.CCN
+			if fn.CCN > mm.MaxCCN {
+				mm.MaxCCN = fn.CCN
+			}
+			for _, th := range Thresholds {
+				if fn.CCN > th {
+					mm.OverCCN[th]++
+				}
+			}
+			if fn.CCN >= 11 {
+				ms.modWorse++
+			}
+		}
+	}
+	ms.mm = mm
+}
+
+// mergeFiles assembles the global file-row list in sorted path order
+// from the per-shard lists. Module shards normally own disjoint path
+// ranges (the module is the leading path segment), so this is a
+// concatenation; interleaved ranges (explicit module overrides) fall
+// back to a stable sort.
+func (c *Cache) mergeFiles(ix *artifact.Index) []*FileMetrics {
+	type seg struct {
+		first string
+		last  string
+		files []*FileMetrics
+	}
+	segs := make([]seg, 0, len(c.shards))
+	n := 0
+	for _, m := range ix.ShardNames() {
+		ms := c.shards[m]
+		if len(ms.files) == 0 {
+			continue
+		}
+		segs = append(segs, seg{ms.files[0].Path, ms.files[len(ms.files)-1].Path, ms.files})
+		n += len(ms.files)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	disjoint := true
+	for i := 1; i < len(segs); i++ {
+		if segs[i-1].last > segs[i].first {
+			disjoint = false
+			break
+		}
+	}
+	out := make([]*FileMetrics, 0, n)
+	for _, sg := range segs {
+		out = append(out, sg.files...)
+	}
+	if !disjoint {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/artifact"
+	"repro/internal/ccast"
 	"repro/internal/ccparse"
 	"repro/internal/metrics"
 	"repro/internal/srcfile"
@@ -93,5 +94,44 @@ func TestCacheMatchesAnalyzeIndexed(t *testing.T) {
 	requireSameMetrics(t, "remove", c.AnalyzeIndexed(ix), metrics.AnalyzeIndexed(ix))
 	if c.LastDirty() != 0 {
 		t.Fatalf("remove dirty = %d, want 0", c.LastDirty())
+	}
+}
+
+// TestCacheShardRecreation is the regression gate for shard-generation
+// collisions: a module removed in one delta and re-created in a later
+// one gets a brand-new artifact shard. Generations are issued from an
+// index-wide sequence precisely so the re-created shard can never
+// repeat a generation its predecessor handed out — otherwise the cache
+// would serve the deleted corpus state's rows for the module.
+func TestCacheShardRecreation(t *testing.T) {
+	ix := parseSet(t, map[string]string{
+		"a/1.c": "int fa1(int x) { return x; }\nint fa2(int x) { return x + 1; }\n",
+		"b/1.c": "int fb(int x) { return x; }\n",
+	})
+	c := metrics.NewCache()
+	requireSameMetrics(t, "cold", c.AnalyzeIndexed(ix), metrics.AnalyzeIndexed(ix))
+
+	// Delta 1: remove all of module a, add module c — the shard count
+	// stays the same, and shard a dies.
+	added, errs := ccparse.Parse(&srcfile.File{Path: "c/1.c", Lang: srcfile.LangC,
+		Src: "int fcx(int x) { return x; }\n"}, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	ix.Apply([]*ccast.TranslationUnit{added}, []string{"a/1.c"})
+	requireSameMetrics(t, "kill shard a", c.AnalyzeIndexed(ix), metrics.AnalyzeIndexed(ix))
+
+	// Delta 2: re-create module a with different content (one function,
+	// not two). A stale cache entry for the old shard must not survive.
+	reborn, errs := ccparse.Parse(&srcfile.File{Path: "a/2.c", Lang: srcfile.LangC,
+		Src: "int fa9(int x) { return x * 3; }\n"}, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	ix.AddUnit(reborn)
+	got := c.AnalyzeIndexed(ix)
+	requireSameMetrics(t, "reborn shard a", got, metrics.AnalyzeIndexed(ix))
+	if got.TotalFunc != 3 {
+		t.Fatalf("TotalFunc = %d after shard recreation, want 3", got.TotalFunc)
 	}
 }

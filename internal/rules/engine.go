@@ -158,6 +158,14 @@ func (rg *Registrar) OnDecl(h DeclFn) { rg.decls = append(rg.decls, h) }
 
 // OnCorpus subscribes a corpus-level handler, run exactly once per Run
 // regardless of worker count.
+//
+// Contract: a corpus handler must be a pure function of the corpus
+// call-graph/export view — function names (full and unqualified), files,
+// declaration lines, complexity, return counts, callee lists, and global
+// variable names. The sharded engine caches corpus-level output under
+// the artifact index's GraphOverlay/ExportOverlay, which cover exactly
+// that view; a handler reading anything else (statement bodies, file
+// text) would go stale across deltas that keep the view unchanged.
 func (rg *Registrar) OnCorpus(h CorpusFn) { rg.corpus = append(rg.corpus, h) }
 
 // FusedRule is a Rule that can register with the fused engine instead of

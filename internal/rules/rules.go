@@ -60,19 +60,14 @@ func (f *Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.RuleID, f.Msg)
 }
 
-// FuncInfo is the per-function context shared by rules.
-type FuncInfo struct {
-	Decl   *ccast.FuncDecl
-	File   *srcfile.File
-	Module string
-	// Callees are unqualified names of functions this one calls.
-	Callees []string
-	// CCN is the precomputed Lizard-compatible cyclomatic complexity
-	// (from the shared artifact cache).
-	CCN int
-	// Returns is the precomputed number of return statements.
-	Returns int
-}
+// FuncInfo is the per-function context shared by rules. It IS the
+// artifact cache's record (a type alias): the fields rules read — Decl,
+// File, Module, Callees (unqualified), CCN, Returns — are computed once
+// in the artifact analysis walk, so building a rules context performs no
+// per-function work at all. Earlier revisions copied every record into a
+// rules-local mirror struct on every context build, which made warm
+// re-assessment O(corpus); the alias removes that layer entirely.
+type FuncInfo = artifact.Func
 
 // Context carries the parsed corpus plus cross-file indexes that
 // corpus-level rules (recursion, return-value checking) need.
@@ -97,44 +92,21 @@ func NewContext(units map[string]*ccast.TranslationUnit) *Context {
 }
 
 // NewContextFromIndex adapts a prebuilt artifact index into the rules
-// context, reusing the cached callee lists, complexity, and return counts
-// instead of re-walking every function body.
+// context. Because FuncInfo aliases the artifact record, this is a thin
+// view: the function list, name index, global-name map, and per-unit
+// lists are shared with the index (O(1), no copying). After an
+// Index.Apply, build a fresh context — it is free — rather than reusing
+// an old one (Apply replaces the slices it rebuilds), and never read a
+// context concurrently with Apply.
 func NewContextFromIndex(ix *artifact.Index) *Context {
-	ctx := &Context{
+	return &Context{
 		Units:       ix.Units,
-		Funcs:       make([]*FuncInfo, 0, len(ix.Funcs)),
-		ByName:      make(map[string]*FuncInfo, len(ix.Funcs)),
+		Funcs:       ix.Funcs,
+		ByName:      ix.ByName,
 		GlobalNames: ix.GlobalNames,
 		Index:       ix,
-		unitFuncs:   make(map[string][]*FuncInfo, len(ix.Paths)),
+		unitFuncs:   ix.UnitFuncsMap(),
 	}
-	byArtifact := make(map[*artifact.Func]*FuncInfo, len(ix.Funcs))
-	for _, fa := range ix.Funcs {
-		fi := &FuncInfo{
-			Decl: fa.Decl, File: fa.File, Module: fa.Module,
-			CCN: fa.CCN, Returns: fa.Returns,
-		}
-		if len(fa.Calls) > 0 {
-			fi.Callees = make([]string, len(fa.Calls))
-			for i, raw := range fa.Calls {
-				fi.Callees[i] = UnqualifiedName(raw)
-			}
-		}
-		ctx.Funcs = append(ctx.Funcs, fi)
-		byArtifact[fa] = fi
-	}
-	for key, fa := range ix.ByName {
-		ctx.ByName[key] = byArtifact[fa]
-	}
-	for _, p := range ix.Paths {
-		fas := ix.UnitFuncs(p)
-		fis := make([]*FuncInfo, len(fas))
-		for i, fa := range fas {
-			fis[i] = byArtifact[fa]
-		}
-		ctx.unitFuncs[p] = fis
-	}
-	return ctx
 }
 
 // Rule is one checker.

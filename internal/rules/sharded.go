@@ -1,0 +1,289 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/artifact"
+)
+
+// This file implements the sharded incremental rule engine — the warm
+// path of core.Assessor. Where Incremental keys one flat per-file cache
+// on a corpus-wide environment signature (recomputed in O(corpus) after
+// every delta), Sharded rides the artifact index's module shards:
+//
+//   - dirty detection consults per-shard generations, so a warm run
+//     inspects only the shards a delta touched;
+//   - each shard keeps a presorted finding segment (its files' cached
+//     findings concatenated in shard path order) plus a Stats partial,
+//     rebuilt in O(shard) only when the shard is dirty;
+//   - the cross-file environment signature is the index's ExportOverlay
+//     — per-shard export signatures combined in O(#shards) — so an edit
+//     that does not change exported facts costs nothing corpus-wide;
+//   - corpus-level rule output (the recursion SCC) is cached under the
+//     index's GraphOverlay and reused verbatim while the corpus
+//     call-graph view is unchanged;
+//   - the global finding stream is a k-way merge of the shard segments
+//     (plus the corpus segment), byte-identical to a cold fused run
+//     because every segment is sorted under the same findingLess total
+//     order the cold engine sorts with.
+//
+// Output equivalence with rules.Run / RunSequential over the same
+// context is pinned by TestShardedMatchesColdRun and exercised at scale
+// by the differential harness (internal/difftest).
+type Sharded struct {
+	rules []Rule
+	fused []FusedRule // nil when any rule lacks a fused form
+
+	ix      *artifact.Index
+	export  uint64
+	haveEnv bool
+
+	shards map[string]*shardSeg
+
+	corpusKey  [2]uint64
+	haveCorpus bool
+	corpusSeg  []Finding
+	corpusStat *Stats
+
+	stats     *Stats
+	lastDirty int
+}
+
+// shardSeg is the engine's cached state for one module shard.
+type shardSeg struct {
+	gen     uint64 // artifact shard generation this segment matches
+	valid   bool
+	perFile map[string]incrEntry
+	seg     []Finding
+	stats   *Stats
+}
+
+// NewSharded creates a sharded incremental engine over the given rule
+// set. Rule sets containing non-fused rules still work but fall back to
+// a full run every time (nothing is cached), as do contexts without a
+// sharded index behind them.
+func NewSharded(rs []Rule) *Sharded {
+	s := &Sharded{rules: rs, shards: make(map[string]*shardSeg)}
+	fused := make([]FusedRule, 0, len(rs))
+	for _, r := range rs {
+		fr, ok := r.(FusedRule)
+		if !ok {
+			fused = nil
+			break
+		}
+		fused = append(fused, fr)
+	}
+	s.fused = fused
+	return s
+}
+
+// LastDirty returns the number of files the previous Run re-checked
+// (every file on a cold or invalidated run).
+func (s *Sharded) LastDirty() int { return s.lastDirty }
+
+// Stats returns the finding statistics of the previous Run, folded from
+// the per-shard partials. Identical to Aggregate over the returned
+// findings.
+func (s *Sharded) Stats() *Stats { return s.stats }
+
+// reset drops all engine state (new index ⇒ new corpus).
+func (s *Sharded) reset(ix *artifact.Index) {
+	s.ix = ix
+	s.haveEnv = false
+	s.haveCorpus = false
+	s.shards = make(map[string]*shardSeg)
+	s.corpusSeg, s.corpusStat = nil, nil
+}
+
+// Run executes the rules over the context. Output is byte-identical to
+// rules.Run over the same context; a warm run after a delta re-checks
+// only the dirty files and re-aggregates only the dirty shards.
+func (s *Sharded) Run(ctx *Context) []Finding {
+	if s.fused == nil || ctx.Index == nil || ctx.unitFuncs == nil {
+		s.lastDirty = len(ctx.Units)
+		out := Run(ctx, s.rules)
+		s.stats = Aggregate(out)
+		return out
+	}
+	ix := ctx.Index
+	if ix != s.ix {
+		s.reset(ix)
+	}
+
+	env := ix.ExportOverlay()
+	invalidate := !s.haveEnv || env != s.export
+	s.export, s.haveEnv = env, true
+
+	names := ix.ShardNames()
+	// Drop state for shards that no longer exist.
+	if len(s.shards) > len(names) {
+		live := make(map[string]bool, len(names))
+		for _, m := range names {
+			live[m] = true
+		}
+		for m := range s.shards {
+			if !live[m] {
+				delete(s.shards, m)
+			}
+		}
+	}
+
+	// Collect dirty files across all dirty shards (hash-compared within
+	// a shard only when the shard's generation moved or the environment
+	// invalidated everything).
+	var dirtyPaths []string
+	var dirtyHash []uint64
+	var rebuild []string // modules whose segments need rebuilding
+	segOf := make(map[string]*shardSeg, len(names))
+	for _, m := range names {
+		sh := ix.Shard(m)
+		seg := s.shards[m]
+		if seg == nil {
+			seg = &shardSeg{perFile: make(map[string]incrEntry)}
+			s.shards[m] = seg
+		}
+		if invalidate {
+			clear(seg.perFile)
+			seg.valid = false
+		} else if seg.valid && seg.gen == sh.Gen() {
+			continue // clean shard: segment and stats reused as-is
+		}
+		paths := sh.Paths()
+		for _, p := range paths {
+			h := ctx.Units[p].File.Hash()
+			if e, ok := seg.perFile[p]; !ok || e.hash != h {
+				dirtyPaths = append(dirtyPaths, p)
+				dirtyHash = append(dirtyHash, h)
+				segOf[p] = seg
+			}
+		}
+		if len(seg.perFile) > len(paths) {
+			live := make(map[string]bool, len(paths))
+			for _, p := range paths {
+				live[p] = true
+			}
+			for p := range seg.perFile {
+				if !live[p] {
+					delete(seg.perFile, p)
+				}
+			}
+		}
+		rebuild = append(rebuild, m)
+	}
+	s.lastDirty = len(dirtyPaths)
+
+	// Corpus-level hooks: reuse the cached segment while the corpus
+	// call-graph view is unchanged, otherwise run them once. Corpus
+	// handlers must be pure functions of the graph/export view (see
+	// Registrar.OnCorpus); RecursionRule's SCC is.
+	ckey := [2]uint64{ix.GraphOverlay(), env}
+	var reuseProg *Registrar
+	if !s.haveCorpus || ckey != s.corpusKey {
+		em := &Emitter{}
+		reuseProg = runCorpusHooks(ctx, s.fused, em)
+		sortFindings(em.out)
+		s.corpusSeg = em.out
+		s.corpusStat = Aggregate(em.out)
+		s.corpusKey, s.haveCorpus = ckey, true
+	}
+
+	// Re-check the dirty files (parallel across shards) and cache each
+	// file's findings pre-sorted: within a file the findingLess order is
+	// self-contained, so shard segments concatenate without re-sorting.
+	for k, fs := range runUnits(ctx, s.fused, dirtyPaths, reuseProg) {
+		sortFindings(fs)
+		segOf[dirtyPaths[k]].perFile[dirtyPaths[k]] = incrEntry{hash: dirtyHash[k], findings: fs}
+	}
+
+	// Rebuild the dirty shards' segments and stats partials.
+	for _, m := range rebuild {
+		sh := ix.Shard(m)
+		seg := s.shards[m]
+		total := 0
+		for _, p := range sh.Paths() {
+			total += len(seg.perFile[p].findings)
+		}
+		seg.seg = make([]Finding, 0, total)
+		for _, p := range sh.Paths() {
+			seg.seg = append(seg.seg, seg.perFile[p].findings...)
+		}
+		seg.stats = Aggregate(seg.seg)
+		seg.gen, seg.valid = sh.Gen(), true
+	}
+
+	// Merge the per-shard segments (and the corpus segment) under the
+	// findingLess total order, and fold the stats partials.
+	segs := make([][]Finding, 0, len(names)+1)
+	parts := make([]*Stats, 0, len(names)+1)
+	if len(s.corpusSeg) > 0 {
+		segs = append(segs, s.corpusSeg)
+	}
+	parts = append(parts, s.corpusStat)
+	for _, m := range names {
+		seg := s.shards[m]
+		if len(seg.seg) > 0 {
+			segs = append(segs, seg.seg)
+		}
+		parts = append(parts, seg.stats)
+	}
+	s.stats = MergeStats(parts...)
+	return mergeFindingSegments(segs)
+}
+
+// mergeFindingSegments merges sorted finding segments into one sorted
+// stream. Shard path ranges are normally disjoint, so the merge
+// degrades to bulk copies: at each round the segment with the smallest
+// head is copied forward up to the smallest head among the other
+// segments (found by binary search), giving O(total) copies plus
+// O(#segments) comparisons per boundary crossing.
+func mergeFindingSegments(segs [][]Finding) []Finding {
+	total := 0
+	for _, sg := range segs {
+		total += len(sg)
+	}
+	out := make([]Finding, 0, total)
+	switch len(segs) {
+	case 0:
+		return out
+	case 1:
+		return append(out, segs[0]...)
+	}
+	active := make([][]Finding, 0, len(segs))
+	for _, sg := range segs {
+		if len(sg) > 0 {
+			active = append(active, sg)
+		}
+	}
+	for len(active) > 1 {
+		// Find the segment with the smallest head and the runner-up head.
+		min := 0
+		for i := 1; i < len(active); i++ {
+			if findingLess(&active[i][0], &active[min][0]) {
+				min = i
+			}
+		}
+		next := -1
+		for i := range active {
+			if i == min {
+				continue
+			}
+			if next < 0 || findingLess(&active[i][0], &active[next][0]) {
+				next = i
+			}
+		}
+		// Copy min's prefix of elements <= the runner-up head.
+		cur := active[min]
+		bound := &active[next][0]
+		n := sort.Search(len(cur), func(i int) bool { return findingLess(bound, &cur[i]) })
+		if n == 0 {
+			n = 1 // heads compare equal: emit one and re-evaluate
+		}
+		out = append(out, cur[:n]...)
+		if n == len(cur) {
+			active = append(active[:min], active[min+1:]...)
+		} else {
+			active[min] = cur[n:]
+		}
+	}
+	return append(out, active[0]...)
+}

@@ -1,0 +1,177 @@
+package rules_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/apollocorpus"
+	"repro/internal/artifact"
+	"repro/internal/ccparse"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+)
+
+// shardedCheck runs the sharded engine against a cold fused run over a
+// fresh context and asserts byte-identical output, matching stats, and
+// (when wantDirty >= 0) the expected number of re-checked files.
+func shardedCheck(t *testing.T, stage string, eng *rules.Sharded, ix *artifact.Index, wantDirty int) {
+	t.Helper()
+	ctx := rules.NewContextFromIndex(ix)
+	warm := eng.Run(ctx)
+	cold := rules.Run(ctx, rules.DefaultRules())
+	if got, want := renderFindings(warm), renderFindings(cold); !bytes.Equal(got, want) {
+		t.Fatalf("%s: sharded output differs from cold run\n%s", stage, firstDiff(want, got))
+	}
+	if wantDirty >= 0 && eng.LastDirty() != wantDirty {
+		t.Fatalf("%s: re-checked %d files, want %d", stage, eng.LastDirty(), wantDirty)
+	}
+	if !reflect.DeepEqual(eng.Stats(), rules.Aggregate(warm)) {
+		t.Fatalf("%s: folded stats differ from flat Aggregate", stage)
+	}
+}
+
+// TestShardedMatchesColdRun drives the sharded engine through deltas
+// over the default corpus, asserting byte-identical output and exact
+// dirty-file accounting at every step.
+func TestShardedMatchesColdRun(t *testing.T) {
+	forceParallel(t)
+	fs := apollocorpus.GenerateDefault()
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("corpus parse errors: %v", errs[0])
+	}
+	ix := artifact.Build(units)
+	eng := rules.NewSharded(rules.DefaultRules())
+
+	shardedCheck(t, "cold", eng, ix, len(ix.Paths))
+	shardedCheck(t, "no-op rerun", eng, ix, 0)
+
+	// Adding a function changes the dirty shard's export signature and
+	// therefore the overlay: the whole cache invalidates, conservative
+	// but correct.
+	victim := ix.Paths[len(ix.Paths)/2]
+	reparse(t, ix, victim, ix.Units[victim].File.Src+
+		"\nint sharded_probe(int x) { if (x > 2) { return 1; } return 0; }\n")
+	shardedCheck(t, "new-function edit", eng, ix, len(ix.Paths))
+
+	ix.RemoveUnit(victim)
+	shardedCheck(t, "removal", eng, ix, len(ix.Paths))
+	shardedCheck(t, "post-removal rerun", eng, ix, 0)
+}
+
+// TestShardedBodyEditChecksOneFile pins the O(dirty shard) fast path: a
+// body edit that keeps every exported fact intact re-checks exactly the
+// dirty file, leaves the other shards' segments untouched, and still
+// merges byte-identically.
+func TestShardedBodyEditChecksOneFile(t *testing.T) {
+	forceParallel(t)
+	srcs := map[string]string{
+		"m/a.c": "int ga;\nint fa(int x) { int y; return y + x; }\n",
+		"m/b.c": "int fb(int x) { if (x > 0) { return 1; } return 0; }\n",
+		"n/c.c": "void fc(void) { fb(3); }\n",
+		"n/d.c": "int fd(int k) { int ga; return ga + k; }\n",
+	}
+	fs := srcfile.NewFileSet()
+	for p, src := range srcs {
+		fs.AddSource(p, src)
+	}
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	ix := artifact.Build(units)
+	eng := rules.NewSharded(rules.DefaultRules())
+
+	shardedCheck(t, "cold", eng, ix, 4)
+	shardedCheck(t, "no-op", eng, ix, 0)
+
+	// Same signature (fb stays int(int)), same globals — new body with
+	// different findings (a goto and a multi-exit structure).
+	reparse(t, ix, "m/b.c",
+		"int fb(int x) {\n  if (x > 1) { goto out; }\n  return 0;\nout:\n  return 1;\n}\n")
+	shardedCheck(t, "body edit", eng, ix, 1)
+	shardedCheck(t, "body edit no-op", eng, ix, 0)
+
+	// A body edit introducing recursion changes the call-graph view:
+	// the corpus segment must refresh even though exports are stable.
+	reparse(t, ix, "n/c.c", "void fc(void) { fb(3); fc(); }\n")
+	shardedCheck(t, "recursion edit", eng, ix, 1)
+	found := false
+	ctx := rules.NewContextFromIndex(ix)
+	for _, f := range eng.Run(ctx) {
+		if f.RuleID == "recursion" && f.Function == "fc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recursion introduced by a body edit was not reported")
+	}
+}
+
+// TestShardedCrossModuleEnv pins cross-shard environment invalidation:
+// an edit in one module that changes a fact another module's cached
+// findings depend on (callee voidness for the ignored-return check)
+// must invalidate and re-report correctly.
+func TestShardedCrossModuleEnv(t *testing.T) {
+	srcs := map[string]string{
+		"m/a.c": "int helper(int x) { return x + 1; }\n",
+		"n/b.c": "void caller(void) { helper(4); }\n",
+	}
+	fs := srcfile.NewFileSet()
+	for p, src := range srcs {
+		fs.AddSource(p, src)
+	}
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	ix := artifact.Build(units)
+	eng := rules.NewSharded(rules.DefaultRules())
+	shardedCheck(t, "cold", eng, ix, 2)
+
+	hasIgnored := func() bool {
+		for _, f := range eng.Run(rules.NewContextFromIndex(ix)) {
+			if f.RuleID == "defensive" && f.File == "n/b.c" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasIgnored() {
+		t.Fatal("ignored-return finding missing before the edit")
+	}
+	// helper becomes void: n/b.c's cached finding is stale and must go.
+	reparse(t, ix, "m/a.c", "void helper(int x) { (void)x; }\n")
+	shardedCheck(t, "voidness flip", eng, ix, 2)
+	if hasIgnored() {
+		t.Fatal("stale ignored-return finding survived a cross-module voidness flip")
+	}
+}
+
+// TestShardedFallbacks pins the degraded paths: non-fused rule sets and
+// hand-built contexts run the reference engine with full equivalence and
+// still produce stats.
+func TestShardedFallbacks(t *testing.T) {
+	ctx := parseDefaultCorpus(t)
+
+	bare := &rules.Context{Units: ctx.Units, Funcs: ctx.Funcs,
+		ByName: ctx.ByName, GlobalNames: ctx.GlobalNames}
+	eng := rules.NewSharded(rules.DefaultRules())
+	warm := renderFindings(eng.Run(bare))
+	cold := renderFindings(rules.RunSequential(bare, rules.DefaultRules()))
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("bare-context sharded differs from sequential\n%s", firstDiff(cold, warm))
+	}
+	if eng.Stats() == nil || eng.Stats().Total == 0 {
+		t.Error("fallback path left no stats")
+	}
+
+	rs := append(rules.DefaultRules(), unfusedRule{})
+	eng = rules.NewSharded(rs)
+	warm = renderFindings(eng.Run(ctx))
+	cold = renderFindings(rules.Run(ctx, rs))
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("non-fused sharded differs from Run\n%s", firstDiff(cold, warm))
+	}
+}

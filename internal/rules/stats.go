@@ -41,6 +41,52 @@ func Aggregate(fs []Finding) *Stats {
 	return s
 }
 
+// add folds the findings counted in other into s. Every field of Stats
+// is an integer count, so folding per-shard partials in any grouping
+// yields exactly the Stats a flat Aggregate over the concatenated
+// findings would.
+func (s *Stats) add(other *Stats) {
+	s.Total += other.Total
+	for r, n := range other.ByRule {
+		s.ByRule[r] += n
+	}
+	for m, n := range other.ByModule {
+		s.ByModule[m] += n
+	}
+	for ref, n := range other.ByRef {
+		s.ByRef[ref] += n
+	}
+	for r, mods := range other.ByRuleModule {
+		dst := s.ByRuleModule[r]
+		if dst == nil {
+			dst = make(map[string]int, len(mods))
+			s.ByRuleModule[r] = dst
+		}
+		for m, n := range mods {
+			dst[m] += n
+		}
+	}
+}
+
+// MergeStats folds per-segment statistics partials (as produced by
+// Aggregate over each segment) into one corpus-wide Stats. Used by the
+// sharded engine: clean shards contribute their cached partial, so the
+// fold costs O(#shards), not O(#findings). Nil partials are skipped.
+func MergeStats(parts ...*Stats) *Stats {
+	out := &Stats{
+		ByRule:       make(map[string]int),
+		ByModule:     make(map[string]int),
+		ByRef:        make(map[iso26262.Ref]int),
+		ByRuleModule: make(map[string]map[string]int),
+	}
+	for _, p := range parts {
+		if p != nil {
+			out.add(p)
+		}
+	}
+	return out
+}
+
 // Count returns the number of findings for a rule, optionally restricted
 // to a module ("" = all modules).
 func (s *Stats) Count(rule, module string) int {

@@ -19,8 +19,13 @@
 // Every response is JSON; errors are {"error": "..."} with a non-2xx
 // status. Request bodies above MaxBody bytes are rejected with 413 and
 // leave corpus state untouched. The server is safe for concurrent
-// clients: each corpus serializes its assessor behind a mutex while
-// distinct corpora proceed in parallel.
+// clients: distinct corpora proceed fully in parallel, and within one
+// corpus the locking is shard-aware — a delta takes per-module locks
+// plus a read lock for its expensive prepare phase (validation and
+// parsing), so concurrent deltas to disjoint modules overlap instead of
+// serializing end to end; only the cheap commit+re-assess runs under the
+// corpus write lock. Deltas touching the same module serialize entirely,
+// which pins a deterministic application order for conflicting edits.
 package service
 
 import (
@@ -55,8 +60,56 @@ type Server struct {
 }
 
 type corpusState struct {
-	mu sync.Mutex
+	// mu guards the assessor: read-held during delta prepares (which
+	// only read the file set), write-held for commits, assessments, and
+	// report builds (all of which mutate warm caches).
+	mu sync.RWMutex
 	a  *core.Assessor
+
+	// shardMu guards the module-lock table; each module lock serializes
+	// deltas touching that shard so conflicting edits apply in a
+	// deterministic order while disjoint-module deltas overlap.
+	shardMu    sync.Mutex
+	shardLocks map[string]*sync.Mutex
+}
+
+// lockModules acquires the per-module locks for the given paths' modules
+// in sorted order (deadlock-free) and returns the matching unlock. The
+// module of a path is its leading segment — exactly how the corpus
+// shards requests made through the service API.
+func (st *corpusState) lockModules(paths []string) (unlock func()) {
+	seen := make(map[string]bool)
+	var mods []string
+	for _, p := range paths {
+		m := (&srcfile.File{Path: p}).ModuleName()
+		if !seen[m] {
+			seen[m] = true
+			mods = append(mods, m)
+		}
+	}
+	sort.Strings(mods)
+	st.shardMu.Lock()
+	if st.shardLocks == nil {
+		st.shardLocks = make(map[string]*sync.Mutex)
+	}
+	locks := make([]*sync.Mutex, 0, len(mods))
+	for _, m := range mods {
+		l := st.shardLocks[m]
+		if l == nil {
+			l = &sync.Mutex{}
+			st.shardLocks[m] = l
+		}
+		locks = append(locks, l)
+	}
+	st.shardMu.Unlock()
+	for _, l := range locks {
+		l.Lock()
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].Unlock()
+		}
+	}
 }
 
 // New creates an empty server.
@@ -306,23 +359,41 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d := core.Delta{Removed: req.Removed}
+	touched := append([]string(nil), req.Removed...)
 	for _, p := range sortedKeys(req.Changed) {
 		d.Changed = append(d.Changed, &srcfile.File{Path: p, Src: req.Changed[p]})
+		touched = append(touched, p)
 	}
 
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	// Shard-aware locking: hold the touched modules for the whole
+	// request (conflicting deltas serialize in arrival order), but run
+	// the expensive prepare phase under only a read lock so deltas to
+	// disjoint modules validate and parse concurrently.
+	unlock := st.lockModules(touched)
+	defer unlock()
+
+	st.mu.RLock()
 	// A delta against a file the corpus does not hold is a client error;
 	// reject it before any state changes (core.ApplyDelta would silently
 	// ignore the removal).
 	for _, p := range req.Removed {
 		if st.a.FileSet().Lookup(p) == nil {
+			st.mu.RUnlock()
 			writeErr(w, http.StatusUnprocessableEntity,
 				fmt.Sprintf("removed path %q is not in corpus %q", p, name))
 			return
 		}
 	}
-	res, err := st.a.ApplyDelta(d)
+	pd, err := st.a.PrepareDelta(d)
+	st.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	res, err := st.a.CommitDelta(pd)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 		return

@@ -368,3 +368,136 @@ func TestConcurrentClients(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestConcurrentDisjointShardDeltas is the shard-aware-locking
+// regression gate: two deltas to disjoint modules submitted concurrently
+// must both succeed (the per-corpus lock no longer serializes /delta end
+// to end) and leave the corpus in exactly the state sequential
+// application produces. Disjoint-module deltas commute, so the expected
+// state is order-independent; the test pins byte-identical /report and
+// /findings payloads against a sequentially-driven reference server.
+// CI runs this under -race, which also proves the prepare phases that
+// overlap under the read lock are data-race-free.
+func TestConcurrentDisjointShardDeltas(t *testing.T) {
+	corpus := map[string]string{
+		"alpha/a.c":  "int ga;\nint fa(int x) { if (x > 0) { return 1; } return 0; }\n",
+		"alpha/a2.c": "int fa2(int x) { return x; }\n",
+		"beta/b.c":   "int fb(int x) { while (x > 0) { x--; } return x; }\n",
+		"gamma/c.c":  "void fc(void) { fb(3); }\n",
+	}
+	deltaAlpha := map[string]string{
+		"alpha/a.c": "int ga;\nint fa(int x) { goto done;\ndone: return x; }\n",
+	}
+	deltaBeta := map[string]string{
+		"beta/b.c":  "int fb(int x) { int y; return y + x; }\n",
+		"beta/b2.c": "float fb2(float s) { return (int)s; }\n",
+	}
+
+	finalState := func(concurrent bool) (string, string) {
+		t.Helper()
+		ts := newTestServer(t)
+		if code, body := postJSON(t, ts.URL+"/assess",
+			service.AssessRequest{Corpus: "shards", Files: corpus}, nil); code != http.StatusOK {
+			t.Fatalf("assess = %d: %s", code, body)
+		}
+		apply := func(changed map[string]string) error {
+			code, body := postJSON(t, ts.URL+"/delta",
+				service.DeltaRequest{Corpus: "shards", Changed: changed}, nil)
+			if code != http.StatusOK {
+				return fmt.Errorf("delta = %d: %s", code, body)
+			}
+			return nil
+		}
+		if concurrent {
+			start := make(chan struct{})
+			errc := make(chan error, 2)
+			var wg sync.WaitGroup
+			for _, d := range []map[string]string{deltaAlpha, deltaBeta} {
+				d := d
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					errc <- apply(d)
+				}()
+			}
+			close(start)
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				if err != nil {
+					t.Fatalf("concurrent disjoint delta failed: %v", err)
+				}
+			}
+		} else {
+			for _, d := range []map[string]string{deltaAlpha, deltaBeta} {
+				if err := apply(d); err != nil {
+					t.Fatalf("sequential delta failed: %v", err)
+				}
+			}
+		}
+		_, report := getJSON(t, ts.URL+"/report?corpus=shards", nil)
+		_, findings := getJSON(t, ts.URL+"/findings?corpus=shards", nil)
+		return report, findings
+	}
+
+	wantReport, wantFindings := finalState(false)
+	for round := 0; round < 4; round++ {
+		gotReport, gotFindings := finalState(true)
+		if gotReport != wantReport {
+			t.Fatalf("round %d: concurrent disjoint deltas diverge from sequential application\nwant %s\ngot  %s",
+				round, wantReport, gotReport)
+		}
+		if gotFindings != wantFindings {
+			t.Fatalf("round %d: concurrent findings diverge from sequential application", round)
+		}
+	}
+}
+
+// TestConcurrentSameShardDeltas pins the conflicting-edit path: deltas
+// to the same module serialize on the module lock, so both succeed and
+// the final state matches one of the two serial orders.
+func TestConcurrentSameShardDeltas(t *testing.T) {
+	ts := newTestServer(t)
+	if code, body := postJSON(t, ts.URL+"/assess",
+		service.AssessRequest{Corpus: "same", Files: smallCorpus()}, nil); code != http.StatusOK {
+		t.Fatalf("assess = %d: %s", code, body)
+	}
+	variants := []string{
+		"int fb(int x) { return x + 1; }\n",
+		"int fb(int x) { return x + 2; }\n",
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, len(variants))
+	for _, src := range variants {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			code, body := postJSON(t, ts.URL+"/delta", service.DeltaRequest{
+				Corpus: "same", Changed: map[string]string{"m/b.c": src}}, nil)
+			if code != http.StatusOK {
+				errc <- fmt.Errorf("delta = %d: %s", code, body)
+				return
+			}
+			errc <- nil
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rr service.ReportResponse
+	if code, body := getJSON(t, ts.URL+"/report?corpus=same", &rr); code != http.StatusOK {
+		t.Fatalf("report = %d: %s", code, body)
+	}
+	if len(rr.Observations) != 14 {
+		t.Fatalf("observations = %d after conflicting deltas", len(rr.Observations))
+	}
+}

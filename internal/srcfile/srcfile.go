@@ -186,15 +186,23 @@ func trimCR(s string) string {
 	return s
 }
 
-// FileSet is an ordered collection of files forming a corpus.
+// FileSet is an ordered collection of files forming a corpus. It is
+// internally partitioned into module-keyed shards (maintained
+// incrementally by Add/Remove), so per-module views — the unit the
+// sharded assessment pipeline works in — cost O(shard), not a corpus
+// scan.
 type FileSet struct {
-	files  []*File
-	byPath map[string]*File
+	files    []*File
+	byPath   map[string]*File
+	byModule map[string][]*File
 }
 
 // NewFileSet returns an empty file set.
 func NewFileSet() *FileSet {
-	return &FileSet{byPath: make(map[string]*File)}
+	return &FileSet{
+		byPath:   make(map[string]*File),
+		byModule: make(map[string][]*File),
+	}
 }
 
 // Add inserts a file, inferring language and module when unset.
@@ -207,12 +215,32 @@ func (fs *FileSet) Add(f *File) *File {
 		f.Module = f.ModuleName()
 	}
 	if old, ok := fs.byPath[f.Path]; ok {
+		oldMod := old.ModuleName()
 		*old = *f
+		if newMod := old.ModuleName(); newMod != oldMod {
+			fs.moduleRemove(oldMod, old)
+			fs.byModule[newMod] = append(fs.byModule[newMod], old)
+		}
 		return old
 	}
 	fs.files = append(fs.files, f)
 	fs.byPath[f.Path] = f
+	fs.byModule[f.ModuleName()] = append(fs.byModule[f.ModuleName()], f)
 	return f
+}
+
+// moduleRemove drops a file from its module shard, preserving order.
+func (fs *FileSet) moduleRemove(mod string, f *File) {
+	bucket := fs.byModule[mod]
+	for i, ff := range bucket {
+		if ff == f {
+			fs.byModule[mod] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(fs.byModule[mod]) == 0 {
+		delete(fs.byModule, mod)
+	}
 }
 
 // AddSource is a convenience wrapper building a File from path and content.
@@ -223,12 +251,14 @@ func (fs *FileSet) AddSource(path, src string) *File {
 // Remove deletes the file at path, preserving the order of the rest.
 // It reports whether a file was removed.
 func (fs *FileSet) Remove(path string) bool {
-	if _, ok := fs.byPath[path]; !ok {
+	f, ok := fs.byPath[path]
+	if !ok {
 		return false
 	}
 	delete(fs.byPath, path)
-	for i, f := range fs.files {
-		if f.Path == path {
+	fs.moduleRemove(f.ModuleName(), f)
+	for i, ff := range fs.files {
+		if ff.Path == path {
 			fs.files = append(fs.files[:i], fs.files[i+1:]...)
 			break
 		}
@@ -247,28 +277,19 @@ func (fs *FileSet) Len() int { return len(fs.files) }
 
 // Modules returns the sorted list of distinct module names.
 func (fs *FileSet) Modules() []string {
-	seen := make(map[string]bool)
-	var out []string
-	for _, f := range fs.files {
-		m := f.ModuleName()
-		if !seen[m] {
-			seen[m] = true
-			out = append(out, m)
-		}
+	out := make([]string, 0, len(fs.byModule))
+	for m := range fs.byModule {
+		out = append(out, m)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// ModuleFiles returns the files belonging to a module, in insertion order.
+// ModuleFiles returns the files belonging to a module, in insertion
+// order. The slice is the maintained module shard; it must not be
+// mutated.
 func (fs *FileSet) ModuleFiles(module string) []*File {
-	var out []*File
-	for _, f := range fs.files {
-		if f.ModuleName() == module {
-			out = append(out, f)
-		}
-	}
-	return out
+	return fs.byModule[module]
 }
 
 // TotalLines returns the number of physical lines across the corpus.

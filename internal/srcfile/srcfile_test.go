@@ -251,3 +251,36 @@ func TestLineRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestModuleBucketsTrackReplaceAndRemove pins the incremental module
+// partition: replacing a file with an explicit module override moves it
+// between shards, and removals shrink (and eventually drop) the shard.
+func TestModuleBucketsTrackReplaceAndRemove(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSource("m/a.c", "int a;\n")
+	fs.AddSource("m/b.c", "int b;\n")
+	fs.AddSource("n/c.c", "int c;\n")
+
+	if got := len(fs.ModuleFiles("m")); got != 2 {
+		t.Fatalf("m has %d files, want 2", got)
+	}
+	// Replace with an explicit override: m/b.c now belongs to module n.
+	fs.Add(&File{Path: "m/b.c", Module: "n", Src: "int b2;\n"})
+	if got := len(fs.ModuleFiles("m")); got != 1 {
+		t.Errorf("m has %d files after override move, want 1", got)
+	}
+	if got := len(fs.ModuleFiles("n")); got != 2 {
+		t.Errorf("n has %d files after override move, want 2", got)
+	}
+	if mods := fs.Modules(); len(mods) != 2 || mods[0] != "m" || mods[1] != "n" {
+		t.Errorf("modules = %v", mods)
+	}
+
+	fs.Remove("m/a.c")
+	if mods := fs.Modules(); len(mods) != 1 || mods[0] != "n" {
+		t.Errorf("modules after emptying m = %v", mods)
+	}
+	if fs.ModuleFiles("m") != nil {
+		t.Error("empty module shard not dropped")
+	}
+}
