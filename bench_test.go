@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/srcfile"
+	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/testgen"
 	"repro/internal/yolo"
@@ -254,6 +255,102 @@ func BenchmarkGeneratedScale(b *testing.B) {
 		}
 		// Warm-up: the probe's first appearance changes the cross-file
 		// environment signature and forces one full re-check.
+		if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+			Path: victim, Src: variant(1)}}}); err != nil {
+			b.Fatal(err)
+		}
+		a.Findings()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+				Path: victim, Src: variant(i)}}}); err != nil {
+				b.Fatal(err)
+			}
+			if len(a.Findings()) == 0 {
+				b.Fatal("no findings")
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotLoad measures the persistent corpus store
+// (internal/store) on the seed-26262 10k-file corpus, the scale the
+// acceptance numbers in BENCH_pipeline.json ("store") are recorded at:
+//
+//   - snapshot-write: encode + atomic write of the full warm state;
+//   - restore: snapshot load + warm-state reconstruction + the first
+//     Findings/Metrics pass — the boot path, to be compared against the
+//     10k-files-cold parse+assess number;
+//   - restore-delta-1file: the steady-state 1-file delta on a restored
+//     assessor. The restored caches must come back warm: this number is
+//     directly comparable to 10k-files-delta-1file on a never-restarted
+//     assessor.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	params := corpusgen.Params{Modules: 20, FilesPerModule: 499,
+		FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}
+	gen := corpusgen.New(params, 26262)
+	warm := core.NewAssessor(core.DefaultConfig())
+	if err := warm.LoadFileSet(gen.FileSet()); err != nil {
+		b.Fatal(err)
+	}
+	want := len(warm.Findings())
+	warm.Metrics()
+	st, err := warm.ExportState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := d.Corpus("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("10k-files-snapshot-write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := cs.WriteSnapshot(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(n)
+		}
+	})
+	if _, err := cs.WriteSnapshot(st); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("10k-files-restore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, _, err := cs.RecoverReadOnly(core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n := len(a.Findings()); n != want {
+				b.Fatalf("restored findings %d, want %d", n, want)
+			}
+			a.Metrics()
+		}
+	})
+
+	b.Run("10k-files-restore-delta-1file", func(b *testing.B) {
+		a, _, err := cs.RecoverReadOnly(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Findings()
+		victim := gen.Paths()[len(gen.Paths())/2]
+		base := gen.Source(victim)
+		// The same alternating probe as 10k-files-delta-1file, so the
+		// two numbers compare like for like (steady state, stable
+		// cross-file environment signature).
+		variant := func(i int) string {
+			if i%2 == 0 {
+				return base + "\nfloat ScaleProbe(float x, int m) { if (m > 1) { x = x + 1.0f; } return x; }\n"
+			}
+			return base + "\nfloat ScaleProbe(float x, int m) { while (x > 0.5f * m) { x = x - 1.0f; } return x; }\n"
+		}
 		if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
 			Path: victim, Src: variant(1)}}}); err != nil {
 			b.Fatal(err)

@@ -12,7 +12,13 @@
 // Usage:
 //
 //	adfuzz [-seed 1] [-steps 50] [-modules 4] [-files 4] [-funcs 5]
-//	       [-violations 3] [-cuda 1] [-skew 0] [-http=true] [-v]
+//	       [-violations 3] [-cuda 1] [-skew 0] [-http=true] [-recover] [-v]
+//
+// -recover adds the persistent-store leg: every delta is journaled into
+// a temporary data directory, every step recovers a sixth state from
+// disk (snapshot + journal replay) and byte-compares findings, report,
+// and shard stats, compaction fires mid-run, and the run ends with a
+// truncated-journal crash simulation.
 //
 // A run is a pure function of its flags: re-running with the same seed
 // replays the identical corpus and mutation sequence, so a failure
@@ -49,6 +55,7 @@ func run() (int, error) {
 	cudaFlag := flag.Int("cuda", 1, "CUDA files per module")
 	skewFlag := flag.Float64("skew", 0, "zipf-ish module-size skew (0 = uniform)")
 	httpFlag := flag.Bool("http", true, "include the adserve HTTP path")
+	recoverFlag := flag.Bool("recover", false, "include the persistent-store crash-recovery path")
 	verboseFlag := flag.Bool("v", false, "log every step")
 	flag.Parse()
 
@@ -79,7 +86,8 @@ func run() (int, error) {
 			CUDAFiles:         *cudaFlag,
 			ModuleSkew:        *skewFlag,
 		},
-		HTTP: *httpFlag,
+		HTTP:    *httpFlag,
+		Recover: *recoverFlag,
 	}
 	if *verboseFlag {
 		cfg.Logf = func(format string, args ...interface{}) {
@@ -93,11 +101,25 @@ func run() (int, error) {
 		return 1, fmt.Errorf("divergence (reproduce with -seed %d -steps %d): %v",
 			*seedFlag, *stepsFlag, err)
 	}
+	paths := 4
+	if *httpFlag {
+		paths++
+	}
+	if *recoverFlag {
+		paths++
+	}
 	fmt.Printf("adfuzz: OK — %d steps verified in %v\n", res.Steps, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  final corpus: %d files, %d findings (all byte-identical across 5 paths, oracle-exact)\n",
-		res.Files, res.Findings)
+	fmt.Printf("  final corpus: %d files, %d findings (all byte-identical across %d paths, oracle-exact)\n",
+		res.Files, res.Findings, paths)
 	fmt.Printf("  mutations: %d add, %d edit, %d remove\n",
 		res.Mutations[corpusgen.MutAdd], res.Mutations[corpusgen.MutEdit],
 		res.Mutations[corpusgen.MutRemove])
+	if *recoverFlag {
+		torn := "torn-tail crash simulation skipped (final step left no journal tail)"
+		if res.TornTailChecked {
+			torn = "torn-tail crash simulation passed"
+		}
+		fmt.Printf("  store: %d compactions, %s\n", res.Compactions, torn)
+	}
 	return 0, nil
 }

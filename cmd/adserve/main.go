@@ -1,19 +1,26 @@
 // Command adserve runs the assessment service: a long-running HTTP JSON
 // API holding warm assessor state per corpus, so repeated assessments of
-// nearly-identical corpora take the incremental path.
+// nearly-identical corpora take the incremental path. With -data-dir
+// the service is persistent: corpora are restored on boot from their
+// snapshot plus delta-journal replay (torn journal tails from a crash
+// mid-append are dropped), every /delta is journaled and fsync'd before
+// it is acknowledged, and a graceful shutdown drains in-flight
+// requests, compacts each corpus into a fresh snapshot, and writes a
+// clean-shutdown marker so the next boot replays nothing.
 //
 // Usage:
 //
-//	adserve [-addr :8080] [-allow-dir] [-max-body bytes]
+//	adserve [-addr :8080] [-allow-dir] [-max-body bytes] [-data-dir DIR]
 //
 // Endpoints (see internal/service):
 //
-//	POST /assess  {"corpus":"c1","files":{"m/a.c":"int x;..."}}      load + assess
-//	POST /assess  {"corpus":"c1","generate":true,"seed":26262}       generated corpus
-//	POST /delta   {"corpus":"c1","changed":{"m/a.c":"..."},"removed":["m/b.c"]}
-//	GET  /report?corpus=c1                                           full report
-//	GET  /findings?corpus=c1                                         every finding
-//	GET  /healthz                                                    liveness
+//	POST /assess   {"corpus":"c1","files":{"m/a.c":"int x;..."}}      load + assess
+//	POST /assess   {"corpus":"c1","generate":true,"seed":26262}       generated corpus
+//	POST /delta    {"corpus":"c1","changed":{"m/a.c":"..."},"removed":["m/b.c"]}
+//	POST /snapshot {"corpus":"c1"}                                    force compaction
+//	GET  /report?corpus=c1                                            full report (gzip-aware)
+//	GET  /findings?corpus=c1                                          every finding (gzip-aware)
+//	GET  /healthz                                                     liveness
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -43,6 +51,12 @@ func run() error {
 		"allow POST /assess to load server-side directories via \"dir\"")
 	maxBodyFlag := flag.Int64("max-body", service.DefaultMaxBody,
 		"maximum request body size in bytes")
+	dataDirFlag := flag.String("data-dir", "",
+		"persist corpora under this directory (snapshot + delta journal, restored on boot)")
+	journalMBFlag := flag.Int64("journal-max-mb", 0,
+		"compact once the delta journal exceeds this many MiB (0 = default)")
+	journalRecsFlag := flag.Int("journal-max-records", 0,
+		"compact once the delta journal holds this many records (0 = default, negative disables)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
@@ -50,8 +64,37 @@ func run() error {
 	if *maxBodyFlag <= 0 {
 		return fmt.Errorf("-max-body must be positive (got %d)", *maxBodyFlag)
 	}
+	if *dataDirFlag == "" && (*journalMBFlag != 0 || *journalRecsFlag != 0) {
+		return errors.New("-journal-max-mb/-journal-max-records require -data-dir")
+	}
 
-	svc := service.New()
+	var svc *service.Server
+	if *dataDirFlag != "" {
+		d, err := store.Open(*dataDirFlag, store.Options{
+			MaxJournalBytes:   *journalMBFlag << 20,
+			MaxJournalRecords: *journalRecsFlag,
+		})
+		if err != nil {
+			return err
+		}
+		var restored []service.RestoredCorpus
+		if svc, restored, err = service.NewWithStore(d); err != nil {
+			return err
+		}
+		fmt.Printf("adserve: data dir %s, %d corpora restored\n", *dataDirFlag, len(restored))
+		for _, rc := range restored {
+			how := fmt.Sprintf("%d journal records replayed", rc.Replayed)
+			if rc.Clean {
+				how = "clean shutdown, nothing to replay"
+			}
+			if rc.Torn {
+				how += ", torn journal tail dropped"
+			}
+			fmt.Printf("adserve: restored corpus %q (%d files; %s)\n", rc.Name, rc.Files, how)
+		}
+	} else {
+		svc = service.New()
+	}
 	svc.AllowDir = *allowDirFlag
 	svc.MaxBody = *maxBodyFlag
 	srv := &http.Server{
@@ -70,13 +113,24 @@ func run() error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		svc.Close()
 		return err
 	case sig := <-stop:
-		fmt.Printf("adserve: %v, shutting down\n", sig)
+		fmt.Printf("adserve: %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Drain in-flight requests first, then flush state to disk:
+		// compact every corpus, sync and close the journals, and write
+		// the clean-shutdown markers.
 		if err := srv.Shutdown(ctx); err != nil {
+			svc.Close()
 			return err
+		}
+		if err := svc.Close(); err != nil {
+			return fmt.Errorf("flush state: %w", err)
+		}
+		if *dataDirFlag != "" {
+			fmt.Println("adserve: state flushed, clean shutdown")
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err

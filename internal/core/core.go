@@ -58,7 +58,18 @@ type Assessor struct {
 	stats    *rules.Stats
 	fw       *metrics.FrameworkMetrics
 	arch     []*metrics.ArchMetrics
+
+	// stubs tracks snapshot-restored units that are still fact-carrying
+	// stubs (no statement bodies); hydratePaths re-parses them on
+	// demand. nil for assessors that never restored.
+	stubs map[string]bool
+	// commitHook, when set, observes every CommitDelta before any state
+	// mutates — the write-ahead-journal hook of the persistence layer.
+	commitHook func(changed []*srcfile.File, removed []string) error
 }
+
+// Config returns the assessor's configuration.
+func (a *Assessor) Config() Config { return a.cfg }
 
 // NewAssessor creates an assessor; call LoadDefaultCorpus, LoadFileSet,
 // or LoadDir before Assess.

@@ -10,6 +10,12 @@ import (
 	"repro/internal/srcfile"
 )
 
+// ErrCommitHook marks CommitDelta failures originating in the commit
+// hook (the persistence layer's journal append) rather than in the
+// delta itself, so callers can classify them as server-side durability
+// faults — retryable — instead of invalid requests.
+var ErrCommitHook = errors.New("commit hook failed")
+
 // Delta is a corpus edit: files to add or replace, and paths to remove.
 type Delta struct {
 	// Changed holds new or replacement files keyed by their Path. Only
@@ -128,11 +134,23 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 	if pd == nil || pd.a != a {
 		return nil, errors.New("core: CommitDelta with a delta prepared for a different assessor")
 	}
+	if a.commitHook != nil && (len(pd.dirty) > 0 || len(pd.removed) > 0) {
+		// Write-ahead discipline: the hook (journal append + sync) must
+		// succeed before any state mutates, so a crash at any later point
+		// replays the delta on the next boot. On error the commit is
+		// aborted with the assessor untouched. All-unchanged deltas skip
+		// the hook: there is nothing to replay, and journaling empty
+		// records would pay an fsync (and advance compaction) per no-op.
+		if err := a.commitHook(pd.dirty, pd.removed); err != nil {
+			return nil, fmt.Errorf("core: %w: %v", ErrCommitHook, err)
+		}
+	}
 	res := &DeltaResult{Unchanged: pd.unchanged}
 	var removedPaths []string
 	for _, p := range pd.removed {
 		if a.fs.Remove(p) {
 			delete(a.units, p)
+			delete(a.stubs, p)
 			removedPaths = append(removedPaths, p)
 			res.Removed++
 		}
@@ -144,6 +162,7 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 		// and rules all observe one File identity per path.
 		pd.parsed[i].File = canon
 		a.units[canon.Path] = pd.parsed[i]
+		delete(a.stubs, canon.Path)
 		res.Parsed++
 	}
 	if a.ix != nil {
@@ -175,6 +194,17 @@ func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
 		return nil, err
 	}
 	return a.CommitDelta(pd)
+}
+
+// SetCommitHook installs (or, with nil, removes) a hook invoked with
+// every CommitDelta's normalized operations — the changed files after
+// language/module resolution and the raw removal list — before any
+// assessor state mutates. A hook error aborts the commit with the
+// assessor untouched. The persistence layer uses it as the write-ahead
+// journal append; replaying the recorded operations through ApplyDelta
+// on a restored snapshot reproduces the exact post-commit state.
+func (a *Assessor) SetCommitHook(h func(changed []*srcfile.File, removed []string) error) {
+	a.commitHook = h
 }
 
 // RuleFilesChecked returns how many files the last Findings() run

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/ccast"
+	"repro/internal/ccparse"
+	"repro/internal/iso26262"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+)
+
+// This file is the assessor's snapshot/restore boundary, the core of the
+// persistent corpus store (internal/store holds the on-disk codec and
+// journal; this file defines what state round-trips).
+//
+// A snapshot captures the corpus sources plus every expensive derived
+// artifact: per-unit analysis facts (artifact.UnitFacts), the rule
+// engine's per-file finding segments and corpus segment, and the
+// per-file metric rows. Restore rebuilds the file set, fabricates
+// fact-carrying stub units (no statement bodies — nothing is parsed),
+// reconstructs the sharded index from the facts, and seeds the rule and
+// metrics caches warm, so the restored assessor answers Findings /
+// Metrics / Assess byte-identically to the snapshotted one in O(load)
+// and its first delta costs the same as a delta on the never-restarted
+// process. Architectural partials are not persisted; they re-fold from
+// the restored facts without text scans.
+//
+// Stub units are hydrated — re-parsed into real ASTs — lazily, the
+// moment the rule engine needs to re-walk them (a content edit arrives
+// freshly parsed through the delta path; an environment invalidation
+// re-walks untouched files and triggers hydration). Hydration is
+// content-preserving, so every signature and cache key stays valid.
+
+// PersistedFile is the serializable projection of one corpus file.
+type PersistedFile struct {
+	Path   string
+	Module string // the stored (possibly overridden) module
+	Lang   srcfile.Language
+	Src    string
+}
+
+// PersistedState is the complete snapshot of a warm assessor. It is
+// plain data: internal/store encodes it to the versioned binary
+// snapshot format, and the differential harness round-trips it to pin
+// restore equivalence.
+type PersistedState struct {
+	// Target is the ASIL the assessor judges against.
+	Target iso26262.ASIL
+	// RuleIDs fingerprints the rule set the cached findings came from;
+	// restore refuses a mismatching engine rather than serving another
+	// rule set's cache as its own.
+	RuleIDs []string
+	// Files holds the corpus in FileSet insertion order.
+	Files []PersistedFile
+	// Units holds per-unit analysis facts in sorted path order.
+	Units []artifact.UnitFacts
+	// FileFindings maps every unit path to its cached finding segment
+	// (present even when empty).
+	FileFindings map[string][]rules.Finding
+	// CorpusFindings is the corpus-level (cross-file) finding segment.
+	CorpusFindings []rules.Finding
+	// MetricRows maps every unit path to its metrics row.
+	MetricRows map[string]*metrics.FileMetrics
+}
+
+// ruleIDs lists a rule set's IDs in engine order.
+func ruleIDs(rs []rules.Rule) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID()
+	}
+	return out
+}
+
+// ExportState captures the assessor's corpus and warm caches as a
+// snapshot. It runs Findings and Metrics first (a no-op when already
+// warm) so the exported caches are complete. Only fused rule sets can
+// snapshot: non-fused sets never populate the incremental caches.
+func (a *Assessor) ExportState() (*PersistedState, error) {
+	if a.fs == nil {
+		return nil, errors.New("core: ExportState before a corpus is loaded")
+	}
+	a.Findings()
+	a.Metrics()
+	perFile, corpus, ok := a.ruleEng.ExportCache()
+	if !ok {
+		return nil, errors.New("core: snapshot requires the fused rule engine (a non-fused rule set keeps no warm cache)")
+	}
+	rows, ok := a.mcache.ExportRows()
+	if !ok {
+		return nil, errors.New("core: metrics cache not warm after Metrics()")
+	}
+	ix := a.Index()
+	st := &PersistedState{
+		Target:         a.cfg.TargetASIL,
+		RuleIDs:        ruleIDs(a.cfg.Rules),
+		Files:          make([]PersistedFile, 0, a.fs.Len()),
+		Units:          make([]artifact.UnitFacts, 0, len(ix.Paths)),
+		FileFindings:   perFile,
+		CorpusFindings: corpus,
+		MetricRows:     rows,
+	}
+	for _, f := range a.fs.Files() {
+		st.Files = append(st.Files, PersistedFile{Path: f.Path, Module: f.Module, Lang: f.Lang, Src: f.Src})
+	}
+	for _, p := range ix.Paths {
+		st.Units = append(st.Units, ix.UnitFacts(p))
+	}
+	return st, nil
+}
+
+// RestoreAssessor rebuilds a warm assessor from a snapshot. The target
+// ASIL comes from the snapshot; cfg supplies everything else (a nil
+// cfg.Rules means rules.DefaultRules, which must match the snapshot's
+// rule fingerprint). No source is parsed: units are fact-carrying
+// stubs, hydrated on demand when the rule engine needs their ASTs.
+func RestoreAssessor(cfg Config, st *PersistedState) (*Assessor, error) {
+	cfg.TargetASIL = st.Target
+	a := NewAssessor(cfg)
+	if got := ruleIDs(a.cfg.Rules); !equalStrings(got, st.RuleIDs) {
+		return nil, fmt.Errorf("core: snapshot rule set %v does not match engine rule set %v", st.RuleIDs, got)
+	}
+	if len(st.Files) == 0 {
+		return nil, errors.New("core: snapshot holds no files")
+	}
+	if len(st.Files) != len(st.Units) {
+		return nil, fmt.Errorf("core: snapshot has %d files but %d units", len(st.Files), len(st.Units))
+	}
+
+	fs := srcfile.NewFileSet()
+	for i := range st.Files {
+		pf := &st.Files[i]
+		if pf.Path == "" {
+			return nil, errors.New("core: snapshot file without a path")
+		}
+		if fs.Lookup(pf.Path) != nil {
+			return nil, fmt.Errorf("core: snapshot holds %s twice", pf.Path)
+		}
+		fs.Add(&srcfile.File{Path: pf.Path, Module: pf.Module, Lang: pf.Lang, Src: pf.Src})
+	}
+
+	units := make(map[string]*ccast.TranslationUnit, len(st.Units))
+	recs := make(map[string][]*artifact.Func, len(st.Units))
+	stubs := make(map[string]bool, len(st.Units))
+	for i := range st.Units {
+		uf := st.Units[i]
+		f := fs.Lookup(uf.Path)
+		if f == nil {
+			return nil, fmt.Errorf("core: snapshot unit %s has no file", uf.Path)
+		}
+		if units[uf.Path] != nil {
+			return nil, fmt.Errorf("core: snapshot holds unit %s twice", uf.Path)
+		}
+		tu, fas := artifact.UnitFromFacts(f, uf)
+		units[uf.Path], recs[uf.Path] = tu, fas
+		stubs[uf.Path] = true
+	}
+	ix, err := artifact.BuildFromRecords(units, recs)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ix.Paths {
+		if _, ok := st.FileFindings[p]; !ok {
+			return nil, fmt.Errorf("core: snapshot misses the finding segment of %s", p)
+		}
+		if st.MetricRows[p] == nil {
+			return nil, fmt.Errorf("core: snapshot misses the metrics row of %s", p)
+		}
+	}
+
+	a.fs, a.units, a.ix = fs, units, ix
+	a.ruleEng.RestoreCache(ix, st.FileFindings, st.CorpusFindings)
+	a.mcache.RestoreRows(ix, st.MetricRows)
+	a.stubs = stubs
+	a.ruleEng.Hydrate = a.hydratePaths
+	return a, nil
+}
+
+// StubUnits reports how many restored units are still fact-carrying
+// stubs (never re-parsed since restore). Diagnostics and tests only.
+func (a *Assessor) StubUnits() int { return len(a.stubs) }
+
+// hydratePaths re-parses any still-stub units among paths and swaps the
+// real ASTs (and re-analyzed records) into the index in place. Invoked
+// by the rule engine at a sequential point before it walks dirty files.
+// The corpus content of a stub is by construction unchanged since the
+// snapshot, so hydration changes no signature, hash, or cache key.
+func (a *Assessor) hydratePaths(paths []string) {
+	var todo []string
+	for _, p := range paths {
+		if a.stubs[p] {
+			todo = append(todo, p)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	tus := make([]*ccast.TranslationUnit, len(todo))
+	par.For(par.Workers(len(todo)), len(todo), func(i int) {
+		tu, _ := ccparse.Parse(a.fs.Lookup(todo[i]), ccparse.Options{})
+		tus[i] = tu
+	})
+	for i, p := range todo {
+		if tus[i] == nil {
+			// Unreachable for state that parsed before the snapshot was
+			// taken; corrupted snapshots fail their checksums long before
+			// this point.
+			panic(fmt.Sprintf("core: hydrating %s: snapshot source no longer parses", p))
+		}
+		a.ix.Rehydrate(tus[i], artifact.AnalyzeUnit(tus[i]))
+		delete(a.stubs, p)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -10,8 +10,16 @@
 //     GET /report),
 //  5. the warm flat incremental rule engine (rules.Incremental, the
 //     pre-sharding warm path, kept as an independently-cached reference),
+//  6. with Recover, the persistent store (internal/store): the warm
+//     assessor journals every delta into a data directory, and at every
+//     step a sixth state is recovered from disk — snapshot plus
+//     read-only journal replay — and must match the others byte-for-
+//     byte on findings, the full report, and shard stats. At the end of
+//     the run the harness additionally simulates a crash mid-append by
+//     truncating a copy of the journal and requires recovery to land
+//     exactly on the state at the last complete record,
 //
-// and asserts, at every step, that all five produce byte-identical
+// and asserts, at every step, that all paths produce byte-identical
 // finding streams AND that those findings equal the generator's
 // injected-violation manifest (the ground-truth oracle). A (seed, steps,
 // params) triple replays deterministically, so any failure is a one-line
@@ -28,6 +36,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/ccparse"
@@ -36,6 +46,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/service"
 	"repro/internal/srcfile"
+	"repro/internal/store"
 )
 
 // Config parameterizes a differential run.
@@ -49,6 +60,15 @@ type Config struct {
 	Params corpusgen.Params
 	// HTTP includes the adserve service path (an in-process listener).
 	HTTP bool
+	// Recover includes the persistent-store path: the warm assessor
+	// journals every delta into a data directory, every step recovers a
+	// fresh state from disk and byte-compares it, compaction triggers
+	// naturally (the harness uses a small record threshold), and the
+	// run ends with a truncated-tail crash simulation.
+	Recover bool
+	// RecoverDir is the data directory for Recover; empty means a
+	// temporary directory removed after the run.
+	RecoverDir string
 	// Logf, when set, receives per-step progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -63,6 +83,11 @@ type Result struct {
 	Findings int
 	// Mutations counts applied mutations by kind.
 	Mutations map[corpusgen.MutationKind]int
+	// Compactions counts mid-run journal compactions (Recover only).
+	Compactions int
+	// TornTailChecked reports that the end-of-run crash simulation
+	// (truncated journal tail) was exercised (Recover only).
+	TornTailChecked bool
 }
 
 // Run executes the differential harness, returning an error describing
@@ -90,6 +115,34 @@ func Run(cfg Config) (*Result, error) {
 	// context each verification step builds).
 	inc := rules.NewIncremental(rules.DefaultRules())
 
+	// Path 6: the persistent store. The warm assessor's commit hook
+	// journals every delta; a small record threshold makes compaction
+	// fire mid-run so snapshots taken after deltas are exercised too.
+	var cs *store.CorpusStore
+	if cfg.Recover {
+		root := cfg.RecoverDir
+		if root == "" {
+			tmp, err := os.MkdirTemp("", "adfuzz-store-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			root = tmp
+		}
+		d, err := store.Open(root, store.Options{MaxJournalRecords: 8})
+		if err != nil {
+			return nil, err
+		}
+		if cs, err = d.Corpus(corpusName); err != nil {
+			return nil, err
+		}
+		if err := persistWarm(cs, warm); err != nil {
+			return nil, fmt.Errorf("seed %d: initial snapshot: %v", cfg.Seed, err)
+		}
+		warm.SetCommitHook(cs.Append)
+		defer cs.Close()
+	}
+
 	// Path 4: the HTTP service, fed the same initial corpus and deltas.
 	var ts *httptest.Server
 	if cfg.HTTP {
@@ -111,26 +164,112 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Mutations: make(map[corpusgen.MutationKind]int)}
 	nFindings := 0
+	var prevSeq, lastSeq []byte
+	lastStepJournaled := false
 	for step := 0; step <= cfg.Steps; step++ {
 		if step > 0 {
 			mut := gen.Mutate()
 			res.Mutations[mut.Kind]++
+			recsBefore := 0
+			if cs != nil {
+				recsBefore = cs.JournalRecords()
+			}
 			if err := applyMutation(warm, ts, mut); err != nil {
 				return nil, fmt.Errorf("seed %d step %d: apply %s %s: %v",
 					cfg.Seed, step, mut.Kind, mut.Path, err)
 			}
+			// A mutation that regenerates identical content is a no-op
+			// delta and journals nothing; track whether this step's
+			// record is really the journal tail for the crash simulation
+			// below.
+			lastStepJournaled = cs != nil && cs.JournalRecords() == recsBefore+1
+			if cs != nil && cs.ShouldCompact() {
+				if err := persistWarm(cs, warm); err != nil {
+					return nil, fmt.Errorf("seed %d step %d: compaction: %v", cfg.Seed, step, err)
+				}
+				res.Compactions++
+				lastStepJournaled = false // absorbed into the snapshot
+				logf("step %2d: compacted journal into a fresh snapshot", step)
+			}
 			logf("step %2d: %-6s %s (%d files)", step, mut.Kind, mut.Path, gen.Len())
 		}
-		n, err := verifyStep(gen, warm, inc, ts)
+		n, seq, err := verifyStep(gen, warm, inc, ts, cs)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d step %d: %v", cfg.Seed, step, err)
 		}
 		nFindings = n
+		prevSeq, lastSeq = lastSeq, seq
 		res.Steps++
+	}
+
+	// Crash simulation: truncate a copy of the journal mid-record and
+	// require recovery to land on the state at the last complete record
+	// — the previous step, whenever the final step's mutation is itself
+	// the journal tail (skipped when the final step journaled nothing:
+	// a no-op mutation, or a compaction that absorbed the record).
+	if cs != nil && lastStepJournaled && prevSeq != nil {
+		if err := verifyTornTail(cs, prevSeq); err != nil {
+			return nil, fmt.Errorf("seed %d: torn-tail recovery: %v", cfg.Seed, err)
+		}
+		res.TornTailChecked = true
 	}
 	res.Files = gen.Len()
 	res.Findings = nFindings
 	return res, nil
+}
+
+// verifyTornTail copies the live store into a scratch directory,
+// truncates the journal mid-record (the exact shape a crash during an
+// append leaves behind), and requires recovery to (a) flag the torn
+// tail and (b) land byte-identically on the state at the last complete
+// record — the canonical findings of the previous step.
+func verifyTornTail(cs *store.CorpusStore, wantSeq []byte) error {
+	scratch, err := os.MkdirTemp("", "adfuzz-torn-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	d, err := store.Open(scratch, store.Options{})
+	if err != nil {
+		return err
+	}
+	copyCS, err := d.Corpus(corpusName)
+	if err != nil {
+		return err
+	}
+	if err := cs.CopyTo(copyCS); err != nil {
+		return err
+	}
+	jpath := filepath.Join(scratch, corpusName, "journal")
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jpath, raw[:len(raw)-3], 0o644); err != nil {
+		return err
+	}
+	rec, info, err := copyCS.RecoverReadOnly(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if !info.Torn {
+		return fmt.Errorf("truncated journal not reported as torn (replayed %d)", info.Replayed)
+	}
+	if d := firstDiff(wantSeq, canonical(rec.Findings())); d != "" {
+		return fmt.Errorf("state diverges from the last complete record: %s", d)
+	}
+	return nil
+}
+
+// persistWarm snapshots the warm assessor's state into the store,
+// absorbing the journal.
+func persistWarm(cs *store.CorpusStore, warm *core.Assessor) error {
+	st, err := warm.ExportState()
+	if err != nil {
+		return err
+	}
+	_, err = cs.WriteSnapshot(st)
+	return err
 }
 
 const corpusName = "adfuzz"
@@ -160,13 +299,13 @@ func applyMutation(warm *core.Assessor, ts *httptest.Server, mut corpusgen.Mutat
 
 // verifyStep checks all engine paths against each other and against the
 // manifest for the generator's current corpus, returning the finding
-// count.
-func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, inc *rules.Incremental, ts *httptest.Server) (int, error) {
+// count and the canonical finding bytes.
+func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, inc *rules.Incremental, ts *httptest.Server, cs *store.CorpusStore) (int, []byte, error) {
 	// Paths 1+2: cold parse, then both in-process engines over one context.
 	fs := gen.FileSet()
 	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
 	if len(errs) > 0 {
-		return 0, fmt.Errorf("generated corpus has parse errors: %v", errs[0])
+		return 0, nil, fmt.Errorf("generated corpus has parse errors: %v", errs[0])
 	}
 	ctx := rules.NewContext(units)
 	seq := rules.RunSequential(ctx, rules.DefaultRules())
@@ -174,46 +313,75 @@ func verifyStep(gen *corpusgen.Generator, warm *core.Assessor, inc *rules.Increm
 
 	seqBytes := canonical(seq)
 	if d := firstDiff(seqBytes, canonical(fused)); d != "" {
-		return 0, fmt.Errorf("fused engine diverges from sequential reference: %s", d)
+		return 0, nil, fmt.Errorf("fused engine diverges from sequential reference: %s", d)
 	}
 	if d := firstDiff(seqBytes, canonical(warm.Findings())); d != "" {
-		return 0, fmt.Errorf("warm sharded assessor diverges from sequential reference: %s", d)
+		return 0, nil, fmt.Errorf("warm sharded assessor diverges from sequential reference: %s", d)
 	}
 	if d := firstDiff(seqBytes, canonical(inc.Run(ctx))); d != "" {
-		return 0, fmt.Errorf("warm flat incremental engine diverges from sequential reference: %s", d)
+		return 0, nil, fmt.Errorf("warm flat incremental engine diverges from sequential reference: %s", d)
+	}
+
+	// The warm assessor's report backs both the store and HTTP
+	// comparisons; build and marshal it once per step.
+	var warmReport []byte
+	if cs != nil || ts != nil {
+		var err error
+		if warmReport, err = json.Marshal(service.BuildReport(corpusName, warm)); err != nil {
+			return 0, nil, err
+		}
+	}
+
+	// Path 6: a state recovered from the persistent store — snapshot
+	// plus read-only journal replay — must match on findings, the full
+	// report, and shard stats.
+	if cs != nil {
+		rec, _, err := cs.RecoverReadOnly(warm.Config())
+		if err != nil {
+			return 0, nil, fmt.Errorf("store recovery: %v", err)
+		}
+		if d := firstDiff(seqBytes, canonical(rec.Findings())); d != "" {
+			return 0, nil, fmt.Errorf("recovered store state diverges from sequential reference: %s", d)
+		}
+		recReport, err := json.Marshal(service.BuildReport(corpusName, rec))
+		if err != nil {
+			return 0, nil, err
+		}
+		if d := firstDiff(warmReport, recReport); d != "" {
+			return 0, nil, fmt.Errorf("recovered store report diverges from warm assessor: %s", d)
+		}
+		if w, r := fmt.Sprintf("%v", warm.ShardStats()), fmt.Sprintf("%v", rec.ShardStats()); w != r {
+			return 0, nil, fmt.Errorf("recovered shard stats diverge:\n  warm %s\n  rec  %s", w, r)
+		}
 	}
 
 	// Path 4: the service's finding rows and full report.
 	if ts != nil {
 		var fr service.FindingsResponse
 		if err := getJSON(ts, "/findings?corpus="+corpusName, &fr); err != nil {
-			return 0, fmt.Errorf("/findings: %v", err)
+			return 0, nil, fmt.Errorf("/findings: %v", err)
 		}
 		httpBytes, err := json.Marshal(fr.Findings)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if d := firstDiff(seqBytes, httpBytes); d != "" {
-			return 0, fmt.Errorf("HTTP /findings diverges from sequential reference: %s", d)
-		}
-		localReport, err := json.Marshal(service.BuildReport(corpusName, warm))
-		if err != nil {
-			return 0, err
+			return 0, nil, fmt.Errorf("HTTP /findings diverges from sequential reference: %s", d)
 		}
 		httpReport, err := getRaw(ts, "/report?corpus="+corpusName)
 		if err != nil {
-			return 0, fmt.Errorf("/report: %v", err)
+			return 0, nil, fmt.Errorf("/report: %v", err)
 		}
-		if d := firstDiff(localReport, bytes.TrimSpace(httpReport)); d != "" {
-			return 0, fmt.Errorf("HTTP /report diverges from warm assessor report: %s", d)
+		if d := firstDiff(warmReport, bytes.TrimSpace(httpReport)); d != "" {
+			return 0, nil, fmt.Errorf("HTTP /report diverges from warm assessor report: %s", d)
 		}
 	}
 
 	// Oracle: the findings must equal the injected-violation manifest.
 	if err := CheckOracle(seq, gen.Manifest()); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return len(seq), nil
+	return len(seq), seqBytes, nil
 }
 
 // canonical renders findings as canonical JSON via the service's wire

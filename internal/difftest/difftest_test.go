@@ -9,9 +9,11 @@ import (
 )
 
 // TestDifferentialSmoke runs a short differential sequence through all
-// five engine paths, including the HTTP service and the warm sharded
-// assessor. This is the standing trust layer: any engine refactor that
-// breaks byte-identity or the injected-violation oracle fails here.
+// six engine paths, including the HTTP service, the warm sharded
+// assessor, and the persistent store with its crash simulation. This is
+// the standing trust layer: any engine or persistence refactor that
+// breaks byte-identity or the injected-violation oracle fails here (CI
+// runs it under -race, covering the snapshot/recovery paths too).
 func TestDifferentialSmoke(t *testing.T) {
 	if prev := runtime.GOMAXPROCS(0); prev < 4 {
 		runtime.GOMAXPROCS(4)
@@ -22,8 +24,10 @@ func TestDifferentialSmoke(t *testing.T) {
 		Steps: 8,
 		Params: corpusgen.Params{Modules: 2, FilesPerModule: 3,
 			FuncsPerFile: 4, ViolationsPerFile: 2, CUDAFiles: 1},
-		HTTP: true,
-		Logf: t.Logf,
+		HTTP:       true,
+		Recover:    true,
+		RecoverDir: t.TempDir(),
+		Logf:       t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +37,9 @@ func TestDifferentialSmoke(t *testing.T) {
 	}
 	if res.Files < 1 || res.Findings == 0 {
 		t.Errorf("suspicious final state: %+v", res)
+	}
+	if res.Compactions == 0 && !res.TornTailChecked {
+		t.Errorf("store leg exercised neither compaction nor the torn-tail case: %+v", res)
 	}
 }
 

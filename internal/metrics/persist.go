@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"repro/internal/artifact"
+)
+
+// Persistence boundary of the shard-aware metrics cache. The expensive
+// part of a file row is the NLOC text scan; the snapshot therefore
+// stores the finished *FileMetrics rows and RestoreRows re-derives the
+// cheap per-shard aggregates (module partials, corpus totals) from them
+// against the restored index. The architectural cache (ArchCache) is
+// deliberately not persisted: its partials fold in O(corpus) from the
+// restored artifact facts with no text scans, so the first warm
+// AnalyzeIndexed rebuilds them for free.
+
+// ExportRows returns the cached per-file metric rows for every path of
+// the cache's current index, or ok=false when the cache is not warm
+// (callers run AnalyzeIndexed — core.Assessor.Metrics — first). The
+// returned rows are the live cache values; callers must treat them as
+// immutable.
+func (c *Cache) ExportRows() (map[string]*FileMetrics, bool) {
+	if c.ix == nil {
+		return nil, false
+	}
+	out := make(map[string]*FileMetrics, len(c.ix.Paths))
+	for _, m := range c.ix.ShardNames() {
+		sh := c.ix.Shard(m)
+		ms := c.shards[m]
+		if ms == nil || !ms.valid || ms.gen != sh.Gen() {
+			return nil, false
+		}
+		for _, p := range sh.Paths() {
+			e, present := ms.perFile[p]
+			if !present {
+				return nil, false
+			}
+			out[p] = e.fm
+		}
+	}
+	return out, true
+}
+
+// RestoreRows seeds the cache with persisted per-file rows against a
+// freshly restored index, re-folding the per-shard partials so the next
+// AnalyzeIndexed recomputes zero rows on an unchanged corpus. rows must
+// hold one entry for every indexed path, produced from the same file
+// content (the restorer guarantees both).
+func (c *Cache) RestoreRows(ix *artifact.Index, rows map[string]*FileMetrics) {
+	c.ix = ix
+	c.shards = make(map[string]*metricShard, len(ix.ShardNames()))
+	for _, m := range ix.ShardNames() {
+		sh := ix.Shard(m)
+		paths := sh.Paths()
+		ms := &metricShard{
+			perFile: make(map[string]cacheEntry, len(paths)),
+			files:   make([]*FileMetrics, len(paths)),
+		}
+		for i, p := range paths {
+			fm := rows[p]
+			ms.perFile[p] = cacheEntry{hash: ix.Units[p].File.Hash(), fm: fm}
+			ms.files[i] = fm
+		}
+		ms.refold()
+		ms.gen, ms.valid = sh.Gen(), true
+		c.shards[m] = ms
+	}
+	c.lastDirty = 0
+}

@@ -1,0 +1,86 @@
+package rules
+
+import (
+	"repro/internal/artifact"
+)
+
+// This file is the sharded engine's persistence boundary. The engine's
+// warm state is, per file, the cached finding list keyed by content
+// hash, plus the corpus-level segment keyed by the index overlays.
+// Everything else it holds (per-shard segments, stats partials,
+// signatures) is derivable in O(corpus map ops) from those lists and
+// the artifact index, so the snapshot stores only the finding lists and
+// RestoreCache recomputes the rest against the restored index.
+
+// ExportCache returns the engine's cached per-file finding lists (one
+// entry per indexed path, possibly empty) and the corpus-level segment.
+// It reports ok=false when the engine holds no complete warm state for
+// its current index — callers run the engine once (core.Assessor
+// .Findings) before snapshotting. The returned slices are the live
+// cache entries; callers must not mutate them.
+func (s *Sharded) ExportCache() (perFile map[string][]Finding, corpus []Finding, ok bool) {
+	if s.fused == nil || s.ix == nil || !s.haveEnv || !s.haveCorpus {
+		return nil, nil, false
+	}
+	perFile = make(map[string][]Finding, len(s.ix.Paths))
+	for _, m := range s.ix.ShardNames() {
+		sh := s.ix.Shard(m)
+		seg := s.shards[m]
+		if seg == nil || !seg.valid || seg.gen != sh.Gen() {
+			return nil, nil, false
+		}
+		for _, p := range sh.Paths() {
+			e, present := seg.perFile[p]
+			if !present {
+				return nil, nil, false
+			}
+			perFile[p] = e.findings
+		}
+	}
+	return perFile, s.corpusSeg, true
+}
+
+// RestoreCache seeds the engine with persisted per-file finding lists
+// against a freshly restored index: per-shard segments, stats partials,
+// and cache keys (environment signature, corpus overlay key, shard
+// generations) are recomputed from the index so the next Run over an
+// unchanged corpus re-checks zero files and a post-restore delta
+// re-checks only what the delta dirtied. perFile must hold one entry
+// for every indexed path whose content hash produced the findings —
+// the restorer (core.RestoreAssessor) guarantees both.
+func (s *Sharded) RestoreCache(ix *artifact.Index, perFile map[string][]Finding, corpus []Finding) {
+	if s.fused == nil {
+		return // non-fused rule sets never cache; Run falls back cold
+	}
+	s.reset(ix)
+	s.export, s.haveEnv = ix.ExportOverlay(), true
+	s.corpusKey = [2]uint64{ix.GraphOverlay(), s.export}
+	s.haveCorpus = true
+	s.corpusSeg = corpus
+	s.corpusStat = Aggregate(corpus)
+	for _, m := range ix.ShardNames() {
+		sh := ix.Shard(m)
+		paths := sh.Paths()
+		seg := &shardSeg{perFile: make(map[string]incrEntry, len(paths))}
+		total := 0
+		for _, p := range paths {
+			fs := perFile[p]
+			seg.perFile[p] = incrEntry{hash: ix.Units[p].File.Hash(), findings: fs}
+			total += len(fs)
+		}
+		seg.seg = make([]Finding, 0, total)
+		for _, p := range paths {
+			seg.seg = append(seg.seg, seg.perFile[p].findings...)
+		}
+		seg.stats = Aggregate(seg.seg)
+		seg.gen, seg.valid = sh.Gen(), true
+		s.shards[m] = seg
+	}
+	parts := make([]*Stats, 0, len(ix.ShardNames())+1)
+	parts = append(parts, s.corpusStat)
+	for _, m := range ix.ShardNames() {
+		parts = append(parts, s.shards[m].stats)
+	}
+	s.stats = MergeStats(parts...)
+	s.lastDirty = 0
+}

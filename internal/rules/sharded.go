@@ -31,6 +31,14 @@ import (
 // context is pinned by TestShardedMatchesColdRun and exercised at scale
 // by the differential harness (internal/difftest).
 type Sharded struct {
+	// Hydrate, when set, is called with the dirty paths of a warm run
+	// before their (re-)walk. A snapshot-restored assessor installs it
+	// to re-parse stub units on demand: restored units carry analysis
+	// facts but no statement bodies, and the fused walk needs real
+	// ASTs. The hook runs at a sequential point of Run (before any
+	// worker starts), so it may replace index entries in place.
+	Hydrate func(paths []string)
+
 	rules []Rule
 	fused []FusedRule // nil when any rule lacks a fused form
 
@@ -171,6 +179,9 @@ func (s *Sharded) Run(ctx *Context) []Finding {
 		rebuild = append(rebuild, m)
 	}
 	s.lastDirty = len(dirtyPaths)
+	if s.Hydrate != nil && len(dirtyPaths) > 0 {
+		s.Hydrate(dirtyPaths)
+	}
 
 	// Corpus-level hooks: reuse the cached segment while the corpus
 	// call-graph view is unchanged, otherwise run them once. Corpus

@@ -11,10 +11,22 @@
 //	               run a full assessment;
 //	POST /delta  — apply a file-level edit to a loaded corpus and
 //	               re-assess incrementally;
+//	POST /snapshot — force a compaction: write a fresh snapshot and
+//	               absorb the journal (persistent servers only);
 //	GET  /report — return the full report for a loaded corpus;
 //	GET  /findings — return every individual finding for a loaded corpus
 //	               (the differential harness byte-compares these rows
 //	               against the in-process engines).
+//
+// A server opened over a data directory (NewWithStore) is persistent:
+// every corpus is restored on boot from its snapshot plus delta-journal
+// replay (a torn journal tail — the crash-mid-append signature — is
+// dropped), every /delta is journaled and fsync'd before it is
+// acknowledged, the journal is compacted into a fresh snapshot when it
+// outgrows its thresholds, and Close drains state back to disk and
+// writes a clean-shutdown marker so the next boot replays nothing.
+// /report and /findings additionally honor Accept-Encoding: gzip —
+// their multi-megabyte bodies compress roughly 20x on large corpora.
 //
 // Every response is JSON; errors are {"error": "..."} with a non-2xx
 // status. Request bodies above MaxBody bytes are rejected with 413 and
@@ -29,17 +41,21 @@
 package service
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/iso26262"
 	"repro/internal/rules"
 	"repro/internal/srcfile"
+	"repro/internal/store"
 )
 
 // DefaultMaxBody caps request bodies at 16 MiB: enough for a 10k-file
@@ -57,6 +73,9 @@ type Server struct {
 	// MaxBody caps request body size in bytes; 0 means DefaultMaxBody.
 	MaxBody int64
 	corpora map[string]*corpusState
+	// dataDir, when non-nil, makes the server persistent (see the
+	// package comment); nil servers are purely in-memory.
+	dataDir *store.Dir
 }
 
 type corpusState struct {
@@ -65,6 +84,11 @@ type corpusState struct {
 	// report builds (all of which mutate warm caches).
 	mu sync.RWMutex
 	a  *core.Assessor
+	// cs is the corpus's persistent store (nil on in-memory servers).
+	// It is touched only under mu's write lock: the journal append runs
+	// inside CommitDelta via the assessor's commit hook, compaction and
+	// snapshots run after commits, and Close drains under the lock.
+	cs *store.CorpusStore
 
 	// shardMu guards the module-lock table; each module lock serializes
 	// deltas touching that shard so conflicting edits apply in a
@@ -112,9 +136,101 @@ func (st *corpusState) lockModules(paths []string) (unlock func()) {
 	}
 }
 
-// New creates an empty server.
+// New creates an empty in-memory server.
 func New() *Server {
 	return &Server{corpora: make(map[string]*corpusState)}
+}
+
+// RestoredCorpus describes one corpus recovered during NewWithStore.
+type RestoredCorpus struct {
+	Name string
+	// Files is the restored corpus size.
+	Files int
+	// Replayed journal records applied on top of the snapshot.
+	Replayed int
+	// Torn reports that a torn journal tail was dropped.
+	Torn bool
+	// Clean reports the previous process shut down cleanly (marker
+	// present, nothing to replay).
+	Clean bool
+}
+
+// NewWithStore creates a persistent server over a data directory,
+// restoring every stored corpus (snapshot + journal replay, torn tails
+// tolerated) and journaling every subsequent delta before it is
+// acknowledged. The returned list describes what was recovered.
+func NewWithStore(d *store.Dir) (*Server, []RestoredCorpus, error) {
+	s := New()
+	s.dataDir = d
+	names, err := d.Corpora()
+	if err != nil {
+		return nil, nil, err
+	}
+	restored := make([]RestoredCorpus, 0, len(names))
+	for _, name := range names {
+		cs, err := d.Corpus(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, info, err := cs.Recover(core.DefaultConfig())
+		if err != nil {
+			return nil, nil, fmt.Errorf("restore corpus %q: %w", name, err)
+		}
+		a.SetCommitHook(cs.Append)
+		s.corpora[name] = &corpusState{a: a, cs: cs}
+		restored = append(restored, RestoredCorpus{
+			Name:     name,
+			Files:    a.FileSet().Len(),
+			Replayed: info.Replayed,
+			Torn:     info.Torn,
+			Clean:    info.Clean,
+		})
+	}
+	return s, restored, nil
+}
+
+// Close drains a persistent server back to disk: every corpus is
+// compacted into a fresh snapshot (absorbing its journal), the journal
+// is synced and closed, and a clean-shutdown marker is written so the
+// next boot replays nothing. In-memory servers close trivially.
+// Callers stop accepting requests (http.Server.Shutdown) first.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	states := make([]*corpusState, 0, len(s.corpora))
+	for _, st := range s.corpora {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, st := range states {
+		st.mu.Lock()
+		if st.cs != nil {
+			if _, err := st.persist(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := st.cs.MarkClean(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := st.cs.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			st.cs = nil
+			st.a.SetCommitHook(nil)
+		}
+		st.mu.Unlock()
+	}
+	return firstErr
+}
+
+// persist writes the corpus's current state as a snapshot, absorbing
+// the journal, and returns the encoded size. Callers hold the write
+// lock.
+func (st *corpusState) persist() (int64, error) {
+	snap, err := st.a.ExportState()
+	if err != nil {
+		return 0, err
+	}
+	return st.cs.WriteSnapshot(snap)
 }
 
 // Handler returns the HTTP routing for the service.
@@ -122,6 +238,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/delta", s.handleDelta)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/findings", s.handleFindings)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -184,10 +301,36 @@ type AssessResponse struct {
 	Summary Summary `json:"summary"`
 }
 
+// JournalStats reports the persistence state after a delta on a
+// persistent server.
+type JournalStats struct {
+	// Records and Bytes describe the journal after the delta (and after
+	// any compaction it triggered).
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Compacted reports that this delta tripped a compaction: the
+	// journal was absorbed into a fresh snapshot.
+	Compacted bool `json:"compacted"`
+}
+
 // DeltaResponse answers POST /delta.
 type DeltaResponse struct {
 	Summary Summary    `json:"summary"`
 	Delta   DeltaStats `json:"delta"`
+	// Journal is present on persistent servers only.
+	Journal *JournalStats `json:"journal,omitempty"`
+}
+
+// SnapshotRequest asks for a forced compaction.
+type SnapshotRequest struct {
+	Corpus string `json:"corpus"`
+}
+
+// SnapshotResponse answers POST /snapshot.
+type SnapshotResponse struct {
+	Corpus        string `json:"corpus"`
+	Files         int    `json:"files"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
 }
 
 // TopicRow is one verdict row of the report tables.
@@ -286,6 +429,11 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "default"
 	}
+	if s.dataDir != nil && !store.ValidCorpusName(name) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("corpus name %q is not storable on a persistent server (letters, digits, '._-', no leading dot, max 64)", name))
+		return
+	}
 	asil := iso26262.ASILD
 	if req.ASIL != "" {
 		var err error
@@ -332,11 +480,68 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	st := &corpusState{a: a}
 	st.mu.Lock()
 	s.mu.Lock()
+	old := s.corpora[name]
 	s.corpora[name] = st
 	s.mu.Unlock()
+
+	// A replaced corpus must quiesce before the fresh state takes over
+	// the on-disk directory: taking the old write lock waits out
+	// in-flight commits (whose journal appends the new snapshot below
+	// then discards — they carry the superseded generation either way),
+	// and clearing the hook stops any later ones. The old store HANDLE
+	// stays open until the new snapshot is installed, so a persistence
+	// failure can hand the corpus back fully functional.
+	var oldCS *store.CorpusStore
+	if old != nil {
+		old.mu.Lock()
+		oldCS, old.cs = old.cs, nil
+		old.a.SetCommitHook(nil)
+		old.mu.Unlock()
+	}
+
 	as := a.Assess()
+	// Persistent servers write the initial snapshot before the corpus
+	// is acknowledged: an /assess that returns 200 survives a crash.
+	if s.dataDir != nil {
+		cs, err := s.dataDir.Corpus(name)
+		if err == nil {
+			st.cs = cs
+			_, err = st.persist()
+		}
+		if err != nil {
+			// Persistence failed: a 500 must not leave the name serving
+			// nothing. Reinstate the replaced corpus — its on-disk
+			// snapshot+journal are still the source of truth (an error
+			// means the new snapshot never renamed into place) — with
+			// its original, still-open store so later deltas keep
+			// journaling under the correct generation.
+			s.mu.Lock()
+			if s.corpora[name] == st {
+				if old != nil {
+					s.corpora[name] = old
+				} else {
+					delete(s.corpora, name)
+				}
+			}
+			s.mu.Unlock()
+			if old != nil && oldCS != nil {
+				old.mu.Lock()
+				old.cs = oldCS
+				old.a.SetCommitHook(oldCS.Append)
+				old.mu.Unlock()
+			}
+			st.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "persist corpus: "+err.Error())
+			return
+		}
+		a.SetCommitHook(cs.Append)
+	}
 	resp := AssessResponse{Summary: summarize(name, a, as)}
 	st.mu.Unlock()
+	if oldCS != nil {
+		// The replacement is durable; release the superseded handle.
+		oldCS.Close()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -393,13 +598,23 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// On a persistent server the commit hook journals (and fsyncs) the
+	// delta inside CommitDelta before any state mutates, so a 200 here
+	// means the delta is durable; a journal failure surfaces as a
+	// commit error with the corpus untouched.
 	res, err := st.a.CommitDelta(pd)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		// A journal failure is a server-side durability fault (retry
+		// later), not an invalid request.
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, core.ErrCommitHook) {
+			status = http.StatusInternalServerError
+		}
+		writeErr(w, status, err.Error())
 		return
 	}
 	as := st.a.Assess()
-	writeJSON(w, http.StatusOK, DeltaResponse{
+	resp := DeltaResponse{
 		Summary: summarize(name, st.a, as),
 		Delta: DeltaStats{
 			Parsed:              res.Parsed,
@@ -408,6 +623,57 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			RuleFilesChecked:    st.a.RuleFilesChecked(),
 			MetricFilesComputed: st.a.MetricFilesComputed(),
 		},
+	}
+	if st.cs != nil {
+		js := &JournalStats{}
+		if st.cs.ShouldCompact() {
+			// Compaction failure is not a delta failure: the record is
+			// journaled and durable either way, and the next delta
+			// retries the compaction.
+			_, perr := st.persist()
+			js.Compacted = perr == nil
+		}
+		js.Records, js.Bytes = st.cs.JournalRecords(), st.cs.JournalBytes()
+		resp.Journal = js
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot forces a compaction: the corpus's current state is
+// written as a fresh snapshot and the journal is absorbed into it.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SnapshotRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if s.dataDir == nil {
+		writeErr(w, http.StatusBadRequest, "server has no data directory (-data-dir)")
+		return
+	}
+	st, name, ok := s.corpus(req.Corpus)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cs == nil {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("corpus %q is no longer backed by the store", name))
+		return
+	}
+	n, err := st.persist()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Corpus:        name,
+		Files:         st.a.FileSet().Len(),
+		SnapshotBytes: n,
 	})
 }
 
@@ -423,7 +689,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	writeJSON(w, http.StatusOK, BuildReport(name, st.a))
+	writeJSONNegotiated(w, r, http.StatusOK, BuildReport(name, st.a))
 }
 
 // BuildReport assembles the full report payload for an assessor. Exported
@@ -461,7 +727,7 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	rows := FindingRows(st.a.Findings())
-	writeJSON(w, http.StatusOK, FindingsResponse{Corpus: name, Count: len(rows), Findings: rows})
+	writeJSONNegotiated(w, r, http.StatusOK, FindingsResponse{Corpus: name, Count: len(rows), Findings: rows})
 }
 
 // FindingRows projects engine findings onto the wire rows, preserving
@@ -550,6 +816,45 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONNegotiated is writeJSON plus gzip content negotiation, used
+// by the bulk read endpoints (/report, /findings) whose bodies reach
+// multiple megabytes on large corpora and compress roughly 20x.
+func writeJSONNegotiated(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
+	// The response varies on Accept-Encoding whichever variant is
+	// chosen; caches must see Vary on the identity branch too.
+	w.Header().Add("Vary", "Accept-Encoding")
+	if !acceptsGzip(r) {
+		writeJSON(w, status, v)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Encoding", "gzip")
+	w.WriteHeader(status)
+	gz := gzip.NewWriter(w)
+	_ = json.NewEncoder(gz).Encode(v)
+	_ = gz.Close()
+}
+
+// acceptsGzip reports whether the client's Accept-Encoding admits gzip
+// (a q=0 disables it; any other listing, or a bare *, enables it).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if enc = strings.TrimSpace(enc); enc != "gzip" && enc != "*" {
+			continue
+		}
+		if hasQ {
+			if qv, ok := strings.CutPrefix(strings.TrimSpace(q), "q="); ok {
+				if f, err := strconv.ParseFloat(qv, 64); err == nil && f == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
 }
 
 func writeErr(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/srcfile"
+)
+
+// Journal format, version 1.
+//
+//	magic  "ADJRNL01"                           (8 bytes)
+//	record*
+//	  length u32 LE   (payload bytes)
+//	  crc32  u32 LE   (IEEE, over the payload)
+//	  payload [length]byte
+//	payload:
+//	  op u8 (1 = delta)
+//	  gen varint (the snapshot generation the delta applies to)
+//	  nChanged varint; per change: path, module, src (strings)
+//	  nRemoved varint; per removal: path
+//
+// Appends write one record with a single write(2) followed by fsync, so
+// an acknowledged record is durable and a crash mid-append leaves at
+// most one torn record at the physical tail. Replay walks records until
+// the first length/CRC violation; a violation at the tail is the
+// expected torn-write signature and is reported (not an error), and the
+// journal is truncated back to the last good record before any further
+// append.
+
+const (
+	journalMagic     = "ADJRNL01"
+	journalRecordHdr = 8
+	opDelta          = 1
+	// maxJournalRecord bounds a single record (and therefore a decode
+	// allocation) at slightly above the service's request-body cap.
+	maxJournalRecord = 64 << 20
+)
+
+// Journal is an open, append-positioned delta journal.
+type Journal struct {
+	f       *os.File
+	path    string
+	size    int64 // bytes of magic + valid records
+	records int   // valid records on disk
+}
+
+// JournalReplay reports what opening a journal found.
+type JournalReplay struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// Torn reports whether a torn (incomplete or corrupt) tail was
+	// dropped — the crash-mid-append signature.
+	Torn bool
+}
+
+// ReadJournal scans the journal at path read-only, replaying every
+// valid record through apply (which may be nil) in append order with
+// the generation it was appended against, and returns what it found
+// plus the valid byte length. A missing journal is an empty one.
+// Nothing on disk is modified — inspection tooling (cmd/adstore) uses
+// this directly; OpenJournal adds the truncate-and-append positioning
+// on top.
+func ReadJournal(path string, apply func(gen uint64, changed []*srcfile.File, removed []string) error) (JournalReplay, int64, error) {
+	var rep JournalReplay
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return rep, 0, nil
+	case err != nil:
+		return rep, 0, err
+	}
+	if len(raw) == 0 {
+		return rep, 0, nil
+	}
+	if len(raw) < len(journalMagic) {
+		// A crash during the very first header write leaves a short
+		// file that provably holds no complete record: the torn-write
+		// case, not corruption — recovery proceeds from the snapshot
+		// alone and the header is rewritten before the next append.
+		rep.Torn = true
+		return rep, 0, nil
+	}
+	if string(raw[:len(journalMagic)]) != journalMagic {
+		return rep, 0, fmt.Errorf("%w: bad journal magic in %s", errCorrupt, path)
+	}
+	off := len(journalMagic)
+	valid := int64(off)
+	for off < len(raw) {
+		if len(raw)-off < journalRecordHdr {
+			rep.Torn = true
+			break
+		}
+		n := int(getU32(raw[off:]))
+		sum := getU32(raw[off+4:])
+		if n > maxJournalRecord || len(raw)-off-journalRecordHdr < n {
+			rep.Torn = true
+			break
+		}
+		payload := raw[off+journalRecordHdr : off+journalRecordHdr+n]
+		if crc(payload) != sum {
+			rep.Torn = true
+			break
+		}
+		gen, changed, removed, derr := decodeDeltaRecord(payload)
+		if derr != nil {
+			// A checksummed record that does not decode is not a torn
+			// write but a format problem: refuse rather than drop data.
+			return rep, valid, fmt.Errorf("journal %s record %d: %w", path, rep.Records+1, derr)
+		}
+		if apply != nil {
+			if aerr := apply(gen, changed, removed); aerr != nil {
+				return rep, valid, fmt.Errorf("journal %s record %d: replay: %w", path, rep.Records+1, aerr)
+			}
+		}
+		off += journalRecordHdr + n
+		valid = int64(off)
+		rep.Records++
+	}
+	return rep, valid, nil
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replaying
+// every valid record through apply in append order. A torn tail is
+// truncated so subsequent appends extend the last good record. An apply
+// error aborts the open.
+func OpenJournal(path string, apply func(gen uint64, changed []*srcfile.File, removed []string) error) (*Journal, JournalReplay, error) {
+	rep, valid, err := ReadJournal(path, apply)
+	if err != nil {
+		return nil, rep, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, rep, err
+	}
+	j := &Journal{f: f, path: path, size: valid, records: rep.Records}
+	if valid == 0 {
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, rep, err
+		}
+	} else if rep.Torn {
+		// Drop the torn tail before any further append.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, rep, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, rep, err
+		}
+	}
+	return j, rep, nil
+}
+
+func (j *Journal) writeHeader() error {
+	if _, err := j.f.WriteAt([]byte(journalMagic), 0); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size = int64(len(journalMagic))
+	j.records = 0
+	return nil
+}
+
+// Append journals one delta (changed files with their resolved modules,
+// plus removals) and syncs it to stable storage before returning. A
+// delta encoding above the replay limit is rejected up front: appending
+// it would succeed but replay would misread it as a torn tail and
+// silently truncate it away — an explicit error (which aborts the
+// commit, state untouched) instead of acknowledged-then-lost data.
+func (j *Journal) Append(gen uint64, changed []*srcfile.File, removed []string) error {
+	payload := encodeDeltaRecord(gen, changed, removed)
+	if len(payload) > maxJournalRecord {
+		return fmt.Errorf("store: delta record of %d bytes exceeds the %d-byte journal record limit", len(payload), maxJournalRecord)
+	}
+	rec := make([]byte, journalRecordHdr+len(payload))
+	putU32(rec, uint32(len(payload)))
+	putU32(rec[4:], crc(payload))
+	copy(rec[journalRecordHdr:], payload)
+	if _, err := j.f.WriteAt(rec, j.size); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += int64(len(rec))
+	j.records++
+	return nil
+}
+
+// Reset discards every record (a fresh snapshot absorbed them) and
+// syncs the truncation.
+func (j *Journal) Reset() error {
+	if err := j.f.Truncate(int64(len(journalMagic))); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size = int64(len(journalMagic))
+	j.records = 0
+	return nil
+}
+
+// Records returns the number of records currently journaled.
+func (j *Journal) Records() int { return j.records }
+
+// Size returns the journal's valid byte size (header + records).
+func (j *Journal) Size() int64 { return j.size }
+
+// Sync flushes the journal file to stable storage (appends already sync
+// record-by-record; this is the belt-and-braces flush on shutdown).
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+func encodeDeltaRecord(gen uint64, changed []*srcfile.File, removed []string) []byte {
+	var e enc
+	e.byte(opDelta)
+	e.uvarint(gen)
+	e.int(len(changed))
+	for _, f := range changed {
+		e.string(f.Path)
+		e.string(f.Module)
+		e.string(f.Src)
+	}
+	e.strings(removed)
+	return e.buf
+}
+
+func decodeDeltaRecord(payload []byte) (gen uint64, changed []*srcfile.File, removed []string, err error) {
+	d := &dec{buf: payload}
+	if op := d.byte(); d.err == nil && op != opDelta {
+		return 0, nil, nil, fmt.Errorf("%w: unknown journal op %d", errCorrupt, op)
+	}
+	gen = d.uvarint()
+	n := d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		changed = append(changed, &srcfile.File{
+			Path:   d.string(),
+			Module: d.string(),
+			Src:    d.string(),
+		})
+	}
+	removed = d.stringsList()
+	if err := d.done(); err != nil {
+		return 0, nil, nil, err
+	}
+	return gen, changed, removed, nil
+}

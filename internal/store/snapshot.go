@@ -1,0 +1,348 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/iso26262"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+	"repro/internal/srcfile"
+)
+
+// Snapshot format, version 1.
+//
+//	magic   "ADSNAP01"                         (8 bytes)
+//	version u32 little-endian                  (= 1)
+//	section*                                   (one per tag, any order)
+//	  tag      u8      ('H', 'F', 'U', 'R', 'M')
+//	  length   u32 LE  (payload bytes)
+//	  payload  [length]byte
+//	  crc32    u32 LE  (IEEE, over the payload)
+//
+// Sections: H carries the snapshot generation, the target ASIL, and
+// the rule-set fingerprint; F the corpus files (insertion order); U the
+// per-unit analysis facts (sorted path order); R the per-file and
+// corpus finding segments; M the per-file metric rows. Every section
+// must appear exactly once. Integers inside payloads are unsigned
+// varints; strings are length-prefixed bytes. Any truncation, bit
+// flip, or trailing garbage fails decode with a wrapped "corrupt data"
+// error.
+//
+// The generation is a random nonzero 64-bit tag drawn per snapshot
+// write; journal records carry the generation they were appended
+// against, and recovery skips records whose generation does not match
+// the snapshot's — so a journal that outlives its snapshot (crash or
+// I/O failure between the snapshot rename and the journal truncation)
+// can never replay onto state it does not describe.
+
+const (
+	snapMagic   = "ADSNAP01"
+	snapVersion = 1
+)
+
+var snapTags = []byte{'H', 'F', 'U', 'R', 'M'}
+
+// EncodeSnapshot renders a persisted state into the versioned binary
+// snapshot format under the given generation tag.
+func EncodeSnapshot(st *core.PersistedState, gen uint64) []byte {
+	var out enc
+	out.buf = make([]byte, 0, snapshotSizeHint(st))
+	out.buf = append(out.buf, snapMagic...)
+	var v4 [4]byte
+	putU32(v4[:], snapVersion)
+	out.buf = append(out.buf, v4[:]...)
+
+	section := func(tag byte, payload []byte) {
+		out.byte(tag)
+		putU32(v4[:], uint32(len(payload)))
+		out.buf = append(out.buf, v4[:]...)
+		out.buf = append(out.buf, payload...)
+		putU32(v4[:], crc(payload))
+		out.buf = append(out.buf, v4[:]...)
+	}
+
+	var h enc
+	h.uvarint(gen)
+	h.int(int(st.Target))
+	h.strings(st.RuleIDs)
+	section('H', h.buf)
+
+	var f enc
+	f.int(len(st.Files))
+	for i := range st.Files {
+		pf := &st.Files[i]
+		f.string(pf.Path)
+		f.string(pf.Module)
+		f.byte(byte(pf.Lang))
+		f.string(pf.Src)
+	}
+	section('F', f.buf)
+
+	var u enc
+	u.int(len(st.Units))
+	for i := range st.Units {
+		uf := &st.Units[i]
+		u.string(uf.Path)
+		u.int(len(uf.Funcs))
+		for k := range uf.Funcs {
+			ft := &uf.Funcs[k]
+			u.string(ft.Name)
+			u.bool(ft.Void)
+			u.int(ft.Line)
+			u.int(ft.Params)
+			u.int(ft.CCN)
+			u.int(ft.Returns)
+			u.strings(ft.Calls)
+		}
+		u.strings(uf.Globals)
+	}
+	section('U', u.buf)
+
+	var r enc
+	r.int(len(st.Units))
+	for i := range st.Units {
+		p := st.Units[i].Path
+		r.string(p)
+		encodeFindings(&r, st.FileFindings[p])
+	}
+	encodeFindings(&r, st.CorpusFindings)
+	section('R', r.buf)
+
+	var m enc
+	m.int(len(st.Units))
+	for i := range st.Units {
+		p := st.Units[i].Path
+		m.string(p)
+		encodeMetricRow(&m, st.MetricRows[p])
+	}
+	section('M', m.buf)
+
+	return out.buf
+}
+
+// DecodeSnapshot parses and validates a snapshot, returning the
+// persisted state it holds and its generation tag.
+func DecodeSnapshot(raw []byte) (*core.PersistedState, uint64, error) {
+	if len(raw) < len(snapMagic)+4 {
+		return nil, 0, fmt.Errorf("%w: snapshot shorter than its header", errCorrupt)
+	}
+	if string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: bad snapshot magic", errCorrupt)
+	}
+	if v := getU32(raw[len(snapMagic):]); v != snapVersion {
+		return nil, 0, fmt.Errorf("unsupported snapshot version %d (this build reads %d)", v, snapVersion)
+	}
+	sections := make(map[byte][]byte, len(snapTags))
+	off := len(snapMagic) + 4
+	for off < len(raw) {
+		if len(raw)-off < 1+4 {
+			return nil, 0, fmt.Errorf("%w: truncated section header", errCorrupt)
+		}
+		tag := raw[off]
+		n := int(getU32(raw[off+1:]))
+		off += 5
+		if len(raw)-off < n+4 {
+			return nil, 0, fmt.Errorf("%w: truncated section %q", errCorrupt, tag)
+		}
+		payload := raw[off : off+n]
+		off += n
+		if got, want := crc(payload), getU32(raw[off:]); got != want {
+			return nil, 0, fmt.Errorf("%w: section %q checksum mismatch (%08x != %08x)", errCorrupt, tag, got, want)
+		}
+		off += 4
+		if _, dup := sections[tag]; dup {
+			return nil, 0, fmt.Errorf("%w: duplicate section %q", errCorrupt, tag)
+		}
+		sections[tag] = payload
+	}
+	for _, tag := range snapTags {
+		if _, ok := sections[tag]; !ok {
+			return nil, 0, fmt.Errorf("%w: missing section %q", errCorrupt, tag)
+		}
+	}
+
+	st := &core.PersistedState{}
+
+	h := &dec{buf: sections['H']}
+	gen := h.uvarint()
+	st.Target = iso26262.ASIL(h.int())
+	st.RuleIDs = h.stringsList()
+	if err := h.done(); err != nil {
+		return nil, 0, fmt.Errorf("snapshot header: %w", err)
+	}
+
+	f := &dec{buf: sections['F']}
+	nFiles := f.length()
+	st.Files = make([]core.PersistedFile, 0, nFiles)
+	for i := 0; i < nFiles && f.err == nil; i++ {
+		st.Files = append(st.Files, core.PersistedFile{
+			Path:   f.string(),
+			Module: f.string(),
+			Lang:   srcfile.Language(f.byte()),
+			Src:    f.string(),
+		})
+	}
+	if err := f.done(); err != nil {
+		return nil, 0, fmt.Errorf("snapshot files: %w", err)
+	}
+
+	u := &dec{buf: sections['U']}
+	nUnits := u.length()
+	st.Units = make([]artifact.UnitFacts, 0, nUnits)
+	for i := 0; i < nUnits && u.err == nil; i++ {
+		uf := artifact.UnitFacts{Path: u.string()}
+		nf := u.length()
+		uf.Funcs = make([]artifact.FuncFacts, 0, nf)
+		for k := 0; k < nf && u.err == nil; k++ {
+			uf.Funcs = append(uf.Funcs, artifact.FuncFacts{
+				Name:    u.string(),
+				Void:    u.bool(),
+				Line:    u.int(),
+				Params:  u.int(),
+				CCN:     u.int(),
+				Returns: u.int(),
+				Calls:   u.stringsList(),
+			})
+		}
+		uf.Globals = u.stringsList()
+		st.Units = append(st.Units, uf)
+	}
+	if err := u.done(); err != nil {
+		return nil, 0, fmt.Errorf("snapshot units: %w", err)
+	}
+
+	r := &dec{buf: sections['R']}
+	nR := r.length()
+	st.FileFindings = make(map[string][]rules.Finding, nR)
+	for i := 0; i < nR && r.err == nil; i++ {
+		p := r.string()
+		st.FileFindings[p] = decodeFindings(r)
+	}
+	st.CorpusFindings = decodeFindings(r)
+	if err := r.done(); err != nil {
+		return nil, 0, fmt.Errorf("snapshot findings: %w", err)
+	}
+
+	m := &dec{buf: sections['M']}
+	nM := m.length()
+	st.MetricRows = make(map[string]*metrics.FileMetrics, nM)
+	for i := 0; i < nM && m.err == nil; i++ {
+		p := m.string()
+		st.MetricRows[p] = decodeMetricRow(m, p)
+	}
+	if err := m.done(); err != nil {
+		return nil, 0, fmt.Errorf("snapshot metrics: %w", err)
+	}
+	return st, gen, nil
+}
+
+func encodeFindings(e *enc, fs []rules.Finding) {
+	e.int(len(fs))
+	for i := range fs {
+		fd := &fs[i]
+		e.string(fd.RuleID)
+		e.byte(byte(fd.Severity))
+		e.string(fd.File)
+		e.string(fd.Module)
+		e.int(fd.Line)
+		e.string(fd.Msg)
+		e.string(fd.Function)
+		e.int(len(fd.Refs))
+		for _, ref := range fd.Refs {
+			e.int(int(ref.Table))
+			e.int(ref.Item)
+		}
+	}
+}
+
+func decodeFindings(d *dec) []rules.Finding {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]rules.Finding, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		fd := rules.Finding{
+			RuleID:   d.string(),
+			Severity: rules.Severity(d.byte()),
+			File:     d.string(),
+			Module:   d.string(),
+			Line:     d.int(),
+			Msg:      d.string(),
+			Function: d.string(),
+		}
+		nr := d.length()
+		if nr > 0 {
+			fd.Refs = make([]iso26262.Ref, 0, nr)
+			for k := 0; k < nr && d.err == nil; k++ {
+				fd.Refs = append(fd.Refs, iso26262.Ref{
+					Table: iso26262.TableID(d.int()),
+					Item:  d.int(),
+				})
+			}
+		}
+		out = append(out, fd)
+	}
+	return out
+}
+
+func encodeMetricRow(e *enc, fm *metrics.FileMetrics) {
+	e.string(fm.Module)
+	e.byte(byte(fm.Lang))
+	e.int(fm.LOC)
+	e.int(fm.NLOC)
+	e.int(len(fm.Functions))
+	for _, fn := range fm.Functions {
+		e.string(fn.Name)
+		e.int(fn.StartLine)
+		e.int(fn.EndLine)
+		e.int(fn.NLOC)
+		e.int(fn.CCN)
+		e.int(fn.Params)
+		e.int(fn.Returns)
+		e.bool(fn.IsKernel)
+	}
+}
+
+// decodeMetricRow reads one metrics row. The per-function File and
+// Module fields are not on the wire: the analysis always derives them
+// from the owning file, so they are reconstructed from the row.
+func decodeMetricRow(d *dec, path string) *metrics.FileMetrics {
+	fm := &metrics.FileMetrics{
+		Path:   path,
+		Module: d.string(),
+		Lang:   srcfile.Language(d.byte()),
+		LOC:    d.int(),
+		NLOC:   d.int(),
+	}
+	n := d.length()
+	if n > 0 {
+		fm.Functions = make([]*metrics.FunctionMetrics, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		fm.Functions = append(fm.Functions, &metrics.FunctionMetrics{
+			Name:      d.string(),
+			File:      path,
+			Module:    fm.Module,
+			StartLine: d.int(),
+			EndLine:   d.int(),
+			NLOC:      d.int(),
+			CCN:       d.int(),
+			Params:    d.int(),
+			Returns:   d.int(),
+			IsKernel:  d.bool(),
+		})
+	}
+	return fm
+}
+
+// snapshotSizeHint estimates the encoded size (sources dominate).
+func snapshotSizeHint(st *core.PersistedState) int {
+	n := 1 << 12
+	for i := range st.Files {
+		n += len(st.Files[i].Src) + len(st.Files[i].Path)*2 + 64
+	}
+	return n + len(st.CorpusFindings)*64
+}

@@ -1,0 +1,600 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpusgen"
+	"repro/internal/rules"
+	"repro/internal/service"
+	"repro/internal/srcfile"
+	"repro/internal/store"
+)
+
+// smallParams keeps store tests fast while still spanning several
+// modules (shards), CUDA files, and injected violations.
+var smallParams = corpusgen.Params{Modules: 4, FilesPerModule: 5,
+	FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}
+
+func newWarmAssessor(t *testing.T, seed int64) (*core.Assessor, *corpusgen.Generator) {
+	t.Helper()
+	gen := corpusgen.New(smallParams, seed)
+	a := core.NewAssessor(core.DefaultConfig())
+	if err := a.LoadFileSet(gen.FileSet()); err != nil {
+		t.Fatal(err)
+	}
+	a.Assess()
+	return a, gen
+}
+
+// canonical renders findings through the service wire projection, the
+// byte-space every engine path is compared in.
+func canonical(t *testing.T, fs []rules.Finding) []byte {
+	t.Helper()
+	b, err := json.Marshal(service.FindingRows(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func reportBytes(t *testing.T, a *core.Assessor) []byte {
+	t.Helper()
+	b, err := json.Marshal(service.BuildReport("c", a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func shardStatsString(a *core.Assessor) string {
+	return fmt.Sprintf("%v", a.ShardStats())
+}
+
+// requireIdentical asserts the full observable surface pinned by the
+// acceptance criteria: findings, /report, and ShardStats.
+func requireIdentical(t *testing.T, what string, want, got *core.Assessor) {
+	t.Helper()
+	if w, g := canonical(t, want.Findings()), canonical(t, got.Findings()); !bytes.Equal(w, g) {
+		t.Fatalf("%s: findings diverge:\nwant %.200s\ngot  %.200s", what, w, g)
+	}
+	if w, g := reportBytes(t, want), reportBytes(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("%s: report diverges:\nwant %.300s\ngot  %.300s", what, w, g)
+	}
+	if w, g := shardStatsString(want), shardStatsString(got); w != g {
+		t.Fatalf("%s: shard stats diverge:\nwant %s\ngot  %s", what, w, g)
+	}
+}
+
+// coldAssessor re-parses the restored corpus sources from scratch — the
+// reference the restored warm state must be byte-identical to.
+func coldAssessor(t *testing.T, src *core.Assessor) *core.Assessor {
+	t.Helper()
+	fs := srcfile.NewFileSet()
+	for _, f := range src.FileSet().Files() {
+		fs.Add(&srcfile.File{Path: f.Path, Module: f.Module, Lang: f.Lang, Src: f.Src})
+	}
+	cold := core.NewAssessor(src.Config())
+	if err := cold.LoadFileSet(fs); err != nil {
+		t.Fatal(err)
+	}
+	return cold
+}
+
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	a, _ := newWarmAssessor(t, 26262)
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := store.EncodeSnapshot(st, 1)
+	st2, _, err := store.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreAssessor(core.DefaultConfig(), st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "restored vs live", a, restored)
+
+	// The restored caches must be warm: a post-restore run re-checks
+	// nothing and the stubs were never parsed.
+	restored.Findings()
+	if n := restored.RuleFilesChecked(); n != 0 {
+		t.Fatalf("restored run re-checked %d files, want 0", n)
+	}
+	restored.Metrics()
+	if n := restored.MetricFilesComputed(); n != 0 {
+		t.Fatalf("restored run recomputed %d metric rows, want 0", n)
+	}
+	if n, total := restored.StubUnits(), restored.FileSet().Len(); n != total {
+		t.Fatalf("restored assessor parsed %d units eagerly (stubs %d/%d)", total-n, n, total)
+	}
+
+	// And byte-identical to a genuinely cold parse of the same tree.
+	requireIdentical(t, "restored vs cold", coldAssessor(t, a), restored)
+}
+
+func TestSnapshotOfRestoredAssessorRoundTrips(t *testing.T) {
+	a, _ := newWarmAssessor(t, 7)
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreAssessor(core.DefaultConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the restored (all-stub) assessor and restore again.
+	st2, err := restored.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := store.EncodeSnapshot(st2, 2)
+	st3, _, err := store.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := core.RestoreAssessor(core.DefaultConfig(), st3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "second-generation restore", a, again)
+}
+
+func TestRestoredDeltaStaysWarmAndIdentical(t *testing.T) {
+	a, gen := newWarmAssessor(t, 26262)
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreAssessor(core.DefaultConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A content edit that keeps the exported surface: the restored
+	// engine must re-check exactly the dirty file, not hydrate the
+	// corpus.
+	victim := gen.Paths()[len(gen.Paths())/2]
+	edit := gen.Source(victim) + "\n// trailing comment\n"
+	d := core.Delta{Changed: []*srcfile.File{{Path: victim, Src: edit}}}
+	if _, err := restored.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{Path: victim, Src: edit}}}); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "post-delta", a, restored)
+	if n := restored.RuleFilesChecked(); n != 1 {
+		t.Fatalf("restored delta re-checked %d files, want 1", n)
+	}
+	if stubs := restored.StubUnits(); stubs != restored.FileSet().Len()-1 {
+		t.Fatalf("delta hydrated more than the edited file: %d stubs of %d files",
+			stubs, restored.FileSet().Len())
+	}
+	requireIdentical(t, "post-delta vs cold", coldAssessor(t, a), restored)
+}
+
+func TestRestoredEnvironmentInvalidationHydrates(t *testing.T) {
+	a, gen := newWarmAssessor(t, 26262)
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreAssessor(core.DefaultConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Adding a file with a fresh global variable changes the cross-file
+	// environment signature: every cached per-file entry is dropped and
+	// the fused engine re-walks the whole corpus — which on a restored
+	// assessor must transparently hydrate every stub, not walk bodyless
+	// fabrications.
+	add := &srcfile.File{Path: "perception/zz_new_global.cc",
+		Src: "int g_store_test_probe = 4;\nint UseProbe() { return g_store_test_probe; }\n"}
+	for _, eng := range []*core.Assessor{a, restored} {
+		if _, err := eng.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+			Path: add.Path, Src: add.Src}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireIdentical(t, "post-invalidation", a, restored)
+	if stubs := restored.StubUnits(); stubs != 0 {
+		t.Fatalf("environment invalidation left %d stubs unhydrated", stubs)
+	}
+	requireIdentical(t, "post-invalidation vs cold", coldAssessor(t, a), restored)
+	_ = gen
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a, _ := newWarmAssessor(t, 3)
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := store.EncodeSnapshot(st, 3)
+
+	if _, _, err := store.DecodeSnapshot(raw[:len(raw)/2]); err == nil {
+		t.Fatal("truncated snapshot decoded")
+	}
+	for _, off := range []int{2, len(raw) / 3, len(raw) - 9} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, _, err := store.DecodeSnapshot(bad); err == nil {
+			t.Fatalf("bit flip at %d decoded", off)
+		}
+	}
+	bad := append([]byte(nil), raw...)
+	putU32Slice(bad, 8, 99) // version field
+	if _, _, err := store.DecodeSnapshot(bad); err == nil {
+		t.Fatal("future version decoded")
+	}
+}
+
+func putU32Slice(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func TestJournalReplayAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Corpus("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, gen := newWarmAssessor(t, 11)
+	if _, err := cs.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	a.SetCommitHook(cs.Append)
+
+	// Journal three deltas against the live assessor.
+	var lastGood, beforeLast []byte
+	for i := 0; i < 3; i++ {
+		mut := gen.Mutate()
+		d := core.Delta{}
+		if mut.Kind == corpusgen.MutRemove {
+			d.Removed = []string{mut.Path}
+		} else {
+			d.Changed = []*srcfile.File{{Path: mut.Path, Src: mut.Src}}
+		}
+		if _, err := a.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+		beforeLast = lastGood
+		lastGood = canonical(t, a.Findings())
+	}
+	if cs.JournalRecords() != 3 {
+		t.Fatalf("journal holds %d records, want 3", cs.JournalRecords())
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full replay reproduces the live state.
+	cs2, _ := d.Corpus("c1")
+	rec, info, err := cs2.Recover(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 3 || info.Torn || info.Clean {
+		t.Fatalf("recover info = %+v, want 3 replayed, not torn, not clean", info)
+	}
+	requireIdentical(t, "full replay", a, rec)
+	if err := cs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: chop bytes off the last record; recovery lands on the
+	// state after the first two deltas and truncates the tail.
+	jpath := filepath.Join(dir, "c1", "journal")
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cs3, _ := d.Corpus("c1")
+	rec3, info3, err := cs3.Recover(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info3.Torn || info3.Replayed != 2 {
+		t.Fatalf("torn recover info = %+v, want torn with 2 replayed", info3)
+	}
+	if got := canonical(t, rec3.Findings()); !bytes.Equal(got, beforeLast) {
+		t.Fatalf("torn-tail recovery diverges from the state at the last good record")
+	}
+	// The torn bytes are gone: appending works and a further recovery
+	// sees exactly the two good records plus the new one.
+	if err := cs3.Append(nil, []string{"nonexistent/zz.cc"}); err != nil {
+		t.Fatal(err)
+	}
+	if cs3.JournalRecords() != 3 {
+		t.Fatalf("after truncation+append journal holds %d records, want 3", cs3.JournalRecords())
+	}
+	if err := cs3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garbage appended beyond the valid tail is likewise dropped.
+	raw, _ = os.ReadFile(jpath)
+	if err := os.WriteFile(jpath, append(raw, 0xde, 0xad, 0xbe), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cs4, _ := d.Corpus("c1")
+	if _, info4, err := cs4.Recover(core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	} else if !info4.Torn || info4.Replayed != 3 {
+		t.Fatalf("garbage-tail recover info = %+v, want torn with 3 replayed", info4)
+	}
+	cs4.Close()
+}
+
+func mustExport(t *testing.T, a *core.Assessor) *core.PersistedState {
+	t.Helper()
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCompactionAndCleanMarker(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.Open(dir, store.Options{MaxJournalRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Corpus("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, gen := newWarmAssessor(t, 5)
+	if _, err := cs.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	a.SetCommitHook(cs.Append)
+
+	mutate := func() {
+		mut := gen.Mutate()
+		d := core.Delta{}
+		if mut.Kind == corpusgen.MutRemove {
+			d.Removed = []string{mut.Path}
+		} else {
+			d.Changed = []*srcfile.File{{Path: mut.Path, Src: mut.Src}}
+		}
+		if _, err := a.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate()
+	if cs.ShouldCompact() {
+		t.Fatal("compaction triggered below the record threshold")
+	}
+	mutate()
+	if !cs.ShouldCompact() {
+		t.Fatal("compaction did not trigger at the record threshold")
+	}
+	if _, err := cs.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	if cs.JournalRecords() != 0 || cs.ShouldCompact() {
+		t.Fatalf("snapshot did not absorb the journal: %d records", cs.JournalRecords())
+	}
+
+	// Clean shutdown: compact (already empty), mark, close. The next
+	// boot replays nothing and sees the marker — then consumes it.
+	if err := cs.MarkClean(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cs2, _ := d.Corpus("c1")
+	rec, info, err := cs2.Recover(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Clean || info.Replayed != 0 || info.Torn {
+		t.Fatalf("clean boot info = %+v, want clean with 0 replayed", info)
+	}
+	requireIdentical(t, "clean boot", a, rec)
+	cs2.Close()
+
+	// The marker certifies exactly one boot.
+	cs3, _ := d.Corpus("c1")
+	if _, info3, err := cs3.Recover(core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	} else if info3.Clean {
+		t.Fatal("clean marker survived a boot")
+	}
+	cs3.Close()
+}
+
+// TestTornJournalHeaderTolerated pins the first-write crash case: a
+// journal shorter than its 8-byte magic provably holds no complete
+// record, so recovery must treat it as a torn write (boot from the
+// snapshot alone, rewrite the header) rather than refuse as corrupt.
+func TestTornJournalHeaderTolerated(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Corpus("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := newWarmAssessor(t, 17)
+	if _, err := cs.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "c1", "journal")
+	if err := os.WriteFile(jpath, []byte("ADJR"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cs2, _ := d.Corpus("c1")
+	rec, info, err := cs2.Recover(core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("torn journal header refused recovery: %v", err)
+	}
+	if !info.Torn || info.Replayed != 0 {
+		t.Fatalf("recover info = %+v, want torn with 0 replayed", info)
+	}
+	requireIdentical(t, "torn-header boot", a, rec)
+	// The header was rewritten: appends work and replay again.
+	if err := cs2.Append([]*srcfile.File{{Path: "perception/new.cc", Src: "int g_th;\n"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cs3, _ := d.Corpus("c1")
+	if _, info3, err := cs3.Recover(core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	} else if info3.Replayed != 1 || info3.Torn {
+		t.Fatalf("post-rewrite recover info = %+v, want 1 replayed", info3)
+	}
+	cs3.Close()
+}
+
+// TestStaleGenerationRecordsSkipped pins the generation guard: a crash
+// (or I/O failure) between a snapshot rename and the journal truncation
+// leaves records from the superseded generation in the journal, and
+// recovery must skip them instead of replaying them onto state they do
+// not describe.
+func TestStaleGenerationRecordsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Corpus("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, gen := newWarmAssessor(t, 13)
+	if _, err := cs.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	a.SetCommitHook(cs.Append)
+	for i := 0; i < 2; i++ {
+		mut := gen.Mutate()
+		del := core.Delta{}
+		if mut.Kind == corpusgen.MutRemove {
+			del.Removed = []string{mut.Path}
+		} else {
+			del.Changed = []*srcfile.File{{Path: mut.Path, Src: mut.Src}}
+		}
+		if _, err := a.ApplyDelta(del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn compaction: stash the journal, write a fresh
+	// snapshot (absorbing+resetting the journal), then put the old
+	// journal — two records stamped with the superseded generation —
+	// back as if the truncation never hit the disk.
+	jpath := filepath.Join(dir, "c1", "journal")
+	oldJournal, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2, _ := d.Corpus("c1")
+	if _, err := cs2.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, oldJournal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cs3, _ := d.Corpus("c1")
+	rec, info, err := cs3.Recover(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs3.Close()
+	if info.Stale != 2 || info.Replayed != 0 {
+		t.Fatalf("recover info = %+v, want 2 stale / 0 replayed", info)
+	}
+	requireIdentical(t, "stale-journal recovery", a, rec)
+}
+
+// TestCommitHookContract pins the write-ahead hook semantics: a hook
+// failure aborts the commit untouched and is classified retryable
+// (core.ErrCommitHook), and all-unchanged no-op deltas never reach the
+// hook (no empty journal records, no fsync per retry).
+func TestCommitHookContract(t *testing.T) {
+	a, gen := newWarmAssessor(t, 9)
+	before := canonical(t, a.Findings())
+
+	calls := 0
+	a.SetCommitHook(func(changed []*srcfile.File, removed []string) error {
+		calls++
+		return fmt.Errorf("disk on fire")
+	})
+	victim := gen.Paths()[0]
+	_, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+		Path: victim, Src: gen.Source(victim) + "\n// edit\n"}}})
+	if err == nil {
+		t.Fatal("commit succeeded despite a failing hook")
+	}
+	if !errors.Is(err, core.ErrCommitHook) {
+		t.Fatalf("hook failure not classified as ErrCommitHook: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook fired %d times, want 1", calls)
+	}
+	if got := canonical(t, a.Findings()); !bytes.Equal(before, got) {
+		t.Fatal("failed commit mutated assessor state")
+	}
+
+	// A delta whose content matches the corpus is a no-op: commit
+	// proceeds (the hook would fail) and nothing is journaled.
+	res, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+		Path: victim, Src: gen.Source(victim)}}})
+	if err != nil {
+		t.Fatalf("no-op delta failed: %v", err)
+	}
+	if res.Unchanged != 1 || calls != 1 {
+		t.Fatalf("no-op delta reached the hook (res %+v, calls %d)", res, calls)
+	}
+}
+
+func TestCorpusNameValidation(t *testing.T) {
+	d, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "..", ".hidden", "a/b", "a b", "x\x00y"} {
+		if _, err := d.Corpus(bad); err == nil {
+			t.Errorf("corpus name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"default", "adfuzz", "c-1", "A.b_c"} {
+		if _, err := d.Corpus(good); err != nil {
+			t.Errorf("corpus name %q rejected: %v", good, err)
+		}
+	}
+}
