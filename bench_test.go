@@ -234,6 +234,31 @@ func BenchmarkGeneratedScale(b *testing.B) {
 		})
 	}
 
+	// Parse-only at 10k files: isolates the frontend share of the cold
+	// path (the []byte lexer fast path, shared interning, and arena
+	// allocation show up here first; BENCH_pipeline.json "coldpath"
+	// records the trajectory).
+	b.Run("10k-files-parse", func(b *testing.B) {
+		gen := corpusgen.New(corpusgen.Params{Modules: 20, FilesPerModule: 499,
+			FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}, 26262)
+		fs := gen.FileSet()
+		bytes := 0
+		for _, f := range fs.Files() {
+			bytes += len(f.Src)
+		}
+		b.SetBytes(int64(bytes))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+			if len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			if len(units) != fs.Len() {
+				b.Fatal("missing units")
+			}
+		}
+	})
+
 	b.Run("10k-files-delta-1file", func(b *testing.B) {
 		gen := corpusgen.New(corpusgen.Params{Modules: 20, FilesPerModule: 499,
 			FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}, 26262)

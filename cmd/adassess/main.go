@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/core"
@@ -48,6 +50,8 @@ func run() (int, error) {
 	csvFlag := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	seedFlag := flag.Int64("seed", 26262, "corpus generation seed")
 	shardsFlag := flag.Int("shards", 0, "print per-shard (module) stats: N largest shards, -1 for all, 0 to disable")
+	cpuProfileFlag := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfileFlag := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
 
 	// Validate every flag before doing any work.
@@ -65,6 +69,37 @@ func run() (int, error) {
 	}
 	if flag.NArg() > 0 {
 		return 2, fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	// Profiling covers everything from corpus load through the rendered
+	// report — the cold-path pipeline the benchmarks measure.
+	if *cpuProfileFlag != "" {
+		f, err := os.Create(*cpuProfileFlag)
+		if err != nil {
+			return 1, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfileFlag != "" {
+		defer func() {
+			f, err := os.Create(*memProfileFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adassess: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the dump
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "adassess: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := core.DefaultConfig()

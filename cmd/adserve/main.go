@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +58,8 @@ func run() error {
 		"compact once the delta journal exceeds this many MiB (0 = default)")
 	journalRecsFlag := flag.Int("journal-max-records", 0,
 		"compact once the delta journal holds this many records (0 = default, negative disables)")
+	pprofFlag := flag.Bool("pprof", false,
+		"expose net/http/pprof under /debug/pprof/ (off by default; profiling data leaks source paths)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
@@ -97,9 +100,24 @@ func run() error {
 	}
 	svc.AllowDir = *allowDirFlag
 	svc.MaxBody = *maxBodyFlag
+	handler := svc.Handler()
+	if *pprofFlag {
+		// Opt-in only: the profile endpoints reveal heap contents and
+		// goroutine stacks (hence corpus paths and source fragments), so
+		// they never ship on by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Printf("adserve: pprof enabled under /debug/pprof/\n")
+	}
 	srv := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

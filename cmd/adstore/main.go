@@ -140,21 +140,40 @@ func inspect(d *store.Dir, name string) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	st, nbytes, err := cs.LoadSnapshot()
+	// Lazy open: framing, checksums, header, and shard directory only.
+	// Everything below prints without decoding a single shard block —
+	// inspect stays O(header + directory) no matter the corpus size.
+	snap, nbytes, err := cs.OpenCurrent()
 	if err != nil {
 		return 1, err
 	}
-	nFindings := len(st.CorpusFindings)
-	for _, fs := range st.FileFindings {
-		nFindings += len(fs)
+	dir := snap.Directory()
+	nFiles := 0
+	for i := range dir {
+		nFiles += dir[i].Files
 	}
 	fmt.Printf("corpus:     %s\n", name)
-	fmt.Printf("snapshot:   %d bytes (checksums ok)\n", nbytes)
-	fmt.Printf("target:     %s\n", st.Target)
-	fmt.Printf("rules:      %v\n", st.RuleIDs)
-	fmt.Printf("files:      %d\n", len(st.Files))
-	fmt.Printf("units:      %d\n", len(st.Units))
-	fmt.Printf("findings:   %d cached (%d corpus-level)\n", nFindings, len(st.CorpusFindings))
+	fmt.Printf("snapshot:   %d bytes (checksums ok), generation %#016x\n", nbytes, snap.Gen())
+	fmt.Printf("target:     %s\n", snap.Target())
+	fmt.Printf("rules:      %v\n", snap.RuleIDs())
+	fmt.Printf("files:      %d across %d shards\n", nFiles, len(dir))
+	fmt.Printf("shards:     %-20s %6s  %23s %23s %23s  sigs\n", "module", "files", "units(off+len)", "findings(off+len)", "metrics(off+len)")
+	uBase, _ := snap.SectionBounds('U')
+	rBase, _ := snap.SectionBounds('R')
+	mBase, _ := snap.SectionBounds('M')
+	ext := func(base int, e store.Extent) string {
+		return fmt.Sprintf("%12d +%10d", base+e.Off, e.Len)
+	}
+	for i := range dir {
+		sh := &dir[i]
+		sigs := "-"
+		if sh.HasSigs {
+			sigs = fmt.Sprintf("%016x/%016x", sh.SigExport, sh.SigGraph)
+		}
+		fmt.Printf("            %-20s %6d  %s %s %s  %s\n",
+			sh.Module, sh.Files, ext(uBase, sh.Units), ext(rBase, sh.Findings), ext(mBase, sh.Metrics), sigs)
+	}
+	fmt.Printf("corpus-findings: %s\n", ext(rBase, snap.CorpusExtent()))
 	rep, jb, jerr := cs.ReadJournal(nil)
 	if jerr != nil {
 		return 1, jerr

@@ -1,0 +1,118 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpusgen"
+	"repro/internal/store"
+)
+
+// TestColdLatencySmoke is the cold-path regression gate, the companion
+// of TestDeltaLatencySmoke: on the fixed-seed 10k-file corpus, a cold
+// load+assess and a snapshot restore must not regress more than 2x over
+// the baselines recorded in BENCH_pipeline.json under "coldpath" — the
+// numbers the []byte lexer fast path, the arena parser, and the lazy
+// per-shard snapshot decode are pinned to. Opt-in via COLD_SMOKE=1 (CI
+// sets it) so ordinary test runs stay fast.
+func TestColdLatencySmoke(t *testing.T) {
+	if os.Getenv("COLD_SMOKE") == "" {
+		t.Skip("set COLD_SMOKE=1 to run the cold-latency regression gate")
+	}
+
+	raw, err := os.ReadFile("BENCH_pipeline.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var bench struct {
+		ColdPath struct {
+			Cold10kNsPerOp    float64 `json:"cold_10k_ns_per_op"`
+			Restore10kNsPerOp float64 `json:"restore_10k_ns_per_op"`
+		} `json:"coldpath"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("parse BENCH_pipeline.json: %v", err)
+	}
+	coldBase := time.Duration(bench.ColdPath.Cold10kNsPerOp)
+	restoreBase := time.Duration(bench.ColdPath.Restore10kNsPerOp)
+	if coldBase <= 0 || restoreBase <= 0 {
+		t.Fatal("BENCH_pipeline.json has no coldpath baselines")
+	}
+
+	// The benchmark workload, verbatim: 20 modules × (499 C++ + 1 CUDA),
+	// seed 26262.
+	gen := corpusgen.New(corpusgen.Params{Modules: 20, FilesPerModule: 499,
+		FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}, 26262)
+
+	// Cold leg: LoadFileSet + Findings from nothing. Best of a few runs —
+	// the gate asks "can the machine still do it this fast", so
+	// scheduling noise must not fail it (see TestDeltaLatencySmoke).
+	var want int
+	coldBest := time.Duration(1<<63 - 1)
+	var warm *core.Assessor
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		a := core.NewAssessor(core.DefaultConfig())
+		if err := a.LoadFileSet(gen.FileSet()); err != nil {
+			t.Fatal(err)
+		}
+		n := len(a.Findings())
+		if d := time.Since(start); d < coldBest {
+			coldBest = d
+		}
+		if n == 0 {
+			t.Fatal("no findings on cold assess")
+		}
+		want = n
+		warm = a
+	}
+	coldLimit := 2 * coldBase
+	t.Logf("cold 10k load+assess: best %v (baseline %v, limit %v)", coldBest, coldBase, coldLimit)
+
+	// Restore leg: snapshot the warm state once, then time recovery —
+	// lazy snapshot open + warm-state reconstruction + first Findings
+	// and Metrics pass, exactly the BenchmarkSnapshotLoad restore shape.
+	warm.Metrics()
+	st, err := warm.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Corpus("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	restoreBest := time.Duration(1<<63 - 1)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		a, _, err := cs.RecoverReadOnly(core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(a.Findings()); n != want {
+			t.Fatalf("restored findings %d, want %d", n, want)
+		}
+		a.Metrics()
+		if d := time.Since(start); d < restoreBest {
+			restoreBest = d
+		}
+	}
+	restoreLimit := 2 * restoreBase
+	t.Logf("restore 10k: best %v (baseline %v, limit %v)", restoreBest, restoreBase, restoreLimit)
+
+	if coldBest > coldLimit {
+		t.Errorf("cold 10k latency regressed: best %v exceeds 2x recorded baseline %v", coldBest, coldBase)
+	}
+	if restoreBest > restoreLimit {
+		t.Errorf("restore 10k latency regressed: best %v exceeds 2x recorded baseline %v", restoreBest, restoreBase)
+	}
+}

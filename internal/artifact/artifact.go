@@ -216,7 +216,7 @@ func Build(units map[string]*ccast.TranslationUnit) *Index {
 	}
 	ix.rebuildShardNames()
 	for _, m := range ix.shardNames {
-		ix.shards[m].refresh(ix)
+		ix.shards[m].rebuild(ix)
 	}
 	ix.rebuildGlobalViews()
 	ix.gen++

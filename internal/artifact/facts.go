@@ -85,41 +85,62 @@ func (ix *Index) UnitFacts(path string) UnitFacts {
 	return uf
 }
 
+// stubRet is the shared non-void placeholder return type of fabricated
+// declarations. Stubs are read-only by contract (consumers needing a
+// real AST hydrate first), so one immutable value serves all of them.
+var stubRet = &ccast.Type{Name: "int"}
+
 // UnitFromFacts fabricates a stub translation unit and its function
 // records from persisted facts. The stub carries exactly the facts the
 // warm pipeline reads — fabricated declarations have no bodies, so any
 // consumer that needs a real AST must hydrate (re-parse) first.
+//
+// Restore fabricates the whole corpus in one pass, so the per-function
+// nodes come from per-unit backing arrays instead of one allocation
+// per node.
 func UnitFromFacts(file *srcfile.File, uf UnitFacts) (*ccast.TranslationUnit, []*Func) {
 	tu := &ccast.TranslationUnit{File: file}
 	if len(uf.Globals) > 0 {
 		tu.Decls = make([]ccast.Decl, 0, len(uf.Globals))
-		for _, g := range uf.Globals {
-			tu.Decls = append(tu.Decls, &ccast.VarDecl{
-				Global: true,
-				Names:  []*ccast.Declarator{{Name: g}},
-			})
+		vds := make([]ccast.VarDecl, len(uf.Globals))
+		dls := make([]ccast.Declarator, len(uf.Globals))
+		for i, g := range uf.Globals {
+			dls[i] = ccast.Declarator{Name: g}
+			vds[i] = ccast.VarDecl{Global: true, Names: []*ccast.Declarator{&dls[i]}}
+			tu.Decls = append(tu.Decls, &vds[i])
 		}
 	}
 	module := file.ModuleName()
 	fas := make([]*Func, len(uf.Funcs))
+	fab := make([]Func, len(uf.Funcs))
+	fds := make([]ccast.FuncDecl, len(uf.Funcs))
+	nParams, nCalls := 0, 0
+	for i := range uf.Funcs {
+		nParams += uf.Funcs[i].Params
+		nCalls += len(uf.Funcs[i].Calls)
+	}
+	params := make([]ccast.Param, nParams)
+	pptrs := make([]*ccast.Param, nParams)
+	for k := range params {
+		pptrs[k] = &params[k]
+	}
+	callees := make([]string, nCalls)
 	for i := range uf.Funcs {
 		ft := &uf.Funcs[i]
-		var ret *ccast.Type
+		fd := &fds[i]
+		fd.Name = ft.Name
 		if !ft.Void {
-			ret = &ccast.Type{Name: "int"} // any non-void placeholder
+			fd.Ret = stubRet
 		}
-		fd := &ccast.FuncDecl{Name: ft.Name, Ret: ret}
 		if ft.Params > 0 {
-			fd.Params = make([]*ccast.Param, ft.Params)
-			for k := range fd.Params {
-				fd.Params[k] = &ccast.Param{}
-			}
+			fd.Params, pptrs = pptrs[:ft.Params:ft.Params], pptrs[ft.Params:]
 		}
 		fd.SetSpan(srcfile.Span{
 			Start: srcfile.Pos{Line: ft.Line, Col: 1},
 			End:   srcfile.Pos{Line: ft.Line, Col: 1},
 		})
-		fa := &Func{
+		fa := &fab[i]
+		*fa = Func{
 			Decl:    fd,
 			File:    file,
 			Module:  module,
@@ -128,10 +149,12 @@ func UnitFromFacts(file *srcfile.File, uf UnitFacts) (*ccast.TranslationUnit, []
 			Returns: ft.Returns,
 		}
 		if len(fa.Calls) > 0 {
-			fa.Callees = make([]string, len(fa.Calls))
+			cs := callees[:len(fa.Calls):len(fa.Calls)]
+			callees = callees[len(fa.Calls):]
 			for k, raw := range fa.Calls {
-				fa.Callees[k] = Unqualified(raw)
+				cs[k] = Unqualified(raw)
 			}
+			fa.Callees = cs
 		}
 		fas[i] = fa
 	}
@@ -173,7 +196,7 @@ func BuildFromRecords(units map[string]*ccast.TranslationUnit, recs map[string][
 	}
 	ix.rebuildShardNames()
 	for _, m := range ix.shardNames {
-		ix.shards[m].refresh(ix)
+		ix.shards[m].rebuild(ix)
 	}
 	ix.rebuildGlobalViews()
 	ix.gen++

@@ -120,9 +120,31 @@ type championDiff struct {
 // from the index-wide refreshSeq so they are unique across shards and
 // across shard lifetimes.
 func (sh *Shard) refresh(ix *Index) championDiff {
+	oldByName, oldLast, oldGlobals := sh.byName, sh.lastByName, sh.globals
+	sh.rebuild(ix)
+
+	var diff championDiff
+	diff.byName = diffFuncChampions(oldByName, sh.byName)
+	diff.lastDef = diffFuncChampions(oldLast, sh.lastByName)
+	for name, def := range sh.globals {
+		if old, ok := oldGlobals[name]; !ok || old != def {
+			diff.globals = append(diff.globals, name)
+		}
+	}
+	for name := range oldGlobals {
+		if _, ok := sh.globals[name]; !ok {
+			diff.globals = append(diff.globals, name)
+		}
+	}
+	return diff
+}
+
+// rebuild is refresh without the champion diff — for cold builds and
+// restore, where the caller rebuilds the global views from scratch and
+// enumerating every champion as "changed" would be thrown away.
+func (sh *Shard) rebuild(ix *Index) {
 	ix.refreshSeq++
 	sh.gen = ix.refreshSeq
-	oldByName, oldLast, oldGlobals := sh.byName, sh.lastByName, sh.globals
 
 	nFuncs := 0
 	for _, p := range sh.paths {
@@ -149,21 +171,6 @@ func (sh *Shard) refresh(ix *Index) championDiff {
 			}
 		}
 	}
-
-	var diff championDiff
-	diff.byName = diffFuncChampions(oldByName, sh.byName)
-	diff.lastDef = diffFuncChampions(oldLast, sh.lastByName)
-	for name, def := range sh.globals {
-		if old, ok := oldGlobals[name]; !ok || old != def {
-			diff.globals = append(diff.globals, name)
-		}
-	}
-	for name := range oldGlobals {
-		if _, ok := sh.globals[name]; !ok {
-			diff.globals = append(diff.globals, name)
-		}
-	}
-	return diff
 }
 
 // diffFuncChampions returns the names mapped to different *Func values
@@ -340,6 +347,35 @@ func (ix *Index) GraphOverlay() uint64 {
 		h.Write(num[:])
 	}
 	return h.Sum64()
+}
+
+// ShardSigs returns a shard's export and graph signatures (computing
+// them if stale). The snapshot writer persists the pair per shard so a
+// restored index can answer overlay queries without re-hashing facts.
+func (ix *Index) ShardSigs(module string) (export, graph uint64, ok bool) {
+	sh := ix.shards[module]
+	if sh == nil {
+		return 0, 0, false
+	}
+	export, graph = sh.sigs(ix)
+	return export, graph, true
+}
+
+// SeedShardSigs installs precomputed signatures for a shard at its
+// current generation, skipping the fact re-hash on the next overlay
+// query. Only sound when the signatures were computed from exactly the
+// facts the shard now holds — the snapshot restore path, where the
+// persisted facts and the persisted signatures come from the same
+// checksummed snapshot. Any later refresh bumps the generation and
+// recomputes from scratch.
+func (ix *Index) SeedShardSigs(module string, export, graph uint64) bool {
+	sh := ix.shards[module]
+	if sh == nil {
+		return false
+	}
+	sh.exportSig, sh.graphSig = export, graph
+	sh.sigGen, sh.sigOK = sh.gen, true
+	return true
 }
 
 // resolveByName re-resolves the global first-definition-wins champion

@@ -1,0 +1,129 @@
+package ccast
+
+// Arena slab-allocates AST nodes and the small slices that link them
+// (argument lists, statement lists), replacing per-node heap allocation on
+// the cold parse path. One arena serves one translation unit — or, on the
+// batch parse path, one parser worker's run of units — so parse allocation
+// count drops from O(nodes) to O(chunks): a handful per file.
+//
+// Lifetime: chunks are ordinary GC-managed slices referenced by the nodes
+// carved from them, so an arena needs no explicit free — dropping every
+// node of the unit(s) allocated from it releases the memory wholesale.
+// A chunk stays live while any node in it is referenced; arenas must
+// therefore not be shared between units with independent lifetimes unless
+// the residual pinning is acceptable (see DESIGN.md "Arena lifetimes").
+//
+// The zero Arena is ready to use.
+type Arena struct {
+	// Node slabs, one per frequently allocated node type.
+	Ident      Slab[Ident]
+	IntLit     Slab[IntLit]
+	FloatLit   Slab[FloatLit]
+	StringLit  Slab[StringLit]
+	CharLit    Slab[CharLit]
+	BoolLit    Slab[BoolLit]
+	Unary      Slab[Unary]
+	Postfix    Slab[Postfix]
+	Binary     Slab[Binary]
+	Assign     Slab[Assign]
+	Cond       Slab[Cond]
+	Call       Slab[Call]
+	Kernel     Slab[KernelLaunch]
+	Index      Slab[Index]
+	Member     Slab[Member]
+	Cast       Slab[Cast]
+	Sizeof     Slab[SizeofExpr]
+	New        Slab[NewExpr]
+	Delete     Slab[DeleteExpr]
+	Comma      Slab[Comma]
+	InitList   Slab[InitList]
+	Paren      Slab[Paren]
+	Type       Slab[Type]
+	Block      Slab[Block]
+	ExprStmt   Slab[ExprStmt]
+	DeclStmt   Slab[DeclStmt]
+	If         Slab[If]
+	While      Slab[While]
+	DoWhile    Slab[DoWhile]
+	For        Slab[For]
+	Switch     Slab[Switch]
+	CaseClause Slab[CaseClause]
+	Break      Slab[Break]
+	Continue   Slab[Continue]
+	Return     Slab[Return]
+	Goto       Slab[Goto]
+	Label      Slab[Label]
+	Empty      Slab[Empty]
+	VarDecl    Slab[VarDecl]
+	Declarator Slab[Declarator]
+	Param      Slab[Param]
+	FuncDecl   Slab[FuncDecl]
+	Field      Slab[Field]
+	PPDir      Slab[PPDirective]
+
+	// Slice slabs: backing stores for the child lists nodes carry.
+	Exprs       Slab[Expr]
+	Stmts       Slab[Stmt]
+	Decls       Slab[Decl]
+	Declarators Slab[*Declarator]
+	Params      Slab[*Param]
+	Fields      Slab[*Field]
+	Funcs       Slab[*FuncDecl]
+	Cases       Slab[*CaseClause]
+	Comments    Slab[CommentInfo]
+}
+
+// Slab is a chunked allocator for values of one type. The zero Slab is
+// ready to use. Not safe for concurrent use.
+type Slab[T any] struct {
+	cur  []T // current chunk; filled left to right
+	next int // capacity of the next chunk
+}
+
+const (
+	slabFirst = 16
+	slabMax   = 1024
+)
+
+func (s *Slab[T]) grow(min int) {
+	n := s.next
+	if n == 0 {
+		n = slabFirst
+	}
+	if n < min {
+		n = min
+	}
+	s.next = n * 2
+	if s.next > slabMax {
+		s.next = slabMax
+	}
+	s.cur = make([]T, 0, n)
+}
+
+// Alloc carves one zero value out of the slab's current chunk.
+func Alloc[T any](s *Slab[T]) *T {
+	if len(s.cur) == cap(s.cur) {
+		s.grow(1)
+	}
+	s.cur = s.cur[:len(s.cur)+1]
+	return &s.cur[len(s.cur)-1]
+}
+
+// Carve copies src into slab-backed storage and returns the copy, capped at
+// its own length so appends by callers cannot overwrite neighbours. Parsers
+// accumulate children in a reusable scratch slice, then Carve the exact
+// final length. A nil/empty src returns nil.
+func Carve[T any](s *Slab[T], src []T) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if cap(s.cur)-len(s.cur) < n {
+		s.grow(n)
+	}
+	at := len(s.cur)
+	s.cur = s.cur[: at+n : cap(s.cur)]
+	out := s.cur[at : at+n : at+n]
+	copy(out, src)
+	return out
+}

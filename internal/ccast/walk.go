@@ -6,8 +6,43 @@ type Visitor func(Node) bool
 
 // Walk traverses the tree rooted at n in depth-first source order, calling
 // v for each non-nil node.
+//
+// The nil guard is folded into the dispatch switch: optional fields
+// (FuncDecl.Ret, If.Else, Declarator.Init, ...) surface as typed-nil
+// interfaces, and checking them per concrete type costs one comparison
+// instead of a second type switch per node — Walk runs once per AST node
+// of the corpus on every cold index build, so this is a hot path.
 func Walk(n Node, v Visitor) {
-	if n == nil || isNilNode(n) {
+	switch x := n.(type) {
+	case nil:
+		return
+	case *Type:
+		if x == nil || !v(n) {
+			return
+		}
+		for _, e := range x.ArrayDims {
+			Walk(e, v)
+		}
+		return
+	case *Block:
+		if x == nil || !v(n) {
+			return
+		}
+		for _, s := range x.Stmts {
+			Walk(s, v)
+		}
+		return
+	case *Ident:
+		if x == nil {
+			return
+		}
+		v(n)
+		return
+	case *Paren:
+		if x == nil || !v(n) {
+			return
+		}
+		Walk(x.X, v)
 		return
 	}
 	if !v(n) {
@@ -48,15 +83,7 @@ func Walk(n Node, v Visitor) {
 		Walk(n.Init, v)
 	case *TypedefDecl:
 		Walk(n.Type, v)
-	case *Type:
-		for _, e := range n.ArrayDims {
-			Walk(e, v)
-		}
 
-	case *Block:
-		for _, s := range n.Stmts {
-			Walk(s, v)
-		}
 	case *ExprStmt:
 		Walk(n.X, v)
 	case *DeclStmt:
@@ -146,27 +173,7 @@ func Walk(n Node, v Visitor) {
 		for _, e := range n.Elems {
 			Walk(e, v)
 		}
-	case *Paren:
-		Walk(n.X, v)
 	}
-}
-
-// isNilNode guards against typed-nil interface values from optional fields.
-func isNilNode(n Node) bool {
-	switch n := n.(type) {
-	case *Type:
-		return n == nil
-	case *Block:
-		return n == nil
-	case Expr:
-		switch e := n.(type) {
-		case *Ident:
-			return e == nil
-		case *Paren:
-			return e == nil
-		}
-	}
-	return false
 }
 
 // WalkStmts visits every statement under n (inclusive when n is a Stmt).

@@ -1,0 +1,81 @@
+package cclex
+
+import (
+	"strings"
+	"sync"
+)
+
+// Interner is a corpus-level identifier table shared by many lexers: every
+// spelling of the same identifier across all files resolves to one canonical
+// string. It is safe for concurrent use; lookups are striped across shards
+// so parallel parses do not serialize on one lock.
+//
+// Canonical strings are cloned on first insertion, never aliased into a
+// file's source — an interner outliving a corpus (deltas replace files; the
+// table persists) must not pin replaced sources in memory.
+type Interner struct {
+	shards [internShards]internShard
+}
+
+const internShards = 64
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewInterner returns an empty shared identifier table.
+func NewInterner() *Interner {
+	in := &Interner{}
+	for i := range in.shards {
+		in.shards[i].m = make(map[string]string, 32)
+	}
+	return in
+}
+
+// Intern returns the canonical string equal to s, inserting a clone of s on
+// first sight. The result never aliases s's backing array.
+func (in *Interner) Intern(s string) string {
+	sh := &in.shards[internHash(s)&(internShards-1)]
+	sh.mu.RLock()
+	canon, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return canon
+	}
+	canon = strings.Clone(s)
+	sh.mu.Lock()
+	if prior, ok := sh.m[canon]; ok {
+		canon = prior
+	} else {
+		sh.m[canon] = canon
+	}
+	sh.mu.Unlock()
+	return canon
+}
+
+// Len returns the number of interned strings (diagnostics only).
+func (in *Interner) Len() int {
+	n := 0
+	for i := range in.shards {
+		sh := &in.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// internHash is FNV-1a, inlined so shard selection costs no allocation.
+func internHash(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}

@@ -32,6 +32,11 @@ type Lexer struct {
 	// sequences lex as shift operators as in plain C++.
 	CUDA bool
 
+	// Intern, when set, canonicalizes identifiers against a shared
+	// corpus-level table instead of the per-lexer map — the fast path used
+	// by the parallel parser so every file's "obstacle_count" is one string.
+	Intern *Interner
+
 	// interned canonicalizes identifier spellings within this file so
 	// repeated names share one string allocation.
 	interned map[string]string
@@ -44,12 +49,31 @@ func New(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
+// NewBytes returns a lexer over raw file bytes. The bytes are converted to
+// an immutable string once; every token text aliases that single copy, so
+// lexing a []byte source costs one allocation total rather than one per
+// token.
+func NewBytes(src []byte) *Lexer {
+	return New(string(src))
+}
+
 // Errors returns the lexical errors encountered so far.
 func (lx *Lexer) Errors() []*Error { return lx.errs }
 
+// tokensPerByte estimates token density for preallocation: C-family source
+// averages roughly one token per six bytes.
+const tokensPerByte = 6
+
 // All scans the entire input and returns every token (excluding EOF).
 func (lx *Lexer) All() []Token {
-	var out []Token
+	return lx.AllInto(make([]Token, 0, len(lx.src)/tokensPerByte+8))
+}
+
+// AllInto scans the entire input, appending every token (excluding EOF) to
+// buf[:0] and returning the result. Callers lexing many files reuse one
+// buffer across calls so steady-state lexing allocates nothing.
+func (lx *Lexer) AllInto(buf []Token) []Token {
+	out := buf[:0]
 	for {
 		t := lx.Next()
 		if t.Kind == KindEOF {
@@ -209,6 +233,29 @@ func (lx *Lexer) lexBlockComment(start Token) Token {
 }
 
 func (lx *Lexer) lexPPDirective(start Token) Token {
+	// Fast path: most directives fit on one physical line with no embedded
+	// comment, so the text is a plain slice of the source — no builder.
+	end := lx.pos
+	for end < len(lx.src) {
+		c := lx.src[end]
+		if c == '\n' {
+			break
+		}
+		if (c == '\\' && end+1 < len(lx.src) && lx.src[end+1] == '\n') ||
+			(c == '/' && end+1 < len(lx.src) && (lx.src[end+1] == '/' || lx.src[end+1] == '*')) {
+			end = -1 // continuation or comment: take the slow path
+			break
+		}
+		end++
+	}
+	if end >= 0 {
+		start.Kind = KindPPDirective
+		start.Text = strings.TrimRight(lx.src[lx.pos:end], " \t")
+		lx.col += end - lx.pos
+		lx.pos = end
+		return start
+	}
+
 	// Consume to end of line, honoring backslash continuations and
 	// swallowing comments so a trailing /* ... */ cannot leak.
 	var sb strings.Builder
@@ -257,10 +304,14 @@ func (lx *Lexer) lexIdent(start Token) Token {
 // intern canonicalizes an identifier spelling so every occurrence of the
 // same name shares one string. Common C/C++/CUDA identifiers resolve via a
 // shared read-only table (safe under concurrent lexing); the rest go
-// through a per-lexer table.
+// through the shared corpus table when one is attached, else a per-lexer
+// table.
 func (lx *Lexer) intern(text string) string {
 	if canon, ok := commonIdents[text]; ok {
 		return canon
+	}
+	if lx.Intern != nil {
+		return lx.Intern.Intern(text)
 	}
 	if lx.interned == nil {
 		lx.interned = make(map[string]string, 64)

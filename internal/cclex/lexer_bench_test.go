@@ -1,0 +1,91 @@
+package cclex
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchSrc is a realistic mixed C++/CUDA-ish file of a few KB, echoing the
+// shape of the synthetic corpus (includes, a struct, several functions).
+var benchSrc = func() string {
+	unit := `#include <vector>
+#include "perception/obstacle.h"
+
+// Detects obstacles within the planning horizon.
+struct Obstacle {
+  int id;
+  float distance;
+};
+
+static int clamp_index(int idx, int n) {
+  if (idx < 0) {
+    return 0;
+  }
+  if (idx >= n) {
+    return n - 1;
+  }
+  return idx;
+}
+
+float track_obstacles(const Obstacle* obs, int n, float horizon) {
+  float worst = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    float d = obs[i].distance;
+    if (d < horizon && d > worst) {
+      worst = d;
+    }
+  }
+  return worst;
+}
+`
+	return strings.Repeat(unit, 8)
+}()
+
+// BenchmarkAllGrowFromNil is the pre-optimization reference: the token
+// slice grows from nil the way Lexer.All used to.
+func BenchmarkAllGrowFromNil(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lx := New(benchSrc)
+		var out []Token
+		for {
+			t := lx.Next()
+			if t.Kind == KindEOF {
+				break
+			}
+			out = append(out, t)
+		}
+		if len(out) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+// BenchmarkAll measures the preallocating All.
+func BenchmarkAll(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(New(benchSrc).All()) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+// BenchmarkAllInto measures the steady-state fast path: reused token
+// buffer plus a shared identifier table, as the parallel parser drives it.
+func BenchmarkAllInto(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	b.ReportAllocs()
+	in := NewInterner()
+	var buf []Token
+	for i := 0; i < b.N; i++ {
+		lx := New(benchSrc)
+		lx.Intern = in
+		buf = lx.AllInto(buf)
+		if len(buf) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}

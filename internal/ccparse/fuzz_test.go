@@ -1,6 +1,7 @@
 package ccparse_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/apollocorpus"
@@ -37,9 +38,20 @@ func FuzzParse(f *testing.F) {
 		for _, p := range paths {
 			file := &srcfile.File{Path: p, Src: src}
 			file.Lang = srcfile.LanguageForPath(p)
-			tu, _ := ccparse.Parse(file, ccparse.Options{KeepComments: true})
+			tu, errs := ccparse.Parse(file, ccparse.Options{KeepComments: true})
 			if tu == nil {
 				t.Fatalf("%s: nil translation unit (the pipeline requires error tolerance)", p)
+			}
+			// The arena fast path must agree with the reference heap path
+			// on arbitrary (including malformed) input, not just on the
+			// corpora the parity tests cover: same rendered AST, same
+			// error list.
+			refTU, refErrs := ccparse.Parse(file, ccparse.Options{KeepComments: true, Reference: true})
+			if ref, fast := dumpTU(refTU), dumpTU(tu); ref != fast {
+				t.Fatalf("%s: arena AST diverges from reference\n%s", p, firstDiff(ref, fast))
+			}
+			if r, g := errStrings(refErrs), errStrings(errs); !reflect.DeepEqual(r, g) {
+				t.Fatalf("%s: arena errors %v, reference %v", p, g, r)
 			}
 			// The AST must be walkable and positioned: every span the
 			// checkers anchor findings to needs a valid line.

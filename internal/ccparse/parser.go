@@ -1,17 +1,26 @@
 // Package ccparse parses the C/C++/CUDA dialect used by the assessment
 // subjects into ccast trees.
 //
-// The parser is recursive descent with one-token lookahead plus a small
-// amount of backtracking for the declaration-vs-expression and
-// cast-vs-parenthesis ambiguities. It is error tolerant: a declaration
-// that cannot be parsed becomes a BadDecl and parsing resumes at the next
-// synchronization point, so one exotic construct does not lose a file.
+// The parser is recursive descent with index-based lookahead over a
+// pre-lexed token slice, plus a small amount of backtracking for the
+// declaration-vs-expression and cast-vs-parenthesis ambiguities. It is
+// error tolerant: a declaration that cannot be parsed becomes a BadDecl
+// and parsing resumes at the next synchronization point, so one exotic
+// construct does not lose a file.
+//
+// Allocation model (the cold-path fast path): tokens land in a pooled
+// per-parser buffer, AST nodes are slab-allocated from a ccast.Arena, and
+// child lists (arguments, statements, declarators) accumulate in reusable
+// scratch slices before being carved into arena-backed storage at their
+// exact final length. Options.Reference disables all of it, giving the
+// pre-optimization heap path for differential testing.
 package ccparse
 
 import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/ccast"
 	"repro/internal/cclex"
@@ -33,13 +42,27 @@ func (e *Error) Error() string {
 
 // Options configures parsing.
 type Options struct {
-	// KeepComments records comments on the translation unit for style
-	// analysis.
+	// KeepComments is retained for API compatibility; comments are always
+	// collected onto the translation unit.
 	KeepComments bool
 	// Workers bounds the concurrency of ParseAll: 0 means GOMAXPROCS,
 	// 1 forces sequential parsing. Files are independent, so the result
 	// is identical at any worker count.
 	Workers int
+	// Intern, when set, canonicalizes identifiers against a shared
+	// corpus-level table so every file's spelling of the same name is one
+	// string. ParseAll supplies a table automatically when none is given.
+	Intern *cclex.Interner
+	// Arena, when set, is the slab allocator AST nodes are carved from;
+	// the caller owns its lifetime (it must outlive the returned unit).
+	// When nil, Parse gives the unit a private arena that is freed
+	// wholesale when the unit becomes unreachable.
+	Arena *ccast.Arena
+	// Reference forces the pre-optimization allocation path: every node
+	// comes from the heap, child lists grow from nil, and identifiers
+	// intern per-file. Differential tests run it against the arena path;
+	// production callers leave it false.
+	Reference bool
 }
 
 // Parse parses one file. The returned unit is non-nil even when errors are
@@ -47,35 +70,70 @@ type Options struct {
 func Parse(f *srcfile.File, opts Options) (*ccast.TranslationUnit, []*Error) {
 	lx := cclex.New(f.Src)
 	lx.CUDA = f.Lang == srcfile.LangCUDA
-	lx.KeepComments = true // always collect; surfaced only when requested
+	lx.KeepComments = true // always collect; surfaced on the unit
 
-	p := &parser{file: f, lexer: lx, keepComments: opts.KeepComments}
-	p.next() // prime tok
+	p := getParser()
+	p.file = f
+	if opts.Reference {
+		p.ref = true
+		p.a = &ccast.Arena{} // untouched; keeps alloc sites nil-safe
+	} else {
+		lx.Intern = opts.Intern
+		p.a = opts.Arena
+		if p.a == nil {
+			p.a = &ccast.Arena{}
+		}
+	}
+	p.prelex(lx)
+
 	tu := &ccast.TranslationUnit{File: f}
 	tu.SetSpan(srcfile.Span{Start: srcfile.Pos{Line: 1, Col: 1}})
 
+	mark := len(p.scratchDecl)
 	for p.tok.Kind != cclex.KindEOF {
 		d := p.parseTopDecl()
 		if d != nil {
-			tu.Decls = append(tu.Decls, d)
+			p.scratchDecl = append(p.scratchDecl, d)
 		}
 	}
+	tu.Decls = p.carveDecls(mark)
 	tu.Comments = p.comments
 	for _, le := range lx.Errors() {
 		p.errs = append(p.errs, &Error{File: f.Path, Line: le.Line, Col: le.Col, Msg: le.Msg})
 	}
-	return tu, p.errs
+	errs := p.errs
+	putParser(p)
+	return tu, errs
 }
 
 type parser struct {
-	file         *srcfile.File
-	lexer        *cclex.Lexer
-	tok          cclex.Token
-	peeked       []cclex.Token
-	peekHead     int
-	errs         []*Error
-	comments     []ccast.CommentInfo
-	keepComments bool
+	file *srcfile.File
+
+	// Pre-lexed significant tokens, terminated by one KindEOF entry.
+	// tok mirrors toks[idx] (a copy, so local fix-ups like splitting '>>'
+	// do not disturb the buffer).
+	toks []cclex.Token
+	idx  int
+	tok  cclex.Token
+
+	a   *ccast.Arena // never nil; unused when ref is set
+	ref bool         // reference (heap) allocation mode
+
+	errs     []*Error
+	comments []ccast.CommentInfo
+
+	// Scratch accumulators for child lists: append at the top, carve from
+	// a saved mark. Nesting is safe because every production restores the
+	// scratch to its mark before returning.
+	scratchComments []ccast.CommentInfo
+	scratchExpr     []ccast.Expr
+	scratchStmt     []ccast.Stmt
+	scratchDecl     []ccast.Decl
+	scratchDtor     []*ccast.Declarator
+	scratchParam    []*ccast.Param
+	scratchField    []*ccast.Field
+	scratchFunc     []*ccast.FuncDecl
+	scratchCase     []*ccast.CaseClause
 
 	// typedefNames accumulates names introduced by typedef/using/class so
 	// the decl-vs-expr heuristic can recognize them.
@@ -86,48 +144,155 @@ type parser struct {
 	panicking bool     // recovering from an error; suppress cascades
 }
 
-// next advances to the following significant token, routing comments aside.
-func (p *parser) next() {
-	for {
-		var t cclex.Token
-		if p.peekHead < len(p.peeked) {
-			t = p.peeked[p.peekHead]
-			p.peekHead++
-			if p.peekHead == len(p.peeked) {
-				// Drained: reset to reuse the buffer's capacity instead of
-				// re-slicing it away (this path is hot).
-				p.peeked = p.peeked[:0]
-				p.peekHead = 0
-			}
-		} else {
-			t = p.lexer.Next()
-		}
-		if t.Kind == cclex.KindComment {
-			p.comments = append(p.comments, ccast.CommentInfo{Line: t.Line, Col: t.Col, Text: t.Text})
-			continue
-		}
-		p.tok = t
-		return
+// parserPool recycles parser state (token buffer, scratch slices, typedef
+// table) across files so steady-state parsing allocates almost nothing
+// beyond the AST itself.
+var parserPool = sync.Pool{New: func() any { return &parser{} }}
+
+func getParser() *parser { return parserPool.Get().(*parser) }
+
+func putParser(p *parser) {
+	p.file = nil
+	p.a = nil
+	p.ref = false
+	p.errs = nil
+	p.comments = nil
+	p.scratchComments = p.scratchComments[:0]
+	p.scratchExpr = p.scratchExpr[:0]
+	p.scratchStmt = p.scratchStmt[:0]
+	p.scratchDecl = p.scratchDecl[:0]
+	p.scratchDtor = p.scratchDtor[:0]
+	p.scratchParam = p.scratchParam[:0]
+	p.scratchField = p.scratchField[:0]
+	p.scratchFunc = p.scratchFunc[:0]
+	p.scratchCase = p.scratchCase[:0]
+	if p.typedefNames != nil {
+		clear(p.typedefNames)
 	}
+	p.namespace = p.namespace[:0]
+	p.class = ""
+	p.panicking = false
+	parserPool.Put(p)
 }
 
-// peek returns the n-th upcoming significant token (0 = the one after tok).
-func (p *parser) peek(n int) cclex.Token {
-	for len(p.peeked)-p.peekHead <= n {
-		t := p.lexer.Next()
+// prelex tokenizes the whole file into the reusable token buffer, routing
+// comments aside, and primes tok on the first significant token.
+func (p *parser) prelex(lx *cclex.Lexer) {
+	toks := p.toks
+	if toks == nil {
+		toks = make([]cclex.Token, 0, len(p.file.Src)/6+16)
+	} else {
+		toks = toks[:0]
+	}
+	comments := p.scratchComments[:0]
+	for {
+		t := lx.Next()
 		if t.Kind == cclex.KindComment {
-			p.comments = append(p.comments, ccast.CommentInfo{Line: t.Line, Col: t.Col, Text: t.Text})
+			comments = append(comments, ccast.CommentInfo{Line: t.Line, Col: t.Col, Text: t.Text})
 			continue
 		}
-		p.peeked = append(p.peeked, t)
+		toks = append(toks, t)
 		if t.Kind == cclex.KindEOF {
 			break
 		}
 	}
-	if p.peekHead+n < len(p.peeked) {
-		return p.peeked[p.peekHead+n]
+	p.toks = toks
+	p.scratchComments = comments
+	p.comments = carve(p, &p.a.Comments, comments)
+	p.idx = 0
+	p.tok = toks[0]
+}
+
+// next advances to the following significant token.
+func (p *parser) next() {
+	if p.idx+1 < len(p.toks) {
+		p.idx++
 	}
-	return p.peeked[len(p.peeked)-1]
+	p.tok = p.toks[p.idx]
+}
+
+// at returns the token n positions ahead of the current one (0 = current),
+// clamped to the trailing EOF.
+func (p *parser) at(n int) cclex.Token {
+	i := p.idx + n
+	if i >= len(p.toks) {
+		i = len(p.toks) - 1
+	}
+	return p.toks[i]
+}
+
+// peek returns the n-th upcoming significant token (0 = the one after tok).
+func (p *parser) peek(n int) cclex.Token { return p.at(n + 1) }
+
+// alloc returns a zeroed node from the arena slab, or the heap in
+// reference mode.
+func alloc[T any](p *parser, s *ccast.Slab[T]) *T {
+	if p.ref {
+		return new(T)
+	}
+	return ccast.Alloc(s)
+}
+
+// carve copies a scratch range into arena-backed (or, in reference mode,
+// heap) storage at its exact final length.
+func carve[T any](p *parser, s *ccast.Slab[T], src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	if p.ref {
+		out := make([]T, len(src))
+		copy(out, src)
+		return out
+	}
+	return ccast.Carve(s, src)
+}
+
+func (p *parser) carveExprs(mark int) []ccast.Expr {
+	out := carve(p, &p.a.Exprs, p.scratchExpr[mark:])
+	p.scratchExpr = p.scratchExpr[:mark]
+	return out
+}
+
+func (p *parser) carveStmts(mark int) []ccast.Stmt {
+	out := carve(p, &p.a.Stmts, p.scratchStmt[mark:])
+	p.scratchStmt = p.scratchStmt[:mark]
+	return out
+}
+
+func (p *parser) carveDecls(mark int) []ccast.Decl {
+	out := carve(p, &p.a.Decls, p.scratchDecl[mark:])
+	p.scratchDecl = p.scratchDecl[:mark]
+	return out
+}
+
+func (p *parser) carveDtors(mark int) []*ccast.Declarator {
+	out := carve(p, &p.a.Declarators, p.scratchDtor[mark:])
+	p.scratchDtor = p.scratchDtor[:mark]
+	return out
+}
+
+func (p *parser) carveParams(mark int) []*ccast.Param {
+	out := carve(p, &p.a.Params, p.scratchParam[mark:])
+	p.scratchParam = p.scratchParam[:mark]
+	return out
+}
+
+func (p *parser) carveFields(mark int) []*ccast.Field {
+	out := carve(p, &p.a.Fields, p.scratchField[mark:])
+	p.scratchField = p.scratchField[:mark]
+	return out
+}
+
+func (p *parser) carveFuncs(mark int) []*ccast.FuncDecl {
+	out := carve(p, &p.a.Funcs, p.scratchFunc[mark:])
+	p.scratchFunc = p.scratchFunc[:mark]
+	return out
+}
+
+func (p *parser) carveCases(mark int) []*ccast.CaseClause {
+	out := carve(p, &p.a.Cases, p.scratchCase[mark:])
+	p.scratchCase = p.scratchCase[:mark]
+	return out
 }
 
 func (p *parser) pos() srcfile.Pos {
@@ -242,7 +407,8 @@ func (p *parser) parseTopDecl() ccast.Decl {
 	start := p.pos()
 	switch {
 	case p.tok.Kind == cclex.KindPPDirective:
-		d := &ccast.PPDirective{Text: p.tok.Text}
+		d := alloc(p, &p.a.PPDir)
+		d.Text = p.tok.Text
 		p.setSpan(d, start)
 		p.next()
 		return d
@@ -290,12 +456,14 @@ func (p *parser) parseNamespace() ccast.Decl {
 	ns := &ccast.NamespaceDecl{Name: name}
 	p.expect(cclex.KindLBrace)
 	p.namespace = append(p.namespace, name)
+	mark := len(p.scratchDecl)
 	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
 		d := p.parseTopDecl()
 		if d != nil {
-			ns.Decls = append(ns.Decls, d)
+			p.scratchDecl = append(p.scratchDecl, d)
 		}
 	}
+	ns.Decls = p.carveDecls(mark)
 	p.namespace = p.namespace[:len(p.namespace)-1]
 	p.expect(cclex.KindRBrace)
 	p.accept(cclex.KindSemi)
@@ -412,12 +580,14 @@ func (p *parser) parseExternC() ccast.Decl {
 	if p.tok.Kind == cclex.KindLBrace {
 		p.next()
 		ns := &ccast.NamespaceDecl{Name: `extern "C"`}
+		mark := len(p.scratchDecl)
 		for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
 			d := p.parseTopDecl()
 			if d != nil {
-				ns.Decls = append(ns.Decls, d)
+				p.scratchDecl = append(p.scratchDecl, d)
 			}
 		}
+		ns.Decls = p.carveDecls(mark)
 		p.expect(cclex.KindRBrace)
 		p.setSpan(ns, start)
 		return ns
@@ -479,6 +649,8 @@ func (p *parser) parseRecord() ccast.Decl {
 	p.expect(cclex.KindLBrace)
 	prevClass := p.class
 	p.class = r.Name
+	fieldMark := len(p.scratchField)
+	funcMark := len(p.scratchFunc)
 	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
 		// Access specifiers.
 		if (p.tok.Is("public") || p.tok.Is("private") || p.tok.Is("protected")) &&
@@ -510,12 +682,13 @@ func (p *parser) parseRecord() ccast.Decl {
 		d := p.parseMemberDecl(r.Name)
 		switch d := d.(type) {
 		case *ccast.FuncDecl:
-			r.Methods = append(r.Methods, d)
+			p.scratchFunc = append(p.scratchFunc, d)
 		case *ccast.VarDecl:
 			for _, dd := range d.Names {
-				f := &ccast.Field{Name: dd.Name, Type: dd.Type}
+				f := alloc(p, &p.a.Field)
+				f.Name, f.Type = dd.Name, dd.Type
 				f.SetSpan(dd.Span())
-				r.Fields = append(r.Fields, f)
+				p.scratchField = append(p.scratchField, f)
 			}
 		case nil:
 			// error already recorded; avoid livelock
@@ -524,6 +697,8 @@ func (p *parser) parseRecord() ccast.Decl {
 			}
 		}
 	}
+	r.Fields = p.carveFields(fieldMark)
+	r.Methods = p.carveFuncs(funcMark)
 	p.class = prevClass
 	p.expect(cclex.KindRBrace)
 	p.expect(cclex.KindSemi)
@@ -549,11 +724,12 @@ func (p *parser) parseMemberDecl(className string) ccast.Decl {
 			name = "~" + name
 		}
 		p.next()
-		fd := &ccast.FuncDecl{
-			Name: name, Quals: quals, Class: className,
-			Namespace: strings.Join(p.namespace, "::"),
-			Ret:       &ccast.Type{Name: "void"},
-		}
+		ret := alloc(p, &p.a.Type)
+		ret.Name = "void"
+		fd := alloc(p, &p.a.FuncDecl)
+		fd.Name, fd.Quals, fd.Class = name, quals, className
+		fd.Namespace = strings.Join(p.namespace, "::")
+		fd.Ret = ret
 		p.parseFuncRest(fd)
 		p.setSpan(fd, start)
 		return fd
@@ -576,10 +752,9 @@ func (p *parser) parseMemberDecl(className string) ccast.Decl {
 	applyDeclaratorSuffix(ty, p)
 
 	if p.tok.Kind == cclex.KindLParen {
-		fd := &ccast.FuncDecl{
-			Name: name, Ret: ty, Quals: quals, Class: className,
-			Namespace: strings.Join(p.namespace, "::"),
-		}
+		fd := alloc(p, &p.a.FuncDecl)
+		fd.Name, fd.Ret, fd.Quals, fd.Class = name, ty, quals, className
+		fd.Namespace = strings.Join(p.namespace, "::")
 		p.parseFuncRest(fd)
 		p.setSpan(fd, start)
 		return fd
@@ -634,8 +809,9 @@ var typeKeywords = map[string]bool{
 // parseType parses a type specifier plus pointer declarator prefix.
 func (p *parser) parseType() *ccast.Type {
 	start := p.pos()
-	ty := &ccast.Type{}
-	var parts []string
+	ty := alloc(p, &p.a.Type)
+	var partsArr [4]string
+	parts := partsArr[:0]
 
 	for {
 		switch {
@@ -708,7 +884,18 @@ specDone:
 }
 
 // parseQualifiedName parses Ident(::Ident)* with balanced template args.
+// The common case — a lone identifier — returns the interned token text
+// without touching a builder.
 func (p *parser) parseQualifiedName() string {
+	if p.tok.Kind == cclex.KindIdent {
+		nxt := p.peek(0)
+		if nxt.Kind != cclex.KindColonColon &&
+			(nxt.Kind != cclex.KindLess || !p.looksLikeTemplateArgsAt(1)) {
+			name := p.tok.Text
+			p.next()
+			return name
+		}
+	}
 	var sb strings.Builder
 	for {
 		if p.tok.Kind != cclex.KindIdent {
@@ -719,7 +906,7 @@ func (p *parser) parseQualifiedName() string {
 		// Template arguments: consume balanced <...> when it looks like a
 		// template, i.e. next token opens '<' and some '>' closes before a
 		// ';' at depth 0. We use a bounded scan.
-		if p.tok.Kind == cclex.KindLess && p.looksLikeTemplateArgs() {
+		if p.tok.Kind == cclex.KindLess && p.looksLikeTemplateArgsAt(0) {
 			sb.WriteString(p.consumeTemplateArgs())
 		}
 		if p.tok.Kind == cclex.KindColonColon && p.peek(0).Kind == cclex.KindIdent {
@@ -732,17 +919,13 @@ func (p *parser) parseQualifiedName() string {
 	return sb.String()
 }
 
-// looksLikeTemplateArgs scans ahead from a '<' for a matching '>' before
-// any token that rules out a template argument list.
-func (p *parser) looksLikeTemplateArgs() bool {
+// looksLikeTemplateArgsAt scans ahead from the '<' sitting d tokens past
+// the current one for a matching '>' before any token that rules out a
+// template argument list.
+func (p *parser) looksLikeTemplateArgsAt(d int) bool {
 	depth := 0
 	for i := 0; i < 64; i++ {
-		var t cclex.Token
-		if i == 0 {
-			t = p.tok
-		} else {
-			t = p.peek(i - 1)
-		}
+		t := p.at(d + i)
 		switch t.Kind {
 		case cclex.KindLess:
 			depth++
@@ -839,10 +1022,9 @@ func (p *parser) parseVarOrFunc() ccast.Decl {
 	applyDeclaratorSuffix(ty, p)
 
 	if p.tok.Kind == cclex.KindLParen {
-		fd := &ccast.FuncDecl{
-			Name: name, Ret: ty, Quals: quals,
-			Namespace: strings.Join(p.namespace, "::"),
-		}
+		fd := alloc(p, &p.a.FuncDecl)
+		fd.Name, fd.Ret, fd.Quals = name, ty, quals
+		fd.Namespace = strings.Join(p.namespace, "::")
 		if i := strings.LastIndex(name, "::"); i >= 0 {
 			fd.Class = name[:i]
 		}
@@ -855,10 +1037,13 @@ func (p *parser) parseVarOrFunc() ccast.Decl {
 
 // parseVarDeclRest parses declarators after the first name has been read.
 func (p *parser) parseVarDeclRest(start srcfile.Pos, ty *ccast.Type, firstName string, quals ccast.TypeQual) ccast.Decl {
-	vd := &ccast.VarDecl{Global: p.class == ""}
-	first := &ccast.Declarator{Name: firstName, Type: ty}
+	vd := alloc(p, &p.a.VarDecl)
+	vd.Global = p.class == ""
+	first := alloc(p, &p.a.Declarator)
+	first.Name, first.Type = firstName, ty
 	first.SetSpan(p.span(start))
-	vd.Names = append(vd.Names, first)
+	mark := len(p.scratchDtor)
+	p.scratchDtor = append(p.scratchDtor, first)
 
 	if p.accept(cclex.KindAssign) {
 		first.Init = p.parseInitializer()
@@ -867,7 +1052,8 @@ func (p *parser) parseVarDeclRest(start srcfile.Pos, ty *ccast.Type, firstName s
 	}
 	for p.accept(cclex.KindComma) {
 		dstart := p.pos()
-		dty := &ccast.Type{Name: ty.Name, Quals: ty.Quals}
+		dty := alloc(p, &p.a.Type)
+		dty.Name, dty.Quals = ty.Name, ty.Quals
 		for p.accept(cclex.KindStar) {
 			dty.PtrDepth++
 		}
@@ -875,16 +1061,18 @@ func (p *parser) parseVarDeclRest(start srcfile.Pos, ty *ccast.Type, firstName s
 			p.errorf("expected declarator name, found %s", p.tok)
 			break
 		}
-		d := &ccast.Declarator{Name: p.tok.Text, Type: dty}
+		d := alloc(p, &p.a.Declarator)
+		d.Name, d.Type = p.tok.Text, dty
 		p.next()
 		applyDeclaratorSuffix(dty, p)
 		if p.accept(cclex.KindAssign) {
 			d.Init = p.parseInitializer()
 		}
 		d.SetSpan(p.span(dstart))
-		vd.Names = append(vd.Names, d)
+		p.scratchDtor = append(p.scratchDtor, d)
 	}
 	p.expect(cclex.KindSemi)
+	vd.Names = p.carveDtors(mark)
 	p.setSpan(vd, start)
 	return vd
 }
@@ -893,13 +1081,15 @@ func (p *parser) parseInitializer() ccast.Expr {
 	if p.tok.Kind == cclex.KindLBrace {
 		start := p.pos()
 		p.next()
-		il := &ccast.InitList{}
+		il := alloc(p, &p.a.InitList)
+		mark := len(p.scratchExpr)
 		for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
-			il.Elems = append(il.Elems, p.parseInitializer())
+			p.scratchExpr = append(p.scratchExpr, p.parseInitializer())
 			if !p.accept(cclex.KindComma) {
 				break
 			}
 		}
+		il.Elems = p.carveExprs(mark)
 		p.expect(cclex.KindRBrace)
 		p.setSpan(il, start)
 		return il
@@ -911,6 +1101,7 @@ func (p *parser) parseInitializer() ccast.Expr {
 func (p *parser) parseFuncRest(fd *ccast.FuncDecl) {
 	p.expect(cclex.KindLParen)
 	if !p.accept(cclex.KindRParen) {
+		mark := len(p.scratchParam)
 		for {
 			if p.accept(cclex.KindEllipsis) {
 				fd.Variadic = true
@@ -924,7 +1115,8 @@ func (p *parser) parseFuncRest(fd *ccast.FuncDecl) {
 			pq := p.parseQualifiers()
 			pty := p.parseType()
 			pty.Quals |= pq
-			prm := &ccast.Param{Type: pty}
+			prm := alloc(p, &p.a.Param)
+			prm.Type = pty
 			if p.tok.Kind == cclex.KindIdent {
 				prm.Name = p.tok.Text
 				p.next()
@@ -934,11 +1126,12 @@ func (p *parser) parseFuncRest(fd *ccast.FuncDecl) {
 				p.parseAssignExpr() // default argument, discarded
 			}
 			prm.SetSpan(p.span(pstart))
-			fd.Params = append(fd.Params, prm)
+			p.scratchParam = append(p.scratchParam, prm)
 			if !p.accept(cclex.KindComma) {
 				break
 			}
 		}
+		fd.Params = p.carveParams(mark)
 		p.expect(cclex.KindRParen)
 	}
 	// Trailing qualifiers: const, override, noexcept-ish idents.
@@ -974,14 +1167,16 @@ func (p *parser) parseFuncRest(fd *ccast.FuncDecl) {
 
 func (p *parser) parseBlock() *ccast.Block {
 	start := p.pos()
-	b := &ccast.Block{}
+	b := alloc(p, &p.a.Block)
 	p.expect(cclex.KindLBrace)
+	mark := len(p.scratchStmt)
 	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
 		s := p.parseStmt()
 		if s != nil {
-			b.Stmts = append(b.Stmts, s)
+			p.scratchStmt = append(p.scratchStmt, s)
 		}
 	}
+	b.Stmts = p.carveStmts(mark)
 	p.expect(cclex.KindRBrace)
 	p.setSpan(b, start)
 	return b
@@ -997,7 +1192,7 @@ func (p *parser) parseStmt() ccast.Stmt {
 		return p.parseBlock()
 	case p.tok.Kind == cclex.KindSemi:
 		p.next()
-		e := &ccast.Empty{}
+		e := alloc(p, &p.a.Empty)
 		p.setSpan(e, start)
 		return e
 	case p.tok.Is("if"):
@@ -1013,18 +1208,18 @@ func (p *parser) parseStmt() ccast.Stmt {
 	case p.tok.Is("break"):
 		p.next()
 		p.expect(cclex.KindSemi)
-		s := &ccast.Break{}
+		s := alloc(p, &p.a.Break)
 		p.setSpan(s, start)
 		return s
 	case p.tok.Is("continue"):
 		p.next()
 		p.expect(cclex.KindSemi)
-		s := &ccast.Continue{}
+		s := alloc(p, &p.a.Continue)
 		p.setSpan(s, start)
 		return s
 	case p.tok.Is("return"):
 		p.next()
-		r := &ccast.Return{}
+		r := alloc(p, &p.a.Return)
 		if p.tok.Kind != cclex.KindSemi {
 			r.X = p.parseExpr()
 		}
@@ -1033,7 +1228,7 @@ func (p *parser) parseStmt() ccast.Stmt {
 		return r
 	case p.tok.Is("goto"):
 		p.next()
-		g := &ccast.Goto{}
+		g := alloc(p, &p.a.Goto)
 		if p.tok.Kind == cclex.KindIdent {
 			g.Label = p.tok.Text
 			p.next()
@@ -1069,13 +1264,17 @@ func (p *parser) parseStmt() ccast.Stmt {
 			p.parseExpr()
 		}
 		p.expect(cclex.KindSemi)
-		s := &ccast.ExprStmt{X: &ccast.Ident{Name: "throw"}}
+		id := alloc(p, &p.a.Ident)
+		id.Name = "throw"
+		s := alloc(p, &p.a.ExprStmt)
+		s.X = id
 		p.setSpan(s, start)
 		return s
 	// Label: Ident ':' not followed by ':' (to exclude ::).
 	case p.tok.Kind == cclex.KindIdent && p.peek(0).Kind == cclex.KindColon &&
 		p.peek(1).Kind != cclex.KindColon:
-		l := &ccast.Label{Name: p.tok.Text}
+		l := alloc(p, &p.a.Label)
+		l.Name = p.tok.Text
 		p.next()
 		p.next()
 		l.Stmt = p.parseStmt()
@@ -1106,39 +1305,17 @@ func (p *parser) startsDecl() bool {
 	}
 	// Ident path: a declaration when a known type name or the classic
 	// "A b", "A* b", "A& b", "ns::A b" shapes follow.
-	i := 0
-	// Consume qualified name with optional template args in lookahead.
-	if !p.isTypeName(t.Text) {
-		// Unknown first identifier: require shape evidence.
-	}
-	// Walk lookahead over name ( :: name )* ( < ... > )?
-	seenName := true
-	cur := func() cclex.Token {
-		if i == 0 {
-			return p.tok
-		}
-		return p.peek(i - 1)
-	}
-	_ = cur
-	// Simplified: scan tokens.
-	j := 0
-	tokAt := func(n int) cclex.Token {
-		if n == 0 {
-			return p.tok
-		}
-		return p.peek(n - 1)
-	}
-	// name
-	j++
-	for tokAt(j).Kind == cclex.KindColonColon && tokAt(j+1).Kind == cclex.KindIdent {
+	// Walk lookahead over name ( :: name )* ( < ... > )? then pointers.
+	j := 1
+	for p.at(j).Kind == cclex.KindColonColon && p.at(j+1).Kind == cclex.KindIdent {
 		j += 2
 	}
 	// template args
-	if tokAt(j).Kind == cclex.KindLess {
+	if p.at(j).Kind == cclex.KindLess {
 		depth := 0
 		k := j
 		for k < j+64 {
-			switch tokAt(k).Kind {
+			switch p.at(k).Kind {
 			case cclex.KindLess:
 				depth++
 			case cclex.KindGreater:
@@ -1160,18 +1337,16 @@ func (p *parser) startsDecl() bool {
 		}
 	}
 	// pointers/refs
-	stars := 0
-	for tokAt(j).Kind == cclex.KindStar || tokAt(j).Kind == cclex.KindAmp {
-		stars++
+	for p.at(j).Kind == cclex.KindStar || p.at(j).Kind == cclex.KindAmp {
 		j++
-		for tokAt(j).Is("const") {
+		for p.at(j).Is("const") {
 			j++
 		}
 	}
-	nt := tokAt(j)
+	nt := p.at(j)
 	if nt.Kind == cclex.KindIdent {
 		// "A b" is a decl if followed by = ; , [ ( or end-ish token.
-		after := tokAt(j + 1)
+		after := p.at(j + 1)
 		switch after.Kind {
 		case cclex.KindAssign, cclex.KindSemi, cclex.KindComma,
 			cclex.KindLBracket, cclex.KindLBrace:
@@ -1179,7 +1354,7 @@ func (p *parser) startsDecl() bool {
 		case cclex.KindLParen:
 			// Could be a constructor-style init "A b(1);" — treat as decl
 			// only when the first ident is a known type.
-			return p.isTypeName(t.Text) && seenName
+			return p.isTypeName(t.Text)
 		}
 		return false
 	}
@@ -1191,13 +1366,15 @@ func (p *parser) parseDeclStmt() ccast.Stmt {
 	quals := p.parseQualifiers()
 	ty := p.parseType()
 	ty.Quals |= quals
-	ds := &ccast.DeclStmt{}
-	vd := &ccast.VarDecl{}
+	ds := alloc(p, &p.a.DeclStmt)
+	vd := alloc(p, &p.a.VarDecl)
+	mark := len(p.scratchDtor)
 	for {
 		dstart := p.pos()
 		dty := ty
-		if len(vd.Names) > 0 {
-			dty = &ccast.Type{Name: ty.Name, Quals: ty.Quals}
+		if len(p.scratchDtor) > mark {
+			dty = alloc(p, &p.a.Type)
+			dty.Name, dty.Quals = ty.Name, ty.Quals
 			for p.accept(cclex.KindStar) {
 				dty.PtrDepth++
 			}
@@ -1206,7 +1383,8 @@ func (p *parser) parseDeclStmt() ccast.Stmt {
 			p.errorf("expected local declarator, found %s", p.tok)
 			break
 		}
-		d := &ccast.Declarator{Name: p.tok.Text, Type: dty}
+		d := alloc(p, &p.a.Declarator)
+		d.Name, d.Type = p.tok.Text, dty
 		p.next()
 		applyDeclaratorSuffix(dty, p)
 		switch {
@@ -1217,23 +1395,26 @@ func (p *parser) parseDeclStmt() ccast.Stmt {
 		case p.tok.Kind == cclex.KindLParen:
 			// Constructor-style initialization "T x(a, b);".
 			p.next()
-			il := &ccast.InitList{}
+			il := alloc(p, &p.a.InitList)
+			emark := len(p.scratchExpr)
 			for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
-				il.Elems = append(il.Elems, p.parseAssignExpr())
+				p.scratchExpr = append(p.scratchExpr, p.parseAssignExpr())
 				if !p.accept(cclex.KindComma) {
 					break
 				}
 			}
+			il.Elems = p.carveExprs(emark)
 			p.expect(cclex.KindRParen)
 			d.Init = il
 		}
 		d.SetSpan(p.span(dstart))
-		vd.Names = append(vd.Names, d)
+		p.scratchDtor = append(p.scratchDtor, d)
 		if !p.accept(cclex.KindComma) {
 			break
 		}
 	}
 	p.expect(cclex.KindSemi)
+	vd.Names = p.carveDtors(mark)
 	p.setSpan(vd, start)
 	ds.Decl = vd
 	p.setSpan(ds, start)
@@ -1244,7 +1425,8 @@ func (p *parser) parseExprStmt() ccast.Stmt {
 	start := p.pos()
 	x := p.parseExpr()
 	p.expect(cclex.KindSemi)
-	s := &ccast.ExprStmt{X: x}
+	s := alloc(p, &p.a.ExprStmt)
+	s.X = x
 	p.setSpan(s, start)
 	return s
 }
@@ -1255,7 +1437,8 @@ func (p *parser) parseIf() ccast.Stmt {
 	p.expect(cclex.KindLParen)
 	cond := p.parseExpr()
 	p.expect(cclex.KindRParen)
-	s := &ccast.If{Cond: cond}
+	s := alloc(p, &p.a.If)
+	s.Cond = cond
 	s.Then = p.parseStmt()
 	if p.acceptKeyword("else") {
 		s.Else = p.parseStmt()
@@ -1270,7 +1453,8 @@ func (p *parser) parseWhile() ccast.Stmt {
 	p.expect(cclex.KindLParen)
 	cond := p.parseExpr()
 	p.expect(cclex.KindRParen)
-	s := &ccast.While{Cond: cond}
+	s := alloc(p, &p.a.While)
+	s.Cond = cond
 	s.Body = p.parseStmt()
 	p.setSpan(s, start)
 	return s
@@ -1279,7 +1463,7 @@ func (p *parser) parseWhile() ccast.Stmt {
 func (p *parser) parseDoWhile() ccast.Stmt {
 	start := p.pos()
 	p.next()
-	s := &ccast.DoWhile{}
+	s := alloc(p, &p.a.DoWhile)
 	s.Body = p.parseStmt()
 	if !p.acceptKeyword("while") {
 		p.errorf("expected 'while' after do body")
@@ -1296,14 +1480,15 @@ func (p *parser) parseFor() ccast.Stmt {
 	start := p.pos()
 	p.next()
 	p.expect(cclex.KindLParen)
-	s := &ccast.For{}
+	s := alloc(p, &p.a.For)
 	if !p.accept(cclex.KindSemi) {
 		if p.startsDecl() {
 			s.Init = p.parseDeclStmt() // consumes ';'
 		} else {
 			istart := p.pos()
 			x := p.parseExpr()
-			es := &ccast.ExprStmt{X: x}
+			es := alloc(p, &p.a.ExprStmt)
+			es.X = x
 			p.setSpan(es, istart)
 			s.Init = es
 			p.expect(cclex.KindSemi)
@@ -1326,10 +1511,20 @@ func (p *parser) parseSwitch() ccast.Stmt {
 	start := p.pos()
 	p.next()
 	p.expect(cclex.KindLParen)
-	s := &ccast.Switch{Tag: p.parseExpr()}
+	s := alloc(p, &p.a.Switch)
+	s.Tag = p.parseExpr()
 	p.expect(cclex.KindRParen)
 	p.expect(cclex.KindLBrace)
+	casesMark := len(p.scratchCase)
 	var cur *ccast.CaseClause
+	valsMark, bodyMark := 0, 0
+	closeCur := func() {
+		if cur != nil {
+			cur.Body = p.carveStmts(bodyMark)
+			cur.Values = p.carveExprs(valsMark)
+			cur = nil
+		}
+	}
 	for p.tok.Kind != cclex.KindRBrace && p.tok.Kind != cclex.KindEOF {
 		switch {
 		case p.tok.Is("case"):
@@ -1337,33 +1532,44 @@ func (p *parser) parseSwitch() ccast.Stmt {
 			p.next()
 			v := p.parseExpr()
 			p.expect(cclex.KindColon)
-			if cur != nil && len(cur.Body) == 0 {
+			if cur != nil && len(p.scratchStmt) == bodyMark {
 				// fallthrough label stacking: case 1: case 2: body
-				cur.Values = append(cur.Values, v)
+				p.scratchExpr = append(p.scratchExpr, v)
 			} else {
-				cur = &ccast.CaseClause{Values: []ccast.Expr{v}}
+				closeCur()
+				cur = alloc(p, &p.a.CaseClause)
+				valsMark = len(p.scratchExpr)
+				bodyMark = len(p.scratchStmt)
+				p.scratchExpr = append(p.scratchExpr, v)
 				cur.SetSpan(p.span(cstart))
-				s.Cases = append(s.Cases, cur)
+				p.scratchCase = append(p.scratchCase, cur)
 			}
 		case p.tok.Is("default"):
 			cstart := p.pos()
 			p.next()
 			p.expect(cclex.KindColon)
-			cur = &ccast.CaseClause{}
+			closeCur()
+			cur = alloc(p, &p.a.CaseClause)
+			valsMark = len(p.scratchExpr)
+			bodyMark = len(p.scratchStmt)
 			cur.SetSpan(p.span(cstart))
-			s.Cases = append(s.Cases, cur)
+			p.scratchCase = append(p.scratchCase, cur)
 		default:
 			st := p.parseStmt()
 			if st != nil {
 				if cur == nil {
-					cur = &ccast.CaseClause{}
-					s.Cases = append(s.Cases, cur)
+					cur = alloc(p, &p.a.CaseClause)
+					valsMark = len(p.scratchExpr)
+					bodyMark = len(p.scratchStmt)
+					p.scratchCase = append(p.scratchCase, cur)
 				}
-				cur.Body = append(cur.Body, st)
+				p.scratchStmt = append(p.scratchStmt, st)
 			}
 		}
 	}
+	closeCur()
 	p.expect(cclex.KindRBrace)
+	s.Cases = p.carveCases(casesMark)
 	p.setSpan(s, start)
 	return s
 }
@@ -1377,7 +1583,8 @@ func (p *parser) parseExpr() ccast.Expr {
 	for p.tok.Kind == cclex.KindComma {
 		p.next()
 		r := p.parseAssignExpr()
-		c := &ccast.Comma{L: x, R: r}
+		c := alloc(p, &p.a.Comma)
+		c.L, c.R = x, r
 		p.setSpan(c, start)
 		x = c
 	}
@@ -1397,7 +1604,8 @@ func (p *parser) parseAssignExpr() ccast.Expr {
 	if op, ok := assignOps[p.tok.Kind]; ok {
 		p.next()
 		r := p.parseAssignExpr()
-		a := &ccast.Assign{Op: op, L: x, R: r}
+		a := alloc(p, &p.a.Assign)
+		a.Op, a.L, a.R = op, x, r
 		p.setSpan(a, start)
 		return a
 	}
@@ -1414,7 +1622,8 @@ func (p *parser) parseCondExpr() ccast.Expr {
 	t := p.parseAssignExpr()
 	p.expect(cclex.KindColon)
 	f := p.parseAssignExpr()
-	e := &ccast.Cond{C: c, T: t, F: f}
+	e := alloc(p, &p.a.Cond)
+	e.C, e.T, e.F = c, t, f
 	p.setSpan(e, start)
 	return e
 }
@@ -1444,7 +1653,8 @@ func (p *parser) parseBinaryExpr(minPrec int) ccast.Expr {
 		op := p.tok.Text
 		p.next()
 		r := p.parseBinaryExpr(prec + 1)
-		b := &ccast.Binary{Op: op, L: x, R: r}
+		b := alloc(p, &p.a.Binary)
+		b.Op, b.L, b.R = op, x, r
 		p.setSpan(b, start)
 		x = b
 	}
@@ -1458,21 +1668,23 @@ func (p *parser) parseUnaryExpr() ccast.Expr {
 		op := p.tok.Text
 		p.next()
 		x := p.parseUnaryExpr()
-		u := &ccast.Unary{Op: op, X: x}
+		u := alloc(p, &p.a.Unary)
+		u.Op, u.X = op, x
 		p.setSpan(u, start)
 		return u
 	case cclex.KindPlusPlus, cclex.KindMinusMinus:
 		op := p.tok.Text
 		p.next()
 		x := p.parseUnaryExpr()
-		u := &ccast.Unary{Op: op, X: x}
+		u := alloc(p, &p.a.Unary)
+		u.Op, u.X = op, x
 		p.setSpan(u, start)
 		return u
 	case cclex.KindKeyword:
 		switch p.tok.Text {
 		case "sizeof":
 			p.next()
-			se := &ccast.SizeofExpr{}
+			se := alloc(p, &p.a.Sizeof)
 			if p.tok.Kind == cclex.KindLParen && p.startsTypeInParens() {
 				p.next()
 				se.Type = p.parseType()
@@ -1484,24 +1696,27 @@ func (p *parser) parseUnaryExpr() ccast.Expr {
 			return se
 		case "new":
 			p.next()
-			ne := &ccast.NewExpr{Type: p.parseType()}
+			ne := alloc(p, &p.a.New)
+			ne.Type = p.parseType()
 			if p.accept(cclex.KindLBracket) {
 				ne.Count = p.parseExpr()
 				p.expect(cclex.KindRBracket)
 			} else if p.accept(cclex.KindLParen) {
+				mark := len(p.scratchExpr)
 				for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
-					ne.Args = append(ne.Args, p.parseAssignExpr())
+					p.scratchExpr = append(p.scratchExpr, p.parseAssignExpr())
 					if !p.accept(cclex.KindComma) {
 						break
 					}
 				}
+				ne.Args = p.carveExprs(mark)
 				p.expect(cclex.KindRParen)
 			}
 			p.setSpan(ne, start)
 			return ne
 		case "delete":
 			p.next()
-			de := &ccast.DeleteExpr{}
+			de := alloc(p, &p.a.Delete)
 			if p.accept(cclex.KindLBracket) {
 				p.expect(cclex.KindRBracket)
 				de.Array = true
@@ -1528,7 +1743,8 @@ func (p *parser) parseUnaryExpr() ccast.Expr {
 			p.expect(cclex.KindLParen)
 			x := p.parseExpr()
 			p.expect(cclex.KindRParen)
-			c := &ccast.Cast{Style: style, To: ty, X: x}
+			c := alloc(p, &p.a.Cast)
+			c.Style, c.To, c.X = style, ty, x
 			p.setSpan(c, start)
 			return c
 		}
@@ -1568,33 +1784,41 @@ func (p *parser) parsePostfixExpr() ccast.Expr {
 		switch p.tok.Kind {
 		case cclex.KindLParen:
 			p.next()
-			c := &ccast.Call{Fun: x}
+			c := alloc(p, &p.a.Call)
+			c.Fun = x
+			mark := len(p.scratchExpr)
 			for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
-				c.Args = append(c.Args, p.parseAssignExpr())
+				p.scratchExpr = append(p.scratchExpr, p.parseAssignExpr())
 				if !p.accept(cclex.KindComma) {
 					break
 				}
 			}
+			c.Args = p.carveExprs(mark)
 			p.expect(cclex.KindRParen)
 			p.setSpan(c, start)
 			x = c
 		case cclex.KindKernelLaunch:
 			p.next()
-			kl := &ccast.KernelLaunch{Fun: x}
+			kl := alloc(p, &p.a.Kernel)
+			kl.Fun = x
+			cmark := len(p.scratchExpr)
 			for p.tok.Kind != cclex.KindKernelLaunchEnd && p.tok.Kind != cclex.KindEOF {
-				kl.Config = append(kl.Config, p.parseAssignExpr())
+				p.scratchExpr = append(p.scratchExpr, p.parseAssignExpr())
 				if !p.accept(cclex.KindComma) {
 					break
 				}
 			}
+			kl.Config = p.carveExprs(cmark)
 			p.expect(cclex.KindKernelLaunchEnd)
 			p.expect(cclex.KindLParen)
+			amark := len(p.scratchExpr)
 			for p.tok.Kind != cclex.KindRParen && p.tok.Kind != cclex.KindEOF {
-				kl.Args = append(kl.Args, p.parseAssignExpr())
+				p.scratchExpr = append(p.scratchExpr, p.parseAssignExpr())
 				if !p.accept(cclex.KindComma) {
 					break
 				}
 			}
+			kl.Args = p.carveExprs(amark)
 			p.expect(cclex.KindRParen)
 			p.setSpan(kl, start)
 			x = kl
@@ -1602,7 +1826,8 @@ func (p *parser) parsePostfixExpr() ccast.Expr {
 			p.next()
 			i := p.parseExpr()
 			p.expect(cclex.KindRBracket)
-			ix := &ccast.Index{X: x, I: i}
+			ix := alloc(p, &p.a.Index)
+			ix.X, ix.I = x, i
 			p.setSpan(ix, start)
 			x = ix
 		case cclex.KindDot, cclex.KindArrow:
@@ -1615,13 +1840,15 @@ func (p *parser) parsePostfixExpr() ccast.Expr {
 			} else {
 				p.errorf("expected member name, found %s", p.tok)
 			}
-			m := &ccast.Member{X: x, Name: name, Arrow: arrow}
+			m := alloc(p, &p.a.Member)
+			m.X, m.Name, m.Arrow = x, name, arrow
 			p.setSpan(m, start)
 			x = m
 		case cclex.KindPlusPlus, cclex.KindMinusMinus:
 			op := p.tok.Text
 			p.next()
-			pf := &ccast.Postfix{Op: op, X: x}
+			pf := alloc(p, &p.a.Postfix)
+			pf.Op, pf.X = op, x
 			p.setSpan(pf, start)
 			x = pf
 		default:
@@ -1636,15 +1863,16 @@ func (p *parser) parsePrimaryExpr() ccast.Expr {
 	case cclex.KindIntLit:
 		text := p.tok.Text
 		p.next()
-		v := parseIntText(text)
-		e := &ccast.IntLit{Text: text, Value: v}
+		e := alloc(p, &p.a.IntLit)
+		e.Text, e.Value = text, parseIntText(text)
 		p.setSpan(e, start)
 		return e
 	case cclex.KindFloatLit:
 		text := p.tok.Text
 		p.next()
 		v, _ := strconv.ParseFloat(strings.TrimRight(text, "fFlL"), 64)
-		e := &ccast.FloatLit{Text: text, Value: v}
+		e := alloc(p, &p.a.FloatLit)
+		e.Text, e.Value = text, v
 		p.setSpan(e, start)
 		return e
 	case cclex.KindStringLit:
@@ -1655,13 +1883,15 @@ func (p *parser) parsePrimaryExpr() ccast.Expr {
 			text += p.tok.Text
 			p.next()
 		}
-		e := &ccast.StringLit{Text: text}
+		e := alloc(p, &p.a.StringLit)
+		e.Text = text
 		p.setSpan(e, start)
 		return e
 	case cclex.KindCharLit:
 		text := p.tok.Text
 		p.next()
-		e := &ccast.CharLit{Text: text, Value: charValue(text)}
+		e := alloc(p, &p.a.CharLit)
+		e.Text, e.Value = text, charValue(text)
 		p.setSpan(e, start)
 		return e
 	case cclex.KindLParen:
@@ -1671,14 +1901,16 @@ func (p *parser) parsePrimaryExpr() ccast.Expr {
 			ty := p.parseType()
 			p.expect(cclex.KindRParen)
 			x := p.parseUnaryExpr()
-			c := &ccast.Cast{Style: ccast.CastCStyle, To: ty, X: x}
+			c := alloc(p, &p.a.Cast)
+			c.Style, c.To, c.X = ccast.CastCStyle, ty, x
 			p.setSpan(c, start)
 			return c
 		}
 		p.next()
 		x := p.parseExpr()
 		p.expect(cclex.KindRParen)
-		pe := &ccast.Paren{X: x}
+		pe := alloc(p, &p.a.Paren)
+		pe.X = x
 		p.setSpan(pe, start)
 		return pe
 	case cclex.KindKeyword:
@@ -1686,17 +1918,20 @@ func (p *parser) parsePrimaryExpr() ccast.Expr {
 		case "true", "false":
 			v := p.tok.Text == "true"
 			p.next()
-			e := &ccast.BoolLit{Value: v}
+			e := alloc(p, &p.a.BoolLit)
+			e.Value = v
 			p.setSpan(e, start)
 			return e
 		case "nullptr":
 			p.next()
-			e := &ccast.BoolLit{IsNull: true}
+			e := alloc(p, &p.a.BoolLit)
+			e.IsNull = true
 			p.setSpan(e, start)
 			return e
 		case "this":
 			p.next()
-			e := &ccast.Ident{Name: "this"}
+			e := alloc(p, &p.a.Ident)
+			e.Name = "this"
 			p.setSpan(e, start)
 			return e
 		}
@@ -1707,32 +1942,39 @@ func (p *parser) parsePrimaryExpr() ccast.Expr {
 			p.next() // (
 			x := p.parseExpr()
 			p.expect(cclex.KindRParen)
-			c := &ccast.Cast{Style: ccast.CastFunctional, To: &ccast.Type{Name: tyName}, X: x}
+			to := alloc(p, &p.a.Type)
+			to.Name = tyName
+			c := alloc(p, &p.a.Cast)
+			c.Style, c.To, c.X = ccast.CastFunctional, to, x
 			p.setSpan(c, start)
 			return c
 		}
 		p.errorf("unexpected keyword %q in expression", p.tok.Text)
 		p.panicking = true
 		p.next()
-		e := &ccast.Ident{Name: "<error>"}
+		e := alloc(p, &p.a.Ident)
+		e.Name = "<error>"
 		p.setSpan(e, start)
 		return e
 	case cclex.KindIdent:
 		name := p.parseQualifiedName()
-		e := &ccast.Ident{Name: name}
+		e := alloc(p, &p.a.Ident)
+		e.Name = name
 		p.setSpan(e, start)
 		return e
 	case cclex.KindColonColon:
 		p.next()
 		name := "::" + p.parseQualifiedName()
-		e := &ccast.Ident{Name: name}
+		e := alloc(p, &p.a.Ident)
+		e.Name = name
 		p.setSpan(e, start)
 		return e
 	default:
 		p.errorf("unexpected token %s in expression", p.tok)
 		p.panicking = true
 		p.next()
-		e := &ccast.Ident{Name: "<error>"}
+		e := alloc(p, &p.a.Ident)
+		e.Name = "<error>"
 		p.setSpan(e, start)
 		return e
 	}
@@ -1787,6 +2029,14 @@ func charValue(text string) int64 {
 // Files parse concurrently on a worker pool sized to Options.Workers
 // (default GOMAXPROCS); units and errors are merged in file order, so the
 // output is deterministic and identical to a sequential parse.
+//
+// Unless the caller supplies them, ParseAll creates one shared identifier
+// table for the whole run and a small pool of arenas that workers reuse
+// across files, so a batch parse performs a handful of slab allocations
+// per file. The resulting units jointly own the arena memory; it is
+// released when the whole batch becomes unreachable (the batch corpus is
+// replaced wholesale, so per-unit eviction granularity is not needed —
+// deltas re-parse single files with private arenas).
 func ParseAll(fs *srcfile.FileSet, opts Options) (map[string]*ccast.TranslationUnit, []*Error) {
 	files := fs.Files()
 	workers := opts.Workers
@@ -1797,13 +2047,27 @@ func ParseAll(fs *srcfile.FileSet, opts Options) (map[string]*ccast.TranslationU
 		workers = len(files)
 	}
 
+	if !opts.Reference && opts.Intern == nil {
+		opts.Intern = cclex.NewInterner()
+	}
+	var arenas *sync.Pool
+	if !opts.Reference && opts.Arena == nil {
+		arenas = &sync.Pool{New: func() any { return &ccast.Arena{} }}
+	}
+
 	type result struct {
 		tu   *ccast.TranslationUnit
 		errs []*Error
 	}
 	results := make([]result, len(files))
 	par.For(workers, len(files), func(i int) {
-		tu, es := Parse(files[i], opts)
+		o := opts
+		if arenas != nil {
+			a := arenas.Get().(*ccast.Arena)
+			o.Arena = a
+			defer arenas.Put(a)
+		}
+		tu, es := Parse(files[i], o)
 		results[i] = result{tu, es}
 	})
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/apollocorpus"
 	"repro/internal/artifact"
 	"repro/internal/ccast"
+	"repro/internal/cclex"
 	"repro/internal/ccparse"
 	"repro/internal/coverage"
 	"repro/internal/iso26262"
@@ -50,6 +51,12 @@ type Assessor struct {
 	fs    *srcfile.FileSet
 	units map[string]*ccast.TranslationUnit
 
+	// intern is the corpus-level identifier table: every parse this
+	// assessor performs (cold load, delta, stub hydration) canonicalizes
+	// identifier spellings against it, so repeated names across 10k files
+	// share one string.
+	intern *cclex.Interner
+
 	ix       *artifact.Index
 	ruleEng  *rules.Sharded
 	mcache   *metrics.Cache
@@ -79,6 +86,7 @@ func NewAssessor(cfg Config) *Assessor {
 	}
 	return &Assessor{
 		cfg:     cfg,
+		intern:  cclex.NewInterner(),
 		ruleEng: rules.NewSharded(cfg.Rules),
 		mcache:  metrics.NewCache(),
 		acache:  metrics.NewArchCache(),
@@ -97,7 +105,7 @@ func (a *Assessor) LoadDefaultCorpus() error {
 // LoadFileSet parses an arbitrary corpus (user-provided source trees take
 // this path).
 func (a *Assessor) LoadFileSet(fs *srcfile.FileSet) error {
-	units, errs := ccparse.ParseAll(fs, ccparse.Options{})
+	units, errs := ccparse.ParseAll(fs, ccparse.Options{Intern: a.intern})
 	if len(errs) > 0 {
 		// Error-tolerant parsing yields BadDecls; only fail when a file
 		// produced nothing at all.

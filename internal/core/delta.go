@@ -112,7 +112,7 @@ func (a *Assessor) PrepareDelta(d Delta) (*PreparedDelta, error) {
 	pd.parsed = make([]*ccast.TranslationUnit, len(pd.dirty))
 	perr := make([]*ccparse.Error, len(pd.dirty))
 	par.For(par.Workers(len(pd.dirty)), len(pd.dirty), func(i int) {
-		tu, errs := ccparse.Parse(pd.dirty[i], ccparse.Options{})
+		tu, errs := ccparse.Parse(pd.dirty[i], ccparse.Options{Intern: a.intern})
 		pd.parsed[i] = tu
 		if tu == nil && len(errs) > 0 {
 			perr[i] = errs[0]

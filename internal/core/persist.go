@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/artifact"
 	"repro/internal/ccast"
@@ -66,6 +67,11 @@ type PersistedState struct {
 	CorpusFindings []rules.Finding
 	// MetricRows maps every unit path to its metrics row.
 	MetricRows map[string]*metrics.FileMetrics
+	// ShardSigs maps each module shard to its (export, graph) signature
+	// pair at snapshot time. Optional: restore seeds them so the index
+	// answers overlay queries without re-hashing the facts; when absent
+	// the signatures are recomputed from the (identical) restored facts.
+	ShardSigs map[string][2]uint64
 }
 
 // ruleIDs lists a rule set's IDs in engine order.
@@ -111,30 +117,86 @@ func (a *Assessor) ExportState() (*PersistedState, error) {
 	for _, p := range ix.Paths {
 		st.Units = append(st.Units, ix.UnitFacts(p))
 	}
+	st.ShardSigs = make(map[string][2]uint64, len(ix.ShardNames()))
+	for _, m := range ix.ShardNames() {
+		if e, g, ok := ix.ShardSigs(m); ok {
+			st.ShardSigs[m] = [2]uint64{e, g}
+		}
+	}
 	return st, nil
 }
 
-// RestoreAssessor rebuilds a warm assessor from a snapshot. The target
-// ASIL comes from the snapshot; cfg supplies everything else (a nil
-// cfg.Rules means rules.DefaultRules, which must match the snapshot's
-// rule fingerprint). No source is parsed: units are fact-carrying
-// stubs, hydrated on demand when the rule engine needs their ASTs.
+// StateSource is the lazy face of a snapshot: the restore path pulls
+// the cheap corpus skeleton (files, per-unit facts, shard signatures)
+// eagerly and defers each shard's finding segments and metric rows
+// until the caches first touch that shard. internal/store's Snapshot
+// implements it over the raw snapshot bytes (decoding one shard block
+// per call); stateSource below adapts an eagerly decoded
+// PersistedState to the same shape.
+//
+// Shard grouping must match the artifact index's: a module's units are
+// exactly the units whose file has that ModuleName, listed in sorted
+// path order. RestoreAssessorFrom validates this before seeding any
+// cache.
+type StateSource interface {
+	// Target is the ASIL the snapshotted assessor judged against.
+	Target() iso26262.ASIL
+	// RuleIDs fingerprints the snapshotted rule set.
+	RuleIDs() []string
+	// Files returns the corpus in FileSet insertion order.
+	Files() ([]PersistedFile, error)
+	// ShardNames lists the module shards in sorted order.
+	ShardNames() []string
+	// ShardSigs returns a shard's persisted (export, graph) signature
+	// pair; ok=false means restore recomputes them from the facts.
+	ShardSigs(module string) (export, graph uint64, ok bool)
+	// ShardUnits returns a shard's per-unit facts in sorted path order.
+	ShardUnits(module string) ([]artifact.UnitFacts, error)
+	// CorpusFindings returns the corpus-level finding segment.
+	CorpusFindings() ([]rules.Finding, error)
+	// ShardFindings returns a shard's per-path finding lists, aligned
+	// with its ShardUnits path order.
+	ShardFindings(module string) ([][]rules.Finding, error)
+	// ShardMetrics returns a shard's metric rows for the given paths
+	// (the shard's snapshot-time path list), in order.
+	ShardMetrics(module string, paths []string) ([]*metrics.FileMetrics, error)
+}
+
+// RestoreAssessor rebuilds a warm assessor from an eagerly decoded
+// snapshot state (see RestoreAssessorFrom for the lazy path both now
+// share). The target ASIL comes from the snapshot; cfg supplies
+// everything else (a nil cfg.Rules means rules.DefaultRules, which must
+// match the snapshot's rule fingerprint). No source is parsed: units
+// are fact-carrying stubs, hydrated on demand when a cache needs their
+// ASTs.
 func RestoreAssessor(cfg Config, st *PersistedState) (*Assessor, error) {
-	cfg.TargetASIL = st.Target
+	return RestoreAssessorFrom(cfg, newStateSource(st))
+}
+
+// RestoreAssessorFrom rebuilds a warm assessor from a state source.
+// The skeleton — file set, fact stubs, sharded index — is built
+// eagerly; the rule and metric caches are seeded *sealed*, pulling each
+// shard's finding segments and metric rows from the source on first
+// touch and deferring content hashing until a delta dirties the shard.
+// A shard block that fails to load degrades to a recompute of exactly
+// that shard (hydrating its stubs), never to stale or wrong output.
+func RestoreAssessorFrom(cfg Config, src StateSource) (*Assessor, error) {
+	cfg.TargetASIL = src.Target()
 	a := NewAssessor(cfg)
-	if got := ruleIDs(a.cfg.Rules); !equalStrings(got, st.RuleIDs) {
-		return nil, fmt.Errorf("core: snapshot rule set %v does not match engine rule set %v", st.RuleIDs, got)
+	if got, want := ruleIDs(a.cfg.Rules), src.RuleIDs(); !equalStrings(got, want) {
+		return nil, fmt.Errorf("core: snapshot rule set %v does not match engine rule set %v", want, got)
 	}
-	if len(st.Files) == 0 {
+	files, err := src.Files()
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
 		return nil, errors.New("core: snapshot holds no files")
-	}
-	if len(st.Files) != len(st.Units) {
-		return nil, fmt.Errorf("core: snapshot has %d files but %d units", len(st.Files), len(st.Units))
 	}
 
 	fs := srcfile.NewFileSet()
-	for i := range st.Files {
-		pf := &st.Files[i]
+	for i := range files {
+		pf := &files[i]
 		if pf.Path == "" {
 			return nil, errors.New("core: snapshot file without a path")
 		}
@@ -144,41 +206,205 @@ func RestoreAssessor(cfg Config, st *PersistedState) (*Assessor, error) {
 		fs.Add(&srcfile.File{Path: pf.Path, Module: pf.Module, Lang: pf.Lang, Src: pf.Src})
 	}
 
-	units := make(map[string]*ccast.TranslationUnit, len(st.Units))
-	recs := make(map[string][]*artifact.Func, len(st.Units))
-	stubs := make(map[string]bool, len(st.Units))
-	for i := range st.Units {
-		uf := st.Units[i]
-		f := fs.Lookup(uf.Path)
-		if f == nil {
-			return nil, fmt.Errorf("core: snapshot unit %s has no file", uf.Path)
+	names := src.ShardNames()
+	units := make(map[string]*ccast.TranslationUnit, len(files))
+	recs := make(map[string][]*artifact.Func, len(files))
+	stubs := make(map[string]bool, len(files))
+	seeds := &lazySeeds{
+		src:    src,
+		paths:  make(map[string][]string, len(names)),
+		hashes: make(map[string]func() []uint64, len(names)),
+	}
+	nUnits := 0
+	for _, m := range names {
+		ufs, err := src.ShardUnits(m)
+		if err != nil {
+			return nil, err
 		}
-		if units[uf.Path] != nil {
-			return nil, fmt.Errorf("core: snapshot holds unit %s twice", uf.Path)
+		paths := make([]string, len(ufs))
+		// Snapshot-time sources, captured as (immutable) strings: a later
+		// delta replaces the corpus *File structs in place (FileSet.Add),
+		// so deferred hashing must not go through the file pointers or a
+		// changed file's stale cache entry would validate against its own
+		// new content.
+		srcs := make([]string, len(ufs))
+		for i := range ufs {
+			uf := ufs[i]
+			f := fs.Lookup(uf.Path)
+			if f == nil {
+				return nil, fmt.Errorf("core: snapshot unit %s has no file", uf.Path)
+			}
+			if f.ModuleName() != m {
+				return nil, fmt.Errorf("core: snapshot unit %s filed under shard %q but its module is %q", uf.Path, m, f.ModuleName())
+			}
+			if units[uf.Path] != nil {
+				return nil, fmt.Errorf("core: snapshot holds unit %s twice", uf.Path)
+			}
+			tu, fas := artifact.UnitFromFacts(f, uf)
+			units[uf.Path], recs[uf.Path] = tu, fas
+			stubs[uf.Path] = true
+			paths[i], srcs[i] = uf.Path, f.Src
 		}
-		tu, fas := artifact.UnitFromFacts(f, uf)
-		units[uf.Path], recs[uf.Path] = tu, fas
-		stubs[uf.Path] = true
+		seeds.paths[m] = paths
+		seeds.hashes[m] = func() []uint64 {
+			hs := make([]uint64, len(srcs))
+			for i, s := range srcs {
+				hs[i] = srcfile.HashSrc(s)
+			}
+			return hs
+		}
+		nUnits += len(ufs)
+	}
+	if nUnits != len(files) {
+		return nil, fmt.Errorf("core: snapshot has %d files but %d units", len(files), nUnits)
 	}
 	ix, err := artifact.BuildFromRecords(units, recs)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range ix.Paths {
-		if _, ok := st.FileFindings[p]; !ok {
-			return nil, fmt.Errorf("core: snapshot misses the finding segment of %s", p)
+	for _, m := range names {
+		// The index derived the same partition the snapshot declared, in
+		// the same (sorted) order — required for the positional zip of the
+		// lazy shard blocks. Inequality means corrupt or inconsistent
+		// grouping, not a recoverable cache miss.
+		if !equalStrings(ix.Shard(m).Paths(), seeds.paths[m]) {
+			return nil, fmt.Errorf("core: snapshot shard %q path list does not match the restored index", m)
 		}
-		if st.MetricRows[p] == nil {
-			return nil, fmt.Errorf("core: snapshot misses the metrics row of %s", p)
+		if e, g, ok := src.ShardSigs(m); ok {
+			ix.SeedShardSigs(m, e, g)
 		}
+	}
+	corpus, err := src.CorpusFindings()
+	if err != nil {
+		return nil, err
 	}
 
 	a.fs, a.units, a.ix = fs, units, ix
-	a.ruleEng.RestoreCache(ix, st.FileFindings, st.CorpusFindings)
-	a.mcache.RestoreRows(ix, st.MetricRows)
+	a.ruleEng.RestoreCacheLazy(ix, corpus, seeds)
+	a.mcache.RestoreRowsLazy(ix, seeds)
 	a.stubs = stubs
 	a.ruleEng.Hydrate = a.hydratePaths
+	a.mcache.Hydrate = a.hydratePaths
 	return a, nil
+}
+
+// lazySeeds adapts a StateSource to the loader interfaces of the rule
+// engine (rules.ShardLoader) and the metrics cache (metrics.RowLoader),
+// pinning the restore-time path lists and file identities so content
+// hashes computed at thaw time cover the snapshot's sources even after
+// later deltas replaced corpus entries.
+type lazySeeds struct {
+	src    StateSource
+	paths  map[string][]string
+	hashes map[string]func() []uint64
+}
+
+func (l *lazySeeds) ShardKeys(m string) ([]string, []uint64, bool) {
+	h := l.hashes[m]
+	if h == nil {
+		return nil, nil, false
+	}
+	return l.paths[m], h(), true
+}
+
+func (l *lazySeeds) ShardFindings(m string) ([][]rules.Finding, bool) {
+	fss, err := l.src.ShardFindings(m)
+	if err != nil || len(fss) != len(l.paths[m]) {
+		return nil, false
+	}
+	return fss, true
+}
+
+func (l *lazySeeds) ShardRows(m string) ([]*metrics.FileMetrics, bool) {
+	rows, err := l.src.ShardMetrics(m, l.paths[m])
+	if err != nil || len(rows) != len(l.paths[m]) {
+		return nil, false
+	}
+	for _, r := range rows {
+		if r == nil {
+			return nil, false
+		}
+	}
+	return rows, true
+}
+
+// stateSource adapts an eagerly decoded PersistedState to the lazy
+// restore path (grouping its flat maps by module shard once).
+type stateSource struct {
+	st    *PersistedState
+	names []string
+	units map[string][]artifact.UnitFacts
+}
+
+func newStateSource(st *PersistedState) *stateSource {
+	s := &stateSource{st: st, units: make(map[string][]artifact.UnitFacts)}
+	modOf := make(map[string]string, len(st.Files))
+	for i := range st.Files {
+		pf := &st.Files[i]
+		f := srcfile.File{Path: pf.Path, Module: pf.Module}
+		modOf[pf.Path] = f.ModuleName()
+	}
+	for i := range st.Units {
+		uf := st.Units[i]
+		m, ok := modOf[uf.Path]
+		if !ok {
+			// No file for this unit: derive the module so the unit still
+			// surfaces (as a "unit has no file" restore error) instead of
+			// silently vanishing from every shard.
+			f := srcfile.File{Path: uf.Path}
+			m = f.ModuleName()
+		}
+		s.units[m] = append(s.units[m], uf)
+	}
+	s.names = make([]string, 0, len(s.units))
+	for m := range s.units {
+		s.names = append(s.names, m)
+	}
+	sort.Strings(s.names)
+	return s
+}
+
+func (s *stateSource) Target() iso26262.ASIL           { return s.st.Target }
+func (s *stateSource) RuleIDs() []string               { return s.st.RuleIDs }
+func (s *stateSource) Files() ([]PersistedFile, error) { return s.st.Files, nil }
+func (s *stateSource) ShardNames() []string            { return s.names }
+
+func (s *stateSource) ShardSigs(m string) (uint64, uint64, bool) {
+	sig, ok := s.st.ShardSigs[m]
+	return sig[0], sig[1], ok
+}
+
+func (s *stateSource) ShardUnits(m string) ([]artifact.UnitFacts, error) {
+	return s.units[m], nil
+}
+
+func (s *stateSource) CorpusFindings() ([]rules.Finding, error) {
+	return s.st.CorpusFindings, nil
+}
+
+func (s *stateSource) ShardFindings(m string) ([][]rules.Finding, error) {
+	ufs := s.units[m]
+	out := make([][]rules.Finding, len(ufs))
+	for i := range ufs {
+		fs, ok := s.st.FileFindings[ufs[i].Path]
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot misses the finding segment of %s", ufs[i].Path)
+		}
+		out[i] = fs
+	}
+	return out, nil
+}
+
+func (s *stateSource) ShardMetrics(m string, paths []string) ([]*metrics.FileMetrics, error) {
+	out := make([]*metrics.FileMetrics, len(paths))
+	for i, p := range paths {
+		fm := s.st.MetricRows[p]
+		if fm == nil {
+			return nil, fmt.Errorf("core: snapshot misses the metrics row of %s", p)
+		}
+		out[i] = fm
+	}
+	return out, nil
 }
 
 // StubUnits reports how many restored units are still fact-carrying
@@ -202,7 +428,7 @@ func (a *Assessor) hydratePaths(paths []string) {
 	}
 	tus := make([]*ccast.TranslationUnit, len(todo))
 	par.For(par.Workers(len(todo)), len(todo), func(i int) {
-		tu, _ := ccparse.Parse(a.fs.Lookup(todo[i]), ccparse.Options{})
+		tu, _ := ccparse.Parse(a.fs.Lookup(todo[i]), ccparse.Options{Intern: a.intern})
 		tus[i] = tu
 	})
 	for i, p := range todo {

@@ -24,6 +24,15 @@ import (
 //
 // Cache is not safe for concurrent use; the Assessor serializes access.
 type Cache struct {
+	// Hydrate, when set, is called with the dirty paths of a warm run
+	// before their rows are recomputed. A snapshot-restored assessor
+	// installs it to re-parse stub units on demand: in the normal flow
+	// dirty files arrive freshly parsed and the hook no-ops, but if a
+	// restored shard's lazy row block fails to decode, its unchanged
+	// files are recomputed from their stubs — whose fabricated function
+	// spans would yield wrong rows without hydration.
+	Hydrate func(paths []string)
+
 	ix     *artifact.Index
 	shards map[string]*metricShard
 	// lastDirty records how many rows the previous AnalyzeIndexed
@@ -37,6 +46,11 @@ type cacheEntry struct {
 }
 
 // metricShard is the cached state for one module shard.
+//
+// A snapshot-restored shard starts *sealed* (perFile == nil): its rows
+// materialize from the loaders at the first AnalyzeIndexed (the global
+// merge reads every shard's rows), while the per-file map — and the
+// content hashes inside it — thaw only when a delta dirties the shard.
 type metricShard struct {
 	gen     uint64
 	valid   bool
@@ -45,6 +59,38 @@ type metricShard struct {
 	mm      *ModuleMetrics
 	// totals are the shard's contribution to the corpus-wide counters.
 	totLOC, totNLOC, totFunc, modWorse int
+
+	// loadRows/thawKeys are the snapshot loaders of a sealed shard (nil
+	// otherwise); rowsReady records that files/mm/totals materialized.
+	// The loaders stay set until thawEntries so a later dirtying can
+	// still build perFile.
+	loadRows  func() ([]*FileMetrics, bool)
+	thawKeys  func() ([]string, []uint64, bool)
+	rowsReady bool
+}
+
+// thawEntries materializes a sealed shard's per-file map (snapshot
+// paths, content hashes, rows). False means the block would not decode;
+// the caller then recomputes every row of the shard.
+func (ms *metricShard) thawEntries() bool {
+	if ms.thawKeys == nil {
+		return false
+	}
+	load, thaw := ms.loadRows, ms.thawKeys
+	ms.loadRows, ms.thawKeys = nil, nil
+	paths, hashes, ok := thaw()
+	if !ok || len(paths) != len(hashes) {
+		return false
+	}
+	rows, ok := load()
+	if !ok || len(rows) != len(paths) {
+		return false
+	}
+	ms.perFile = make(map[string]cacheEntry, len(paths))
+	for i, p := range paths {
+		ms.perFile[p] = cacheEntry{hash: hashes[i], fm: rows[i]}
+	}
+	return true
 }
 
 // NewCache returns an empty metrics cache.
@@ -97,7 +143,24 @@ func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
 			c.shards[m] = ms
 		}
 		if ms.valid && ms.gen == sh.Gen() {
-			continue
+			if ms.loadRows == nil || ms.rowsReady {
+				continue
+			}
+			// Sealed clean shard: materialize rows and partials only; the
+			// per-file map and its hashes stay deferred until dirtied.
+			if rows, ok := ms.loadRows(); ok && len(rows) == sh.Len() {
+				ms.files = rows
+				ms.refold()
+				ms.rowsReady = true
+				continue
+			}
+			// The shard's snapshot block would not decode: recompute it.
+			ms.loadRows, ms.thawKeys = nil, nil
+			ms.perFile = make(map[string]cacheEntry)
+			ms.valid = false
+		}
+		if ms.perFile == nil && !ms.thawEntries() {
+			ms.perFile = make(map[string]cacheEntry)
 		}
 		paths := sh.Paths()
 		ms.files = make([]*FileMetrics, len(paths))
@@ -125,6 +188,9 @@ func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
 		dirtyShards = append(dirtyShards, ms)
 	}
 	c.lastDirty = len(dirtyPaths)
+	if c.Hydrate != nil && len(dirtyPaths) > 0 {
+		c.Hydrate(dirtyPaths)
+	}
 
 	// Pass 2: recompute the dirty rows in parallel (the NLOC text scans
 	// dominate).

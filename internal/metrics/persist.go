@@ -29,6 +29,9 @@ func (c *Cache) ExportRows() (map[string]*FileMetrics, bool) {
 		if ms == nil || !ms.valid || ms.gen != sh.Gen() {
 			return nil, false
 		}
+		if ms.perFile == nil && !ms.thawEntries() {
+			return nil, false
+		}
 		for _, p := range sh.Paths() {
 			e, present := ms.perFile[p]
 			if !present {
@@ -38,6 +41,38 @@ func (c *Cache) ExportRows() (map[string]*FileMetrics, bool) {
 		}
 	}
 	return out, true
+}
+
+// RowLoader supplies a restored cache's per-shard rows on demand — the
+// lazy face of a snapshot. ok=false degrades the shard to a recompute,
+// never to wrong output.
+type RowLoader interface {
+	// ShardRows returns a module shard's rows aligned with its
+	// snapshot-time sorted path list.
+	ShardRows(module string) ([]*FileMetrics, bool)
+	// ShardKeys returns the shard's snapshot-time paths and content
+	// hashes (the expensive half; called only when the shard dirties).
+	ShardKeys(module string) ([]string, []uint64, bool)
+}
+
+// RestoreRowsLazy seeds the cache against a freshly restored index with
+// every shard sealed: rows materialize at the first AnalyzeIndexed, the
+// per-file maps and content hashes only when a delta dirties the shard.
+// Equivalent to RestoreRows in observable output.
+func (c *Cache) RestoreRowsLazy(ix *artifact.Index, loader RowLoader) {
+	c.ix = ix
+	c.shards = make(map[string]*metricShard, len(ix.ShardNames()))
+	for _, m := range ix.ShardNames() {
+		sh := ix.Shard(m)
+		module := m
+		c.shards[m] = &metricShard{
+			gen:      sh.Gen(),
+			valid:    true,
+			loadRows: func() ([]*FileMetrics, bool) { return loader.ShardRows(module) },
+			thawKeys: func() ([]string, []uint64, bool) { return loader.ShardKeys(module) },
+		}
+	}
+	c.lastDirty = 0
 }
 
 // RestoreRows seeds the cache with persisted per-file rows against a

@@ -16,8 +16,10 @@ import (
 // entry per indexed path, possibly empty) and the corpus-level segment.
 // It reports ok=false when the engine holds no complete warm state for
 // its current index — callers run the engine once (core.Assessor
-// .Findings) before snapshotting. The returned slices are the live
-// cache entries; callers must not mutate them.
+// .Findings) before snapshotting. Sealed (lazily restored, never
+// dirtied) shards are thawed here: compaction re-snapshots the whole
+// corpus, so it materializes whatever restore deferred. The returned
+// slices are the live cache entries; callers must not mutate them.
 func (s *Sharded) ExportCache() (perFile map[string][]Finding, corpus []Finding, ok bool) {
 	if s.fused == nil || s.ix == nil || !s.haveEnv || !s.haveCorpus {
 		return nil, nil, false
@@ -29,6 +31,9 @@ func (s *Sharded) ExportCache() (perFile map[string][]Finding, corpus []Finding,
 		if seg == nil || !seg.valid || seg.gen != sh.Gen() {
 			return nil, nil, false
 		}
+		if seg.perFile == nil && !seg.thawEntries() {
+			return nil, nil, false
+		}
 		for _, p := range sh.Paths() {
 			e, present := seg.perFile[p]
 			if !present {
@@ -38,6 +43,60 @@ func (s *Sharded) ExportCache() (perFile map[string][]Finding, corpus []Finding,
 		}
 	}
 	return perFile, s.corpusSeg, true
+}
+
+// ShardLoader supplies a restored engine's per-shard warm state on
+// demand — the lazy face of a snapshot (internal/store decodes one
+// shard's block on first touch). Both methods report ok=false when the
+// shard's block cannot be produced; the engine then treats the shard
+// as cold and recomputes it, so a lazy-decode failure degrades to work,
+// never to wrong output.
+type ShardLoader interface {
+	// ShardFindings returns the per-path finding lists of a module's
+	// shard, aligned with the shard's snapshot-time sorted path list.
+	ShardFindings(module string) ([][]Finding, bool)
+	// ShardKeys returns the shard's snapshot-time paths and the content
+	// hashes of the sources those findings were computed from. This is
+	// the expensive half (hashing O(shard bytes)); the engine only calls
+	// it when a delta actually dirties the shard.
+	ShardKeys(module string) ([]string, []uint64, bool)
+}
+
+// RestoreCacheLazy seeds the engine against a freshly restored index
+// without materializing any per-shard state: every shard starts sealed,
+// holding only its generation and a loader. The first Run materializes
+// each shard's finding segment (the merge needs every segment), but the
+// per-file entry maps — and the content hashes behind them — stay
+// deferred until a delta dirties the shard. On an unchanged corpus the
+// restored engine therefore never hashes a single file.
+//
+// The environment and corpus keys are recomputed from the index (O(#
+// shards) when the shard signatures were seeded), so the next Run over
+// an unchanged corpus re-checks zero files, exactly like RestoreCache.
+func (s *Sharded) RestoreCacheLazy(ix *artifact.Index, corpus []Finding, loader ShardLoader) {
+	if s.fused == nil {
+		return // non-fused rule sets never cache; Run falls back cold
+	}
+	s.reset(ix)
+	s.export, s.haveEnv = ix.ExportOverlay(), true
+	s.corpusKey = [2]uint64{ix.GraphOverlay(), s.export}
+	s.haveCorpus = true
+	s.corpusSeg = corpus
+	s.corpusStat = Aggregate(corpus)
+	for _, m := range ix.ShardNames() {
+		sh := ix.Shard(m)
+		module := m
+		s.shards[m] = &shardSeg{
+			gen:   sh.Gen(),
+			valid: true,
+			load:  func() ([][]Finding, bool) { return loader.ShardFindings(module) },
+			thaw:  func() ([]string, []uint64, bool) { return loader.ShardKeys(module) },
+		}
+	}
+	// Per-shard stats fold lazily with the segments; s.stats is only
+	// read after a Run, which materializes them first.
+	s.stats = nil
+	s.lastDirty = 0
 }
 
 // RestoreCache seeds the engine with persisted per-file finding lists

@@ -58,12 +58,54 @@ type Sharded struct {
 }
 
 // shardSeg is the engine's cached state for one module shard.
+//
+// A snapshot-restored segment starts *sealed*: valid at its shard's
+// generation but holding neither the segment nor the per-file map —
+// only the two loaders. The segment (and its stats partial)
+// materializes at the first Run, because the global merge reads every
+// segment; the per-file map and the content hashes inside it thaw only
+// when a delta dirties the shard. perFile == nil is the sealed marker.
 type shardSeg struct {
 	gen     uint64 // artifact shard generation this segment matches
 	valid   bool
 	perFile map[string]incrEntry
 	seg     []Finding
 	stats   *Stats
+
+	// load/thaw are the snapshot loaders of a sealed segment (nil on
+	// segments that never went through a lazy restore). segReady records
+	// that seg/stats were materialized from load; the loaders stay set
+	// until thawEntries so a later dirtying can still build perFile.
+	load     func() ([][]Finding, bool)
+	thaw     func() ([]string, []uint64, bool)
+	segReady bool
+}
+
+// thawEntries materializes a sealed segment's per-file map from its
+// loaders: the snapshot-time paths, the content hashes of the sources
+// the findings came from, and the finding lists themselves. Returns
+// false when the shard's block cannot be decoded — the caller then
+// treats every file as dirty, which recomputes the shard instead of
+// serving anything stale.
+func (seg *shardSeg) thawEntries() bool {
+	if seg.thaw == nil {
+		return false
+	}
+	load, thaw := seg.load, seg.thaw
+	seg.load, seg.thaw = nil, nil
+	paths, hashes, ok := thaw()
+	if !ok || len(paths) != len(hashes) {
+		return false
+	}
+	fss, ok := load()
+	if !ok || len(fss) != len(paths) {
+		return false
+	}
+	seg.perFile = make(map[string]incrEntry, len(paths))
+	for i, p := range paths {
+		seg.perFile[p] = incrEntry{hash: hashes[i], findings: fss[i]}
+	}
+	return true
 }
 
 // NewSharded creates a sharded incremental engine over the given rule
@@ -151,10 +193,44 @@ func (s *Sharded) Run(ctx *Context) []Finding {
 			s.shards[m] = seg
 		}
 		if invalidate {
-			clear(seg.perFile)
+			// Sealed or not, the cached findings are keyed on cross-file
+			// facts that just changed: drop everything, including any
+			// not-yet-decoded snapshot state.
+			seg.load, seg.thaw, seg.segReady = nil, nil, false
+			if seg.perFile == nil {
+				seg.perFile = make(map[string]incrEntry)
+			} else {
+				clear(seg.perFile)
+			}
 			seg.valid = false
 		} else if seg.valid && seg.gen == sh.Gen() {
-			continue // clean shard: segment and stats reused as-is
+			if seg.load == nil || seg.segReady {
+				continue // clean shard: segment and stats reused as-is
+			}
+			// Sealed clean shard: materialize the segment only (the merge
+			// below reads every segment); the per-file map and its content
+			// hashes stay deferred until something dirties the shard.
+			if fss, ok := seg.load(); ok && len(fss) == sh.Len() {
+				total := 0
+				for _, fs := range fss {
+					total += len(fs)
+				}
+				seg.seg = make([]Finding, 0, total)
+				for _, fs := range fss {
+					seg.seg = append(seg.seg, fs...)
+				}
+				seg.stats = Aggregate(seg.seg)
+				seg.segReady = true
+				continue
+			}
+			// The shard's snapshot block would not decode: forget it and
+			// recompute the shard from scratch.
+			seg.load, seg.thaw = nil, nil
+			seg.perFile = make(map[string]incrEntry)
+			seg.valid = false
+		}
+		if seg.perFile == nil && !seg.thawEntries() {
+			seg.perFile = make(map[string]incrEntry)
 		}
 		paths := sh.Paths()
 		for _, p := range paths {

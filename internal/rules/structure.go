@@ -508,27 +508,41 @@ func (r *ShadowRule) Fuse(rg *Registrar, ctx *Context) {
 	})
 }
 
-// checkFunc runs the scoped shadowing analysis over one function.
+// checkFunc runs the scoped shadowing analysis over one function. Scopes
+// are kept on one name stack with frame marks instead of per-block map
+// copies: function scopes hold a handful of names, so a linear scan beats
+// allocating and copying a map at every nesting level (this is the rule
+// engine's hottest allocation site on large corpora).
 func (r *ShadowRule) checkFunc(ctx *Context, fi *FuncInfo) []Finding {
 	var out []Finding
-	outer := make(map[string]bool)
+	var names []string
 	for _, p := range fi.Decl.Params {
-		outer[p.Name] = true
+		names = append(names, p.Name)
 	}
-	var walkBlock func(b *ccast.Block, scope map[string]bool)
-	walkBlock = func(b *ccast.Block, scope map[string]bool) {
+	inScope := func(n string) bool {
+		for i := len(names) - 1; i >= 0; i-- {
+			if names[i] == n {
+				return true
+			}
+		}
+		return false
+	}
+	var walkBlock func(b *ccast.Block)
+	nested := func(s ccast.Stmt) {
+		if blk, ok := s.(*ccast.Block); ok {
+			walkBlock(blk)
+		}
+	}
+	walkBlock = func(b *ccast.Block) {
 		if b == nil {
 			return
 		}
-		local := make(map[string]bool)
-		for k := range scope {
-			local[k] = true
-		}
+		mark := len(names)
 		for _, s := range b.Stmts {
 			switch s := s.(type) {
 			case *ccast.DeclStmt:
 				for _, d := range s.Decl.Names {
-					if local[d.Name] {
+					if inScope(d.Name) {
 						out = append(out, finding(r.ID(), Warning, fi, d.Span().Start.Line,
 							fmt.Sprintf("declaration of %q shadows an outer declaration", d.Name),
 							refUniqueNames, refNoHiddenFlow))
@@ -537,45 +551,38 @@ func (r *ShadowRule) checkFunc(ctx *Context, fi *FuncInfo) []Finding {
 							fmt.Sprintf("declaration of %q shadows a global variable", d.Name),
 							refUniqueNames, refNoHiddenFlow))
 					}
-					local[d.Name] = true
+					names = append(names, d.Name)
 				}
 			case *ccast.Block:
-				walkBlock(s, local)
+				walkBlock(s)
 			case *ccast.If:
-				walkNested(s.Then, local, walkBlock)
-				walkNested(s.Else, local, walkBlock)
+				nested(s.Then)
+				nested(s.Else)
 			case *ccast.While:
-				walkNested(s.Body, local, walkBlock)
+				nested(s.Body)
 			case *ccast.DoWhile:
-				walkNested(s.Body, local, walkBlock)
+				nested(s.Body)
 			case *ccast.For:
-				inner := make(map[string]bool)
-				for k := range local {
-					inner[k] = true
-				}
+				forMark := len(names)
 				if ds, ok := s.Init.(*ccast.DeclStmt); ok {
 					for _, d := range ds.Decl.Names {
-						inner[d.Name] = true
+						names = append(names, d.Name)
 					}
 				}
-				walkNested(s.Body, inner, walkBlock)
+				nested(s.Body)
+				names = names[:forMark]
 			case *ccast.Switch:
 				for _, c := range s.Cases {
 					for _, cs := range c.Body {
 						if blk, ok := cs.(*ccast.Block); ok {
-							walkBlock(blk, local)
+							walkBlock(blk)
 						}
 					}
 				}
 			}
 		}
+		names = names[:mark]
 	}
-	walkBlock(fi.Decl.Body, outer)
+	walkBlock(fi.Decl.Body)
 	return out
-}
-
-func walkNested(s ccast.Stmt, scope map[string]bool, walkBlock func(*ccast.Block, map[string]bool)) {
-	if blk, ok := s.(*ccast.Block); ok {
-		walkBlock(blk, scope)
-	}
 }

@@ -128,16 +128,26 @@ func (f *File) Hash() uint64 {
 	if f.hashOK && f.hashSrc == f.Src {
 		return f.hashVal
 	}
+	h := HashSrc(f.Src)
+	f.hashVal, f.hashSrc, f.hashOK = h, f.Src, true
+	return h
+}
+
+// HashSrc returns the content hash of a source string — the same value
+// Hash memoizes for a File holding it. Callers that retained a source
+// string (snapshot restore defers hashing until a shard is touched, and
+// FileSet.Add replaces file structs in place, so a retained *File may
+// no longer hold the retained content) hash the string directly.
+func HashSrc(src string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for i := 0; i < len(f.Src); i++ {
-		h ^= uint64(f.Src[i])
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
 		h *= prime64
 	}
-	f.hashVal, f.hashSrc, f.hashOK = h, f.Src, true
 	return h
 }
 

@@ -62,8 +62,17 @@ func (e *enc) strings(ss []string) {
 
 // dec is the matching sticky-error reader: after the first error every
 // accessor returns the zero value, and the caller checks err once.
+//
+// dec reads from a string, not a []byte: string() then returns a
+// zero-copy substring of the input. Snapshot decode exploits this by
+// converting the raw snapshot to a string once — every decoded path,
+// source, and message is a view into that one buffer instead of its
+// own allocation, which is most of what snapshot decode used to do.
+// The trade-off is pinning: decoded state keeps the whole snapshot
+// buffer alive, which is fine for the assessor (the sources it pins
+// are the bulk of the buffer and resident anyway).
 type dec struct {
-	buf []byte
+	buf string
 	off int
 	err error
 }
@@ -78,13 +87,23 @@ func (d *dec) uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
-	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
-		d.fail("bad varint")
-		return 0
+	// binary.Uvarint over a string, inlined (the encoding package only
+	// reads []byte and converting would copy).
+	var v uint64
+	for i, s := 0, 0; d.off+i < len(d.buf); i++ {
+		b := d.buf[d.off+i]
+		if i == 9 && b > 1 {
+			break // overflows uint64
+		}
+		if b < 0x80 {
+			d.off += i + 1
+			return v | uint64(b)<<s
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
 	}
-	d.off += n
-	return v
+	d.fail("bad varint")
+	return 0
 }
 
 // int decodes a non-negative int, guarding against values that cannot
@@ -129,7 +148,7 @@ func (d *dec) string() string {
 	if d.err != nil {
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+n])
+	s := d.buf[d.off : d.off+n]
 	d.off += n
 	return s
 }

@@ -234,7 +234,9 @@ func encodeDeltaRecord(gen uint64, changed []*srcfile.File, removed []string) []
 }
 
 func decodeDeltaRecord(payload []byte) (gen uint64, changed []*srcfile.File, removed []string, err error) {
-	d := &dec{buf: payload}
+	// The copy detaches the decoded strings from the (reusable) record
+	// buffer; journal records are delta-sized, so this is cheap.
+	d := &dec{buf: string(payload)}
 	if op := d.byte(); d.err == nil && op != opDelta {
 		return 0, nil, nil, fmt.Errorf("%w: unknown journal op %d", errCorrupt, op)
 	}

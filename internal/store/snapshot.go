@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
@@ -11,24 +12,41 @@ import (
 	"repro/internal/srcfile"
 )
 
-// Snapshot format, version 1.
+// Snapshot format, version 2.
 //
 //	magic   "ADSNAP01"                         (8 bytes)
-//	version u32 little-endian                  (= 1)
+//	version u32 little-endian                  (= 2)
 //	section*                                   (one per tag, any order)
-//	  tag      u8      ('H', 'F', 'U', 'R', 'M')
+//	  tag      u8      ('H', 'D', 'F', 'U', 'R', 'M')
 //	  length   u32 LE  (payload bytes)
 //	  payload  [length]byte
 //	  crc32    u32 LE  (IEEE, over the payload)
 //
 // Sections: H carries the snapshot generation, the target ASIL, and
-// the rule-set fingerprint; F the corpus files (insertion order); U the
-// per-unit analysis facts (sorted path order); R the per-file and
-// corpus finding segments; M the per-file metric rows. Every section
-// must appear exactly once. Integers inside payloads are unsigned
-// varints; strings are length-prefixed bytes. Any truncation, bit
-// flip, or trailing garbage fails decode with a wrapped "corrupt data"
-// error.
+// the rule-set fingerprint; F the corpus files (insertion order). The
+// remaining state is partitioned by module shard — the same partition
+// the artifact index derives from the files — and laid out as
+// concatenated per-shard blocks:
+//
+//	U  per shard: the shard's unit facts in sorted path order;
+//	R  per shard: one finding list per path (positional — paths come
+//	   from the shard's U block), then one trailing corpus-level block;
+//	M  per shard: one metric row per path (positional).
+//
+// D is the shard directory: for every shard its module, file count,
+// memoized export/graph signatures, and the (offset, length) extents
+// of its U, R, and M blocks inside those sections, plus the extent of
+// the corpus finding block in R. A reader that knows which shards it
+// needs decodes the header, the directory, and the files — everything
+// else is reachable without scanning: boot is O(header + touched
+// shards), and the lazy Snapshot type below decodes each block on
+// first touch.
+//
+// Every section must appear exactly once and is CRC-checked eagerly at
+// open, so lazy block decode never reads unchecksummed bytes. Integers
+// inside payloads are unsigned varints; strings are length-prefixed
+// bytes. Any truncation, bit flip, or trailing garbage fails open (or
+// the eager DecodeSnapshot) with a wrapped "corrupt data" error.
 //
 // The generation is a random nonzero 64-bit tag drawn per snapshot
 // write; journal records carry the generation they were appended
@@ -39,35 +57,75 @@ import (
 
 const (
 	snapMagic   = "ADSNAP01"
-	snapVersion = 1
+	snapVersion = 2
 )
 
-var snapTags = []byte{'H', 'F', 'U', 'R', 'M'}
+var snapTags = []byte{'H', 'D', 'F', 'U', 'R', 'M'}
+
+// Extent locates one shard's block inside a section payload.
+type Extent struct {
+	Off int
+	Len int
+}
+
+// SnapShard is one shard directory entry.
+type SnapShard struct {
+	// Module is the shard key.
+	Module string
+	// Files is the number of unit paths (and finding lists, and metric
+	// rows) in the shard's blocks.
+	Files int
+	// HasSigs reports whether the writer persisted the shard's
+	// signatures (SigExport, SigGraph below).
+	HasSigs bool
+	// SigExport and SigGraph are the shard's memoized export and graph
+	// signatures at snapshot time (see internal/artifact).
+	SigExport uint64
+	SigGraph  uint64
+	// Units, Findings, Metrics are the shard's block extents inside the
+	// U, R, and M section payloads respectively.
+	Units    Extent
+	Findings Extent
+	Metrics  Extent
+}
+
+// groupUnits partitions a persisted state's units by module shard —
+// the partition the artifact index will derive on restore. Unit order
+// inside a group follows st.Units (sorted path order), so each group
+// is itself path-sorted.
+func groupUnits(st *core.PersistedState) (names []string, groups map[string][]int) {
+	modOf := make(map[string]string, len(st.Files))
+	for i := range st.Files {
+		pf := &st.Files[i]
+		f := srcfile.File{Path: pf.Path, Module: pf.Module}
+		modOf[pf.Path] = f.ModuleName()
+	}
+	groups = make(map[string][]int)
+	for i := range st.Units {
+		m, ok := modOf[st.Units[i].Path]
+		if !ok {
+			f := srcfile.File{Path: st.Units[i].Path}
+			m = f.ModuleName()
+		}
+		groups[m] = append(groups[m], i)
+	}
+	names = make([]string, 0, len(groups))
+	for m := range groups {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names, groups
+}
 
 // EncodeSnapshot renders a persisted state into the versioned binary
 // snapshot format under the given generation tag.
 func EncodeSnapshot(st *core.PersistedState, gen uint64) []byte {
-	var out enc
-	out.buf = make([]byte, 0, snapshotSizeHint(st))
-	out.buf = append(out.buf, snapMagic...)
-	var v4 [4]byte
-	putU32(v4[:], snapVersion)
-	out.buf = append(out.buf, v4[:]...)
-
-	section := func(tag byte, payload []byte) {
-		out.byte(tag)
-		putU32(v4[:], uint32(len(payload)))
-		out.buf = append(out.buf, v4[:]...)
-		out.buf = append(out.buf, payload...)
-		putU32(v4[:], crc(payload))
-		out.buf = append(out.buf, v4[:]...)
-	}
+	names, groups := groupUnits(st)
 
 	var h enc
 	h.uvarint(gen)
 	h.int(int(st.Target))
 	h.strings(st.RuleIDs)
-	section('H', h.buf)
 
 	var f enc
 	f.int(len(st.Files))
@@ -78,106 +136,254 @@ func EncodeSnapshot(st *core.PersistedState, gen uint64) []byte {
 		f.byte(byte(pf.Lang))
 		f.string(pf.Src)
 	}
-	section('F', f.buf)
 
-	var u enc
-	u.int(len(st.Units))
-	for i := range st.Units {
-		uf := &st.Units[i]
-		u.string(uf.Path)
-		u.int(len(uf.Funcs))
-		for k := range uf.Funcs {
-			ft := &uf.Funcs[k]
-			u.string(ft.Name)
-			u.bool(ft.Void)
-			u.int(ft.Line)
-			u.int(ft.Params)
-			u.int(ft.CCN)
-			u.int(ft.Returns)
-			u.strings(ft.Calls)
+	// Per-shard blocks, extents recorded as each block closes.
+	var u, r, m enc
+	uExt := make([]Extent, len(names))
+	rExt := make([]Extent, len(names))
+	mExt := make([]Extent, len(names))
+	for k, name := range names {
+		uAt, rAt, mAt := len(u.buf), len(r.buf), len(m.buf)
+		for _, i := range groups[name] {
+			uf := &st.Units[i]
+			encodeUnit(&u, uf)
+			encodeFindings(&r, st.FileFindings[uf.Path])
+			encodeMetricRow(&m, st.MetricRows[uf.Path])
 		}
-		u.strings(uf.Globals)
+		uExt[k] = Extent{uAt, len(u.buf) - uAt}
+		rExt[k] = Extent{rAt, len(r.buf) - rAt}
+		mExt[k] = Extent{mAt, len(m.buf) - mAt}
 	}
-	section('U', u.buf)
-
-	var r enc
-	r.int(len(st.Units))
-	for i := range st.Units {
-		p := st.Units[i].Path
-		r.string(p)
-		encodeFindings(&r, st.FileFindings[p])
-	}
+	corpusAt := len(r.buf)
 	encodeFindings(&r, st.CorpusFindings)
-	section('R', r.buf)
 
-	var m enc
-	m.int(len(st.Units))
-	for i := range st.Units {
-		p := st.Units[i].Path
-		m.string(p)
-		encodeMetricRow(&m, st.MetricRows[p])
+	var d enc
+	d.int(len(names))
+	for k, name := range names {
+		d.string(name)
+		d.int(len(groups[name]))
+		sig, ok := st.ShardSigs[name]
+		d.bool(ok)
+		d.uvarint(sig[0])
+		d.uvarint(sig[1])
+		d.int(uExt[k].Off)
+		d.int(uExt[k].Len)
+		d.int(rExt[k].Off)
+		d.int(rExt[k].Len)
+		d.int(mExt[k].Off)
+		d.int(mExt[k].Len)
 	}
-	section('M', m.buf)
+	d.int(corpusAt)
+	d.int(len(r.buf) - corpusAt)
 
+	var out enc
+	out.buf = make([]byte, 0, snapshotSizeHint(st))
+	out.buf = append(out.buf, snapMagic...)
+	var v4 [4]byte
+	putU32(v4[:], snapVersion)
+	out.buf = append(out.buf, v4[:]...)
+	section := func(tag byte, payload []byte) {
+		out.byte(tag)
+		putU32(v4[:], uint32(len(payload)))
+		out.buf = append(out.buf, v4[:]...)
+		out.buf = append(out.buf, payload...)
+		putU32(v4[:], crc(payload))
+		out.buf = append(out.buf, v4[:]...)
+	}
+	section('H', h.buf)
+	section('D', d.buf)
+	section('F', f.buf)
+	section('U', u.buf)
+	section('R', r.buf)
+	section('M', m.buf)
 	return out.buf
 }
 
-// DecodeSnapshot parses and validates a snapshot, returning the
-// persisted state it holds and its generation tag.
-func DecodeSnapshot(raw []byte) (*core.PersistedState, uint64, error) {
+// Snapshot is a lazily decoded snapshot: opening one validates every
+// section checksum and decodes the header and shard directory, but
+// each shard's unit facts, finding lists, and metric rows decode only
+// when first asked for. It implements core.StateSource, so
+// core.RestoreAssessorFrom can pull shard blocks on first touch.
+//
+// All decoded strings are zero-copy views into the snapshot buffer;
+// holding any of them (the restored corpus does) pins the buffer,
+// which is dominated by the sources the corpus needs resident anyway.
+type Snapshot struct {
+	gen     uint64
+	target  iso26262.ASIL
+	ruleIDs []string
+
+	// Section payloads as views of the one raw string, plus their
+	// absolute offsets in the snapshot (for inspection tooling).
+	fRaw, uRaw, rRaw, mRaw     string
+	fBase, uBase, rBase, mBase int
+
+	shards []SnapShard
+	byMod  map[string]*SnapShard
+	corpus Extent
+
+	files     []core.PersistedFile
+	filesErr  error
+	filesDone bool
+}
+
+// OpenSnapshot parses a snapshot's framing: magic, version, section
+// checksums, header, and shard directory. No shard block is decoded.
+func OpenSnapshot(raw []byte) (*Snapshot, error) {
 	if len(raw) < len(snapMagic)+4 {
-		return nil, 0, fmt.Errorf("%w: snapshot shorter than its header", errCorrupt)
+		return nil, fmt.Errorf("%w: snapshot shorter than its header", errCorrupt)
 	}
 	if string(raw[:len(snapMagic)]) != snapMagic {
-		return nil, 0, fmt.Errorf("%w: bad snapshot magic", errCorrupt)
+		return nil, fmt.Errorf("%w: bad snapshot magic", errCorrupt)
 	}
 	if v := getU32(raw[len(snapMagic):]); v != snapVersion {
-		return nil, 0, fmt.Errorf("unsupported snapshot version %d (this build reads %d)", v, snapVersion)
+		return nil, fmt.Errorf("unsupported snapshot version %d (this build reads %d)", v, snapVersion)
 	}
-	sections := make(map[byte][]byte, len(snapTags))
+	// One string conversion for the whole buffer: every decoded string
+	// below is a zero-copy view into it.
+	all := string(raw)
+	type section struct {
+		payload string
+		base    int
+	}
+	sections := make(map[byte]section, len(snapTags))
 	off := len(snapMagic) + 4
 	for off < len(raw) {
 		if len(raw)-off < 1+4 {
-			return nil, 0, fmt.Errorf("%w: truncated section header", errCorrupt)
+			return nil, fmt.Errorf("%w: truncated section header", errCorrupt)
 		}
 		tag := raw[off]
 		n := int(getU32(raw[off+1:]))
 		off += 5
-		if len(raw)-off < n+4 {
-			return nil, 0, fmt.Errorf("%w: truncated section %q", errCorrupt, tag)
+		if n < 0 || len(raw)-off < n+4 {
+			return nil, fmt.Errorf("%w: truncated section %q", errCorrupt, tag)
 		}
 		payload := raw[off : off+n]
+		base := off
 		off += n
 		if got, want := crc(payload), getU32(raw[off:]); got != want {
-			return nil, 0, fmt.Errorf("%w: section %q checksum mismatch (%08x != %08x)", errCorrupt, tag, got, want)
+			return nil, fmt.Errorf("%w: section %q checksum mismatch (%08x != %08x)", errCorrupt, tag, got, want)
 		}
 		off += 4
 		if _, dup := sections[tag]; dup {
-			return nil, 0, fmt.Errorf("%w: duplicate section %q", errCorrupt, tag)
+			return nil, fmt.Errorf("%w: duplicate section %q", errCorrupt, tag)
 		}
-		sections[tag] = payload
+		sections[tag] = section{payload: all[base : base+n], base: base}
 	}
 	for _, tag := range snapTags {
 		if _, ok := sections[tag]; !ok {
-			return nil, 0, fmt.Errorf("%w: missing section %q", errCorrupt, tag)
+			return nil, fmt.Errorf("%w: missing section %q", errCorrupt, tag)
 		}
 	}
 
-	st := &core.PersistedState{}
-
-	h := &dec{buf: sections['H']}
-	gen := h.uvarint()
-	st.Target = iso26262.ASIL(h.int())
-	st.RuleIDs = h.stringsList()
-	if err := h.done(); err != nil {
-		return nil, 0, fmt.Errorf("snapshot header: %w", err)
+	s := &Snapshot{
+		fRaw: sections['F'].payload, fBase: sections['F'].base,
+		uRaw: sections['U'].payload, uBase: sections['U'].base,
+		rRaw: sections['R'].payload, rBase: sections['R'].base,
+		mRaw: sections['M'].payload, mBase: sections['M'].base,
 	}
 
-	f := &dec{buf: sections['F']}
-	nFiles := f.length()
-	st.Files = make([]core.PersistedFile, 0, nFiles)
-	for i := 0; i < nFiles && f.err == nil; i++ {
-		st.Files = append(st.Files, core.PersistedFile{
+	h := &dec{buf: sections['H'].payload}
+	s.gen = h.uvarint()
+	s.target = iso26262.ASIL(h.int())
+	s.ruleIDs = h.stringsList()
+	if err := h.done(); err != nil {
+		return nil, fmt.Errorf("snapshot header: %w", err)
+	}
+
+	d := &dec{buf: sections['D'].payload}
+	n := d.int()
+	if d.err == nil && n > len(d.buf) {
+		// A shard entry is well over a byte; bound the allocation.
+		d.fail("shard count exceeds directory size")
+	}
+	s.shards = make([]SnapShard, 0, n)
+	s.byMod = make(map[string]*SnapShard, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sh := SnapShard{
+			Module:  d.string(),
+			Files:   d.int(),
+			HasSigs: d.bool(),
+		}
+		sh.SigExport = d.uvarint()
+		sh.SigGraph = d.uvarint()
+		sh.Units = Extent{d.int(), d.int()}
+		sh.Findings = Extent{d.int(), d.int()}
+		sh.Metrics = Extent{d.int(), d.int()}
+		s.shards = append(s.shards, sh)
+	}
+	s.corpus = Extent{d.int(), d.int()}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("snapshot directory: %w", err)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if prev, dup := s.byMod[sh.Module]; dup && prev != nil {
+			return nil, fmt.Errorf("%w: duplicate shard %q in directory", errCorrupt, sh.Module)
+		}
+		if !extentOK(sh.Units, len(s.uRaw)) || !extentOK(sh.Findings, len(s.rRaw)) || !extentOK(sh.Metrics, len(s.mRaw)) {
+			return nil, fmt.Errorf("%w: shard %q extent out of section bounds", errCorrupt, sh.Module)
+		}
+		s.byMod[sh.Module] = sh
+	}
+	if !extentOK(s.corpus, len(s.rRaw)) {
+		return nil, fmt.Errorf("%w: corpus finding extent out of section bounds", errCorrupt)
+	}
+	return s, nil
+}
+
+func extentOK(e Extent, n int) bool {
+	return e.Off >= 0 && e.Len >= 0 && e.Off <= n && e.Len <= n-e.Off
+}
+
+// Gen returns the snapshot's generation tag.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// Target returns the snapshotted target ASIL.
+func (s *Snapshot) Target() iso26262.ASIL { return s.target }
+
+// RuleIDs returns the snapshotted rule-set fingerprint.
+func (s *Snapshot) RuleIDs() []string { return s.ruleIDs }
+
+// Directory returns the shard directory (a copy; offsets are relative
+// to their section payloads — see SectionBounds for the absolutes).
+func (s *Snapshot) Directory() []SnapShard {
+	out := make([]SnapShard, len(s.shards))
+	copy(out, s.shards)
+	return out
+}
+
+// CorpusExtent returns the corpus-level finding block's extent inside
+// the R section.
+func (s *Snapshot) CorpusExtent() Extent { return s.corpus }
+
+// SectionBounds returns the absolute snapshot offset and size of the
+// U, R, and M section payloads ('U', 'R', 'M'; zeroes otherwise).
+func (s *Snapshot) SectionBounds(tag byte) (base, size int) {
+	switch tag {
+	case 'F':
+		return s.fBase, len(s.fRaw)
+	case 'U':
+		return s.uBase, len(s.uRaw)
+	case 'R':
+		return s.rBase, len(s.rRaw)
+	case 'M':
+		return s.mBase, len(s.mRaw)
+	}
+	return 0, 0
+}
+
+// Files decodes (once) and returns the corpus files.
+func (s *Snapshot) Files() ([]core.PersistedFile, error) {
+	if s.filesDone {
+		return s.files, s.filesErr
+	}
+	s.filesDone = true
+	f := &dec{buf: s.fRaw}
+	n := f.length()
+	files := make([]core.PersistedFile, 0, n)
+	for i := 0; i < n && f.err == nil; i++ {
+		files = append(files, core.PersistedFile{
 			Path:   f.string(),
 			Module: f.string(),
 			Lang:   srcfile.Language(f.byte()),
@@ -185,57 +391,204 @@ func DecodeSnapshot(raw []byte) (*core.PersistedState, uint64, error) {
 		})
 	}
 	if err := f.done(); err != nil {
-		return nil, 0, fmt.Errorf("snapshot files: %w", err)
+		s.filesErr = fmt.Errorf("snapshot files: %w", err)
+		return nil, s.filesErr
 	}
+	s.files = files
+	return files, nil
+}
 
-	u := &dec{buf: sections['U']}
-	nUnits := u.length()
-	st.Units = make([]artifact.UnitFacts, 0, nUnits)
-	for i := 0; i < nUnits && u.err == nil; i++ {
-		uf := artifact.UnitFacts{Path: u.string()}
-		nf := u.length()
-		uf.Funcs = make([]artifact.FuncFacts, 0, nf)
-		for k := 0; k < nf && u.err == nil; k++ {
-			uf.Funcs = append(uf.Funcs, artifact.FuncFacts{
-				Name:    u.string(),
-				Void:    u.bool(),
-				Line:    u.int(),
-				Params:  u.int(),
-				CCN:     u.int(),
-				Returns: u.int(),
-				Calls:   u.stringsList(),
-			})
+// ShardNames lists the directory's modules in directory order (the
+// writer sorts them).
+func (s *Snapshot) ShardNames() []string {
+	out := make([]string, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].Module
+	}
+	return out
+}
+
+// ShardSigs returns a shard's persisted signatures.
+func (s *Snapshot) ShardSigs(module string) (export, graph uint64, ok bool) {
+	sh := s.byMod[module]
+	if sh == nil || !sh.HasSigs {
+		return 0, 0, false
+	}
+	return sh.SigExport, sh.SigGraph, true
+}
+
+// ShardUnits decodes one shard's unit facts.
+func (s *Snapshot) ShardUnits(module string) ([]artifact.UnitFacts, error) {
+	sh := s.byMod[module]
+	if sh == nil {
+		return nil, fmt.Errorf("%w: no shard %q in the snapshot directory", errCorrupt, module)
+	}
+	d := &dec{buf: s.uRaw[sh.Units.Off : sh.Units.Off+sh.Units.Len]}
+	out := make([]artifact.UnitFacts, 0, sh.Files)
+	for i := 0; i < sh.Files && d.err == nil; i++ {
+		out = append(out, decodeUnit(d))
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("snapshot shard %q units: %w", module, err)
+	}
+	return out, nil
+}
+
+// ShardFindings decodes one shard's finding lists (positional, aligned
+// with the shard's unit path order).
+func (s *Snapshot) ShardFindings(module string) ([][]rules.Finding, error) {
+	sh := s.byMod[module]
+	if sh == nil {
+		return nil, fmt.Errorf("%w: no shard %q in the snapshot directory", errCorrupt, module)
+	}
+	d := &dec{buf: s.rRaw[sh.Findings.Off : sh.Findings.Off+sh.Findings.Len]}
+	out := make([][]rules.Finding, 0, sh.Files)
+	for i := 0; i < sh.Files && d.err == nil; i++ {
+		out = append(out, decodeFindings(d))
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("snapshot shard %q findings: %w", module, err)
+	}
+	return out, nil
+}
+
+// CorpusFindings decodes the corpus-level finding block.
+func (s *Snapshot) CorpusFindings() ([]rules.Finding, error) {
+	d := &dec{buf: s.rRaw[s.corpus.Off : s.corpus.Off+s.corpus.Len]}
+	out := decodeFindings(d)
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("snapshot corpus findings: %w", err)
+	}
+	return out, nil
+}
+
+// ShardMetrics decodes one shard's metric rows against its path list
+// (rows are positional on the wire; the caller supplies the shard's
+// snapshot-time paths, which core validated against the index).
+func (s *Snapshot) ShardMetrics(module string, paths []string) ([]*metrics.FileMetrics, error) {
+	sh := s.byMod[module]
+	if sh == nil {
+		return nil, fmt.Errorf("%w: no shard %q in the snapshot directory", errCorrupt, module)
+	}
+	if len(paths) != sh.Files {
+		return nil, fmt.Errorf("%w: shard %q holds %d rows, asked for %d paths", errCorrupt, module, sh.Files, len(paths))
+	}
+	d := &dec{buf: s.mRaw[sh.Metrics.Off : sh.Metrics.Off+sh.Metrics.Len]}
+	out := make([]*metrics.FileMetrics, 0, sh.Files)
+	for i := 0; i < sh.Files && d.err == nil; i++ {
+		out = append(out, decodeMetricRow(d, paths[i]))
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("snapshot shard %q metrics: %w", module, err)
+	}
+	return out, nil
+}
+
+// State decodes the whole snapshot eagerly into a PersistedState — the
+// inspection/dump path and the v1-shaped API (DecodeSnapshot).
+func (s *Snapshot) State() (*core.PersistedState, error) {
+	files, err := s.Files()
+	if err != nil {
+		return nil, err
+	}
+	st := &core.PersistedState{
+		Target:       s.target,
+		RuleIDs:      s.ruleIDs,
+		Files:        files,
+		FileFindings: make(map[string][]rules.Finding),
+		MetricRows:   make(map[string]*metrics.FileMetrics),
+		ShardSigs:    make(map[string][2]uint64, len(s.shards)),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		ufs, err := s.ShardUnits(sh.Module)
+		if err != nil {
+			return nil, err
 		}
-		uf.Globals = u.stringsList()
-		st.Units = append(st.Units, uf)
+		fss, err := s.ShardFindings(sh.Module)
+		if err != nil {
+			return nil, err
+		}
+		if len(fss) != len(ufs) {
+			return nil, fmt.Errorf("%w: shard %q has %d units but %d finding lists", errCorrupt, sh.Module, len(ufs), len(fss))
+		}
+		paths := make([]string, len(ufs))
+		for k := range ufs {
+			paths[k] = ufs[k].Path
+		}
+		rows, err := s.ShardMetrics(sh.Module, paths)
+		if err != nil {
+			return nil, err
+		}
+		for k := range ufs {
+			st.FileFindings[paths[k]] = fss[k]
+			st.MetricRows[paths[k]] = rows[k]
+		}
+		st.Units = append(st.Units, ufs...)
+		if sh.HasSigs {
+			st.ShardSigs[sh.Module] = [2]uint64{sh.SigExport, sh.SigGraph}
+		}
 	}
-	if err := u.done(); err != nil {
-		return nil, 0, fmt.Errorf("snapshot units: %w", err)
+	// Shard blocks are path-sorted internally but concatenate in module
+	// order; restore the global sorted-path invariant.
+	sort.Slice(st.Units, func(i, j int) bool { return st.Units[i].Path < st.Units[j].Path })
+	cfs, err := s.CorpusFindings()
+	if err != nil {
+		return nil, err
 	}
+	st.CorpusFindings = cfs
+	return st, nil
+}
 
-	r := &dec{buf: sections['R']}
-	nR := r.length()
-	st.FileFindings = make(map[string][]rules.Finding, nR)
-	for i := 0; i < nR && r.err == nil; i++ {
-		p := r.string()
-		st.FileFindings[p] = decodeFindings(r)
+// DecodeSnapshot parses and validates a snapshot eagerly, returning
+// the persisted state it holds and its generation tag.
+func DecodeSnapshot(raw []byte) (*core.PersistedState, uint64, error) {
+	snap, err := OpenSnapshot(raw)
+	if err != nil {
+		return nil, 0, err
 	}
-	st.CorpusFindings = decodeFindings(r)
-	if err := r.done(); err != nil {
-		return nil, 0, fmt.Errorf("snapshot findings: %w", err)
+	st, err := snap.State()
+	if err != nil {
+		return nil, 0, err
 	}
+	return st, snap.gen, nil
+}
 
-	m := &dec{buf: sections['M']}
-	nM := m.length()
-	st.MetricRows = make(map[string]*metrics.FileMetrics, nM)
-	for i := 0; i < nM && m.err == nil; i++ {
-		p := m.string()
-		st.MetricRows[p] = decodeMetricRow(m, p)
+func encodeUnit(e *enc, uf *artifact.UnitFacts) {
+	e.string(uf.Path)
+	e.int(len(uf.Funcs))
+	for k := range uf.Funcs {
+		ft := &uf.Funcs[k]
+		e.string(ft.Name)
+		e.bool(ft.Void)
+		e.int(ft.Line)
+		e.int(ft.Params)
+		e.int(ft.CCN)
+		e.int(ft.Returns)
+		e.strings(ft.Calls)
 	}
-	if err := m.done(); err != nil {
-		return nil, 0, fmt.Errorf("snapshot metrics: %w", err)
+	e.strings(uf.Globals)
+}
+
+func decodeUnit(d *dec) artifact.UnitFacts {
+	uf := artifact.UnitFacts{Path: d.string()}
+	nf := d.length()
+	if nf > 0 {
+		uf.Funcs = make([]artifact.FuncFacts, 0, nf)
 	}
-	return st, gen, nil
+	for k := 0; k < nf && d.err == nil; k++ {
+		uf.Funcs = append(uf.Funcs, artifact.FuncFacts{
+			Name:    d.string(),
+			Void:    d.bool(),
+			Line:    d.int(),
+			Params:  d.int(),
+			CCN:     d.int(),
+			Returns: d.int(),
+			Calls:   d.stringsList(),
+		})
+	}
+	uf.Globals = d.stringsList()
+	return uf
 }
 
 func encodeFindings(e *enc, fs []rules.Finding) {

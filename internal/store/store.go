@@ -210,19 +210,36 @@ func (cs *CorpusStore) resetJournal() error {
 	return j.Close()
 }
 
-// LoadSnapshot reads and decodes the current snapshot, remembering its
-// generation for journal appends and replay filtering.
+// LoadSnapshot reads and eagerly decodes the current snapshot,
+// remembering its generation for journal appends and replay filtering.
+// Recovery goes through OpenCurrent instead (lazy per-shard decode);
+// this is the inspection/dump path.
 func (cs *CorpusStore) LoadSnapshot() (*core.PersistedState, int64, error) {
+	snap, nbytes, err := cs.OpenCurrent()
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := snap.State()
+	if err != nil {
+		return nil, 0, fmt.Errorf("snapshot %s: %w", cs.snapshotPath(), err)
+	}
+	return st, nbytes, nil
+}
+
+// OpenCurrent opens the current snapshot lazily: framing and checksums
+// are validated and the shard directory decoded, but shard blocks are
+// left for first touch. Remembers the generation like LoadSnapshot.
+func (cs *CorpusStore) OpenCurrent() (*Snapshot, int64, error) {
 	raw, err := os.ReadFile(cs.snapshotPath())
 	if err != nil {
 		return nil, 0, err
 	}
-	st, gen, err := DecodeSnapshot(raw)
+	snap, err := OpenSnapshot(raw)
 	if err != nil {
 		return nil, 0, fmt.Errorf("snapshot %s: %w", cs.snapshotPath(), err)
 	}
-	cs.gen = gen
-	return st, int64(len(raw)), nil
+	cs.gen = snap.Gen()
+	return snap, int64(len(raw)), nil
 }
 
 // RecoverInfo summarizes a boot-time recovery.
@@ -249,11 +266,11 @@ type RecoverInfo struct {
 // further appends. The clean-shutdown marker is consumed: it certifies
 // only the boot that finds it.
 func (cs *CorpusStore) Recover(cfg core.Config) (*core.Assessor, *RecoverInfo, error) {
-	st, nbytes, err := cs.LoadSnapshot()
+	snap, nbytes, err := cs.OpenCurrent()
 	if err != nil {
 		return nil, nil, err
 	}
-	a, err := core.RestoreAssessor(cfg, st)
+	a, err := core.RestoreAssessorFrom(cfg, snap)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -323,11 +340,11 @@ func (cs *CorpusStore) ReadJournal(apply func(gen uint64, changed []*srcfile.Fil
 // tails, consumes the clean marker, nor keeps the journal open. The
 // differential harness uses it to audit a live store mid-run.
 func (cs *CorpusStore) RecoverReadOnly(cfg core.Config) (*core.Assessor, *RecoverInfo, error) {
-	st, nbytes, err := cs.LoadSnapshot()
+	snap, nbytes, err := cs.OpenCurrent()
 	if err != nil {
 		return nil, nil, err
 	}
-	a, err := core.RestoreAssessor(cfg, st)
+	a, err := core.RestoreAssessorFrom(cfg, snap)
 	if err != nil {
 		return nil, nil, err
 	}
