@@ -1,0 +1,239 @@
+// Command adlint machine-enforces this repo's own documented
+// invariants: it runs the five project analyzers (aliasmut,
+// arenaescape, detrange, lockorder, syncerr) and, by default, a
+// curated set of `go vet` passes over the requested packages, merging
+// everything into one diagnostic stream.
+//
+// Usage:
+//
+//	adlint [flags] [packages]
+//
+// Packages default to ./... . Exit status: 0 when clean, 1 when any
+// diagnostic is reported or the analysis itself fails, 2 on flag or
+// usage errors (matching the other cmds' flag-validation convention).
+//
+// Findings can be suppressed with a reasoned comment on (or directly
+// above) the offending line:
+//
+//	//adlint:ignore <analyzer> <why this is safe>
+//
+// A suppression without a reason is itself a finding.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+	"repro/internal/lint/load"
+)
+
+// vetPasses are the upstream go vet analyzers adlint runs alongside
+// its own: the correctness subset whose findings are always bugs in
+// this codebase (no style passes, nothing the repo would suppress).
+var vetPasses = []string{"atomic", "bools", "copylocks", "lostcancel", "printf", "unreachable"}
+
+// jsonDiag is one finding in -json output.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("adlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer subset to run (default: all)")
+	vet := fs.Bool("vet", true, "also run the curated go vet passes ("+strings.Join(vetPasses, ",")+")")
+	dir := fs.String("dir", ".", "module directory to load packages from")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adlint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite := analyzers.All()
+	if *runNames != "" {
+		sel, unknown := analyzers.ByName(*runNames)
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "adlint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			fs.Usage()
+			return 2
+		}
+		suite = sel
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "adlint: flags must precede packages (saw %q)\n", p)
+			fs.Usage()
+			return 2
+		}
+	}
+
+	var diags []lint.Diag
+	pkgs, err := load.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adlint: %v\n", err)
+		return 1
+	}
+	diags, err = lint.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adlint: %v\n", err)
+		return 1
+	}
+	if *vet {
+		vd, err := runVet(*dir, patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adlint: go vet: %v\n", err)
+			return 1
+		}
+		diags = append(diags, vd...)
+		sortDiags(diags)
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{Analyzer: d.Analyzer, Pos: d.Pos.String(), Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "adlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "adlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+func sortDiags(diags []lint.Diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// vetJSON mirrors `go vet -json` output: one object per package,
+// mapping analyzer name to a diagnostic list.
+type vetJSON map[string]map[string][]struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runVet executes the curated go vet passes and adapts their JSON
+// diagnostics into lint.Diags. go vet exits nonzero when it reports
+// findings; that is not an execution error.
+func runVet(dir string, patterns []string) ([]lint.Diag, error) {
+	args := []string{"vet", "-json"}
+	for _, p := range vetPasses {
+		args = append(args, "-"+p)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	// `go vet -json` writes the JSON stream to stderr, interleaved with
+	// `# package` comment lines.
+	var clean []string
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		clean = append(clean, line)
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(clean, "\n")))
+	var diags []lint.Diag
+	for dec.More() {
+		var chunk vetJSON
+		if err := dec.Decode(&chunk); err != nil {
+			if runErr != nil {
+				return nil, fmt.Errorf("%v\n%s", runErr, stderr.String())
+			}
+			return nil, err
+		}
+		pkgNames := make([]string, 0, len(chunk))
+		for name := range chunk {
+			pkgNames = append(pkgNames, name)
+		}
+		sort.Strings(pkgNames)
+		for _, pkg := range pkgNames {
+			anaNames := make([]string, 0, len(chunk[pkg]))
+			for name := range chunk[pkg] {
+				anaNames = append(anaNames, name)
+			}
+			sort.Strings(anaNames)
+			for _, ana := range anaNames {
+				for _, d := range chunk[pkg][ana] {
+					diags = append(diags, lint.Diag{
+						Analyzer: "vet/" + ana,
+						Pos:      parsePosn(d.Posn),
+						Message:  d.Message,
+					})
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+// parsePosn splits "file:line:col" (the file part may contain colons
+// on other platforms, so split from the right).
+func parsePosn(s string) (pos token.Position) {
+	parts := strings.Split(s, ":")
+	if len(parts) >= 3 {
+		pos.Filename = strings.Join(parts[:len(parts)-2], ":")
+		fmt.Sscanf(parts[len(parts)-2], "%d", &pos.Line)
+		fmt.Sscanf(parts[len(parts)-1], "%d", &pos.Column)
+		return pos
+	}
+	pos.Filename = s
+	return pos
+}

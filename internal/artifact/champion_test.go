@@ -1,0 +1,44 @@
+package artifact
+
+import (
+	"sort"
+	"testing"
+)
+
+// Champion diffs are gathered from map-keyed state; the adlint detrange
+// invariant requires them sorted so the index re-resolves names in a
+// deterministic order. These tests pin that contract directly.
+
+func TestDiffFuncChampionsSorted(t *testing.T) {
+	fa, fb, fc := &Func{}, &Func{}, &Func{}
+	old := map[string]*Func{"zeta": fa, "beta": fb, "mid": fc}
+	new := map[string]*Func{"zeta": fb, "alpha": fa, "mid": fc}
+	// changed: zeta; added: alpha; removed: beta. mid is unchanged.
+	out := diffFuncChampions(old, new)
+	want := []string{"alpha", "beta", "zeta"}
+	if len(out) != len(want) {
+		t.Fatalf("diff = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("diff = %v, want %v (sorted)", out, want)
+		}
+	}
+}
+
+func TestDrainChampionsSorted(t *testing.T) {
+	sh := &Shard{
+		byName:     map[string]*Func{"w": nil, "a": nil, "m": nil},
+		lastByName: map[string]*Func{"z": nil, "b": nil},
+		globals:    map[string]globalDef{"y": {}, "c": {}, "k": {}},
+	}
+	diff := sh.drainChampions()
+	for _, s := range [][]string{diff.byName, diff.lastDef, diff.globals} {
+		if !sort.StringsAreSorted(s) {
+			t.Fatalf("drainChampions slice %v is not sorted", s)
+		}
+	}
+	if len(diff.byName) != 3 || len(diff.lastDef) != 2 || len(diff.globals) != 3 {
+		t.Fatalf("drainChampions dropped names: %+v", diff)
+	}
+}

@@ -107,6 +107,8 @@ func (sh *Shard) removePath(p string) {
 
 // championDiff collects the names whose within-shard champion changed
 // across a refresh; the index re-resolves exactly those names globally.
+// Each slice is sorted so re-resolution runs in a deterministic order
+// even though the names are gathered from map-keyed state.
 type championDiff struct {
 	byName  []string
 	lastDef []string
@@ -136,6 +138,7 @@ func (sh *Shard) refresh(ix *Index) championDiff {
 			diff.globals = append(diff.globals, name)
 		}
 	}
+	sort.Strings(diff.globals)
 	return diff
 }
 
@@ -190,6 +193,7 @@ func diffFuncChampions(old, new map[string]*Func) []string {
 			out = append(out, name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -207,6 +211,9 @@ func (sh *Shard) drainChampions() championDiff {
 	for name := range sh.globals {
 		diff.globals = append(diff.globals, name)
 	}
+	sort.Strings(diff.byName)
+	sort.Strings(diff.lastDef)
+	sort.Strings(diff.globals)
 	return diff
 }
 

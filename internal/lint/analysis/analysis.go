@@ -1,0 +1,57 @@
+// Package analysis is the repo-local analogue of
+// golang.org/x/tools/go/analysis: the tiny vocabulary shared by every
+// adlint analyzer. The container this repo builds in has no module
+// proxy, so the x/tools framework cannot be vendored; this package
+// keeps the same shape (Analyzer, Pass, Diagnostic) so the analyzers
+// would port to the upstream API mechanically if it ever becomes
+// available.
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass and reports Diagnostics. Analyzers must be stateless across
+// passes: the driver runs them over many packages in one process, and
+// the analysistest harness runs them over synthetic golden packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one adlint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run filters, and
+	// //adlint:ignore suppressions. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by adlint -list.
+	Doc string
+	// Run inspects a single package and reports diagnostics through
+	// pass.Report. The return error aborts the whole adlint run and is
+	// reserved for internal failures, not findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver applies
+	// //adlint:ignore suppression after this call, so analyzers report
+	// unconditionally.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,117 @@
+// Package analysistest runs one adlint analyzer over a golden package
+// and compares its findings against `// want` expectations embedded in
+// the sources, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	m[k] = v // want `regexp matching the diagnostic`
+//
+// Multiple backquoted regexps on one comment expect multiple findings
+// on that line. Every finding must be matched by an expectation and
+// every expectation by a finding; mismatches fail the test with the
+// full delta. Because the driver applies //adlint:ignore before the
+// comparison, golden packages also pin the suppression behavior: a
+// seeded violation carrying an ignore directive simply has no want
+// comment.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRe pulls backquoted regexps off a // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one // want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the package rooted at dir (an absolute path or a path
+// relative to the current test's working directory) and checks a's
+// findings against the package's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("resolving %s: %v", dir, err)
+	}
+	pkgs, err := load.Load(abs, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					ms := wantRe.FindAllStringSubmatch(c.Text[idx:], -1)
+					if len(ms) == 0 {
+						t.Errorf("%s: // want comment without backquoted regexp", pos)
+						continue
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, m[1], err)
+							continue
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: m[1],
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want `%s`", relName(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func relName(path string) string {
+	if wd, err := filepath.Abs("."); err == nil {
+		if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return path
+}

@@ -1,0 +1,493 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetRange flags `range` over a map whose iteration order can leak
+// into a deterministic surface. The repo's determinism contract —
+// finding merges, export/graph signatures, snapshot encoding, report
+// rendering, journal records are all byte-pinned by tests — dies the
+// moment a map range feeds any of them unsorted, and those bugs only
+// fire probabilistically. Inside the scoped packages every map range
+// must be provably order-free:
+//
+//   - accumulating into maps, sets, or commutative counters is fine;
+//   - min/max selection under a comparison guard is fine;
+//   - equality-guarded lookup-and-return is fine;
+//   - collecting keys/values into a slice is fine ONLY if that slice
+//     is passed to a sort (sort.*, slices.Sort*, or any callee whose
+//     name contains "sort") later in the same function;
+//   - everything else — writes to builders/encoders, plain last-wins
+//     assignments, unguarded returns, order-dependent calls — is
+//     flagged.
+var DetRange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration whose order can reach a deterministic surface " +
+		"(finding merge, signatures, snapshot encode, report render, journal) without a sort",
+	Run: runDetRange,
+}
+
+// detRangePkgs scope the check to the packages that own deterministic
+// surfaces.
+var detRangePkgs = map[string]bool{
+	"rules": true, "artifact": true, "store": true, "metrics": true,
+	"report": true, "core": true, "service": true, "srcfile": true,
+}
+
+func runDetRange(pass *analysis.Pass) error {
+	if !detRangePkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypesInfo.Types[rs.X].Type; t == nil || !isMap(t) {
+					return true
+				}
+				checkMapRange(pass, rs, body)
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange classifies one map-range loop. body is the enclosing
+// function body, used to look for sorts after the loop.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, body *ast.BlockStmt) {
+	c := &rangeCheck{pass: pass, rs: rs}
+	if obj := identObj(pass.TypesInfo, rs.Key); obj != nil {
+		c.iterVars = append(c.iterVars, obj)
+	}
+	if rs.Value != nil {
+		if obj := identObj(pass.TypesInfo, rs.Value); obj != nil {
+			c.iterVars = append(c.iterVars, obj)
+		}
+	}
+	c.stmts(rs.Body.List, guardNone)
+	// Every slice the loop appended to must be sorted later in the
+	// enclosing function.
+	for _, ap := range c.appended {
+		if !sortedAfter(pass, body, ap.key, rs.End()) {
+			pass.Reportf(ap.pos,
+				"%q collects map keys/values in nondeterministic order and is never sorted in this function; sort it before it reaches a deterministic surface",
+				ap.name)
+		}
+	}
+}
+
+type guard int
+
+const (
+	guardNone    guard = iota
+	guardCompare       // inside if with an ordered comparison: min/max selection
+	guardEq            // inside if with equality/other condition: keyed lookup
+)
+
+// collectKey identifies an append target: a plain variable (base only)
+// or a field of one (base + field).
+type collectKey struct {
+	base  types.Object
+	field types.Object
+}
+
+// appendRec is one collecting append awaiting a sort.
+type appendRec struct {
+	key  collectKey
+	name string
+	pos  token.Pos
+}
+
+type rangeCheck struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+	// iterVars are the loop's key/value variables: writes through them
+	// touch a distinct element per iteration and therefore commute.
+	iterVars []types.Object
+	appended []appendRec
+}
+
+// isIterVar reports whether obj is this loop's key or value variable.
+func (c *rangeCheck) isIterVar(obj types.Object) bool {
+	for _, v := range c.iterVars {
+		if v == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// loopLocal reports whether obj is declared inside this range statement;
+// such variables die with the iteration (or the loop), so last-wins
+// writes to them cannot leak iteration order outward.
+func (c *rangeCheck) loopLocal(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= c.rs.Pos() && obj.Pos() < c.rs.End()
+}
+
+// lvalKey resolves an assignable expression to a collect key: `x` or
+// `x.f` with an identifier base. ok is false for anything else.
+func (c *rangeCheck) lvalKey(e ast.Expr) (collectKey, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := identObj(c.pass.TypesInfo, v); obj != nil {
+			return collectKey{base: obj}, true
+		}
+	case *ast.SelectorExpr:
+		base := identObj(c.pass.TypesInfo, v.X)
+		field := c.pass.TypesInfo.Uses[v.Sel]
+		if base != nil && field != nil {
+			return collectKey{base: base, field: field}, true
+		}
+	}
+	return collectKey{}, false
+}
+
+// recordAppend registers a collecting append for the sorted-after check.
+func (c *rangeCheck) recordAppend(key collectKey, name string, pos token.Pos) {
+	for _, ap := range c.appended {
+		if ap.key == key {
+			return
+		}
+	}
+	c.appended = append(c.appended, appendRec{key: key, name: name, pos: pos})
+}
+
+// selfAppend reports whether rhs is `append(lhs, ...)` for the same
+// collect target as lhs.
+func (c *rangeCheck) selfAppend(lhs ast.Expr, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	lk, lok := c.lvalKey(lhs)
+	ak, aok := c.lvalKey(call.Args[0])
+	if !lok || !aok || lk != ak {
+		return false
+	}
+	c.recordAppend(lk, exprString(lhs), call.Pos())
+	return true
+}
+
+func (c *rangeCheck) stmts(list []ast.Stmt, g guard) {
+	for _, s := range list {
+		c.stmt(s, g)
+	}
+}
+
+func (c *rangeCheck) stmt(s ast.Stmt, g guard) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(st, g)
+	case *ast.IncDecStmt:
+		// Counters commute.
+	case *ast.DeclStmt:
+		// Local declarations are order-free until used.
+	case *ast.ExprStmt:
+		c.callEffect(st.X, g)
+	case *ast.IfStmt:
+		sub := guardEq
+		if cond, ok := st.Cond.(*ast.BinaryExpr); ok {
+			switch cond.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				sub = guardCompare
+			}
+		}
+		if st.Init != nil {
+			c.stmt(st.Init, g)
+		}
+		c.stmts(st.Body.List, sub)
+		if st.Else != nil {
+			c.stmt(st.Else, sub)
+		}
+	case *ast.BlockStmt:
+		c.stmts(st.List, g)
+	case *ast.ForStmt:
+		c.stmts(st.Body.List, g)
+	case *ast.RangeStmt:
+		// A nested MAP range gets its own checkMapRange from the outer
+		// Inspect, with the same strictness — rescanning its body here
+		// would only double-report. Non-map nested ranges (slices) share
+		// this loop's constraints.
+		if t := c.pass.TypesInfo.Types[st.X].Type; t != nil && isMap(t) {
+			return
+		}
+		c.stmts(st.Body.List, g)
+	case *ast.SwitchStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body, guardEq)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body, guardEq)
+			}
+		}
+	case *ast.BranchStmt:
+		// continue/break are order-free.
+	case *ast.ReturnStmt:
+		if g == guardEq {
+			// Keyed lookup: `if k == want { return v }` hits at most
+			// one iteration, so order cannot matter.
+			return
+		}
+		c.pass.Reportf(st.Pos(),
+			"return inside map iteration depends on nondeterministic order; guard it with an equality test or restructure")
+	default:
+		c.pass.Reportf(s.Pos(),
+			"statement inside map iteration has order-dependent effects; hoist it out or sort the keys first")
+	}
+}
+
+// assign classifies one assignment inside the loop.
+func (c *rangeCheck) assign(st *ast.AssignStmt, g guard) {
+	// Compound assignments (+=, |=, ...) commute for the accumulator
+	// patterns this repo uses.
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		var rhs ast.Expr
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		} else {
+			rhs = st.Rhs[0]
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			// m2[k] = v — map/slice insert. Map writes commute; slice
+			// element writes at a key-derived index are also keyed.
+			continue
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			if st.Tok == token.DEFINE && c.pass.TypesInfo.Defs[l] != nil {
+				// Freshly bound per iteration: dies with the iteration.
+				continue
+			}
+			obj := identObj(c.pass.TypesInfo, l)
+			if c.loopLocal(obj) {
+				continue
+			}
+			if c.assignOK(l, rhs, g) {
+				continue
+			}
+			c.pass.Reportf(st.Pos(),
+				"assignment to %q inside map iteration is last-wins in nondeterministic order; accumulate commutatively, guard with a comparison, or sort the keys first",
+				l.Name)
+		case *ast.SelectorExpr:
+			if c.selectorAssignOK(l, rhs, g) {
+				continue
+			}
+			c.pass.Reportf(st.Pos(),
+				"store through %s inside map iteration is order-dependent; sort the keys first", exprString(lhs))
+		default:
+			// Star stores out of the loop: order-dependent unless
+			// guarded by a comparison (min/max into a field).
+			if g == guardCompare {
+				continue
+			}
+			c.pass.Reportf(st.Pos(),
+				"store through %s inside map iteration is order-dependent; sort the keys first", exprString(lhs))
+		}
+	}
+}
+
+// assignOK reports whether `ident = rhs` is order-free in context.
+func (c *rangeCheck) assignOK(l *ast.Ident, rhs ast.Expr, g guard) bool {
+	// Guarded selection (min/max) or keyed hit is fine.
+	if g == guardCompare || g == guardEq {
+		return true
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.BasicLit:
+		// found = literal: idempotent.
+		return true
+	case *ast.Ident:
+		// found = true/false/nil: idempotent; x = otherLocal is
+		// order-dependent only if RHS involves the range vars, which a
+		// bare ident can — conservatively allow constants only.
+		return r.Name == "true" || r.Name == "false" || r.Name == "nil"
+	case *ast.CallExpr:
+		// x = append(x, ...): collection; defer judgment to the
+		// sorted-after check.
+		if c.selfAppend(l, r) {
+			return true
+		}
+		// len/cap/min/max over loop-independent args would be fine, but
+		// calls in general can carry the range vars outward.
+		return false
+	case *ast.BinaryExpr:
+		// x = x + v style manual accumulation: commutative ops only.
+		switch r.Op {
+		case token.ADD, token.MUL, token.AND, token.OR, token.XOR:
+			return exprMentions(c.pass.TypesInfo, r, identObj(c.pass.TypesInfo, l))
+		}
+		return false
+	}
+	return false
+}
+
+// selectorAssignOK reports whether `x.f = rhs` is order-free in context.
+func (c *rangeCheck) selectorAssignOK(l *ast.SelectorExpr, rhs ast.Expr, g guard) bool {
+	// Min/max into a field under a comparison guard.
+	if g == guardCompare {
+		return true
+	}
+	// Per-element write through the loop's own key/value variable:
+	// each iteration touches a distinct element, so the writes commute.
+	if base := identObj(c.pass.TypesInfo, l.X); base != nil && (c.isIterVar(base) || c.loopLocal(base)) {
+		return true
+	}
+	// Guarded lazy init — `if x.f == nil { x.f = make(...) }` — is
+	// idempotent: every order produces the same final state.
+	if g == guardEq {
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if fn, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && fn.Name == "make" {
+				return true
+			}
+		case *ast.CompositeLit:
+			return true
+		}
+	}
+	// x.f = append(x.f, ...): collection; defer judgment to the
+	// sorted-after check.
+	return c.selfAppend(l, rhs)
+}
+
+// callEffect judges a bare call statement inside the loop.
+func (c *rangeCheck) callEffect(e ast.Expr, g guard) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		c.pass.Reportf(e.Pos(), "expression inside map iteration has order-dependent effects")
+		return
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch fn.Name {
+		case "delete":
+			return // map mutation commutes
+		case "panic":
+			return // aborting is order-free enough; the panic is the bug
+		}
+	}
+	c.pass.Reportf(call.Pos(),
+		"call to %s inside map iteration runs in nondeterministic order; if it writes output or accumulates ordered state, sort the keys first",
+		exprString(call.Fun))
+}
+
+// sortedAfter reports whether the collect target is passed to a sorting
+// call after pos anywhere in the enclosing function body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, key collectKey, pos token.Pos) bool {
+	matches := func(arg ast.Expr) bool {
+		switch v := ast.Unparen(arg).(type) {
+		case *ast.Ident:
+			return key.field == nil && identObj(pass.TypesInfo, v) == key.base
+		case *ast.SelectorExpr:
+			return key.field != nil &&
+				identObj(pass.TypesInfo, v.X) == key.base &&
+				pass.TypesInfo.Uses[v.Sel] == key.field
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if matches(arg) {
+				found = true
+				return false
+			}
+			// sort.Sort(ByX(v)) wraps the slice in a conversion.
+			if conv, ok := ast.Unparen(arg).(*ast.CallExpr); ok && len(conv.Args) == 1 {
+				if matches(conv.Args[0]) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort.*, slices.Sort*, and any callee whose name
+// contains "sort" (sortFindings, sortStrings, ...).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		// sort.StringSlice(v) resolves to a TypeName: a conversion, not
+		// a sorting call.
+		return false
+	}
+	switch funcPkgBase(obj) {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(obj.Name(), "Sort")
+	}
+	return strings.Contains(strings.ToLower(obj.Name()), "sort")
+}
+
+// exprMentions reports whether the expression mentions obj.
+func exprMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a small expression for a message.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	}
+	return "expression"
+}

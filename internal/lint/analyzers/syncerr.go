@@ -1,0 +1,107 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// SyncErr flags silently discarded errors from durability-relevant
+// calls on the persistence paths: package store (and any file named
+// persist.go) plus the service layer that drives it. A swallowed
+// Sync/Close/Truncate error breaks the crash-consistency contract —
+// "a journal record is fsync'd before the in-memory commit it covers"
+// only holds if the fsync's error actually reaches the caller.
+//
+// A call is flagged when its result is dropped entirely: a bare
+// expression statement, go statement, or defer. Assigning the error to
+// the blank identifier (`_ = f.Close()`) is NOT flagged — that is the
+// repo's idiom for "this error is provably inconsequential; a reviewer
+// signed off", typically on already-failing cleanup paths where the
+// primary error is what the caller reports.
+var SyncErr = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc: "flags discarded errors from Sync/Close/Write/Truncate on persistence paths " +
+		"(package store, package service, */persist.go); write `_ = call` for a reviewed, deliberate discard",
+	Run: runSyncErr,
+}
+
+// syncErrPkgs are the package base names whose every file is a
+// persistence path.
+var syncErrPkgs = map[string]bool{"store": true, "service": true}
+
+// syncErrMethods are the durability-relevant methods, keyed by the base
+// name of the package declaring the receiver type. Receiver package
+// "os" covers *os.File; "store" covers Journal/CorpusStore/Dir.
+var syncErrMethods = map[string]map[string]bool{
+	"os": {
+		"Close": true, "Sync": true, "Truncate": true,
+		"Write": true, "WriteString": true, "WriteAt": true,
+	},
+	"store": {
+		"Close": true, "Sync": true, "Truncate": true, "Reset": true,
+		"Append": true, "WriteSnapshot": true, "MarkClean": true,
+	},
+}
+
+// syncErrFuncs are durability-relevant package-level functions, keyed
+// by declaring package base name.
+var syncErrFuncs = map[string]map[string]bool{
+	"os": {
+		"Rename": true, "Remove": true, "RemoveAll": true, "WriteFile": true,
+		"Mkdir": true, "MkdirAll": true, "Truncate": true, "Link": true, "Symlink": true,
+	},
+	// syncDir is store's directory-fsync helper; service and cmd code
+	// must not drop its error either.
+	"store": {"syncDir": true},
+}
+
+func runSyncErr(pass *analysis.Pass) error {
+	base := pkgBase(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Package)
+		if !syncErrPkgs[base] && pkgBase(pos.Filename) != "persist.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			if name, ok := syncErrTarget(pass, call); ok {
+				pass.Reportf(call.Pos(),
+					"error from %s is discarded on a persistence path; check it, or write `_ = %s(...)` to record that the discard is deliberate",
+					name, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// syncErrTarget reports whether call is a durability-relevant call
+// whose error result matters, returning a printable callee name.
+func syncErrTarget(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil || !returnsError(obj) {
+		return "", false
+	}
+	if pkg, recv, name, ok := methodInfo(obj); ok {
+		if syncErrMethods[pkg][name] {
+			return recv + "." + name, true
+		}
+		return "", false
+	}
+	if fns := syncErrFuncs[funcPkgBase(obj)]; fns[obj.Name()] {
+		return obj.Name(), true
+	}
+	return "", false
+}

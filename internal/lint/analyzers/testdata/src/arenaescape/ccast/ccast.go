@@ -1,0 +1,25 @@
+// Package ccast is a golden stand-in for the arena-allocated AST:
+// arenaescape matches its named types by package base name.
+package ccast
+
+// Node is the AST node interface; values always point into an arena.
+type Node interface{ node() }
+
+// FuncDecl is a representative slab-allocated node.
+type FuncDecl struct {
+	Name string
+	Body Node
+}
+
+func (f *FuncDecl) node() {}
+
+// Arena owns slab chunks; holding one pins every node carved from it.
+type Arena struct {
+	chunks [][]byte
+}
+
+// Span is a plain value record: copying it out of a node carries no
+// arena reference.
+type Span struct {
+	Off, Len int
+}

@@ -1,0 +1,99 @@
+// Package rules is a golden stand-in for a determinism-scoped package:
+// detrange matches it by base name, so every map range here must be
+// provably order-free or flagged.
+package rules
+
+import (
+	"sort"
+	"strings"
+)
+
+type row struct {
+	name  string
+	count int
+}
+
+type table struct {
+	last  string
+	names []string
+	byKey map[string]int
+}
+
+func flagged(m map[string]int, t *table, sb *strings.Builder) []string {
+	var out []string
+	var last string
+	for k, v := range m {
+		out = append(out, k)         // want `"out" collects map keys/values in nondeterministic order`
+		last = k                     // want `assignment to "last" inside map iteration is last-wins`
+		t.last = k                   // want `store through t.last inside map iteration is order-dependent`
+		sb.WriteString(k)            // want `call to sb.WriteString inside map iteration runs in nondeterministic order`
+		t.names = append(t.names, k) // want `"t.names" collects map keys/values in nondeterministic order`
+		_ = v
+	}
+	_ = last
+	return out
+}
+
+func flaggedReturn(m map[string]int) int {
+	for _, v := range m {
+		if v > 0 {
+			return v // want `return inside map iteration depends on nondeterministic order`
+		}
+	}
+	return 0
+}
+
+func sortedCollect(m map[string]int, t *table) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+		t.names = append(t.names, k)
+	}
+	sort.Strings(keys)
+	sort.Strings(t.names)
+	return keys
+}
+
+func accumulators(m map[string]int, t *table) (int, int) {
+	total, n, max := 0, 0, 0
+	for k, v := range m {
+		total += v
+		n++
+		if v > max {
+			max = v
+		}
+		if t.byKey == nil {
+			t.byKey = make(map[string]int)
+		}
+		t.byKey[k] = v
+	}
+	return total, max
+}
+
+func keyedLookup(m map[string]int, want string) (int, bool) {
+	for k, v := range m {
+		if k == want {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func loopLocals(m map[string]*row) int {
+	seen := 0
+	for _, r := range m {
+		c := r.count
+		if c > 10 {
+			c = 10
+		}
+		seen += c
+		r.count = 0 // per-element write through the value variable commutes
+	}
+	return seen
+}
+
+func suppressed(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) //adlint:ignore detrange golden: order deliberately ignored here
+	}
+}

@@ -1,0 +1,112 @@
+// Package service is a golden stand-in for the repo's service layer:
+// lockorder resolves locks by "<pkg>.<type>.<field>", so the type and
+// field names here mirror the real ones exactly.
+package service
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type corpusState struct {
+	mu       sync.RWMutex
+	shardMu  sync.Mutex
+	modLocks map[string]*sync.Mutex
+}
+
+func (st *corpusState) lockModules(names []string) func() { return func() {} }
+
+type Server struct {
+	mu      sync.Mutex
+	corpora map[string]*corpusState
+}
+
+func wrongModuleOrder(st *corpusState, names []string) {
+	st.mu.Lock()
+	unlock := st.lockModules(names) // want `lock order violation: module locks \(rank 10\) must be acquired before st.mu`
+	unlock()
+	st.mu.Unlock()
+}
+
+func lockUnderLeaf(s *Server, st *corpusState) {
+	s.mu.Lock()
+	st.mu.Lock() // want `acquiring st.mu while holding leaf lock s.mu`
+	st.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func selfDeadlock(st *corpusState) {
+	st.mu.Lock()
+	st.mu.Lock() // want `acquiring st.mu while already holding it`
+	st.mu.Unlock()
+	st.mu.Unlock()
+}
+
+func rankDecrease(s *Server, st *corpusState) {
+	st.shardMu.Lock()
+	st.mu.Lock() // want `acquiring st.mu while holding leaf lock st.shardMu`
+	st.mu.Unlock()
+	st.shardMu.Unlock()
+}
+
+func blockingUnderLeaf(s *Server, path string) {
+	s.mu.Lock()
+	os.ReadFile(path)            // want `blocking call ReadFile while holding leaf lock s.mu`
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep while holding leaf lock s.mu`
+	s.mu.Unlock()
+}
+
+func moduleLockUnderLeaf(s *Server, st *corpusState, name string) {
+	ml := st.modLocks[name]
+	s.mu.Lock()
+	ml.Lock() // want `acquiring ml while holding leaf lock s.mu`
+	ml.Unlock()
+	s.mu.Unlock()
+}
+
+func correctOrder(s *Server, st *corpusState, names []string, path string, data []byte) {
+	unlock := st.lockModules(names)
+	defer unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Blocking I/O under the corpus lock is the journal-before-ack
+	// design, not a violation; only the leaf locks forbid it.
+	os.WriteFile(path, data, 0o644)
+	st.shardMu.Lock()
+	st.shardMu.Unlock()
+}
+
+func leafAfterRelease(s *Server, st *corpusState) {
+	s.mu.Lock()
+	_ = s.corpora
+	s.mu.Unlock()
+	st.mu.Lock()
+	st.mu.Unlock()
+}
+
+func goroutineStartsFresh(s *Server, st *corpusState) {
+	s.mu.Lock()
+	go func() {
+		st.mu.Lock()
+		st.mu.Unlock()
+	}()
+	s.mu.Unlock()
+}
+
+func branchDoesNotLeak(s *Server, st *corpusState, cond bool) {
+	if cond {
+		st.shardMu.Lock()
+		st.shardMu.Unlock()
+	}
+	st.mu.Lock()
+	st.mu.Unlock()
+}
+
+func suppressedViolation(s *Server, st *corpusState) {
+	s.mu.Lock()
+	//adlint:ignore lockorder golden: deliberate violation kept to pin suppression
+	st.mu.Lock()
+	st.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+package persistfile
+
+import "os"
+
+// Outside persist.go, an unregistered package is out of scope: the same
+// discard draws no finding.
+func flushElsewhere(path string, data []byte) {
+	os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,16 @@
+// Package persistfile exercises syncerr's file-name scoping: this
+// package's base name is NOT registered, but persist.go files are
+// persistence paths wherever they live.
+package persistfile
+
+import "os"
+
+func flushTemp(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want `error from WriteFile is discarded`
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Sync() // want `error from File.Sync is discarded`
+	_ = f.Close()
+}

@@ -1,0 +1,56 @@
+// Package store is a golden stand-in for the repo's internal/store: the
+// syncerr analyzer matches it by package base name, so discarded
+// persistence errors here must be flagged exactly as in the real thing.
+package store
+
+import "os"
+
+// CorpusStore mimics the persistence handle whose error-returning
+// methods the analyzer registers.
+type CorpusStore struct {
+	dirty bool
+}
+
+func (cs *CorpusStore) Close() error          { return nil }
+func (cs *CorpusStore) Sync() error           { return nil }
+func (cs *CorpusStore) Append(b []byte) error { return nil }
+func (cs *CorpusStore) MarkClean() error      { cs.dirty = false; return nil }
+
+func syncDir(dir string) error { return nil }
+
+// value-returning helper that is NOT registered: discards are fine.
+func (cs *CorpusStore) Generation() int { return 0 }
+
+func discards(cs *CorpusStore, f *os.File, path string) {
+	cs.Close()            // want `error from CorpusStore.Close is discarded`
+	cs.Sync()             // want `error from CorpusStore.Sync is discarded`
+	cs.MarkClean()        // want `error from CorpusStore.MarkClean is discarded`
+	f.Close()             // want `error from File.Close is discarded`
+	f.Sync()              // want `error from File.Sync is discarded`
+	os.Remove(path)       // want `error from Remove is discarded`
+	os.Rename(path, path) // want `error from Rename is discarded`
+	syncDir(path)         // want `error from syncDir is discarded`
+	go cs.Sync()          // want `error from CorpusStore.Sync is discarded`
+	defer f.Close()       // want `error from File.Close is discarded`
+}
+
+func handled(cs *CorpusStore, f *os.File, path string) error {
+	// The sanctioned idioms: checked, propagated, or explicitly
+	// discarded with a blank assignment.
+	if err := cs.Close(); err != nil {
+		return err
+	}
+	_ = f.Close()
+	_ = os.Remove(path)
+	err := cs.Sync()
+	cs.Generation() // unregistered: no error to lose
+	return err
+}
+
+func suppressedDiscards(cs *CorpusStore) {
+	cs.Sync() //adlint:ignore syncerr golden: tail-comment suppression form
+	//adlint:ignore syncerr golden: own-line suppression form
+	cs.Close()
+	//adlint:ignore * golden: wildcard matches every analyzer
+	cs.MarkClean()
+}

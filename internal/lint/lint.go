@@ -1,0 +1,142 @@
+// Package lint is the adlint driver: it runs the repo's analyzers over
+// type-checked packages, applies //adlint:ignore suppressions, and
+// returns findings in a deterministic order. cmd/adlint and the
+// analysistest harness both sit on top of this package so the
+// suppression and ordering semantics are identical in CI and in golden
+// tests.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Diag is one reported finding after suppression filtering.
+type Diag struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding:
+//
+//	//adlint:ignore <analyzer> <reason>
+//
+// placed either on the flagged line or alone on the line directly
+// above it. The reason is mandatory — a suppression that does not say
+// why is itself reported as a finding (analyzer name "adlint").
+const IgnoreDirective = "//adlint:ignore"
+
+// suppression is one parsed ignore directive.
+type suppression struct {
+	analyzer string
+	line     int // line the directive may silence
+}
+
+// Run executes every analyzer over every package and returns surviving
+// findings sorted by position then analyzer name. Packages that failed
+// to load cleanly abort the run: analyzers must not report against
+// half-typed trees.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	var diags []Diag
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("package %s did not type-check: %v", pkg.ImportPath, pkg.Errors[0])
+		}
+		sup, malformed := collectSuppressions(pkg)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(sup, a.Name, pos) {
+					return
+				}
+				diags = append(diags, Diag{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// collectSuppressions scans a package's comments for ignore directives.
+// A directive silences matching findings on its own line (tail-comment
+// form) and on the line directly below it (own-line form). Malformed
+// directives (missing analyzer or reason) come back as findings.
+func collectSuppressions(pkg *load.Package) (map[string]map[int][]suppression, []Diag) {
+	byFile := make(map[string]map[int][]suppression)
+	var malformed []Diag
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diag{
+						Analyzer: "adlint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //adlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				m := byFile[pos.Filename]
+				if m == nil {
+					m = make(map[int][]suppression)
+					byFile[pos.Filename] = m
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					m[line] = append(m[line], suppression{analyzer: fields[0], line: line})
+				}
+			}
+		}
+	}
+	return byFile, malformed
+}
+
+func suppressed(sup map[string]map[int][]suppression, analyzer string, pos token.Position) bool {
+	m := sup[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, s := range m[pos.Line] {
+		if s.analyzer == analyzer || s.analyzer == "*" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+	"repro/internal/lint/load"
+)
+
+// A suppression without a reason is itself a finding and does not
+// silence anything: the golden's discarded Sync error must surface
+// alongside the malformed-directive diagnostic.
+func TestMalformedSuppressionDoesNotSilence(t *testing.T) {
+	dir, err := filepath.Abs("testdata/src/malformed/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading golden: %v", err)
+	}
+	diags, err := lint.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var gotMalformed, gotSyncErr bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "adlint" && strings.Contains(d.Message, "malformed suppression"):
+			gotMalformed = true
+		case d.Analyzer == "syncerr" && strings.Contains(d.Message, "Journal.Sync"):
+			gotSyncErr = true
+		}
+	}
+	if !gotMalformed {
+		t.Errorf("missing malformed-suppression finding; got %v", diags)
+	}
+	if !gotSyncErr {
+		t.Errorf("reasonless directive silenced the syncerr finding; got %v", diags)
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 findings, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,158 @@
+// Package load type-checks Go packages for the adlint analyzers
+// without golang.org/x/tools/go/packages (the build container has no
+// module proxy). It shells out to `go list -export -deps -json` for
+// package metadata plus compiled export data — the go command builds
+// export files into its own cache, fully offline — parses each target
+// package's sources with go/parser, and type-checks them with a
+// go/importer "gc" importer whose lookup serves dependencies straight
+// from those export files. This is the same layering go/packages uses
+// (LoadTypes mode), minus cgo and overlays, which this repo never
+// needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Errors holds parse and type errors. A package with errors has
+	// best-effort Types/Info and must not be trusted for analysis.
+	Errors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in module directory dir and returns the matched
+// packages parsed and type-checked, dependencies resolved from export
+// data. Patterns are anything `go list` accepts; `./...` skips
+// testdata directories but explicit testdata paths load fine, which is
+// exactly what the analysistest harness wants.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,ImportMap,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	vendorMap := make(map[string]string)
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		p := lp
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for src, dst := range p.ImportMap {
+			vendorMap[src] = dst
+		}
+		if !p.DepOnly {
+			roots = append(roots, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := vendorMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (package failed to build?)", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		if lp.Name == "" && lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s", lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which adlint's loader does not support", lp.ImportPath)
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Fset:       fset,
+		}
+		if lp.Error != nil {
+			pkg.Errors = append(pkg.Errors, fmt.Errorf("%s", lp.Error.Err))
+		}
+		for _, f := range lp.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if af != nil {
+				pkg.Files = append(pkg.Files, af)
+			}
+			if err != nil {
+				pkg.Errors = append(pkg.Errors, err)
+			}
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		cfg := &types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error: func(err error) {
+				pkg.Errors = append(pkg.Errors, err)
+			},
+		}
+		tp, _ := cfg.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+		pkg.Types = tp
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -109,6 +109,23 @@ func NewContextFromIndex(ix *artifact.Index) *Context {
 	}
 }
 
+// sortedUnits returns the corpus translation units in path order.
+// Rule traversals that emit findings must iterate units through this
+// (not by ranging ctx.Units directly) so each rule's emission order is
+// deterministic on its own, independent of the caller's final sort.
+func (ctx *Context) sortedUnits() []*ccast.TranslationUnit {
+	paths := make([]string, 0, len(ctx.Units))
+	for p := range ctx.Units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	units := make([]*ccast.TranslationUnit, 0, len(paths))
+	for _, p := range paths {
+		units = append(units, ctx.Units[p])
+	}
+	return units
+}
+
 // Rule is one checker.
 type Rule interface {
 	// ID is a short stable identifier, e.g. "cast".

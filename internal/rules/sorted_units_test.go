@@ -1,0 +1,34 @@
+package rules
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ccast"
+	"repro/internal/srcfile"
+)
+
+// Rule Check traversals iterate units through sortedUnits so each
+// rule's emission order is deterministic on its own (the adlint
+// detrange invariant), rather than leaning on the caller's final sort.
+func TestSortedUnitsPathOrder(t *testing.T) {
+	unit := func(path string) *ccast.TranslationUnit {
+		return &ccast.TranslationUnit{File: &srcfile.File{Path: path}}
+	}
+	ctx := &Context{Units: map[string]*ccast.TranslationUnit{
+		"planning/z.cc":   unit("planning/z.cc"),
+		"canbus/a.cc":     unit("canbus/a.cc"),
+		"perception/m.cc": unit("perception/m.cc"),
+	}}
+	got := ctx.sortedUnits()
+	if len(got) != len(ctx.Units) {
+		t.Fatalf("sortedUnits returned %d units, want %d", len(got), len(ctx.Units))
+	}
+	paths := make([]string, 0, len(got))
+	for _, tu := range got {
+		paths = append(paths, tu.File.Path)
+	}
+	if !sort.StringsAreSorted(paths) {
+		t.Fatalf("sortedUnits order %v is not path-sorted", paths)
+	}
+}

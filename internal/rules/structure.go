@@ -136,7 +136,7 @@ func (r *PointerRule) Check(ctx *Context) []Finding {
 			return true
 		})
 	}
-	for _, tu := range ctx.Units {
+	for _, tu := range ctx.sortedUnits() {
 		r.unitFindings(tu, em)
 	}
 	return em.out
@@ -201,7 +201,7 @@ func (*GlobalVarRule) Describe() string {
 // Check implements Rule.
 func (r *GlobalVarRule) Check(ctx *Context) []Finding {
 	em := &Emitter{}
-	for _, tu := range ctx.Units {
+	for _, tu := range ctx.sortedUnits() {
 		r.unitFindings(tu, em)
 	}
 	return em.out

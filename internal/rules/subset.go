@@ -82,7 +82,7 @@ func (*LanguageSubsetRule) Describe() string {
 // Check implements Rule.
 func (r *LanguageSubsetRule) Check(ctx *Context) []Finding {
 	em := &Emitter{}
-	for _, tu := range ctx.Units {
+	for _, tu := range ctx.sortedUnits() {
 		walkDeclNodes(tu, func(n ccast.Node) { r.declFindings(tu, n, em) })
 	}
 	for _, fi := range ctx.Funcs {
@@ -178,7 +178,7 @@ func (*StyleRule) Describe() string {
 // Check implements Rule.
 func (r *StyleRule) Check(ctx *Context) []Finding {
 	em := &Emitter{}
-	for _, tu := range ctx.Units {
+	for _, tu := range ctx.sortedUnits() {
 		r.scanUnit(tu, em)
 	}
 	return em.out
@@ -234,7 +234,7 @@ func (*NamingRule) Describe() string {
 // Check implements Rule.
 func (r *NamingRule) Check(ctx *Context) []Finding {
 	em := &Emitter{}
-	for _, tu := range ctx.Units {
+	for _, tu := range ctx.sortedUnits() {
 		walkDeclNodes(tu, func(n ccast.Node) { r.declFindings(tu, n, em) })
 	}
 	return em.out

@@ -137,17 +137,17 @@ func OpenJournal(path string, apply func(gen uint64, changed []*srcfile.File, re
 	j := &Journal{f: f, path: path, size: valid, records: rep.Records}
 	if valid == 0 {
 		if err := j.writeHeader(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, rep, err
 		}
 	} else if rep.Torn {
 		// Drop the torn tail before any further append.
 		if err := f.Truncate(valid); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, rep, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, rep, err
 		}
 	}

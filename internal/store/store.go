@@ -166,21 +166,21 @@ func (cs *CorpusStore) WriteSnapshot(st *core.PersistedState) (int64, error) {
 		return 0, err
 	}
 	if _, err := f.Write(raw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	if err := os.Rename(tmp, cs.snapshotPath()); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	// The snapshot is installed: from here on the new generation rules,
@@ -204,7 +204,7 @@ func (cs *CorpusStore) resetJournal() error {
 		return err
 	}
 	if err := j.Reset(); err != nil {
-		j.Close()
+		_ = j.Close()
 		return err
 	}
 	return j.Close()
