@@ -1,0 +1,138 @@
+// Command adload is the sustained-load harness for adserve: it creates
+// a fleet of generated corpora over the HTTP API, storms them with
+// concurrent /delta streams (each worker editing its own module, so
+// deltas land on disjoint shards) mixed with /report and /findings
+// reads, and reports throughput, latency percentiles, and journal fsync
+// amortization.
+//
+// Usage:
+//
+//	adload [-addr URL] [-data-dir DIR] [-corpora N] [-concurrency N]
+//	       [-deltas N] [-read-every N] [-modules N] [-files N]
+//	       [-seed N] [-json]
+//
+// With -addr the harness drives a running adserve. Without it, adload
+// spins up an in-process persistent server over -data-dir (a temporary
+// directory by default) so a single command yields end-to-end numbers
+// including journal durability costs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/loadgen"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "adload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usageErr(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "adload: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func run() error {
+	addrFlag := flag.String("addr", "", "target server URL (e.g. http://127.0.0.1:8080); empty = in-process server")
+	dataDirFlag := flag.String("data-dir", "", "data directory for the in-process server (default: a fresh temp dir)")
+	corporaFlag := flag.Int("corpora", 4, "number of corpora to create and storm")
+	concFlag := flag.Int("concurrency", 8, "concurrent workers")
+	deltasFlag := flag.Int("deltas", 400, "total /delta requests to issue")
+	readEveryFlag := flag.Int("read-every", 2, "each worker issues one GET per this many of its deltas (0 = no reads)")
+	modulesFlag := flag.Int("modules", 8, "modules per generated base corpus")
+	filesFlag := flag.Int("files", 4, "C++ files per module in the base corpus")
+	seedFlag := flag.Int64("seed", 26262, "corpus generation seed (corpus i uses seed+i)")
+	jsonFlag := flag.Bool("json", false, "emit the result as JSON instead of the human summary")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments: %v", flag.Args())
+	}
+	if *corporaFlag < 1 {
+		usageErr("-corpora must be at least 1 (got %d)", *corporaFlag)
+	}
+	if *concFlag < 1 {
+		usageErr("-concurrency must be at least 1 (got %d)", *concFlag)
+	}
+	if *deltasFlag < 1 {
+		usageErr("-deltas must be at least 1 (got %d)", *deltasFlag)
+	}
+	if *readEveryFlag < 0 {
+		usageErr("-read-every must not be negative (got %d)", *readEveryFlag)
+	}
+	if *modulesFlag < 1 || *filesFlag < 1 {
+		usageErr("-modules and -files must be at least 1")
+	}
+	if *addrFlag != "" && *dataDirFlag != "" {
+		usageErr("-data-dir applies only to the in-process server; drop it when using -addr")
+	}
+
+	cfg := loadgen.Config{
+		Corpora:        *corporaFlag,
+		Concurrency:    *concFlag,
+		Deltas:         *deltasFlag,
+		ReadEvery:      *readEveryFlag,
+		Modules:        *modulesFlag,
+		FilesPerModule: *filesFlag,
+		Seed:           *seedFlag,
+	}
+
+	baseURL := *addrFlag
+	client := http.DefaultClient
+	if baseURL == "" {
+		dir := *dataDirFlag
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "adload-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		d, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return err
+		}
+		svc, _, err := service.NewWithStore(d)
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer func() {
+			ts.Close()
+			_ = svc.Close()
+		}()
+		baseURL = ts.URL
+		client = ts.Client()
+		fmt.Fprintf(os.Stderr, "adload: in-process server over %s\n", dir)
+	}
+
+	baseFiles, err := loadgen.Setup(client, baseURL, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := loadgen.Run(client, baseURL, cfg)
+	if err != nil {
+		return err
+	}
+	res.BaseFiles = baseFiles
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Print(res.String())
+	if res.Errors > 0 {
+		return fmt.Errorf("%d requests failed", res.Errors)
+	}
+	return nil
+}

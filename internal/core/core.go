@@ -73,10 +73,23 @@ type Assessor struct {
 	// commitHook, when set, observes every CommitDelta before any state
 	// mutates — the write-ahead-journal hook of the persistence layer.
 	commitHook func(changed []*srcfile.File, removed []string) error
+
+	// gen counts observable-state generations: it advances on every load
+	// and every commit that changed the corpus (no-op deltas keep it).
+	// Anything rendered from the assessor — report, findings rows — is
+	// valid exactly as long as gen holds still; the serving layer keys
+	// its projection caches on it.
+	gen uint64
 }
 
 // Config returns the assessor's configuration.
 func (a *Assessor) Config() Config { return a.cfg }
+
+// Gen returns the observable-state generation: it advances on every
+// load and every state-changing commit, and everything derivable from
+// the assessor (findings, report tables, metrics) is a pure function of
+// it. Callers memoizing rendered views invalidate on a Gen change.
+func (a *Assessor) Gen() uint64 { return a.gen }
 
 // NewAssessor creates an assessor; call LoadDefaultCorpus, LoadFileSet,
 // or LoadDir before Assess.
@@ -122,6 +135,7 @@ func (a *Assessor) LoadFileSet(fs *srcfile.FileSet) error {
 	a.stats = nil
 	a.fw = nil
 	a.arch = nil
+	a.gen++
 	return nil
 }
 

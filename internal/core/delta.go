@@ -135,12 +135,14 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 		return nil, errors.New("core: CommitDelta with a delta prepared for a different assessor")
 	}
 	if a.commitHook != nil && (len(pd.dirty) > 0 || len(pd.removed) > 0) {
-		// Write-ahead discipline: the hook (journal append + sync) must
-		// succeed before any state mutates, so a crash at any later point
-		// replays the delta on the next boot. On error the commit is
-		// aborted with the assessor untouched. All-unchanged deltas skip
-		// the hook: there is nothing to replay, and journaling empty
-		// records would pay an fsync (and advance compaction) per no-op.
+		// Write-ahead discipline: the hook (the journal write — callers
+		// that stage without syncing own making it durable before they
+		// acknowledge) must succeed before any state mutates, so a crash
+		// at any later point replays the delta on the next boot. On error
+		// the commit is aborted with the assessor untouched.
+		// All-unchanged deltas skip the hook: there is nothing to replay,
+		// and journaling empty records would cost a record (and advance
+		// compaction) per no-op.
 		if err := a.commitHook(pd.dirty, pd.removed); err != nil {
 			return nil, fmt.Errorf("core: %w: %v", ErrCommitHook, err)
 		}
@@ -170,7 +172,12 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 	}
 
 	// Drop memoized whole-corpus results; the per-shard caches behind
-	// them make the recomputation proportional to the delta.
+	// them make the recomputation proportional to the delta. The
+	// generation advances under the same condition the commit hook fires:
+	// an all-unchanged delta leaves nothing observable to invalidate.
+	if len(pd.dirty) > 0 || len(pd.removed) > 0 {
+		a.gen++
+	}
 	a.findings = nil
 	a.stats = nil
 	a.fw = nil
@@ -201,8 +208,11 @@ func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
 // language/module resolution and the raw removal list — before any
 // assessor state mutates. A hook error aborts the commit with the
 // assessor untouched. The persistence layer uses it as the write-ahead
-// journal append; replaying the recorded operations through ApplyDelta
-// on a restored snapshot reproduces the exact post-commit state.
+// journal write (Append to sync per commit, or Stage plus a later group
+// commit — in the latter case the caller must not acknowledge the delta
+// until the staged record is durable); replaying the recorded
+// operations through ApplyDelta on a restored snapshot reproduces the
+// exact post-commit state.
 func (a *Assessor) SetCommitHook(h func(changed []*srcfile.File, removed []string) error) {
 	a.commitHook = h
 }

@@ -11,20 +11,28 @@ import (
 // LockOrder enforces the service layer's lock hierarchy from the
 // sharded-store PR. Acquisition order is strictly rank-increasing:
 //
-//	rank 10  per-module locks   (corpusState.lockModules, held across a delta)
-//	rank 20  corpusState.mu     (corpus RWMutex; prepare under RLock, commit under Lock)
+//	rank 10  per-module locks    (corpusState.lockModules, held across a delta)
+//	rank 20  corpusState.mu      (corpus RWMutex; prepares and projection
+//	                              renders under RLock, commit under Lock)
+//	rank 25  corpusState.projMu  (rendered-projection cache; serializes the
+//	                              render, so it is NOT a leaf: the render
+//	                              itself runs under it)
 //	rank 30  corpusState.shardMu (leaf: guards the module-lock table only)
-//	rank 40  Server.mu          (leaf: guards the corpora map only)
+//	rank 40  Server.mu           (leaf: guards the corpora map only; reads
+//	                              take RLock)
 //
 // Leaf locks additionally forbid acquiring ANY other lock and making
 // any blocking call (fsync, snapshot writes, HTTP, store methods)
 // while held — they serialize every request on the server, so nothing
 // slow may run under them. The corpus lock deliberately permits
-// blocking I/O: journal-before-ack REQUIRES the fsync to happen under
-// the corpus write lock, so only ordering is enforced there.
+// blocking I/O: the write-ahead journal record is staged (written)
+// under the corpus write lock so commit order equals journal order —
+// only the group-commit fsync moved outside the lock, via the sync
+// barrier the delta handler captures before releasing it — and
+// snapshot writes run under it too. Only ordering is enforced there.
 var LockOrder = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc: "enforces module-lock -> corpus-RWMutex -> leaf (shardMu, Server.mu) acquisition order " +
+	Doc: "enforces module-lock -> corpus-RWMutex -> projMu -> leaf (shardMu, Server.mu) acquisition order " +
 		"and forbids blocking I/O under the leaf locks",
 	Run: runLockOrder,
 }
@@ -38,6 +46,7 @@ type lockInfo struct {
 // lockRegistry keys are "<recv-pkg-base>.<recv-type>.<field>".
 var lockRegistry = map[string]lockInfo{
 	"service.corpusState.mu":      {rank: 20},
+	"service.corpusState.projMu":  {rank: 25},
 	"service.corpusState.shardMu": {rank: 30, leaf: true},
 	"service.Server.mu":           {rank: 40, leaf: true},
 }
@@ -225,7 +234,7 @@ func (s *lockScan) acquireRegistered(key string, info lockInfo, pos token.Pos) {
 		}
 		if info.rank <= h.info.rank {
 			s.pass.Reportf(pos,
-				"lock order violation: acquiring %s (rank %d) while holding %s (rank %d); order is modules < corpus mu < shardMu < Server.mu",
+				"lock order violation: acquiring %s (rank %d) while holding %s (rank %d); order is modules < corpus mu < projMu < shardMu < Server.mu",
 				key, info.rank, h.key, h.info.rank)
 			return
 		}

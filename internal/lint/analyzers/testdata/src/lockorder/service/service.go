@@ -11,6 +11,7 @@ import (
 
 type corpusState struct {
 	mu       sync.RWMutex
+	projMu   sync.Mutex
 	shardMu  sync.Mutex
 	modLocks map[string]*sync.Mutex
 }
@@ -18,7 +19,7 @@ type corpusState struct {
 func (st *corpusState) lockModules(names []string) func() { return func() {} }
 
 type Server struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	corpora map[string]*corpusState
 }
 
@@ -101,6 +102,40 @@ func branchDoesNotLeak(s *Server, st *corpusState, cond bool) {
 	}
 	st.mu.Lock()
 	st.mu.Unlock()
+}
+
+func projectionRenderOrder(st *corpusState, name string) {
+	// The projection renderer's shape: corpus read lock, then projMu
+	// (rank 25) while rendering. Correct and allowed.
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.projMu.Lock()
+	defer st.projMu.Unlock()
+}
+
+func projMuBeforeCorpus(st *corpusState) {
+	st.projMu.Lock()
+	st.mu.RLock() // want `lock order violation: acquiring st.mu \(rank 20\) while holding st.projMu \(rank 25\)`
+	st.mu.RUnlock()
+	st.projMu.Unlock()
+}
+
+func projMuNotLeaf(st *corpusState) {
+	// projMu is ranked but NOT a leaf: the render runs under it, and
+	// shardMu (rank 30) may still be taken while it is held.
+	st.projMu.Lock()
+	st.shardMu.Lock()
+	st.shardMu.Unlock()
+	st.projMu.Unlock()
+}
+
+func serverReadLockIsLeafToo(s *Server, st *corpusState) {
+	// Server.mu read acquisitions carry the same leaf constraints as
+	// writes: nothing may be locked under them.
+	s.mu.RLock()
+	st.mu.RLock() // want `acquiring st.mu while holding leaf lock s.mu`
+	st.mu.RUnlock()
+	s.mu.RUnlock()
 }
 
 func suppressedViolation(s *Server, st *corpusState) {

@@ -1,0 +1,305 @@
+// Package loadgen is the sustained-load harness for adserve (ROADMAP
+// item 5): it replays corpusgen-derived delta streams against a running
+// server at configurable concurrency across many corpora, mixing in
+// /report and /findings reads, and reports throughput (deltas/sec,
+// reads/sec), latency percentiles (p50/p99), and journal fsync
+// amortization (fsyncs-per-delta) — the numbers the latency-only
+// benchmarks never see.
+//
+// The harness is deliberately black-box: it speaks only the public HTTP
+// API, so the same Run drives an in-process httptest server (the
+// LOAD_SMOKE CI gate, cmd/adload's default) or a remote adserve
+// (-addr). Every worker owns a private module per corpus, so deltas
+// from different workers land on disjoint shards — the concurrency the
+// service's shard-aware locking is built to serve — while all workers
+// of one corpus still contend on the corpus commit lock and journal,
+// which is exactly where group commit has to earn its keep.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpusgen"
+)
+
+// Config tunes a load run. Zero fields take the defaults documented on
+// each; the zero Config is a usable smoke burst.
+type Config struct {
+	// Corpora is the number of distinct corpora to create and storm
+	// (default 1). Workers are assigned round-robin.
+	Corpora int
+	// Concurrency is the number of concurrent workers (default 8).
+	Concurrency int
+	// Deltas is the total number of POST /delta requests to issue
+	// across all workers (default 200).
+	Deltas int
+	// ReadEvery makes each worker issue one GET (/findings and /report
+	// alternating) per ReadEvery of its deltas; 0 disables reads.
+	ReadEvery int
+	// Modules and FilesPerModule shape each generated base corpus
+	// (defaults 8 and 4; violations and CUDA files use corpusgen
+	// defaults so read payloads carry realistic finding volumes).
+	Modules        int
+	FilesPerModule int
+	// Seed drives the base corpora (corpus i uses Seed+i) and keeps the
+	// whole run replayable.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Corpora <= 0 {
+		c.Corpora = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Deltas <= 0 {
+		c.Deltas = 200
+	}
+	if c.ReadEvery < 0 {
+		c.ReadEvery = 0
+	}
+	if c.Modules <= 0 {
+		c.Modules = 8
+	}
+	if c.FilesPerModule <= 0 {
+		c.FilesPerModule = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 26262
+	}
+	return c
+}
+
+// Result is one load run's scorecard. JSON field names match the
+// BENCH_pipeline.json "load" entry so a run can be recorded verbatim.
+type Result struct {
+	Corpora     int `json:"corpora"`
+	Concurrency int `json:"concurrency"`
+	BaseFiles   int `json:"base_files_per_corpus"`
+
+	Deltas    int           `json:"deltas"`
+	Reads     int           `json:"reads"`
+	Errors    int           `json:"errors"`
+	ElapsedNs time.Duration `json:"elapsed_ns"`
+
+	DeltasPerSec float64 `json:"deltas_per_sec"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+
+	DeltaP50 time.Duration `json:"delta_p50_ns"`
+	DeltaP99 time.Duration `json:"delta_p99_ns"`
+	ReadP50  time.Duration `json:"read_p50_ns"`
+	ReadP99  time.Duration `json:"read_p99_ns"`
+
+	// Fsyncs is the cumulative journal record-durability fsync count
+	// summed over all corpora at the end of the run (0 against an
+	// in-memory server), and FsyncsPerDelta its ratio to Deltas — the
+	// group-commit amortization metric.
+	Fsyncs         int64   `json:"fsyncs"`
+	FsyncsPerDelta float64 `json:"fsyncs_per_delta"`
+}
+
+// String renders the human summary cmd/adload prints.
+func (r *Result) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "load: %d corpora x %d files, %d workers\n", r.Corpora, r.BaseFiles, r.Concurrency)
+	fmt.Fprintf(&b, "  deltas: %d in %v  (%.1f/sec, p50 %v, p99 %v)\n",
+		r.Deltas, r.ElapsedNs.Round(time.Millisecond), r.DeltasPerSec, r.DeltaP50.Round(time.Microsecond), r.DeltaP99.Round(time.Microsecond))
+	if r.Reads > 0 {
+		fmt.Fprintf(&b, "  reads:  %d  (%.1f/sec, p50 %v, p99 %v)\n",
+			r.Reads, r.ReadsPerSec, r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond))
+	}
+	if r.Fsyncs > 0 {
+		fmt.Fprintf(&b, "  fsyncs: %d  (%.3f per delta)\n", r.Fsyncs, r.FsyncsPerDelta)
+	}
+	if r.Errors > 0 {
+		fmt.Fprintf(&b, "  ERRORS: %d\n", r.Errors)
+	}
+	return b.String()
+}
+
+// corpusName names corpus i of a run.
+func corpusName(i int) string { return fmt.Sprintf("load-%02d", i) }
+
+// probeSrc is the delta payload of worker w's i-th edit: a small, clean,
+// always-distinct function so every delta genuinely re-parses (an
+// unchanged body would be skipped — and never journaled — by the
+// incremental engine).
+func probeSrc(w, i int) string {
+	return fmt.Sprintf("int LoadProbeW%dN%d(int x) {\n  if (x > %d) {\n    x = x - 1;\n  }\n  return x;\n}\n", w, i, i%7)
+}
+
+// workerPath is the file worker w edits: each worker owns one module
+// (the path's leading segment), so deltas from different workers touch
+// disjoint shards and only meet at the corpus commit lock + journal.
+func workerPath(w int) string { return fmt.Sprintf("loadw%03d/probe_w%03d.cc", w, w) }
+
+// Setup creates the run's corpora over the HTTP API (POST /assess with
+// inline generated files) and returns the per-corpus base file count.
+func Setup(client *http.Client, baseURL string, cfg Config) (int, error) {
+	cfg = cfg.withDefaults()
+	baseFiles := 0
+	for i := 0; i < cfg.Corpora; i++ {
+		g := corpusgen.New(corpusgen.Params{
+			Modules:        cfg.Modules,
+			FilesPerModule: cfg.FilesPerModule,
+		}, cfg.Seed+int64(i))
+		files := make(map[string]string, g.Len())
+		for _, p := range g.Paths() {
+			files[p] = g.Source(p)
+		}
+		baseFiles = len(files)
+		body, err := json.Marshal(map[string]interface{}{
+			"corpus": corpusName(i),
+			"files":  files,
+		})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(baseURL+"/assess", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, fmt.Errorf("loadgen: assess %s: %w", corpusName(i), err)
+		}
+		slurp, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("loadgen: assess %s: %s: %s", corpusName(i), resp.Status, slurp)
+		}
+	}
+	return baseFiles, nil
+}
+
+// deltaResponse is the slice of the /delta response the harness reads.
+type deltaResponse struct {
+	Journal *struct {
+		Fsyncs int64 `json:"fsyncs"`
+	} `json:"journal"`
+}
+
+// Run executes one load run against an already-Setup server and
+// aggregates the scorecard. Individual request failures are counted,
+// not fatal, so a partial regression still produces numbers.
+func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Corpora: cfg.Corpora, Concurrency: cfg.Concurrency}
+
+	// fsyncs[c] tracks the cumulative per-corpus counter via a CAS max:
+	// it is monotonic server-side, but responses race client-side.
+	fsyncs := make([]atomic.Int64, cfg.Corpora)
+	var tickets atomic.Int64
+	var errs atomic.Int64
+
+	type lats struct{ delta, read []time.Duration }
+	all := make([]lats, cfg.Concurrency)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			corpus := w % cfg.Corpora
+			name := corpusName(corpus)
+			path := workerPath(w)
+			for n := 0; ; n++ {
+				t := tickets.Add(1) - 1
+				if t >= int64(cfg.Deltas) {
+					return
+				}
+				body, _ := json.Marshal(map[string]interface{}{
+					"corpus":  name,
+					"changed": map[string]string{path: probeSrc(w, int(t))},
+				})
+				begin := time.Now()
+				resp, err := client.Post(baseURL+"/delta", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var dr deltaResponse
+				derr := json.NewDecoder(resp.Body).Decode(&dr)
+				_ = resp.Body.Close()
+				all[w].delta = append(all[w].delta, time.Since(begin))
+				if resp.StatusCode != http.StatusOK || derr != nil {
+					errs.Add(1)
+					continue
+				}
+				if dr.Journal != nil {
+					for {
+						cur := fsyncs[corpus].Load()
+						if dr.Journal.Fsyncs <= cur || fsyncs[corpus].CompareAndSwap(cur, dr.Journal.Fsyncs) {
+							break
+						}
+					}
+				}
+				if cfg.ReadEvery > 0 && n%cfg.ReadEvery == 0 {
+					ep := "/findings?corpus="
+					if n%(2*cfg.ReadEvery) == 0 {
+						ep = "/report?corpus="
+					}
+					begin := time.Now()
+					resp, err := client.Get(baseURL + ep + name)
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					all[w].read = append(all[w].read, time.Since(begin))
+					if resp.StatusCode != http.StatusOK || cerr != nil {
+						errs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.ElapsedNs = time.Since(start)
+
+	var deltas, reads []time.Duration
+	for _, l := range all {
+		deltas = append(deltas, l.delta...)
+		reads = append(reads, l.read...)
+	}
+	res.Deltas, res.Reads, res.Errors = len(deltas), len(reads), int(errs.Load())
+	secs := res.ElapsedNs.Seconds()
+	if secs > 0 {
+		res.DeltasPerSec = float64(res.Deltas) / secs
+		res.ReadsPerSec = float64(res.Reads) / secs
+	}
+	res.DeltaP50, res.DeltaP99 = percentile(deltas, 50), percentile(deltas, 99)
+	res.ReadP50, res.ReadP99 = percentile(reads, 50), percentile(reads, 99)
+	for i := range fsyncs {
+		res.Fsyncs += fsyncs[i].Load()
+	}
+	if res.Deltas > 0 {
+		res.FsyncsPerDelta = float64(res.Fsyncs) / float64(res.Deltas)
+	}
+	return res, nil
+}
+
+// percentile returns the p-th percentile of ds (nearest-rank on a
+// sorted copy; zero for an empty slice).
+func percentile(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := len(s)*p/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,45 @@
+package service
+
+// writeJSON must not hand a client a complete-looking 200 whose body
+// silently died mid-encode: a failure after the status line aborts the
+// connection so the client observes a broken transfer.
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// unencodable fails encoding only when marshaled, after the status line
+// is committed.
+type unencodable struct{ Ch chan int }
+
+func TestEncodeFailureAbortsConnection(t *testing.T) {
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/gzip" {
+			writeJSONNegotiated(w, r, http.StatusOK, unencodable{})
+			return
+		}
+		writeJSON(w, http.StatusOK, unencodable{})
+	}))
+	// The abort surfaces server-side as a recovered panic; keep its
+	// stack trace out of the test log.
+	ts.Config.ErrorLog = log.New(io.Discard, "", 0)
+	ts.Start()
+	defer ts.Close()
+
+	for _, path := range []string{"/plain", "/gzip"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			continue // connection died before the status line: aborted, good
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if rerr == nil {
+			t.Fatalf("%s: encode failure produced a clean %d response with body %q; want an aborted transfer",
+				path, resp.StatusCode, body)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+// White-box regression tests for the concurrent read path: /report and
+// /findings must serve under the corpus READ lock from the
+// generation-keyed projection cache. A regression back to the write
+// lock shows up here as a deadlock-timeout, not as a flaky timing
+// assertion.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/srcfile"
+)
+
+func loadedState(t *testing.T) *corpusState {
+	t.Helper()
+	fs := srcfile.NewFileSet()
+	fs.AddSource("m/a.c", "int ga;\nint fa(int x) { if (x > 0) { return 1; } return 0; }\n")
+	fs.AddSource("n/b.c", "int fb(int x) { while (x > 0) { x--; } return x; }\n")
+	a := core.NewAssessor(core.DefaultConfig())
+	if err := a.LoadFileSet(fs); err != nil {
+		t.Fatal(err)
+	}
+	return &corpusState{a: a}
+}
+
+// TestProjectionsServeUnderReadLock is the blocked-reader probe: a held
+// read lock (a delta prepare in flight) must not block the report and
+// findings projections — they take the read lock too. If either
+// regresses to the write lock, the render never returns.
+func TestProjectionsServeUnderReadLock(t *testing.T) {
+	st := loadedState(t)
+	st.mu.RLock()
+	type rendered struct {
+		r *ReportResponse
+		f *FindingsResponse
+	}
+	done := make(chan rendered, 1)
+	go func() {
+		done <- rendered{st.renderedReport("c"), st.renderedFindings("c")}
+	}()
+	var first rendered
+	select {
+	case first = <-done:
+	case <-time.After(10 * time.Second):
+		st.mu.RUnlock()
+		t.Fatal("projections blocked behind a held read lock: the read path takes the write lock")
+	}
+	st.mu.RUnlock()
+	if first.r == nil || first.f == nil {
+		t.Fatal("nil projection")
+	}
+
+	// Same generation: the cached responses are served as-is (pointer
+	// identity), so a read burst renders once.
+	if st.renderedReport("c") != first.r {
+		t.Fatal("same-generation report was re-rendered: projection memoization broken")
+	}
+	if st.renderedFindings("c") != first.f {
+		t.Fatal("same-generation findings were re-rendered: projection memoization broken")
+	}
+
+	// A commit advances the assessor generation and must invalidate both
+	// projections — and the fresh render must reflect the edit.
+	st.mu.Lock()
+	_, err := st.a.ApplyDelta(core.Delta{Changed: []*srcfile.File{
+		{Path: "m/a.c", Src: "int ga;\nint ga2;\nint fa(int x) { return x; }\n"},
+	}})
+	st.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := st.renderedReport("c")
+	if second == first.r {
+		t.Fatal("stale report projection served after a state-changing commit")
+	}
+	if st.renderedFindings("c") == first.f {
+		t.Fatal("stale findings projection served after a state-changing commit")
+	}
+	if second.Summary.LOC == first.r.Summary.LOC {
+		t.Fatalf("fresh report does not reflect the committed edit (LOC %d unchanged)", second.Summary.LOC)
+	}
+}
+
+// TestNoOpDeltaKeepsProjection pins the generation contract from the
+// serving side: an all-unchanged delta fires no hook, bumps no
+// generation, and therefore keeps the cached projections valid.
+func TestNoOpDeltaKeepsProjection(t *testing.T) {
+	st := loadedState(t)
+	first := st.renderedReport("c")
+	st.mu.Lock()
+	res, err := st.a.ApplyDelta(core.Delta{Changed: []*srcfile.File{
+		{Path: "m/a.c", Src: "int ga;\nint fa(int x) { if (x > 0) { return 1; } return 0; }\n"},
+	}})
+	st.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unchanged != 1 || res.Parsed != 0 {
+		t.Fatalf("delta result %+v, want a pure no-op", res)
+	}
+	if st.renderedReport("c") != first {
+		t.Fatal("no-op delta invalidated the report projection")
+	}
+}

@@ -21,10 +21,12 @@
 // A server opened over a data directory (NewWithStore) is persistent:
 // every corpus is restored on boot from its snapshot plus delta-journal
 // replay (a torn journal tail — the crash-mid-append signature — is
-// dropped), every /delta is journaled and fsync'd before it is
-// acknowledged, the journal is compacted into a fresh snapshot when it
-// outgrows its thresholds, and Close drains state back to disk and
-// writes a clean-shutdown marker so the next boot replays nothing.
+// dropped), every /delta is journaled and made durable before it is
+// acknowledged — concurrent deltas group-commit, coalescing their
+// journal fsyncs onto a shared one issued outside the corpus lock — the
+// journal is compacted into a fresh snapshot when it outgrows its
+// thresholds, and Close drains state back to disk and writes a
+// clean-shutdown marker so the next boot replays nothing.
 // /report and /findings additionally honor Accept-Encoding: gzip —
 // their multi-megabyte bodies compress roughly 20x on large corpora.
 //
@@ -65,7 +67,11 @@ const DefaultMaxBody = 16 << 20
 
 // Server holds the warm per-corpus assessor states.
 type Server struct {
-	mu sync.Mutex
+	// mu guards the corpus table: read-held for the name lookup every
+	// request starts with, write-held only when /assess installs or
+	// reinstates a corpus and when Close drains. Reads of distinct (or
+	// the same) corpora never contend here.
+	mu sync.RWMutex
 	// AllowDir, when true, lets POST /assess load server-side
 	// directories via "dir" (off by default: the service should not
 	// read arbitrary paths on behalf of remote clients).
@@ -80,14 +86,22 @@ type Server struct {
 
 type corpusState struct {
 	// mu guards the assessor: read-held during delta prepares (which
-	// only read the file set), write-held for commits, assessments, and
-	// report builds (all of which mutate warm caches).
+	// only read the file set) and rendered-projection serves, write-held
+	// for commits and the assessments they trigger. Renderers do mutate
+	// warm caches under the read lock, but only the memoized
+	// whole-corpus fields and per-shard caches — fields no other
+	// RLock-holding path touches (prepares read only the file set and
+	// the interner, which is internally striped) — and projMu serializes
+	// the renderers against each other.
 	mu sync.RWMutex
 	a  *core.Assessor
 	// cs is the corpus's persistent store (nil on in-memory servers).
-	// It is touched only under mu's write lock: the journal append runs
+	// It is touched only under mu's write lock: the journal stage runs
 	// inside CommitDelta via the assessor's commit hook, compaction and
-	// snapshots run after commits, and Close drains under the lock.
+	// snapshots run after commits, and Close drains under the lock. The
+	// one exception is the sync barrier a delta captures under the lock
+	// and invokes after release — the group-commit fsync (Journal is
+	// internally locked for exactly this).
 	cs *store.CorpusStore
 
 	// shardMu guards the module-lock table; each module lock serializes
@@ -95,6 +109,19 @@ type corpusState struct {
 	// deterministic order while disjoint-module deltas overlap.
 	shardMu    sync.Mutex
 	shardLocks map[string]*sync.Mutex
+
+	// projMu guards the rendered-projection cache below. It nests inside
+	// mu — renderers hold st.mu.RLock, then projMu — and serializes the
+	// (expensive) render so a burst of reads after one delta renders
+	// once and the rest serve the cached value. The cached responses are
+	// immutable once published (invalidation replaces, never mutates),
+	// so handlers may encode them after releasing every lock.
+	projMu sync.Mutex
+	// projGen is the assessor generation projReport/projFindings were
+	// rendered at; a Gen() advance invalidates both.
+	projGen      uint64
+	projReport   *ReportResponse
+	projFindings *FindingsResponse
 }
 
 // lockModules acquires the per-module locks for the given paths' modules
@@ -176,7 +203,7 @@ func NewWithStore(d *store.Dir) (*Server, []RestoredCorpus, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("restore corpus %q: %w", name, err)
 		}
-		a.SetCommitHook(cs.Append)
+		a.SetCommitHook(cs.Stage)
 		s.corpora[name] = &corpusState{a: a, cs: cs}
 		restored = append(restored, RestoredCorpus{
 			Name:     name,
@@ -313,6 +340,11 @@ type JournalStats struct {
 	// any compaction it triggered).
 	Records int   `json:"records"`
 	Bytes   int64 `json:"bytes"`
+	// Fsyncs is the cumulative record-durability fsync count of the
+	// corpus's journal (monotonic across compactions). A load harness
+	// divides it by the deltas it issued to measure group-commit
+	// amortization.
+	Fsyncs int64 `json:"fsyncs"`
 	// Compacted reports that this delta tripped a compaction: the
 	// journal was absorbed into a fresh snapshot.
 	Compacted bool `json:"compacted"`
@@ -534,14 +566,14 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 				//adlint:ignore lockorder rank-equal corpus locks: same (successor, predecessor) replacement order as above, reinstating the superseded state
 				old.mu.Lock()
 				old.cs = oldCS
-				old.a.SetCommitHook(oldCS.Append)
+				old.a.SetCommitHook(oldCS.Stage)
 				old.mu.Unlock()
 			}
 			st.mu.Unlock()
 			writeErr(w, http.StatusInternalServerError, "persist corpus: "+err.Error())
 			return
 		}
-		a.SetCommitHook(cs.Append)
+		a.SetCommitHook(cs.Stage)
 	}
 	resp := AssessResponse{Summary: summarize(name, a, as)}
 	st.mu.Unlock()
@@ -606,13 +638,17 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	// On a persistent server the commit hook journals (and fsyncs) the
-	// delta inside CommitDelta before any state mutates, so a 200 here
-	// means the delta is durable; a journal failure surfaces as a
-	// commit error with the corpus untouched.
+	// On a persistent server the commit hook stages the journal record
+	// inside CommitDelta before any state mutates (commit order = journal
+	// order, so every later fsync covers a prefix of committed deltas); a
+	// staging failure surfaces as a commit error with the corpus
+	// untouched. Durability comes from the sync barrier below, after the
+	// write lock is released, so concurrent deltas group-commit onto a
+	// shared fsync — but always before the 200: an acknowledged delta is
+	// on disk.
 	res, err := st.a.CommitDelta(pd)
 	if err != nil {
+		st.mu.Unlock()
 		// A journal failure is a server-side durability fault (retry
 		// later), not an invalid request.
 		status := http.StatusUnprocessableEntity
@@ -633,17 +669,34 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			MetricFilesComputed: st.a.MetricFilesComputed(),
 		},
 	}
+	var syncJournal func() (int64, error)
 	if st.cs != nil {
 		js := &JournalStats{}
 		if st.cs.ShouldCompact() {
 			// Compaction failure is not a delta failure: the record is
-			// journaled and durable either way, and the next delta
-			// retries the compaction.
+			// staged (and absorbed or fsync'd below) either way, and the
+			// next delta retries the compaction.
 			_, perr := st.persist()
 			js.Compacted = perr == nil
 		}
 		js.Records, js.Bytes = st.cs.JournalRecords(), st.cs.JournalBytes()
 		resp.Journal = js
+		// Capture the barrier under the lock so it covers exactly the
+		// staged prefix ending at this commit (a compaction just above
+		// makes it a no-op: the snapshot absorbed the record).
+		syncJournal = st.cs.SyncBarrier()
+	}
+	st.mu.Unlock()
+	if syncJournal != nil {
+		n, err := syncJournal()
+		if err != nil {
+			// The commit is in memory but its durability is unknown: a
+			// distinct server-side fault — the client must not assume
+			// the delta survives a crash.
+			writeErr(w, http.StatusInternalServerError, "journal sync: "+err.Error())
+			return
+		}
+		resp.Journal.Fsyncs = n
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -696,9 +749,53 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
 		return
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	writeJSONNegotiated(w, r, http.StatusOK, BuildReport(name, st.a))
+	resp := st.renderedReport(name)
+	writeJSONNegotiated(w, r, http.StatusOK, resp)
+}
+
+// renderedReport serves the corpus's report projection, rendering it at
+// most once per assessor generation: concurrent reads share the cached
+// response under the corpus read lock, so they neither block each other
+// nor pay repeated renders, and a write (delta commit) waits only for
+// the render in flight, not for a queue of them.
+func (st *corpusState) renderedReport(name string) *ReportResponse {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	gen := st.a.Gen()
+	st.projMu.Lock()
+	defer st.projMu.Unlock()
+	st.invalidateProjLocked(gen)
+	if st.projReport == nil {
+		r := BuildReport(name, st.a)
+		st.projReport = &r
+	}
+	return st.projReport
+}
+
+// renderedFindings is renderedReport for the findings projection.
+func (st *corpusState) renderedFindings(name string) *FindingsResponse {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	gen := st.a.Gen()
+	st.projMu.Lock()
+	defer st.projMu.Unlock()
+	st.invalidateProjLocked(gen)
+	if st.projFindings == nil {
+		rows := FindingRows(st.a.Findings())
+		st.projFindings = &FindingsResponse{Corpus: name, Count: len(rows), Findings: rows}
+	}
+	return st.projFindings
+}
+
+// invalidateProjLocked drops cached projections rendered at a different
+// generation. Callers hold projMu (and st.mu at least read-locked, so
+// gen is current).
+func (st *corpusState) invalidateProjLocked(gen uint64) {
+	if st.projGen != gen {
+		st.projGen = gen
+		st.projReport = nil
+		st.projFindings = nil
+	}
 }
 
 // BuildReport assembles the full report payload for an assessor. Exported
@@ -733,10 +830,8 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
 		return
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rows := FindingRows(st.a.Findings())
-	writeJSONNegotiated(w, r, http.StatusOK, FindingsResponse{Corpus: name, Count: len(rows), Findings: rows})
+	resp := st.renderedFindings(name)
+	writeJSONNegotiated(w, r, http.StatusOK, resp)
 }
 
 // FindingRows projects engine findings onto the wire rows, preserving
@@ -767,9 +862,9 @@ func (s *Server) corpus(name string) (*corpusState, string, bool) {
 	if name == "" {
 		name = "default"
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	st, ok := s.corpora[name]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	return st, name, ok
 }
 
@@ -824,7 +919,28 @@ func sortedKeys(m map[string]string) []string {
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	abortOnEncodeErr(json.NewEncoder(w).Encode(v))
+}
+
+// abortOnEncodeErr handles a mid-body encode failure. The status line
+// is already on the wire, so the response cannot be turned into an
+// error — but it must not be left looking like a success either: the
+// handler panics to kill the connection, so the client sees a truncated
+// transfer instead of a complete-looking 200 with a silently truncated
+// body. A value the encoder cannot marshal is a server bug and panics
+// loudly (net/http logs the stack); a write failure means the client is
+// gone and aborts quietly via http.ErrAbortHandler.
+func abortOnEncodeErr(err error) {
+	if err == nil {
+		return
+	}
+	var ute *json.UnsupportedTypeError
+	var uve *json.UnsupportedValueError
+	var me *json.MarshalerError
+	if errors.As(err, &ute) || errors.As(err, &uve) || errors.As(err, &me) {
+		panic(fmt.Sprintf("service: response failed to encode: %v", err))
+	}
+	panic(http.ErrAbortHandler)
 }
 
 // writeJSONNegotiated is writeJSON plus gzip content negotiation, used
@@ -842,8 +958,11 @@ func writeJSONNegotiated(w http.ResponseWriter, r *http.Request, status int, v i
 	w.Header().Set("Content-Encoding", "gzip")
 	w.WriteHeader(status)
 	gz := gzip.NewWriter(w)
-	_ = json.NewEncoder(gz).Encode(v)
-	_ = gz.Close()
+	abortOnEncodeErr(json.NewEncoder(gz).Encode(v))
+	// A Close failure is a flush that never reached the client: without
+	// the trailing gzip frame the body is undecodable, so abort rather
+	// than leave a 200 with a corrupt payload.
+	abortOnEncodeErr(gz.Close())
 }
 
 // acceptsGzip reports whether the client's Accept-Encoding admits gzip

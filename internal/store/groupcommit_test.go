@@ -1,0 +1,234 @@
+package store_test
+
+// Group-commit journal tests: Stage/SyncTo semantics, leader/follower
+// fsync coalescing, Reset absorbing staged records, and the store-level
+// SyncBarrier used by the service's /delta handler.
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpusgen"
+	"repro/internal/srcfile"
+	"repro/internal/store"
+)
+
+func openTestJournal(t *testing.T) *store.Journal {
+	t.Helper()
+	j, _, err := store.OpenJournal(filepath.Join(t.TempDir(), "journal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	return j
+}
+
+func TestJournalStageThenSyncTo(t *testing.T) {
+	j := openTestJournal(t)
+	for i := 1; i <= 3; i++ {
+		seq, err := j.Stage(7, nil, []string{"mod/file.cc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != int64(i) {
+			t.Fatalf("stage %d returned seq %d", i, seq)
+		}
+	}
+	if got := j.Staged(); got != 3 {
+		t.Fatalf("Staged() = %d, want 3", got)
+	}
+	if got := j.Fsyncs(); got != 0 {
+		t.Fatalf("staging alone issued %d record fsyncs, want 0", got)
+	}
+	if err := j.SyncTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Fsyncs(); got != 1 {
+		t.Fatalf("SyncTo(3) issued %d fsyncs, want 1", got)
+	}
+	// An already-durable prefix needs no further fsync.
+	if err := j.SyncTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Fsyncs(); got != 1 {
+		t.Fatalf("SyncTo over a durable prefix issued a new fsync (%d total)", got)
+	}
+	if got := j.Records(); got != 3 {
+		t.Fatalf("Records() = %d, want 3", got)
+	}
+}
+
+func TestJournalGroupCommitCoalesces(t *testing.T) {
+	j := openTestJournal(t)
+	const n = 8
+	seqs := make([]int64, n)
+	for i := range seqs {
+		seq, err := j.Stage(7, nil, []string{"mod/file.cc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = seq
+	}
+	// Everything is staged before anyone syncs, so the first SyncTo to
+	// win the lock leads a batch covering all n records and every other
+	// caller rides it: exactly one fsync.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = j.SyncTo(seqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("SyncTo(%d): %v", seqs[i], err)
+		}
+	}
+	if got := j.Fsyncs(); got != 1 {
+		t.Fatalf("%d concurrent SyncTo over a pre-staged batch issued %d fsyncs, want 1", n, got)
+	}
+}
+
+func TestJournalConcurrentStageSyncDurable(t *testing.T) {
+	j := openTestJournal(t)
+	const n = 16
+	// Stage calls are serialized (the service holds the corpus write
+	// lock); the syncs race freely and group-commit however they land.
+	var stageMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stageMu.Lock()
+			seq, err := j.Stage(7, nil, []string{"mod/file.cc"})
+			stageMu.Unlock()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = j.SyncTo(seq)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if got := j.Records(); got != n {
+		t.Fatalf("Records() = %d, want %d", got, n)
+	}
+	if got := j.Fsyncs(); got < 1 || got > n {
+		t.Fatalf("Fsyncs() = %d, want between 1 and %d", got, n)
+	}
+}
+
+func TestJournalResetAbsorbsStaged(t *testing.T) {
+	j := openTestJournal(t)
+	for i := 0; i < 2; i++ {
+		if _, err := j.Stage(7, nil, []string{"mod/file.cc"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot that triggered the reset absorbed both staged records:
+	// their SyncTo is satisfied without any record fsync.
+	if err := j.SyncTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Fsyncs(); got != 0 {
+		t.Fatalf("SyncTo over reset-absorbed records issued %d fsyncs, want 0", got)
+	}
+	// Staging continues the monotonic sequence past the reset.
+	seq, err := j.Stage(7, nil, []string{"mod/file.cc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-reset stage returned seq %d, want 3", seq)
+	}
+	if err := j.SyncTo(seq); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := j.Fsyncs(), int64(1); got != want {
+		t.Fatalf("Fsyncs() = %d, want %d", got, want)
+	}
+	if got := j.Records(); got != 1 {
+		t.Fatalf("Records() = %d after reset+stage, want 1", got)
+	}
+}
+
+// TestStageSyncBarrierReplay drives the service-shaped sequence at the
+// store level — hook stages, barrier syncs after the corpus lock would
+// be released — and proves the staged records replay.
+func TestStageSyncBarrierReplay(t *testing.T) {
+	d, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Corpus("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any snapshot exists the barrier is a durable no-op.
+	if n, err := cs.SyncBarrier()(); n != 0 || err != nil {
+		t.Fatalf("empty-store barrier = (%d, %v), want (0, nil)", n, err)
+	}
+
+	a, gen := newWarmAssessor(t, 17)
+	if _, err := cs.WriteSnapshot(mustExport(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	a.SetCommitHook(cs.Stage)
+	staged := 0
+	for staged < 3 {
+		mut := gen.Mutate()
+		delta := core.Delta{}
+		if mut.Kind == corpusgen.MutRemove {
+			delta.Removed = []string{mut.Path}
+		} else {
+			delta.Changed = []*srcfile.File{{Path: mut.Path, Src: mut.Src}}
+		}
+		res, err := a.ApplyDelta(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Parsed+res.Removed == 0 {
+			continue // no-op delta: the hook never fired, nothing staged
+		}
+		staged++
+		if n, err := cs.SyncBarrier()(); err != nil {
+			t.Fatal(err)
+		} else if n < 1 {
+			t.Fatalf("barrier after stage reported %d fsyncs, want >= 1", n)
+		}
+	}
+	if got := cs.JournalRecords(); got != staged {
+		t.Fatalf("journal holds %d records, want %d", got, staged)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs2, _ := d.Corpus("c1")
+	rec, info, err := cs2.Recover(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != staged || info.Torn {
+		t.Fatalf("recover info = %+v, want %d replayed, not torn", info, staged)
+	}
+	requireIdentical(t, "stage+barrier replay", a, rec)
+	if err := cs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/srcfile"
 )
@@ -28,6 +29,18 @@ import (
 // expected torn-write signature and is reported (not an error), and the
 // journal is truncated back to the last good record before any further
 // append.
+//
+// Group commit splits an append into its two halves: Stage issues the
+// write(2) (callers serialize stages — the service holds the corpus
+// write lock) and SyncTo makes a staged prefix durable with a
+// leader/follower fsync batch — the first waiter syncs once on behalf
+// of every record staged before its fsync started, and concurrent
+// /delta writers therefore coalesce onto one fsync instead of paying
+// one each. Durability semantics are unchanged: a record is
+// acknowledged only after SyncTo covers it, records are staged in
+// commit order so every fsync covers a prefix, and a crash still leaves
+// at most a torn suffix of never-acknowledged records. Append remains
+// the one-call form (Stage + SyncTo) for single-threaded callers.
 
 const (
 	journalMagic     = "ADJRNL01"
@@ -38,12 +51,41 @@ const (
 	maxJournalRecord = 64 << 20
 )
 
-// Journal is an open, append-positioned delta journal.
+// Journal is an open, append-positioned delta journal. Stage calls must
+// be serialized by the caller (records are laid out back to back);
+// SyncTo, Reset, and every accessor are safe for concurrent use against
+// them — the group-commit state below is guarded by mu.
 type Journal struct {
-	f       *os.File
-	path    string
+	f    *os.File
+	path string
+
+	mu      sync.Mutex
 	size    int64 // bytes of magic + valid records
 	records int   // valid records on disk
+	// staged counts records ever staged through this handle and durable
+	// the prefix of them made durable — by a SyncTo fsync, or by a
+	// Reset absorbing them into an already-fsync'd snapshot. Both are
+	// monotonic (Reset does not rewind them; they number records, not
+	// bytes), so a sequence returned by Stage stays meaningful across
+	// compactions.
+	staged  int64
+	durable int64
+	// syncing is the in-flight fsync batch, nil when no leader is
+	// syncing. Followers wait on done; upTo is the staged sequence the
+	// batch covers.
+	syncing *syncBatch
+	// fsyncs counts the fsyncs issued to make records durable (one per
+	// Append; group commit amortizes it below one per record). Header
+	// writes and resets are not counted: the metric answers "how many
+	// fsyncs did acknowledged deltas cost".
+	fsyncs int64
+}
+
+// syncBatch is one leader fsync and the waiters it covers.
+type syncBatch struct {
+	done chan struct{}
+	upTo int64
+	err  error
 }
 
 // JournalReplay reports what opening a journal found.
@@ -161,56 +203,154 @@ func (j *Journal) writeHeader() error {
 	if err := j.f.Sync(); err != nil {
 		return err
 	}
+	j.mu.Lock()
 	j.size = int64(len(journalMagic))
 	j.records = 0
+	j.mu.Unlock()
 	return nil
 }
 
 // Append journals one delta (changed files with their resolved modules,
-// plus removals) and syncs it to stable storage before returning. A
-// delta encoding above the replay limit is rejected up front: appending
-// it would succeed but replay would misread it as a torn tail and
-// silently truncate it away — an explicit error (which aborts the
-// commit, state untouched) instead of acknowledged-then-lost data.
+// plus removals) and syncs it to stable storage before returning: the
+// one-call Stage + SyncTo for single-threaded callers.
 func (j *Journal) Append(gen uint64, changed []*srcfile.File, removed []string) error {
+	seq, err := j.Stage(gen, changed, removed)
+	if err != nil {
+		return err
+	}
+	return j.SyncTo(seq)
+}
+
+// Stage writes one delta record at the tail WITHOUT syncing and returns
+// its staged sequence for a later SyncTo. The record is not durable —
+// and must not be acknowledged — until SyncTo covers the sequence.
+// Callers serialize Stage calls (the service holds the corpus write
+// lock across the commit that stages). A delta encoding above the
+// replay limit is rejected up front: appending it would succeed but
+// replay would misread it as a torn tail and silently truncate it away
+// — an explicit error (which aborts the commit, state untouched)
+// instead of acknowledged-then-lost data. A failed write likewise
+// leaves the tail position unadvanced, so the next stage overwrites any
+// partial bytes and replay sees at worst a torn tail.
+func (j *Journal) Stage(gen uint64, changed []*srcfile.File, removed []string) (int64, error) {
 	payload := encodeDeltaRecord(gen, changed, removed)
 	if len(payload) > maxJournalRecord {
-		return fmt.Errorf("store: delta record of %d bytes exceeds the %d-byte journal record limit", len(payload), maxJournalRecord)
+		return 0, fmt.Errorf("store: delta record of %d bytes exceeds the %d-byte journal record limit", len(payload), maxJournalRecord)
 	}
 	rec := make([]byte, journalRecordHdr+len(payload))
 	putU32(rec, uint32(len(payload)))
 	putU32(rec[4:], crc(payload))
 	copy(rec[journalRecordHdr:], payload)
-	if _, err := j.f.WriteAt(rec, j.size); err != nil {
-		return err
+	j.mu.Lock()
+	off := j.size
+	j.mu.Unlock()
+	if _, err := j.f.WriteAt(rec, off); err != nil {
+		return 0, err
 	}
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
-	j.size += int64(len(rec))
+	j.mu.Lock()
+	j.size = off + int64(len(rec))
 	j.records++
+	j.staged++
+	seq := j.staged
+	j.mu.Unlock()
+	return seq, nil
+}
+
+// SyncTo blocks until the staged sequence seq is durable, group-
+// committing with every other concurrent SyncTo: if an fsync is already
+// in flight the caller waits for it, and the first waiter that finds no
+// fsync in flight becomes the leader and syncs once on behalf of every
+// record staged so far. An error means seq's durability is unknown —
+// callers must not acknowledge the record.
+func (j *Journal) SyncTo(seq int64) error {
+	j.mu.Lock()
+	for j.durable < seq {
+		if b := j.syncing; b != nil {
+			// Follower: wait out the in-flight batch. If it failed and
+			// covered us, our durability is unknown; if it covered only
+			// earlier records, loop and sync (or wait) again.
+			j.mu.Unlock()
+			<-b.done
+			if b.err != nil && b.upTo >= seq {
+				return b.err
+			}
+			j.mu.Lock()
+			continue
+		}
+		b := &syncBatch{done: make(chan struct{}), upTo: j.staged}
+		j.syncing = b
+		j.mu.Unlock()
+		b.err = j.f.Sync()
+		j.mu.Lock()
+		j.syncing = nil
+		j.fsyncs++
+		if b.err == nil && b.upTo > j.durable {
+			j.durable = b.upTo
+		}
+		close(b.done)
+		if b.err != nil {
+			j.mu.Unlock()
+			return b.err
+		}
+	}
+	j.mu.Unlock()
 	return nil
 }
 
+// Staged returns the sequence of the most recently staged record (0
+// before any stage) — the argument a caller passes to SyncTo to cover
+// everything it has staged so far.
+func (j *Journal) Staged() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.staged
+}
+
+// Fsyncs returns the cumulative number of record-durability fsyncs this
+// journal handle has issued (never reset, not even by Reset): the
+// denominator half of the fsyncs-per-delta load metric is the delta
+// count, this is the numerator.
+func (j *Journal) Fsyncs() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fsyncs
+}
+
 // Reset discards every record (a fresh snapshot absorbed them) and
-// syncs the truncation.
+// syncs the truncation. Every staged record becomes durable by
+// absorption — the snapshot that triggered the reset was fsync'd with
+// those records' deltas applied — so in-flight SyncTo waiters are
+// satisfied even though the records themselves are gone.
 func (j *Journal) Reset() error {
+	j.mu.Lock()
+	j.durable = j.staged
+	j.mu.Unlock()
 	if err := j.f.Truncate(int64(len(journalMagic))); err != nil {
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
 		return err
 	}
+	j.mu.Lock()
 	j.size = int64(len(journalMagic))
 	j.records = 0
+	j.mu.Unlock()
 	return nil
 }
 
 // Records returns the number of records currently journaled.
-func (j *Journal) Records() int { return j.records }
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
 
 // Size returns the journal's valid byte size (header + records).
-func (j *Journal) Size() int64 { return j.size }
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
 
 // Sync flushes the journal file to stable storage (appends already sync
 // record-by-record; this is the belt-and-braces flush on shutdown).

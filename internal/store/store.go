@@ -305,10 +305,26 @@ func (cs *CorpusStore) replayInto(a *core.Assessor, info *RecoverInfo) func(gen 
 }
 
 // Append journals one committed delta under the current snapshot
-// generation, syncing before return. It is the natural core.Assessor
-// commit hook. Appending before any snapshot exists is an error: a
-// record with no generation to anchor to could never replay safely.
+// generation, syncing before return: Stage plus an immediate sync — the
+// single-threaded commit hook (the differential harness and tests use
+// it directly). The concurrent service stages under its corpus write
+// lock and group-commits via SyncBarrier after releasing it.
 func (cs *CorpusStore) Append(changed []*srcfile.File, removed []string) error {
+	if err := cs.Stage(changed, removed); err != nil {
+		return err
+	}
+	return cs.j.SyncTo(cs.j.Staged())
+}
+
+// Stage journals one committed delta under the current snapshot
+// generation WITHOUT syncing. It is the natural core.Assessor commit
+// hook for the concurrent service: the record hits the OS under the
+// corpus write lock (commit order = journal order, so every fsync
+// covers a prefix of committed deltas), and the handler makes it
+// durable via SyncBarrier before acknowledging. Staging before any
+// snapshot exists is an error: a record with no generation to anchor to
+// could never replay safely.
+func (cs *CorpusStore) Stage(changed []*srcfile.File, removed []string) error {
 	if cs.gen == 0 {
 		return fmt.Errorf("store: journal append before a snapshot exists in %s", cs.dir)
 	}
@@ -325,7 +341,28 @@ func (cs *CorpusStore) Append(changed []*srcfile.File, removed []string) error {
 		}
 		cs.pendingReset = false
 	}
-	return cs.j.Append(cs.gen, changed, removed)
+	_, err := cs.j.Stage(cs.gen, changed, removed)
+	return err
+}
+
+// SyncBarrier captures everything staged so far and returns a closure
+// that blocks until it is durable, group-committing with concurrent
+// barriers, then reports the cumulative fsync count. Callers capture
+// the barrier while still holding their corpus lock (pinning the staged
+// high-water mark to their own commit) and invoke it after release, so
+// the fsync happens outside the lock and concurrent commits coalesce
+// onto one fsync. With nothing staged (no journal open) the closure is
+// a durable no-op.
+func (cs *CorpusStore) SyncBarrier() func() (int64, error) {
+	j := cs.j
+	if j == nil {
+		return func() (int64, error) { return 0, nil }
+	}
+	seq := j.Staged()
+	return func() (int64, error) {
+		err := j.SyncTo(seq)
+		return j.Fsyncs(), err
+	}
 }
 
 // ReadJournal scans the corpus's journal read-only (see the package
@@ -372,6 +409,17 @@ func (cs *CorpusStore) JournalBytes() int64 {
 		return 0
 	}
 	return cs.j.Size()
+}
+
+// Fsyncs returns the cumulative record-durability fsync count of the
+// open journal handle (0 when the journal was never opened). Unlike the
+// record count it survives compaction resets, so fsyncs ÷ deltas over a
+// load run measures how well group commit amortizes.
+func (cs *CorpusStore) Fsyncs() int64 {
+	if cs.j == nil {
+		return 0
+	}
+	return cs.j.Fsyncs()
 }
 
 // ShouldCompact reports whether the journal has outgrown the
