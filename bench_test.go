@@ -192,6 +192,93 @@ func BenchmarkDeltaAssess(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchedDelta measures the batched commit path: editing k
+// files as one ApplyDeltaBatch (one prepare, one journal-shaped commit,
+// one projection invalidation, one warm re-assessment) against the same
+// k edits applied and re-assessed one delta at a time — the serving
+// path's cost for a CI bot that ships a whole commit per /delta request
+// versus one request per file. BENCH_pipeline.json records the ratio
+// under "parallel".
+func BenchmarkBatchedDelta(b *testing.B) {
+	const k = 16
+	variant := func(i, j int) string {
+		if (i+j)%2 == 0 {
+			return "\nint batch_probe(int x) { if (x > 1) { return x; } return -x; }\n"
+		}
+		return "\nint batch_probe(int x) { while (x > 1) { x--; } return x; }\n"
+	}
+	// k victims spread across the corpus so the batch dirties several
+	// shards, like a real multi-module commit.
+	setup := func(b *testing.B) (*core.Assessor, []*srcfile.File, []string) {
+		fs := apollocorpus.GenerateDefault()
+		files := fs.Files()
+		victims := make([]*srcfile.File, k)
+		bases := make([]string, k)
+		for j := 0; j < k; j++ {
+			victims[j] = files[(j*len(files))/k]
+			bases[j] = victims[j].Src
+		}
+		a := core.NewAssessor(core.DefaultConfig())
+		if err := a.LoadFileSet(fs); err != nil {
+			b.Fatal(err)
+		}
+		a.Assess()
+		// Warm-up: the probes' first appearance changes the cross-file
+		// environment and forces one full re-check; keep it untimed.
+		var warm []core.Delta
+		for j := 0; j < k; j++ {
+			warm = append(warm, core.Delta{Changed: []*srcfile.File{{
+				Path: victims[j].Path, Src: bases[j] + variant(1, j),
+			}}})
+		}
+		if _, err := a.ApplyDeltaBatch(warm); err != nil {
+			b.Fatal(err)
+		}
+		a.Assess()
+		return a, victims, bases
+	}
+
+	b.Run("sequential-16x1", func(b *testing.B) {
+		a, victims, bases := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				if _, err := a.ApplyDelta(core.Delta{Changed: []*srcfile.File{{
+					Path: victims[j].Path, Src: bases[j] + variant(i, j),
+				}}}); err != nil {
+					b.Fatal(err)
+				}
+				if len(a.Findings()) == 0 {
+					b.Fatal("no findings")
+				}
+			}
+		}
+	})
+
+	b.Run("batched-1x16", func(b *testing.B) {
+		a, victims, bases := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds := make([]core.Delta, k)
+			for j := 0; j < k; j++ {
+				ds[j] = core.Delta{Changed: []*srcfile.File{{
+					Path: victims[j].Path, Src: bases[j] + variant(i, j),
+				}}}
+			}
+			res, err := a.ApplyDeltaBatch(ds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Parsed != k {
+				b.Fatalf("batch parsed %d files, want %d", res.Parsed, k)
+			}
+			if len(a.Findings()) == 0 {
+				b.Fatal("no findings")
+			}
+		}
+	})
+}
+
 // BenchmarkGeneratedScale measures the pipeline on corpusgen-generated
 // trees far beyond the calibrated Apollo corpus: 1k and 10k files with
 // injected ground-truth violations (the first at-scale numbers in

@@ -12,13 +12,18 @@
 // Usage:
 //
 //	adfuzz [-seed 1] [-steps 50] [-modules 4] [-files 4] [-funcs 5]
-//	       [-violations 3] [-cuda 1] [-skew 0] [-http=true] [-recover] [-v]
+//	       [-violations 3] [-cuda 1] [-skew 0] [-http=true] [-recover]
+//	       [-batch N] [-v]
 //
 // -recover adds the persistent-store leg: every delta is journaled into
 // a temporary data directory, every step recovers a sixth state from
 // disk (snapshot + journal replay) and byte-compares findings, report,
 // and shard stats, compaction fires mid-run, and the run ends with a
 // truncated-journal crash simulation.
+//
+// -batch N adds the batched-delta leg: a second warm assessor commits
+// the same mutation sequence N deltas at a time through ApplyDeltaBatch
+// and must byte-match the one-at-a-time path at every flush boundary.
 //
 // A run is a pure function of its flags: re-running with the same seed
 // replays the identical corpus and mutation sequence, so a failure
@@ -56,6 +61,7 @@ func run() (int, error) {
 	skewFlag := flag.Float64("skew", 0, "zipf-ish module-size skew (0 = uniform)")
 	httpFlag := flag.Bool("http", true, "include the adserve HTTP path")
 	recoverFlag := flag.Bool("recover", false, "include the persistent-store crash-recovery path")
+	batchFlag := flag.Int("batch", 0, "include the batched-delta path, flushing ApplyDeltaBatch every N steps (0 = off)")
 	verboseFlag := flag.Bool("v", false, "log every step")
 	flag.Parse()
 
@@ -74,6 +80,9 @@ func run() (int, error) {
 	if *skewFlag < 0 {
 		return 2, fmt.Errorf("-skew must be >= 0 (got %g)", *skewFlag)
 	}
+	if *batchFlag < 0 {
+		return 2, fmt.Errorf("-batch must be >= 0 (got %d)", *batchFlag)
+	}
 
 	cfg := difftest.Config{
 		Seed:  *seedFlag,
@@ -88,6 +97,7 @@ func run() (int, error) {
 		},
 		HTTP:    *httpFlag,
 		Recover: *recoverFlag,
+		Batch:   *batchFlag,
 	}
 	if *verboseFlag {
 		cfg.Logf = func(format string, args ...interface{}) {
@@ -108,6 +118,9 @@ func run() (int, error) {
 	if *recoverFlag {
 		paths++
 	}
+	if *batchFlag > 0 {
+		paths++
+	}
 	fmt.Printf("adfuzz: OK — %d steps verified in %v\n", res.Steps, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  final corpus: %d files, %d findings (all byte-identical across %d paths, oracle-exact)\n",
 		res.Files, res.Findings, paths)
@@ -120,6 +133,10 @@ func run() (int, error) {
 			torn = "torn-tail crash simulation passed"
 		}
 		fmt.Printf("  store: %d compactions, %s\n", res.Compactions, torn)
+	}
+	if *batchFlag > 0 {
+		fmt.Printf("  batch: %d ApplyDeltaBatch flushes of up to %d deltas, all byte-identical\n",
+			res.BatchFlushes, *batchFlag)
 	}
 	return 0, nil
 }

@@ -8,8 +8,12 @@
 // Usage:
 //
 //	adload [-addr URL] [-data-dir DIR] [-corpora N] [-concurrency N]
-//	       [-deltas N] [-read-every N] [-modules N] [-files N]
-//	       [-seed N] [-json]
+//	       [-deltas N] [-batch N] [-read-every N] [-modules N]
+//	       [-files N] [-seed N] [-json]
+//
+// -batch N puts N files in every /delta request; the server commits the
+// request as one batch (one journal record, one fsync), so the scorecard's
+// fsyncs-per-file-delta line shows the batching amortization directly.
 //
 // With -addr the harness drives a running adserve. Without it, adload
 // spins up an in-process persistent server over -data-dir (a temporary
@@ -48,6 +52,7 @@ func run() error {
 	corporaFlag := flag.Int("corpora", 4, "number of corpora to create and storm")
 	concFlag := flag.Int("concurrency", 8, "concurrent workers")
 	deltasFlag := flag.Int("deltas", 400, "total /delta requests to issue")
+	batchFlag := flag.Int("batch", 1, "files per /delta request (each request commits as one batch: one journal record, one fsync)")
 	readEveryFlag := flag.Int("read-every", 2, "each worker issues one GET per this many of its deltas (0 = no reads)")
 	modulesFlag := flag.Int("modules", 8, "modules per generated base corpus")
 	filesFlag := flag.Int("files", 4, "C++ files per module in the base corpus")
@@ -66,6 +71,9 @@ func run() error {
 	if *deltasFlag < 1 {
 		usageErr("-deltas must be at least 1 (got %d)", *deltasFlag)
 	}
+	if *batchFlag < 1 {
+		usageErr("-batch must be at least 1 (got %d)", *batchFlag)
+	}
 	if *readEveryFlag < 0 {
 		usageErr("-read-every must not be negative (got %d)", *readEveryFlag)
 	}
@@ -80,6 +88,7 @@ func run() error {
 		Corpora:        *corporaFlag,
 		Concurrency:    *concFlag,
 		Deltas:         *deltasFlag,
+		Batch:          *batchFlag,
 		ReadEvery:      *readEveryFlag,
 		Modules:        *modulesFlag,
 		FilesPerModule: *filesFlag,

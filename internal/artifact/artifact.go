@@ -215,9 +215,16 @@ func Build(units map[string]*ccast.TranslationUnit) *Index {
 		sh.paths = append(sh.paths, p)
 	}
 	ix.rebuildShardNames()
+	// Generations are drawn sequentially in sorted module order, then the
+	// shard views — which read only the per-unit maps frozen above —
+	// rebuild on a worker pool.
 	for _, m := range ix.shardNames {
-		ix.shards[m].rebuild(ix)
+		ix.shards[m].assignGen(ix)
 	}
+	names := ix.shardNames
+	par.For(par.Workers(len(names)), len(names), func(i int) {
+		ix.shards[names[i]].rebuildViews(ix)
+	})
 	ix.rebuildGlobalViews()
 	ix.gen++
 	return ix
@@ -319,20 +326,32 @@ func (ix *Index) Apply(upserts []*ccast.TranslationUnit, removals []string) {
 	}
 	sort.Strings(mods)
 	shardSetChanged := ix.shardNames == nil
-	var diffs []championDiff
-	for _, m := range mods {
+	// Drain emptied shards and draw generations sequentially in sorted
+	// module order, then refresh the surviving dirty shards' views in
+	// parallel. Each diff lands in its module's slot, so the post-barrier
+	// champion fold below runs in the same deterministic order as the
+	// sequential loop it replaces (a zero-value diff is a no-op).
+	diffs := make([]championDiff, len(mods))
+	var live []*Shard
+	var liveAt []int
+	for i, m := range mods {
 		sh := ix.shards[m]
 		if sh == nil {
 			continue
 		}
 		if len(sh.paths) == 0 {
-			diffs = append(diffs, sh.drainChampions())
+			diffs[i] = sh.drainChampions()
 			delete(ix.shards, m)
 			shardSetChanged = true
 			continue
 		}
-		diffs = append(diffs, sh.refresh(ix))
+		sh.assignGen(ix)
+		live = append(live, sh)
+		liveAt = append(liveAt, i)
 	}
+	par.For(par.Workers(len(live)), len(live), func(k int) {
+		diffs[liveAt[k]] = live[k].refreshViews(ix)
+	})
 	if shardSetChanged {
 		ix.rebuildShardNames()
 	}

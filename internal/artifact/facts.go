@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ccast"
+	"repro/internal/par"
 	"repro/internal/srcfile"
 )
 
@@ -195,9 +196,15 @@ func BuildFromRecords(units map[string]*ccast.TranslationUnit, recs map[string][
 		sh.paths = append(sh.paths, p)
 	}
 	ix.rebuildShardNames()
+	// Same parallel scheme as Build: generations drawn sequentially in
+	// sorted module order, shard views rebuilt on a worker pool.
 	for _, m := range ix.shardNames {
-		ix.shards[m].rebuild(ix)
+		ix.shards[m].assignGen(ix)
 	}
+	names := ix.shardNames
+	par.For(par.Workers(len(names)), len(names), func(i int) {
+		ix.shards[names[i]].rebuildViews(ix)
+	})
 	ix.rebuildGlobalViews()
 	ix.gen++
 	return ix, nil

@@ -3,6 +3,8 @@ package artifact
 import (
 	"hash/fnv"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // This file implements the sharded corpus store underneath the Index.
@@ -122,8 +124,17 @@ type championDiff struct {
 // from the index-wide refreshSeq so they are unique across shards and
 // across shard lifetimes.
 func (sh *Shard) refresh(ix *Index) championDiff {
+	sh.assignGen(ix)
+	return sh.refreshViews(ix)
+}
+
+// refreshViews is refresh after the generation has already been drawn
+// via assignGen. Distinct shards may run refreshViews concurrently: it
+// reads only the index's shared per-unit maps (not mutated during the
+// parallel region) and writes only shard-local state.
+func (sh *Shard) refreshViews(ix *Index) championDiff {
 	oldByName, oldLast, oldGlobals := sh.byName, sh.lastByName, sh.globals
-	sh.rebuild(ix)
+	sh.rebuildViews(ix)
 
 	var diff championDiff
 	diff.byName = diffFuncChampions(oldByName, sh.byName)
@@ -142,13 +153,31 @@ func (sh *Shard) refresh(ix *Index) championDiff {
 	return diff
 }
 
+// assignGen draws the shard's next generation from the index-wide
+// refreshSeq. Generation assignment is split from the view rebuild so
+// cold build, restore, and Apply can draw generations deterministically
+// in sorted module order before rebuilding the views of distinct shards
+// in parallel — the sequence of (module, Gen) pairs downstream caches
+// key on is then independent of scheduling.
+func (sh *Shard) assignGen(ix *Index) {
+	ix.refreshSeq++
+	sh.gen = ix.refreshSeq
+}
+
 // rebuild is refresh without the champion diff — for cold builds and
 // restore, where the caller rebuilds the global views from scratch and
 // enumerating every champion as "changed" would be thrown away.
 func (sh *Shard) rebuild(ix *Index) {
-	ix.refreshSeq++
-	sh.gen = ix.refreshSeq
+	sh.assignGen(ix)
+	sh.rebuildViews(ix)
+}
 
+// rebuildViews rebuilds the shard's views from the index's per-unit
+// records in O(shard). It reads only shared state that is stable during
+// the rebuild (unitFuncs, Units) and writes only shard-local fields, so
+// distinct shards may rebuild concurrently once their generations are
+// assigned.
+func (sh *Shard) rebuildViews(ix *Index) {
 	nFuncs := 0
 	for _, p := range sh.paths {
 		nFuncs += len(ix.unitFuncs[p])
@@ -317,12 +346,32 @@ func (ix *Index) FuncModule(name string) (string, bool) {
 // not mutate it, and must not read it concurrently with Apply.
 func (ix *Index) UnitFuncsMap() map[string][]*Func { return ix.unitFuncs }
 
+// warmSigs recomputes every stale shard signature on a worker pool.
+// The overlay queries below then fold the memoized per-shard values
+// sequentially in sorted module order, so the overlay hashes are
+// byte-identical to the sequential computation. sigs writes only
+// shard-local memo fields, so distinct shards are safe concurrently.
+func (ix *Index) warmSigs() {
+	var stale []*Shard
+	for _, m := range ix.shardNames {
+		sh := ix.shards[m]
+		if !sh.sigOK || sh.sigGen != sh.gen {
+			stale = append(stale, sh)
+		}
+	}
+	par.For(par.Workers(len(stale)), len(stale), func(i int) {
+		stale[i].sigs(ix)
+	})
+}
+
 // ExportOverlay combines the per-shard export signatures into one
 // corpus-wide value. Equal overlays guarantee that every cross-file fact
 // a per-file rule handler can read (function voidness by name, global
 // name membership) is unchanged, so per-file caches keyed on file
-// content stay valid. O(#shards) when the shards' signatures are warm.
+// content stay valid. O(#shards) when the shards' signatures are warm;
+// stale signatures are recomputed in parallel first.
 func (ix *Index) ExportOverlay() uint64 {
+	ix.warmSigs()
 	h := fnv.New64a()
 	var num [8]byte
 	for _, m := range ix.shardNames {
@@ -342,6 +391,7 @@ func (ix *Index) ExportOverlay() uint64 {
 // line, complexity, return count, and callees, plus global names) is
 // unchanged, so corpus-level rule output can be reused verbatim.
 func (ix *Index) GraphOverlay() uint64 {
+	ix.warmSigs()
 	h := fnv.New64a()
 	var num [8]byte
 	for _, m := range ix.shardNames {

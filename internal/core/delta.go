@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ccast"
 	"repro/internal/ccparse"
@@ -79,12 +80,28 @@ func (a *Assessor) PrepareDelta(d Delta) (*PreparedDelta, error) {
 	}
 	pd := &PreparedDelta{a: a, removed: d.Removed}
 
+	// A path appearing in both Removed and Changed is removed FIRST
+	// (CommitDelta's application order): its change is a fresh add —
+	// never "unchanged", and inheriting no module override from the file
+	// it replaces. Batched deltas merge remove-then-re-add sequences
+	// into exactly this shape (see MergeDeltas).
+	var removedSet map[string]bool
+	if len(d.Removed) > 0 && len(d.Changed) > 0 {
+		removedSet = make(map[string]bool, len(d.Removed))
+		for _, p := range d.Removed {
+			removedSet[p] = true
+		}
+	}
+
 	// Decide what actually changed.
 	for _, f := range d.Changed {
 		if f == nil || f.Path == "" {
 			return nil, errors.New("core: delta file without a path")
 		}
 		old := a.fs.Lookup(f.Path)
+		if removedSet[f.Path] {
+			old = nil
+		}
 		if old != nil && old.Src == f.Src {
 			pd.unchanged++
 			continue
@@ -201,6 +218,82 @@ func (a *Assessor) ApplyDelta(d Delta) (*DeltaResult, error) {
 		return nil, err
 	}
 	return a.CommitDelta(pd)
+}
+
+// MergeDeltas folds an ordered sequence of corpus edits into one
+// equivalent Delta: for every path the LAST operation wins (a change
+// after a remove keeps the remove too — remove-then-fresh-add is the
+// sequential meaning; a remove after a change drops the change), so
+// committing the merged delta leaves exactly the corpus state of
+// applying the sequence one delta at a time. Changed files and removed
+// paths come out in sorted path order, giving every batch a canonical
+// wire and journal shape regardless of arrival order.
+func MergeDeltas(ds []Delta) Delta {
+	if len(ds) == 1 {
+		return ds[0]
+	}
+	type pathOp struct {
+		f       *srcfile.File // final change; nil when the final op is a remove
+		removed bool          // a remove is in effect (final, or before the final change)
+	}
+	ops := make(map[string]*pathOp)
+	// Invalid entries (nil file, empty path) pass through so the merged
+	// prepare rejects the batch exactly as sequential application would.
+	var invalid []*srcfile.File
+	for _, d := range ds {
+		for _, p := range d.Removed {
+			if o := ops[p]; o != nil {
+				o.f, o.removed = nil, true
+			} else {
+				ops[p] = &pathOp{removed: true}
+			}
+		}
+		for _, f := range d.Changed {
+			if f == nil || f.Path == "" {
+				invalid = append(invalid, f)
+				continue
+			}
+			if o := ops[f.Path]; o != nil {
+				o.f = f // o.removed survives: remove-before-change
+			} else {
+				ops[f.Path] = &pathOp{f: f}
+			}
+		}
+	}
+	paths := make([]string, 0, len(ops))
+	for p := range ops {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out Delta
+	for _, p := range paths {
+		o := ops[p]
+		if o.removed {
+			out.Removed = append(out.Removed, p)
+		}
+		if o.f != nil {
+			out.Changed = append(out.Changed, o.f)
+		}
+	}
+	out.Changed = append(out.Changed, invalid...)
+	return out
+}
+
+// ApplyDeltaBatch applies an ordered sequence of corpus edits as ONE
+// commit: the batch folds into its equivalent single delta
+// (MergeDeltas), prepares once — every genuinely changed file across
+// the batch parses in parallel — and commits once, so the commit hook
+// fires once (one journal record, hence one fsync under the group
+// commit discipline), the index applies one combined update, and the
+// memoized projections invalidate once. The post-commit corpus state is
+// identical to applying the deltas one at a time; the DeltaResult
+// counts describe the merged delta (a file changed twice counts once).
+// A one-delta batch is exactly ApplyDelta.
+func (a *Assessor) ApplyDeltaBatch(ds []Delta) (*DeltaResult, error) {
+	if len(ds) == 0 {
+		return nil, errors.New("core: ApplyDeltaBatch with no deltas")
+	}
+	return a.ApplyDelta(MergeDeltas(ds))
 }
 
 // SetCommitHook installs (or, with nil, removes) a hook invoked with

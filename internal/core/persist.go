@@ -215,37 +215,71 @@ func RestoreAssessorFrom(cfg Config, src StateSource) (*Assessor, error) {
 		paths:  make(map[string][]string, len(names)),
 		hashes: make(map[string]func() []uint64, len(names)),
 	}
-	nUnits := 0
-	for _, m := range names {
+	// Decode, validate, and fabricate each shard's stub units on a
+	// worker pool — ShardUnits decodes disjoint snapshot blocks, the
+	// file-set lookups are read-only, and fabrication writes only
+	// shard-local slices. The shared maps are filled (and cross-shard
+	// duplicates detected) in a sequential merge in shard name order, so
+	// errors surface exactly as the sequential loop reported them.
+	type shardRestore struct {
+		ufs []artifact.UnitFacts
+		tus []*ccast.TranslationUnit
+		fas [][]*artifact.Func
+		// paths and srcs pin the shard's snapshot-time path list and
+		// sources, captured as (immutable) strings: a later delta replaces
+		// the corpus *File structs in place (FileSet.Add), so deferred
+		// hashing must not go through the file pointers or a changed
+		// file's stale cache entry would validate against its own new
+		// content.
+		paths []string
+		srcs  []string
+		err   error
+	}
+	parts := make([]shardRestore, len(names))
+	par.For(par.Workers(len(names)), len(names), func(k int) {
+		m := names[k]
+		p := &parts[k]
 		ufs, err := src.ShardUnits(m)
 		if err != nil {
-			return nil, err
+			p.err = err
+			return
 		}
-		paths := make([]string, len(ufs))
-		// Snapshot-time sources, captured as (immutable) strings: a later
-		// delta replaces the corpus *File structs in place (FileSet.Add),
-		// so deferred hashing must not go through the file pointers or a
-		// changed file's stale cache entry would validate against its own
-		// new content.
-		srcs := make([]string, len(ufs))
+		p.ufs = ufs
+		p.tus = make([]*ccast.TranslationUnit, len(ufs))
+		p.fas = make([][]*artifact.Func, len(ufs))
+		p.paths = make([]string, len(ufs))
+		p.srcs = make([]string, len(ufs))
 		for i := range ufs {
 			uf := ufs[i]
 			f := fs.Lookup(uf.Path)
 			if f == nil {
-				return nil, fmt.Errorf("core: snapshot unit %s has no file", uf.Path)
+				p.err = fmt.Errorf("core: snapshot unit %s has no file", uf.Path)
+				return
 			}
 			if f.ModuleName() != m {
-				return nil, fmt.Errorf("core: snapshot unit %s filed under shard %q but its module is %q", uf.Path, m, f.ModuleName())
+				p.err = fmt.Errorf("core: snapshot unit %s filed under shard %q but its module is %q", uf.Path, m, f.ModuleName())
+				return
 			}
-			if units[uf.Path] != nil {
-				return nil, fmt.Errorf("core: snapshot holds unit %s twice", uf.Path)
-			}
-			tu, fas := artifact.UnitFromFacts(f, uf)
-			units[uf.Path], recs[uf.Path] = tu, fas
-			stubs[uf.Path] = true
-			paths[i], srcs[i] = uf.Path, f.Src
+			p.tus[i], p.fas[i] = artifact.UnitFromFacts(f, uf)
+			p.paths[i], p.srcs[i] = uf.Path, f.Src
 		}
-		seeds.paths[m] = paths
+	})
+	nUnits := 0
+	for k, m := range names {
+		p := &parts[k]
+		if p.err != nil {
+			return nil, p.err
+		}
+		for i := range p.ufs {
+			path := p.paths[i]
+			if units[path] != nil {
+				return nil, fmt.Errorf("core: snapshot holds unit %s twice", path)
+			}
+			units[path], recs[path] = p.tus[i], p.fas[i]
+			stubs[path] = true
+		}
+		srcs := p.srcs
+		seeds.paths[m] = p.paths
 		seeds.hashes[m] = func() []uint64 {
 			hs := make([]uint64, len(srcs))
 			for i, s := range srcs {
@@ -253,7 +287,7 @@ func RestoreAssessorFrom(cfg Config, src StateSource) (*Assessor, error) {
 			}
 			return hs
 		}
-		nUnits += len(ufs)
+		nUnits += len(p.ufs)
 	}
 	if nUnits != len(files) {
 		return nil, fmt.Errorf("core: snapshot has %d files but %d units", len(files), nUnits)

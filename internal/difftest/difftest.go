@@ -18,6 +18,11 @@
 //     the run the harness additionally simulates a crash mid-append by
 //     truncating a copy of the journal and requires recovery to land
 //     exactly on the state at the last complete record,
+//  7. with Batch, the batched-delta path: a second warm assessor holds
+//     the same mutations back as pending deltas and commits them k at a
+//     time through core.Assessor.ApplyDeltaBatch; at every flush
+//     boundary (and after a final tail flush) it must byte-match the
+//     one-delta-at-a-time warm path,
 //
 // and asserts, at every step, that all paths produce byte-identical
 // finding streams AND that those findings equal the generator's
@@ -66,6 +71,14 @@ type Config struct {
 	// naturally (the harness uses a small record threshold), and the
 	// run ends with a truncated-tail crash simulation.
 	Recover bool
+	// Batch, when positive, adds the batched-delta path: a second warm
+	// assessor accumulates the same mutation sequence as pending deltas
+	// and flushes them through core.ApplyDeltaBatch every Batch steps
+	// (and once more at the end of the run). At every flush boundary its
+	// canonical findings must be byte-identical to the one-delta-at-a-
+	// time warm assessor, pinning MergeDeltas' fold (last-op-wins,
+	// remove-then-re-add-as-fresh) to the sequential semantics it claims.
+	Batch int
 	// RecoverDir is the data directory for Recover; empty means a
 	// temporary directory removed after the run.
 	RecoverDir string
@@ -85,6 +98,9 @@ type Result struct {
 	Mutations map[corpusgen.MutationKind]int
 	// Compactions counts mid-run journal compactions (Recover only).
 	Compactions int
+	// BatchFlushes counts ApplyDeltaBatch commits verified against the
+	// one-at-a-time warm path (Batch only).
+	BatchFlushes int
 	// TornTailChecked reports that the end-of-run crash simulation
 	// (truncated journal tail) was exercised (Recover only).
 	TornTailChecked bool
@@ -114,6 +130,19 @@ func Run(cfg Config) (*Result, error) {
 	// its own per-file cache (hash-keyed, so it survives the fresh
 	// context each verification step builds).
 	inc := rules.NewIncremental(rules.DefaultRules())
+
+	// Path 7: the batched assessor. It sees the identical mutation
+	// sequence but as fresh Delta values (never sharing *File pointers
+	// with the warm assessor — CommitDelta makes files corpus-resident)
+	// held back and committed Batch at a time through ApplyDeltaBatch.
+	var batched *core.Assessor
+	var pending []core.Delta
+	if cfg.Batch > 0 {
+		batched = core.NewAssessor(core.DefaultConfig())
+		if err := batched.LoadFileSet(gen.FileSet()); err != nil {
+			return nil, fmt.Errorf("seed %d: batched initial load: %v", cfg.Seed, err)
+		}
+	}
 
 	// Path 6: the persistent store. The warm assessor's commit hook
 	// journals every delta; a small record threshold makes compaction
@@ -178,6 +207,17 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("seed %d step %d: apply %s %s: %v",
 					cfg.Seed, step, mut.Kind, mut.Path, err)
 			}
+			if batched != nil {
+				pending = append(pending, mutationDelta(mut))
+				if len(pending) >= cfg.Batch {
+					if _, err := batched.ApplyDeltaBatch(pending); err != nil {
+						return nil, fmt.Errorf("seed %d step %d: batched flush (%d deltas): %v",
+							cfg.Seed, step, len(pending), err)
+					}
+					pending = nil
+					res.BatchFlushes++
+				}
+			}
 			// A mutation that regenerates identical content is a no-op
 			// delta and journals nothing; track whether this step's
 			// record is really the journal tail for the crash simulation
@@ -197,9 +237,30 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("seed %d step %d: %v", cfg.Seed, step, err)
 		}
+		// At a flush boundary the batched assessor has committed exactly
+		// the mutations the warm assessor has applied one at a time, so
+		// its canonical findings must match byte-for-byte.
+		if batched != nil && len(pending) == 0 {
+			if d := firstDiff(seq, canonical(batched.Findings())); d != "" {
+				return nil, fmt.Errorf("seed %d step %d: batched assessor diverges from one-at-a-time warm path: %s",
+					cfg.Seed, step, d)
+			}
+		}
 		nFindings = n
 		prevSeq, lastSeq = lastSeq, seq
 		res.Steps++
+	}
+
+	// Final flush: commit whatever tail the batch cadence left pending
+	// and require the end state to match the last verified step.
+	if batched != nil && len(pending) > 0 {
+		if _, err := batched.ApplyDeltaBatch(pending); err != nil {
+			return nil, fmt.Errorf("seed %d: final batched flush (%d deltas): %v", cfg.Seed, len(pending), err)
+		}
+		res.BatchFlushes++
+		if d := firstDiff(lastSeq, canonical(batched.Findings())); d != "" {
+			return nil, fmt.Errorf("seed %d: batched assessor diverges after final flush: %s", cfg.Seed, d)
+		}
 	}
 
 	// Crash simulation: truncate a copy of the journal mid-record and
@@ -273,6 +334,15 @@ func persistWarm(cs *store.CorpusStore, warm *core.Assessor) error {
 }
 
 const corpusName = "adfuzz"
+
+// mutationDelta renders one generator mutation as a standalone Delta
+// with its own File value, safe to commit into a second assessor.
+func mutationDelta(mut corpusgen.Mutation) core.Delta {
+	if mut.Kind == corpusgen.MutRemove {
+		return core.Delta{Removed: []string{mut.Path}}
+	}
+	return core.Delta{Changed: []*srcfile.File{{Path: mut.Path, Src: mut.Src}}}
+}
 
 // applyMutation mirrors one generator mutation into the warm assessor and
 // (when enabled) the HTTP service.

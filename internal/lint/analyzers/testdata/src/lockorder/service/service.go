@@ -138,6 +138,30 @@ func serverReadLockIsLeafToo(s *Server, st *corpusState) {
 	s.mu.RUnlock()
 }
 
+func workerPoolUnderCorpusLock(st *corpusState, shards []func()) {
+	// The shard-parallel rebuild shape (internal/par): a worker pool is
+	// spawned while the corpus lock is held, and each worker touches
+	// only shard-local state plus its own leaf lock. Goroutine bodies
+	// start with an empty held set — the spawner's corpus lock is a
+	// happens-before edge, not a held lock inside the worker — so
+	// workers taking projMu or shardMu is correct and allowed.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st.projMu.Lock()
+			shards[i]()
+			st.projMu.Unlock()
+			st.shardMu.Lock()
+			st.shardMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
 func suppressedViolation(s *Server, st *corpusState) {
 	s.mu.Lock()
 	//adlint:ignore lockorder golden: deliberate violation kept to pin suppression

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,12 @@ type Config struct {
 	// ReadEvery makes each worker issue one GET (/findings and /report
 	// alternating) per ReadEvery of its deltas; 0 disables reads.
 	ReadEvery int
+	// Batch is the number of files each POST /delta carries (default 1).
+	// Every request still counts as one delta; with Batch > 1 each
+	// worker edits Batch private files per request, measuring how the
+	// batched commit path amortizes the per-commit costs (one journal
+	// record, one fsync, one index update) across files.
+	Batch int
 	// Modules and FilesPerModule shape each generated base corpus
 	// (defaults 8 and 4; violations and CUDA files use corpusgen
 	// defaults so read payloads carry realistic finding volumes).
@@ -67,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.ReadEvery < 0 {
 		c.ReadEvery = 0
 	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
 	if c.Modules <= 0 {
 		c.Modules = 8
 	}
@@ -85,14 +95,22 @@ type Result struct {
 	Corpora     int `json:"corpora"`
 	Concurrency int `json:"concurrency"`
 	BaseFiles   int `json:"base_files_per_corpus"`
+	// Batch is the number of files each delta request carried.
+	Batch int `json:"batch"`
 
-	Deltas    int           `json:"deltas"`
-	Reads     int           `json:"reads"`
-	Errors    int           `json:"errors"`
-	ElapsedNs time.Duration `json:"elapsed_ns"`
+	Deltas int `json:"deltas"`
+	// FileDeltas is Deltas x Batch: the number of per-file edits the
+	// run landed (the unit sequential one-file workloads are billed in).
+	FileDeltas int           `json:"file_deltas"`
+	Reads      int           `json:"reads"`
+	Errors     int           `json:"errors"`
+	ElapsedNs  time.Duration `json:"elapsed_ns"`
 
 	DeltasPerSec float64 `json:"deltas_per_sec"`
-	ReadsPerSec  float64 `json:"reads_per_sec"`
+	// FileDeltasPerSec is the batch-aware throughput: file edits landed
+	// per second (equal to DeltasPerSec at Batch 1).
+	FileDeltasPerSec float64 `json:"file_deltas_per_sec"`
+	ReadsPerSec      float64 `json:"reads_per_sec"`
 
 	DeltaP50 time.Duration `json:"delta_p50_ns"`
 	DeltaP99 time.Duration `json:"delta_p99_ns"`
@@ -102,23 +120,38 @@ type Result struct {
 	// Fsyncs is the cumulative journal record-durability fsync count
 	// summed over all corpora at the end of the run (0 against an
 	// in-memory server), and FsyncsPerDelta its ratio to Deltas — the
-	// group-commit amortization metric.
-	Fsyncs         int64   `json:"fsyncs"`
-	FsyncsPerDelta float64 `json:"fsyncs_per_delta"`
+	// group-commit amortization metric. FsyncsPerFileDelta divides by
+	// FileDeltas instead: the batch-amortized durability cost per file
+	// edit (each batch is one journal record, so it shrinks ~1/Batch).
+	Fsyncs             int64   `json:"fsyncs"`
+	FsyncsPerDelta     float64 `json:"fsyncs_per_delta"`
+	FsyncsPerFileDelta float64 `json:"fsyncs_per_file_delta"`
+
+	// Machine records the parallelism the numbers were taken under, so
+	// recorded scorecards stay interpretable across hardware.
+	Machine struct {
+		GOMAXPROCS int `json:"gomaxprocs"`
+		NumCPU     int `json:"num_cpu"`
+	} `json:"machine"`
 }
 
 // String renders the human summary cmd/adload prints.
 func (r *Result) String() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "load: %d corpora x %d files, %d workers\n", r.Corpora, r.BaseFiles, r.Concurrency)
+	fmt.Fprintf(&b, "load: %d corpora x %d files, %d workers, batch %d (gomaxprocs %d)\n",
+		r.Corpora, r.BaseFiles, r.Concurrency, r.Batch, r.Machine.GOMAXPROCS)
 	fmt.Fprintf(&b, "  deltas: %d in %v  (%.1f/sec, p50 %v, p99 %v)\n",
 		r.Deltas, r.ElapsedNs.Round(time.Millisecond), r.DeltasPerSec, r.DeltaP50.Round(time.Microsecond), r.DeltaP99.Round(time.Microsecond))
+	if r.Batch > 1 {
+		fmt.Fprintf(&b, "  files:  %d  (%.1f file-deltas/sec)\n", r.FileDeltas, r.FileDeltasPerSec)
+	}
 	if r.Reads > 0 {
 		fmt.Fprintf(&b, "  reads:  %d  (%.1f/sec, p50 %v, p99 %v)\n",
 			r.Reads, r.ReadsPerSec, r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond))
 	}
 	if r.Fsyncs > 0 {
-		fmt.Fprintf(&b, "  fsyncs: %d  (%.3f per delta)\n", r.Fsyncs, r.FsyncsPerDelta)
+		fmt.Fprintf(&b, "  fsyncs: %d  (%.3f per delta, %.3f per file-delta)\n",
+			r.Fsyncs, r.FsyncsPerDelta, r.FsyncsPerFileDelta)
 	}
 	if r.Errors > 0 {
 		fmt.Fprintf(&b, "  ERRORS: %d\n", r.Errors)
@@ -137,10 +170,13 @@ func probeSrc(w, i int) string {
 	return fmt.Sprintf("int LoadProbeW%dN%d(int x) {\n  if (x > %d) {\n    x = x - 1;\n  }\n  return x;\n}\n", w, i, i%7)
 }
 
-// workerPath is the file worker w edits: each worker owns one module
-// (the path's leading segment), so deltas from different workers touch
-// disjoint shards and only meet at the corpus commit lock + journal.
-func workerPath(w int) string { return fmt.Sprintf("loadw%03d/probe_w%03d.cc", w, w) }
+// workerPath is file j of worker w's private batch: each worker owns
+// one module (the path's leading segment), so deltas from different
+// workers touch disjoint shards and only meet at the corpus commit
+// lock + journal; within a worker the batch fans out over j.
+func workerPath(w, j int) string {
+	return fmt.Sprintf("loadw%03d/probe_w%03d_f%02d.cc", w, w, j)
+}
 
 // Setup creates the run's corpora over the HTTP API (POST /assess with
 // inline generated files) and returns the per-corpus base file count.
@@ -189,7 +225,9 @@ type deltaResponse struct {
 // not fatal, so a partial regression still produces numbers.
 func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Corpora: cfg.Corpora, Concurrency: cfg.Concurrency}
+	res := &Result{Corpora: cfg.Corpora, Concurrency: cfg.Concurrency, Batch: cfg.Batch}
+	res.Machine.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	res.Machine.NumCPU = runtime.NumCPU()
 
 	// fsyncs[c] tracks the cumulative per-corpus counter via a CAS max:
 	// it is monotonic server-side, but responses race client-side.
@@ -208,15 +246,21 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 			defer wg.Done()
 			corpus := w % cfg.Corpora
 			name := corpusName(corpus)
-			path := workerPath(w)
 			for n := 0; ; n++ {
 				t := tickets.Add(1) - 1
 				if t >= int64(cfg.Deltas) {
 					return
 				}
+				// One request carries the worker's whole batch: Batch
+				// private files, each with always-distinct content so
+				// every file-delta genuinely re-parses and journals.
+				changed := make(map[string]string, cfg.Batch)
+				for j := 0; j < cfg.Batch; j++ {
+					changed[workerPath(w, j)] = probeSrc(w, int(t)*cfg.Batch+j)
+				}
 				body, _ := json.Marshal(map[string]interface{}{
 					"corpus":  name,
-					"changed": map[string]string{path: probeSrc(w, int(t))},
+					"changed": changed,
 				})
 				begin := time.Now()
 				resp, err := client.Post(baseURL+"/delta", "application/json", bytes.NewReader(body))
@@ -270,9 +314,11 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 		reads = append(reads, l.read...)
 	}
 	res.Deltas, res.Reads, res.Errors = len(deltas), len(reads), int(errs.Load())
+	res.FileDeltas = res.Deltas * cfg.Batch
 	secs := res.ElapsedNs.Seconds()
 	if secs > 0 {
 		res.DeltasPerSec = float64(res.Deltas) / secs
+		res.FileDeltasPerSec = float64(res.FileDeltas) / secs
 		res.ReadsPerSec = float64(res.Reads) / secs
 	}
 	res.DeltaP50, res.DeltaP99 = percentile(deltas, 50), percentile(deltas, 99)
@@ -282,6 +328,9 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 	}
 	if res.Deltas > 0 {
 		res.FsyncsPerDelta = float64(res.Fsyncs) / float64(res.Deltas)
+	}
+	if res.FileDeltas > 0 {
+		res.FsyncsPerFileDelta = float64(res.Fsyncs) / float64(res.FileDeltas)
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"repro/internal/artifact"
+	"repro/internal/par"
 )
 
 // ArchCache is the shard-aware counterpart of AnalyzeArchIndexed. The
@@ -72,6 +73,16 @@ func (c *ArchCache) AnalyzeIndexed(ix *artifact.Index) []*ArchMetrics {
 		}
 	}
 
+	// Recompute the dirty partials in parallel: refoldShard reads only
+	// the index's shared read-only views (paths, funcs, the
+	// function→module table) and writes only its own partial, and the
+	// fold below walks shards in sorted name order.
+	type dirtyShard struct {
+		mod string
+		sh  *artifact.Shard
+		as  *archShard
+	}
+	var dirty []dirtyShard
 	for _, m := range names {
 		sh := ix.Shard(m)
 		as := c.shards[m]
@@ -82,8 +93,12 @@ func (c *ArchCache) AnalyzeIndexed(ix *artifact.Index) []*ArchMetrics {
 		if as.valid && as.gen == sh.Gen() {
 			continue
 		}
-		c.refoldShard(ix, m, sh, as)
+		dirty = append(dirty, dirtyShard{m, sh, as})
 	}
+	par.For(par.Workers(len(dirty)), len(dirty), func(k int) {
+		d := dirty[k]
+		c.refoldShard(ix, d.mod, d.sh, d.as)
+	})
 
 	// Fold the partials into the final rows (sorted module order, the
 	// same order AnalyzeArchIndexed emits).

@@ -69,6 +69,22 @@ type metricShard struct {
 	rowsReady bool
 }
 
+// materializeRows decodes a sealed shard's row block and folds its
+// partials, leaving the per-file map deferred. False means the block
+// would not decode; the caller recomputes the shard. Safe for distinct
+// shards concurrently: loaders decode disjoint snapshot extents and
+// refold writes only shard-local fields.
+func (ms *metricShard) materializeRows(sh *artifact.Shard) bool {
+	rows, ok := ms.loadRows()
+	if !ok || len(rows) != sh.Len() {
+		return false
+	}
+	ms.files = rows
+	ms.refold()
+	ms.rowsReady = true
+	return true
+}
+
 // thawEntries materializes a sealed shard's per-file map (snapshot
 // paths, content hashes, rows). False means the block would not decode;
 // the caller then recomputes every row of the shard.
@@ -127,6 +143,26 @@ func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
 		}
 	}
 
+	// Materialize sealed clean shards' rows on a worker pool before the
+	// scan — the first warm run after a lazy restore decodes one snapshot
+	// block per shard, and the blocks are independent. A shard whose
+	// block fails to decode falls through to the inline retry in pass 1.
+	{
+		var sealed []*metricShard
+		var sealedSh []*artifact.Shard
+		for _, m := range names {
+			sh := ix.Shard(m)
+			ms := c.shards[m]
+			if ms != nil && ms.valid && ms.gen == sh.Gen() && ms.loadRows != nil && !ms.rowsReady {
+				sealed = append(sealed, ms)
+				sealedSh = append(sealedSh, sh)
+			}
+		}
+		par.For(par.Workers(len(sealed)), len(sealed), func(k int) {
+			sealed[k].materializeRows(sealedSh[k])
+		})
+	}
+
 	// Pass 1: find the dirty rows across all dirty shards.
 	type slot struct {
 		ms *metricShard
@@ -146,12 +182,9 @@ func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
 			if ms.loadRows == nil || ms.rowsReady {
 				continue
 			}
-			// Sealed clean shard: materialize rows and partials only; the
-			// per-file map and its hashes stay deferred until dirtied.
-			if rows, ok := ms.loadRows(); ok && len(rows) == sh.Len() {
-				ms.files = rows
-				ms.refold()
-				ms.rowsReady = true
+			// Sealed clean shard the parallel pre-pass could not
+			// materialize: one inline retry.
+			if ms.materializeRows(sh) {
 				continue
 			}
 			// The shard's snapshot block would not decode: recompute it.
@@ -204,11 +237,13 @@ func (c *Cache) AnalyzeIndexed(ix *artifact.Index) *FrameworkMetrics {
 		dirtySlots[k].ms.perFile[p] = cacheEntry{hash: ix.Units[p].File.Hash(), fm: rows[k]}
 	}
 
-	// Pass 3: re-fold the dirty shards' partials.
-	for _, ms := range dirtyShards {
-		ms.refold()
-		ms.valid = true
-	}
+	// Pass 3: re-fold the dirty shards' partials in parallel — refold
+	// reads and writes only shard-local state, and the global fold below
+	// walks shards in sorted name order.
+	par.For(par.Workers(len(dirtyShards)), len(dirtyShards), func(k int) {
+		dirtyShards[k].refold()
+		dirtyShards[k].valid = true
+	})
 
 	// Global result: merge row lists in path order, fold partials.
 	out := &FrameworkMetrics{Files: c.mergeFiles(ix)}

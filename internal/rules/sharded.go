@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/artifact"
+	"repro/internal/par"
 )
 
 // This file implements the sharded incremental rule engine — the warm
@@ -79,6 +80,30 @@ type shardSeg struct {
 	load     func() ([][]Finding, bool)
 	thaw     func() ([]string, []uint64, bool)
 	segReady bool
+}
+
+// materialize decodes a sealed segment's findings block and builds the
+// merged segment plus its stats partial, leaving the per-file map (and
+// its content hashes) deferred. Returns false when the block will not
+// decode; the caller then recomputes the shard from scratch. Safe to
+// run for distinct segments concurrently: loaders of distinct shards
+// decode disjoint snapshot extents and every write is segment-local.
+func (seg *shardSeg) materialize(sh *artifact.Shard) bool {
+	fss, ok := seg.load()
+	if !ok || len(fss) != sh.Len() {
+		return false
+	}
+	total := 0
+	for _, fs := range fss {
+		total += len(fs)
+	}
+	seg.seg = make([]Finding, 0, total)
+	for _, fs := range fss {
+		seg.seg = append(seg.seg, fs...)
+	}
+	seg.stats = Aggregate(seg.seg)
+	seg.segReady = true
+	return true
 }
 
 // thawEntries materializes a sealed segment's per-file map from its
@@ -178,6 +203,27 @@ func (s *Sharded) Run(ctx *Context) []Finding {
 		}
 	}
 
+	// Materialize sealed clean shards' segments on a worker pool before
+	// the scan: the first warm run after a lazy restore decodes one
+	// snapshot block per shard, and the blocks are independent. The scan
+	// below sees segReady and skips them; a shard whose block failed to
+	// decode falls through to the inline retry-then-recompute path.
+	if !invalidate {
+		var sealed []*shardSeg
+		var sealedSh []*artifact.Shard
+		for _, m := range names {
+			sh := ix.Shard(m)
+			seg := s.shards[m]
+			if seg != nil && seg.valid && seg.gen == sh.Gen() && seg.load != nil && !seg.segReady {
+				sealed = append(sealed, seg)
+				sealedSh = append(sealedSh, sh)
+			}
+		}
+		par.For(par.Workers(len(sealed)), len(sealed), func(k int) {
+			sealed[k].materialize(sealedSh[k])
+		})
+	}
+
 	// Collect dirty files across all dirty shards (hash-compared within
 	// a shard only when the shard's generation moved or the environment
 	// invalidated everything).
@@ -207,20 +253,9 @@ func (s *Sharded) Run(ctx *Context) []Finding {
 			if seg.load == nil || seg.segReady {
 				continue // clean shard: segment and stats reused as-is
 			}
-			// Sealed clean shard: materialize the segment only (the merge
-			// below reads every segment); the per-file map and its content
-			// hashes stay deferred until something dirties the shard.
-			if fss, ok := seg.load(); ok && len(fss) == sh.Len() {
-				total := 0
-				for _, fs := range fss {
-					total += len(fs)
-				}
-				seg.seg = make([]Finding, 0, total)
-				for _, fs := range fss {
-					seg.seg = append(seg.seg, fs...)
-				}
-				seg.stats = Aggregate(seg.seg)
-				seg.segReady = true
+			// Sealed clean shard the parallel pre-pass could not
+			// materialize (or that appeared since): one inline retry.
+			if seg.materialize(sh) {
 				continue
 			}
 			// The shard's snapshot block would not decode: forget it and
@@ -282,8 +317,12 @@ func (s *Sharded) Run(ctx *Context) []Finding {
 		segOf[dirtyPaths[k]].perFile[dirtyPaths[k]] = incrEntry{hash: dirtyHash[k], findings: fs}
 	}
 
-	// Rebuild the dirty shards' segments and stats partials.
-	for _, m := range rebuild {
+	// Rebuild the dirty shards' segments and stats partials in parallel:
+	// each rebuild reads only its own per-file cache (fully populated
+	// above) and writes only its own segment, and the merge below walks
+	// shards in sorted name order, so output is scheduling-independent.
+	par.For(par.Workers(len(rebuild)), len(rebuild), func(k int) {
+		m := rebuild[k]
 		sh := ix.Shard(m)
 		seg := s.shards[m]
 		total := 0
@@ -296,7 +335,7 @@ func (s *Sharded) Run(ctx *Context) []Finding {
 		}
 		seg.stats = Aggregate(seg.seg)
 		seg.gen, seg.valid = sh.Gen(), true
-	}
+	})
 
 	// Merge the per-shard segments (and the corpus segment) under the
 	// findingLess total order, and fold the stats partials.

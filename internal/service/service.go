@@ -298,7 +298,14 @@ type AssessRequest struct {
 	Dir string `json:"dir"`
 }
 
-// DeltaRequest edits a loaded corpus.
+// DeltaRequest edits a loaded corpus. A multi-file request is a
+// *batch*: every change and removal commits atomically as one delta —
+// one journal record (one fsync under group commit), one index update,
+// one generation advance — with per-commit costs amortized across the
+// batch. A path in both Changed and Removed is removed first, then
+// re-added fresh (core.PrepareDelta's ordering rule). CI-bot workloads
+// should ship one request per commit, not one per file; adload's
+// -batch flag measures the amortization.
 type DeltaRequest struct {
 	Corpus string `json:"corpus"`
 	// Changed maps paths to new content (add or replace).

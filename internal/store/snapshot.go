@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/iso26262"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/rules"
 	"repro/internal/srcfile"
 )
@@ -127,32 +128,51 @@ func EncodeSnapshot(st *core.PersistedState, gen uint64) []byte {
 	h.int(int(st.Target))
 	h.strings(st.RuleIDs)
 
+	// The files section (sources dominate the snapshot) and the
+	// per-shard U/R/M blocks are all independent: encode them on one
+	// worker pool, each shard into private buffers, and concatenate the
+	// blocks in shard name order below — the same bytes as a sequential
+	// encode. Task 0 is the files section; task k+1 is shard k.
 	var f enc
-	f.int(len(st.Files))
-	for i := range st.Files {
-		pf := &st.Files[i]
-		f.string(pf.Path)
-		f.string(pf.Module)
-		f.byte(byte(pf.Lang))
-		f.string(pf.Src)
-	}
-
-	// Per-shard blocks, extents recorded as each block closes.
-	var u, r, m enc
-	uExt := make([]Extent, len(names))
-	rExt := make([]Extent, len(names))
-	mExt := make([]Extent, len(names))
-	for k, name := range names {
-		uAt, rAt, mAt := len(u.buf), len(r.buf), len(m.buf)
-		for _, i := range groups[name] {
+	uBufs := make([][]byte, len(names))
+	rBufs := make([][]byte, len(names))
+	mBufs := make([][]byte, len(names))
+	nTasks := len(names) + 1
+	par.For(par.Workers(nTasks), nTasks, func(t int) {
+		if t == 0 {
+			f.int(len(st.Files))
+			for i := range st.Files {
+				pf := &st.Files[i]
+				f.string(pf.Path)
+				f.string(pf.Module)
+				f.byte(byte(pf.Lang))
+				f.string(pf.Src)
+			}
+			return
+		}
+		k := t - 1
+		var u, r, m enc
+		for _, i := range groups[names[k]] {
 			uf := &st.Units[i]
 			encodeUnit(&u, uf)
 			encodeFindings(&r, st.FileFindings[uf.Path])
 			encodeMetricRow(&m, st.MetricRows[uf.Path])
 		}
-		uExt[k] = Extent{uAt, len(u.buf) - uAt}
-		rExt[k] = Extent{rAt, len(r.buf) - rAt}
-		mExt[k] = Extent{mAt, len(m.buf) - mAt}
+		uBufs[k], rBufs[k], mBufs[k] = u.buf, r.buf, m.buf
+	})
+
+	// Concatenate the per-shard blocks, recording extents as each lands.
+	var u, r, m enc
+	uExt := make([]Extent, len(names))
+	rExt := make([]Extent, len(names))
+	mExt := make([]Extent, len(names))
+	for k := range names {
+		uExt[k] = Extent{len(u.buf), len(uBufs[k])}
+		u.buf = append(u.buf, uBufs[k]...)
+		rExt[k] = Extent{len(r.buf), len(rBufs[k])}
+		r.buf = append(r.buf, rBufs[k]...)
+		mExt[k] = Extent{len(m.buf), len(mBufs[k])}
+		m.buf = append(m.buf, mBufs[k]...)
 	}
 	corpusAt := len(r.buf)
 	encodeFindings(&r, st.CorpusFindings)
@@ -246,6 +266,16 @@ func OpenSnapshot(raw []byte) (*Snapshot, error) {
 		payload string
 		base    int
 	}
+	// Walk the framing first (cheap), then verify every section checksum
+	// on a worker pool: the eager CRC pass is most of the cost of opening
+	// a large snapshot and the sections are independent.
+	type rawSection struct {
+		tag     byte
+		payload []byte
+		base    int
+		want    uint32
+	}
+	var raws []rawSection
 	sections := make(map[byte]section, len(snapTags))
 	off := len(snapMagic) + 4
 	for off < len(raw) {
@@ -261,14 +291,23 @@ func OpenSnapshot(raw []byte) (*Snapshot, error) {
 		payload := raw[off : off+n]
 		base := off
 		off += n
-		if got, want := crc(payload), getU32(raw[off:]); got != want {
-			return nil, fmt.Errorf("%w: section %q checksum mismatch (%08x != %08x)", errCorrupt, tag, got, want)
-		}
+		raws = append(raws, rawSection{tag: tag, payload: payload, base: base, want: getU32(raw[off:])})
 		off += 4
 		if _, dup := sections[tag]; dup {
 			return nil, fmt.Errorf("%w: duplicate section %q", errCorrupt, tag)
 		}
 		sections[tag] = section{payload: all[base : base+n], base: base}
+	}
+	crcErrs := make([]error, len(raws))
+	par.For(par.Workers(len(raws)), len(raws), func(i int) {
+		if got := crc(raws[i].payload); got != raws[i].want {
+			crcErrs[i] = fmt.Errorf("%w: section %q checksum mismatch (%08x != %08x)", errCorrupt, raws[i].tag, got, raws[i].want)
+		}
+	})
+	for _, err := range crcErrs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	for _, tag := range snapTags {
 		if _, ok := sections[tag]; !ok {
@@ -499,32 +538,47 @@ func (s *Snapshot) State() (*core.PersistedState, error) {
 		MetricRows:   make(map[string]*metrics.FileMetrics),
 		ShardSigs:    make(map[string][2]uint64, len(s.shards)),
 	}
+	// Decode the shard blocks on a worker pool — each block is an
+	// independent extent — then merge sequentially in directory order so
+	// errors surface in the same order a sequential decode reports them.
+	type shardState struct {
+		ufs   []artifact.UnitFacts
+		fss   [][]rules.Finding
+		rows  []*metrics.FileMetrics
+		paths []string
+		err   error
+	}
+	parts := make([]shardState, len(s.shards))
+	par.For(par.Workers(len(s.shards)), len(s.shards), func(i int) {
+		sh := &s.shards[i]
+		p := &parts[i]
+		if p.ufs, p.err = s.ShardUnits(sh.Module); p.err != nil {
+			return
+		}
+		if p.fss, p.err = s.ShardFindings(sh.Module); p.err != nil {
+			return
+		}
+		if len(p.fss) != len(p.ufs) {
+			p.err = fmt.Errorf("%w: shard %q has %d units but %d finding lists", errCorrupt, sh.Module, len(p.ufs), len(p.fss))
+			return
+		}
+		p.paths = make([]string, len(p.ufs))
+		for k := range p.ufs {
+			p.paths[k] = p.ufs[k].Path
+		}
+		p.rows, p.err = s.ShardMetrics(sh.Module, p.paths)
+	})
 	for i := range s.shards {
 		sh := &s.shards[i]
-		ufs, err := s.ShardUnits(sh.Module)
-		if err != nil {
-			return nil, err
+		p := &parts[i]
+		if p.err != nil {
+			return nil, p.err
 		}
-		fss, err := s.ShardFindings(sh.Module)
-		if err != nil {
-			return nil, err
+		for k := range p.ufs {
+			st.FileFindings[p.paths[k]] = p.fss[k]
+			st.MetricRows[p.paths[k]] = p.rows[k]
 		}
-		if len(fss) != len(ufs) {
-			return nil, fmt.Errorf("%w: shard %q has %d units but %d finding lists", errCorrupt, sh.Module, len(ufs), len(fss))
-		}
-		paths := make([]string, len(ufs))
-		for k := range ufs {
-			paths[k] = ufs[k].Path
-		}
-		rows, err := s.ShardMetrics(sh.Module, paths)
-		if err != nil {
-			return nil, err
-		}
-		for k := range ufs {
-			st.FileFindings[paths[k]] = fss[k]
-			st.MetricRows[paths[k]] = rows[k]
-		}
-		st.Units = append(st.Units, ufs...)
+		st.Units = append(st.Units, p.ufs...)
 		if sh.HasSigs {
 			st.ShardSigs[sh.Module] = [2]uint64{sh.SigExport, sh.SigGraph}
 		}
