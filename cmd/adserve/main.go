@@ -11,6 +11,7 @@
 // Usage:
 //
 //	adserve [-addr :8080] [-allow-dir] [-max-body bytes] [-data-dir DIR]
+//	        [-trace-log PATH] [-trace-threshold 100ms]
 //
 // Endpoints (see internal/service):
 //
@@ -21,6 +22,12 @@
 //	GET  /report?corpus=c1                                            full report (gzip-aware)
 //	GET  /findings?corpus=c1                                          every finding (gzip-aware)
 //	GET  /healthz                                                     liveness
+//	GET  /metrics                                                     Prometheus text exposition
+//	GET  /statz                                                       metrics snapshot as JSON
+//
+// With -trace-log PATH (or "-" for stderr) requests slower than
+// -trace-threshold are appended to PATH as JSON lines, one per request,
+// with the delta pipeline's per-phase timing breakdown.
 package main
 
 import (
@@ -60,6 +67,10 @@ func run() error {
 		"compact once the delta journal holds this many records (0 = default, negative disables)")
 	pprofFlag := flag.Bool("pprof", false,
 		"expose net/http/pprof under /debug/pprof/ (off by default; profiling data leaks source paths)")
+	traceLogFlag := flag.String("trace-log", "",
+		"append slow-request JSON lines to this file (\"-\" = stderr)")
+	traceThresholdFlag := flag.Duration("trace-threshold", 100*time.Millisecond,
+		"minimum request duration for a -trace-log line (0 traces everything)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
@@ -100,6 +111,20 @@ func run() error {
 	}
 	svc.AllowDir = *allowDirFlag
 	svc.MaxBody = *maxBodyFlag
+	if *traceLogFlag != "" {
+		svc.TraceThreshold = *traceThresholdFlag
+		if *traceLogFlag == "-" {
+			svc.TraceLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(*traceLogFlag, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("-trace-log: %w", err)
+			}
+			defer f.Close()
+			svc.TraceLog = f
+		}
+		fmt.Printf("adserve: tracing requests >= %v to %s\n", *traceThresholdFlag, *traceLogFlag)
+	}
 	handler := svc.Handler()
 	if *pprofFlag {
 		// Opt-in only: the profile endpoints reveal heap contents and

@@ -87,7 +87,29 @@ type Index struct {
 	// generation its predecessor handed out, so (module, Shard.Gen)
 	// keys in downstream caches cannot collide across shard lifetimes.
 	refreshSeq uint64
+	// lastApply describes the most recent Apply (observability).
+	lastApply ApplyStats
 }
+
+// ApplyStats describes what one Apply actually touched — the
+// observability face of the O(dirty shard) claim.
+type ApplyStats struct {
+	// Upserts is the number of units (re-)analyzed.
+	Upserts int
+	// Removals is the number of paths dropped.
+	Removals int
+	// DirtyShards is the number of shards whose views refreshed (or
+	// drained), out of Shards total.
+	DirtyShards int
+	// Shards is the post-apply shard count.
+	Shards int
+	// Width is the worker count the parallel shard refresh ran at.
+	Width int
+}
+
+// LastApply returns the stats of the most recent Apply (zero before
+// any). Like Apply itself it must not race with Apply.
+func (ix *Index) LastApply() ApplyStats { return ix.lastApply }
 
 // Gen returns the index generation, bumped by every Build/Apply
 // refresh. Two reads with equal Gen (and equal Index pointer) observe
@@ -360,6 +382,13 @@ func (ix *Index) Apply(upserts []*ccast.TranslationUnit, removals []string) {
 		ix.rebuildPaths()
 	}
 	ix.rebuildFuncs()
+	ix.lastApply = ApplyStats{
+		Upserts:     len(upserts),
+		Removals:    len(removals),
+		DirtyShards: len(mods),
+		Shards:      len(ix.shards),
+		Width:       par.Workers(len(live)),
+	}
 }
 
 // AddUnit indexes one new translation unit (add or replace by path).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/ccast"
 	"repro/internal/ccparse"
@@ -37,6 +38,20 @@ type DeltaResult struct {
 	Unchanged int
 	// Removed counts files dropped.
 	Removed int
+
+	// ParseNs is the wall time PrepareDelta spent parsing dirty files
+	// (the parallel parse fan-out), carried through to the commit so the
+	// serving layer can report a per-request phase breakdown.
+	ParseNs int64
+	// HookNs is the wall time CommitDelta spent inside the commit hook
+	// (the journal stage on the persistent path); subtracting it from
+	// the commit's wall time isolates the in-memory index update.
+	HookNs int64
+	// DirtyShards and ParWidth mirror the artifact index's ApplyStats:
+	// how many shards the commit actually refreshed, and at what
+	// parallel width. Zero when the delta touched no built index.
+	DirtyShards int
+	ParWidth    int
 }
 
 // LoadDir ingests a real on-disk C/C++/CUDA tree (srcfile.LoadDir with
@@ -66,6 +81,8 @@ type PreparedDelta struct {
 	// unchanged counts files whose content matched the corpus at
 	// prepare time.
 	unchanged int
+	// parseNs is the wall time the parse fan-out took.
+	parseNs int64
 }
 
 // PrepareDelta validates and parses a corpus edit without mutating any
@@ -126,6 +143,7 @@ func (a *Assessor) PrepareDelta(d Delta) (*PreparedDelta, error) {
 
 	// Parse the dirty files before any state can be touched, mirroring
 	// LoadFileSet's tolerance: BadDecls are fine, a nil unit is not.
+	parseStart := time.Now()
 	pd.parsed = make([]*ccast.TranslationUnit, len(pd.dirty))
 	perr := make([]*ccparse.Error, len(pd.dirty))
 	par.For(par.Workers(len(pd.dirty)), len(pd.dirty), func(i int) {
@@ -135,6 +153,7 @@ func (a *Assessor) PrepareDelta(d Delta) (*PreparedDelta, error) {
 			perr[i] = errs[0]
 		}
 	})
+	pd.parseNs = time.Since(parseStart).Nanoseconds()
 	for i := range pd.parsed {
 		if pd.parsed[i] == nil {
 			return nil, fmt.Errorf("core: file %s failed to parse: %v", pd.dirty[i].Path, perr[i])
@@ -151,6 +170,7 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 	if pd == nil || pd.a != a {
 		return nil, errors.New("core: CommitDelta with a delta prepared for a different assessor")
 	}
+	res := &DeltaResult{Unchanged: pd.unchanged, ParseNs: pd.parseNs}
 	if a.commitHook != nil && (len(pd.dirty) > 0 || len(pd.removed) > 0) {
 		// Write-ahead discipline: the hook (the journal write — callers
 		// that stage without syncing own making it durable before they
@@ -160,11 +180,12 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 		// All-unchanged deltas skip the hook: there is nothing to replay,
 		// and journaling empty records would cost a record (and advance
 		// compaction) per no-op.
+		hookStart := time.Now()
 		if err := a.commitHook(pd.dirty, pd.removed); err != nil {
 			return nil, fmt.Errorf("core: %w: %v", ErrCommitHook, err)
 		}
+		res.HookNs = time.Since(hookStart).Nanoseconds()
 	}
-	res := &DeltaResult{Unchanged: pd.unchanged}
 	var removedPaths []string
 	for _, p := range pd.removed {
 		if a.fs.Remove(p) {
@@ -186,6 +207,9 @@ func (a *Assessor) CommitDelta(pd *PreparedDelta) (*DeltaResult, error) {
 	}
 	if a.ix != nil {
 		a.ix.Apply(pd.parsed, removedPaths)
+		st := a.ix.LastApply()
+		res.DirtyShards = st.DirtyShards
+		res.ParWidth = st.Width
 	}
 
 	// Drop memoized whole-corpus results; the per-shard caches behind

@@ -38,6 +38,7 @@ var DetRange = &analysis.Analyzer{
 var detRangePkgs = map[string]bool{
 	"rules": true, "artifact": true, "store": true, "metrics": true,
 	"report": true, "core": true, "service": true, "srcfile": true,
+	"obs": true,
 }
 
 func runDetRange(pass *analysis.Pass) error {

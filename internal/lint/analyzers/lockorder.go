@@ -21,10 +21,17 @@ import (
 //	rank 40  Server.mu           (leaf: guards the corpora map only; reads
 //	                              take RLock)
 //
+//	rank 50  Server.traceMu     (slow-request trace-log writer; innermost,
+//	                              and the write under it is by design)
+//
 // Leaf locks additionally forbid acquiring ANY other lock and making
-// any blocking call (fsync, snapshot writes, HTTP, store methods)
-// while held — they serialize every request on the server, so nothing
-// slow may run under them. The corpus lock deliberately permits
+// any blocking call (fsync, snapshot writes, HTTP, store methods,
+// obs.Registry registration — it takes the registry mutex and
+// allocates) while held — they serialize every request on the server,
+// so nothing slow may run under them. Recording into already-registered
+// obs instruments (Counter.Inc, Histogram.Observe, ...) is lock-free
+// atomic adds and is deliberately NOT flagged: that is the metrics
+// hot-path contract the service layer relies on. The corpus lock deliberately permits
 // blocking I/O: the write-ahead journal record is staged (written)
 // under the corpus write lock so commit order equals journal order —
 // only the group-commit fsync moved outside the lock, via the sync
@@ -49,6 +56,7 @@ var lockRegistry = map[string]lockInfo{
 	"service.corpusState.projMu":  {rank: 25},
 	"service.corpusState.shardMu": {rank: 30, leaf: true},
 	"service.Server.mu":           {rank: 40, leaf: true},
+	"service.Server.traceMu":      {rank: 50},
 }
 
 // moduleLockRank is the rank taken by corpusState.lockModules, which
@@ -371,6 +379,12 @@ var blockingCoreMethods = map[string]bool{
 func blockingCall(obj types.Object) (string, bool) {
 	if pkg, recv, name, ok := methodInfo(obj); ok {
 		if blockingRecvPkgs[pkg] {
+			return recv + "." + name, true
+		}
+		// Registry methods (registration, exposition) take the registry
+		// mutex and allocate; only the per-instrument record methods are
+		// lock-free and leaf-safe.
+		if pkg == "obs" && recv == "Registry" {
 			return recv + "." + name, true
 		}
 		if pkg == "core" && blockingCoreMethods[name] {

@@ -1,0 +1,20 @@
+// Package obs is a golden stand-in for the repo's metrics layer:
+// lockorder classifies obs.Registry methods as blocking (registration
+// takes the registry mutex and allocates) while per-instrument record
+// methods stay leaf-safe, and resolves both by "<pkg>.<type>.<method>",
+// so the type and method names here mirror the real ones exactly.
+package obs
+
+// Counter is a registered instrument; Inc is the lock-free hot path.
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+// Registry registers instruments under a mutex.
+type Registry struct{ metrics []*Counter }
+
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.metrics = append(r.metrics, c)
+	return c
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/lint/analyzers/testdata/src/lockorder/obs"
 )
 
 type corpusState struct {
@@ -160,6 +162,23 @@ func workerPoolUnderCorpusLock(st *corpusState, shards []func()) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+func metricRecordUnderLeaf(s *Server, c *obs.Counter) {
+	// Recording into an already-registered instrument is the metrics
+	// hot-path contract — lock-free atomic adds — so it is allowed even
+	// under a leaf lock.
+	s.mu.Lock()
+	c.Inc()
+	s.mu.Unlock()
+}
+
+func metricRegistrationUnderLeaf(s *Server, reg *obs.Registry) {
+	// Registration takes the registry mutex and allocates: it belongs
+	// at server construction, never under a request-path lock.
+	s.mu.Lock()
+	reg.Counter("x_total", "help") // want `blocking call Registry.Counter while holding leaf lock s.mu`
+	s.mu.Unlock()
 }
 
 func suppressedViolation(s *Server, st *corpusState) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/corpusgen"
+	"repro/internal/obs"
 )
 
 // Config tunes a load run. Zero fields take the defaults documented on
@@ -133,6 +134,33 @@ type Result struct {
 		GOMAXPROCS int `json:"gomaxprocs"`
 		NumCPU     int `json:"num_cpu"`
 	} `json:"machine"`
+
+	// Server diffs the server's own /statz counters across the run
+	// against what this client observed, making the run a metrics
+	// correctness oracle (nil when the server has no /statz). Valid
+	// only when the harness is the server's sole traffic.
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// ServerStats is the /statz diff block of a Result. Each server-side
+// field is the counter's increase between the pre-run and post-run
+// snapshots; the client fields are what this harness counted itself.
+// On a clean run the pairs must match exactly: the server counts acks
+// before the response reaches the wire, so everything the client saw
+// acknowledged is already in /statz by the time Run returns.
+type ServerStats struct {
+	DeltasAcked     int64 `json:"deltas_acked"`
+	FileDeltasAcked int64 `json:"file_deltas_acked"`
+	Fsyncs          int64 `json:"fsyncs"`
+	Reads           int64 `json:"reads"`
+
+	ClientDeltasAcked     int64 `json:"client_deltas_acked"`
+	ClientFileDeltasAcked int64 `json:"client_file_deltas_acked"`
+	ClientFsyncs          int64 `json:"client_fsyncs"`
+	ClientReads           int64 `json:"client_reads"`
+
+	// MatchesClient is true when every pair above agrees.
+	MatchesClient bool `json:"matches_client"`
 }
 
 // String renders the human summary cmd/adload prints.
@@ -155,6 +183,18 @@ func (r *Result) String() string {
 	}
 	if r.Errors > 0 {
 		fmt.Fprintf(&b, "  ERRORS: %d\n", r.Errors)
+	}
+	if s := r.Server; s != nil {
+		verdict := "MISMATCH"
+		if s.MatchesClient {
+			verdict = "match"
+		}
+		fmt.Fprintf(&b, "  server: %s  (acked %d/%d, files %d/%d, fsyncs %d/%d, reads %d/%d server/client)\n",
+			verdict,
+			s.DeltasAcked, s.ClientDeltasAcked,
+			s.FileDeltasAcked, s.ClientFileDeltasAcked,
+			s.Fsyncs, s.ClientFsyncs,
+			s.Reads, s.ClientReads)
 	}
 	return b.String()
 }
@@ -234,6 +274,12 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 	fsyncs := make([]atomic.Int64, cfg.Corpora)
 	var tickets atomic.Int64
 	var errs atomic.Int64
+	// acked counts deltas the client saw acknowledged (200 + parseable
+	// body) and readsOK the fully-received 200 reads — the client side
+	// of the /statz diff oracle (res.Deltas/res.Reads include failures).
+	var acked, readsOK atomic.Int64
+
+	before := fetchStatz(client, baseURL)
 
 	type lats struct{ delta, read []time.Duration }
 	all := make([]lats, cfg.Concurrency)
@@ -276,6 +322,7 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 					errs.Add(1)
 					continue
 				}
+				acked.Add(1)
 				if dr.Journal != nil {
 					for {
 						cur := fsyncs[corpus].Load()
@@ -300,6 +347,8 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 					all[w].read = append(all[w].read, time.Since(begin))
 					if resp.StatusCode != http.StatusOK || cerr != nil {
 						errs.Add(1)
+					} else {
+						readsOK.Add(1)
 					}
 				}
 			}
@@ -332,7 +381,82 @@ func Run(client *http.Client, baseURL string, cfg Config) (*Result, error) {
 	if res.FileDeltas > 0 {
 		res.FsyncsPerFileDelta = float64(res.Fsyncs) / float64(res.FileDeltas)
 	}
+	if after := fetchStatz(client, baseURL); before != nil && after != nil {
+		s := &ServerStats{
+			DeltasAcked:     after.counter("adserve_deltas_acked_total", nil) - before.counter("adserve_deltas_acked_total", nil),
+			FileDeltasAcked: after.counter("adserve_delta_files_acked_total", nil) - before.counter("adserve_delta_files_acked_total", nil),
+			Fsyncs:          after.counter("adserve_journal_fsyncs_total", nil) - before.counter("adserve_journal_fsyncs_total", nil),
+			Reads:           diffReads(before, after),
+
+			ClientDeltasAcked:     acked.Load(),
+			ClientFileDeltasAcked: acked.Load() * int64(cfg.Batch),
+			ClientFsyncs:          res.Fsyncs,
+			ClientReads:           readsOK.Load(),
+		}
+		s.MatchesClient = s.DeltasAcked == s.ClientDeltasAcked &&
+			s.FileDeltasAcked == s.ClientFileDeltasAcked &&
+			s.Fsyncs == s.ClientFsyncs &&
+			s.Reads == s.ClientReads
+		res.Server = s
+	}
 	return res, nil
+}
+
+// statzSnapshot is a decoded /statz response.
+type statzSnapshot struct {
+	Metrics []obs.MetricValue `json:"metrics"`
+}
+
+// fetchStatz reads the server's metrics snapshot, or nil when the
+// server has no /statz (the oracle degrades to absent, not failed).
+func fetchStatz(client *http.Client, baseURL string) *statzSnapshot {
+	resp, err := client.Get(baseURL + "/statz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var snap statzSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+// counter sums the series of name whose labels include every pair in
+// want (nil matches all series of the name).
+func (s *statzSnapshot) counter(name string, want map[string]string) int64 {
+	var total int64
+	for _, m := range s.Metrics {
+		if m.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if m.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += m.Value
+		}
+	}
+	return total
+}
+
+// diffReads is the run's server-observed successful read count: the
+// increase in 2xx responses on the two read endpoints.
+func diffReads(before, after *statzSnapshot) int64 {
+	var total int64
+	for _, ep := range []string{"/report", "/findings"} {
+		want := map[string]string{"endpoint": ep, "class": "2xx"}
+		total += after.counter("adserve_requests_total", want) - before.counter("adserve_requests_total", want)
+	}
+	return total
 }
 
 // percentile returns the p-th percentile of ds (nearest-rank on a

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal in HELP text).
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...} for the series' labels plus any
+// extras (used for histogram le). Empty label sets render as "".
+func labelString(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// leValue renders the le bound for finite bucket i, or "+Inf".
+func leValue(i int) string {
+	if i >= HistBuckets {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", BucketBound(i))
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4). Series of one name form a contiguous group
+// (ordered by the name's first registration) headed by one HELP and one
+// TYPE line; within a group, series appear in registration order.
+// Output is therefore deterministic modulo the metric values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshotMetrics()
+
+	// Group by name, preserving first-registration order.
+	var names []string
+	byName := make(map[string][]*metric, len(metrics))
+	for _, m := range metrics {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+
+	var b strings.Builder
+	for _, name := range names {
+		group := byName[name]
+		head := group[0]
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(head.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, head.kind)
+		for _, m := range group {
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, labelString(m.labels), m.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", name, labelString(m.labels), m.gauge.Value())
+			case kindHistogram:
+				counts := m.hist.BucketCounts()
+				var cum int64
+				for i := range counts {
+					cum += counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						name, labelString(m.labels, L("le", leValue(i))), cum)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %d\n", name, labelString(m.labels), m.hist.Sum())
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, labelString(m.labels), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BucketValue is one cumulative histogram bucket in a JSON snapshot.
+type BucketValue struct {
+	// Le is the inclusive upper bound ("+Inf" for the overflow bucket).
+	Le string `json:"le"`
+	// Count is the cumulative observation count at or below Le.
+	Count int64 `json:"count"`
+}
+
+// MetricValue is one series in a JSON snapshot (/statz).
+type MetricValue struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value, or the observation count for a
+	// histogram.
+	Value int64 `json:"value"`
+	// Sum is the histogram observation sum (histograms only).
+	Sum int64 `json:"sum,omitempty"`
+	// P50/P99 are derived histogram quantile upper bounds (histograms
+	// with at least one observation only).
+	P50 int64 `json:"p50,omitempty"`
+	P99 int64 `json:"p99,omitempty"`
+	// Buckets holds the cumulative counts of the occupied buckets
+	// (histograms only; empty buckets are elided from the JSON view —
+	// the full fixed layout is on /metrics).
+	Buckets []BucketValue `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered series with its current value, in
+// registration order (deterministic modulo values).
+func (r *Registry) Snapshot() []MetricValue {
+	metrics := r.snapshotMetrics()
+	out := make([]MetricValue, 0, len(metrics))
+	for _, m := range metrics {
+		mv := MetricValue{
+			Name:   m.name,
+			Type:   m.kind.String(),
+			Labels: sortedLabelMap(m.labels),
+		}
+		switch m.kind {
+		case kindCounter:
+			mv.Value = m.counter.Value()
+		case kindGauge:
+			mv.Value = m.gauge.Value()
+		case kindHistogram:
+			counts := m.hist.BucketCounts()
+			var cum int64
+			for i := range counts {
+				n := counts[i]
+				cum += n
+				if n != 0 {
+					mv.Buckets = append(mv.Buckets, BucketValue{Le: leValue(i), Count: cum})
+				}
+			}
+			mv.Value = cum
+			mv.Sum = m.hist.Sum()
+			if cum > 0 {
+				mv.P50 = m.hist.Quantile(0.50)
+				mv.P99 = m.hist.Quantile(0.99)
+				if mv.P50 == math.MaxInt64 {
+					mv.P50 = -1
+				}
+				if mv.P99 == math.MaxInt64 {
+					mv.P99 = -1
+				}
+			}
+		}
+		out = append(out, mv)
+	}
+	return out
+}

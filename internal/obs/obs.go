@@ -1,0 +1,353 @@
+// Package obs is the serving stack's zero-dependency observability
+// layer: a metrics registry of atomic counters, gauges, and fixed
+// power-of-two histograms, plus per-request phase spans.
+//
+// The design contract is that observing is free on the hot path:
+//
+//   - one or two uncontended atomic adds per event (a counter bump is
+//     one; a histogram observation is one bucket add plus one sum add);
+//   - no locks after registration — Counter/Gauge/Histogram never
+//     synchronize, so they are safe to call at any point of the
+//     repo's lock hierarchy, including under the leaf locks the
+//     adlint lockorder analyzer forbids blocking work under;
+//   - no allocation after registration — instruments are registered
+//     once at construction time and the returned pointers are shared.
+//
+// Registration (Registry.Counter/Gauge/Histogram) takes the registry
+// mutex and allocates; it belongs at startup, never on a request path
+// under a lock (lockorder enforces this for the service layer).
+//
+// Histograms use fixed power-of-two buckets (bucket i holds
+// observations v with 2^(i-1) < v <= 2^i, bucket 0 holds v <= 1), so
+// for nanosecond latencies the 40 finite buckets span 1ns to ~9.2min
+// and any quantile is derivable from the bucket counts alone — no
+// sampling, no sliding windows, and two histograms merge by adding
+// buckets.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"regexp"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; nil receivers are no-ops so optional instrumentation
+// never needs guarding.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (set, not accumulated).
+// The zero value is ready to use; nil receivers are no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the number of finite power-of-two histogram buckets.
+// Bucket i covers (2^(i-1), 2^i] (bucket 0 covers (-inf, 1]); index
+// HistBuckets is the overflow bucket for observations above
+// 2^(HistBuckets-1).
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two histogram. Observations are
+// one bucket add plus one sum add — no locks, no allocation. The zero
+// value is ready to use; nil receivers are no-ops.
+type Histogram struct {
+	buckets [HistBuckets + 1]atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketIndex returns the bucket for observation v: the smallest i with
+// v <= 2^i, or the overflow index.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i > HistBuckets {
+		return HistBuckets
+	}
+	return i
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (derived from the
+// buckets, so it is exactly consistent with them).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketCounts returns a snapshot of the per-bucket (non-cumulative)
+// counts; index HistBuckets is the overflow bucket.
+func (h *Histogram) BucketCounts() [HistBuckets + 1]int64 {
+	var out [HistBuckets + 1]int64
+	if h == nil {
+		return out
+	}
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (2^i), or
+// math.MaxInt64 for the overflow bucket.
+func BucketBound(i int) int64 {
+	if i >= HistBuckets {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Quantile returns the upper bucket bound covering the q-th quantile
+// (0 < q <= 1) of the recorded observations: the true quantile is
+// guaranteed <= the returned value and > half of it (power-of-two
+// buckets bound the relative error by 2x). Returns 0 with no
+// observations and math.MaxInt64 when the quantile falls in the
+// overflow bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.BucketCounts()
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range counts {
+		cum += n
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return math.MaxInt64
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Label is one constant metric label, fixed at registration.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// nameRE is the Prometheus metric/label name grammar.
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Registry holds named metric series in registration order, which is
+// therefore the (deterministic) exposition order: the set and order of
+// series depends only on what was registered, never on traffic or map
+// iteration. Registration is idempotent — the same (name, labels) pair
+// returns the same instrument — and safe for concurrent use; the
+// instruments themselves are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byKey   map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// seriesKey renders the identity of a series.
+func seriesKey(name string, labels []Label) string {
+	k := name
+	for _, l := range labels {
+		k += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return k
+}
+
+// register interns one series. Invalid names and kind conflicts are
+// programmer errors at startup and panic.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *metric {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byKey[key]; m != nil {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	// All series of one name must share a kind (and the exposition
+	// emits one TYPE line per name).
+	for _, m := range r.metrics {
+		if m.name == name && m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+	}
+	m := &metric{name: name, help: help, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.byKey[key] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, kindCounter, labels).counter
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, kindGauge, labels).gauge
+}
+
+// Histogram registers (or returns the existing) histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, kindHistogram, labels).hist
+}
+
+// snapshotMetrics copies the series list under the registry lock; the
+// *metric entries themselves are immutable after registration (their
+// instruments are internally atomic).
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}
+
+// sortedLabelMap renders labels as a map for JSON exposition (JSON
+// object keys marshal in sorted order, keeping output deterministic).
+func sortedLabelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for _, l := range labels {
+		out[l.Key] = l.Value
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4},
+		{1024, 10}, {1025, 11},
+		{1 << 39, 39},
+		{1<<39 + 1, 40},
+		{math.MaxInt64, 40},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsCoverObservations(t *testing.T) {
+	// Every observation must land in the bucket whose bound brackets it:
+	// BucketBound(i-1) < v <= BucketBound(i).
+	for _, v := range []int64{1, 2, 3, 7, 100, 1e6, 1e9, 1 << 38} {
+		i := bucketIndex(v)
+		if v > BucketBound(i) {
+			t.Errorf("v=%d above its bucket bound %d", v, BucketBound(i))
+		}
+		if i > 0 && v <= BucketBound(i-1) {
+			t.Errorf("v=%d not above previous bound %d", v, BucketBound(i-1))
+		}
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantileOneSample(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)
+	// 1000 lands in (512, 1024]; every quantile is that bucket's bound.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 1024 {
+			t.Errorf("Quantile(%v) = %d, want 1024", q, got)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 1000 {
+		t.Fatalf("count/sum = %d/%d, want 1/1000", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantileExactBucketMath(t *testing.T) {
+	var h Histogram
+	// Three observations in three distinct buckets: 1 -> bucket 0 (<=1),
+	// 2 -> bucket 1 (<=2), 3 -> bucket 2 (<=4).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.0, 1},  // rank clamps to 1 -> first bucket
+		{0.33, 1}, // ceil(0.99) = 1
+		{0.34, 2}, // ceil(1.02) = 2
+		{0.5, 2},  // ceil(1.5) = 2
+		{0.67, 4}, // ceil(2.01) = 3
+		{1.0, 4},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64) // far above the last finite bound
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Fatalf("overflow quantile = %d, want MaxInt64", got)
+	}
+	counts := h.BucketCounts()
+	if counts[HistBuckets] != 1 {
+		t.Fatalf("overflow bucket count = %d, want 1", counts[HistBuckets])
+	}
+	if BucketBound(HistBuckets) != math.MaxInt64 {
+		t.Fatalf("overflow bound = %d", BucketBound(HistBuckets))
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var s *Span
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	s.Phase("x")()
+	s.Observe("y", 1)
+	s.Note("k", "v")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s.Phases() != nil || s.Notes() != nil || s.Total() != 0 {
+		t.Fatal("nil span must read empty")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	h := r.Histogram("test_lat_ns", "latency")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(w*perWorker + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", L("k", "v"))
+	b := r.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	if c := r.Counter("x_total", "x", L("k", "w")); c == a {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	mustPanic(t, "kind conflict", func() { r.Gauge("x_total", "x", L("k", "v")) })
+	mustPanic(t, "kind conflict across series", func() { r.Histogram("x_total", "x", L("k", "u")) })
+	mustPanic(t, "invalid name", func() { r.Counter("bad name", "x") })
+	mustPanic(t, "invalid label", func() { r.Counter("ok_total", "x", L("bad key", "v")) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestWritePrometheusAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests", L("endpoint", "/delta"), L("class", "2xx")).Add(3)
+	r.Counter("req_total", "requests", L("endpoint", "/report"), L("class", "2xx")).Add(1)
+	r.Gauge("up", "server up").Set(1)
+	h := r.Histogram("lat_ns", "latency", L("endpoint", "/delta"))
+	h.Observe(100)
+	h.Observe(2000)
+	r.Counter("esc_total", "has \"quotes\" and \\slash\\\nnewline", L("v", "a\"b\\c\nd"))
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("self-exposition does not validate: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`req_total{endpoint="/delta",class="2xx"} 3`,
+		`# TYPE lat_ns histogram`,
+		`lat_ns_bucket{endpoint="/delta",le="128"} 1`,
+		`lat_ns_bucket{endpoint="/delta",le="+Inf"} 2`,
+		`lat_ns_sum{endpoint="/delta"} 2100`,
+		`lat_ns_count{endpoint="/delta"} 2`,
+		`esc_total{v="a\"b\\c\nd"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("a_total", "a", L("k", "1"))
+		r.Counter("a_total", "a", L("k", "2"))
+		r.Gauge("b", "b")
+		r.Histogram("c_ns", "c")
+		return r
+	}
+	var w1, w2 strings.Builder
+	if err := build().WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no trailing newline", "# TYPE x counter\nx 1"},
+		{"empty line", "# TYPE x counter\n\nx 1\n"},
+		{"sample before TYPE", "x 1\n"},
+		{"non-contiguous group", "# TYPE x counter\nx 1\n# TYPE y counter\ny 1\nx 2\n"},
+		{"bad value", "# TYPE x counter\nx one\n"},
+		{"bad name", "# TYPE 9x counter\n9x 1\n"},
+		{"unterminated labels", "# TYPE x counter\nx{k=\"v\" 1\n"},
+		{"histogram without inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram decreasing cum", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+	}
+	for _, c := range cases {
+		if err := ValidateExposition(c.text); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	ok := "# HELP x total\n# TYPE x counter\nx{a=\"b\"} 1\nx 2\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"
+	if err := ValidateExposition(ok); err != nil {
+		t.Errorf("valid payload rejected: %v", err)
+	}
+}
+
+func TestSpanPhases(t *testing.T) {
+	sp := StartSpan()
+	done := sp.Phase("parse")
+	time.Sleep(time.Millisecond)
+	done()
+	sp.Observe("commit", 500)
+	sp.Observe("negative", -10)
+	sp.Note("corpus", "default")
+
+	ph := sp.Phases()
+	if len(ph) != 3 {
+		t.Fatalf("got %d phases, want 3", len(ph))
+	}
+	if ph[0].Name != "parse" || ph[0].Ns <= 0 {
+		t.Fatalf("parse phase = %+v", ph[0])
+	}
+	if ph[1].Ns != 500 || ph[2].Ns != 0 {
+		t.Fatalf("observed phases = %+v", ph[1:])
+	}
+	var sum int64
+	for _, p := range ph {
+		sum += p.Ns
+	}
+	if total := sp.Total().Nanoseconds(); sum > total {
+		t.Fatalf("phase sum %d exceeds span total %d", sum, total)
+	}
+	if n := sp.Notes(); len(n) != 1 || n[0].Key != "corpus" {
+		t.Fatalf("notes = %+v", n)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(7)
+	h := r.Histogram("h_ns", "h", L("x", "y"))
+	h.Observe(3)
+	h.Observe(1000)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Name != "c_total" || snap[0].Type != "counter" || snap[0].Value != 7 {
+		t.Fatalf("counter snapshot = %+v", snap[0])
+	}
+	hv := snap[1]
+	if hv.Type != "histogram" || hv.Value != 2 || hv.Sum != 1003 {
+		t.Fatalf("histogram snapshot = %+v", hv)
+	}
+	if hv.P50 != 4 || hv.P99 != 1024 {
+		t.Fatalf("histogram quantiles = p50 %d p99 %d", hv.P50, hv.P99)
+	}
+	if len(hv.Buckets) != 2 || hv.Buckets[1].Count != 2 {
+		t.Fatalf("histogram buckets = %+v", hv.Buckets)
+	}
+	if hv.Labels["x"] != "y" {
+		t.Fatalf("labels = %+v", hv.Labels)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "time"
+
+// SpanPhase is one named, timed phase of a request span.
+type SpanPhase struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// Span is a per-request phase breakdown: named durations recorded as
+// the request moves through the pipeline (prepare parse, commit,
+// journal stage, sync barrier, projection render, ...). A Span belongs
+// to one request goroutine at a time — handlers record phases
+// sequentially, so Span does no locking. Nil receivers are no-ops, so
+// un-instrumented call paths pass a nil span freely.
+type Span struct {
+	start  time.Time
+	phases []SpanPhase
+	notes  []Label
+}
+
+// StartSpan begins a span; Total measures from this instant.
+func StartSpan() *Span {
+	return &Span{start: time.Now()}
+}
+
+// Phase starts a named phase and returns a func that ends it, recording
+// the elapsed time:
+//
+//	done := sp.Phase("commit")
+//	... work ...
+//	done()
+func (s *Span) Phase(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		s.phases = append(s.phases, SpanPhase{Name: name, Ns: time.Since(t0).Nanoseconds()})
+	}
+}
+
+// Observe records an externally measured phase duration.
+func (s *Span) Observe(name string, ns int64) {
+	if s == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	s.phases = append(s.phases, SpanPhase{Name: name, Ns: ns})
+}
+
+// Note attaches a key=value annotation (corpus name, file counts, ...).
+func (s *Span) Note(key, value string) {
+	if s == nil {
+		return
+	}
+	s.notes = append(s.notes, Label{Key: key, Value: value})
+}
+
+// Phases returns the recorded phases in record order.
+func (s *Span) Phases() []SpanPhase {
+	if s == nil {
+		return nil
+	}
+	return s.phases
+}
+
+// Notes returns the recorded annotations in record order.
+func (s *Span) Notes() []Label {
+	if s == nil {
+		return nil
+	}
+	return s.notes
+}
+
+// Total returns the time elapsed since StartSpan.
+func (s *Span) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

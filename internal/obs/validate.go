@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format payload
+// (version 0.0.4) line by line: every line must be a well-formed HELP,
+// TYPE, or sample line; TYPE must precede a name's samples and each
+// name's lines must be contiguous; histogram groups must carry
+// cumulative non-decreasing _bucket series ending at le="+Inf" with a
+// matching _count and a _sum. It returns nil for a valid payload or an
+// error naming the first offending line. Tests and the OBS_SMOKE gate
+// use it as the wire-format oracle for /metrics.
+func ValidateExposition(text string) error {
+	type group struct {
+		typ    string
+		closed bool // a different name's line has appeared since
+		// histogram bookkeeping, per label set (le stripped)
+		lastLe   map[string]float64
+		lastCum  map[string]float64
+		sawInf   map[string]bool
+		infCum   map[string]float64
+		sawSum   map[string]bool
+		sawCount map[string]bool
+	}
+	groups := make(map[string]*group)
+	var open string // name of the currently open group
+
+	ensure := func(name string) *group {
+		g := groups[name]
+		if g == nil {
+			g = &group{
+				lastLe:   make(map[string]float64),
+				lastCum:  make(map[string]float64),
+				sawInf:   make(map[string]bool),
+				infCum:   make(map[string]float64),
+				sawSum:   make(map[string]bool),
+				sawCount: make(map[string]bool),
+			}
+			groups[name] = g
+		}
+		return g
+	}
+	enter := func(name string, lineNo int) (*group, error) {
+		if open != name {
+			if open != "" {
+				groups[open].closed = true
+			}
+			g := ensure(name)
+			if g.closed {
+				return nil, fmt.Errorf("line %d: metric %q reappears after other metrics (groups must be contiguous)", lineNo, name)
+			}
+			open = name
+		}
+		return groups[name], nil
+	}
+
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "" {
+		return fmt.Errorf("payload must end with a newline")
+	}
+	lines = lines[:len(lines)-1]
+
+	for i, line := range lines {
+		n := i + 1
+		if line == "" {
+			return fmt.Errorf("line %d: empty line", n)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", n, line)
+			}
+			name := fields[2]
+			if !nameRE.MatchString(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", n, name)
+			}
+			g, err := enter(name, n)
+			if err != nil {
+				return err
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", n)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", n, fields[3])
+				}
+				if g.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", n, name)
+				}
+				g.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		// A histogram's _bucket/_sum/_count samples belong to the base
+		// name's group.
+		base := name
+		kind := ""
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if g := groups[trimmed]; g != nil && g.typ == "histogram" {
+					base, kind = trimmed, suf
+				}
+				break
+			}
+		}
+		g, err := enter(base, n)
+		if err != nil {
+			return err
+		}
+		if g.typ == "" {
+			return fmt.Errorf("line %d: sample for %q before its TYPE line", n, base)
+		}
+		if g.typ == "histogram" {
+			if kind == "" {
+				return fmt.Errorf("line %d: histogram %q sample without _bucket/_sum/_count suffix", n, base)
+			}
+			key := labelKeyWithoutLe(labels)
+			switch kind {
+			case "_bucket":
+				leStr, ok := findLabel(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", n)
+				}
+				le, err := parseLe(leStr)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", n, err)
+				}
+				if g.sawInf[key] {
+					return fmt.Errorf("line %d: bucket after le=\"+Inf\" for %q", n, base)
+				}
+				if prev, ok := g.lastLe[key]; ok && le <= prev {
+					return fmt.Errorf("line %d: le bounds not increasing for %q", n, base)
+				}
+				if prev, ok := g.lastCum[key]; ok && value < prev {
+					return fmt.Errorf("line %d: cumulative bucket counts decrease for %q", n, base)
+				}
+				g.lastLe[key] = le
+				g.lastCum[key] = value
+				if leStr == "+Inf" {
+					g.sawInf[key] = true
+					g.infCum[key] = value
+				}
+			case "_sum":
+				g.sawSum[key] = true
+			case "_count":
+				if !g.sawInf[key] {
+					return fmt.Errorf("line %d: histogram %q _count without a +Inf bucket", n, base)
+				}
+				if value != g.infCum[key] {
+					return fmt.Errorf("line %d: histogram %q _count %v != +Inf bucket %v", n, base, value, g.infCum[key])
+				}
+				g.sawCount[key] = true
+			}
+		}
+	}
+	if open != "" {
+		groups[open].closed = true
+	}
+
+	// Every histogram series must have completed its bucket/sum/count
+	// triplet.
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := groups[name]
+		if g.typ != "histogram" {
+			continue
+		}
+		keys := make([]string, 0, len(g.lastLe))
+		for k := range g.lastLe {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !g.sawInf[k] {
+				return fmt.Errorf("histogram %q series %q has no +Inf bucket", name, k)
+			}
+			if !g.sawSum[k] {
+				return fmt.Errorf("histogram %q series %q has no _sum", name, k)
+			}
+			if !g.sawCount[k] {
+				return fmt.Errorf("histogram %q series %q has no _count", name, k)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional) and
+// returns the metric name, labels, and numeric value.
+func parseSample(line string) (string, []Label, float64, error) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:end]
+	if !nameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+
+	var labels []Label
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq <= 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			if !nameRE.MatchString(key) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", key)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				rest = rest[1:]
+				if c == '\\' {
+					if rest == "" {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[0] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[0], line)
+					}
+					rest = rest[1:]
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			labels = append(labels, Label{Key: key, Value: val.String()})
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+
+	if rest == "" || rest[0] != ' ' {
+		return "", nil, 0, fmt.Errorf("missing value in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		// An optional trailing timestamp is the only extra field allowed.
+		return "", nil, 0, fmt.Errorf("trailing garbage in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	return name, labels, v, nil
+}
+
+// findLabel returns the value of the named label.
+func findLabel(labels []Label, key string) (string, bool) {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// labelKeyWithoutLe renders a series identity ignoring the le label,
+// order-insensitively.
+func labelKeyWithoutLe(labels []Label) string {
+	kept := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Key != "le" {
+			kept = append(kept, l)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Key < kept[j].Key })
+	return seriesKey("", kept)
+}
+
+// parseLe parses a bucket bound, accepting "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}

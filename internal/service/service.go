@@ -47,11 +47,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/iso26262"
@@ -82,6 +84,19 @@ type Server struct {
 	// dataDir, when non-nil, makes the server persistent (see the
 	// package comment); nil servers are purely in-memory.
 	dataDir *store.Dir
+
+	// TraceLog, when non-nil, receives one JSON line per request whose
+	// total latency reaches TraceThreshold (0 logs every request) —
+	// endpoint, status, total, and the span's phase breakdown. Both are
+	// configured before serving starts and never mutated after; traceMu
+	// serializes writers so concurrent lines never interleave.
+	TraceLog       io.Writer
+	TraceThreshold time.Duration
+	traceMu        sync.Mutex
+
+	// obs is the per-Server metrics registry (see obs.go); always
+	// non-nil on servers built via New/NewWithStore.
+	obs *serverMetrics
 }
 
 type corpusState struct {
@@ -165,7 +180,10 @@ func (st *corpusState) lockModules(paths []string) (unlock func()) {
 
 // New creates an empty in-memory server.
 func New() *Server {
-	return &Server{corpora: make(map[string]*corpusState)}
+	return &Server{
+		corpora: make(map[string]*corpusState),
+		obs:     newServerMetrics(),
+	}
 }
 
 // RestoredCorpus describes one corpus recovered during NewWithStore.
@@ -199,6 +217,7 @@ func NewWithStore(d *store.Dir) (*Server, []RestoredCorpus, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		cs.SetMetrics(s.obs.journal)
 		a, info, err := cs.Recover(core.DefaultConfig())
 		if err != nil {
 			return nil, nil, fmt.Errorf("restore corpus %q: %w", name, err)
@@ -265,17 +284,21 @@ func (st *corpusState) persist() (int64, error) {
 	return st.cs.WriteSnapshot(snap)
 }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service. Every route runs
+// under the instrument middleware (request counts, latency, spans,
+// slow-request tracing).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/assess", s.handleAssess)
-	mux.HandleFunc("/delta", s.handleDelta)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/report", s.handleReport)
-	mux.HandleFunc("/findings", s.handleFindings)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/assess", s.instrument("/assess", s.handleAssess))
+	mux.HandleFunc("/delta", s.instrument("/delta", s.handleDelta))
+	mux.HandleFunc("/snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("/report", s.instrument("/report", s.handleReport))
+	mux.HandleFunc("/findings", s.instrument("/findings", s.handleFindings))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/statz", s.instrument("/statz", s.handleStatz))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
 	return mux
 }
 
@@ -550,6 +573,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if s.dataDir != nil {
 		cs, err := s.dataDir.Corpus(name)
 		if err == nil {
+			cs.SetMetrics(s.obs.journal)
 			st.cs = cs
 			_, err = st.persist()
 		}
@@ -618,6 +642,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		touched = append(touched, p)
 	}
 
+	sp := spanFrom(r.Context())
+	sp.Note("corpus", name)
+
 	// Shard-aware locking: hold the touched modules for the whole
 	// request (conflicting deltas serialize in arrival order), but run
 	// the expensive prepare phase under only a read lock so deltas to
@@ -625,6 +652,13 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	unlock := st.lockModules(touched)
 	defer unlock()
 
+	// Phase timings are disjoint sub-intervals of the request (the
+	// breakdown sums to at most the middleware's total). "prepare"
+	// covers validation plus the parallel parse under the read lock,
+	// "commit" the in-memory index update (hook time subtracted out as
+	// "journal_stage"), "assess" the re-assessment, "sync_barrier" the
+	// group-commit fsync wait after the lock is released.
+	tPrepare := time.Now()
 	st.mu.RLock()
 	// A delta against a file the corpus does not hold is a client error;
 	// reject it before any state changes (core.ApplyDelta would silently
@@ -639,12 +673,14 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	pd, err := st.a.PrepareDelta(d)
 	st.mu.RUnlock()
+	sp.Observe("prepare", time.Since(tPrepare).Nanoseconds())
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
 	st.mu.Lock()
+	tCommit := time.Now()
 	// On a persistent server the commit hook stages the journal record
 	// inside CommitDelta before any state mutates (commit order = journal
 	// order, so every later fsync covers a prefix of committed deltas); a
@@ -665,7 +701,15 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err.Error())
 		return
 	}
+	sp.Observe("journal_stage", res.HookNs)
+	sp.Observe("commit", time.Since(tCommit).Nanoseconds()-res.HookNs)
+	s.obs.dirtyShards.Observe(int64(res.DirtyShards))
+	if res.ParWidth > 0 {
+		s.obs.parWidth.Set(int64(res.ParWidth))
+	}
+	tAssess := time.Now()
 	as := st.a.Assess()
+	sp.Observe("assess", time.Since(tAssess).Nanoseconds())
 	resp := DeltaResponse{
 		Summary: summarize(name, st.a, as),
 		Delta: DeltaStats{
@@ -695,7 +739,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	st.mu.Unlock()
 	if syncJournal != nil {
+		tSync := time.Now()
 		n, err := syncJournal()
+		sp.Observe("sync_barrier", time.Since(tSync).Nanoseconds())
 		if err != nil {
 			// The commit is in memory but its durability is unknown: a
 			// distinct server-side fault — the client must not assume
@@ -705,6 +751,11 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Journal.Fsyncs = n
 	}
+	// Counted before the response hits the wire: once a client observes
+	// the 200, the ack is already in /statz (the load harness diffs the
+	// two).
+	s.obs.deltasAcked.Inc()
+	s.obs.deltaFilesAcked.Add(int64(len(req.Changed) + len(req.Removed)))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -756,7 +807,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
 		return
 	}
+	endRender := spanFrom(r.Context()).Phase("render")
 	resp := st.renderedReport(name)
+	endRender()
 	writeJSONNegotiated(w, r, http.StatusOK, resp)
 }
 
@@ -837,7 +890,9 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("corpus %q not loaded", name))
 		return
 	}
+	endRender := spanFrom(r.Context()).Phase("render")
 	resp := st.renderedFindings(name)
+	endRender()
 	writeJSONNegotiated(w, r, http.StatusOK, resp)
 }
 
@@ -955,8 +1010,11 @@ func abortOnEncodeErr(err error) {
 // multiple megabytes on large corpora and compress roughly 20x.
 func writeJSONNegotiated(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
 	// The response varies on Accept-Encoding whichever variant is
-	// chosen; caches must see Vary on the identity branch too.
+	// chosen; caches must see Vary on the identity branch too. The
+	// projections change on every delta commit, so intermediaries must
+	// not serve a stale body: no-store, never cache.
 	w.Header().Add("Vary", "Accept-Encoding")
+	w.Header().Set("Cache-Control", "no-store")
 	if !acceptsGzip(r) {
 		writeJSON(w, status, v)
 		return

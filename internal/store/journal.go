@@ -79,6 +79,18 @@ type Journal struct {
 	// writes and resets are not counted: the metric answers "how many
 	// fsyncs did acknowledged deltas cost".
 	fsyncs int64
+	// metrics, when attached, mirrors stage/fsync activity into the
+	// serving layer's registry (nil disables; the instruments are
+	// lock-free atomics, recorded under mu only for a consistent read of
+	// the field itself).
+	metrics *JournalMetrics
+}
+
+// SetMetrics attaches (or with nil detaches) observability instruments.
+func (j *Journal) SetMetrics(m *JournalMetrics) {
+	j.mu.Lock()
+	j.metrics = m
+	j.mu.Unlock()
 }
 
 // syncBatch is one leader fsync and the waiters it covers.
@@ -252,7 +264,11 @@ func (j *Journal) Stage(gen uint64, changed []*srcfile.File, removed []string) (
 	j.records++
 	j.staged++
 	seq := j.staged
+	m := j.metrics
 	j.mu.Unlock()
+	if m != nil {
+		m.Staged.Inc()
+	}
 	return seq, nil
 }
 
@@ -284,6 +300,12 @@ func (j *Journal) SyncTo(seq int64) error {
 		j.mu.Lock()
 		j.syncing = nil
 		j.fsyncs++
+		if m := j.metrics; m != nil {
+			m.Fsyncs.Inc()
+			if b.err == nil && b.upTo > j.durable {
+				m.BatchRecords.Observe(b.upTo - j.durable)
+			}
+		}
 		if b.err == nil && b.upTo > j.durable {
 			j.durable = b.upTo
 		}

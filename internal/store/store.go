@@ -120,6 +120,9 @@ type CorpusStore struct {
 	// rename succeeded; retried before the next append. Stale records
 	// are inert either way (wrong generation), this is only hygiene.
 	pendingReset bool
+	// metrics, when attached (SetMetrics), is forwarded to every journal
+	// handle this store opens.
+	metrics *JournalMetrics
 }
 
 func (cs *CorpusStore) snapshotPath() string { return filepath.Join(cs.dir, "snapshot") }
@@ -279,6 +282,7 @@ func (cs *CorpusStore) Recover(cfg core.Config) (*core.Assessor, *RecoverInfo, e
 	if err != nil {
 		return nil, nil, err
 	}
+	j.SetMetrics(cs.metrics)
 	cs.j = j
 	info.Torn = rep.Torn
 	if info.Replayed > 0 || info.Torn {
@@ -333,6 +337,7 @@ func (cs *CorpusStore) Stage(changed []*srcfile.File, removed []string) error {
 		if err != nil {
 			return err
 		}
+		j.SetMetrics(cs.metrics)
 		cs.j = j
 	}
 	if cs.pendingReset {

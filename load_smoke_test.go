@@ -94,6 +94,15 @@ func TestLoadSmoke(t *testing.T) {
 			t.Fatalf("attempt %d: zero journal fsyncs across %d deltas: the run did not exercise durability",
 				i, res.Deltas)
 		}
+		// The metrics-correctness oracle: on a clean run the server's
+		// /statz counters must agree exactly with what the client
+		// observed — acked deltas, file operations, fsyncs, and reads.
+		if res.Server == nil {
+			t.Fatalf("attempt %d: no /statz diff block — server metrics endpoint missing", i)
+		}
+		if !res.Server.MatchesClient {
+			t.Fatalf("attempt %d: server metrics disagree with client: %+v", i, *res.Server)
+		}
 		if res.DeltasPerSec > best {
 			best = res.DeltasPerSec
 		}

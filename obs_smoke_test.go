@@ -1,0 +1,141 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/corpusgen"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// TestObsSmoke is the observability regression gate, opt-in via
+// OBS_SMOKE=1 (CI sets it). It drives the fully instrumented HTTP stack
+// — per-endpoint middleware, request spans, phase histograms — on the
+// fixed-seed 10k-file corpus (the DELTA_SMOKE workload) and asserts
+// two things: a warm 1-file delta THROUGH THE SERVICE stays within the
+// same 2x envelope over the core-level baseline recorded in
+// BENCH_pipeline.json (so the instrumentation plus HTTP overhead is
+// provably in the noise at the millisecond scale deltas run at), and
+// the /metrics exposition the run produces parses under the strict
+// line-format validator with counters that agree with the traffic.
+func TestObsSmoke(t *testing.T) {
+	if os.Getenv("OBS_SMOKE") == "" {
+		t.Skip("set OBS_SMOKE=1 to run the observability regression gate")
+	}
+
+	raw, err := os.ReadFile("BENCH_pipeline.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var bench struct {
+		Sharded struct {
+			Delta1File10kNsPerOp float64 `json:"delta_1file_10k_ns_per_op"`
+		} `json:"sharded"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("parse BENCH_pipeline.json: %v", err)
+	}
+	baseline := time.Duration(bench.Sharded.Delta1File10kNsPerOp)
+	if baseline <= 0 {
+		t.Fatal("BENCH_pipeline.json has no sharded.delta_1file_10k_ns_per_op baseline")
+	}
+
+	// The DELTA_SMOKE workload, verbatim, but over HTTP: 20 modules x
+	// (499 C++ + 1 CUDA), seed 26262, steady-state edits of one
+	// mid-corpus file. In-memory server: the envelope compares against
+	// the core-level baseline, so no journal fsync in the loop.
+	gen := corpusgen.New(corpusgen.Params{Modules: 20, FilesPerModule: 499,
+		FuncsPerFile: 3, ViolationsPerFile: 2, CUDAFiles: 1}, 26262)
+	svc := service.New()
+	svc.MaxBody = 64 << 20 // the 10k corpus upload exceeds the 16 MiB default
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	files := make(map[string]string, gen.Len())
+	for _, p := range gen.Paths() {
+		files[p] = gen.Source(p)
+	}
+	post := func(path string, body interface{}) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slurp, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %s: %s", path, resp.Status, slurp)
+		}
+	}
+	post("/assess", map[string]interface{}{"corpus": "c1", "files": files})
+
+	victim := gen.Paths()[len(gen.Paths())/2]
+	base := gen.Source(victim)
+	variant := func(i int) string {
+		if i%2 == 0 {
+			return base + "\nfloat ScaleProbe(float x, int m) { if (m > 1) { x = x + 1.0f; } return x; }\n"
+		}
+		return base + "\nfloat ScaleProbe(float x, int m) { while (x > 0.5f * m) { x = x - 1.0f; } return x; }\n"
+	}
+	apply := func(i int) {
+		t.Helper()
+		post("/delta", map[string]interface{}{
+			"corpus":  "c1",
+			"changed": map[string]string{victim: variant(i)},
+		})
+	}
+	for i := 1; i < 6; i++ {
+		apply(i)
+	}
+	deltas := 5
+	best := time.Duration(1<<63 - 1)
+	for i := 6; i < 18; i++ {
+		start := time.Now()
+		apply(i)
+		deltas++
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	limit := 2 * baseline
+	t.Logf("warm 1-file delta over instrumented HTTP on 10k files: best %v (core baseline %v, limit %v)",
+		best, baseline, limit)
+	if best > limit {
+		t.Fatalf("instrumented delta latency regressed: best %v exceeds 2x the core baseline %v", best, baseline)
+	}
+
+	// The run's exposition must parse under the strict validator and
+	// agree with the traffic the loop just generated.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %s", resp.Status)
+	}
+	if err := obs.ValidateExposition(string(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("adserve_deltas_acked_total %d", deltas),
+		fmt.Sprintf(`adserve_requests_total{endpoint="/delta",class="2xx"} %d`, deltas),
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
